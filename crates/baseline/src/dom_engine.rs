@@ -1,0 +1,287 @@
+//! The DOM baseline engine: materialize (a projection of) the document,
+//! then evaluate with the shared XQuery− tree evaluator.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use flux_query::eval::{eval_expr, Env, EvalError};
+use flux_query::{Expr, ROOT_VAR};
+use flux_xml::{Event, Node, Reader, ReaderOptions, Writer, XmlError};
+
+use crate::mem::{node_overhead, text_overhead};
+use crate::projection::{projection_spec, ProjSpec};
+use crate::ProjectionMode;
+
+/// Baseline engine failures.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Input XML failed to parse.
+    Xml(XmlError),
+    /// Query evaluation failed.
+    Eval(EvalError),
+    /// Materialization exceeded the configured memory cap (Figure 4's
+    /// "- / >500M" cells).
+    MemoryCap {
+        /// Bytes materialized when the engine gave up.
+        used: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Xml(e) => write!(f, "{e}"),
+            BaselineError::Eval(e) => write!(f, "{e}"),
+            BaselineError::MemoryCap { used, cap } => {
+                write!(f, "materialization aborted: {used} bytes exceeds the {cap}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<XmlError> for BaselineError {
+    fn from(e: XmlError) -> Self {
+        BaselineError::Xml(e)
+    }
+}
+
+impl From<EvalError> for BaselineError {
+    fn from(e: EvalError) -> Self {
+        BaselineError::Eval(e)
+    }
+}
+
+/// Statistics of one baseline run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DomStats {
+    /// Estimated heap bytes of the materialized (projected) tree.
+    pub tree_bytes: usize,
+    /// Element nodes materialized.
+    pub nodes: usize,
+    /// Bytes written to the output sink.
+    pub output_bytes: u64,
+}
+
+/// Result of a baseline run collecting output in memory.
+#[derive(Debug, Clone)]
+pub struct DomOutcome {
+    /// Serialized query result.
+    pub output: String,
+    /// Statistics.
+    pub stats: DomStats,
+}
+
+/// A DOM-based XQuery− engine (see the crate docs).
+#[derive(Debug, Clone, Copy)]
+pub struct DomEngine {
+    /// Whether to project the document while parsing.
+    pub projection: ProjectionMode,
+    /// Abort materialization beyond this many bytes (`None` = unlimited).
+    /// Defaults to 512 MB — the paper's machine.
+    pub memory_cap: Option<usize>,
+}
+
+impl Default for DomEngine {
+    fn default() -> Self {
+        DomEngine { projection: ProjectionMode::Paths, memory_cap: Some(512 << 20) }
+    }
+}
+
+impl DomEngine {
+    /// Convenience constructor.
+    pub fn new(projection: ProjectionMode) -> DomEngine {
+        DomEngine { projection, ..Default::default() }
+    }
+
+    /// Run a query, collecting the output in memory.
+    pub fn run(&self, q: &Expr, input: impl BufRead) -> Result<DomOutcome, BaselineError> {
+        let mut out = Vec::new();
+        let stats = self.run_to(q, input, &mut out)?;
+        Ok(DomOutcome { output: String::from_utf8(out).expect("writer emits UTF-8"), stats })
+    }
+
+    /// Run a query, writing the output to a sink (benchmarks use a
+    /// byte-counting null sink).
+    pub fn run_to<W: Write>(
+        &self,
+        q: &Expr,
+        input: impl BufRead,
+        out: W,
+    ) -> Result<DomStats, BaselineError> {
+        let spec = match self.projection {
+            ProjectionMode::Paths => Some(projection_spec(q)),
+            ProjectionMode::None => None,
+        };
+        let mut reader = Reader::new(input, ReaderOptions::default());
+        let mut stats = DomStats::default();
+        let doc = self.materialize(&mut reader, spec.as_ref(), &mut stats)?;
+        let mut w = Writer::new(out);
+        let mut env = Env::with(ROOT_VAR, &doc);
+        eval_expr(q, &mut env, &mut w)?;
+        stats.output_bytes = w.bytes_written();
+        Ok(stats)
+    }
+
+    /// Parse the stream into a (projected) document node with memory
+    /// accounting and cap enforcement.
+    fn materialize<R: BufRead>(
+        &self,
+        reader: &mut Reader<R>,
+        spec: Option<&ProjSpec>,
+        stats: &mut DomStats,
+    ) -> Result<Node, BaselineError> {
+        #[derive(Clone, Copy)]
+        enum Keep<'s> {
+            At(&'s ProjSpec),
+            Subtree,
+            Skip,
+        }
+        let mut doc = Node::new("#document");
+        // Stack of kept nodes under construction; parallel keep-state stack
+        // covers *all* open elements.
+        let mut build: Vec<Node> = Vec::new();
+        let mut keep: Vec<Keep> = Vec::new();
+        let root_keep = match spec {
+            None => Keep::Subtree,
+            Some(s) => {
+                if s.subtree {
+                    Keep::Subtree
+                } else {
+                    Keep::At(s)
+                }
+            }
+        };
+        let mut bytes = 0usize;
+        let cap = self.memory_cap.unwrap_or(usize::MAX);
+
+        while let Some(ev) = reader.next_event()? {
+            match ev {
+                Event::Start(name) => {
+                    let parent_keep = keep.last().copied().unwrap_or(root_keep);
+                    let k = match parent_keep {
+                        Keep::Skip => Keep::Skip,
+                        Keep::Subtree => Keep::Subtree,
+                        Keep::At(s) => match s.children.get(name) {
+                            Some(c) if c.subtree => Keep::Subtree,
+                            Some(c) => Keep::At(c),
+                            None => Keep::Skip,
+                        },
+                    };
+                    if !matches!(k, Keep::Skip) {
+                        build.push(Node::new(name));
+                        bytes += node_overhead(name.len());
+                        stats.nodes += 1;
+                        if bytes > cap {
+                            return Err(BaselineError::MemoryCap { used: bytes, cap });
+                        }
+                    }
+                    keep.push(k);
+                }
+                Event::Text(t) => {
+                    if matches!(keep.last().copied().unwrap_or(root_keep), Keep::Subtree) {
+                        if let Some(top) = build.last_mut() {
+                            top.push_text(t);
+                            bytes += text_overhead(t.len());
+                            if bytes > cap {
+                                return Err(BaselineError::MemoryCap { used: bytes, cap });
+                            }
+                        }
+                    }
+                }
+                Event::End(_) => {
+                    let k = keep.pop().expect("reader guarantees balance");
+                    if !matches!(k, Keep::Skip) {
+                        let done = build.pop().expect("keep/build stacks aligned");
+                        match build.last_mut() {
+                            Some(parent) => parent.children.push(flux_xml::Child::Elem(done)),
+                            None => doc.children.push(flux_xml::Child::Elem(done)),
+                        }
+                    }
+                }
+            }
+        }
+        stats.tree_bytes = bytes;
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_query::eval::{eval_query, wrap_document};
+    use flux_query::parse_xquery;
+
+    const DOC: &str = "<bib>\
+        <book><title>TCP</title><author>Stevens</author><publisher>AW</publisher><year>1994</year></book>\
+        <book><title>Web</title><author>Abiteboul</author><publisher>MK</publisher><year>1999</year></book>\
+        </bib>";
+
+    #[track_caller]
+    fn check(q: &str, mode: ProjectionMode) -> DomOutcome {
+        let e = parse_xquery(q).unwrap();
+        let engine = DomEngine::new(mode);
+        let got = engine.run(&e, DOC.as_bytes()).unwrap();
+        let doc = wrap_document(Node::parse_str(DOC).unwrap());
+        assert_eq!(got.output, eval_query(&e, &doc).unwrap(), "query: {q}");
+        got
+    }
+
+    #[test]
+    fn projected_and_full_agree_with_reference() {
+        for q in [
+            "<results>{ for $b in $ROOT/bib/book return <r> {$b/title} </r> }</results>",
+            "{ for $b in $ROOT/bib/book where $b/year > 1995 return {$b} }",
+            "{ $ROOT/bib/book/author }",
+            "{ for $b in $ROOT/bib/book return { for $c in $ROOT/bib/book where $b/author = $c/author return <pair/> } }",
+        ] {
+            let a = check(q, ProjectionMode::None);
+            let b = check(q, ProjectionMode::Paths);
+            assert_eq!(a.output, b.output);
+            assert!(b.stats.tree_bytes <= a.stats.tree_bytes, "projection can only shrink");
+        }
+    }
+
+    #[test]
+    fn projection_shrinks_memory() {
+        let q = "<r>{ for $b in $ROOT/bib/book return {$b/title} }</r>";
+        let full = check(q, ProjectionMode::None);
+        let proj = check(q, ProjectionMode::Paths);
+        assert!(
+            proj.stats.tree_bytes < full.stats.tree_bytes / 2,
+            "projected {} vs full {}",
+            proj.stats.tree_bytes,
+            full.stats.tree_bytes
+        );
+    }
+
+    #[test]
+    fn memory_cap_aborts() {
+        let q = parse_xquery("{ $ROOT/bib }").unwrap();
+        let engine = DomEngine { projection: ProjectionMode::None, memory_cap: Some(64) };
+        let err = engine.run(&q, DOC.as_bytes()).unwrap_err();
+        assert!(matches!(err, BaselineError::MemoryCap { .. }), "{err}");
+    }
+
+    #[test]
+    fn dom_memory_far_exceeds_document_size() {
+        // The Figure 4 phenomenon: DOM engines pay multiples of the input.
+        let full = check("{ $ROOT/bib }", ProjectionMode::None);
+        assert!(
+            full.stats.tree_bytes > 2 * DOC.len(),
+            "tree {} vs doc {}",
+            full.stats.tree_bytes,
+            DOC.len()
+        );
+    }
+
+    #[test]
+    fn malformed_input_reported() {
+        let q = parse_xquery("{ $ROOT/bib }").unwrap();
+        let err = DomEngine::default().run(&q, "<bib><oops></bib>".as_bytes()).unwrap_err();
+        assert!(matches!(err, BaselineError::Xml(_)));
+    }
+}

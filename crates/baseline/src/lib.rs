@@ -1,0 +1,36 @@
+//! # flux-baseline — DOM-based XQuery− engines (the paper's comparators)
+//!
+//! The paper's experiments (Section 6) compare the FluX engine against
+//! *Galax V0.3.1 with projection turned on* \[14\] and a commercial engine
+//! ("AnonX"). Neither is available here, so this crate implements engines
+//! with the same algorithmic profile (DESIGN.md §3):
+//!
+//! * [`DomEngine`] with [`ProjectionMode::Paths`] — "galax-sim": parses the
+//!   document into a DOM, *projected* to the paths the query touches
+//!   (Marian & Siméon's technique \[14\], which the paper's §5 generalizes), then
+//!   evaluates. Memory is linear in the (projected) document size.
+//! * [`DomEngine`] with [`ProjectionMode::None`] — "anonx-sim": full
+//!   materialization, reported time-only in the Figure 4 reproduction (the
+//!   paper could not obtain AnonX's memory numbers either).
+//!
+//! Both honour a configurable memory cap (default 512 MB, the paper's
+//! machine) and abort with [`BaselineError::MemoryCap`] when tree
+//! construction exceeds it — reproducing the "- / >500M" cells of Figure 4
+//! deterministically instead of by swapping.
+
+pub mod dom_engine;
+pub mod mem;
+pub mod projection;
+
+pub use dom_engine::{BaselineError, DomEngine, DomOutcome, DomStats};
+pub use projection::{projection_spec, ProjSpec};
+
+/// Projection behaviour of the DOM engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProjectionMode {
+    /// Materialize the whole document ("anonx-sim").
+    None,
+    /// Materialize only the paths the query touches ("galax-sim", \[14\]).
+    #[default]
+    Paths,
+}

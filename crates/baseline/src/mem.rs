@@ -1,0 +1,56 @@
+//! Memory accounting for materialized trees.
+//!
+//! A DOM costs far more than the raw document: per-node structs, child
+//! vectors and heap string headers. The paper's Figure 4 shows Galax using
+//! ~7× the document size; our estimate charges the *actual* Rust-side
+//! representation so the same blow-up is visible (and honestly attributable
+//! to materialization, not to an arbitrary constant).
+
+use flux_xml::{Child, Node};
+
+/// Estimated heap bytes of one materialized element (excluding children):
+/// the node struct itself plus the string header/content of its name.
+pub fn node_overhead(name_len: usize) -> usize {
+    std::mem::size_of::<Node>() + std::mem::size_of::<Child>() + name_len
+}
+
+/// Estimated heap bytes of a text child.
+pub fn text_overhead(text_len: usize) -> usize {
+    std::mem::size_of::<Child>() + text_len
+}
+
+/// Estimated total heap bytes of a materialized subtree.
+pub fn tree_bytes(node: &Node) -> usize {
+    let mut total = node_overhead(node.name.len());
+    for c in &node.children {
+        total += match c {
+            Child::Text(t) => text_overhead(t.len()),
+            Child::Elem(e) => tree_bytes(e),
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_bytes_exceed_serialized_size() {
+        let n = Node::parse_str("<a><b>hello</b><c>world</c></a>").unwrap();
+        let serialized = n.to_xml().len();
+        assert!(
+            tree_bytes(&n) > serialized,
+            "DOM {} should cost more than text {}",
+            tree_bytes(&n),
+            serialized
+        );
+    }
+
+    #[test]
+    fn monotone_in_structure() {
+        let small = Node::parse_str("<a><b>x</b></a>").unwrap();
+        let big = Node::parse_str("<a><b>x</b><b>x</b><b>x</b></a>").unwrap();
+        assert!(tree_bytes(&big) > tree_bytes(&small));
+    }
+}

@@ -1,0 +1,176 @@
+//! Document projection (Marian & Siméon \[14\], the paper's reference
+//! baseline optimization).
+//!
+//! From the query we compute the set of absolute paths it can touch; while
+//! parsing, everything off those paths is discarded. Nodes whose *values*
+//! are needed (outputs, condition operands) keep their whole subtrees;
+//! intermediate steps keep structure only. This is the whole-document
+//! analogue of the FluX engine's per-variable buffer trees.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use flux_query::{Cond, Expr, ROOT_VAR};
+
+/// A projection trie over absolute paths from the document node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProjSpec {
+    /// Keep this node's entire subtree.
+    pub subtree: bool,
+    /// Children to descend into.
+    pub children: BTreeMap<String, ProjSpec>,
+}
+
+impl ProjSpec {
+    fn insert(&mut self, path: &[String], subtree: bool) {
+        match path.split_first() {
+            None => self.subtree |= subtree,
+            Some((h, rest)) => self.children.entry(h.clone()).or_default().insert(rest, subtree),
+        }
+    }
+
+    /// Remove redundant refinements below subtree-kept nodes.
+    fn prune(&mut self) {
+        if self.subtree {
+            self.children.clear();
+        } else {
+            self.children.values_mut().for_each(ProjSpec::prune);
+        }
+    }
+
+    /// Number of trie nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.values().map(ProjSpec::node_count).sum::<usize>()
+    }
+}
+
+/// Compute the projection for a query. Unknown variables (queries that are
+/// not closed) project conservatively to "keep everything".
+pub fn projection_spec(q: &Expr) -> ProjSpec {
+    let mut spec = ProjSpec::default();
+    let mut env: HashMap<String, Vec<String>> = HashMap::new();
+    env.insert(ROOT_VAR.to_string(), Vec::new());
+    collect(q, &mut env, &mut spec);
+    spec.prune();
+    spec
+}
+
+fn abs_path(env: &HashMap<String, Vec<String>>, var: &str, steps: &[String]) -> Option<Vec<String>> {
+    let mut p = env.get(var)?.clone();
+    p.extend(steps.iter().cloned());
+    Some(p)
+}
+
+fn collect(e: &Expr, env: &mut HashMap<String, Vec<String>>, spec: &mut ProjSpec) {
+    match e {
+        Expr::Empty | Expr::Str(_) => {}
+        Expr::Seq(items) => items.iter().for_each(|i| collect(i, env, spec)),
+        Expr::OutputVar { var } => match env.get(var) {
+            Some(p) => spec.insert(&p.clone(), true),
+            None => spec.subtree = true,
+        },
+        Expr::OutputPath { var, path } => match abs_path(env, var, path.steps()) {
+            Some(p) => spec.insert(&p, true),
+            None => spec.subtree = true,
+        },
+        Expr::If { cond, body } => {
+            collect_cond(cond, env, spec);
+            collect(body, env, spec);
+        }
+        Expr::For { var, in_var, path, pred, body } => {
+            let bound = match abs_path(env, in_var, path.steps()) {
+                Some(p) => {
+                    spec.insert(&p, false); // the loop needs the nodes' existence
+                    p
+                }
+                None => {
+                    spec.subtree = true;
+                    Vec::new()
+                }
+            };
+            let prev = env.insert(var.clone(), bound);
+            if let Some(c) = pred {
+                collect_cond(c, env, spec);
+            }
+            collect(body, env, spec);
+            match prev {
+                Some(p) => {
+                    env.insert(var.clone(), p);
+                }
+                None => {
+                    env.remove(var);
+                }
+            }
+        }
+    }
+}
+
+fn collect_cond(c: &Cond, env: &HashMap<String, Vec<String>>, spec: &mut ProjSpec) {
+    c.visit_paths(&mut |pr| {
+        if let Some(p) = abs_path(env, &pr.var, pr.path.steps()) {
+            spec.insert(&p, true); // condition operands need values
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_query::parse_xquery;
+
+    #[test]
+    fn simple_query_projects_to_used_paths() {
+        let q = parse_xquery(
+            "<results>{ for $b in $ROOT/bib/book return <r> {$b/title} </r> }</results>",
+        )
+        .unwrap();
+        let spec = projection_spec(&q);
+        let bib = &spec.children["bib"];
+        let book = &bib.children["book"];
+        assert!(!book.subtree, "book keeps structure only");
+        assert!(book.children["title"].subtree, "title values are output");
+        assert!(!spec.children.contains_key("other"));
+    }
+
+    #[test]
+    fn condition_paths_are_kept() {
+        let q = parse_xquery(
+            "{ for $b in /bib/book where $b/year > 1991 and $b/pub = $b/title return <r/> }",
+        )
+        .unwrap();
+        let spec = projection_spec(&q);
+        let book = &spec.children["bib"].children["book"];
+        assert!(book.children["year"].subtree);
+        assert!(book.children["pub"].subtree);
+        assert!(book.children["title"].subtree);
+    }
+
+    #[test]
+    fn whole_variable_output_keeps_subtree() {
+        let q = parse_xquery("{ for $p in /site/people/person return {$p} }").unwrap();
+        let spec = projection_spec(&q);
+        let person = &spec.children["site"].children["people"].children["person"];
+        assert!(person.subtree);
+        assert!(person.children.is_empty(), "pruned below subtree-kept node");
+    }
+
+    #[test]
+    fn multiple_descents_union() {
+        let q = parse_xquery(
+            "{ for $p in /site/people/person return {$p/name} }\
+             { for $a in /site/auctions/auction return {$a/price} }",
+        )
+        .unwrap();
+        let spec = projection_spec(&q);
+        let site = &spec.children["site"];
+        assert!(site.children.contains_key("people"));
+        assert!(site.children.contains_key("auctions"));
+    }
+
+    #[test]
+    fn free_variables_project_everything() {
+        let q = parse_xquery("{$loose}").unwrap();
+        let spec = projection_spec(&q);
+        assert!(spec.subtree);
+    }
+}

@@ -1,0 +1,43 @@
+//! Proposition 2.2: `Ord_ρ` is computable in O(|ρ|²). We build content
+//! models of growing size and time Glushkov construction + constraint
+//! computation; the curve should stay (sub-)quadratic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_dtd::constraints::Constraints;
+use flux_dtd::parser::parse_content_regex;
+use flux_dtd::Glushkov;
+
+/// A one-unambiguous content model with `n` distinct symbols:
+/// (a0?, a1?, …, a{n-1}?) interleaved with small alternations.
+fn model(n: usize) -> String {
+    let mut parts = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 3 == 0 {
+            parts.push(format!("s{i}?"));
+        } else if i % 3 == 1 {
+            parts.push(format!("s{i}*"));
+        } else {
+            parts.push(format!("(s{i}|t{i})"));
+        }
+    }
+    format!("({})", parts.join(","))
+}
+
+fn ord_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ord_scaling");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64, 128] {
+        let src = model(n);
+        let re = parse_content_regex(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("glushkov_and_ord", n), &re, |b, re| {
+            b.iter(|| {
+                let g = Glushkov::build(re).unwrap();
+                Constraints::compute(&g)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ord_scaling);
+criterion_main!(benches);

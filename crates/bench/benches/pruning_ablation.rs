@@ -1,0 +1,48 @@
+//! Ablation of buffer-tree pruning (paper §5: "we only buffer the data of
+//! the topmost marked nodes"). Recording behaviour is identical by
+//! construction — a capture frame overrides deeper tree nodes — so the
+//! measurable effect is plan size and per-event cursor work; this bench
+//! tracks plan construction cost and the node-count difference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_engine::bufplan::{pi, BufferTree, Mark};
+use flux_query::parse_xquery;
+
+fn trees(prune: bool) -> usize {
+    // Q8-like expression: output whole closed_auctions and read several
+    // paths below them as well.
+    let alpha = parse_xquery(
+        "{ for $p in $site/people/person return \
+           { for $t in $site/closed_auctions/closed_auction \
+             where $t/buyer/buyer_person = $p/person_id return \
+             <r> {$t} {$t/price} {$t/date} {$t/itemref} </r> } }",
+    )
+    .unwrap();
+    let mut tree = BufferTree::default();
+    for (path, mark) in pi("site", &alpha, true) {
+        tree.insert(&path, mark == Mark::Marked);
+    }
+    if prune {
+        tree.prune();
+    }
+    tree.node_count()
+}
+
+fn pruning_ablation(c: &mut Criterion) {
+    let pruned = trees(true);
+    let unpruned = trees(false);
+    eprintln!("buffer tree nodes: pruned = {pruned}, unpruned = {unpruned}");
+    assert!(pruned < unpruned, "pruning must shrink the plan");
+
+    let mut group = c.benchmark_group("pruning_ablation");
+    group.sample_size(20);
+    for (name, prune) in [("pruned", true), ("unpruned", false)] {
+        group.bench_with_input(BenchmarkId::new("plan_build", name), &prune, |b, &p| {
+            b.iter(|| trees(p));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pruning_ablation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Appendix B's claim: punctuation costs "one validating DFA transition and
+//! one constant-time lookup per input token" on top of plain parsing.
+//!
+//! We measure (a) draining the parser, (b) parsing + full DTD validation
+//! (the DFA transitions), and (c) parsing + validation + a `first-past`
+//! lookup per transition — the increments should be small and flat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flux_dtd::past::{Matcher, PastTable};
+use flux_dtd::Dtd;
+use flux_xmark::{generate_string, XmarkConfig, XMARK_DTD};
+use flux_xml::{Event, Reader};
+
+fn drain(doc: &str) -> u64 {
+    let mut r = Reader::from_str(doc);
+    let mut n = 0;
+    while let Some(ev) = r.next_event().unwrap() {
+        if matches!(ev, Event::Start(_)) {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn validate(doc: &str, dtd: &Dtd, with_past: bool) -> u64 {
+    // Stack of matchers plus (optionally) a PastTable probe per production.
+    let mut r = Reader::from_str(doc);
+    let mut stack: Vec<(Matcher<'_>, Option<&PastTable>)> = Vec::new();
+    // One prebuilt table per production (site-level punctuation probe).
+    let tables: std::collections::HashMap<&str, PastTable> = dtd
+        .productions()
+        .iter()
+        .map(|p| {
+            let set: Vec<String> = p.symbols().to_vec();
+            (p.name.as_str(), PastTable::build(p.automaton(), p.constraints(), &set))
+        })
+        .collect();
+    let doc_prod = dtd.doc_production();
+    stack.push((Matcher::new(doc_prod.automaton()), None));
+    let mut fired = 0u64;
+    while let Some(ev) = r.next_event().unwrap() {
+        match ev {
+            Event::Start(name) => {
+                let (m, t) = stack.last_mut().unwrap();
+                let (old, new) = m.step(name).unwrap();
+                if with_past {
+                    if let Some(t) = t {
+                        if t.fires_on(old, new) {
+                            fired += 1;
+                        }
+                    }
+                }
+                let prod = dtd.production(name).unwrap();
+                let table = with_past.then(|| &tables[&*prod.name]);
+                stack.push((Matcher::new(prod.automaton()), table.map(|t| t as _)));
+            }
+            Event::End(_) => {
+                let (m, _) = stack.pop().unwrap();
+                m.finish().unwrap();
+            }
+            Event::Text(_) => {}
+        }
+    }
+    fired
+}
+
+fn punctuation_overhead(c: &mut Criterion) {
+    let dtd = Dtd::parse(XMARK_DTD).unwrap();
+    let (doc, _) = generate_string(&XmarkConfig::new(512 << 10));
+    let mut group = c.benchmark_group("punctuation_overhead");
+    group.sample_size(10);
+    group.bench_function("parse_only", |b| b.iter(|| drain(&doc)));
+    group.bench_function("parse_validate", |b| b.iter(|| validate(&doc, &dtd, false)));
+    group.bench_function("parse_validate_past", |b| b.iter(|| validate(&doc, &dtd, true)));
+    group.finish();
+}
+
+criterion_group!(benches, punctuation_overhead);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Running one Figure 4 cell: (engine, query, document) → time + memory.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use flux_baseline::{BaselineError, DomEngine, ProjectionMode};
+use flux_core::rewrite_query;
+use flux_dtd::Dtd;
+use flux_engine::CompiledQuery;
+use flux_query::parse_xquery;
+use flux_xmark::{generate, XmarkConfig, XmarkSummary};
+use flux_xml::writer::NullSink;
+
+/// The engines of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The FluX streaming engine.
+    Flux,
+    /// DOM with projection (stands in for Galax V0.3.1 + projection \[14\]).
+    GalaxSim,
+    /// DOM without projection, time-only (stands in for "AnonX").
+    AnonxSim,
+}
+
+impl EngineKind {
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Flux => "FluX",
+            EngineKind::GalaxSim => "galax-sim",
+            EngineKind::AnonxSim => "anonx-sim",
+        }
+    }
+}
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Peak memory in bytes (`None` for AnonX, matching the paper's table).
+    pub memory_bytes: Option<u64>,
+    /// Bytes of query output produced.
+    pub output_bytes: u64,
+    /// Abort reason when the run did not complete (memory cap).
+    pub aborted: Option<String>,
+}
+
+/// A generated benchmark document on disk.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// File path.
+    pub path: PathBuf,
+    /// Exact size in bytes.
+    pub bytes: u64,
+    /// Entity counts.
+    pub summary: XmarkSummary,
+}
+
+/// Generate (or reuse) a benchmark document of roughly `target_bytes`.
+pub fn dataset(dir: &Path, label: &str, target_bytes: usize, seed: u64) -> io::Result<Dataset> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("xmark-{label}-{seed}.xml"));
+    let meta = dir.join(format!("xmark-{label}-{seed}.meta"));
+    if let (Ok(m), Ok(existing)) = (std::fs::read_to_string(&meta), std::fs::metadata(&path)) {
+        if let Some(summary) = parse_meta(&m) {
+            if existing.len() == summary.bytes {
+                return Ok(Dataset { path, bytes: summary.bytes, summary });
+            }
+        }
+    }
+    let cfg = XmarkConfig { target_bytes, seed, ..XmarkConfig::new(target_bytes) };
+    let file = File::create(&path)?;
+    let summary = generate(&cfg, BufWriter::new(file))?;
+    std::fs::write(&meta, render_meta(&summary))?;
+    Ok(Dataset { path, bytes: summary.bytes, summary })
+}
+
+fn render_meta(s: &XmarkSummary) -> String {
+    format!(
+        "bytes={} persons={} items={} australia_items={} open_auctions={} closed_auctions={} categories={}",
+        s.bytes, s.persons, s.items, s.australia_items, s.open_auctions, s.closed_auctions, s.categories
+    )
+}
+
+fn parse_meta(m: &str) -> Option<XmarkSummary> {
+    let mut s = XmarkSummary::default();
+    for kv in m.split_whitespace() {
+        let (k, v) = kv.split_once('=')?;
+        match k {
+            "bytes" => s.bytes = v.parse().ok()?,
+            "persons" => s.persons = v.parse().ok()?,
+            "items" => s.items = v.parse().ok()?,
+            "australia_items" => s.australia_items = v.parse().ok()?,
+            "open_auctions" => s.open_auctions = v.parse().ok()?,
+            "closed_auctions" => s.closed_auctions = v.parse().ok()?,
+            "categories" => s.categories = v.parse().ok()?,
+            _ => {}
+        }
+    }
+    Some(s)
+}
+
+/// Run one engine on one query over one document file.
+///
+/// `cap` bounds the DOM engines' materialized memory (the paper's 512 MB
+/// machine); FluX needs no cap — its buffers are the measurement.
+pub fn run_cell(
+    kind: EngineKind,
+    query_src: &str,
+    dtd: &Dtd,
+    data: &Path,
+    cap: Option<usize>,
+) -> EngineRun {
+    let query = parse_xquery(query_src).expect("benchmark queries parse");
+    match kind {
+        EngineKind::Flux => {
+            let flux = rewrite_query(&query, dtd).expect("benchmark queries rewrite");
+            let compiled = CompiledQuery::compile(&flux, dtd).expect("benchmark queries compile");
+            let file = File::open(data).expect("dataset exists");
+            let start = Instant::now();
+            match compiled.run(BufReader::with_capacity(1 << 20, file), NullSink::default()) {
+                Ok(stats) => EngineRun {
+                    seconds: start.elapsed().as_secs_f64(),
+                    memory_bytes: Some(stats.peak_buffer_bytes as u64),
+                    output_bytes: stats.output_bytes,
+                    aborted: None,
+                },
+                Err(e) => EngineRun {
+                    seconds: start.elapsed().as_secs_f64(),
+                    memory_bytes: None,
+                    output_bytes: 0,
+                    aborted: Some(e.to_string()),
+                },
+            }
+        }
+        EngineKind::GalaxSim | EngineKind::AnonxSim => {
+            let projection = if kind == EngineKind::GalaxSim {
+                ProjectionMode::Paths
+            } else {
+                ProjectionMode::None
+            };
+            let engine = DomEngine { projection, memory_cap: cap };
+            let file = File::open(data).expect("dataset exists");
+            let start = Instant::now();
+            match engine.run_to(&query, BufReader::with_capacity(1 << 20, file), NullSink::default()) {
+                Ok(stats) => EngineRun {
+                    seconds: start.elapsed().as_secs_f64(),
+                    memory_bytes: (kind == EngineKind::GalaxSim).then_some(stats.tree_bytes as u64),
+                    output_bytes: stats.output_bytes,
+                    aborted: None,
+                },
+                Err(BaselineError::MemoryCap { used, cap }) => EngineRun {
+                    seconds: start.elapsed().as_secs_f64(),
+                    memory_bytes: Some(used as u64),
+                    output_bytes: 0,
+                    aborted: Some(format!(">{}M cap", cap >> 20)),
+                },
+                Err(e) => EngineRun {
+                    seconds: start.elapsed().as_secs_f64(),
+                    memory_bytes: None,
+                    output_bytes: 0,
+                    aborted: Some(e.to_string()),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_xmark::{PAPER_QUERIES, XMARK_DTD};
+
+    #[test]
+    fn all_cells_run_and_agree_on_small_data() {
+        let dir = std::env::temp_dir().join("flux-bench-test");
+        let data = dataset(&dir, "test64k", 64 << 10, 7).unwrap();
+        let dtd = Dtd::parse(XMARK_DTD).unwrap();
+        for q in PAPER_QUERIES {
+            let f = run_cell(EngineKind::Flux, q.source, &dtd, &data.path, None);
+            let g = run_cell(EngineKind::GalaxSim, q.source, &dtd, &data.path, None);
+            let a = run_cell(EngineKind::AnonxSim, q.source, &dtd, &data.path, None);
+            assert!(f.aborted.is_none(), "{}: {:?}", q.name, f.aborted);
+            assert!(g.aborted.is_none(), "{}: {:?}", q.name, g.aborted);
+            assert_eq!(f.output_bytes, g.output_bytes, "{}: flux vs galax-sim output size", q.name);
+            assert_eq!(f.output_bytes, a.output_bytes, "{}: flux vs anonx-sim output size", q.name);
+            // FluX memory is far below the DOM's.
+            assert!(
+                f.memory_bytes.unwrap() < g.memory_bytes.unwrap().max(1),
+                "{}: flux {} >= galax {}",
+                q.name,
+                f.memory_bytes.unwrap(),
+                g.memory_bytes.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn datasets_are_cached() {
+        let dir = std::env::temp_dir().join("flux-bench-test-cache");
+        let a = dataset(&dir, "c32k", 32 << 10, 3).unwrap();
+        let b = dataset(&dir, "c32k", 32 << 10, 3).unwrap();
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn memory_cap_produces_aborts() {
+        let dir = std::env::temp_dir().join("flux-bench-test-cap");
+        let data = dataset(&dir, "cap128k", 128 << 10, 5).unwrap();
+        let dtd = Dtd::parse(XMARK_DTD).unwrap();
+        let run = run_cell(EngineKind::AnonxSim, flux_xmark::Q1, &dtd, &data.path, Some(8 << 10));
+        assert!(run.aborted.is_some());
+    }
+}

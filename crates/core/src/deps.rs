@@ -1,0 +1,151 @@
+//! `dependencies($y, α)` and `hsymb(ζ)` (paper, Sections 3.3 and 4.2).
+
+use std::collections::BTreeSet;
+
+use flux_query::{Cond, Expr};
+
+use crate::flux::Handler;
+
+/// The dependencies of expression `α` w.r.t. variable `$y`:
+///
+/// * the first step `a` of every condition path `$y/a` or `$y/a/π` in α, and
+/// * the first step `b` of every for-loop `{for $u in $y/π return Q}` in α.
+///
+/// Occurrences under a rebinding of `$y` are skipped (the paper assumes
+/// uniquely-named variables; honouring scope makes the analysis correct for
+/// arbitrary input).
+pub fn dependencies(y: &str, alpha: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect(y, alpha, &mut out);
+    out
+}
+
+fn collect(y: &str, e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } => {}
+        Expr::OutputPath { .. } => {
+            // Output paths are not "condition paths" nor for-loops; in
+            // normalized queries they do not occur. (They are handled by
+            // free-variable safety instead.)
+        }
+        Expr::Seq(items) => items.iter().for_each(|i| collect(y, i, out)),
+        Expr::If { cond, body } => {
+            collect_cond(y, cond, out);
+            collect(y, body, out);
+        }
+        Expr::For { var, in_var, path, pred, body } => {
+            if in_var == y {
+                out.insert(path.head().to_string());
+            }
+            if let Some(c) = pred {
+                collect_cond(y, c, out);
+            }
+            if var != y {
+                collect(y, body, out);
+            }
+        }
+    }
+}
+
+fn collect_cond(y: &str, c: &Cond, out: &mut BTreeSet<String>) {
+    c.visit_paths(&mut |p| {
+        if p.var == y {
+            out.insert(p.path.head().to_string());
+        }
+    });
+}
+
+/// `hsymb(ζ)`: the handler symbols of a handler list — `a` for every
+/// `on a` handler and all of S for every `on-first past(S)` handler.
+///
+/// `past(*)` never occurs in handler lists built by the rewrite algorithm
+/// (it only appears as the sole handler of a buffering scope), so it
+/// contributes nothing here; the safety checker resolves it separately.
+pub fn hsymb(handlers: &[Handler]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for h in handlers {
+        match h {
+            Handler::On { label, .. } => {
+                out.insert(label.clone());
+            }
+            Handler::OnFirst { past, .. } => match past {
+                crate::flux::PastSpec::Set(s) => out.extend(s.iter().cloned()),
+                crate::flux::PastSpec::All => {}
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flux::{FluxExpr, PastSpec};
+    use flux_query::parse_xquery;
+
+    fn deps(y: &str, src: &str) -> Vec<String> {
+        dependencies(y, &parse_xquery(src).unwrap()).into_iter().collect()
+    }
+
+    #[test]
+    fn for_loop_heads() {
+        assert_eq!(deps("b", "{ for $a in $b/author return {$a} }"), ["author"]);
+        assert_eq!(deps("b", "{ for $a in $b/author/name return {$a} }"), ["author"]);
+        assert_eq!(deps("x", "{ for $a in $b/author return {$a} }"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn condition_paths() {
+        assert_eq!(
+            deps("b", "{ if $b/publisher = \"AW\" and $b/year > 1991 then <x> }"),
+            ["publisher", "year"]
+        );
+        assert_eq!(deps("b", "{ if $other/k = 1 then <x> }"), Vec::<String>::new());
+        // Multi-step condition paths contribute their first step.
+        assert_eq!(deps("p", "{ if $p/profile/profile_income > 5000 then <x> }"), ["profile"]);
+    }
+
+    #[test]
+    fn where_clauses_count() {
+        assert_eq!(
+            deps("bib", "{ for $a in $bib/article where $a/author = $bib/editor return {$a} }"),
+            ["article", "editor"]
+        );
+    }
+
+    #[test]
+    fn rebinding_stops_collection() {
+        // Inner loop rebinds $b, so $b/inner refers to a different variable.
+        assert_eq!(
+            deps("b", "{ for $b in $x/c return { for $q in $b/inner return {$q} } }"),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn example_4_4_dependency() {
+        // α2 of Example 4.4: deps($b, for $t in $b/title return (for $a in
+        // $b/author …)) = {title, author}.
+        assert_eq!(
+            deps(
+                "b",
+                "{ for $t in $b/title return { for $a in $b/author return <result> {$t} {$a} </result> } }"
+            ),
+            ["author", "title"]
+        );
+    }
+
+    #[test]
+    fn hsymb_accumulates() {
+        let handlers = vec![
+            Handler::OnFirst { past: PastSpec::set(["x", "y"]), expr: Expr::Empty },
+            Handler::On {
+                label: "bib".into(),
+                var: "b".into(),
+                body: Box::new(FluxExpr::Simple(Expr::Empty)),
+            },
+            Handler::OnFirst { past: PastSpec::empty(), expr: Expr::Empty },
+        ];
+        assert_eq!(hsymb(&handlers).into_iter().collect::<Vec<_>>(), ["bib", "x", "y"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! If-hoisting (paper, Section 7): "push if-expressions — which we have
+//! moved down the query tree to obtain our normal form — back 'up' the
+//! expression tree as soon as the other simplifications have been realized."
+//!
+//! Adjacent conditionals with syntactically identical conditions are fused:
+//! `{if χ then α}{if χ then β}` becomes `{if χ then α β}`, and a for-loop
+//! whose body is entirely guarded by a χ not mentioning the loop variable is
+//! rewritten back into a conditional loop. The result is generally *not* in
+//! normal form — this pass is meant for presentation and for engines that
+//! evaluate a condition once instead of per output item.
+
+use flux_query::{Cond, Expr};
+
+/// Hoist conditionals upwards. Semantics-preserving for any expression.
+pub fn hoist_ifs(e: &Expr) -> Expr {
+    match e {
+        Expr::Seq(items) => {
+            let items: Vec<Expr> = items.iter().map(hoist_ifs).collect();
+            let mut out: Vec<Expr> = Vec::with_capacity(items.len());
+            for item in items {
+                if let (Some(Expr::If { cond: c1, body: b1 }), Expr::If { cond: c2, body: b2 }) =
+                    (out.last(), &item)
+                {
+                    if c1 == c2 {
+                        let merged = Expr::If {
+                            cond: c1.clone(),
+                            body: Box::new(Expr::seq([(**b1).clone(), (**b2).clone()])),
+                        };
+                        *out.last_mut().unwrap() = merged;
+                        continue;
+                    }
+                }
+                out.push(item);
+            }
+            Expr::seq(out)
+        }
+        Expr::For { var, in_var, path, pred, body } => {
+            let body = hoist_ifs(body);
+            // `for $x … return {if χ then α}` with χ independent of $x is a
+            // conditional loop again (inverse of rule 1+4).
+            if let Expr::If { cond, body: inner } = &body {
+                if pred.is_none() && !cond.mentions(var) {
+                    return Expr::For {
+                        var: var.clone(),
+                        in_var: in_var.clone(),
+                        path: path.clone(),
+                        pred: Some(cond.clone()),
+                        body: inner.clone(),
+                    };
+                }
+            }
+            Expr::For {
+                var: var.clone(),
+                in_var: in_var.clone(),
+                path: path.clone(),
+                pred: pred.clone(),
+                body: Box::new(body),
+            }
+        }
+        Expr::If { cond, body } => {
+            let body = hoist_ifs(body);
+            match body {
+                // {if χ then {if ψ then α}} → {if χ∧ψ then α} stays merged.
+                Expr::If { cond: inner, body: b } => {
+                    Expr::If { cond: cond.clone().and(inner), body: b }
+                }
+                other => Expr::If { cond: cond.clone(), body: Box::new(other) },
+            }
+        }
+        _ => e.clone(),
+    }
+}
+
+/// Count `if` nodes (used to assert the pass actually shrinks queries).
+pub fn count_ifs(e: &Expr) -> usize {
+    let mut n = 0;
+    e.visit(&mut |x| {
+        if matches!(x, Expr::If { .. }) {
+            n += 1;
+        }
+    });
+    n
+}
+
+fn _cond_eq(a: &Cond, b: &Cond) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_query::{normalize, parse_xquery};
+
+    #[test]
+    fn normalized_q1_hoists_back() {
+        let q = parse_xquery(
+            "<bib>{ for $b in $ROOT/bib/book \
+               where $b/publisher = \"AW\" and $b/year > 1991 \
+               return <book> {$b/year} {$b/title} </book> }</bib>",
+        )
+        .unwrap();
+        let n = normalize(&q);
+        let before = count_ifs(&n);
+        assert!(before >= 4, "normalization spreads the condition: {n}");
+        let h = hoist_ifs(&n);
+        let after = count_ifs(&h);
+        assert!(after < before, "hoisting must reduce ifs: {h}");
+    }
+
+    #[test]
+    fn hoisting_preserves_semantics() {
+        let doc = flux_query::eval::wrap_document(
+            flux_xml::Node::parse_str(
+                "<bib><book><title>T</title><publisher>AW</publisher><year>1994</year></book>\
+                 <book><title>U</title><publisher>MK</publisher><year>1999</year></book></bib>",
+            )
+            .unwrap(),
+        );
+        let q = parse_xquery(
+            "<bib>{ for $b in $ROOT/bib/book where $b/publisher = \"AW\" \
+               return <book> {$b/year} {$b/title} </book> }</bib>",
+        )
+        .unwrap();
+        let n = normalize(&q);
+        let h = hoist_ifs(&n);
+        assert_eq!(
+            flux_query::eval_query(&n, &doc).unwrap(),
+            flux_query::eval_query(&h, &doc).unwrap()
+        );
+    }
+
+    #[test]
+    fn loop_dependent_conditions_stay_inside() {
+        let q = parse_xquery("{ for $x in $y/a return { if $x/b = 1 then {$x} } }").unwrap();
+        let h = hoist_ifs(&q);
+        // χ mentions $x: must not become a where-clause… it may, actually,
+        // since `where` sees $x too — but hoisting as written keeps it
+        // inside to avoid changing per-iteration evaluation order.
+        assert_eq!(h, q);
+    }
+
+    #[test]
+    fn different_conditions_do_not_fuse() {
+        let q = parse_xquery("{ if $a/x = 1 then <p> } { if $a/x = 2 then <q> }").unwrap();
+        assert_eq!(hoist_ifs(&q), q);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cardinality-based for-loop merging (paper, Section 7).
+//!
+//! The rewrite rule:
+//!
+//! ```text
+//! { for $x in $r/a return α } { for $x' in $r/a return β }
+//! ──────────────────────────────────────────────────────── (a ∈ ‖≤1_$r)
+//! { for $x in $r/a return α β[$x' := $x] }
+//! ```
+//!
+//! Sequences of for-loops iterating over singletons are a natural product of
+//! normalization (e.g. `{$b/publisher/name} {$b/publisher/address}`); merging
+//! them often removes the need to buffer the shared path entirely.
+
+use std::collections::HashMap;
+
+use flux_dtd::Dtd;
+use flux_query::{Expr, ROOT_VAR};
+
+use super::share::subst_var;
+use crate::flux::{production_of, DOC_ELEM};
+
+/// Merge consecutive singleton loops in a normalized expression.
+pub fn merge_singleton_loops(e: &Expr, dtd: &Dtd) -> Expr {
+    let mut var_elem = HashMap::from([(ROOT_VAR.to_string(), DOC_ELEM.to_string())]);
+    go(e, dtd, &mut var_elem)
+}
+
+fn go(e: &Expr, dtd: &Dtd, var_elem: &mut HashMap<String, String>) -> Expr {
+    match e {
+        Expr::Seq(items) => {
+            let mut out: Vec<Expr> = Vec::with_capacity(items.len());
+            for item in items {
+                let item = go(item, dtd, var_elem);
+                if let Some(prev) = out.last_mut() {
+                    if let Some(merged) = try_merge(prev, &item, dtd, var_elem) {
+                        *prev = go(&merged, dtd, var_elem);
+                        continue;
+                    }
+                }
+                out.push(item);
+            }
+            Expr::seq(out)
+        }
+        Expr::For { var, in_var, path, pred, body } => {
+            let prev = path
+                .single()
+                .map(|s| var_elem.insert(var.clone(), s.to_string()));
+            let new_body = go(body, dtd, var_elem);
+            if let Some(prev) = prev {
+                match prev {
+                    Some(el) => {
+                        var_elem.insert(var.clone(), el);
+                    }
+                    None => {
+                        var_elem.remove(var);
+                    }
+                }
+            }
+            Expr::For {
+                var: var.clone(),
+                in_var: in_var.clone(),
+                path: path.clone(),
+                pred: pred.clone(),
+                body: Box::new(new_body),
+            }
+        }
+        _ => e.clone(),
+    }
+}
+
+fn try_merge(
+    left: &Expr,
+    right: &Expr,
+    dtd: &Dtd,
+    var_elem: &HashMap<String, String>,
+) -> Option<Expr> {
+    let Expr::For { var: x1, in_var: r1, path: p1, pred: None, body: b1 } = left else {
+        return None;
+    };
+    let Expr::For { var: x2, in_var: r2, path: p2, pred: None, body: b2 } = right else {
+        return None;
+    };
+    if r1 != r2 || p1 != p2 {
+        return None;
+    }
+    let a = p1.single()?;
+    let elem = var_elem.get(r1)?;
+    let prod = production_of(dtd, elem)?;
+    if !(prod.has_symbol(a) && prod.card_le_1(a)) {
+        return None;
+    }
+    let renamed = subst_var(b2, x2, x1);
+    Some(Expr::For {
+        var: x1.clone(),
+        in_var: r1.clone(),
+        path: p1.clone(),
+        pred: None,
+        body: Box::new(Expr::seq([(**b1).clone(), renamed])),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_query::{normalize, parse_xquery};
+
+    const DTD: &str = "<!ELEMENT book (publisher,author*)>\
+        <!ELEMENT publisher (name,address)>\
+        <!ELEMENT name (#PCDATA)><!ELEMENT address (#PCDATA)><!ELEMENT author (#PCDATA)>";
+
+    #[test]
+    fn paper_example_merges_publisher_loops() {
+        // From Section 7: {$b/publisher/name} {$b/publisher/address} uses a
+        // sequence of two loops over publisher in its normal form, which can
+        // be rewritten into one.
+        let dtd = Dtd::parse_with_root(DTD, "book").unwrap();
+        let q = parse_xquery(
+            "{ for $b in $ROOT/book return {$b/publisher/name} {$b/publisher/address} }",
+        )
+        .unwrap();
+        let n = normalize(&q);
+        assert_eq!(n.to_string().matches("publisher return").count(), 2);
+        let m = merge_singleton_loops(&n, &dtd);
+        assert_eq!(m.to_string().matches("publisher return").count(), 1, "got: {m}");
+        assert!(flux_query::is_normal_form(&m), "merging preserves normal form: {m}");
+    }
+
+    #[test]
+    fn merging_preserves_semantics() {
+        let dtd = Dtd::parse_with_root(DTD, "book").unwrap();
+        let doc = flux_query::eval::wrap_document(
+            flux_xml::Node::parse_str(
+                "<book><publisher><name>N</name><address>A</address></publisher>\
+                 <author>X</author></book>",
+            )
+            .unwrap(),
+        );
+        let q = parse_xquery(
+            "{ for $b in $ROOT/book return {$b/publisher/name} {$b/publisher/address} }",
+        )
+        .unwrap();
+        let n = normalize(&q);
+        let m = merge_singleton_loops(&n, &dtd);
+        assert_eq!(
+            flux_query::eval_query(&n, &doc).unwrap(),
+            flux_query::eval_query(&m, &doc).unwrap()
+        );
+    }
+
+    #[test]
+    fn non_singleton_loops_do_not_merge() {
+        let dtd = Dtd::parse_with_root(DTD, "book").unwrap();
+        let q = parse_xquery("{ for $b in $ROOT/book return {$b/author} {$b/author} }").unwrap();
+        let n = normalize(&q);
+        let m = merge_singleton_loops(&n, &dtd);
+        assert_eq!(
+            m.to_string().matches("author return").count(),
+            2,
+            "author* may repeat; merging would change semantics: {m}"
+        );
+    }
+
+    #[test]
+    fn chains_of_three_merge_fully() {
+        let dtd = Dtd::parse_with_root(DTD, "book").unwrap();
+        let q = parse_xquery(
+            "{ for $b in $ROOT/book return {$b/publisher/name} {$b/publisher/address} {$b/publisher/name} }",
+        )
+        .unwrap();
+        let m = merge_singleton_loops(&normalize(&q), &dtd);
+        assert_eq!(m.to_string().matches("publisher return").count(), 1, "got: {m}");
+    }
+}

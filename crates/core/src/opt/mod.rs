@@ -1,0 +1,20 @@
+//! Algebraic query optimizations from the paper's Section 7 discussion.
+//!
+//! These passes use *cardinality constraints* `a ∈ ‖≤1_$r` derived from the
+//! DTD (an element has at most one `a` child) to simplify queries before —
+//! or, for [`hoist`], after — scheduling:
+//!
+//! * [`share`] — singleton descent sharing: a nested `for $x' in $y/a`
+//!   reuses an enclosing binding `for $x in $y/a` when `a` is a singleton
+//!   child; this roots the XMark join queries' second descent at the shared
+//!   `site` variable so the scheduler can see the ordering between the two
+//!   join sides (DESIGN.md §5.3).
+//! * [`merge`] — the paper's explicit rewrite rule: two consecutive loops
+//!   over the same singleton path fuse into one, often removing the need to
+//!   buffer that path.
+//! * [`hoist`] — push `if`-expressions back up the tree once the other
+//!   simplifications are done (inverse of normalization rule 5).
+
+pub mod hoist;
+pub mod merge;
+pub mod share;

@@ -1,0 +1,265 @@
+//! Singleton descent sharing.
+//!
+//! After normalization, every absolute path in the original query has become
+//! a chain of fresh single-step loops from `$ROOT`. Two descents to
+//! `/site/closed_auctions` therefore use *different* variables, hiding their
+//! relationship from `dependencies` — the scheduler would defer the inner
+//! loop at the wrong scope. When the DTD proves `a ∈ ‖≤1_$y`, an inner
+//! `{for $x' in $y/a return γ}` appearing below an enclosing
+//! `{for $x in $y/a return …}` denotes the *same* unique node, so it can be
+//! replaced by `γ[$x' := $x]`. This is exactly the paper's Section 7
+//! cardinality reasoning; without it Q8/Q11 cannot be given the plans the
+//! paper measures.
+
+use std::collections::HashMap;
+
+use flux_dtd::Dtd;
+use flux_query::{Expr, ROOT_VAR};
+
+use crate::flux::{production_of, DOC_ELEM};
+
+/// Apply singleton descent sharing to a normalized expression.
+pub fn share_singletons(e: &Expr, dtd: &Dtd) -> Expr {
+    let mut scope = Scope {
+        dtd,
+        var_elem: HashMap::from([(ROOT_VAR.to_string(), DOC_ELEM.to_string())]),
+        bindings: HashMap::new(),
+    };
+    go(e, &mut scope)
+}
+
+struct Scope<'d> {
+    dtd: &'d Dtd,
+    /// Element each variable ranges over.
+    var_elem: HashMap<String, String>,
+    /// (in_var, step) → already-bound variable for that unique child.
+    bindings: HashMap<(String, String), String>,
+}
+
+impl Scope<'_> {
+    fn is_singleton(&self, in_var: &str, step: &str) -> bool {
+        let Some(elem) = self.var_elem.get(in_var) else { return false };
+        let Some(prod) = production_of(self.dtd, elem) else { return false };
+        prod.has_symbol(step) && prod.card_le_1(step)
+    }
+}
+
+fn go(e: &Expr, scope: &mut Scope<'_>) -> Expr {
+    match e {
+        Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } | Expr::OutputPath { .. } | Expr::If { .. } => {
+            e.clone()
+        }
+        Expr::Seq(items) => Expr::seq(items.iter().map(|i| go(i, scope)).collect::<Vec<_>>()),
+        Expr::For { var, in_var, path, pred, body } => {
+            let step = path.single();
+            // Reuse an enclosing binding of the same unique child.
+            if pred.is_none() {
+                if let Some(step) = step {
+                    if let Some(existing) = scope.bindings.get(&(in_var.clone(), step.to_string()))
+                    {
+                        if existing != var && scope.is_singleton(in_var, step) {
+                            let renamed = subst_var(body, var, existing);
+                            return go(&renamed, scope);
+                        }
+                    }
+                }
+            }
+            // Otherwise descend, registering this binding for the body.
+            let key = step.map(|s| (in_var.clone(), s.to_string()));
+            let prev_binding = key
+                .as_ref()
+                .map(|k| scope.bindings.insert(k.clone(), var.clone()));
+            let prev_elem = step.map(|s| scope.var_elem.insert(var.clone(), s.to_string()));
+            let new_body = go(body, scope);
+            if let (Some(k), Some(prev)) = (&key, prev_binding) {
+                match prev {
+                    Some(v) => {
+                        scope.bindings.insert(k.clone(), v);
+                    }
+                    None => {
+                        scope.bindings.remove(k);
+                    }
+                }
+            }
+            if let Some(prev) = prev_elem {
+                match prev {
+                    Some(el) => {
+                        scope.var_elem.insert(var.clone(), el);
+                    }
+                    None => {
+                        scope.var_elem.remove(var);
+                    }
+                }
+            }
+            Expr::For {
+                var: var.clone(),
+                in_var: in_var.clone(),
+                path: path.clone(),
+                pred: pred.clone(),
+                body: Box::new(new_body),
+            }
+        }
+    }
+}
+
+/// Rename free occurrences of variable `from` to `to` (stopping at
+/// rebindings of `from`).
+pub fn subst_var(e: &Expr, from: &str, to: &str) -> Expr {
+    match e {
+        Expr::Empty | Expr::Str(_) => e.clone(),
+        Expr::OutputVar { var } => Expr::OutputVar {
+            var: if var == from { to.to_string() } else { var.clone() },
+        },
+        Expr::OutputPath { var, path } => Expr::OutputPath {
+            var: if var == from { to.to_string() } else { var.clone() },
+            path: path.clone(),
+        },
+        Expr::Seq(items) => Expr::Seq(items.iter().map(|i| subst_var(i, from, to)).collect()),
+        Expr::If { cond, body } => Expr::If {
+            cond: subst_cond(cond, from, to),
+            body: Box::new(subst_var(body, from, to)),
+        },
+        Expr::For { var, in_var, path, pred, body } => {
+            let new_in = if in_var == from { to.to_string() } else { in_var.clone() };
+            if var == from {
+                // `from` is rebound below: predicate and body see the new
+                // binding, only the source variable is renamed.
+                Expr::For {
+                    var: var.clone(),
+                    in_var: new_in,
+                    path: path.clone(),
+                    pred: pred.clone(),
+                    body: body.clone(),
+                }
+            } else {
+                Expr::For {
+                    var: var.clone(),
+                    in_var: new_in,
+                    path: path.clone(),
+                    pred: pred.as_ref().map(|c| subst_cond(c, from, to)),
+                    body: Box::new(subst_var(body, from, to)),
+                }
+            }
+        }
+    }
+}
+
+fn subst_cond(c: &flux_query::Cond, from: &str, to: &str) -> flux_query::Cond {
+    use flux_query::{Atom, CmpRhs, Cond};
+    let fix = |p: &flux_query::PathRef| flux_query::PathRef {
+        var: if p.var == from { to.to_string() } else { p.var.clone() },
+        path: p.path.clone(),
+    };
+    match c {
+        Cond::True => Cond::True,
+        Cond::And(a, b) => Cond::And(
+            Box::new(subst_cond(a, from, to)),
+            Box::new(subst_cond(b, from, to)),
+        ),
+        Cond::Or(a, b) => Cond::Or(
+            Box::new(subst_cond(a, from, to)),
+            Box::new(subst_cond(b, from, to)),
+        ),
+        Cond::Not(x) => Cond::Not(Box::new(subst_cond(x, from, to))),
+        Cond::Atom(Atom::Exists(p)) => Cond::Atom(Atom::Exists(fix(p))),
+        Cond::Atom(Atom::Cmp { left, op, right }) => Cond::Atom(Atom::Cmp {
+            left: fix(left),
+            op: *op,
+            right: match right {
+                CmpRhs::Const(s) => CmpRhs::Const(s.clone()),
+                CmpRhs::Path(p) => CmpRhs::Path(fix(p)),
+                CmpRhs::Scaled { factor, path } => {
+                    CmpRhs::Scaled { factor: *factor, path: fix(path) }
+                }
+            },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_query::{normalize, parse_xquery};
+
+    const DTD: &str = "<!ELEMENT site (people,auctions)>\
+        <!ELEMENT people (person*)><!ELEMENT auctions (auction*)>\
+        <!ELEMENT person (name)><!ELEMENT auction (price)>\
+        <!ELEMENT name (#PCDATA)><!ELEMENT price (#PCDATA)>";
+
+    #[test]
+    fn second_descent_reuses_site_variable() {
+        let dtd = Dtd::parse(DTD).unwrap();
+        let q = parse_xquery(
+            "{ for $p in /site/people/person return \
+               { for $a in /site/auctions/auction where $a/price = $p/name return {$a} } }",
+        )
+        .unwrap();
+        let n = normalize(&q);
+        let shared = share_singletons(&n, &dtd);
+        let s = shared.to_string();
+        // Exactly one loop over `site` must remain.
+        assert_eq!(s.matches("in $ROOT/site").count(), 1, "got: {s}");
+        // The inner descent reuses the outer site variable.
+        assert!(s.contains("/auctions"), "got: {s}");
+        let outer_var = {
+            let Expr::For { var, .. } = &shared else { panic!("{s}") };
+            var.clone()
+        };
+        assert!(s.contains(&format!("in ${outer_var}/auctions")), "got: {s}");
+    }
+
+    #[test]
+    fn non_singleton_paths_are_not_shared() {
+        let dtd = Dtd::parse(DTD).unwrap();
+        let q = parse_xquery(
+            "{ for $p in /site/people/person return \
+               { for $q in $ROOT/site return {$q/people} } }",
+        )
+        .unwrap();
+        // `site` is a singleton → shared. But person loops must never merge:
+        let q2 = parse_xquery(
+            "{ for $a in $ROOT/site return { for $p in $a/people return \
+               { for $x in $p/person return { for $y in $p/person return <z/> } } } }",
+        )
+        .unwrap();
+        let n2 = normalize(&q2);
+        let shared2 = share_singletons(&n2, &dtd);
+        assert_eq!(shared2.to_string().matches("/person return").count(), 2);
+        let n = normalize(&q);
+        let shared = share_singletons(&n, &dtd);
+        assert_eq!(shared.to_string().matches("in $ROOT/site").count(), 1);
+    }
+
+    #[test]
+    fn sharing_preserves_semantics() {
+        let dtd = Dtd::parse(DTD).unwrap();
+        let doc = flux_query::eval::wrap_document(
+            flux_xml::Node::parse_str(
+                "<site><people><person><name>7</name></person><person><name>9</name></person></people>\
+                 <auctions><auction><price>7</price></auction><auction><price>8</price></auction></auctions></site>",
+            )
+            .unwrap(),
+        );
+        let q = parse_xquery(
+            "{ for $p in /site/people/person return \
+               { for $a in /site/auctions/auction where $a/price = $p/name return {$a} } }",
+        )
+        .unwrap();
+        let n = normalize(&q);
+        let shared = share_singletons(&n, &dtd);
+        assert_eq!(
+            flux_query::eval_query(&n, &doc).unwrap(),
+            flux_query::eval_query(&shared, &doc).unwrap()
+        );
+    }
+
+    #[test]
+    fn subst_respects_rebinding() {
+        let e = parse_xquery("{ for $x in $y/a return {$x} } {$x}").unwrap();
+        let r = subst_var(&e, "x", "z");
+        assert_eq!(r.to_string(), "{ for $x in $y/a return {$x} }{$z}");
+        let e2 = parse_xquery("{ for $w in $x/a where $x/b = 1 return {$x} }").unwrap();
+        let r2 = subst_var(&e2, "x", "z");
+        assert_eq!(r2.to_string(), "{ for $w in $z/a where $z/b = 1 return {$z} }");
+    }
+}

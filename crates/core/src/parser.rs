@@ -1,0 +1,286 @@
+//! Parser for FluX concrete syntax (Definition 3.3).
+//!
+//! Builds on `flux-query`'s [`Cursor`] and XQuery− sub-parsers, adding the
+//! `process-stream`/`ps` construct with its handler list. FluX expressions
+//! have the shape `s { ps $y: ζ } s'` or are simple XQuery− expressions;
+//! handler bodies end at `;` or at the enclosing `}`.
+
+use flux_query::parser::{parse_brace_expr, parse_mixed, ParseError};
+use flux_query::{Cursor, Expr};
+
+use crate::flux::{FluxExpr, Handler, PastSpec};
+
+/// Parse a FluX expression (the paper's syntax; `ps` and `process-stream`
+/// are interchangeable).
+pub fn parse_flux(src: &str) -> Result<FluxExpr, ParseError> {
+    let mut cur = Cursor::new(src);
+    let e = parse_flux_expr(&mut cur, &[])?;
+    cur.skip_ws();
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after FluX expression"));
+    }
+    Ok(e)
+}
+
+/// Parse a FluX expression up to (not consuming) any of `stops` at this
+/// nesting level.
+fn parse_flux_expr(cur: &mut Cursor<'_>, stops: &[char]) -> Result<FluxExpr, ParseError> {
+    // A FluX expression is a mixed sequence where at most one brace block is
+    // a `process-stream`; everything around it must be strings (Def. 3.3) or
+    // a simple XQuery− expression when no `ps` occurs.
+    let mut pre: Vec<Expr> = Vec::new();
+    let mut ps: Option<FluxExpr> = None;
+    let mut post: Vec<Expr> = Vec::new();
+
+    loop {
+        cur.skip_ws();
+        match cur.peek() {
+            None => break,
+            Some(c) if stops.contains(&c) => break,
+            Some('}') => break,
+            Some('{') if at_ps(cur) => {
+                if ps.is_some() {
+                    return Err(cur.error("at most one process-stream per FluX expression"));
+                }
+                ps = Some(parse_ps(cur)?);
+            }
+            Some(_) => {
+                // Literal text or an XQuery− brace expression; collect via
+                // the XQuery− mixed parser, stopping at `{` of a ps, `;`, or
+                // `}`. parse_mixed cannot stop *inside* braces, so scan
+                // piecewise.
+                let piece = parse_piece(cur, stops)?;
+                match piece {
+                    Some(e) => {
+                        if ps.is_none() {
+                            pre.push(e);
+                        } else {
+                            post.push(e);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    match ps {
+        None => Ok(FluxExpr::Simple(Expr::seq(pre))),
+        Some(FluxExpr::PS { var, handlers, .. }) => {
+            let pre_s = exprs_to_string(pre, cur)?;
+            let post_s = exprs_to_string(post, cur)?;
+            Ok(FluxExpr::PS { pre: pre_s, var, handlers, post: post_s })
+        }
+        Some(other) => Ok(other),
+    }
+}
+
+/// One literal chunk or one non-ps brace expression; `None` when positioned
+/// at a stop.
+fn parse_piece(cur: &mut Cursor<'_>, stops: &[char]) -> Result<Option<Expr>, ParseError> {
+    cur.skip_ws();
+    match cur.peek() {
+        None => Ok(None),
+        Some(c) if stops.contains(&c) || c == '}' => Ok(None),
+        Some('{') => Ok(Some(parse_brace_expr(cur)?)),
+        Some(_) => {
+            let mut lit = String::new();
+            while let Some(c) = cur.peek() {
+                if c == '{' || c == '}' || stops.contains(&c) {
+                    break;
+                }
+                lit.push(c);
+                cur.bump();
+            }
+            let trimmed = lit.trim();
+            if trimmed.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(Expr::Str(trimmed.to_string())))
+            }
+        }
+    }
+}
+
+/// Do the next tokens start a `{ ps …` / `{ process-stream …` block?
+fn at_ps(cur: &Cursor<'_>) -> bool {
+    let mut probe = cur.clone();
+    probe.expect_char('{').is_ok()
+        && (probe.eat_keyword("process-stream") || probe.eat_keyword("ps"))
+}
+
+/// Definition 3.3 requires the text around a `process-stream` to be plain
+/// strings.
+fn exprs_to_string(items: Vec<Expr>, cur: &Cursor<'_>) -> Result<Option<String>, ParseError> {
+    if items.is_empty() {
+        return Ok(None);
+    }
+    let mut out = String::new();
+    for (i, e) in items.iter().enumerate() {
+        match e {
+            Expr::Str(s) => {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(s);
+            }
+            other => {
+                return Err(cur.error(format!(
+                    "only strings may surround a process-stream (found `{other}`)"
+                )))
+            }
+        }
+    }
+    Ok(Some(out))
+}
+
+fn parse_ps(cur: &mut Cursor<'_>) -> Result<FluxExpr, ParseError> {
+    cur.expect_char('{')?;
+    if !(cur.eat_keyword("process-stream") || cur.eat_keyword("ps")) {
+        return Err(cur.error("expected `process-stream`"));
+    }
+    let var = cur.parse_var()?;
+    cur.expect_char(':')?;
+    let mut handlers = Vec::new();
+    loop {
+        handlers.push(parse_handler(cur)?);
+        if cur.eat_char(';') {
+            continue;
+        }
+        break;
+    }
+    cur.expect_char('}')?;
+    Ok(FluxExpr::ps(var, handlers))
+}
+
+fn parse_handler(cur: &mut Cursor<'_>) -> Result<Handler, ParseError> {
+    if cur.eat_keyword("on-first") {
+        if !cur.eat_keyword("past") {
+            return Err(cur.error("expected `past(…)` after `on-first`"));
+        }
+        cur.expect_char('(')?;
+        let past = if cur.eat_char('*') {
+            PastSpec::All
+        } else {
+            let mut names = std::collections::BTreeSet::new();
+            cur.skip_ws();
+            if cur.peek() != Some(')') {
+                loop {
+                    names.insert(cur.parse_name()?);
+                    if cur.eat_char(',') {
+                        continue;
+                    }
+                    break;
+                }
+            }
+            PastSpec::Set(names)
+        };
+        cur.expect_char(')')?;
+        if !cur.eat_keyword("return") {
+            return Err(cur.error("expected `return` in on-first handler"));
+        }
+        let expr = parse_mixed(cur, &[';'])?;
+        Ok(Handler::OnFirst { past, expr })
+    } else if cur.eat_keyword("on") {
+        let label = cur.parse_name()?;
+        if !cur.eat_keyword("as") {
+            return Err(cur.error("expected `as` in on handler"));
+        }
+        let var = cur.parse_var()?;
+        if !cur.eat_keyword("return") {
+            return Err(cur.error("expected `return` in on handler"));
+        }
+        let body = parse_flux_expr(cur, &[';'])?;
+        Ok(Handler::On { label, var, body: Box::new(body) })
+    } else {
+        Err(cur.error("expected `on` or `on-first` handler"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_expression() {
+        let e = parse_flux("<a>{$x}</a>").unwrap();
+        assert!(matches!(e, FluxExpr::Simple(_)));
+    }
+
+    #[test]
+    fn intro_first_flux_query() {
+        // The event-based formulation of XMP Q3 from Section 1.
+        let q = parse_flux(
+            "<results>\
+             { process-stream $ROOT: on bib as $bib return\
+               { process-stream $bib: on book as $book return\
+                 <result>\
+                 { process-stream $book:\
+                    on title as $t return {$t};\
+                    on-first past(title,author) return\
+                      { for $a in $book/author return {$a} } }\
+                 </result> } }\
+             </results>",
+        )
+        .unwrap();
+        let FluxExpr::PS { pre, var, handlers, .. } = &q else { panic!() };
+        assert_eq!(pre.as_deref(), Some("<results>"));
+        assert_eq!(var, "ROOT");
+        assert_eq!(handlers.len(), 1);
+        let Handler::On { label, body, .. } = &handlers[0] else { panic!() };
+        assert_eq!(label, "bib");
+        let FluxExpr::PS { handlers: h2, .. } = &**body else { panic!() };
+        let Handler::On { body: book_body, .. } = &h2[0] else { panic!() };
+        let FluxExpr::PS { pre, handlers: h3, post, .. } = &**book_body else { panic!() };
+        assert_eq!(pre.as_deref(), Some("<result>"));
+        assert_eq!(post.as_deref(), Some("</result>"));
+        assert_eq!(h3.len(), 2);
+        assert!(matches!(&h3[0], Handler::On { label, .. } if label == "title"));
+        let Handler::OnFirst { past, .. } = &h3[1] else { panic!() };
+        assert_eq!(past, &PastSpec::set(["title", "author"]));
+    }
+
+    #[test]
+    fn past_variants() {
+        let q = parse_flux("{ ps $x: on-first past(*) return <a>; on-first past() return <b> }").unwrap();
+        let FluxExpr::PS { handlers, .. } = &q else { panic!() };
+        assert!(matches!(&handlers[0], Handler::OnFirst { past: PastSpec::All, .. }));
+        assert!(matches!(&handlers[1], Handler::OnFirst { past: PastSpec::Set(s), .. } if s.is_empty()));
+    }
+
+    #[test]
+    fn handler_list_order_preserved() {
+        let q = parse_flux(
+            "{ps $ROOT: on-first past() return <results>; on bib as $bib return {$bib}; \
+             on-first past(bib) return </results> }",
+        )
+        .unwrap();
+        let FluxExpr::PS { handlers, .. } = &q else { panic!() };
+        assert_eq!(handlers.len(), 3);
+        assert!(matches!(&handlers[0], Handler::OnFirst { .. }));
+        assert!(matches!(&handlers[1], Handler::On { .. }));
+        assert!(matches!(&handlers[2], Handler::OnFirst { .. }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_flux("{ ps $x on a as $y return {$y} }").is_err()); // missing ':'
+        assert!(parse_flux("{ ps $x: on a return {$y} }").is_err()); // missing as
+        assert!(parse_flux("{ ps $x: on-first return <a> }").is_err()); // missing past
+        assert!(parse_flux("{ ps $x: }").is_err()); // no handlers
+        assert!(parse_flux("{$a} { ps $x: on-first past() return <a> }").is_err()); // non-string around ps
+        assert!(parse_flux("{ps $x: on-first past() return <a>} {ps $y: on-first past() return <b>}").is_err());
+    }
+
+    #[test]
+    fn nested_ps_in_on_handler_body() {
+        let q = parse_flux(
+            "{ ps $bib: on article as $article return \
+               { ps $article: on-first past(author) return { for $b in $bib/book return {$b} } } }",
+        )
+        .unwrap();
+        let FluxExpr::PS { handlers, .. } = &q else { panic!() };
+        let Handler::On { body, .. } = &handlers[0] else { panic!() };
+        assert!(matches!(&**body, FluxExpr::PS { .. }));
+    }
+}

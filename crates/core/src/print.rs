@@ -1,0 +1,82 @@
+//! Concrete-syntax printing for FluX expressions (the paper's notation,
+//! using the `ps` shorthand for `process-stream`).
+
+use std::fmt;
+
+use crate::flux::{FluxExpr, Handler, PastSpec};
+
+impl fmt::Display for PastSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PastSpec::All => f.write_str("past(*)"),
+            PastSpec::Set(s) => {
+                f.write_str("past(")?;
+                for (i, name) in s.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    f.write_str(name)?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Handler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Handler::OnFirst { past, expr } => write!(f, "on-first {past} return {expr}"),
+            Handler::On { label, var, body } => write!(f, "on {label} as ${var} return {body}"),
+        }
+    }
+}
+
+impl fmt::Display for FluxExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FluxExpr::Simple(e) => write!(f, "{e}"),
+            FluxExpr::PS { pre, var, handlers, post } => {
+                if let Some(s) = pre {
+                    write!(f, "{s} ")?;
+                }
+                write!(f, "{{ ps ${var}:")?;
+                for (i, h) in handlers.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(";")?;
+                    }
+                    write!(f, " {h}")?;
+                }
+                f.write_str(" }")?;
+                if let Some(s) = post {
+                    write!(f, " {s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_flux;
+
+    #[track_caller]
+    fn roundtrip(src: &str) {
+        let e = parse_flux(src).unwrap();
+        let printed = e.to_string();
+        let back = parse_flux(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        assert_eq!(back, e, "printed: {printed}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("{ ps $ROOT: on-first past(*) return <done> }");
+        roundtrip("{ ps $ROOT: on-first past() return <results>; on bib as $bib return { ps $bib: on book as $b return {$b} }; on-first past(bib) return </results> }");
+        roundtrip("<results> { ps $ROOT: on a as $x return {$x} } </results>");
+        roundtrip(
+            "{ ps $b: on title as $t return {$t}; on-first past(author,title) return { for $a in $b/author return {$a} } }",
+        );
+    }
+}

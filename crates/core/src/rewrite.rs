@@ -1,0 +1,403 @@
+//! The scheduling algorithm: rewriting normalized XQuery− into safe FluX
+//! (paper, Figure 2 and Theorem 4.3).
+//!
+//! Given the DTD, a for-loop over `$x/a` becomes a streaming `on a` handler
+//! exactly when every dependency of its body is guaranteed (by order
+//! constraints) to be past once `a` children arrive; otherwise an
+//! `on-first past(X)` handler defers it until the buffered data is complete.
+//!
+//! One membership detail (motivating Example 4.6 / F′3): line 30's test
+//! `¬Ord_$x(b,a)` is evaluated as *"b may still be pending"*:
+//! `b ∈ symb($x) ∧ (a ∉ symb($x) ∨ ¬Ord_$x(b,a))`. Symbols that can never
+//! occur among `$x`'s children are never waited for, and a loop step that is
+//! not a child of `$x` (because the loop ranges over another variable's
+//! path) yields no ordering information, so every dependency must be waited
+//! for. This reproduces all the paper's example rewrites, including
+//! `past(author)` in F′3.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use flux_dtd::{Dtd, Production};
+use flux_query::{normalize, Expr, ROOT_VAR};
+
+use crate::deps::{dependencies, hsymb};
+use crate::flux::{production_of, FluxExpr, Handler, PastSpec, DOC_ELEM};
+use crate::opt;
+use crate::safety::check_safety;
+
+/// Options controlling the rewrite pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Apply singleton descent sharing before scheduling (Section 7
+    /// cardinality constraints; required for the XMark join queries to be
+    /// scheduled under their common `site` scope — see DESIGN.md §5.3).
+    pub share_singletons: bool,
+    /// Merge consecutive for-loops over the same singleton path
+    /// (the Section 7 rewrite rule).
+    pub merge_singleton_loops: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions { share_singletons: true, merge_singleton_loops: false }
+    }
+}
+
+/// Rewrite failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteError {
+    /// Input query was not (or could not be) normalized.
+    NotNormalized(String),
+    /// Internal invariant broken: Theorem 4.3 guarantees this cannot happen
+    /// for normalized XQuery− queries; reported rather than panicking so
+    /// fuzzing can exercise the checker.
+    Unsafe(String),
+    /// A sequence member did not rewrite to a `process-stream` expression.
+    Internal(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::NotNormalized(m) => write!(f, "query not in normal form: {m}"),
+            RewriteError::Unsafe(m) => write!(f, "rewrite produced an unsafe query (bug): {m}"),
+            RewriteError::Internal(m) => write!(f, "internal rewrite error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Normalize `q`, apply the configured algebraic pre-passes, run the
+/// Figure 2 algorithm, and verify safety of the result (Definition 3.6).
+pub fn rewrite_query_with(
+    q: &Expr,
+    dtd: &Dtd,
+    opts: RewriteOptions,
+) -> Result<FluxExpr, RewriteError> {
+    let mut n = normalize(q);
+    if opts.share_singletons {
+        n = opt::share::share_singletons(&n, dtd);
+    }
+    if opts.merge_singleton_loops {
+        n = opt::merge::merge_singleton_loops(&n, dtd);
+    }
+    let flux = rewrite_normalized(&n, dtd)?;
+    check_safety(&flux, dtd).map_err(|v| RewriteError::Unsafe(v.to_string()))?;
+    Ok(flux)
+}
+
+/// [`rewrite_query_with`] with default options.
+pub fn rewrite_query(q: &Expr, dtd: &Dtd) -> Result<FluxExpr, RewriteError> {
+    rewrite_query_with(q, dtd, RewriteOptions::default())
+}
+
+/// The raw Figure 2 algorithm on an already-normalized query (no pre-passes,
+/// no post-hoc safety check). `rewrite($ROOT, ∅, Q)` in the paper's
+/// notation.
+pub fn rewrite_normalized(q: &Expr, dtd: &Dtd) -> Result<FluxExpr, RewriteError> {
+    let mut ctx = Ctx { dtd, var_elem: HashMap::new() };
+    ctx.var_elem.insert(ROOT_VAR.to_string(), DOC_ELEM.to_string());
+    rw(&mut ctx, ROOT_VAR, &BTreeSet::new(), q)
+}
+
+struct Ctx<'d> {
+    dtd: &'d Dtd,
+    /// Which element's production each in-scope variable ranges over.
+    var_elem: HashMap<String, String>,
+}
+
+impl<'d> Ctx<'d> {
+    fn prod_of_var(&self, var: &str) -> Option<&'d Production> {
+        let elem = self.var_elem.get(var)?;
+        production_of(self.dtd, elem)
+    }
+}
+
+fn rw(
+    ctx: &mut Ctx<'_>,
+    x: &str,
+    h: &BTreeSet<String>,
+    beta: &Expr,
+) -> Result<FluxExpr, RewriteError> {
+    // Line 5: {$x} ⊑ β.
+    if beta.contains_output_var(x) {
+        if beta.is_simple() && dependencies(x, beta).is_empty() {
+            return Ok(FluxExpr::Simple(beta.clone()));
+        }
+        return Ok(FluxExpr::ps(
+            x,
+            vec![Handler::OnFirst { past: PastSpec::All, expr: beta.clone() }],
+        ));
+    }
+
+    // Line 14: β = β1 β2.
+    if let Expr::Seq(items) = beta {
+        debug_assert!(items.len() >= 2, "Expr::seq canonicalizes singleton sequences");
+        let beta1 = items[0].clone();
+        let beta2 = Expr::seq(items[1..].to_vec());
+        let r1 = rw(ctx, x, h, &beta1)?;
+        let FluxExpr::PS { handlers: z1, .. } = r1 else {
+            return Err(RewriteError::Internal(format!(
+                "sequence member `{beta1}` did not rewrite to a process-stream"
+            )));
+        };
+        let mut h2 = h.clone();
+        h2.extend(hsymb(&z1));
+        let r2 = rw(ctx, x, &h2, &beta2)?;
+        let FluxExpr::PS { handlers: z2, .. } = r2 else {
+            return Err(RewriteError::Internal(format!(
+                "sequence member `{beta2}` did not rewrite to a process-stream"
+            )));
+        };
+        let mut handlers = z1;
+        handlers.extend(z2);
+        return Ok(FluxExpr::ps(x, handlers));
+    }
+
+    // Line 22: β simple (here: a string, ε, or {if χ then s}).
+    if beta.is_simple() {
+        let mut past = dependencies(x, beta);
+        past.extend(h.iter().cloned());
+        return Ok(FluxExpr::ps(
+            x,
+            vec![Handler::OnFirst { past: PastSpec::Set(past), expr: beta.clone() }],
+        ));
+    }
+
+    // Line 27: β = { for $y in $z/a return α }.
+    if let Expr::For { var: y, in_var: z, path, pred, body: alpha } = beta {
+        if pred.is_some() {
+            return Err(RewriteError::NotNormalized(format!(
+                "conditional for-loop survived normalization: {beta}"
+            )));
+        }
+        let Some(a) = path.single() else {
+            return Err(RewriteError::NotNormalized(format!(
+                "multi-step loop path survived normalization: {beta}"
+            )));
+        };
+
+        // Line 30: X = {b ∈ dependencies($x, α) ∪ H | b may still be
+        // pending once `a`-children arrive}.
+        let x_prod = ctx.prod_of_var(x);
+        let mut dep_set = dependencies(x, alpha);
+        dep_set.extend(h.iter().cloned());
+        let x_set: BTreeSet<String> = match x_prod {
+            Some(p) => {
+                let a_known = p.has_symbol(a);
+                dep_set
+                    .into_iter()
+                    .filter(|b| p.has_symbol(b) && (!a_known || !p.ord(b, a)))
+                    .collect()
+            }
+            // Unknown production: no order information at all; wait for
+            // everything that was collected.
+            None => dep_set,
+        };
+
+        if z != x {
+            return Ok(FluxExpr::ps(
+                x,
+                vec![Handler::OnFirst { past: PastSpec::Set(x_set), expr: beta.clone() }],
+            ));
+        }
+        if !x_set.is_empty() {
+            let mut past = x_set;
+            past.insert(a.to_string());
+            return Ok(FluxExpr::ps(
+                x,
+                vec![Handler::OnFirst { past: PastSpec::Set(past), expr: beta.clone() }],
+            ));
+        }
+        // Lines 36–39: a streaming `on` handler.
+        let shadowed = ctx.var_elem.insert(y.clone(), a.to_string());
+        let alpha2 = rw(ctx, y, &BTreeSet::new(), alpha)?;
+        match shadowed {
+            Some(prev) => {
+                ctx.var_elem.insert(y.clone(), prev);
+            }
+            None => {
+                ctx.var_elem.remove(y);
+            }
+        }
+        return Ok(FluxExpr::ps(
+            x,
+            vec![Handler::On { label: a.to_string(), var: y.clone(), body: Box::new(alpha2) }],
+        ));
+    }
+
+    Err(RewriteError::NotNormalized(format!("unexpected expression form: {beta}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_query::parse_xquery;
+
+    const BIB_WEAK: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+    const BIB_ORDERED: &str = "<!ELEMENT bib (book)*><!ELEMENT book (author*,title*)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+    const BIB_STRONG: &str = "<!ELEMENT bib (book)*>\
+        <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+        <!ELEMENT publisher (#PCDATA)><!ELEMENT price (#PCDATA)>";
+
+    const XMP_Q2: &str = "<results>\
+        { for $bib in $ROOT/bib return \
+          { for $b in $bib/book return \
+            { for $t in $b/title return \
+              { for $a in $b/author return \
+                <result> {$t} {$a} </result> } } } }\
+        </results>";
+
+    #[track_caller]
+    fn rw_ok(q: &str, dtd: &str) -> FluxExpr {
+        let dtd = Dtd::parse(dtd).unwrap();
+        let q = parse_xquery(q).unwrap();
+        rewrite_query(&q, &dtd).unwrap()
+    }
+
+    #[test]
+    fn example_3_4_trivial_rewrite_shape() {
+        // Every XQuery− query is equivalent to {ps $ROOT: on-first past(*)
+        // return α}; line 5/10 produce exactly this when {$ROOT} occurs.
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let q = parse_xquery("{$ROOT} {$ROOT}").unwrap();
+        let f = rewrite_query(&q, &dtd).unwrap();
+        let FluxExpr::PS { handlers, .. } = &f else { panic!("{f}") };
+        assert_eq!(handlers.len(), 1);
+        assert!(matches!(&handlers[0], Handler::OnFirst { past: PastSpec::All, .. }));
+    }
+
+    #[test]
+    fn example_4_4_weak_dtd_buffers_title_and_author() {
+        // Figure F2: under the weak DTD the title×author loop nest is
+        // deferred with past(author,title) inside the book scope.
+        let f = rw_ok(XMP_Q2, BIB_WEAK);
+        let s = f.to_string();
+        assert!(s.contains("on-first past() return <results>"), "got: {s}");
+        assert!(s.contains("on bib as $bib"), "got: {s}");
+        assert!(s.contains("on book as $b"), "got: {s}");
+        assert!(s.contains("on-first past(author,title) return"), "got: {s}");
+        assert!(s.contains("on-first past(bib) return </results>"), "got: {s}");
+        assert_eq!(f.on_first_count(), 3);
+    }
+
+    #[test]
+    fn example_4_4_ordered_dtd_streams_titles() {
+        // Figure F2′: with Ord(author,title), titles stream via an `on`
+        // handler whose body buffers one title at a time (past(*)).
+        let f = rw_ok(XMP_Q2, BIB_ORDERED);
+        let s = f.to_string();
+        assert!(s.contains("on title as $t return { ps $t: on-first past(*) return"), "got: {s}");
+        assert!(!s.contains("past(author,title)"), "got: {s}");
+    }
+
+    #[test]
+    fn example_4_5_q1_weak_and_ordered() {
+        let q1 = "<bib>{ for $b in $ROOT/bib/book \
+            where $b/publisher = \"Addison-Wesley\" and $b/year > 1991 \
+            return <book> {$b/year} {$b/title} </book> }</bib>";
+        let weak = "<!ELEMENT bib (book)*><!ELEMENT book (title|publisher|year)*>\
+            <!ELEMENT title (#PCDATA)><!ELEMENT publisher (#PCDATA)><!ELEMENT year (#PCDATA)>";
+        let f = rw_ok(q1, weak);
+        let s = f.to_string();
+        // F1: the title loop waits for past(publisher,title,year).
+        assert!(s.contains("past(publisher,title,year)"), "got: {s}");
+        assert!(s.contains("past(publisher,year)"), "got: {s}");
+
+        // With Ord(year,title) and Ord(publisher,title) titles stream:
+        let ordered = "<!ELEMENT bib (book)*><!ELEMENT book ((publisher|year)*,title*)>\
+            <!ELEMENT title (#PCDATA)><!ELEMENT publisher (#PCDATA)><!ELEMENT year (#PCDATA)>";
+        let f2 = rw_ok(q1, ordered);
+        let s2 = f2.to_string();
+        assert!(s2.contains("on title as $title return"), "got: {s2}");
+        assert!(!s2.contains("for $title"), "titles must stream, not loop over buffers: {s2}");
+    }
+
+    #[test]
+    fn example_4_6_join_weak_and_ordered() {
+        let q3 = "<results>\
+            { for $bib in $ROOT/bib return \
+              { for $article in $bib/article return \
+                { for $book in $bib/book \
+                  where $article/author = $book/editor return \
+                  <result> {$article/author} </result> } } }\
+            </results>";
+        let dtd_unordered = "<!ELEMENT bib (book|article)*>\
+            <!ELEMENT book (title,(author+|editor+),publisher)>\
+            <!ELEMENT article (title,author+,journal)>\
+            <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+            <!ELEMENT publisher (#PCDATA)><!ELEMENT journal (#PCDATA)>";
+        let f3 = rw_ok(q3, dtd_unordered);
+        let s3 = f3.to_string();
+        // F3: everything buffered under $bib with past(article,book).
+        assert!(s3.contains("ps $bib: on-first past(article,book) return"), "got: {s3}");
+
+        let dtd_ordered = "<!ELEMENT bib (book*,article*)>\
+            <!ELEMENT book (title,(author+|editor+),publisher)>\
+            <!ELEMENT article (title,author+,journal)>\
+            <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+            <!ELEMENT publisher (#PCDATA)><!ELEMENT journal (#PCDATA)>";
+        let f3p = rw_ok(q3, dtd_ordered);
+        let s3p = f3p.to_string();
+        // F3′: articles stream; only the authors of one article buffer at a
+        // time, via past(author) — the paper's key example for the Ord
+        // handling of symbols outside symb($article).
+        assert!(s3p.contains("on article as $article return"), "got: {s3p}");
+        assert!(s3p.contains("ps $article: on-first past(author) return"), "got: {s3p}");
+    }
+
+    #[test]
+    fn fully_streaming_with_strong_dtd() {
+        // The intro query under the Use-Cases DTD: no buffering at all.
+        let f = rw_ok(
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+            BIB_STRONG,
+        );
+        let s = f.to_string();
+        assert!(s.contains("on title as"), "got: {s}");
+        assert!(s.contains("on author as"), "got: {s}");
+        // The only on-first handlers are string outputs with past sets that
+        // never require buffering of data nodes; the buffering proxy counts
+        // only `past(*)`-style deferrals of data expressions:
+        assert!(!s.contains("past(*)"), "got: {s}");
+    }
+
+    #[test]
+    fn handler_order_follows_query_order() {
+        let f = rw_ok(
+            "<results>{ for $b in $ROOT/bib/book return <r/> }</results>",
+            BIB_WEAK,
+        );
+        let FluxExpr::PS { handlers, .. } = &f else { panic!() };
+        assert!(matches!(&handlers[0], Handler::OnFirst { expr, .. } if expr.to_string() == "<results>"));
+        assert!(matches!(&handlers[1], Handler::On { label, .. } if label == "bib"));
+        let Handler::OnFirst { past: PastSpec::Set(s), expr } = &handlers[2] else { panic!() };
+        assert_eq!(expr.to_string(), "</results>");
+        assert!(s.contains("bib"), "H threading must include the bib handler symbol");
+    }
+
+    #[test]
+    fn unsafe_inputs_rejected_not_panicking() {
+        // A hand-written non-normalized expression with a conditional loop
+        // must be reported, not crash (rewrite_normalized path).
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let q = parse_xquery("{ for $b in $ROOT/bib where $b/x = 1 return {$b} }").unwrap();
+        let err = rewrite_normalized(&q, &dtd).unwrap_err();
+        assert!(matches!(err, RewriteError::NotNormalized(_)));
+    }
+
+    #[test]
+    fn loop_over_path_absent_from_dtd() {
+        // `zzz` cannot occur among the document's children: dependencies are
+        // empty, so the loop becomes an `on` handler that simply never
+        // fires on valid input.
+        let f = rw_ok("<r>{ for $z in $ROOT/zzz return {$z} }</r>", BIB_WEAK);
+        let s = f.to_string();
+        assert!(s.contains("on zzz as $z return {$z}"), "got: {s}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Safe FluX queries (paper, Definition 3.6).
+//!
+//! Safety is the static guarantee that lets the engine evaluate XQuery−
+//! subexpressions over buffers: every path such an expression reads is
+//! *past* — no node it could match can still arrive on the stream.
+//!
+//! Symbols that cannot occur among a variable's children at all (dead paths)
+//! are treated as trivially past, matching the word-level definitions; the
+//! *witness* `a ∈ S` with `Ord(b,a)` must itself be able to occur, since an
+//! impossible symbol is past from the start and would be a vacuous witness.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use flux_dtd::{Dtd, Production};
+use flux_query::{Expr, ROOT_VAR};
+
+use crate::deps::dependencies;
+use crate::flux::{production_of, FluxExpr, Handler, DOC_ELEM};
+
+/// A violation of Definition 3.6, with enough context to debug the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyViolation {
+    /// Variable of the offending `process-stream` scope.
+    pub scope_var: String,
+    /// Index of the offending handler in ζ.
+    pub handler: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsafe handler #{} in `ps ${}`: {}", self.handler, self.scope_var, self.message)
+    }
+}
+
+impl std::error::Error for SafetyViolation {}
+
+/// Check a FluX query against Definition 3.6.
+pub fn check_safety(q: &FluxExpr, dtd: &Dtd) -> Result<(), SafetyViolation> {
+    let mut var_elem = HashMap::from([(ROOT_VAR.to_string(), DOC_ELEM.to_string())]);
+    check(q, dtd, &mut var_elem)
+}
+
+fn check(
+    q: &FluxExpr,
+    dtd: &Dtd,
+    var_elem: &mut HashMap<String, String>,
+) -> Result<(), SafetyViolation> {
+    let FluxExpr::PS { var: y, handlers, .. } = q else {
+        return Ok(()); // simple expressions carry no handlers
+    };
+    // A scope over an element with no production can never be instantiated
+    // on a valid document (the element cannot occur): everything below it is
+    // vacuously safe.
+    let Some(prod) = var_elem.get(y).and_then(|elem| production_of(dtd, elem)) else {
+        return Ok(());
+    };
+    let prod = Some(prod);
+
+    for (idx, h) in handlers.iter().enumerate() {
+        let violation = |message: String| SafetyViolation {
+            scope_var: y.clone(),
+            handler: idx,
+            message,
+        };
+        match h {
+            Handler::OnFirst { past, expr } => {
+                let s: Vec<String> = match prod {
+                    Some(p) => past.resolve(p).into_iter().collect(),
+                    None => match past {
+                        crate::flux::PastSpec::Set(set) => set.iter().cloned().collect(),
+                        crate::flux::PastSpec::All => Vec::new(),
+                    },
+                };
+                // Condition 1, first bullet: every dependency is in S or
+                // ordered before some (possible) symbol of S.
+                for b in dependencies(y, expr) {
+                    if !covered(prod, &s, &b) {
+                        return Err(violation(format!(
+                            "dependency `{b}` of `{expr}` is neither in past({}) nor ordered before it",
+                            s.join(",")
+                        )));
+                    }
+                }
+                // Condition 1, second bullet: whole-subtree outputs require
+                // $z = $y and S to cover all of symb($y).
+                for z in free_output_vars(expr) {
+                    if z != *y {
+                        return Err(violation(format!(
+                            "on-first expression outputs ${z}, but only the scope variable ${y} may be output"
+                        )));
+                    }
+                    if let Some(p) = prod {
+                        for b in p.symbols() {
+                            if !covered(prod, &s, b) {
+                                return Err(violation(format!(
+                                    "outputs ${y} but symbol `{b}` is not covered by past({})",
+                                    s.join(",")
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            Handler::On { label, var: x, body } => {
+                // A handler whose label cannot occur never fires; vacuously
+                // safe.
+                let fires = prod.is_none_or(|p| p.has_symbol(label));
+                if fires {
+                    for alpha in body.maximal_xquery_subexprs() {
+                        for b in dependencies(y, alpha) {
+                            let ok = match prod {
+                                Some(p) => !p.has_symbol(&b) || p.ord(&b, label),
+                                None => false,
+                            };
+                            if !ok {
+                                return Err(violation(format!(
+                                    "dependency `{b}` of `{alpha}` is not ordered before `{label}`"
+                                )));
+                            }
+                        }
+                    }
+                    if let FluxExpr::Simple(alpha) = &**body {
+                        if alpha.is_simple() {
+                            // Definition 3.6, condition 2, second bullet.
+                            for u in output_vars(alpha) {
+                                if u != *x {
+                                    return Err(violation(format!(
+                                        "simple handler body outputs ${u}, expected ${x}"
+                                    )));
+                                }
+                            }
+                        } else {
+                            // Bodies that are XQuery− but not simple are not
+                            // produced by the rewrite; for hand-written
+                            // plans, free outputs of foreign variables are
+                            // conservatively rejected (their buffers may be
+                            // incomplete), while loop-bound outputs are
+                            // covered by the dependency check above.
+                            for u in free_output_vars(alpha) {
+                                if u != *x {
+                                    return Err(violation(format!(
+                                        "handler body outputs free ${u}, expected ${x}"
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                }
+                let prev = var_elem.insert(x.clone(), label.clone());
+                let res = check(body, dtd, var_elem);
+                match prev {
+                    Some(p) => {
+                        var_elem.insert(x.clone(), p);
+                    }
+                    None => {
+                        var_elem.remove(x);
+                    }
+                }
+                res?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is dependency `b` covered by past-set `s` under production `prod`?
+fn covered(prod: Option<&Production>, s: &[String], b: &str) -> bool {
+    let Some(p) = prod else {
+        // No schema information: only literal membership counts.
+        return s.iter().any(|a| a == b);
+    };
+    if !p.has_symbol(b) {
+        return true; // b can never arrive
+    }
+    s.iter().any(|a| a == b) || s.iter().any(|a| p.has_symbol(a) && p.ord(b, a))
+}
+
+/// Variables `$z` with a free `{$z}` or `{$z/π}` occurrence in `e`.
+fn free_output_vars(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    fn go(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match e {
+            Expr::OutputVar { var } | Expr::OutputPath { var, .. } => {
+                if !bound.iter().any(|b| b == var) && !out.contains(var) {
+                    out.push(var.clone());
+                }
+            }
+            Expr::Seq(items) => items.iter().for_each(|i| go(i, bound, out)),
+            Expr::If { body, .. } => go(body, bound, out),
+            Expr::For { var, body, .. } => {
+                bound.push(var.clone());
+                go(body, bound, out);
+                bound.pop();
+            }
+            Expr::Empty | Expr::Str(_) => {}
+        }
+    }
+    go(e, &mut Vec::new(), &mut out);
+    out
+}
+
+/// All `{$u}` occurrences (bound or not) — for the simple-handler check.
+fn output_vars(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    e.visit(&mut |x| {
+        if let Expr::OutputVar { var } = x {
+            if !out.contains(var) {
+                out.push(var.clone());
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_flux;
+
+    const BIB_WEAK: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+    const BIB_PRICE: &str = "<!ELEMENT bib (book)*><!ELEMENT book ((title|author)*,price)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT price (#PCDATA)>";
+
+    #[track_caller]
+    fn check_str(flux: &str, dtd: &str) -> Result<(), SafetyViolation> {
+        check_safety(&parse_flux(flux).unwrap(), &Dtd::parse(dtd).unwrap())
+    }
+
+    #[test]
+    fn intro_query_is_safe() {
+        // The Section 1 FluX query: the author loop sits under
+        // past(title,author), which covers its dependency.
+        check_str(
+            "<results>{ ps $ROOT: on bib as $bib return \
+               { ps $bib: on book as $book return \
+                 <result>{ ps $book: on title as $t return {$t}; \
+                   on-first past(title,author) return \
+                     { for $a in $book/author return {$a} } }</result> } }</results>",
+            BIB_WEAK,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn section_1_unsafe_variant_detected() {
+        // The paper's example: replace $book/author by $book/price under
+        // <!ELEMENT book ((title|author)*,price)> — the price buffer would
+        // still be empty when past(title,author) fires.
+        let err = check_str(
+            "<results>{ ps $ROOT: on bib as $bib return \
+               { ps $bib: on book as $book return \
+                 <result>{ ps $book: on title as $t return {$t}; \
+                   on-first past(title,author) return \
+                     { for $a in $book/price return {$a} } }</result> } }</results>",
+            BIB_PRICE,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("price"), "{err}");
+        assert_eq!(err.scope_var, "book");
+    }
+
+    #[test]
+    fn safe_with_price_when_waiting_for_it() {
+        check_str(
+            "{ ps $ROOT: on bib as $bib return \
+               { ps $bib: on book as $book return \
+                 { ps $book: on-first past(price) return \
+                     { for $a in $book/price return {$a} } } } }",
+            BIB_PRICE,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn on_handler_dependency_must_be_ordered() {
+        // Reading $book/title from an `on author` handler body is only safe
+        // when Ord(title, author) holds.
+        let q = "{ ps $ROOT: on bib as $bib return \
+             { ps $bib: on book as $book return \
+               { ps $book: on author as $a return \
+                  { for $t in $book/title return {$t} } } } }";
+        let ordered = "<!ELEMENT bib (book)*><!ELEMENT book (title*,author*)>\
+            <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+        check_str(q, ordered).unwrap();
+        let err = check_str(q, BIB_WEAK).unwrap_err();
+        assert!(err.message.contains("title"), "{err}");
+    }
+
+    #[test]
+    fn whole_subtree_output_needs_past_star() {
+        let q_ok = "{ ps $ROOT: on bib as $bib return \
+            { ps $bib: on book as $b return { ps $b: on-first past(*) return {$b} } } }";
+        check_str(q_ok, BIB_WEAK).unwrap();
+        let q_bad = "{ ps $ROOT: on bib as $bib return \
+            { ps $bib: on book as $b return { ps $b: on-first past(title) return {$b} } } }";
+        let err = check_str(q_bad, BIB_WEAK).unwrap_err();
+        assert!(err.message.contains("author"), "{err}");
+    }
+
+    #[test]
+    fn foreign_variable_output_in_on_first_rejected() {
+        let q = "{ ps $ROOT: on bib as $bib return \
+            { ps $bib: on book as $b return { ps $b: on-first past(*) return {$bib} } } }";
+        let err = check_str(q, BIB_WEAK).unwrap_err();
+        assert!(err.message.contains("$bib"), "{err}");
+    }
+
+    #[test]
+    fn simple_on_handler_body_must_output_its_own_variable() {
+        let q = "{ ps $ROOT: on bib as $bib return \
+            { ps $bib: on book as $b return {$bib} } }";
+        let err = check_str(q, BIB_WEAK).unwrap_err();
+        assert!(err.message.contains("expected $b"), "{err}");
+    }
+
+    #[test]
+    fn impossible_labels_are_vacuously_safe() {
+        check_str(
+            "{ ps $ROOT: on zzz as $z return { for $t in $z/title return {$t} } }",
+            BIB_WEAK,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn dead_dependencies_are_covered() {
+        // `price` cannot occur under the weak DTD's book, so a loop over it
+        // inside past(author,title) is trivially safe (it reads nothing).
+        check_str(
+            "{ ps $ROOT: on bib as $bib return { ps $bib: on book as $b return \
+               { ps $b: on-first past(author,title) return \
+                 { for $p in $b/price return {$p} } } } }",
+            BIB_WEAK,
+        )
+        .unwrap();
+    }
+}

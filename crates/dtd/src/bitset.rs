@@ -1,0 +1,71 @@
+//! A tiny fixed-size bitset for automaton state sets.
+//!
+//! Glushkov automata of real DTD productions have at most a few dozen states;
+//! reachability closures over them are the inner loop of `Ord`/`Past`
+//! computation, so a flat `u64`-block bitset beats hash sets handily.
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    pub fn new(len: usize) -> Self {
+        BitSet { blocks: vec![0; len.div_ceil(64)], len }
+    }
+
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.blocks[i / 64] |= 1 << (i % 64);
+    }
+
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.blocks[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if any bit changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(1);
+        b.insert(2);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b)); // no change the second time
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

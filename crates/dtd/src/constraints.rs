@@ -1,0 +1,258 @@
+//! Reachability, `Past`, order constraints and cardinality constraints
+//! (paper, Section 2 and Appendix B).
+//!
+//! The word-level definitions are:
+//!
+//! * `Ord_ρ(a,b)` ⇔ no word of L(ρ) contains an `a` after a `b`
+//!   ("all a symbols occur before all b symbols").
+//! * `Past_{ρ,S}(u)` ⇔ after reading prefix `u`, no symbol of S can occur in
+//!   any completion of `u` to a word of L(ρ).
+//!
+//! On the Glushkov automaton these become reachability questions. One
+//! subtlety: Appendix B defines the reachability relation Δ with
+//! `u ∈ symb(ρ)*`, which would make Δ reflexive — but a reflexive Δ breaks
+//! the intended semantics (after reading the *last* `a`, `Past(q,a)` must be
+//! true even though `q# = a`). We therefore use *strict* reachability (at
+//! least one transition), which agrees with the paper's word-level
+//! definitions on all examples (e.g. Example 2.1) and with the punctuation
+//! semantics of Section 3.2.
+
+use crate::bitset::BitSet;
+use crate::glushkov::Glushkov;
+
+/// Precomputed constraint relations for one production's automaton.
+#[derive(Debug, Clone)]
+pub struct Constraints {
+    n_states: usize,
+    n_syms: usize,
+    /// `past[q * n_syms + a]`: after arriving in state `q`, symbol `a` can no
+    /// longer occur (strict-future semantics).
+    past: Vec<bool>,
+    /// `ord[b * n_syms + a]`: `Ord(b, a)` — no word has `b` after an `a`…
+    /// careful: stored as `ord(a,b)` in row-major `a * n_syms + b`.
+    ord: Vec<bool>,
+    /// `card_le_1[a]`: at most one `a` in any word (`a ∈ ‖≤1_ρ`, Section 7).
+    card_le_1: Vec<bool>,
+}
+
+impl Constraints {
+    /// Compute all relations for an automaton. `O(states² · |Σ|)`, in line
+    /// with Proposition 2.2's `O(|ρ|²)`.
+    pub fn compute(g: &Glushkov) -> Constraints {
+        let n = g.n_states();
+        let n_syms = g.symbols().len();
+
+        // Reflexive-transitive closure per state.
+        let mut closure: Vec<BitSet> = (0..n)
+            .map(|q| {
+                let mut s = BitSet::new(n);
+                s.insert(q);
+                s
+            })
+            .collect();
+        // Iterate to fixpoint; automata are tiny so the simple algorithm is
+        // faster in practice than anything clever.
+        let succs: Vec<Vec<u32>> = {
+            let mut s = vec![Vec::new(); n];
+            for (q, _, next) in g.transitions() {
+                s[q as usize].push(next);
+            }
+            s
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for q in 0..n {
+                #[allow(clippy::needless_range_loop)] // split-borrow of `closure` below
+                for i in 0..succs[q].len() {
+                    let next = succs[q][i] as usize;
+                    if next != q {
+                        let (a, b) = if q < next {
+                            let (lo, hi) = closure.split_at_mut(next);
+                            (&mut lo[q], &hi[0])
+                        } else {
+                            let (lo, hi) = closure.split_at_mut(q);
+                            (&mut hi[0], &lo[next])
+                        };
+                        changed |= a.union_with(b);
+                    }
+                }
+            }
+        }
+
+        // Strict reachability: union of closures of direct successors.
+        let strict: Vec<BitSet> = (0..n)
+            .map(|q| {
+                let mut s = BitSet::new(n);
+                for &next in &succs[q] {
+                    s.union_with(&closure[next as usize]);
+                }
+                s
+            })
+            .collect();
+
+        // Only states reachable from q0 matter: unreachable positions cannot
+        // occur in any accepted word, and including them would wrongly
+        // falsify Ord. (Glushkov automata of DTD expressions normally have
+        // no unreachable positions, but we stay exact.)
+        let reachable = &closure[Glushkov::INITIAL as usize];
+
+        let mut past = vec![true; n * n_syms.max(1)];
+        for q in 0..n {
+            for p in strict[q].iter() {
+                if let Some(sid) = g.state_symbol(p as u32) {
+                    past[q * n_syms + sid as usize] = false;
+                }
+            }
+        }
+
+        // Ord(a,b): for every reachable state q with q# = b, Past(q, a).
+        // (A `b` was just read; if an `a` could still follow, some word has
+        // the `a` after that `b`.)
+        let mut ord = vec![true; n_syms * n_syms.max(1)];
+        for q in 0..n {
+            if !reachable.contains(q) {
+                continue;
+            }
+            if let Some(b) = g.state_symbol(q as u32) {
+                for a in 0..n_syms {
+                    if !past[q * n_syms + a] {
+                        ord[a * n_syms + b as usize] = false;
+                    }
+                }
+            }
+        }
+
+        // a ∈ ‖≤1: no reachable a-state can strictly reach an a-state.
+        // Equivalent to Ord(a,a).
+        let card_le_1: Vec<bool> = (0..n_syms).map(|a| ord[a * n_syms + a]).collect();
+
+        Constraints { n_states: n, n_syms, past, ord, card_le_1 }
+    }
+
+    /// `Past(q, a)`: after arriving in state `q`, can symbol id `a` still
+    /// occur before the end of the word?
+    pub fn past(&self, state: u32, sid: u32) -> bool {
+        self.past[state as usize * self.n_syms + sid as usize]
+    }
+
+    /// `Ord(a, b)` by symbol ids: all `a`s come before all `b`s.
+    pub fn ord(&self, a: u32, b: u32) -> bool {
+        self.ord[a as usize * self.n_syms + b as usize]
+    }
+
+    /// `a ∈ ‖≤1_ρ`: at most one occurrence of `a` in any word of L(ρ).
+    pub fn card_le_1(&self, sid: u32) -> bool {
+        self.card_le_1[sid as usize]
+    }
+
+    /// Number of automaton states this was computed for.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_content_regex as parse;
+
+    fn setup(s: &str) -> (Glushkov, Constraints) {
+        let g = Glushkov::build(&parse(s).unwrap()).unwrap();
+        let c = Constraints::compute(&g);
+        (g, c)
+    }
+
+    fn ord(g: &Glushkov, c: &Constraints, a: &str, b: &str) -> bool {
+        match (g.symbol_id(a), g.symbol_id(b)) {
+            (Some(a), Some(b)) => c.ord(a, b),
+            _ => true, // vacuous when a symbol cannot occur at all
+        }
+    }
+
+    #[test]
+    fn example_2_1_order_constraints() {
+        // ρ = (a*.b.c*.(d|e*).a*): Ord(b,c), Ord(c,d), Ord(c,e), ¬Ord(a,c),
+        // and by transitivity Ord(b,d).
+        let (g, c) = setup("(a*,b,c*,(d|e*),a*)");
+        assert!(ord(&g, &c, "b", "c"));
+        assert!(ord(&g, &c, "c", "d"));
+        assert!(ord(&g, &c, "c", "e"));
+        assert!(!ord(&g, &c, "a", "c"));
+        assert!(ord(&g, &c, "b", "d"));
+        // sanity: d can come after e? no — (d|e*) picks one branch.
+        assert!(ord(&g, &c, "e", "d") && ord(&g, &c, "d", "e"));
+        // a after d is allowed, so ¬Ord is right in reverse:
+        assert!(!ord(&g, &c, "d", "a"));
+    }
+
+    #[test]
+    fn interleaved_star_has_no_order() {
+        let (g, c) = setup("(title|author)*");
+        assert!(!ord(&g, &c, "title", "author"));
+        assert!(!ord(&g, &c, "author", "title"));
+    }
+
+    #[test]
+    fn strict_sequence_is_ordered() {
+        let (g, c) = setup("(title,(author+|editor+),publisher,price)");
+        assert!(ord(&g, &c, "title", "author"));
+        assert!(ord(&g, &c, "title", "price"));
+        assert!(ord(&g, &c, "author", "publisher"));
+        assert!(!ord(&g, &c, "price", "title"));
+    }
+
+    #[test]
+    fn ord_is_true_for_single_occurrence_with_itself() {
+        // L = {a}: no word has two a's, so Ord(a,a) holds.
+        let (g, c) = setup("(a)");
+        assert!(ord(&g, &c, "a", "a"));
+        let (g2, c2) = setup("(a)*");
+        assert!(!ord(&g2, &c2, "a", "a"));
+    }
+
+    #[test]
+    fn past_semantics() {
+        let (g, c) = setup("(a,b)");
+        let a = g.symbol_id("a").unwrap();
+        let b = g.symbol_id("b").unwrap();
+        let q0 = Glushkov::INITIAL;
+        assert!(!c.past(q0, a));
+        assert!(!c.past(q0, b));
+        let qa = g.step(q0, a).unwrap();
+        assert!(c.past(qa, a), "after reading the only a, a is past");
+        assert!(!c.past(qa, b));
+        let qb = g.step(qa, b).unwrap();
+        assert!(c.past(qb, a) && c.past(qb, b));
+    }
+
+    #[test]
+    fn past_with_loops() {
+        let (g, c) = setup("(a*,b)");
+        let a = g.symbol_id("a").unwrap();
+        let q0 = Glushkov::INITIAL;
+        let qa = g.step(q0, a).unwrap();
+        assert!(!c.past(qa, a), "more a's may follow under a*");
+        let qb = g.step_name(qa, "b").unwrap();
+        assert!(c.past(qb, a));
+    }
+
+    #[test]
+    fn cardinality() {
+        let (g, c) = setup("(title,(author+|editor+),publisher?,price)");
+        assert!(c.card_le_1(g.symbol_id("title").unwrap()));
+        assert!(c.card_le_1(g.symbol_id("publisher").unwrap()));
+        assert!(c.card_le_1(g.symbol_id("price").unwrap()));
+        assert!(!c.card_le_1(g.symbol_id("author").unwrap()));
+        let (g2, c2) = setup("(book|article)*");
+        assert!(!c2.card_le_1(g2.symbol_id("book").unwrap()));
+    }
+
+    #[test]
+    fn xmark_site_ordering() {
+        let (g, c) = setup("(regions,categories,catgraph,people,open_auctions,closed_auctions)");
+        assert!(ord(&g, &c, "people", "closed_auctions"));
+        assert!(!ord(&g, &c, "closed_auctions", "people"));
+        assert!(ord(&g, &c, "people", "open_auctions"));
+    }
+}

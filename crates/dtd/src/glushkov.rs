@@ -1,0 +1,326 @@
+//! Glushkov automaton construction (paper, Appendix B; \[3\]).
+//!
+//! For a *one-unambiguous* regular expression ρ the Glushkov automaton is
+//! deterministic; its states are the *positions* of symbol occurrences in the
+//! marked expression plus an initial state q₀, and every transition into a
+//! state q reads the symbol `q#` that the state corresponds to. Construction
+//! is the classic `nullable`/`first`/`last`/`follow` computation and runs in
+//! quadratic time. One-unambiguity is *checked*: if two positions with the
+//! same symbol compete (in `first`, or in some `follow` set), the expression
+//! is rejected — exactly the class of expressions XML DTDs permit.
+
+use std::collections::HashMap;
+
+use crate::regex::Regex;
+
+/// Error raised when an expression is not one-unambiguous (not a valid DTD
+/// content model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ambiguous {
+    /// The symbol that two competing positions share.
+    pub symbol: String,
+}
+
+impl std::fmt::Display for Ambiguous {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "content model is not one-unambiguous: competing occurrences of `{}`", self.symbol)
+    }
+}
+
+impl std::error::Error for Ambiguous {}
+
+/// The deterministic Glushkov automaton of a one-unambiguous expression.
+///
+/// State 0 is q₀; states `1..=positions` correspond to symbol occurrences.
+#[derive(Debug, Clone)]
+pub struct Glushkov {
+    /// `symb(ρ)` in first-occurrence order; indices are symbol ids.
+    symbols: Vec<String>,
+    sym_index: HashMap<String, u32>,
+    /// For states ≥ 1: the symbol id of the position (`q#`). Entry 0 is a
+    /// dummy for q₀.
+    state_symbol: Vec<u32>,
+    /// Accepting states (q₀ accepting iff ε ∈ L(ρ)).
+    accepting: Vec<bool>,
+    /// Dense transition matrix `state * n_symbols + sym → state+1` (0 = no
+    /// transition).
+    trans: Vec<u32>,
+}
+
+/// Inductive attributes for a subexpression during construction.
+struct Attrs {
+    nullable: bool,
+    first: Vec<u32>,
+    last: Vec<u32>,
+}
+
+impl Glushkov {
+    /// Build the automaton, rejecting expressions that are not
+    /// one-unambiguous.
+    pub fn build(re: &Regex) -> Result<Glushkov, Ambiguous> {
+        let mut symbols: Vec<String> = Vec::new();
+        let mut sym_index: HashMap<String, u32> = HashMap::new();
+        let mut pos_symbol: Vec<u32> = Vec::new(); // position (0-based) -> symbol id
+        let mut follow: Vec<Vec<u32>> = Vec::new(); // position (0-based) -> positions (1-based state ids)
+
+        fn go(
+            re: &Regex,
+            symbols: &mut Vec<String>,
+            sym_index: &mut HashMap<String, u32>,
+            pos_symbol: &mut Vec<u32>,
+            follow: &mut Vec<Vec<u32>>,
+        ) -> Attrs {
+            match re {
+                Regex::Empty => Attrs { nullable: true, first: vec![], last: vec![] },
+                Regex::Symbol(s) => {
+                    let sid = *sym_index.entry(s.clone()).or_insert_with(|| {
+                        symbols.push(s.clone());
+                        (symbols.len() - 1) as u32
+                    });
+                    pos_symbol.push(sid);
+                    follow.push(Vec::new());
+                    let state = pos_symbol.len() as u32; // 1-based state id
+                    Attrs { nullable: false, first: vec![state], last: vec![state] }
+                }
+                Regex::Seq(rs) => {
+                    let mut acc = Attrs { nullable: true, first: vec![], last: vec![] };
+                    for r in rs {
+                        let a = go(r, symbols, sym_index, pos_symbol, follow);
+                        for &p in &acc.last {
+                            follow[(p - 1) as usize].extend_from_slice(&a.first);
+                        }
+                        if acc.nullable {
+                            acc.first.extend_from_slice(&a.first);
+                        }
+                        if a.nullable {
+                            acc.last.extend_from_slice(&a.last);
+                        } else {
+                            acc.last = a.last;
+                        }
+                        acc.nullable &= a.nullable;
+                    }
+                    acc
+                }
+                Regex::Alt(rs) => {
+                    let mut acc = Attrs { nullable: false, first: vec![], last: vec![] };
+                    for r in rs {
+                        let a = go(r, symbols, sym_index, pos_symbol, follow);
+                        acc.nullable |= a.nullable;
+                        acc.first.extend(a.first);
+                        acc.last.extend(a.last);
+                    }
+                    acc
+                }
+                Regex::Star(r) | Regex::Plus(r) => {
+                    let a = go(r, symbols, sym_index, pos_symbol, follow);
+                    for &p in &a.last {
+                        let firsts = a.first.clone();
+                        follow[(p - 1) as usize].extend(firsts);
+                    }
+                    Attrs {
+                        nullable: a.nullable || matches!(re, Regex::Star(_)),
+                        first: a.first,
+                        last: a.last,
+                    }
+                }
+                Regex::Opt(r) => {
+                    let a = go(r, symbols, sym_index, pos_symbol, follow);
+                    Attrs { nullable: true, first: a.first, last: a.last }
+                }
+            }
+        }
+
+        let attrs = go(re, &mut symbols, &mut sym_index, &mut pos_symbol, &mut follow);
+
+        let n_states = pos_symbol.len() + 1;
+        let n_syms = symbols.len();
+        let mut trans = vec![0u32; n_states * n_syms.max(1)];
+        let set = |trans: &mut Vec<u32>, from: u32, to: u32| -> Result<(), Ambiguous> {
+            let sid = pos_symbol[(to - 1) as usize];
+            let cell = &mut trans[from as usize * n_syms + sid as usize];
+            if *cell != 0 && *cell != to + 1 {
+                return Err(Ambiguous { symbol: symbols[sid as usize].clone() });
+            }
+            *cell = to + 1;
+            Ok(())
+        };
+        for &p in &attrs.first {
+            set(&mut trans, 0, p)?;
+        }
+        for (i, fs) in follow.iter().enumerate() {
+            for &q in fs {
+                set(&mut trans, (i + 1) as u32, q)?;
+            }
+        }
+
+        let mut accepting = vec![false; n_states];
+        accepting[0] = attrs.nullable;
+        for &p in &attrs.last {
+            accepting[p as usize] = true;
+        }
+
+        let mut state_symbol = vec![u32::MAX];
+        state_symbol.extend(pos_symbol);
+
+        Ok(Glushkov { symbols, sym_index, state_symbol, accepting, trans })
+    }
+
+    /// Number of states (positions + 1).
+    pub fn n_states(&self) -> usize {
+        self.state_symbol.len()
+    }
+
+    /// `symb(ρ)`.
+    pub fn symbols(&self) -> &[String] {
+        &self.symbols
+    }
+
+    /// Symbol id for a name, if it occurs in the expression.
+    pub fn symbol_id(&self, name: &str) -> Option<u32> {
+        self.sym_index.get(name).copied()
+    }
+
+    /// Name of a symbol id.
+    pub fn symbol_name(&self, sid: u32) -> &str {
+        &self.symbols[sid as usize]
+    }
+
+    /// `q#`: the symbol a state corresponds to (`None` for q₀).
+    pub fn state_symbol(&self, state: u32) -> Option<u32> {
+        let s = self.state_symbol[state as usize];
+        (s != u32::MAX).then_some(s)
+    }
+
+    /// Deterministic transition; `None` means the word is not in L(ρ).
+    pub fn step(&self, state: u32, sid: u32) -> Option<u32> {
+        let n_syms = self.symbols.len();
+        let cell = self.trans[state as usize * n_syms + sid as usize];
+        (cell != 0).then(|| cell - 1)
+    }
+
+    /// Transition by symbol name.
+    pub fn step_name(&self, state: u32, name: &str) -> Option<u32> {
+        self.symbol_id(name).and_then(|sid| self.step(state, sid))
+    }
+
+    /// Is `state` accepting?
+    pub fn accepting(&self, state: u32) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// The initial state q₀.
+    pub const INITIAL: u32 = 0;
+
+    /// Run the automaton over a word; `true` iff the word ∈ L(ρ).
+    pub fn accepts<S: AsRef<str>>(&self, word: &[S]) -> bool {
+        let mut st = Self::INITIAL;
+        for s in word {
+            match self.step_name(st, s.as_ref()) {
+                Some(next) => st = next,
+                None => return false,
+            }
+        }
+        self.accepting(st)
+    }
+
+    /// All `(state, sid, next)` transitions (used by the closure
+    /// computations in [`crate::constraints`]).
+    pub fn transitions(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        let n_syms = self.symbols.len();
+        (0..self.n_states() as u32).flat_map(move |q| {
+            (0..n_syms as u32).filter_map(move |s| self.step(q, s).map(move |n| (q, s, n)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_content_regex as parse;
+
+    fn build(s: &str) -> Glushkov {
+        Glushkov::build(&parse(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn accepts_sequences() {
+        let g = build("(title,(author+|editor+),publisher,price)");
+        assert!(g.accepts(&["title", "author", "publisher", "price"]));
+        assert!(g.accepts(&["title", "author", "author", "publisher", "price"]));
+        assert!(g.accepts(&["title", "editor", "publisher", "price"]));
+        assert!(!g.accepts(&["title", "author", "editor", "publisher", "price"]));
+        assert!(!g.accepts(&["title", "publisher", "price"]));
+        assert!(!g.accepts(&["author", "title", "publisher", "price"]));
+        assert!(!g.accepts(&["title", "author", "publisher"]));
+    }
+
+    #[test]
+    fn accepts_star() {
+        let g = build("(book)*");
+        assert!(g.accepts::<&str>(&[]));
+        assert!(g.accepts(&["book"]));
+        assert!(g.accepts(&["book", "book", "book"]));
+        assert!(!g.accepts(&["book", "title"]));
+    }
+
+    #[test]
+    fn accepts_example_2_1() {
+        // ρ = (a*.b.c*.(d|e*).a*)
+        let g = build("(a*,b,c*,(d|e*),a*)");
+        assert!(g.accepts(&["b"]));
+        assert!(g.accepts(&["a", "a", "b", "c", "d", "a"]));
+        assert!(g.accepts(&["b", "e", "e", "a"]));
+        assert!(!g.accepts(&["a"]));
+        assert!(!g.accepts(&["b", "d", "e"]));
+        assert!(!g.accepts(&["b", "c", "d", "c"]));
+    }
+
+    #[test]
+    fn optional_and_plus() {
+        let g = build("(a?,b+)");
+        assert!(g.accepts(&["b"]));
+        assert!(g.accepts(&["a", "b", "b"]));
+        assert!(!g.accepts(&["a"]));
+        assert!(!g.accepts::<&str>(&[]));
+    }
+
+    #[test]
+    fn empty_model() {
+        let g = Glushkov::build(&Regex::Empty).unwrap();
+        assert!(g.accepts::<&str>(&[]));
+        assert_eq!(g.n_states(), 1);
+    }
+
+    #[test]
+    fn ambiguous_rejected() {
+        // (a,b)|(a,c) is the textbook non-one-unambiguous expression.
+        let re = Regex::Alt(vec![
+            Regex::Seq(vec![Regex::sym("a"), Regex::sym("b")]),
+            Regex::Seq(vec![Regex::sym("a"), Regex::sym("c")]),
+        ]);
+        let err = Glushkov::build(&re).unwrap_err();
+        assert_eq!(err.symbol, "a");
+    }
+
+    #[test]
+    fn ambiguous_star_rejected() {
+        // (a*,a) — after reading `a`, both positions compete.
+        let re = Regex::Seq(vec![Regex::Star(Box::new(Regex::sym("a"))), Regex::sym("a")]);
+        assert!(Glushkov::build(&re).is_err());
+    }
+
+    #[test]
+    fn state_symbols_are_labelled() {
+        let g = build("(a,b)");
+        let q1 = g.step_name(Glushkov::INITIAL, "a").unwrap();
+        assert_eq!(g.symbol_name(g.state_symbol(q1).unwrap()), "a");
+        assert_eq!(g.state_symbol(Glushkov::INITIAL), None);
+    }
+
+    #[test]
+    fn transitions_enumerate() {
+        let g = build("(a,b)");
+        let ts: Vec<_> = g.transitions().collect();
+        assert_eq!(ts.len(), 2); // q0 -a-> qa, qa -b-> qb
+    }
+}

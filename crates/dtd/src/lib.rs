@@ -1,0 +1,48 @@
+//! # flux-dtd — DTDs, Glushkov automata, order constraints and punctuation
+//!
+//! This crate implements Section 2 and Appendix B of the FluX paper:
+//!
+//! * [`regex::Regex`] — the regular expressions appearing on the right-hand
+//!   sides of DTD productions, with [`parser`] handling `<!ELEMENT …>` (and
+//!   `<!ATTLIST …>`, converted to subelements like the paper's XSAX layer).
+//! * [`glushkov::Glushkov`] — the Glushkov automaton of a one-unambiguous
+//!   regular expression (Brüggemann-Klein & Wood \[3\]); construction is
+//!   quadratic and *checks* one-unambiguity, rejecting ambiguous DTDs.
+//! * [`constraints`] — the reachability relation Δ, the `Past_ρ(q,a)`
+//!   relation, order constraints `Ord_ρ(a,b)` (Proposition 2.2) and
+//!   cardinality constraints `a ∈ ‖≤1_ρ` (Section 7).
+//! * [`past::PastTable`] — the per-(production, S) table enabling
+//!   `first-past` punctuation with "one validating DFA transition and one
+//!   constant-time lookup per input token" (Appendix B).
+//! * [`validate`] — a streaming document validator built from the automata.
+//!
+//! ```
+//! use flux_dtd::Dtd;
+//!
+//! let dtd = Dtd::parse(
+//!     "<!ELEMENT bib (book)*>\
+//!      <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+//!      <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>\
+//!      <!ELEMENT editor (#PCDATA)> <!ELEMENT publisher (#PCDATA)>\
+//!      <!ELEMENT price (#PCDATA)>",
+//! ).unwrap();
+//!
+//! // The order constraint that lets FluX stream XMP Q3 without buffers:
+//! assert!(dtd.ord("book", "title", "author"));
+//! assert!(!dtd.ord("bib", "book", "book"));
+//! ```
+
+pub mod constraints;
+pub mod glushkov;
+pub mod parser;
+pub mod past;
+pub mod regex;
+pub mod validate;
+
+mod bitset;
+
+pub use glushkov::Glushkov;
+pub use parser::{ContentModel, Dtd, DtdError, Production};
+pub use past::PastTable;
+pub use regex::Regex;
+pub use validate::{validate_events, validate_str, ValidationError};

@@ -1,0 +1,706 @@
+//! DTD parsing and the [`Dtd`] catalogue.
+//!
+//! A DTD here is what the paper uses: an extended context-free grammar whose
+//! productions carry one-unambiguous regular expressions — a *local tree
+//! grammar*, so each production is identified by its element name. We parse
+//! the standard `<!ELEMENT name content>` syntax. `<!ATTLIST …>` declarations
+//! are honoured by converting each attribute into a leading subelement
+//! `{element}_{attribute}` of the element's content model (required
+//! attributes become mandatory children, others optional) — the DTD-side
+//! counterpart of the XSAX event conversion, "the XMark DTD was adjusted
+//! accordingly" (Appendix A).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::constraints::Constraints;
+use crate::glushkov::Glushkov;
+use crate::regex::Regex;
+
+/// Content model of a production.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// Element content: a regular expression over child tag names.
+    Children(Regex),
+    /// `(#PCDATA)`: text only.
+    PcData,
+    /// `EMPTY`: no content at all.
+    Empty,
+    /// Mixed content `(#PCDATA | a | b)*`: text freely interleaved with the
+    /// listed child elements.
+    Mixed(Vec<String>),
+    /// `ANY`: any declared elements plus text, in any order.
+    Any,
+}
+
+/// One element declaration, with its compiled automaton and constraint
+/// tables.
+#[derive(Debug, Clone)]
+pub struct Production {
+    /// Element name (the left-hand side).
+    pub name: String,
+    /// Declared content model (after ATTLIST merging).
+    pub model: ContentModel,
+    /// Effective child-sequence regular expression (`ε` for text-only and
+    /// empty models, `(a|b|…)*` for mixed/ANY).
+    pub regex: Regex,
+    automaton: Glushkov,
+    constraints: Constraints,
+    symbols: Vec<String>,
+}
+
+impl Production {
+    fn compile(name: String, model: ContentModel, all_names: &[String]) -> Result<Production, DtdError> {
+        let regex = match &model {
+            ContentModel::Children(r) => r.clone(),
+            ContentModel::PcData | ContentModel::Empty => Regex::Empty,
+            ContentModel::Mixed(names) => mixed_regex(names),
+            ContentModel::Any => mixed_regex(all_names),
+        };
+        let automaton = Glushkov::build(&regex)
+            .map_err(|e| DtdError::Ambiguous { element: name.clone(), symbol: e.symbol })?;
+        let constraints = Constraints::compute(&automaton);
+        let symbols = automaton.symbols().to_vec();
+        Ok(Production { name, model, regex, automaton, constraints, symbols })
+    }
+
+    /// The validating Glushkov automaton for this production.
+    pub fn automaton(&self) -> &Glushkov {
+        &self.automaton
+    }
+
+    /// Order/past/cardinality tables.
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// `symb(ρ)` — the tag names that may occur among children.
+    pub fn symbols(&self) -> &[String] {
+        &self.symbols
+    }
+
+    /// Whether `name ∈ symb(ρ)`.
+    pub fn has_symbol(&self, name: &str) -> bool {
+        self.automaton.symbol_id(name).is_some()
+    }
+
+    /// `Ord(a, b)`: in every valid children sequence, all `a` children occur
+    /// before all `b` children. Vacuously true when either symbol cannot
+    /// occur at all.
+    pub fn ord(&self, a: &str, b: &str) -> bool {
+        match (self.automaton.symbol_id(a), self.automaton.symbol_id(b)) {
+            (Some(a), Some(b)) => self.constraints.ord(a, b),
+            _ => true,
+        }
+    }
+
+    /// `a ∈ ‖≤1`: at most one `a` child in any valid children sequence.
+    pub fn card_le_1(&self, a: &str) -> bool {
+        match self.automaton.symbol_id(a) {
+            Some(sid) => self.constraints.card_le_1(sid),
+            None => true,
+        }
+    }
+
+    /// May this element directly contain character data?
+    pub fn allows_text(&self) -> bool {
+        matches!(self.model, ContentModel::PcData | ContentModel::Mixed(_) | ContentModel::Any)
+    }
+}
+
+fn mixed_regex(names: &[String]) -> Regex {
+    if names.is_empty() {
+        Regex::Empty
+    } else {
+        Regex::Star(Box::new(Regex::Alt(names.iter().map(Regex::sym).collect())))
+    }
+}
+
+/// A parsed DTD: the production catalogue plus a pseudo-production for the
+/// document node (whose single child is the root element), which is what the
+/// paper's `$ROOT` variable ranges over.
+#[derive(Debug, Clone)]
+pub struct Dtd {
+    prods: Vec<Production>,
+    index: HashMap<String, usize>,
+    root: String,
+    doc: Production,
+}
+
+/// DTD parse/compile errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtdError {
+    /// Malformed declaration syntax.
+    Parse(String),
+    /// A content model is not one-unambiguous.
+    Ambiguous {
+        /// The element whose model is ambiguous.
+        element: String,
+        /// The competing symbol.
+        symbol: String,
+    },
+    /// The same element declared twice.
+    Duplicate(String),
+    /// No element declarations at all.
+    Empty,
+    /// Requested root element is not declared.
+    UnknownRoot(String),
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtdError::Parse(m) => write!(f, "DTD syntax error: {m}"),
+            DtdError::Ambiguous { element, symbol } => {
+                write!(f, "content model of `{element}` is not one-unambiguous (symbol `{symbol}`)")
+            }
+            DtdError::Duplicate(n) => write!(f, "element `{n}` declared twice"),
+            DtdError::Empty => write!(f, "DTD contains no element declarations"),
+            DtdError::UnknownRoot(n) => write!(f, "root element `{n}` is not declared"),
+        }
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+impl Dtd {
+    /// Parse a DTD; the document root defaults to the first declared
+    /// element.
+    pub fn parse(src: &str) -> Result<Dtd, DtdError> {
+        Self::parse_impl(src, None)
+    }
+
+    /// Parse a DTD with an explicit document root element.
+    pub fn parse_with_root(src: &str, root: &str) -> Result<Dtd, DtdError> {
+        Self::parse_impl(src, Some(root))
+    }
+
+    fn parse_impl(src: &str, root: Option<&str>) -> Result<Dtd, DtdError> {
+        let decls = scan_declarations(src)?;
+        let mut models: Vec<(String, ContentModel)> = Vec::new();
+        let mut by_name: HashMap<String, usize> = HashMap::new();
+        let mut attlists: Vec<(String, Vec<(String, bool)>)> = Vec::new();
+
+        for d in decls {
+            match d {
+                Decl::Element(name, model) => {
+                    if by_name.contains_key(&name) {
+                        return Err(DtdError::Duplicate(name));
+                    }
+                    by_name.insert(name.clone(), models.len());
+                    models.push((name, model));
+                }
+                Decl::AttList(elem, attrs) => attlists.push((elem, attrs)),
+            }
+        }
+        if models.is_empty() {
+            return Err(DtdError::Empty);
+        }
+
+        // Merge ATTLIST declarations: prepend `{elem}_{attr}` children and
+        // declare the synthesized elements as PCDATA leaves.
+        for (elem, attrs) in attlists {
+            let mut prefix: Vec<Regex> = Vec::new();
+            for (attr, required) in &attrs {
+                let sub = format!("{elem}_{attr}");
+                let item = if *required {
+                    Regex::sym(&sub)
+                } else {
+                    Regex::Opt(Box::new(Regex::sym(&sub)))
+                };
+                prefix.push(item);
+                if !by_name.contains_key(&sub) {
+                    by_name.insert(sub.clone(), models.len());
+                    models.push((sub, ContentModel::PcData));
+                }
+            }
+            let idx = *by_name
+                .get(&elem)
+                .ok_or_else(|| DtdError::Parse(format!("ATTLIST for undeclared element `{elem}`")))?;
+            let merged = match &models[idx].1 {
+                ContentModel::Children(r) => {
+                    prefix.push(r.clone());
+                    ContentModel::Children(Regex::Seq(prefix))
+                }
+                ContentModel::Empty => ContentModel::Children(Regex::Seq(prefix)),
+                ContentModel::PcData => {
+                    // Text plus attribute children: attribute children first,
+                    // then text — modelled as children regex; text remains
+                    // allowed via Mixed with no extra elements is not
+                    // expressible, so use Children + allows_text override is
+                    // avoided by using Mixed of the attr names (order lost).
+                    // Keep it simple and faithful to XSAX: attrs first, text
+                    // after; we approximate with Children(prefix) and Mixed
+                    // text allowance via Mixed list.
+                    ContentModel::Mixed(
+                        attrs.iter().map(|(a, _)| format!("{elem}_{a}")).collect(),
+                    )
+                }
+                ContentModel::Mixed(names) => {
+                    let mut names = names.clone();
+                    names.extend(attrs.iter().map(|(a, _)| format!("{elem}_{a}")));
+                    ContentModel::Mixed(names)
+                }
+                ContentModel::Any => ContentModel::Any,
+            };
+            models[idx].1 = merged;
+        }
+
+        // Implicitly declare referenced-but-undeclared elements as PCDATA
+        // leaves (lenient, like many real-world processors; documented in
+        // DESIGN.md).
+        let mut referenced: Vec<String> = Vec::new();
+        for (_, m) in &models {
+            let syms: Vec<String> = match m {
+                ContentModel::Children(r) => r.symbols().into_iter().map(str::to_string).collect(),
+                ContentModel::Mixed(ns) => ns.clone(),
+                _ => vec![],
+            };
+            for s in syms {
+                if !by_name.contains_key(&s) {
+                    referenced.push(s);
+                }
+            }
+        }
+        for s in referenced {
+            if !by_name.contains_key(&s) {
+                by_name.insert(s.clone(), models.len());
+                models.push((s, ContentModel::PcData));
+            }
+        }
+
+        let all_names: Vec<String> = models.iter().map(|(n, _)| n.clone()).collect();
+        let mut prods = Vec::with_capacity(models.len());
+        let mut index = HashMap::new();
+        for (name, model) in models {
+            index.insert(name.clone(), prods.len());
+            prods.push(Production::compile(name, model, &all_names)?);
+        }
+
+        let root = match root {
+            Some(r) => {
+                if !index.contains_key(r) {
+                    return Err(DtdError::UnknownRoot(r.to_string()));
+                }
+                r.to_string()
+            }
+            None => prods[0].name.clone(),
+        };
+        let doc = Production::compile(
+            "#document".to_string(),
+            ContentModel::Children(Regex::sym(&root)),
+            &all_names,
+        )?;
+
+        Ok(Dtd { prods, index, root, doc })
+    }
+
+    /// The document root element name.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// The pseudo-production of the document node: exactly one child, the
+    /// root element. This is the production `$ROOT` ranges over.
+    pub fn doc_production(&self) -> &Production {
+        &self.doc
+    }
+
+    /// Look up a production by element name.
+    pub fn production(&self, name: &str) -> Option<&Production> {
+        self.index.get(name).map(|&i| &self.prods[i])
+    }
+
+    /// All productions in declaration order.
+    pub fn productions(&self) -> &[Production] {
+        &self.prods
+    }
+
+    /// `Ord_elem(a, b)` convenience accessor; `true` when `elem` is unknown
+    /// only if you consider unknown elements childless — we return `true`
+    /// (vacuous) in that case, matching the word-level definition.
+    pub fn ord(&self, elem: &str, a: &str, b: &str) -> bool {
+        self.production(elem).map(|p| p.ord(a, b)).unwrap_or(true)
+    }
+
+    /// `symb` of an element's production (empty for unknown elements).
+    pub fn symb(&self, elem: &str) -> &[String] {
+        self.production(elem).map(|p| p.symbols()).unwrap_or(&[])
+    }
+}
+
+enum Decl {
+    Element(String, ContentModel),
+    AttList(String, Vec<(String, bool)>),
+}
+
+/// Split the DTD text into `<!ELEMENT …>` / `<!ATTLIST …>` declarations,
+/// skipping comments and PIs.
+fn scan_declarations(src: &str) -> Result<Vec<Decl>, DtdError> {
+    let mut out = Vec::new();
+    let mut rest = src;
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        if let Some(r) = rest.strip_prefix("<!--") {
+            let end = r.find("-->").ok_or_else(|| DtdError::Parse("unterminated comment".into()))?;
+            rest = &r[end + 3..];
+            continue;
+        }
+        if rest.starts_with("<?") {
+            let end = rest.find("?>").ok_or_else(|| DtdError::Parse("unterminated PI".into()))?;
+            rest = &rest[end + 2..];
+            continue;
+        }
+        if !rest.starts_with("<!") {
+            return Err(DtdError::Parse(format!("expected a declaration, found `{}`", head(rest))));
+        }
+        let end = rest.find('>').ok_or_else(|| DtdError::Parse("unterminated declaration".into()))?;
+        let body = &rest[2..end];
+        rest = &rest[end + 1..];
+        if let Some(b) = body.strip_prefix("ELEMENT") {
+            out.push(parse_element_decl(b)?);
+        } else if let Some(b) = body.strip_prefix("ATTLIST") {
+            out.push(parse_attlist_decl(b)?);
+        } else {
+            return Err(DtdError::Parse(format!("unsupported declaration `<!{}`", head(body))));
+        }
+    }
+    Ok(out)
+}
+
+fn head(s: &str) -> String {
+    s.chars().take(24).collect()
+}
+
+fn parse_element_decl(body: &str) -> Result<Decl, DtdError> {
+    let body = body.trim();
+    let name_end = body
+        .find(|c: char| c.is_whitespace())
+        .ok_or_else(|| DtdError::Parse(format!("bad ELEMENT declaration `{}`", head(body))))?;
+    let name = body[..name_end].to_string();
+    let content = body[name_end..].trim();
+    let model = parse_content_model(content).map_err(DtdError::Parse)?;
+    Ok(Decl::Element(name, model))
+}
+
+/// Parse a content specification: `EMPTY`, `ANY`, `(#PCDATA)`,
+/// `(#PCDATA|a|b)*`, or an element-content regular expression.
+pub fn parse_content_model(src: &str) -> Result<ContentModel, String> {
+    let s = src.trim();
+    match s {
+        "EMPTY" => return Ok(ContentModel::Empty),
+        "ANY" => return Ok(ContentModel::Any),
+        _ => {}
+    }
+    if s.contains("#PCDATA") {
+        let inner = s
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(")*").or_else(|| t.strip_suffix(')')))
+            .ok_or_else(|| format!("bad mixed content model `{s}`"))?;
+        let mut names = Vec::new();
+        for (i, part) in inner.split('|').enumerate() {
+            let part = part.trim();
+            if i == 0 {
+                if part != "#PCDATA" {
+                    return Err(format!("mixed content must start with #PCDATA in `{s}`"));
+                }
+            } else if part.is_empty() {
+                return Err(format!("empty alternative in mixed content `{s}`"));
+            } else {
+                names.push(part.to_string());
+            }
+        }
+        if names.is_empty() {
+            return Ok(ContentModel::PcData);
+        }
+        return Ok(ContentModel::Mixed(names));
+    }
+    Ok(ContentModel::Children(parse_content_regex(s)?))
+}
+
+/// Parse a DTD element-content regular expression (`,` sequence, `|`
+/// alternation, `* + ?` postfix).
+pub fn parse_content_regex(src: &str) -> Result<Regex, String> {
+    let mut p = RegexParser { src: src.as_bytes(), pos: 0 };
+    let re = p.alt()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(format!("trailing input in content model at byte {}: `{}`", p.pos, &src[p.pos..]));
+    }
+    Ok(re)
+}
+
+struct RegexParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl RegexParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn alt(&mut self) -> Result<Regex, String> {
+        let mut parts = vec![self.seq()?];
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            parts.push(self.seq()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Regex::Alt(parts) })
+    }
+
+    fn seq(&mut self) -> Result<Regex, String> {
+        let mut parts = vec![self.factor()?];
+        while self.peek() == Some(b',') {
+            self.pos += 1;
+            parts.push(self.factor()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Regex::Seq(parts) })
+    }
+
+    fn factor(&mut self) -> Result<Regex, String> {
+        let mut atom = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    atom = Regex::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    atom = Regex::Plus(Box::new(atom));
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    atom = Regex::Opt(Box::new(atom));
+                }
+                _ => return Ok(atom),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, String> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.alt()?;
+                if self.peek() != Some(b')') {
+                    return Err(format!("expected `)` at byte {}", self.pos));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(c) if is_name_byte(c) => {
+                let start = self.pos;
+                while self.pos < self.src.len() && is_name_byte(self.src[self.pos]) {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| "non-UTF8 name".to_string())?;
+                Ok(Regex::sym(name))
+            }
+            other => Err(format!("unexpected {:?} at byte {} in content model", other.map(|c| c as char), self.pos)),
+        }
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')
+}
+
+fn parse_attlist_decl(body: &str) -> Result<Decl, DtdError> {
+    let mut toks = tokenize_attlist(body);
+    let elem = toks
+        .next()
+        .ok_or_else(|| DtdError::Parse("ATTLIST missing element name".into()))?;
+    let mut attrs = Vec::new();
+    while let Some(attr) = toks.next() {
+        let _ty = toks
+            .next()
+            .ok_or_else(|| DtdError::Parse(format!("ATTLIST `{elem}`: attribute `{attr}` missing type")))?;
+        let default = toks
+            .next()
+            .ok_or_else(|| DtdError::Parse(format!("ATTLIST `{elem}`: attribute `{attr}` missing default")))?;
+        let required = match default.as_str() {
+            "#REQUIRED" => true,
+            "#IMPLIED" => false,
+            "#FIXED" => {
+                toks.next(); // the fixed value
+                true
+            }
+            _ => false, // literal default value
+        };
+        attrs.push((attr, required));
+    }
+    Ok(Decl::AttList(elem, attrs))
+}
+
+/// Tokenize an ATTLIST body: names, quoted strings, parenthesized
+/// enumerations (returned as single tokens), `#KEYWORD`s.
+fn tokenize_attlist(body: &str) -> impl Iterator<Item = String> + '_ {
+    let mut rest = body.trim_start();
+    std::iter::from_fn(move || {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            return None;
+        }
+        let tok = if rest.starts_with('"') || rest.starts_with('\'') {
+            let q = rest.chars().next().unwrap();
+            let end = rest[1..].find(q).map(|i| i + 2).unwrap_or(rest.len());
+            &rest[..end]
+        } else if rest.starts_with('(') {
+            let end = rest.find(')').map(|i| i + 1).unwrap_or(rest.len());
+            &rest[..end]
+        } else {
+            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            &rest[..end]
+        };
+        let out = tok.to_string();
+        rest = &rest[tok.len()..];
+        Some(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB_WEAK: &str = "<!ELEMENT bib (book)*>\n<!ELEMENT book (title|author)*>\n\
+                            <!ELEMENT title (#PCDATA)>\n<!ELEMENT author (#PCDATA)>";
+    const BIB_STRONG: &str = "<!ELEMENT bib (book)*>\
+        <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>\
+        <!ELEMENT editor (#PCDATA)><!ELEMENT publisher (#PCDATA)>\
+        <!ELEMENT price (#PCDATA)>";
+
+    #[test]
+    fn parse_weak_bib() {
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        assert_eq!(dtd.root(), "bib");
+        assert!(!dtd.ord("book", "title", "author"));
+        assert!(!dtd.ord("book", "author", "title"));
+        assert!(dtd.production("title").unwrap().allows_text());
+        assert!(!dtd.production("bib").unwrap().allows_text());
+    }
+
+    #[test]
+    fn parse_strong_bib() {
+        let dtd = Dtd::parse(BIB_STRONG).unwrap();
+        assert!(dtd.ord("book", "title", "author"));
+        assert!(dtd.ord("book", "title", "price"));
+        assert!(dtd.ord("book", "author", "publisher"));
+        assert!(!dtd.ord("bib", "book", "book"));
+        assert!(dtd.production("book").unwrap().card_le_1("title"));
+        assert!(!dtd.production("book").unwrap().card_le_1("author"));
+    }
+
+    #[test]
+    fn doc_production_wraps_root() {
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let doc = dtd.doc_production();
+        assert!(doc.automaton().accepts(&["bib"]));
+        assert!(!doc.automaton().accepts(&["bib", "bib"]));
+        assert!(!doc.automaton().accepts::<&str>(&[]));
+        assert!(doc.card_le_1("bib"));
+        assert!(doc.ord("bib", "bib"));
+    }
+
+    #[test]
+    fn explicit_root() {
+        let dtd = Dtd::parse_with_root(BIB_WEAK, "book").unwrap();
+        assert_eq!(dtd.root(), "book");
+        assert!(matches!(Dtd::parse_with_root(BIB_WEAK, "nosuch"), Err(DtdError::UnknownRoot(_))));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = Dtd::parse("<!ELEMENT a (b)><!ELEMENT a (c)>").unwrap_err();
+        assert!(matches!(err, DtdError::Duplicate(_)));
+    }
+
+    #[test]
+    fn ambiguous_rejected() {
+        let err = Dtd::parse("<!ELEMENT a ((b,c)|(b,d))>").unwrap_err();
+        assert!(matches!(err, DtdError::Ambiguous { .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(Dtd::parse("  <!-- nothing -->  "), Err(DtdError::Empty)));
+    }
+
+    #[test]
+    fn undeclared_children_become_pcdata_leaves() {
+        let dtd = Dtd::parse("<!ELEMENT a (b,c)>").unwrap();
+        assert!(dtd.production("b").unwrap().allows_text());
+        assert_eq!(dtd.production("b").unwrap().symbols().len(), 0);
+    }
+
+    #[test]
+    fn empty_and_any_models() {
+        let dtd = Dtd::parse("<!ELEMENT a (b?,c)><!ELEMENT b EMPTY><!ELEMENT c ANY>").unwrap();
+        assert_eq!(dtd.production("b").unwrap().model, ContentModel::Empty);
+        assert!(!dtd.production("b").unwrap().allows_text());
+        assert!(dtd.production("c").unwrap().allows_text());
+        // ANY admits any declared element in any order:
+        assert!(dtd.production("c").unwrap().automaton().accepts(&["a", "b", "c", "a"]));
+    }
+
+    #[test]
+    fn mixed_content() {
+        let dtd = Dtd::parse("<!ELEMENT p (#PCDATA|em|bold)*><!ELEMENT em (#PCDATA)><!ELEMENT bold (#PCDATA)>").unwrap();
+        let p = dtd.production("p").unwrap();
+        assert!(p.allows_text());
+        assert!(p.automaton().accepts(&["em", "bold", "em"]));
+        assert!(!p.ord("em", "bold"));
+    }
+
+    #[test]
+    fn attlist_converts_to_leading_subelements() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT person (name,email?)><!ELEMENT name (#PCDATA)><!ELEMENT email (#PCDATA)>\
+             <!ATTLIST person id CDATA #REQUIRED featured CDATA #IMPLIED>",
+        )
+        .unwrap();
+        let p = dtd.production("person").unwrap();
+        assert!(p.automaton().accepts(&["person_id", "name"]));
+        assert!(p.automaton().accepts(&["person_id", "person_featured", "name", "email"]));
+        assert!(!p.automaton().accepts(&["name"]), "person_id is #REQUIRED");
+        assert!(p.ord("person_id", "name"));
+        assert!(dtd.production("person_id").unwrap().allows_text());
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        let dtd = Dtd::parse("<!-- c --><?pi x?><!ELEMENT a (b*)><!-- d -->").unwrap();
+        assert_eq!(dtd.root(), "a");
+    }
+
+    #[test]
+    fn paper_production_with_order() {
+        // <!ELEMENT book ((title|author)*,price)> from Section 1.
+        let dtd = Dtd::parse("<!ELEMENT book ((title|author)*,price)>").unwrap();
+        let b = dtd.production("book").unwrap();
+        assert!(!b.ord("title", "author"));
+        assert!(b.ord("title", "price"));
+        assert!(b.ord("author", "price"));
+    }
+
+    #[test]
+    fn regex_parser_errors() {
+        assert!(parse_content_regex("(a,)").is_err());
+        assert!(parse_content_regex("(a").is_err());
+        assert!(parse_content_regex("a)b").is_err());
+        assert!(parse_content_regex("").is_err());
+    }
+}

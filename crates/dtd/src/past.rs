@@ -1,0 +1,185 @@
+//! `PastTable` and `first-past` punctuation (paper, Appendix B).
+//!
+//! For a production ρ and a symbol set S, `PastTable_{ρ,S}(q)` holds when
+//! *none* of the symbols of S can occur anymore once the validating DFA is in
+//! state q. The streaming engine evaluates `first-past` with exactly the
+//! paper's recipe: on the transition `δ(q, uₙ) = q′` fired by each input
+//! token,
+//!
+//! ```text
+//! first-past(u₁…uₙ) := PastTable(q′) ∧ ¬PastTable(q)
+//! ```
+//!
+//! and at the very start of the children list, `first-past(ε) :=
+//! PastTable(q₀)` — one table lookup per token, as advertised.
+
+use crate::constraints::Constraints;
+use crate::glushkov::Glushkov;
+
+/// A precomputed `PastTable_{ρ,S}` for one handler's symbol set S.
+#[derive(Debug, Clone)]
+pub struct PastTable {
+    table: Vec<bool>,
+}
+
+impl PastTable {
+    /// Build the table for symbol set `S` (names not in `symb(ρ)` are
+    /// trivially past — they can never occur).
+    pub fn build<S: AsRef<str>>(g: &Glushkov, c: &Constraints, set: &[S]) -> PastTable {
+        let sids: Vec<u32> = set.iter().filter_map(|s| g.symbol_id(s.as_ref())).collect();
+        let table = (0..g.n_states() as u32)
+            .map(|q| sids.iter().all(|&sid| c.past(q, sid)))
+            .collect();
+        PastTable { table }
+    }
+
+    /// `PastTable(q)`.
+    pub fn holds(&self, state: u32) -> bool {
+        self.table[state as usize]
+    }
+
+    /// Does `first-past` fire before any child has been read (i = 0)?
+    /// True exactly when S is empty or no S-symbol can occur at all.
+    pub fn fires_initially(&self) -> bool {
+        self.holds(Glushkov::INITIAL)
+    }
+
+    /// Does `first-past` fire on the transition `old → new`?
+    pub fn fires_on(&self, old_state: u32, new_state: u32) -> bool {
+        self.holds(new_state) && !self.holds(old_state)
+    }
+}
+
+/// A validating DFA run over one element's children (one per open scope in
+/// the engine). Wraps the Glushkov automaton with the current state.
+#[derive(Debug, Clone)]
+pub struct Matcher<'g> {
+    g: &'g Glushkov,
+    state: u32,
+}
+
+impl<'g> Matcher<'g> {
+    /// Start a run at q₀.
+    pub fn new(g: &'g Glushkov) -> Self {
+        Matcher { g, state: Glushkov::INITIAL }
+    }
+
+    /// Current DFA state.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Consume one child label; `Err` carries the offending label when the
+    /// children sequence violates the content model.
+    pub fn step(&mut self, label: &str) -> Result<(u32, u32), String> {
+        let old = self.state;
+        match self.g.step_name(old, label) {
+            Some(next) => {
+                self.state = next;
+                Ok((old, next))
+            }
+            None => Err(format!("element `{label}` not allowed here by the DTD")),
+        }
+    }
+
+    /// Check that the children list may end here.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.g.accepting(self.state) {
+            Ok(())
+        } else {
+            Err("element content ended prematurely (content model not satisfied)".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_content_regex as parse;
+
+    fn setup(s: &str) -> (Glushkov, Constraints) {
+        let g = Glushkov::build(&parse(s).unwrap()).unwrap();
+        let c = Constraints::compute(&g);
+        (g, c)
+    }
+
+    /// Simulate the engine: feed a children word, return the 0-based child
+    /// indices *after* which first-past fires (0 = before any child, i =
+    /// after child i).
+    fn first_past_fires(g: &Glushkov, c: &Constraints, set: &[&str], word: &[&str]) -> Vec<usize> {
+        let t = PastTable::build(g, c, set);
+        let mut fires = Vec::new();
+        if t.fires_initially() {
+            fires.push(0);
+        }
+        let mut m = Matcher::new(g);
+        for (i, w) in word.iter().enumerate() {
+            let (old, new) = m.step(w).unwrap();
+            if t.fires_on(old, new) {
+                fires.push(i + 1);
+            }
+        }
+        m.finish().unwrap();
+        fires
+    }
+
+    #[test]
+    fn past_empty_set_fires_at_start() {
+        let (g, c) = setup("(a,b)");
+        assert_eq!(first_past_fires(&g, &c, &[], &["a", "b"]), vec![0]);
+    }
+
+    #[test]
+    fn weak_dtd_never_fires_mid_stream() {
+        // (title|author)*: past(title,author) only holds at the very end,
+        // which the DFA can never announce mid-word — the engine's
+        // end-of-scope fallback (i = n+1) handles it.
+        let (g, c) = setup("(title|author)*");
+        assert_eq!(
+            first_past_fires(&g, &c, &["title", "author"], &["title", "author", "title"]),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn ordered_dtd_fires_at_earliest_point() {
+        // ((title|author)*,price): after price, title+author are past.
+        let (g, c) = setup("((title|author)*,price)");
+        assert_eq!(
+            first_past_fires(&g, &c, &["title", "author"], &["author", "title", "price"]),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn fires_on_the_last_s_symbol_itself() {
+        // (title,author): after reading author (an S-symbol), S is past.
+        let (g, c) = setup("(title,author)");
+        assert_eq!(first_past_fires(&g, &c, &["title", "author"], &["title", "author"]), vec![2]);
+        assert_eq!(first_past_fires(&g, &c, &["title"], &["title", "author"]), vec![1]);
+    }
+
+    #[test]
+    fn symbols_outside_production_are_always_past() {
+        let (g, c) = setup("(a,b)");
+        assert_eq!(first_past_fires(&g, &c, &["zzz"], &["a", "b"]), vec![0]);
+    }
+
+    #[test]
+    fn fires_exactly_once() {
+        let (g, c) = setup("(a,b*,c)");
+        let fires = first_past_fires(&g, &c, &["a"], &["a", "b", "b", "c"]);
+        assert_eq!(fires, vec![1]);
+    }
+
+    #[test]
+    fn matcher_rejects_invalid_children() {
+        let (g, _c) = setup("(a,b)");
+        let mut m = Matcher::new(&g);
+        m.step("a").unwrap();
+        assert!(m.step("a").is_err());
+        let mut m2 = Matcher::new(&g);
+        m2.step("a").unwrap();
+        assert!(m2.finish().is_err(), "b still required");
+    }
+}

@@ -1,0 +1,162 @@
+//! Regular expressions over tag names — the right-hand sides of DTD
+//! productions (paper, Section 2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A regular expression over element names.
+///
+/// `Empty` denotes ε (the empty word), used for `EMPTY` content models.
+/// There is deliberately no ∅ (empty language): DTDs cannot express it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// ε — matches only the empty word.
+    Empty,
+    /// A single tag name.
+    Symbol(String),
+    /// Concatenation `(r1, r2, …)`.
+    Seq(Vec<Regex>),
+    /// Alternation `(r1 | r2 | …)`.
+    Alt(Vec<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+    /// One-or-more `r+`.
+    Plus(Box<Regex>),
+    /// Optional `r?`.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// Convenience constructor for a symbol.
+    pub fn sym(name: impl Into<String>) -> Regex {
+        Regex::Symbol(name.into())
+    }
+
+    /// `symb(ρ)`: the set of atomic symbols occurring in the expression.
+    pub fn symbols(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Regex::Empty => {}
+            Regex::Symbol(s) => {
+                out.insert(s);
+            }
+            Regex::Seq(rs) | Regex::Alt(rs) => {
+                for r in rs {
+                    r.collect_symbols(out);
+                }
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => r.collect_symbols(out),
+        }
+    }
+
+    /// Number of symbol occurrences (the Glushkov position count); a proxy
+    /// for |ρ| in the paper's complexity statements.
+    pub fn occurrence_count(&self) -> usize {
+        match self {
+            Regex::Empty => 0,
+            Regex::Symbol(_) => 1,
+            Regex::Seq(rs) | Regex::Alt(rs) => rs.iter().map(Regex::occurrence_count).sum(),
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) => r.occurrence_count(),
+        }
+    }
+
+    /// Whether ε ∈ L(ρ) (computed structurally; also available from the
+    /// automaton as `accepting(q0)`).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Symbol(_) => false,
+            Regex::Seq(rs) => rs.iter().all(Regex::nullable),
+            Regex::Alt(rs) => rs.iter().any(Regex::nullable),
+            Regex::Plus(r) => r.nullable(),
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "EMPTY"),
+            Regex::Symbol(s) => write!(f, "{s}"),
+            Regex::Seq(rs) => {
+                write!(f, "(")?;
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, ")")
+            }
+            Regex::Alt(rs) => {
+                write!(f, "(")?;
+                for (i, r) in rs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, ")")
+            }
+            Regex::Star(r) => write!(f, "{r}*"),
+            Regex::Plus(r) => write!(f, "{r}+"),
+            Regex::Opt(r) => write!(f, "{r}?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(rs: Vec<Regex>) -> Regex {
+        Regex::Seq(rs)
+    }
+
+    #[test]
+    fn symbols_and_occurrences() {
+        // (a*.b.c*.(d|e*).a*) from Example 2.1
+        let r = seq(vec![
+            Regex::Star(Box::new(Regex::sym("a"))),
+            Regex::sym("b"),
+            Regex::Star(Box::new(Regex::sym("c"))),
+            Regex::Alt(vec![Regex::sym("d"), Regex::Star(Box::new(Regex::sym("e")))]),
+            Regex::Star(Box::new(Regex::sym("a"))),
+        ]);
+        assert_eq!(r.symbols().into_iter().collect::<Vec<_>>(), ["a", "b", "c", "d", "e"]);
+        assert_eq!(r.occurrence_count(), 6); // a appears in two positions
+    }
+
+    #[test]
+    fn nullable() {
+        assert!(Regex::Empty.nullable());
+        assert!(!Regex::sym("a").nullable());
+        assert!(Regex::Star(Box::new(Regex::sym("a"))).nullable());
+        assert!(Regex::Opt(Box::new(Regex::sym("a"))).nullable());
+        assert!(!Regex::Plus(Box::new(Regex::sym("a"))).nullable());
+        assert!(seq(vec![Regex::Empty, Regex::Star(Box::new(Regex::sym("a")))]).nullable());
+        assert!(!seq(vec![Regex::sym("a"), Regex::Empty]).nullable());
+        assert!(Regex::Alt(vec![Regex::sym("a"), Regex::Empty]).nullable());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let r = seq(vec![
+            Regex::sym("title"),
+            Regex::Alt(vec![
+                Regex::Plus(Box::new(Regex::sym("author"))),
+                Regex::Plus(Box::new(Regex::sym("editor"))),
+            ]),
+            Regex::sym("publisher"),
+        ]);
+        let printed = r.to_string();
+        let back = crate::parser::parse_content_regex(&printed).unwrap();
+        assert_eq!(back.symbols(), r.symbols());
+        assert_eq!(back.occurrence_count(), r.occurrence_count());
+    }
+}

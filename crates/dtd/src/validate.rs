@@ -1,0 +1,173 @@
+//! Streaming document validation against a DTD.
+//!
+//! The paper assumes valid input: "We focus on valid documents, i.e.
+//! documents conforming to a given DTD" (Section 2) — the FluX engine's
+//! punctuation generation piggybacks on exactly this validation run. This
+//! module provides the standalone validator used by tests and by the data
+//! generator's self-checks; the engine embeds the same per-scope
+//! [`crate::past::Matcher`] logic.
+
+use flux_xml::{Event, Reader};
+
+use crate::parser::Dtd;
+use crate::past::Matcher;
+
+/// A validation failure with a human-readable location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Element context in which the error occurred (or `#document`).
+    pub element: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "validation error in <{}>: {}", self.element, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a stream of events against the DTD. The event stream must be a
+/// single well-formed document (as produced by [`flux_xml::Reader`]).
+pub fn validate_events<'a, I>(dtd: &Dtd, events: I) -> Result<(), ValidationError>
+where
+    I: IntoIterator<Item = Event<'a>>,
+{
+    // Stack of (element name, matcher over its children, allows_text).
+    let mut stack: Vec<(String, Matcher<'_>, bool)> = Vec::new();
+    let doc = dtd.doc_production();
+    stack.push(("#document".to_string(), Matcher::new(doc.automaton()), false));
+
+    for ev in events {
+        match ev {
+            Event::Start(name) => {
+                let top = stack.last_mut().expect("document scope always present");
+                top.1.step(name).map_err(|m| ValidationError { element: top.0.clone(), message: m })?;
+                let prod = dtd.production(name).ok_or_else(|| ValidationError {
+                    element: name.to_string(),
+                    message: format!("element `{name}` is not declared in the DTD"),
+                })?;
+                stack.push((name.to_string(), Matcher::new(prod.automaton()), prod.allows_text()));
+            }
+            Event::Text(t) => {
+                let top = stack.last().expect("document scope always present");
+                if !top.2 && !t.chars().all(char::is_whitespace) {
+                    return Err(ValidationError {
+                        element: top.0.clone(),
+                        message: "character data not allowed by the content model".into(),
+                    });
+                }
+            }
+            Event::End(_) => {
+                let (name, matcher, _) = stack.pop().expect("reader guarantees matched tags");
+                matcher
+                    .finish()
+                    .map_err(|m| ValidationError { element: name, message: m })?;
+            }
+        }
+    }
+    let (name, matcher, _) = stack.pop().expect("document scope");
+    matcher.finish().map_err(|m| ValidationError { element: name, message: m })
+}
+
+/// Parse and validate an XML string in one go.
+pub fn validate_str(dtd: &Dtd, xml: &str) -> Result<(), ValidationError> {
+    let mut r = Reader::from_str(xml);
+    let mut events = Vec::new();
+    loop {
+        match r.next_event() {
+            Ok(Some(ev)) => events.push(ev.to_owned()),
+            Ok(None) => break,
+            Err(e) => {
+                return Err(ValidationError { element: "#document".into(), message: e.to_string() })
+            }
+        }
+    }
+    validate_events(dtd, events.iter().map(|e| e.as_event()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bib_dtd() -> Dtd {
+        Dtd::parse(
+            "<!ELEMENT bib (book)*>\
+             <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+             <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>\
+             <!ELEMENT editor (#PCDATA)><!ELEMENT publisher (#PCDATA)>\
+             <!ELEMENT price (#PCDATA)>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_document_accepted() {
+        let dtd = bib_dtd();
+        validate_str(
+            &dtd,
+            "<bib><book><title>T</title><author>A</author><author>B</author>\
+             <publisher>P</publisher><price>3</price></book></bib>",
+        )
+        .unwrap();
+        validate_str(&dtd, "<bib></bib>").unwrap();
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let dtd = bib_dtd();
+        assert!(validate_str(&dtd, "<book></book>").is_err());
+    }
+
+    #[test]
+    fn wrong_order_rejected() {
+        let dtd = bib_dtd();
+        let err = validate_str(
+            &dtd,
+            "<bib><book><author>A</author><title>T</title>\
+             <publisher>P</publisher><price>3</price></book></bib>",
+        )
+        .unwrap_err();
+        assert_eq!(err.element, "book");
+    }
+
+    #[test]
+    fn missing_required_child_rejected() {
+        let dtd = bib_dtd();
+        let err = validate_str(&dtd, "<bib><book><title>T</title><author>A</author></book></bib>")
+            .unwrap_err();
+        assert_eq!(err.element, "book");
+        assert!(err.message.contains("prematurely"));
+    }
+
+    #[test]
+    fn mixing_author_and_editor_rejected() {
+        let dtd = bib_dtd();
+        assert!(validate_str(
+            &dtd,
+            "<bib><book><title>T</title><author>A</author><editor>E</editor>\
+             <publisher>P</publisher><price>3</price></book></bib>",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn text_in_element_content_rejected() {
+        let dtd = bib_dtd();
+        let mut r = Reader::new(
+            "<bib>loose text</bib>".as_bytes(),
+            flux_xml::ReaderOptions { keep_whitespace: true, ..Default::default() },
+        );
+        let evs = r.read_to_end().unwrap();
+        let err = validate_events(&dtd, evs.iter().map(|e| e.as_event())).unwrap_err();
+        assert!(err.message.contains("character data"));
+    }
+
+    #[test]
+    fn undeclared_element_rejected() {
+        let dtd = Dtd::parse("<!ELEMENT a (a?)>").unwrap();
+        assert!(validate_str(&dtd, "<a><zzz/></a>").is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Runtime buffers: recording slivers of the stream into trees.
+//!
+//! A [`Recorder`] follows its scope's [`BufferTree`] as events stream by.
+//! Nodes are attached to the buffer *eagerly* (on their start event), so the
+//! buffer is a well-formed tree at every instant — XQuery− subexpressions
+//! can be evaluated against it mid-stream, which is exactly what safety
+//! licenses. Interior (unmarked) nodes store tags only; marked nodes store
+//! their whole subtrees; everything else is skipped.
+//!
+//! Buffered bytes are charged to the run's memory accounting with the
+//! events-list metric (tag names twice, text once) and released when the
+//! scope instance ends.
+
+use flux_xml::Node;
+
+use crate::bufplan::BufferTree;
+
+/// What the recorder is doing at one open-element level.
+#[derive(Debug, Clone, Copy)]
+enum RecFrame<'p> {
+    /// Following an unmarked buffer-tree node (tags recorded, text skipped).
+    Follow(&'p BufferTree),
+    /// Inside a marked subtree: record everything.
+    Capture,
+    /// Not recorded.
+    Skip,
+}
+
+/// Per-scope-instance recording state.
+#[derive(Debug)]
+pub struct Recorder<'p> {
+    tree: &'p BufferTree,
+    /// The buffer: rooted at the scope element.
+    root: Node,
+    frames: Vec<RecFrame<'p>>,
+    /// Child indices of the open recorded chain (for cursor navigation).
+    open_path: Vec<usize>,
+    /// Bytes charged for this buffer so far.
+    bytes: usize,
+}
+
+impl<'p> Recorder<'p> {
+    /// Create a recorder for one scope instance.
+    pub fn new(tree: &'p BufferTree, scope_elem: &str) -> Recorder<'p> {
+        Recorder {
+            tree,
+            root: Node::new(scope_elem),
+            frames: Vec::new(),
+            open_path: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The buffer contents (always a well-formed tree).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Bytes currently charged for this buffer.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Is the most recently opened element being recorded? The executor
+    /// calls this right after a child's start event was dispatched, to
+    /// decide whether the child may stream through or must be captured.
+    pub fn is_recording(&self) -> bool {
+        matches!(self.frames.last(), Some(RecFrame::Capture | RecFrame::Follow(_)))
+    }
+
+    /// Would a child with this label be (partly) recorded right now?
+    /// Used by the executor to decide whether a handled child must be
+    /// captured rather than streamed.
+    pub fn would_record(&self, label: &str) -> bool {
+        match self.frames.last() {
+            Some(RecFrame::Capture) => true,
+            Some(RecFrame::Skip) => false,
+            Some(RecFrame::Follow(t)) => t.children.contains_key(label),
+            None => self.tree.marked || self.tree.children.contains_key(label),
+        }
+    }
+
+    fn cursor(&mut self) -> &mut Node {
+        let mut n = &mut self.root;
+        for &i in &self.open_path {
+            n = match &mut n.children[i] {
+                flux_xml::Child::Elem(e) => e,
+                flux_xml::Child::Text(_) => unreachable!("open chain is elements"),
+            };
+        }
+        n
+    }
+
+    /// Start-element event inside the scope; returns bytes newly charged.
+    pub fn on_start(&mut self, name: &str) -> usize {
+        let action = match self.frames.last() {
+            Some(RecFrame::Skip) => RecFrame::Skip,
+            Some(RecFrame::Capture) => RecFrame::Capture,
+            Some(RecFrame::Follow(t)) => match t.children.get(name) {
+                Some(c) if c.marked => RecFrame::Capture,
+                Some(c) => RecFrame::Follow(c),
+                None => RecFrame::Skip,
+            },
+            None => {
+                if self.tree.marked {
+                    RecFrame::Capture
+                } else {
+                    match self.tree.children.get(name) {
+                        Some(c) if c.marked => RecFrame::Capture,
+                        Some(c) => RecFrame::Follow(c),
+                        None => RecFrame::Skip,
+                    }
+                }
+            }
+        };
+        let grew = match action {
+            RecFrame::Skip => 0,
+            RecFrame::Capture | RecFrame::Follow(_) => {
+                let parent = self.cursor();
+                parent.push_elem(name);
+                let idx = parent.children.len() - 1;
+                self.open_path.push(idx);
+                2 * name.len()
+            }
+        };
+        self.frames.push(action);
+        self.bytes += grew;
+        grew
+    }
+
+    /// Character data inside the scope; returns bytes newly charged.
+    pub fn on_text(&mut self, text: &str) -> usize {
+        let capture = match self.frames.last() {
+            Some(RecFrame::Capture) => true,
+            None => self.tree.marked, // text directly under a marked scope
+            _ => false,
+        };
+        if capture {
+            self.cursor().push_text(text);
+            self.bytes += text.len();
+            text.len()
+        } else {
+            0
+        }
+    }
+
+    /// End-element event inside the scope.
+    pub fn on_end(&mut self) {
+        match self.frames.pop() {
+            Some(RecFrame::Skip) | None => {}
+            Some(RecFrame::Capture | RecFrame::Follow(_)) => {
+                self.open_path.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_xml::{Event, Reader};
+
+    /// Feed the children of `<scope>…</scope>` through a recorder.
+    fn record(tree: &BufferTree, content: &str) -> (Node, usize) {
+        let xml = format!("<scope>{content}</scope>");
+        let mut r = Reader::from_str(&xml);
+        let mut rec = Recorder::new(tree, "scope");
+        let mut depth = 0;
+        while let Some(ev) = r.next_event().unwrap() {
+            match ev {
+                Event::Start(n) => {
+                    depth += 1;
+                    if depth > 1 {
+                        rec.on_start(n);
+                    }
+                }
+                Event::Text(t) => {
+                    if depth >= 1 {
+                        rec.on_text(t);
+                    }
+                }
+                Event::End(_) => {
+                    if depth > 1 {
+                        rec.on_end();
+                    }
+                    depth -= 1;
+                }
+            }
+        }
+        let bytes = rec.bytes();
+        (rec.root, bytes)
+    }
+
+    fn tree(paths: &[(&str, bool)]) -> BufferTree {
+        let mut t = BufferTree::default();
+        for (p, marked) in paths {
+            let steps: Vec<String> = p.split('/').map(str::to_string).collect();
+            t.insert(&steps, *marked);
+        }
+        t.prune();
+        t
+    }
+
+    #[test]
+    fn marked_child_records_whole_subtree() {
+        let t = tree(&[("author", true)]);
+        let (root, bytes) = record(&t, "<title>T</title><author>A<em>!</em></author>");
+        assert_eq!(root.to_xml(), "<scope><author>A<em>!</em></author></scope>");
+        // author ×2 + em ×2 + "A" + "!"
+        assert_eq!(bytes, 12 + 4 + 2);
+    }
+
+    #[test]
+    fn interior_nodes_record_tags_only() {
+        let t = tree(&[("book/editor", true)]);
+        let (root, _) = record(
+            &t,
+            "<book><title>skip me</title><editor>E</editor></book><junk>j</junk>",
+        );
+        assert_eq!(root.to_xml(), "<scope><book><editor>E</editor></book></scope>");
+    }
+
+    #[test]
+    fn marked_root_captures_everything() {
+        let mut t = BufferTree::default();
+        t.insert(&[], true);
+        let (root, bytes) = record(&t, "x<多/>y");
+        assert_eq!(root.to_xml(), "<scope>x<多></多>y</scope>");
+        assert_eq!(bytes, 2 + "多".len() * 2);
+    }
+
+    #[test]
+    fn tags_only_for_unmarked_leaves() {
+        let t = tree(&[("a", false)]);
+        let (root, bytes) = record(&t, "<a>value ignored<b>deep</b></a><a>two</a>");
+        assert_eq!(root.to_xml(), "<scope><a></a><a></a></scope>");
+        assert_eq!(bytes, 4);
+    }
+
+    #[test]
+    fn repeated_and_nested_matches() {
+        let t = tree(&[("book/editor", true), ("book/title", false)]);
+        let (root, _) = record(
+            &t,
+            "<book><title>t1</title><editor>E1</editor></book>\
+             <book><editor>E2</editor><editor>E3</editor></book>",
+        );
+        assert_eq!(
+            root.to_xml(),
+            "<scope><book><title></title><editor>E1</editor></book>\
+             <book><editor>E2</editor><editor>E3</editor></book></scope>"
+        );
+    }
+
+    #[test]
+    fn would_record_reflects_cursor() {
+        let t = tree(&[("book/editor", true)]);
+        let mut rec = Recorder::new(&t, "scope");
+        assert!(rec.would_record("book"));
+        assert!(!rec.would_record("article"));
+        rec.on_start("book");
+        assert!(rec.would_record("editor"));
+        assert!(!rec.would_record("title"));
+        rec.on_start("editor");
+        assert!(rec.would_record("anything"), "inside a capture everything records");
+        rec.on_end();
+        rec.on_end();
+        assert!(rec.would_record("book"));
+    }
+
+    #[test]
+    fn partial_buffer_is_well_formed_mid_stream() {
+        let t = tree(&[("a/b", true)]);
+        let mut rec = Recorder::new(&t, "s");
+        rec.on_start("a");
+        rec.on_start("b");
+        rec.on_text("x");
+        // Mid-stream, before any end events: the buffer is already a valid
+        // tree containing the partially read data.
+        assert_eq!(rec.root().to_xml(), "<s><a><b>x</b></a></s>");
+    }
+}

@@ -1,0 +1,569 @@
+//! Compilation of safe FluX queries into executable plans.
+//!
+//! Compilation resolves everything that can be resolved statically:
+//!
+//! * one scope spec per `process-stream` expression, with its DTD
+//!   production and a [`PastTable`] per `on-first` handler (Appendix B:
+//!   punctuation costs one DFA transition + one table lookup per token);
+//! * the pruned [`BufferTree`] of every scope variable (Section 5, Π);
+//! * [`FlagSpec`] registrations for on-the-fly condition evaluation;
+//! * a streamable fast-path plan for *simple* `on`-handler bodies, so
+//!   fully-streaming queries copy subtrees without touching a buffer.
+
+use std::fmt;
+
+use flux_core::{check_safety, production_of, FluxExpr, Handler, PastSpec};
+use flux_dtd::{Dtd, PastTable, Production};
+use flux_query::eval::EvalError;
+use flux_query::{Atom, CmpRhs, Cond, Expr, PathRef, ROOT_VAR};
+use flux_xml::XmlError;
+
+use crate::bufplan::{visit_atoms, BufferTree, Mark};
+use crate::flags::FlagSpec;
+
+/// Errors raised while compiling or running a query.
+#[derive(Debug)]
+pub enum EngineError {
+    /// XML parse failure on the input stream.
+    Xml(XmlError),
+    /// Document violates the DTD at a processed scope.
+    Validation {
+        /// Element whose content model was violated.
+        element: String,
+        /// Description.
+        message: String,
+    },
+    /// The query is not safe (Definition 3.6) — the engine refuses it.
+    Unsafe(String),
+    /// A scope ranges over an element with no DTD production.
+    Undeclared(String),
+    /// XQuery− evaluation failure.
+    Eval(EvalError),
+    /// A FluX form the streaming engine does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Xml(e) => write!(f, "{e}"),
+            EngineError::Validation { element, message } => {
+                write!(f, "validation error in <{element}>: {message}")
+            }
+            EngineError::Unsafe(m) => write!(f, "query is not safe: {m}"),
+            EngineError::Undeclared(e) => write!(f, "element `{e}` is not declared in the DTD"),
+            EngineError::Eval(e) => write!(f, "{e}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported FluX form: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<XmlError> for EngineError {
+    fn from(e: XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+/// A compiled, executable query plan (borrows the DTD's automata).
+pub struct CompiledQuery<'d> {
+    dtd: &'d Dtd,
+    pub(crate) top: Top,
+    pub(crate) scopes: Vec<ScopeSpec<'d>>,
+}
+
+pub(crate) enum Top {
+    /// Degenerate: a query with no `process-stream` at all; the engine
+    /// materializes the document and evaluates directly.
+    Simple(Expr),
+    /// The usual case.
+    Scope { pre: Option<String>, idx: usize, post: Option<String> },
+}
+
+pub(crate) struct ScopeSpec<'d> {
+    pub var: String,
+    pub elem: String,
+    pub prod: Option<&'d Production>,
+    pub pre: Option<String>,
+    pub post: Option<String>,
+    pub handlers: Vec<CHandler>,
+    pub buffer_tree: BufferTree,
+    pub flags: Vec<FlagSpec>,
+    pub allows_text: bool,
+}
+
+impl ScopeSpec<'_> {
+    pub(crate) fn needs_observer(&self) -> bool {
+        !self.buffer_tree.is_empty() || !self.flags.is_empty()
+    }
+}
+
+pub(crate) enum CHandler {
+    OnFirst {
+        table: Option<PastTable>,
+        expr: Expr,
+        /// Fire only at scope end (i = n+1): the expression outputs the
+        /// scope variable's own subtree and the scope may contain character
+        /// data, which `past(S)` reasoning over element labels cannot see.
+        /// (Example 4.4: "on-first past(*) delays the execution until the
+        /// complete title node has been seen".)
+        defer_to_end: bool,
+    },
+    On { label: String, var: String, body: CBody },
+}
+
+pub(crate) enum CBody {
+    /// A nested process-stream scope.
+    Scope(usize),
+    /// A streamable simple body: strings, conditional strings, and at most
+    /// one copy of the matched child — the zero-buffer path.
+    Stream(SimplePlan),
+    /// General XQuery− body: the child is captured and evaluated.
+    Captured(Expr),
+}
+
+pub(crate) struct SimplePlan {
+    pub items: Vec<SimpleItem>,
+}
+
+pub(crate) enum SimpleItem {
+    Raw(String),
+    CondRaw(Cond, String),
+    CopyChild,
+    CondCopyChild(Cond),
+}
+
+impl<'d> CompiledQuery<'d> {
+    /// Compile a safe FluX query against the DTD.
+    pub fn compile(q: &FluxExpr, dtd: &'d Dtd) -> Result<CompiledQuery<'d>, EngineError> {
+        check_safety(q, dtd).map_err(|v| EngineError::Unsafe(v.to_string()))?;
+        let mut c = Compiler { dtd, scopes: Vec::new(), pending: Vec::new() };
+        let top = match q {
+            FluxExpr::Simple(e) => {
+                let fv = flux_query::free_vars(e);
+                if fv.iter().any(|v| v != ROOT_VAR) {
+                    return Err(EngineError::Unsupported(format!(
+                        "top-level simple expression with free variables {fv:?}"
+                    )));
+                }
+                Top::Simple(e.clone())
+            }
+            FluxExpr::PS { pre, var, handlers, post } => {
+                let mut chain = Vec::new();
+                let idx = c.compile_scope(var, flux_core::DOC_ELEM, None, None, handlers, &mut chain)?;
+                Top::Scope { pre: pre.clone(), idx, post: post.clone() }
+            }
+        };
+        c.finish_buffer_plans();
+        Ok(CompiledQuery { dtd, top, scopes: c.scopes })
+    }
+
+    /// The DTD the plan was compiled against.
+    pub fn dtd(&self) -> &'d Dtd {
+        self.dtd
+    }
+
+    /// Total buffer-tree nodes across scopes (diagnostics/benches).
+    pub fn buffer_tree_nodes(&self) -> usize {
+        self.scopes.iter().filter(|s| !s.buffer_tree.is_empty()).map(|s| s.buffer_tree.node_count()).sum()
+    }
+
+    /// Scope variables that have a non-empty buffer tree, with a rendering
+    /// (diagnostics/examples).
+    pub fn buffer_plan(&self) -> Vec<(String, String)> {
+        self.scopes
+            .iter()
+            .filter(|s| !s.buffer_tree.is_empty())
+            .map(|s| (s.var.clone(), s.buffer_tree.render()))
+            .collect()
+    }
+}
+
+struct Compiler<'d> {
+    dtd: &'d Dtd,
+    scopes: Vec<ScopeSpec<'d>>,
+    /// XQuery− expressions to analyse for buffering/flags, with the scope
+    /// chain (var, scope index) they appear under.
+    pending: Vec<(Expr, Vec<(String, usize)>)>,
+}
+
+impl<'d> Compiler<'d> {
+    fn compile_scope(
+        &mut self,
+        var: &str,
+        elem: &str,
+        pre: Option<&String>,
+        post: Option<&String>,
+        handlers: &[Handler],
+        chain: &mut Vec<(String, usize)>,
+    ) -> Result<usize, EngineError> {
+        let prod = production_of(self.dtd, elem);
+        let idx = self.scopes.len();
+        self.scopes.push(ScopeSpec {
+            var: var.to_string(),
+            elem: elem.to_string(),
+            prod,
+            pre: pre.cloned(),
+            post: post.cloned(),
+            handlers: Vec::new(),
+            buffer_tree: BufferTree::default(),
+            flags: Vec::new(),
+            allows_text: prod.is_some_and(|p| p.allows_text()),
+        });
+        chain.push((var.to_string(), idx));
+
+        let mut compiled = Vec::with_capacity(handlers.len());
+        for h in handlers {
+            match h {
+                Handler::OnFirst { past, expr } => {
+                    // Section 7: push the normalization-split conditionals
+                    // back up so buffered evaluation tests each condition
+                    // once instead of once per output item.
+                    let expr = flux_core::opt::hoist::hoist_ifs(expr);
+                    let table = prod.map(|p| {
+                        let set: Vec<String> = past.resolve(p).into_iter().collect();
+                        PastTable::build(p.automaton(), p.constraints(), &set)
+                    });
+                    if table.is_none() && matches!(past, PastSpec::All) {
+                        // past(*) without a production cannot be resolved;
+                        // the scope cannot run anyway (Undeclared at runtime).
+                    }
+                    self.pending.push((expr.clone(), chain.clone()));
+                    let defer_to_end = self.scopes[idx].allows_text && reads_var_subtree(&expr, var);
+                    compiled.push(CHandler::OnFirst { table, expr, defer_to_end });
+                }
+                Handler::On { label, var: x, body } => {
+                    let cbody = match &**body {
+                        FluxExpr::PS { pre, var: psvar, handlers, post } => {
+                            if psvar != x {
+                                return Err(EngineError::Unsupported(format!(
+                                    "on {label} as ${x} whose process-stream ranges over ${psvar}"
+                                )));
+                            }
+                            let i = self.compile_scope(
+                                psvar,
+                                label,
+                                pre.as_ref(),
+                                post.as_ref(),
+                                handlers,
+                                chain,
+                            )?;
+                            CBody::Scope(i)
+                        }
+                        FluxExpr::Simple(e) => {
+                            self.pending.push((e.clone(), chain.clone()));
+                            match compile_simple_stream(e, x) {
+                                Some(plan) => CBody::Stream(plan),
+                                None => CBody::Captured(flux_core::opt::hoist::hoist_ifs(e)),
+                            }
+                        }
+                    };
+                    compiled.push(CHandler::On { label: label.clone(), var: x.clone(), body: cbody });
+                }
+            }
+        }
+        chain.pop();
+        self.scopes[idx].handlers = compiled;
+        Ok(idx)
+    }
+
+    /// After the scope tree is built: compute buffer trees and flags from
+    /// the collected XQuery− expressions.
+    fn finish_buffer_plans(&mut self) {
+        for (expr, chain) in std::mem::take(&mut self.pending) {
+            let chain_vars: Vec<&str> = chain.iter().map(|(v, _)| v.as_str()).collect();
+            for (var, sidx) in &chain {
+                for (path, mark) in crate::bufplan::pi(var, &expr, true) {
+                    self.scopes[*sidx].buffer_tree.insert(&path, mark == Mark::Marked);
+                }
+            }
+            // Flags: constant/exists atoms rooted at a chain variable.
+            visit_all_conds(&expr, &mut |cond, bound| {
+                visit_atoms(cond, &mut |atom| {
+                    if let Some((avar, spec)) = FlagSpec::from_atom(atom) {
+                        if bound.iter().any(|b| b == avar) {
+                            return; // rebound inside the expression
+                        }
+                        if let Some((_, sidx)) = chain.iter().find(|(v, _)| v == avar) {
+                            let flags = &mut self.scopes[*sidx].flags;
+                            if !flags.contains(&spec) {
+                                flags.push(spec);
+                            }
+                        }
+                    }
+                });
+            });
+            let _ = chain_vars;
+        }
+        for s in &mut self.scopes {
+            s.buffer_tree.prune();
+        }
+    }
+}
+
+/// Does the expression output `$var`'s own subtree (free `{$var}` or
+/// `{$var/π}`)? Such reads include the scope's character data, which element
+/// punctuation cannot cover.
+fn reads_var_subtree(e: &Expr, var: &str) -> bool {
+    match e {
+        Expr::Empty | Expr::Str(_) => false,
+        Expr::OutputVar { var: v } | Expr::OutputPath { var: v, .. } => v == var,
+        Expr::Seq(items) => items.iter().any(|i| reads_var_subtree(i, var)),
+        Expr::If { body, .. } => reads_var_subtree(body, var),
+        Expr::For { var: bound, body, .. } => bound != var && reads_var_subtree(body, var),
+    }
+}
+
+/// Visit every condition in an expression together with the variables bound
+/// around it.
+fn visit_all_conds<'e, F: FnMut(&'e Cond, &[String])>(e: &'e Expr, f: &mut F) {
+    fn go<'e, F: FnMut(&'e Cond, &[String])>(e: &'e Expr, bound: &mut Vec<String>, f: &mut F) {
+        match e {
+            Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } | Expr::OutputPath { .. } => {}
+            Expr::Seq(items) => items.iter().for_each(|i| go(i, bound, f)),
+            Expr::If { cond, body } => {
+                f(cond, bound);
+                go(body, bound, f);
+            }
+            Expr::For { var, pred, body, .. } => {
+                bound.push(var.clone());
+                if let Some(c) = pred {
+                    f(c, bound);
+                }
+                go(body, bound, f);
+                bound.pop();
+            }
+        }
+    }
+    go(e, &mut Vec::new(), f)
+}
+
+/// Try to compile a simple `on`-handler body into the streaming fast path.
+fn compile_simple_stream(e: &Expr, child_var: &str) -> Option<SimplePlan> {
+    if !e.is_simple() {
+        return None;
+    }
+    let items: &[Expr] = match e {
+        Expr::Seq(items) => items,
+        single => std::slice::from_ref(single),
+    };
+    let mut plan = Vec::with_capacity(items.len());
+    let mut copies = 0;
+    for item in items {
+        match item {
+            Expr::Empty => {}
+            Expr::Str(s) => plan.push(SimpleItem::Raw(s.clone())),
+            Expr::OutputVar { var } if var == child_var => {
+                plan.push(SimpleItem::CopyChild);
+                copies += 1;
+            }
+            Expr::If { cond, body } => {
+                if cond.mentions(child_var) {
+                    return None; // conditions on the streamed child need capture
+                }
+                match &**body {
+                    Expr::Str(s) => plan.push(SimpleItem::CondRaw(cond.clone(), s.clone())),
+                    Expr::OutputVar { var } if var == child_var => {
+                        plan.push(SimpleItem::CondCopyChild(cond.clone()));
+                        copies += 1;
+                    }
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+    (copies <= 1).then_some(SimplePlan { items: plan })
+}
+
+/// Substitute flag-resolvable atoms with their Boolean values.
+///
+/// `resolve` returns `Some(value)` for atoms it owns (constant/exists atoms
+/// rooted at an in-scope process-stream variable); everything else is left
+/// for the buffer evaluator. Rebindings inside the expression are honoured.
+pub(crate) fn resolve_flags_expr(e: &Expr, resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>) -> Expr {
+    fn go(e: &Expr, bound: &mut Vec<String>, resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>) -> Expr {
+        match e {
+            Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } | Expr::OutputPath { .. } => e.clone(),
+            Expr::Seq(items) => Expr::Seq(items.iter().map(|i| go(i, bound, resolve)).collect()),
+            Expr::If { cond, body } => Expr::If {
+                cond: resolve_flags_cond_inner(cond, bound, resolve),
+                body: Box::new(go(body, bound, resolve)),
+            },
+            Expr::For { var, in_var, path, pred, body } => {
+                bound.push(var.clone());
+                let pred = pred.as_ref().map(|c| resolve_flags_cond_inner(c, bound, resolve));
+                let body = go(body, bound, resolve);
+                bound.pop();
+                Expr::For {
+                    var: var.clone(),
+                    in_var: in_var.clone(),
+                    path: path.clone(),
+                    pred,
+                    body: Box::new(body),
+                }
+            }
+        }
+    }
+    go(e, &mut Vec::new(), resolve)
+}
+
+/// [`resolve_flags_expr`] for a bare condition.
+pub(crate) fn resolve_flags_cond(c: &Cond, resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>) -> Cond {
+    resolve_flags_cond_inner(c, &mut Vec::new(), resolve)
+}
+
+fn resolve_flags_cond_inner(
+    c: &Cond,
+    bound: &mut Vec<String>,
+    resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>,
+) -> Cond {
+    match c {
+        Cond::True => Cond::True,
+        Cond::And(a, b) => Cond::And(
+            Box::new(resolve_flags_cond_inner(a, bound, resolve)),
+            Box::new(resolve_flags_cond_inner(b, bound, resolve)),
+        ),
+        Cond::Or(a, b) => Cond::Or(
+            Box::new(resolve_flags_cond_inner(a, bound, resolve)),
+            Box::new(resolve_flags_cond_inner(b, bound, resolve)),
+        ),
+        Cond::Not(x) => Cond::Not(Box::new(resolve_flags_cond_inner(x, bound, resolve))),
+        Cond::Atom(atom) => match resolve(atom, bound) {
+            Some(true) => Cond::True,
+            Some(false) => Cond::Not(Box::new(Cond::True)),
+            None => Cond::Atom(atom.clone()),
+        },
+    }
+}
+
+/// Is this atom rooted at the given variable (for flag ownership tests)?
+pub(crate) fn atom_root_var(atom: &Atom) -> &str {
+    match atom {
+        Atom::Exists(PathRef { var, .. }) => var,
+        Atom::Cmp { left, .. } => &left.var,
+    }
+}
+
+/// Is the atom a join (path-to-path) comparison?
+pub(crate) fn atom_is_join(atom: &Atom) -> bool {
+    matches!(atom, Atom::Cmp { right: CmpRhs::Path(_) | CmpRhs::Scaled { .. }, .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_core::rewrite_query;
+    use flux_query::parse_xquery;
+
+    const BIB_STRONG: &str = "<!ELEMENT bib (book)*>\
+        <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+        <!ELEMENT publisher (#PCDATA)><!ELEMENT price (#PCDATA)>";
+    const BIB_WEAK: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+
+    fn compile_str<'d>(q: &str, dtd: &'d Dtd) -> CompiledQuery<'d> {
+        let e = parse_xquery(q).unwrap();
+        let flux = rewrite_query(&e, dtd).unwrap();
+        CompiledQuery::compile(&flux, dtd).unwrap()
+    }
+
+    #[test]
+    fn streaming_query_has_no_buffers() {
+        let dtd = Dtd::parse(BIB_STRONG).unwrap();
+        let c = compile_str(
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+            &dtd,
+        );
+        assert_eq!(c.buffer_tree_nodes(), 0, "plan: {:?}", c.buffer_plan());
+        // All on-handler bodies are streamable.
+        for s in &c.scopes {
+            for h in &s.handlers {
+                if let CHandler::On { body, .. } = h {
+                    assert!(matches!(body, CBody::Stream(_) | CBody::Scope(_)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weak_dtd_buffers_authors() {
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let c = compile_str(
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+            &dtd,
+        );
+        let plan = c.buffer_plan();
+        assert_eq!(plan.len(), 1, "{plan:?}");
+        assert_eq!(plan[0].0, "b");
+        assert_eq!(plan[0].1, "{author•}");
+    }
+
+    #[test]
+    fn flags_registered_for_constant_conditions() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT bib (book)*><!ELEMENT book (publisher,year,title)>\
+             <!ELEMENT publisher (#PCDATA)><!ELEMENT year (#PCDATA)><!ELEMENT title (#PCDATA)>",
+        )
+        .unwrap();
+        let c = compile_str(
+            "{ for $b in $ROOT/bib/book where $b/publisher = \"AW\" and $b/year > 1991 \
+               return <hit> {$b/title} </hit> }",
+            &dtd,
+        );
+        let book_scope = c.scopes.iter().find(|s| s.elem == "book").unwrap();
+        assert_eq!(book_scope.flags.len(), 2, "publisher and year flags");
+        // Titles stream; the condition costs no buffering.
+        assert_eq!(c.buffer_tree_nodes(), 0, "{:?}", c.buffer_plan());
+    }
+
+    #[test]
+    fn unsafe_queries_rejected() {
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let bad = flux_core::parse_flux(
+            "{ ps $ROOT: on bib as $bib return { ps $bib: on book as $b return \
+               { ps $b: on-first past(title) return { for $a in $b/author return {$a} } } } }",
+        )
+        .unwrap();
+        assert!(matches!(CompiledQuery::compile(&bad, &dtd), Err(EngineError::Unsafe(_))));
+    }
+
+    #[test]
+    fn simple_stream_compilation() {
+        let e = parse_xquery("<a> {$t} </a>").unwrap();
+        let plan = compile_simple_stream(&e, "t").unwrap();
+        assert_eq!(plan.items.len(), 3);
+        assert!(matches!(plan.items[1], SimpleItem::CopyChild));
+        // Conditions on the child itself force capture:
+        let e2 = parse_xquery("{ if $t/x = 1 then {$t} }").unwrap();
+        assert!(compile_simple_stream(&e2, "t").is_none());
+        // Foreign-variable conditions are fine:
+        let e3 = parse_xquery("{ if $b/x = 1 then {$t} }").unwrap();
+        assert!(compile_simple_stream(&e3, "t").is_some());
+        // For-loops are not streamable:
+        let e4 = parse_xquery("{ for $q in $t/x return {$q} }").unwrap();
+        assert!(compile_simple_stream(&e4, "t").is_none());
+    }
+
+    #[test]
+    fn resolve_flags_respects_rebinding() {
+        let e = parse_xquery(
+            "{ if $b/x = 1 then ok } { for $b in $y/z return { if $b/x = 1 then inner } }",
+        )
+        .unwrap();
+        let resolved = resolve_flags_expr(&e, &|atom, bound| {
+            (atom_root_var(atom) == "b" && !bound.iter().any(|v| v == "b")).then_some(true)
+        });
+        let s = resolved.to_string();
+        assert!(s.contains("{ if true then ok }"), "{s}");
+        assert!(s.contains("{ if $b/x = 1 then inner }"), "inner $b is rebound: {s}");
+    }
+}

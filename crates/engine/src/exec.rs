@@ -1,0 +1,997 @@
+//! The streaming event loop (paper, Section 5).
+//!
+//! Children of the current scope are processed at node granularity. For each
+//! child the engine (a) lets the active recorders and condition flags
+//! observe its events, then (b) fires the step's handlers in ζ order:
+//!
+//! * when exactly one `on` handler fires, it is first in ζ among the firing
+//!   handlers, nothing records the child, and its body is streamable, the
+//!   child's events flow straight from the parser to the sub-scope or the
+//!   output — the zero-buffer path;
+//! * otherwise the child is consumed first (captured to a scratch event list
+//!   only if some `on` handler needs to replay it), and the handlers then
+//!   fire in ζ order — `on-first` expressions over the now-complete buffers,
+//!   `on` handlers over the replayed events. Data replayed from a buffer is
+//!   indistinguishable from stream input (Section 5).
+//!
+//! Punctuation is exactly Appendix B: one validating DFA transition per
+//! child plus one `PastTable` lookup per `on-first` handler.
+
+use std::io::{BufRead, Write};
+
+use flux_core::FluxExpr;
+use flux_dtd::{Dtd, Glushkov};
+use flux_query::eval::{eval_cond, eval_expr, wrap_document, Env};
+use flux_query::{Atom, Cond, Expr, ROOT_VAR};
+use flux_xml::{Event, Node, OwnedEvent, Reader, ReaderOptions, Writer};
+
+use crate::buffer::Recorder;
+use crate::compile::{
+    atom_is_join, atom_root_var, resolve_flags_cond, resolve_flags_expr, CBody, CHandler,
+    CompiledQuery, EngineError, ScopeSpec, SimpleItem, SimplePlan, Top,
+};
+use crate::flags::{FlagMatcher, FlagSpec};
+use crate::stats::RunStats;
+
+/// Result of a streaming run that collected its output in memory.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The serialized query result.
+    pub output: String,
+    /// Run statistics (peak buffer memory, event counts, …).
+    pub stats: RunStats,
+}
+
+/// Compile and run a FluX query over an XML input stream, collecting the
+/// output in memory.
+pub fn run_streaming(
+    q: &FluxExpr,
+    dtd: &Dtd,
+    input: impl BufRead,
+) -> Result<RunOutcome, EngineError> {
+    let compiled = CompiledQuery::compile(q, dtd)?;
+    let mut out = Vec::new();
+    let stats = compiled.run(input, &mut out)?;
+    Ok(RunOutcome { output: String::from_utf8(out).expect("writer emits UTF-8"), stats })
+}
+
+/// Compile and run, writing the result to an arbitrary sink (used by the
+/// benchmarks with a byte-counting null sink).
+pub fn run_streaming_to<W: Write>(
+    q: &FluxExpr,
+    dtd: &Dtd,
+    input: impl BufRead,
+    out: W,
+) -> Result<RunStats, EngineError> {
+    CompiledQuery::compile(q, dtd)?.run(input, out)
+}
+
+impl<'d> CompiledQuery<'d> {
+    /// Run the compiled plan over an input stream.
+    pub fn run<R: BufRead, W: Write>(&self, input: R, out: W) -> Result<RunStats, EngineError> {
+        let mut reader = Reader::new(input, ReaderOptions::default());
+        match &self.top {
+            Top::Simple(e) => {
+                // No process-stream at all: materialize and evaluate.
+                let root = Node::parse(&mut reader)?;
+                let doc = wrap_document(root);
+                let mut stats = RunStats {
+                    peak_buffer_bytes: doc.buffered_bytes(),
+                    buffers_created: 1,
+                    ..RunStats::default()
+                };
+                let mut w = Writer::new(out);
+                let mut env = Env::with(ROOT_VAR, &doc);
+                eval_expr(e, &mut env, &mut w)?;
+                stats.output_bytes = w.bytes_written();
+                Ok(stats)
+            }
+            Top::Scope { pre, idx, post } => {
+                let mut exec = Exec {
+                    plan: self,
+                    reader,
+                    writer: Writer::new(out),
+                    observers: Vec::new(),
+                    env_stack: Vec::new(),
+                    stats: RunStats::default(),
+                    cur_bytes: 0,
+                    cur_name: String::new(),
+                    cur_text: String::new(),
+                    cur_text_ws: true,
+                };
+                if let Some(s) = pre {
+                    exec.writer.write_raw(s).map_err(io_err)?;
+                }
+                let mut src = Src::Stream;
+                exec.run_scope(*idx, &mut src, Term::Eof)?;
+                if let Some(s) = post {
+                    exec.writer.write_raw(s).map_err(io_err)?;
+                }
+                exec.stats.output_bytes = exec.writer.bytes_written();
+                exec.stats.final_buffer_bytes = exec.cur_bytes;
+                Ok(exec.stats)
+            }
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> EngineError {
+    EngineError::Eval(flux_query::eval::EvalError::Io(e.to_string()))
+}
+
+/// Per-scope-instance observation state (recording + flags).
+struct Observer<'p> {
+    rec: Option<Recorder<'p>>,
+    specs: &'p [FlagSpec],
+    flags: Vec<FlagMatcher>,
+}
+
+/// Where events come from.
+enum Src<'s> {
+    /// The live input stream.
+    Stream,
+    /// Replaying a captured child; `obs_base` is the observer-stack depth at
+    /// capture time — outer observers already saw these events.
+    Replay { events: &'s [OwnedEvent], pos: usize, obs_base: usize },
+}
+
+impl Src<'_> {
+    fn obs_base(&self) -> usize {
+        match self {
+            Src::Stream => 0,
+            Src::Replay { obs_base, .. } => *obs_base,
+        }
+    }
+}
+
+/// What kind of event the last `pull` produced (payload is in
+/// `Exec::cur_name` / `Exec::cur_text`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pulled {
+    Start,
+    End,
+    Text,
+}
+
+/// How a scope run terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Term {
+    /// On the matching end tag of the scope element.
+    End,
+    /// At end of input (the document scope).
+    Eof,
+}
+
+struct Exec<'p, 'd, R, W: Write> {
+    plan: &'p CompiledQuery<'d>,
+    reader: Reader<R>,
+    writer: Writer<W>,
+    observers: Vec<Observer<'p>>,
+    /// (scope index, observer index) for active scopes with observers.
+    env_stack: Vec<(usize, usize)>,
+    stats: RunStats,
+    cur_bytes: usize,
+    cur_name: String,
+    cur_text: String,
+    cur_text_ws: bool,
+}
+
+impl<'p, 'd, R: BufRead, W: Write> Exec<'p, 'd, R, W> {
+    /// Pull one event, routing it through the active observers.
+    fn pull(&mut self, src: &mut Src<'_>) -> Result<Option<Pulled>, EngineError> {
+        match src {
+            Src::Stream => {
+                let ev = match self.reader.next_event()? {
+                    Some(e) => e,
+                    None => return Ok(None),
+                };
+                self.stats.events += 1;
+                let grew = dispatch(&mut self.observers, 0, ev);
+                if grew > 0 {
+                    self.stats.buffer_grow(&mut self.cur_bytes, grew);
+                }
+                let pulled = match ev {
+                    Event::Start(n) => {
+                        self.cur_name.clear();
+                        self.cur_name.push_str(n);
+                        Pulled::Start
+                    }
+                    Event::End(n) => {
+                        self.cur_name.clear();
+                        self.cur_name.push_str(n);
+                        Pulled::End
+                    }
+                    Event::Text(t) => {
+                        self.cur_text.clear();
+                        self.cur_text.push_str(t);
+                        self.cur_text_ws = t.chars().all(char::is_whitespace);
+                        Pulled::Text
+                    }
+                };
+                Ok(Some(pulled))
+            }
+            Src::Replay { events, pos, obs_base } => {
+                let Some(owned) = events.get(*pos) else { return Ok(None) };
+                *pos += 1;
+                let ev = owned.as_event();
+                let grew = dispatch(&mut self.observers, *obs_base, ev);
+                if grew > 0 {
+                    self.stats.buffer_grow(&mut self.cur_bytes, grew);
+                }
+                let pulled = match ev {
+                    Event::Start(n) => {
+                        self.cur_name.clear();
+                        self.cur_name.push_str(n);
+                        Pulled::Start
+                    }
+                    Event::End(n) => {
+                        self.cur_name.clear();
+                        self.cur_name.push_str(n);
+                        Pulled::End
+                    }
+                    Event::Text(t) => {
+                        self.cur_text.clear();
+                        self.cur_text.push_str(t);
+                        self.cur_text_ws = t.chars().all(char::is_whitespace);
+                        Pulled::Text
+                    }
+                };
+                Ok(Some(pulled))
+            }
+        }
+    }
+
+    /// Run one scope: process children until the scope's end tag (or EOF for
+    /// the document scope). The scope's start tag has already been consumed.
+    fn run_scope(&mut self, sidx: usize, src: &mut Src<'_>, term: Term) -> Result<(), EngineError> {
+        let plan = self.plan;
+        let spec: &'p ScopeSpec<'d> = &plan.scopes[sidx];
+        let prod = spec.prod.ok_or_else(|| EngineError::Undeclared(spec.elem.clone()))?;
+        let automaton = prod.automaton();
+
+        if let Some(s) = &spec.pre {
+            self.writer.write_raw(s).map_err(io_err)?;
+        }
+        let mut obs_created = false;
+        if spec.needs_observer() {
+            let rec = if spec.buffer_tree.is_empty() {
+                None
+            } else {
+                self.stats.buffers_created += 1;
+                Some(Recorder::new(&spec.buffer_tree, &spec.elem))
+            };
+            self.observers.push(Observer {
+                rec,
+                specs: &spec.flags,
+                flags: vec![FlagMatcher::new(); spec.flags.len()],
+            });
+            self.env_stack.push((sidx, self.observers.len() - 1));
+            obs_created = true;
+        }
+
+        let mut state = Glushkov::INITIAL;
+        let mut fired = vec![false; spec.handlers.len()];
+
+        // i = 0: on-first handlers whose past set can already not occur.
+        for (h_idx, h) in spec.handlers.iter().enumerate() {
+            if let CHandler::OnFirst { table, expr, defer_to_end } = h {
+                if !defer_to_end && table.as_ref().is_some_and(|t| t.fires_initially()) {
+                    fired[h_idx] = true;
+                    self.fire_onfirst(expr)?;
+                }
+            }
+        }
+
+        let mut firing: Vec<usize> = Vec::new();
+        loop {
+            match self.pull(src)? {
+                None => {
+                    if term == Term::Eof {
+                        break;
+                    }
+                    return Err(EngineError::Validation {
+                        element: spec.elem.clone(),
+                        message: "events ended inside the scope".into(),
+                    });
+                }
+                Some(Pulled::End) => {
+                    if term == Term::Eof {
+                        return Err(EngineError::Validation {
+                            element: spec.elem.clone(),
+                            message: "unexpected end tag at document level".into(),
+                        });
+                    }
+                    break;
+                }
+                Some(Pulled::Text) => {
+                    if !spec.allows_text && !self.cur_text_ws {
+                        return Err(EngineError::Validation {
+                            element: spec.elem.clone(),
+                            message: "character data not allowed by the content model".into(),
+                        });
+                    }
+                }
+                Some(Pulled::Start) => {
+                    let old = state;
+                    let new = match automaton.step_name(old, &self.cur_name) {
+                        Some(n) => n,
+                        None => {
+                            return Err(EngineError::Validation {
+                                element: spec.elem.clone(),
+                                message: format!("element `{}` not allowed here", self.cur_name),
+                            })
+                        }
+                    };
+                    state = new;
+                    firing.clear();
+                    for (h_idx, h) in spec.handlers.iter().enumerate() {
+                        match h {
+                            CHandler::On { label, .. } => {
+                                if label.as_str() == self.cur_name {
+                                    firing.push(h_idx);
+                                }
+                            }
+                            CHandler::OnFirst { table, defer_to_end, .. } => {
+                                if !defer_to_end
+                                    && !fired[h_idx]
+                                    && table.as_ref().is_some_and(|t| t.fires_on(old, new))
+                                {
+                                    firing.push(h_idx);
+                                }
+                            }
+                        }
+                    }
+                    self.handle_child(spec, src, &firing, &mut fired)?;
+                }
+            }
+        }
+
+        if !automaton.accepting(state) {
+            return Err(EngineError::Validation {
+                element: spec.elem.clone(),
+                message: "content ended prematurely (content model not satisfied)".into(),
+            });
+        }
+        // i = n+1: remaining on-first handlers fire now, in ζ order.
+        for (h_idx, h) in spec.handlers.iter().enumerate() {
+            if let CHandler::OnFirst { expr, .. } = h {
+                if !fired[h_idx] {
+                    self.fire_onfirst(expr)?;
+                }
+            }
+        }
+        if let Some(s) = &spec.post {
+            self.writer.write_raw(s).map_err(io_err)?;
+        }
+        if obs_created {
+            self.env_stack.pop();
+            let o = self.observers.pop().expect("observer pushed at scope entry");
+            if let Some(rec) = o.rec {
+                RunStats::buffer_shrink(&mut self.cur_bytes, rec.bytes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Process one child of the current scope. `self.cur_name` holds its
+    /// label; its start event has been dispatched to the observers.
+    fn handle_child(
+        &mut self,
+        spec: &'p ScopeSpec<'d>,
+        src: &mut Src<'_>,
+        firing: &[usize],
+        fired: &mut [bool],
+    ) -> Result<(), EngineError> {
+        // Is the child being recorded into some buffer right now?
+        let recorded = self.observers[src.obs_base()..]
+            .iter()
+            .any(|o| o.rec.as_ref().is_some_and(Recorder::is_recording));
+        // Could a condition flag still change within this child? If so, an
+        // `on` handler must not evaluate conditions while the child streams;
+        // consuming the child first (capture path) finalizes the flags.
+        let flags_pending = self.observers[src.obs_base()..].iter().any(|o| {
+            o.specs.iter().zip(&o.flags).any(|(spec, m)| m.may_change_below(spec))
+        });
+
+        let mut on_count = 0usize;
+        let mut first_is_on = false;
+        let mut all_bodies_streamable = true;
+        let mut any_captured = false;
+        for (i, &h_idx) in firing.iter().enumerate() {
+            if let CHandler::On { body, .. } = &spec.handlers[h_idx] {
+                on_count += 1;
+                if i == 0 {
+                    first_is_on = true;
+                }
+                match body {
+                    CBody::Captured(_) => {
+                        all_bodies_streamable = false;
+                        any_captured = true;
+                    }
+                    CBody::Scope(_) | CBody::Stream(_) => {}
+                }
+            }
+        }
+
+        if on_count == 1 && first_is_on && all_bodies_streamable && !recorded && !flags_pending {
+            // Zero-copy path: the child streams through.
+            for &h_idx in firing {
+                match &spec.handlers[h_idx] {
+                    CHandler::On { body, .. } => {
+                        self.stats.on_firings += 1;
+                        match body {
+                            CBody::Scope(i) => self.run_scope(*i, src, Term::End)?,
+                            CBody::Stream(plan) => self.exec_simple(plan, src)?,
+                            CBody::Captured(_) => unreachable!("checked streamable"),
+                        }
+                    }
+                    CHandler::OnFirst { expr, .. } => {
+                        fired[h_idx] = true;
+                        self.fire_onfirst(expr)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        // Consume the child first (observers see it); keep its events only
+        // if an `on` handler must replay them.
+        let need_events = on_count > 0;
+        let label = if need_events && any_captured { self.cur_name.clone() } else { String::new() };
+        let mut scratch: Vec<OwnedEvent> = Vec::new();
+        let scratch_bytes =
+            self.consume_child(src, if need_events { Some(&mut scratch) } else { None })?;
+        if need_events {
+            self.stats.captures += 1;
+        }
+
+        for &h_idx in firing {
+            match &spec.handlers[h_idx] {
+                CHandler::OnFirst { expr, .. } => {
+                    fired[h_idx] = true;
+                    self.fire_onfirst(expr)?;
+                }
+                CHandler::On { var, body, .. } => {
+                    self.stats.on_firings += 1;
+                    match body {
+                        CBody::Scope(i) => {
+                            let mut rsrc = Src::Replay {
+                                events: &scratch,
+                                pos: 0,
+                                obs_base: self.observers.len(),
+                            };
+                            self.run_scope(*i, &mut rsrc, Term::End)?;
+                        }
+                        CBody::Stream(plan) => {
+                            // cur_name must hold the child label for the
+                            // copy fast path; restore it from the scratch
+                            // tail (the final End event carries the label).
+                            if let Some(OwnedEvent::End(n)) = scratch.last() {
+                                self.cur_name.clear();
+                                self.cur_name.push_str(n);
+                            }
+                            let mut rsrc = Src::Replay {
+                                events: &scratch,
+                                pos: 0,
+                                obs_base: self.observers.len(),
+                            };
+                            self.exec_simple(plan, &mut rsrc)?;
+                        }
+                        CBody::Captured(expr) => {
+                            let node = build_child_node(&label, &scratch);
+                            self.fire_captured(var, expr, &node)?;
+                        }
+                    }
+                }
+            }
+        }
+        if scratch_bytes > 0 {
+            RunStats::buffer_shrink(&mut self.cur_bytes, scratch_bytes);
+        }
+        Ok(())
+    }
+
+    /// Consume the rest of the current child's subtree (start tag already
+    /// consumed), optionally storing the events (including the final end
+    /// tag). Returns the bytes charged for stored events.
+    fn consume_child(
+        &mut self,
+        src: &mut Src<'_>,
+        mut store: Option<&mut Vec<OwnedEvent>>,
+    ) -> Result<usize, EngineError> {
+        let mut depth = 0usize;
+        let mut bytes = 0usize;
+        loop {
+            let pulled = self.pull(src)?.ok_or_else(|| EngineError::Validation {
+                element: "#stream".into(),
+                message: "events ended inside an element".into(),
+            })?;
+            let ev = match pulled {
+                Pulled::Start => {
+                    depth += 1;
+                    OwnedEvent::Start(self.cur_name.as_str().into())
+                }
+                Pulled::Text => OwnedEvent::Text(self.cur_text.as_str().into()),
+                Pulled::End => OwnedEvent::End(self.cur_name.as_str().into()),
+            };
+            if let Some(st) = store.as_deref_mut() {
+                let grew = ev.payload_bytes();
+                bytes += grew;
+                self.stats.buffer_grow(&mut self.cur_bytes, grew);
+                st.push(ev);
+            }
+            if pulled == Pulled::End {
+                if depth == 0 {
+                    return Ok(bytes);
+                }
+                depth -= 1;
+            }
+        }
+    }
+
+    /// Copy the current child verbatim to the output (start tag from
+    /// `cur_name`, remaining events from the source).
+    fn copy_child(&mut self, src: &mut Src<'_>) -> Result<(), EngineError> {
+        self.writer.write_event(Event::Start(&self.cur_name)).map_err(io_err)?;
+        let mut depth = 0usize;
+        loop {
+            let pulled = self.pull(src)?.ok_or_else(|| EngineError::Validation {
+                element: "#stream".into(),
+                message: "events ended inside an element".into(),
+            })?;
+            match pulled {
+                Pulled::Start => {
+                    depth += 1;
+                    self.writer.write_event(Event::Start(&self.cur_name)).map_err(io_err)?;
+                }
+                Pulled::Text => {
+                    self.writer.write_event(Event::Text(&self.cur_text)).map_err(io_err)?;
+                }
+                Pulled::End => {
+                    self.writer.write_event(Event::End(&self.cur_name)).map_err(io_err)?;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                    depth -= 1;
+                }
+            }
+        }
+    }
+
+    /// Execute a streamable simple handler body over the current child.
+    fn exec_simple(&mut self, plan: &SimplePlan, src: &mut Src<'_>) -> Result<(), EngineError> {
+        let mut consumed = false;
+        for item in &plan.items {
+            match item {
+                SimpleItem::Raw(s) => self.writer.write_raw(s).map_err(io_err)?,
+                SimpleItem::CondRaw(c, s) => {
+                    if self.eval_cond_runtime(c)? {
+                        self.writer.write_raw(s).map_err(io_err)?;
+                    }
+                }
+                SimpleItem::CopyChild => {
+                    self.copy_child(src)?;
+                    consumed = true;
+                }
+                SimpleItem::CondCopyChild(c) => {
+                    if self.eval_cond_runtime(c)? {
+                        self.copy_child(src)?;
+                    } else {
+                        self.consume_child(src, None)?;
+                    }
+                    consumed = true;
+                }
+            }
+        }
+        if !consumed {
+            self.consume_child(src, None)?;
+        }
+        Ok(())
+    }
+
+    /// Fire an `on-first` handler: resolve flags, bind buffers, evaluate.
+    fn fire_onfirst(&mut self, expr: &Expr) -> Result<(), EngineError> {
+        self.stats.on_first_firings += 1;
+        let resolved = resolve_flags_expr(expr, &|atom, bound| self.lookup_flag(atom, bound));
+        let plan = self.plan;
+        let mut env = Env::new();
+        for &(sidx, obs) in &self.env_stack {
+            if let Some(rec) = &self.observers[obs].rec {
+                env.push(plan.scopes[sidx].var.clone(), rec.root());
+            }
+        }
+        eval_expr(&resolved, &mut env, &mut self.writer)?;
+        Ok(())
+    }
+
+    /// Fire a captured `on` handler body over the materialized child.
+    fn fire_captured(&mut self, var: &str, expr: &Expr, child: &Node) -> Result<(), EngineError> {
+        let resolved = resolve_flags_expr(expr, &|atom, bound| self.lookup_flag(atom, bound));
+        let plan = self.plan;
+        let mut env = Env::new();
+        for &(sidx, obs) in &self.env_stack {
+            if let Some(rec) = &self.observers[obs].rec {
+                env.push(plan.scopes[sidx].var.clone(), rec.root());
+            }
+        }
+        env.push(var.to_string(), child);
+        eval_expr(&resolved, &mut env, &mut self.writer)?;
+        Ok(())
+    }
+
+    /// Evaluate a condition: flags first, residual atoms over buffers.
+    fn eval_cond_runtime(&mut self, c: &Cond) -> Result<bool, EngineError> {
+        let resolved = resolve_flags_cond(c, &|atom, bound| self.lookup_flag(atom, bound));
+        let plan = self.plan;
+        let mut env = Env::new();
+        for &(sidx, obs) in &self.env_stack {
+            if let Some(rec) = &self.observers[obs].rec {
+                env.push(plan.scopes[sidx].var.clone(), rec.root());
+            }
+        }
+        Ok(eval_cond(&resolved, &env)?)
+    }
+
+    /// Current value of the flag evaluating `atom`, if the atom is
+    /// flag-owned by an active scope.
+    fn lookup_flag(&self, atom: &Atom, bound: &[String]) -> Option<bool> {
+        if atom_is_join(atom) {
+            return None;
+        }
+        let var = atom_root_var(atom);
+        if bound.iter().any(|b| b == var) {
+            return None; // rebound inside the expression
+        }
+        for &(sidx, obs) in self.env_stack.iter().rev() {
+            if self.plan.scopes[sidx].var == var {
+                let o = &self.observers[obs];
+                for (k, spec) in o.specs.iter().enumerate() {
+                    if spec.matches_atom(atom) {
+                        return Some(o.flags[k].value);
+                    }
+                }
+                return None;
+            }
+        }
+        None
+    }
+}
+
+/// Route one event through the observers at or above `base`.
+fn dispatch(observers: &mut [Observer<'_>], base: usize, ev: Event<'_>) -> usize {
+    let mut grew = 0usize;
+    for o in &mut observers[base..] {
+        for (spec, m) in o.specs.iter().zip(&mut o.flags) {
+            match ev {
+                Event::Start(n) => m.on_start(spec, n),
+                Event::Text(t) => m.on_text(t),
+                Event::End(_) => m.on_end(spec),
+            }
+        }
+        if let Some(rec) = &mut o.rec {
+            grew += match ev {
+                Event::Start(n) => rec.on_start(n),
+                Event::Text(t) => rec.on_text(t),
+                Event::End(_) => {
+                    rec.on_end();
+                    0
+                }
+            };
+        }
+    }
+    grew
+}
+
+/// Build a node for a captured child from its label and remaining events
+/// (which end with the child's end tag).
+fn build_child_node(label: &str, events: &[OwnedEvent]) -> Node {
+    let mut stack = vec![Node::new(label)];
+    for ev in events {
+        match ev {
+            OwnedEvent::Start(n) => stack.push(Node::new(&**n)),
+            OwnedEvent::Text(t) => stack.last_mut().expect("balanced events").push_text(&**t),
+            OwnedEvent::End(_) => {
+                let done = stack.pop().expect("balanced events");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(flux_xml::Child::Elem(done)),
+                    None => return done,
+                }
+            }
+        }
+    }
+    stack.pop().expect("non-empty build stack")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_core::{interp_flux, parse_flux, rewrite_query};
+    use flux_query::eval::eval_query;
+    use flux_query::parse_xquery;
+
+    const BIB_WEAK: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+    const BIB_STRONG: &str = "<!ELEMENT bib (book)*>\
+        <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+        <!ELEMENT publisher (#PCDATA)><!ELEMENT price (#PCDATA)>";
+
+    const WEAK_DOC: &str = "<bib><book><title>T1</title><author>A1</author><title>T1b</title>\
+        <author>A2</author></book><book><author>B1</author></book></bib>";
+    const STRONG_DOC: &str = "<bib>\
+        <book><title>TCP</title><author>Stevens</author><author>Wright</author>\
+          <publisher>AW</publisher><price>65</price></book>\
+        <book><title>Web</title><editor>Abiteboul</editor><publisher>MK</publisher>\
+          <price>39</price></book></bib>";
+
+    /// Rewrite, run streamed, and check the result against the DOM
+    /// evaluation of the original query (Theorem 4.3 + engine correctness).
+    #[track_caller]
+    fn check_equiv(query: &str, dtd_src: &str, doc_src: &str) -> RunStats {
+        let dtd = Dtd::parse(dtd_src).unwrap();
+        let q = parse_xquery(query).unwrap();
+        let flux = rewrite_query(&q, &dtd).unwrap();
+        let run = run_streaming(&flux, &dtd, doc_src.as_bytes())
+            .unwrap_or_else(|e| panic!("engine failed on {query}: {e}\nplan: {flux}"));
+        let doc = wrap_document(Node::parse_str(doc_src).unwrap());
+        let expected = eval_query(&q, &doc).unwrap();
+        assert_eq!(run.output, expected, "query: {query}\nplan: {flux}");
+        // The tree-semantics interpreter must agree as well.
+        let via_interp = interp_flux(&flux, &dtd, &doc).unwrap();
+        assert_eq!(via_interp, expected, "interp disagrees on {query}");
+        run.stats
+    }
+
+    #[test]
+    fn intro_query_streams_with_strong_dtd() {
+        let stats = check_equiv(
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+            BIB_STRONG,
+            STRONG_DOC,
+        );
+        assert_eq!(stats.peak_buffer_bytes, 0, "fully streaming plan must not buffer");
+        assert_eq!(stats.captures, 0);
+    }
+
+    #[test]
+    fn intro_query_buffers_authors_with_weak_dtd() {
+        let stats = check_equiv(
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+            BIB_WEAK,
+            WEAK_DOC,
+        );
+        // Authors of one book at a time: strictly positive, but far below
+        // the document size.
+        assert!(stats.peak_buffer_bytes > 0);
+        let doc_bytes = WEAK_DOC.len();
+        assert!(stats.peak_buffer_bytes < doc_bytes / 2, "peak {} too large", stats.peak_buffer_bytes);
+        assert_eq!(stats.final_buffer_bytes, 0, "all buffers released");
+    }
+
+    #[test]
+    fn condition_flags_stream_without_buffers() {
+        let dtd_src = "<!ELEMENT bib (book)*><!ELEMENT book (publisher,year,title)>\
+            <!ELEMENT publisher (#PCDATA)><!ELEMENT year (#PCDATA)><!ELEMENT title (#PCDATA)>";
+        let doc = "<bib><book><publisher>AW</publisher><year>1994</year><title>yes</title></book>\
+             <book><publisher>AW</publisher><year>1990</year><title>no-year</title></book>\
+             <book><publisher>MK</publisher><year>1999</year><title>no-pub</title></book></bib>";
+        let stats = check_equiv(
+            "<hits>{ for $b in $ROOT/bib/book where $b/publisher = \"AW\" and $b/year > 1991 \
+               return <hit> {$b/title} </hit> }</hits>",
+            dtd_src,
+            doc,
+        );
+        assert_eq!(stats.peak_buffer_bytes, 0, "flags must not buffer");
+    }
+
+    #[test]
+    fn whole_subtree_buffering_is_one_element_at_a_time() {
+        // Q20-style: output whole elements failing a condition.
+        let dtd_src = "<!ELEMENT people (person)*><!ELEMENT person (name,income?)>\
+            <!ELEMENT name (#PCDATA)><!ELEMENT income (#PCDATA)>";
+        let doc = "<people><person><name>poor</name></person>\
+            <person><name>rich</name><income>9999999</income></person>\
+            <person><name>alsopoor</name></person></people>";
+        let stats = check_equiv(
+            "{ for $p in $ROOT/people/person where empty($p/income) return {$p} }",
+            dtd_src,
+            doc,
+        );
+        assert!(stats.peak_buffer_bytes > 0);
+        // Peak is a single person, not all persons.
+        let rich = "<person><name>rich</name><income>9999999</income></person>";
+        assert!(
+            stats.peak_buffer_bytes <= rich.len() + 16,
+            "peak {} should be one person at a time",
+            stats.peak_buffer_bytes
+        );
+    }
+
+    #[test]
+    fn join_query_example_4_6() {
+        let dtd_src = "<!ELEMENT bib (book*,article*)>\
+            <!ELEMENT book (title,(author+|editor+),publisher)>\
+            <!ELEMENT article (title,author+,journal)>\
+            <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+            <!ELEMENT publisher (#PCDATA)><!ELEMENT journal (#PCDATA)>";
+        let doc = "<bib>\
+            <book><title>B1</title><editor>smith</editor><publisher>P</publisher></book>\
+            <book><title>B2</title><author>jones</author><publisher>P</publisher></book>\
+            <article><title>A1</title><author>smith</author><author>lee</author><journal>J</journal></article>\
+            <article><title>A2</title><author>kim</author><journal>J</journal></article></bib>";
+        let stats = check_equiv(
+            "<results>{ for $bib in $ROOT/bib return \
+               { for $article in $bib/article return \
+                 { for $book in $bib/book where $article/author = $book/editor return \
+                   <result> {$article/author} </result> } } }</results>",
+            dtd_src,
+            doc,
+        );
+        assert!(stats.peak_buffer_bytes > 0, "joins must buffer");
+    }
+
+    #[test]
+    fn two_loops_over_the_same_streamed_path() {
+        // β1 streams titles via an on-handler while β2 buffers them — the
+        // tee/capture path.
+        let stats = check_equiv(
+            "{ for $b in $ROOT/bib/book return <one>{$b/title}</one><two>{$b/title}</two> }",
+            BIB_WEAK,
+            WEAK_DOC,
+        );
+        assert!(stats.peak_buffer_bytes > 0, "second pass needs the titles buffered");
+    }
+
+    #[test]
+    fn strings_and_conditionals_only() {
+        let stats = check_equiv(
+            "<count>{ for $b in $ROOT/bib/book return <book-seen/> }</count>",
+            BIB_WEAK,
+            WEAK_DOC,
+        );
+        assert_eq!(stats.peak_buffer_bytes, 0);
+    }
+
+    #[test]
+    fn nested_structure_queries() {
+        check_equiv(
+            "{ for $b in $ROOT/bib/book return { for $t in $b/title return { for $a in $b/author return <r>{$t}{$a}</r> } } }",
+            BIB_WEAK,
+            WEAK_DOC,
+        );
+        check_equiv(
+            "{ for $b in $ROOT/bib/book return { for $t in $b/title return { for $a in $b/author return <r>{$t}{$a}</r> } } }",
+            BIB_STRONG,
+            STRONG_DOC,
+        );
+    }
+
+    #[test]
+    fn empty_document_and_empty_results() {
+        check_equiv(
+            "<results>{ for $b in $ROOT/bib/book return <r/> }</results>",
+            BIB_WEAK,
+            "<bib></bib>",
+        );
+        check_equiv(
+            "<results>{ for $b in $ROOT/bib/book where $b/title = \"nope\" return <r/> }</results>",
+            BIB_WEAK,
+            WEAK_DOC,
+        );
+    }
+
+    #[test]
+    fn output_path_queries() {
+        check_equiv("<all>{ $ROOT/bib/book/author }</all>", BIB_WEAK, WEAK_DOC);
+        check_equiv("<all>{ $ROOT/bib/book }</all>", BIB_WEAK, WEAK_DOC);
+    }
+
+    #[test]
+    fn invalid_document_rejected() {
+        let dtd = Dtd::parse(BIB_STRONG).unwrap();
+        let q = parse_xquery("<r>{ for $b in $ROOT/bib/book return {$b/title} }</r>").unwrap();
+        let flux = rewrite_query(&q, &dtd).unwrap();
+        // Wrong child order for the strong DTD:
+        let bad = "<bib><book><author>A</author><title>T</title><publisher>P</publisher><price>1</price></book></bib>";
+        let err = run_streaming(&flux, &dtd, bad.as_bytes()).unwrap_err();
+        assert!(matches!(err, EngineError::Validation { .. }), "{err}");
+    }
+
+    #[test]
+    fn malformed_xml_rejected() {
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let q = parse_xquery("<r>{ for $b in $ROOT/bib/book return <x/> }</r>").unwrap();
+        let flux = rewrite_query(&q, &dtd).unwrap();
+        let err = run_streaming(&flux, &dtd, "<bib><book></bib>".as_bytes()).unwrap_err();
+        assert!(matches!(err, EngineError::Xml(_)), "{err}");
+    }
+
+    #[test]
+    fn handwritten_flux_with_pre_post_strings() {
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let flux = parse_flux(
+            "<results> { ps $ROOT: on bib as $bib return \
+               { ps $bib: on book as $b return <b/> } } </results>",
+        )
+        .unwrap();
+        let run = run_streaming(&flux, &dtd, WEAK_DOC.as_bytes()).unwrap();
+        assert_eq!(run.output, "<results><b/><b/></results>");
+    }
+
+    #[test]
+    fn on_first_before_on_at_same_step() {
+        // ζ = [on-first past(book); on book]: both fire on the single book;
+        // ζ order puts the on-first output before the book copy.
+        let dtd = Dtd::parse("<!ELEMENT bib (book)><!ELEMENT book (#PCDATA)>").unwrap();
+        let flux = parse_flux(
+            "{ ps $ROOT: on bib as $b return \
+               { ps $b: on-first past(book) return <flush/>; on book as $k return {$k} } }",
+        )
+        .unwrap();
+        let run = run_streaming(&flux, &dtd, "<bib><book>x</book></bib>".as_bytes()).unwrap();
+        assert_eq!(run.output, "<flush/><book>x</book>");
+        // And the converse order:
+        let flux2 = parse_flux(
+            "{ ps $ROOT: on bib as $b return \
+               { ps $b: on book as $k return {$k}; on-first past(book) return <flush/> } }",
+        )
+        .unwrap();
+        let run2 = run_streaming(&flux2, &dtd, "<bib><book>x</book></bib>".as_bytes()).unwrap();
+        assert_eq!(run2.output, "<book>x</book><flush/>");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let stats = check_equiv(
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+            BIB_STRONG,
+            STRONG_DOC,
+        );
+        assert!(stats.events > 10);
+        assert!(stats.output_bytes > 10);
+        assert!(stats.on_firings >= 4, "title/author handlers fired: {stats:?}");
+        assert!(stats.on_first_firings >= 2);
+    }
+
+    #[test]
+    fn degenerate_whole_document_query() {
+        // {$ROOT}-style queries have no process-stream: the engine
+        // materializes (and says so in the stats).
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let q = parse_xquery("{ $ROOT/bib }").unwrap();
+        let flux = rewrite_query(&q, &dtd).unwrap();
+        let run = run_streaming(&flux, &dtd, WEAK_DOC.as_bytes()).unwrap();
+        let doc = wrap_document(Node::parse_str(WEAK_DOC).unwrap());
+        assert_eq!(run.output, eval_query(&q, &doc).unwrap());
+    }
+
+    #[test]
+    fn condition_descending_into_the_fired_child() {
+        // Regression: the flag for $ROOT/lib/meta can still change *inside*
+        // the single <meta> child the on-handler fires on; the engine must
+        // consume the child (finalizing the flag) before deciding.
+        let dtd_src = "<!ELEMENT lib (shelf*,meta?)><!ELEMENT shelf (#PCDATA)>\
+            <!ELEMENT meta (owner,year)><!ELEMENT owner (#PCDATA)><!ELEMENT year (#PCDATA)>";
+        let doc = "<lib><shelf>s</shelf><meta><owner>1999</owner><year>42</year></meta></lib>";
+        let stats = check_equiv(
+            "{ if $ROOT/lib/meta >= 1841 then {$ROOT/lib/meta} }",
+            dtd_src,
+            doc,
+        );
+        assert!(stats.captures > 0, "the meta child must take the capture path");
+        // And the negative case stays negative:
+        check_equiv("{ if $ROOT/lib/meta >= 999999999 then {$ROOT/lib/meta} }", dtd_src, doc);
+    }
+
+    #[test]
+    fn scaled_join_condition() {
+        let dtd_src = "<!ELEMENT r (a*,b*)><!ELEMENT a (v)><!ELEMENT b (w)>\
+            <!ELEMENT v (#PCDATA)><!ELEMENT w (#PCDATA)>";
+        let doc = "<r><a><v>100</v></a><a><v>10</v></a><b><w>30</w></b></r>";
+        check_equiv(
+            "{ for $a in $ROOT/r/a return { for $b in $ROOT/r/b where $a/v > (3 * $b/w) return <hit>{$a/v}</hit> } }",
+            dtd_src,
+            doc,
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Run statistics: the paper's evaluation metrics.
+//!
+//! "The performance of query evaluation was studied by measuring the
+//! execution time and maximum memory consumption" (Section 6). Memory here
+//! is the peak number of bytes held in runtime buffers (including transient
+//! child captures), counting tag names twice (start + end event) and text
+//! once — the natural size of the paper's buffers-as-SAX-event-lists.
+//! Fixed per-structure overhead is excluded, as the paper excludes the JVM's
+//! fixed footprint.
+
+/// Counters accumulated during one streaming run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Peak bytes held in buffers + captures at any point of the run.
+    pub peak_buffer_bytes: usize,
+    /// Bytes held when the run finished (0 unless something leaked).
+    pub final_buffer_bytes: usize,
+    /// Input events processed.
+    pub events: u64,
+    /// Bytes written to the output sink.
+    pub output_bytes: u64,
+    /// `on` handler firings.
+    pub on_firings: u64,
+    /// `on-first` handler firings.
+    pub on_first_firings: u64,
+    /// Buffers created (scope instances with a non-empty buffer tree).
+    pub buffers_created: u64,
+    /// Child subtrees captured for replay or deferred evaluation.
+    pub captures: u64,
+}
+
+impl RunStats {
+    pub(crate) fn buffer_grow(&mut self, current: &mut usize, bytes: usize) {
+        *current += bytes;
+        if *current > self.peak_buffer_bytes {
+            self.peak_buffer_bytes = *current;
+        }
+    }
+
+    pub(crate) fn buffer_shrink(current: &mut usize, bytes: usize) {
+        debug_assert!(*current >= bytes, "buffer accounting underflow");
+        *current -= bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut s = RunStats::default();
+        let mut cur = 0usize;
+        s.buffer_grow(&mut cur, 100);
+        s.buffer_grow(&mut cur, 50);
+        RunStats::buffer_shrink(&mut cur, 120);
+        s.buffer_grow(&mut cur, 10);
+        assert_eq!(s.peak_buffer_bytes, 150);
+        assert_eq!(cur, 40);
+    }
+}

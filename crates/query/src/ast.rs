@@ -1,0 +1,246 @@
+//! The XQuery− abstract syntax (paper, Definition 3.1).
+
+use crate::cond::Cond;
+use crate::path::Path;
+
+/// An XQuery− expression.
+///
+/// The eight forms of Definition 3.1. Sequences are flattened into one
+/// n-ary node; the rewrite algorithm decomposes them head/tail as in the
+/// paper's binary presentation. Fixed strings are first-class: `<result>`
+/// is a string in XQuery−.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// 1. ε — the empty query.
+    Empty,
+    /// 2. `s` — output of a fixed string (tags included: `<result>` is a
+    ///    string in XQuery−).
+    Str(String),
+    /// 3. `α β` — sequence.
+    Seq(Vec<Expr>),
+    /// 4./5. `{ for $var in $in_var/path (where pred)? return body }`.
+    For {
+        /// The bound variable (no `$` sigil).
+        var: String,
+        /// The variable the path starts from.
+        in_var: String,
+        /// The fixed path iterated over.
+        path: Path,
+        /// Optional `where` condition (form 5).
+        pred: Option<Cond>,
+        /// Loop body.
+        body: Box<Expr>,
+    },
+    /// 6. `{ $var/path }` — output all subtrees reachable via the path.
+    OutputPath {
+        /// Root variable.
+        var: String,
+        /// The fixed path.
+        path: Path,
+    },
+    /// 7. `{ $var }` — output the variable's subtree.
+    OutputVar {
+        /// The variable.
+        var: String,
+    },
+    /// 8. `{ if cond then body }`.
+    If {
+        /// The condition.
+        cond: Cond,
+        /// Expression evaluated when the condition holds.
+        body: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Sequence constructor that flattens nested sequences and drops ε.
+    pub fn seq(items: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut out = Vec::new();
+        for it in items {
+            match it {
+                Expr::Empty => {}
+                Expr::Seq(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Expr::Empty,
+            1 => out.pop().unwrap(),
+            _ => Expr::Seq(out),
+        }
+    }
+
+    /// `{$var}` constructor.
+    pub fn output_var(var: impl Into<String>) -> Expr {
+        Expr::OutputVar { var: var.into() }
+    }
+
+    /// String-output constructor.
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Str(s.into())
+    }
+
+    /// Size of the expression: number of AST nodes plus condition atoms —
+    /// the |Q| of the paper's complexity statements (proportional to the
+    /// length of the string representation).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } => 1,
+            Expr::OutputPath { path, .. } => 1 + path.len(),
+            Expr::Seq(items) => 1 + items.iter().map(Expr::size).sum::<usize>(),
+            Expr::For { path, pred, body, .. } => {
+                1 + path.len() + pred.as_ref().map_or(0, cond_size) + body.size()
+            }
+            Expr::If { cond, body } => 1 + cond_size(cond) + body.size(),
+        }
+    }
+
+    /// Does `{$var}` occur as a subexpression (the `{$x} ⊑ β` test of the
+    /// rewrite algorithm, Figure 2 line 5)?
+    ///
+    /// Occurrences under a *rebinding* of `var` do not count — they refer to
+    /// a different variable. (The paper assumes uniquely named variables;
+    /// being scope-aware makes the check correct for arbitrary input too.)
+    pub fn contains_output_var(&self, var: &str) -> bool {
+        match self {
+            Expr::OutputVar { var: v } => v == var,
+            Expr::Seq(items) => items.iter().any(|e| e.contains_output_var(var)),
+            Expr::For { var: bound, body, .. } => bound != var && body.contains_output_var(var),
+            Expr::If { body, .. } => body.contains_output_var(var),
+            _ => false,
+        }
+    }
+
+    /// Visit every subexpression, pre-order.
+    pub fn visit<'a, F: FnMut(&'a Expr)>(&'a self, f: &mut F) {
+        f(self);
+        match self {
+            Expr::Seq(items) => items.iter().for_each(|e| e.visit(f)),
+            Expr::For { body, .. } | Expr::If { body, .. } => body.visit(f),
+            _ => {}
+        }
+    }
+
+    /// Whether this is a *simple expression* in the sense of Definition 3.3:
+    /// a sequence `α β γ` where α, γ consist of strings and
+    /// `{if χ then s}` items, β is empty, `{$u}`, or `{if χ then {$u}}`,
+    /// and no atomic condition in the α/β prefix mentions `$u`.
+    pub fn is_simple(&self) -> bool {
+        let items: &[Expr] = match self {
+            Expr::Seq(items) => items,
+            single => std::slice::from_ref(single),
+        };
+        let mut seen_var: Option<&str> = None;
+        for item in items {
+            let (var_here, conds_here): (Option<&str>, Vec<&Cond>) = match item {
+                Expr::Empty | Expr::Str(_) => (None, vec![]),
+                Expr::If { cond, body } => match &**body {
+                    Expr::Str(_) => (None, vec![cond]),
+                    Expr::OutputVar { var } => (Some(var), vec![cond]),
+                    _ => return false,
+                },
+                Expr::OutputVar { var } => (Some(var), vec![]),
+                _ => return false,
+            };
+            if let Some(v) = var_here {
+                if seen_var.is_some() {
+                    return false; // at most one {$u}
+                }
+                seen_var = Some(v);
+            }
+            // Conditions in α and β must not mention the β variable; since we
+            // scan left to right, check each condition against a later-found
+            // variable by deferring: collect conditions and re-check below.
+            let _ = conds_here;
+        }
+        // Re-scan: no atomic condition in α β (everything up to and including
+        // the {$u} item) may mention $u.
+        if let Some(u) = seen_var {
+            let mut passed_u = false;
+            for item in items {
+                let (cond, is_u_item) = match item {
+                    Expr::If { cond, body } => {
+                        (Some(cond), matches!(&**body, Expr::OutputVar { var } if var == u))
+                    }
+                    Expr::OutputVar { var } => (None, var == u),
+                    _ => (None, false),
+                };
+                if !passed_u {
+                    if let Some(c) = cond {
+                        if c.mentions(u) {
+                            return false;
+                        }
+                    }
+                }
+                if is_u_item {
+                    passed_u = true;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn cond_size(c: &Cond) -> usize {
+    match c {
+        Cond::True => 1,
+        Cond::And(a, b) | Cond::Or(a, b) => 1 + cond_size(a) + cond_size(b),
+        Cond::Not(c) => 1 + cond_size(c),
+        Cond::Atom(_) => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xquery;
+
+    #[test]
+    fn seq_flattens_and_drops_empty() {
+        let e = Expr::seq([Expr::Empty, Expr::str("a"), Expr::seq([Expr::str("b"), Expr::Empty])]);
+        assert_eq!(e, Expr::Seq(vec![Expr::str("a"), Expr::str("b")]));
+        assert_eq!(Expr::seq([]), Expr::Empty);
+        assert_eq!(Expr::seq([Expr::str("x")]), Expr::str("x"));
+    }
+
+    #[test]
+    fn contains_output_var_respects_scoping() {
+        let e = parse_xquery("{ for $x in $y/a return {$x} }").unwrap();
+        assert!(!e.contains_output_var("x"), "x is rebound by the for");
+        assert!(!e.contains_output_var("y"));
+        let e2 = parse_xquery("{ for $z in $y/a return {$x} }").unwrap();
+        assert!(e2.contains_output_var("x"));
+    }
+
+    #[test]
+    fn simple_expressions() {
+        // The paper's example: <a>{$x}</a> {if $x/b=5 then <b>5</b>} is
+        // simple…
+        let e = parse_xquery("<a>{$x}</a> {if $x/b = 5 then <b>5</b>}").unwrap();
+        assert!(e.is_simple());
+        // …but {$x}{$y} is not.
+        let e2 = parse_xquery("{$x}{$y}").unwrap();
+        assert!(!e2.is_simple());
+        // A condition mentioning the output variable before/at β breaks
+        // simplicity.
+        let e3 = parse_xquery("{if $x/b = 5 then {$x}}").unwrap();
+        assert!(!e3.is_simple());
+        // …but a condition on another variable is fine.
+        let e4 = parse_xquery("{if $y/b = 5 then {$x}}").unwrap();
+        assert!(e4.is_simple());
+        // For-loops are never simple.
+        let e5 = parse_xquery("{ for $a in $x/b return {$a} }").unwrap();
+        assert!(!e5.is_simple());
+        // Conditions after the {$u} item may mention $u (α β restriction
+        // only).
+        let e6 = parse_xquery("{$x} {if $x/b = 5 then <b>5</b>}").unwrap();
+        assert!(e6.is_simple());
+    }
+
+    #[test]
+    fn size_grows_with_structure() {
+        let small = parse_xquery("<a>").unwrap();
+        let big = parse_xquery("{ for $b in $ROOT/bib/book where $b/year > 1991 return {$b/title} }").unwrap();
+        assert!(big.size() > small.size());
+    }
+}

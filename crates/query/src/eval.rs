@@ -1,0 +1,336 @@
+//! The reference XQuery− evaluator over node trees (paper, Section 3.1
+//! semantics).
+//!
+//! This single evaluator is used by every execution path in the system:
+//!
+//! * the DOM baseline engines run whole queries over the full document tree;
+//! * the FluX streaming engine runs *buffered* XQuery− subexpressions over
+//!   the partial trees held in its runtime buffers (paper, Section 5 — the
+//!   buffers replay "indistinguishable from the input stream").
+//!
+//! Comparison semantics are XQuery's existential quantification over the
+//! node sequences denoted by both sides; values compare numerically when
+//! both operands parse as numbers, lexicographically otherwise.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::io::Write as IoWrite;
+
+use flux_xml::{Node, Writer};
+
+use crate::ast::Expr;
+use crate::cond::{Atom, CmpRhs, Cond, PathRef, RelOp};
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was read that is not bound in the environment — a safety
+    /// violation if it happens while running a FluX query.
+    Unbound(String),
+    /// Output sink failure.
+    Io(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(v) => write!(f, "unbound variable ${v}"),
+            EvalError::Io(e) => write!(f, "output error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A variable environment: bindings from variable names to nodes, with
+/// lexical shadowing (later bindings win).
+#[derive(Debug, Default)]
+pub struct Env<'a> {
+    stack: Vec<(String, &'a Node)>,
+}
+
+impl<'a> Env<'a> {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Env { stack: Vec::new() }
+    }
+
+    /// Environment with a single binding (typically `$ROOT` → document).
+    pub fn with(var: impl Into<String>, node: &'a Node) -> Self {
+        let mut e = Env::new();
+        e.push(var, node);
+        e
+    }
+
+    /// Bind a variable (shadowing any previous binding).
+    pub fn push(&mut self, var: impl Into<String>, node: &'a Node) {
+        self.stack.push((var.into(), node));
+    }
+
+    /// Remove the most recent binding.
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    /// Look a variable up.
+    pub fn get(&self, var: &str) -> Result<&'a Node, EvalError> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|&(_, n)| n)
+            .ok_or_else(|| EvalError::Unbound(var.to_string()))
+    }
+
+    /// Resolve `$var/path` to the matching nodes in document order.
+    pub fn select(&self, pr: &PathRef) -> Result<Vec<&'a Node>, EvalError> {
+        let root = self.get(&pr.var)?;
+        let mut out = Vec::new();
+        root.select(pr.path.steps(), &mut out);
+        Ok(out)
+    }
+}
+
+/// Evaluate an expression, writing the result through an XML writer.
+pub fn eval_expr<W: IoWrite>(
+    expr: &Expr,
+    env: &mut Env<'_>,
+    out: &mut Writer<W>,
+) -> Result<(), EvalError> {
+    match expr {
+        Expr::Empty => Ok(()),
+        Expr::Str(s) => out.write_raw(s).map_err(io_err),
+        Expr::Seq(items) => {
+            for it in items {
+                eval_expr(it, env, out)?;
+            }
+            Ok(())
+        }
+        Expr::OutputVar { var } => out.write_node(env.get(var)?).map_err(io_err),
+        Expr::OutputPath { var, path } => {
+            let root = env.get(var)?;
+            let mut nodes = Vec::new();
+            root.select(path.steps(), &mut nodes);
+            for n in nodes {
+                out.write_node(n).map_err(io_err)?;
+            }
+            Ok(())
+        }
+        Expr::If { cond, body } => {
+            if eval_cond(cond, env)? {
+                eval_expr(body, env, out)?;
+            }
+            Ok(())
+        }
+        Expr::For { var, in_var, path, pred, body } => {
+            let root = env.get(in_var)?;
+            let mut nodes = Vec::new();
+            root.select(path.steps(), &mut nodes);
+            for n in nodes {
+                env.push(var.clone(), n);
+                let keep = match pred {
+                    Some(chi) => eval_cond(chi, env)?,
+                    None => true,
+                };
+                let res = if keep { eval_expr(body, env, out) } else { Ok(()) };
+                env.pop();
+                res?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> EvalError {
+    EvalError::Io(e.to_string())
+}
+
+/// Evaluate a condition under the environment.
+pub fn eval_cond(cond: &Cond, env: &Env<'_>) -> Result<bool, EvalError> {
+    Ok(match cond {
+        Cond::True => true,
+        Cond::And(a, b) => eval_cond(a, env)? && eval_cond(b, env)?,
+        Cond::Or(a, b) => eval_cond(a, env)? || eval_cond(b, env)?,
+        Cond::Not(c) => !eval_cond(c, env)?,
+        Cond::Atom(Atom::Exists(p)) => !env.select(p)?.is_empty(),
+        Cond::Atom(Atom::Cmp { left, op, right }) => {
+            let lhs = env.select(left)?;
+            match right {
+                CmpRhs::Const(s) => lhs.iter().any(|n| compare_values(&n.text(), *op, s)),
+                CmpRhs::Path(rp) => {
+                    let rhs = env.select(rp)?;
+                    lhs.iter().any(|l| {
+                        let lv = l.text();
+                        rhs.iter().any(|r| compare_values(&lv, *op, &r.text()))
+                    })
+                }
+                CmpRhs::Scaled { factor, path } => {
+                    let rhs = env.select(path)?;
+                    lhs.iter().any(|l| {
+                        let Ok(lv) = l.text().trim().parse::<f64>() else { return false };
+                        rhs.iter().any(|r| match r.text().trim().parse::<f64>() {
+                            Ok(rv) => op.test(partial_ord(lv, factor * rv)),
+                            Err(_) => false,
+                        })
+                    })
+                }
+            }
+        }
+    })
+}
+
+fn partial_ord(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Less)
+}
+
+/// Compare two string values: numerically when both parse as numbers,
+/// lexicographically otherwise.
+pub fn compare_values(left: &str, op: RelOp, right: &str) -> bool {
+    let (l, r) = (left.trim(), right.trim());
+    match (l.parse::<f64>(), r.parse::<f64>()) {
+        (Ok(a), Ok(b)) => op.test(partial_ord(a, b)),
+        _ => op.test(l.cmp(r)),
+    }
+}
+
+/// Wrap a parsed root element in a document node so that `$ROOT/rootname/…`
+/// paths resolve (the paper's `$ROOT` denotes the document node).
+pub fn wrap_document(root: Node) -> Node {
+    let mut doc = Node::new("#document");
+    doc.children.push(flux_xml::Child::Elem(root));
+    doc
+}
+
+/// Evaluate a whole query against a document node (as produced by
+/// [`wrap_document`]); returns the serialized result.
+pub fn eval_query(expr: &Expr, doc: &Node) -> Result<String, EvalError> {
+    let mut env = Env::with(crate::ROOT_VAR, doc);
+    let mut w = Writer::new(Vec::new());
+    eval_expr(expr, &mut env, &mut w)?;
+    let bytes = w.into_inner().map_err(io_err)?;
+    Ok(String::from_utf8(bytes).expect("writer emits UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_condition, parse_xquery};
+
+    fn bib_doc() -> Node {
+        wrap_document(
+            Node::parse_str(
+                "<bib>\
+                   <book><title>TCP</title><author>Stevens</author><author>Wright</author>\
+                     <publisher>Addison-Wesley</publisher><year>1994</year></book>\
+                   <book><title>Data on the Web</title><author>Abiteboul</author>\
+                     <publisher>Morgan Kaufmann</publisher><year>1999</year></book>\
+                 </bib>",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[track_caller]
+    fn run(q: &str) -> String {
+        eval_query(&parse_xquery(q).unwrap(), &bib_doc()).unwrap()
+    }
+
+    #[test]
+    fn intro_query() {
+        let out = run(
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+        );
+        assert_eq!(
+            out,
+            "<results><result><title>TCP</title><author>Stevens</author><author>Wright</author></result>\
+             <result><title>Data on the Web</title><author>Abiteboul</author></result></results>"
+        );
+    }
+
+    #[test]
+    fn where_filters() {
+        let out = run(
+            "{ for $b in $ROOT/bib/book where $b/publisher = \"Addison-Wesley\" and $b/year > 1991 \
+               return <b>{$b/title}</b> }",
+        );
+        assert_eq!(out, "<b><title>TCP</title></b>");
+        // numeric comparison really is numeric:
+        let none = run("{ for $b in $ROOT/bib/book where $b/year > 2020 return <b/> }");
+        assert_eq!(none, "");
+    }
+
+    #[test]
+    fn exists_and_empty() {
+        assert_eq!(
+            run("{ for $b in $ROOT/bib/book where exists $b/author return <y/> }"),
+            "<y/><y/>"
+        );
+        assert_eq!(run("{ for $b in $ROOT/bib/book where empty($b/price) return <n/> }"), "<n/><n/>");
+        assert_eq!(run("{ for $b in $ROOT/bib/book where empty($b/title) return <n/> }"), "");
+    }
+
+    #[test]
+    fn join_comparison_is_existential() {
+        // Any author equal to any of the listed authors.
+        let doc = bib_doc();
+        let env = Env::with("ROOT", &doc);
+        let c = parse_condition("$ROOT/bib/book/author = $ROOT/bib/book/author").unwrap();
+        assert!(eval_cond(&c, &env).unwrap());
+    }
+
+    #[test]
+    fn scaled_comparison() {
+        let doc = wrap_document(Node::parse_str("<r><a><v>100</v></a><b><w>30</w></b></r>").unwrap());
+        let env = Env::with("ROOT", &doc);
+        assert!(eval_cond(&parse_condition("$ROOT/r/a/v > (3 * $ROOT/r/b/w)").unwrap(), &env).unwrap());
+        assert!(!eval_cond(&parse_condition("$ROOT/r/a/v > (4 * $ROOT/r/b/w)").unwrap(), &env).unwrap());
+        // Non-numeric operands make the comparison false, not an error.
+        let doc2 = wrap_document(Node::parse_str("<r><a><v>abc</v></a><b><w>30</w></b></r>").unwrap());
+        let env2 = Env::with("ROOT", &doc2);
+        assert!(!eval_cond(&parse_condition("$ROOT/r/a/v > (1 * $ROOT/r/b/w)").unwrap(), &env2).unwrap());
+    }
+
+    #[test]
+    fn string_vs_numeric_comparison() {
+        assert!(compare_values("10", RelOp::Gt, "9"));
+        assert!(!compare_values("10", RelOp::Gt, "9a"), "lexicographic: \"10\" < \"9a\"");
+        assert!(compare_values("abc", RelOp::Lt, "abd"));
+        assert!(compare_values(" 42 ", RelOp::Eq, "42"));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = parse_xquery("{$nope}").unwrap();
+        assert_eq!(eval_query(&e, &bib_doc()).unwrap_err(), EvalError::Unbound("nope".into()));
+    }
+
+    #[test]
+    fn shadowing() {
+        let doc = bib_doc();
+        let out = eval_query(
+            &parse_xquery("{ for $b in $ROOT/bib/book return { for $b in $b/author return {$b} } }")
+                .unwrap(),
+            &doc,
+        )
+        .unwrap();
+        assert_eq!(out, "<author>Stevens</author><author>Wright</author><author>Abiteboul</author>");
+    }
+
+    #[test]
+    fn equivalence_under_normalization() {
+        // Proposition 3.2 / Theorem 4.1: normalization preserves semantics.
+        let queries = [
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+            "{ for $b in $ROOT/bib/book where $b/publisher = \"Addison-Wesley\" and $b/year > 1991 \
+               return <book> {$b/year} {$b/title} </book> }",
+            "{ $ROOT/bib/book/title }",
+            "{ if $ROOT/bib/book/year > 1000 then <old> {$ROOT/bib/book/author} </old> }",
+        ];
+        let doc = bib_doc();
+        for q in queries {
+            let e = parse_xquery(q).unwrap();
+            let n = crate::normalize::normalize(&e);
+            assert_eq!(eval_query(&e, &doc).unwrap(), eval_query(&n, &doc).unwrap(), "query: {q}");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The XQuery− normal form (paper, Figure 1 and Theorem 4.1).
+//!
+//! An expression in normal form has: (1) only simple-step paths outside
+//! conditions, (2) no conditional for-loops, and (3) conditionals only
+//! around fixed strings and `{$x}`. The six rules of Figure 1 are applied
+//! "downwards" until no rule matches; we implement this as a single
+//! recursive pass that is easily seen to apply each rule the same number of
+//! times a fair fixpoint engine would — `O(|Q|)` applications (Theorem 4.1),
+//! which [`NormalizeStats`] lets tests verify.
+
+use crate::ast::Expr;
+use crate::cond::Cond;
+use crate::path::Path;
+use crate::vars::VarGen;
+
+/// Counters for Theorem 4.1's bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NormalizeStats {
+    /// Rule 1: conditional for-loop → `if` inside the loop body.
+    pub rule_for_where: usize,
+    /// Rule 2: `{$y/π}` → for-loop.
+    pub rule_output_path: usize,
+    /// Rule 3: multi-step for-loop path → nested loops.
+    pub rule_path_split: usize,
+    /// Rule 4: `if` pushed through a for-loop.
+    pub rule_if_for: usize,
+    /// Rule 5: `if` distributed over a sequence (counted per binary split).
+    pub rule_if_seq: usize,
+    /// Rule 6: nested `if`s merged by conjunction.
+    pub rule_if_if: usize,
+}
+
+impl NormalizeStats {
+    /// Total rule applications.
+    pub fn total(&self) -> usize {
+        self.rule_for_where
+            + self.rule_output_path
+            + self.rule_path_split
+            + self.rule_if_for
+            + self.rule_if_seq
+            + self.rule_if_if
+    }
+}
+
+/// Normalize an expression (Figure 1). The result is unique (Theorem 4.1).
+pub fn normalize(e: &Expr) -> Expr {
+    normalize_with_stats(e).0
+}
+
+/// Normalize and report how many rule applications were performed.
+pub fn normalize_with_stats(e: &Expr) -> (Expr, NormalizeStats) {
+    let mut gen = VarGen::from_expr(e);
+    let mut stats = NormalizeStats::default();
+    let out = norm(e, &mut gen, &mut stats);
+    (out, stats)
+}
+
+fn norm(e: &Expr, gen: &mut VarGen, stats: &mut NormalizeStats) -> Expr {
+    match e {
+        Expr::Empty => Expr::Empty,
+        Expr::Str(s) => Expr::Str(s.clone()),
+        Expr::OutputVar { var } => Expr::OutputVar { var: var.clone() },
+        Expr::Seq(items) => Expr::seq(items.iter().map(|i| norm(i, gen, stats)).collect::<Vec<_>>()),
+        Expr::OutputPath { var, path } => {
+            // Rule 2, then rule 3 for the remaining steps.
+            stats.rule_output_path += 1;
+            stats.rule_path_split += path.len() - 1;
+            expand_path(var.clone(), path, gen, |leaf| Expr::OutputVar { var: leaf })
+        }
+        Expr::For { var, in_var, path, pred, body } => {
+            // Rule 1: move the `where` condition into the body.
+            let body2: Expr = match pred {
+                Some(chi) => {
+                    stats.rule_for_where += 1;
+                    Expr::If { cond: chi.clone(), body: body.clone() }
+                }
+                None => (**body).clone(),
+            };
+            let nb = norm(&body2, gen, stats);
+            // Rule 3: split multi-step paths with fresh intermediate
+            // variables.
+            stats.rule_path_split += path.len() - 1;
+            let steps = path.steps();
+            let mut expr = Expr::For {
+                var: var.clone(),
+                in_var: String::new(), // patched below
+                path: Path::from_steps([steps.last().unwrap().clone()]),
+                pred: None,
+                body: Box::new(nb),
+            };
+            // Wrap outwards: the last step binds `var`; earlier steps get
+            // fresh variables named after the step.
+            let mut parents: Vec<String> = Vec::with_capacity(steps.len());
+            parents.push(in_var.clone());
+            for step in &steps[..steps.len() - 1] {
+                parents.push(gen.fresh(step));
+            }
+            // parents[i] is the variable the i-th step starts from.
+            for i in (0..steps.len()).rev() {
+                match &mut expr {
+                    Expr::For { in_var: iv, .. } if iv.is_empty() => *iv = parents[i].clone(),
+                    _ => {}
+                }
+                if i > 0 {
+                    expr = Expr::For {
+                        var: parents[i].clone(),
+                        in_var: String::new(),
+                        path: Path::from_steps([steps[i - 1].clone()]),
+                        pred: None,
+                        body: Box::new(expr),
+                    };
+                }
+            }
+            match &mut expr {
+                Expr::For { in_var: iv, .. } if iv.is_empty() => *iv = parents[0].clone(),
+                _ => {}
+            }
+            expr
+        }
+        Expr::If { cond, body } => {
+            let nb = norm(body, gen, stats);
+            push_if(cond.clone(), nb, stats)
+        }
+    }
+}
+
+/// Expand a multi-step path into nested for-loops (rules 2+3), with `leaf`
+/// building the innermost body from the final bound variable.
+fn expand_path(
+    in_var: String,
+    path: &Path,
+    gen: &mut VarGen,
+    leaf: impl FnOnce(String) -> Expr,
+) -> Expr {
+    let steps = path.steps();
+    let vars: Vec<String> = steps.iter().map(|s| gen.fresh(s)).collect();
+    let mut expr = leaf(vars.last().unwrap().clone());
+    for i in (0..steps.len()).rev() {
+        let parent = if i == 0 { in_var.clone() } else { vars[i - 1].clone() };
+        expr = Expr::For {
+            var: vars[i].clone(),
+            in_var: parent,
+            path: Path::from_steps([steps[i].clone()]),
+            pred: None,
+            body: Box::new(expr),
+        };
+    }
+    expr
+}
+
+/// Push a condition down into an already-normalized expression
+/// (rules 4, 5, 6). `{if χ then ε}` is dropped (it outputs nothing either
+/// way), keeping the Seq representation canonical.
+fn push_if(chi: Cond, body: Expr, stats: &mut NormalizeStats) -> Expr {
+    match body {
+        Expr::Empty => Expr::Empty,
+        Expr::Seq(items) => {
+            stats.rule_if_seq += items.len().saturating_sub(1);
+            Expr::seq(
+                items
+                    .into_iter()
+                    .map(|i| push_if(chi.clone(), i, stats))
+                    .collect::<Vec<_>>(),
+            )
+        }
+        Expr::For { var, in_var, path, pred, body } => {
+            debug_assert!(pred.is_none(), "body is normalized");
+            stats.rule_if_for += 1;
+            let inner = push_if(chi, *body, stats);
+            Expr::For { var, in_var, path, pred, body: Box::new(inner) }
+        }
+        Expr::If { cond, body } => {
+            stats.rule_if_if += 1;
+            Expr::If { cond: chi.and(cond), body }
+        }
+        leaf @ (Expr::Str(_) | Expr::OutputVar { .. }) => {
+            Expr::If { cond: chi, body: Box::new(leaf) }
+        }
+        Expr::OutputPath { .. } => unreachable!("body is normalized"),
+    }
+}
+
+/// Check the three normal-form properties.
+pub fn is_normal_form(e: &Expr) -> bool {
+    match e {
+        Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } => true,
+        Expr::OutputPath { .. } => false,
+        Expr::Seq(items) => items.iter().all(|i| {
+            // A canonical Seq has no nested sequences or ε items.
+            !matches!(i, Expr::Seq(_) | Expr::Empty) && is_normal_form(i)
+        }),
+        Expr::For { path, pred, body, .. } => {
+            pred.is_none() && path.len() == 1 && is_normal_form(body)
+        }
+        Expr::If { body, .. } => matches!(**body, Expr::Str(_) | Expr::OutputVar { .. }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xquery;
+
+    #[track_caller]
+    fn norm_str(src: &str) -> Expr {
+        let e = parse_xquery(src).unwrap();
+        let n = normalize(&e);
+        assert!(is_normal_form(&n), "not normal: {n}");
+        n
+    }
+
+    #[test]
+    fn already_normal_is_unchanged() {
+        let e = parse_xquery("<a> { for $b in $x/c return {$b} } </a>").unwrap();
+        assert_eq!(normalize(&e), e);
+        assert!(is_normal_form(&e));
+    }
+
+    #[test]
+    fn output_path_becomes_loop() {
+        let n = norm_str("{$b/title}");
+        let Expr::For { var, in_var, path, body, .. } = &n else { panic!("{n}") };
+        assert_eq!(in_var, "b");
+        assert_eq!(path.to_string(), "title");
+        assert_eq!(**body, Expr::OutputVar { var: var.clone() });
+    }
+
+    #[test]
+    fn multi_step_paths_split() {
+        let n = norm_str("{ for $b in $ROOT/bib/book return {$b} }");
+        let Expr::For { var: v1, in_var, path: p1, body, .. } = &n else { panic!() };
+        assert_eq!(in_var, "ROOT");
+        assert_eq!(p1.to_string(), "bib");
+        let Expr::For { var: v2, in_var: iv2, path: p2, body: b2, .. } = &**body else { panic!() };
+        assert_eq!(iv2, v1);
+        assert_eq!(p2.to_string(), "book");
+        assert_eq!(v2, "b", "the original variable binds the last step");
+        assert_eq!(**b2, Expr::OutputVar { var: "b".into() });
+    }
+
+    #[test]
+    fn example_4_2_q1_normalization_shape() {
+        // XMP Q1 from Example 4.2. The paper's Q1' is:
+        //   for $bib in $ROOT/bib: for $b in $bib/book:
+        //     {if χ then <book>}
+        //     {for $year in $b/year return {if χ then {$year}}}
+        //     {for $title in $b/title return {if χ then {$title}}}
+        //     {if χ then </book>}
+        let n = norm_str(
+            "<bib>{ for $b in $ROOT/bib/book \
+               where $b/publisher = \"Addison-Wesley\" and $b/year > 1991 \
+               return <book> {$b/year} {$b/title} </book> }</bib>",
+        );
+        let Expr::Seq(top) = &n else { panic!("{n}") };
+        assert_eq!(top[0], Expr::str("<bib>"));
+        let Expr::For { path, body, .. } = &top[1] else { panic!() };
+        assert_eq!(path.to_string(), "bib");
+        let Expr::For { path: p2, body: inner, .. } = &**body else { panic!() };
+        assert_eq!(p2.to_string(), "book");
+        let Expr::Seq(items) = &**inner else { panic!("{inner}") };
+        assert_eq!(items.len(), 4);
+        assert!(matches!(&items[0], Expr::If { body, .. } if **body == Expr::str("<book>")));
+        let Expr::For { path: py, body: yb, .. } = &items[1] else { panic!() };
+        assert_eq!(py.to_string(), "year");
+        assert!(matches!(&**yb, Expr::If { body, .. } if matches!(&**body, Expr::OutputVar { .. })));
+        let Expr::For { path: pt, .. } = &items[2] else { panic!() };
+        assert_eq!(pt.to_string(), "title");
+        assert!(matches!(&items[3], Expr::If { body, .. } if **body == Expr::str("</book>")));
+    }
+
+    #[test]
+    fn nested_ifs_merge() {
+        let n = norm_str("{ if $a/x = 1 then { if $a/y = 2 then ok } }");
+        let Expr::If { cond, body } = &n else { panic!("{n}") };
+        assert_eq!(**body, Expr::str("ok"));
+        assert!(matches!(cond, Cond::And(_, _)));
+    }
+
+    #[test]
+    fn if_distributes_over_sequences_and_loops() {
+        let n = norm_str("{ if $a/x = 1 then <r> { for $b in $a/c return {$b} } </r> }");
+        let Expr::Seq(items) = &n else { panic!("{n}") };
+        assert_eq!(items.len(), 3);
+        assert!(matches!(&items[0], Expr::If { .. }));
+        let Expr::For { body, .. } = &items[1] else { panic!() };
+        assert!(matches!(&**body, Expr::If { .. }), "condition pushed through the loop");
+        assert!(matches!(&items[2], Expr::If { .. }));
+    }
+
+    #[test]
+    fn if_over_empty_vanishes() {
+        let e = Expr::If {
+            cond: crate::parser::parse_condition("$a/x = 1").unwrap(),
+            body: Box::new(Expr::Empty),
+        };
+        assert_eq!(normalize(&e), Expr::Empty);
+    }
+
+    #[test]
+    fn idempotent() {
+        for src in [
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+            "{ for $p in /site/people/person where empty($p/person_income) return {$p} }",
+            "{ if $a/x = 1 then <r> { for $b in $a/c return {$b/d/e} } </r> }",
+        ] {
+            let once = normalize(&parse_xquery(src).unwrap());
+            let twice = normalize(&once);
+            assert_eq!(once, twice, "normalize must be idempotent on {src}");
+            let (_, stats) = normalize_with_stats(&once);
+            assert_eq!(stats.total(), 0, "no rules apply to a normal form");
+        }
+    }
+
+    #[test]
+    fn fresh_variables_do_not_collide() {
+        // `bib` is already taken as a variable; rule 3 must pick a new name.
+        let n = norm_str("{ for $bib in $ROOT/x return { for $b in $bib/bib/book return {$b} } }");
+        let mut names = Vec::new();
+        fn collect(e: &Expr, out: &mut Vec<String>) {
+            if let Expr::For { var, body, .. } = e {
+                out.push(var.clone());
+                collect(body, out);
+            } else if let Expr::Seq(items) = e {
+                items.iter().for_each(|i| collect(i, out));
+            }
+        }
+        collect(&n, &mut names);
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "all loop variables distinct: {names:?}");
+    }
+
+    #[test]
+    fn linear_rule_applications() {
+        // Theorem 4.1: O(|Q|) rule applications. Build a deep query and
+        // check the counter stays within a small multiple of |Q|.
+        let mut src = String::from("{ for $a in $ROOT/r/s/t where $a/k = 1 return ");
+        for i in 0..20 {
+            src.push_str(&format!("{{ for $b{i} in $a/c{i} return <x{i}> {{$b{i}/d/e}} </x{i}> }}"));
+        }
+        src.push('}');
+        let e = parse_xquery(&src).unwrap();
+        let (n, stats) = normalize_with_stats(&e);
+        assert!(is_normal_form(&n));
+        assert!(
+            stats.total() <= 4 * e.size(),
+            "rule applications {} exceed 4·|Q| = {}",
+            stats.total(),
+            4 * e.size()
+        );
+    }
+}

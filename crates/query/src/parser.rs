@@ -1,0 +1,595 @@
+//! Parser for the paper's concrete XQuery− syntax.
+//!
+//! Queries are written exactly as in the paper: literal text (including
+//! markup like `<results>`) is *output of fixed strings*, and `{ … }` blocks
+//! contain for-loops, conditionals and variable/path output:
+//!
+//! ```text
+//! <results>
+//! { for $b in $ROOT/bib/book return
+//!     <result> {$b/title} {$b/author} </result> }
+//! </results>
+//! ```
+//!
+//! Following Appendix A, `$ROOT` may be omitted in absolute paths
+//! (`for $p in /site/people/person …`), `empty($x/π)` is accepted as sugar
+//! for `not exists $x/π`, and comparisons may scale a path by a constant
+//! (`$x/π > 5000 * $y/π′`).
+//!
+//! Literal chunks are trimmed at their boundaries to `{`/`}`; interior
+//! whitespace is preserved. [`Cursor`] is public so that `flux-core` can
+//! build the FluX parser (which adds `process-stream`) on top of the same
+//! machinery.
+
+use std::fmt;
+
+use crate::ast::Expr;
+use crate::cond::{Atom, CmpRhs, Cond, PathRef, RelOp};
+use crate::path::Path;
+use crate::ROOT_VAR;
+
+/// A parse failure with its byte offset in the query text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete XQuery− query.
+pub fn parse_xquery(src: &str) -> Result<Expr, ParseError> {
+    let mut cur = Cursor::new(src);
+    let e = parse_mixed(&mut cur, &[])?;
+    if !cur.at_end() {
+        return Err(cur.error("unbalanced `}`"));
+    }
+    Ok(e)
+}
+
+/// Parse a condition given as a standalone string.
+pub fn parse_condition(src: &str) -> Result<Cond, ParseError> {
+    let mut cur = Cursor::new(src);
+    let c = parse_cond(&mut cur)?;
+    cur.skip_ws();
+    if !cur.at_end() {
+        return Err(cur.error("trailing input after condition"));
+    }
+    Ok(c)
+}
+
+/// A character cursor over query text. Public so the FluX parser in
+/// `flux-core` can reuse it.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start at the beginning of `src`.
+    pub fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether all input is consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    /// Peek the next byte without consuming.
+    pub fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// Consume one char.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Skip ASCII whitespace.
+    pub fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Build an error at the current position.
+    pub fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { message: msg.into(), offset: self.pos }
+    }
+
+    /// After whitespace, consume `kw` if it is present as a whole word.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if !rest.starts_with(kw) {
+            return false;
+        }
+        let boundary = rest[kw.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == '-'));
+        if boundary {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// After whitespace, consume an exact character or error.
+    pub fn expect_char(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{c}`, found {:?}", self.peek())))
+        }
+    }
+
+    /// After whitespace, consume a character if present.
+    pub fn eat_char(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parse an identifier (tag/variable name).
+    pub fn parse_name(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '.') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    /// Parse `$name` and return the name.
+    pub fn parse_var(&mut self) -> Result<String, ParseError> {
+        self.expect_char('$')?;
+        self.parse_name()
+    }
+
+    /// Parse `name(/name)*`.
+    pub fn parse_path(&mut self) -> Result<Path, ParseError> {
+        let mut steps = vec![self.parse_name()?];
+        while self.peek() == Some('/') {
+            self.bump();
+            steps.push(self.parse_name()?);
+        }
+        Ok(Path::new(steps))
+    }
+
+    /// Parse `$var/path` or an absolute `/path` (implicit `$ROOT`).
+    /// Returns `(variable, optional path)` — the path is `None` for a bare
+    /// `$var`.
+    pub fn parse_var_path(&mut self) -> Result<(String, Option<Path>), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some('/') {
+            self.bump();
+            let p = self.parse_path()?;
+            return Ok((ROOT_VAR.to_string(), Some(p)));
+        }
+        let var = self.parse_var()?;
+        if self.peek() == Some('/') {
+            self.bump();
+            let p = self.parse_path()?;
+            Ok((var, Some(p)))
+        } else {
+            Ok((var, None))
+        }
+    }
+}
+
+/// Parse a mixed sequence of literal text and `{…}` expressions, stopping
+/// (without consuming) at any of `stops` when it occurs outside braces, or
+/// at end of input. Literal chunks are trimmed at their boundaries.
+pub fn parse_mixed(cur: &mut Cursor<'_>, stops: &[char]) -> Result<Expr, ParseError> {
+    let mut items: Vec<Expr> = Vec::new();
+    let mut literal = String::new();
+    loop {
+        match cur.peek() {
+            None => break,
+            Some('{') => {
+                flush_literal(&mut literal, &mut items);
+                items.push(parse_brace_expr(cur)?);
+            }
+            Some(c) if stops.contains(&c) => break,
+            Some('}') => {
+                if stops.is_empty() {
+                    return Err(cur.error("unbalanced `}`"));
+                }
+                break;
+            }
+            Some(c) => {
+                literal.push(c);
+                cur.bump();
+            }
+        }
+    }
+    flush_literal(&mut literal, &mut items);
+    Ok(Expr::seq(items))
+}
+
+fn flush_literal(literal: &mut String, items: &mut Vec<Expr>) {
+    let trimmed = literal.trim();
+    if !trimmed.is_empty() {
+        items.push(Expr::Str(trimmed.to_string()));
+    }
+    literal.clear();
+}
+
+/// Parse one `{ … }` expression (cursor must be at `{`).
+pub fn parse_brace_expr(cur: &mut Cursor<'_>) -> Result<Expr, ParseError> {
+    cur.expect_char('{')?;
+    let e = parse_inner_expr(cur)?;
+    cur.expect_char('}')?;
+    Ok(e)
+}
+
+/// Parse the body of a brace expression up to (not consuming) its `}`.
+fn parse_inner_expr(cur: &mut Cursor<'_>) -> Result<Expr, ParseError> {
+    cur.skip_ws();
+    if cur.eat_keyword("for") {
+        return parse_for(cur);
+    }
+    if cur.eat_keyword("if") {
+        let cond = parse_cond(cur)?;
+        if !cur.eat_keyword("then") {
+            return Err(cur.error("expected `then` in conditional"));
+        }
+        let body = parse_mixed(cur, &['}'])?;
+        return Ok(Expr::If { cond, body: Box::new(body) });
+    }
+    if cur.eat_keyword("process-stream") || cur.eat_keyword("ps") {
+        return Err(cur.error(
+            "`process-stream` is FluX syntax, not XQuery−; use flux_core::parse_flux",
+        ));
+    }
+    cur.skip_ws();
+    let (var, path) = cur.parse_var_path()?;
+    Ok(match path {
+        Some(path) => Expr::OutputPath { var, path },
+        None => Expr::OutputVar { var },
+    })
+}
+
+fn parse_for(cur: &mut Cursor<'_>) -> Result<Expr, ParseError> {
+    let var = cur.parse_var()?;
+    if !cur.eat_keyword("in") {
+        return Err(cur.error("expected `in` in for-loop"));
+    }
+    let (in_var, path) = cur.parse_var_path()?;
+    let path = path.ok_or_else(|| cur.error("for-loop requires a path (`$y/a/…`)"))?;
+    let pred = if cur.eat_keyword("where") { Some(parse_cond(cur)?) } else { None };
+    if !cur.eat_keyword("return") {
+        return Err(cur.error("expected `return` in for-loop"));
+    }
+    let body = parse_mixed(cur, &['}'])?;
+    Ok(Expr::For { var, in_var, path, pred, body: Box::new(body) })
+}
+
+/// Parse a condition (`or` has lowest precedence, then `and`, then `not`).
+pub fn parse_cond(cur: &mut Cursor<'_>) -> Result<Cond, ParseError> {
+    let mut left = parse_cond_and(cur)?;
+    while cur.eat_keyword("or") {
+        let right = parse_cond_and(cur)?;
+        left = Cond::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_cond_and(cur: &mut Cursor<'_>) -> Result<Cond, ParseError> {
+    let mut left = parse_cond_unary(cur)?;
+    while cur.eat_keyword("and") {
+        let right = parse_cond_unary(cur)?;
+        left = left.and(right);
+    }
+    Ok(left)
+}
+
+fn parse_cond_unary(cur: &mut Cursor<'_>) -> Result<Cond, ParseError> {
+    if cur.eat_keyword("not") {
+        return Ok(Cond::Not(Box::new(parse_cond_unary(cur)?)));
+    }
+    if cur.eat_keyword("true") {
+        return Ok(Cond::True);
+    }
+    if cur.eat_keyword("exists") {
+        let parenthesized = cur.eat_char('(');
+        let p = parse_pathref(cur)?;
+        if parenthesized {
+            cur.expect_char(')')?;
+        }
+        return Ok(Cond::Atom(Atom::Exists(p)));
+    }
+    if cur.eat_keyword("empty") {
+        cur.expect_char('(')?;
+        let p = parse_pathref(cur)?;
+        cur.expect_char(')')?;
+        return Ok(Cond::Not(Box::new(Cond::Atom(Atom::Exists(p)))));
+    }
+    cur.skip_ws();
+    if cur.peek() == Some('(') {
+        // Parenthesized subcondition.
+        cur.bump();
+        let inner = parse_cond(cur)?;
+        cur.expect_char(')')?;
+        return Ok(inner);
+    }
+    // An atomic comparison.
+    let left = parse_pathref(cur)?;
+    let op = parse_relop(cur)?;
+    let right = parse_cmp_rhs(cur)?;
+    Ok(Cond::Atom(Atom::Cmp { left, op, right }))
+}
+
+fn parse_pathref(cur: &mut Cursor<'_>) -> Result<PathRef, ParseError> {
+    let (var, path) = cur.parse_var_path()?;
+    let path = path.ok_or_else(|| cur.error("conditions require a path below the variable"))?;
+    Ok(PathRef { var, path })
+}
+
+fn parse_relop(cur: &mut Cursor<'_>) -> Result<RelOp, ParseError> {
+    cur.skip_ws();
+    match cur.peek() {
+        Some('=') => {
+            cur.bump();
+            Ok(RelOp::Eq)
+        }
+        Some('<') => {
+            cur.bump();
+            if cur.peek() == Some('=') {
+                cur.bump();
+                Ok(RelOp::Le)
+            } else {
+                Ok(RelOp::Lt)
+            }
+        }
+        Some('>') => {
+            cur.bump();
+            if cur.peek() == Some('=') {
+                cur.bump();
+                Ok(RelOp::Ge)
+            } else {
+                Ok(RelOp::Gt)
+            }
+        }
+        other => Err(cur.error(format!("expected a comparison operator, found {other:?}"))),
+    }
+}
+
+fn parse_cmp_rhs(cur: &mut Cursor<'_>) -> Result<CmpRhs, ParseError> {
+    cur.skip_ws();
+    match cur.peek() {
+        Some('$') | Some('/') => Ok(CmpRhs::Path(parse_pathref(cur)?)),
+        Some('"') | Some('\'') => {
+            let quote = cur.bump().unwrap();
+            let mut s = String::new();
+            loop {
+                match cur.bump() {
+                    Some(c) if c == quote => break,
+                    Some(c) => s.push(c),
+                    None => return Err(cur.error("unterminated string literal")),
+                }
+            }
+            Ok(CmpRhs::Const(s))
+        }
+        Some('(') => {
+            // `(c * $y/π)` — the parenthesized scaled-path form of Q11.
+            cur.bump();
+            let rhs = parse_scaled_or_number(cur)?;
+            cur.expect_char(')')?;
+            Ok(rhs)
+        }
+        Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => parse_scaled_or_number(cur),
+        other => Err(cur.error(format!("expected a comparison right-hand side, found {other:?}"))),
+    }
+}
+
+fn parse_scaled_or_number(cur: &mut Cursor<'_>) -> Result<CmpRhs, ParseError> {
+    cur.skip_ws();
+    let start = cur.offset();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E') {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let lit = cur.src[start..cur.offset()].to_string();
+    if lit.is_empty() {
+        return Err(cur.error("expected a numeric literal"));
+    }
+    if cur.eat_char('*') {
+        let factor: f64 = lit
+            .parse()
+            .map_err(|_| cur.error(format!("bad numeric factor `{lit}`")))?;
+        let path = parse_pathref(cur)?;
+        Ok(CmpRhs::Scaled { factor, path })
+    } else {
+        Ok(CmpRhs::Const(lit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_only() {
+        assert_eq!(parse_xquery("<a><b/></a>").unwrap(), Expr::str("<a><b/></a>"));
+    }
+
+    #[test]
+    fn intro_query_q3() {
+        let q = parse_xquery(
+            "<results>\n{ for $b in $ROOT/bib/book return\n  <result> {$b/title} {$b/author} </result> }\n</results>",
+        )
+        .unwrap();
+        let Expr::Seq(items) = &q else { panic!("expected sequence") };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], Expr::str("<results>"));
+        assert_eq!(items[2], Expr::str("</results>"));
+        let Expr::For { var, in_var, path, pred, body } = &items[1] else { panic!() };
+        assert_eq!(var, "b");
+        assert_eq!(in_var, "ROOT");
+        assert_eq!(path.to_string(), "bib/book");
+        assert!(pred.is_none());
+        let Expr::Seq(inner) = &**body else { panic!() };
+        assert_eq!(inner.len(), 4);
+        assert_eq!(inner[1], Expr::OutputPath { var: "b".into(), path: Path::parse("title").unwrap() });
+    }
+
+    #[test]
+    fn where_clause_with_and() {
+        let q = parse_xquery(
+            "{ for $b in $ROOT/bib/book where $b/publisher = \"Addison-Wesley\" and $b/year > 1991 \
+             return <book> {$b/year} {$b/title} </book> }",
+        )
+        .unwrap();
+        let Expr::For { pred: Some(pred), .. } = &q else { panic!() };
+        let Cond::And(l, r) = pred else { panic!("expected and") };
+        assert_eq!(l.to_string(), "$b/publisher = \"Addison-Wesley\"");
+        assert_eq!(r.to_string(), "$b/year > 1991");
+    }
+
+    #[test]
+    fn absolute_paths_imply_root() {
+        let q = parse_xquery("{ for $p in /site/people/person return {$p/name} }").unwrap();
+        let Expr::For { in_var, path, .. } = &q else { panic!() };
+        assert_eq!(in_var, "ROOT");
+        assert_eq!(path.to_string(), "site/people/person");
+    }
+
+    #[test]
+    fn empty_is_not_exists() {
+        let q = parse_xquery("{ for $p in /site/people/person where empty($p/person_income) return {$p} }")
+            .unwrap();
+        let Expr::For { pred: Some(pred), .. } = &q else { panic!() };
+        assert_eq!(pred.to_string(), "empty($p/person_income)");
+        assert!(matches!(pred, Cond::Not(_)));
+    }
+
+    #[test]
+    fn scaled_comparison_q11() {
+        let c = parse_condition("$p/profile/profile_income > (5000 * $o/initial)").unwrap();
+        let Cond::Atom(Atom::Cmp { right: CmpRhs::Scaled { factor, path }, op, .. }) = &c else {
+            panic!("expected scaled comparison, got {c:?}")
+        };
+        assert_eq!(*factor, 5000.0);
+        assert_eq!(*op, RelOp::Gt);
+        assert_eq!(path.to_string(), "$o/initial");
+        // Unparenthesized spelling too:
+        parse_condition("$p/a > 2 * $o/b").unwrap();
+    }
+
+    #[test]
+    fn join_condition() {
+        let c = parse_condition("$article/author = $book/editor").unwrap();
+        assert_eq!(c.to_string(), "$article/author = $book/editor");
+    }
+
+    #[test]
+    fn boolean_structure() {
+        let c = parse_condition("not ($a/x = 1 or $a/y = 2) and true").unwrap();
+        let Cond::And(l, _) = &c else { panic!() };
+        assert!(matches!(&**l, Cond::Not(_)));
+    }
+
+    #[test]
+    fn exists_with_and_without_parens() {
+        parse_condition("exists $x/a").unwrap();
+        parse_condition("exists($x/a/b)").unwrap();
+    }
+
+    #[test]
+    fn all_relops() {
+        for (src, op) in [
+            ("$x/a = 1", RelOp::Eq),
+            ("$x/a < 1", RelOp::Lt),
+            ("$x/a <= 1", RelOp::Le),
+            ("$x/a > 1", RelOp::Gt),
+            ("$x/a >= 1", RelOp::Ge),
+        ] {
+            let c = parse_condition(src).unwrap();
+            let Cond::Atom(Atom::Cmp { op: got, .. }) = c else { panic!() };
+            assert_eq!(got, op, "{src}");
+        }
+    }
+
+    #[test]
+    fn output_var_and_path() {
+        assert_eq!(parse_xquery("{$x}").unwrap(), Expr::output_var("x"));
+        assert_eq!(
+            parse_xquery("{ $b/title }").unwrap(),
+            Expr::OutputPath { var: "b".into(), path: Path::parse("title").unwrap() }
+        );
+    }
+
+    #[test]
+    fn nested_braces() {
+        let q = parse_xquery("{ for $a in $x/a return { for $b in $a/b return {$b} } }").unwrap();
+        let Expr::For { body, .. } = &q else { panic!() };
+        assert!(matches!(&**body, Expr::For { .. }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_xquery("{ for $x in return {$x} }").is_err());
+        assert!(parse_xquery("{ for $x $y }").is_err());
+        assert!(parse_xquery("}").is_err());
+        assert!(parse_xquery("{ $x ").is_err());
+        assert!(parse_xquery("{ if $x/a then {$x}").is_err());
+        assert!(parse_condition("$x/a !! 3").is_err());
+        assert!(parse_condition("$x/a = ").is_err());
+        assert!(parse_xquery("{ ps $x: on a as $y return {$y} }").is_err());
+    }
+
+    #[test]
+    fn whitespace_trimming_at_brace_boundaries() {
+        let q = parse_xquery("<result> {$t} {$a} </result>").unwrap();
+        let Expr::Seq(items) = &q else { panic!() };
+        assert_eq!(items.len(), 4); // the solitary space between braces is dropped
+        assert_eq!(items[0], Expr::str("<result>"));
+        assert_eq!(items[3], Expr::str("</result>"));
+    }
+
+    #[test]
+    fn interior_whitespace_preserved() {
+        let q = parse_xquery("hello brave world").unwrap();
+        assert_eq!(q, Expr::str("hello brave world"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixed paths (paper, Section 3): `a1/a2/…/an` with n ≥ 1.
+//!
+//! XPath features such as `a/*/b`, `a//b` and predicates are deliberately
+//! excluded — the rewrite algorithm's dependency analysis relies on knowing
+//! the first step of every path exactly.
+
+use std::fmt;
+
+/// A non-empty fixed path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path(Vec<String>);
+
+impl Path {
+    /// Build from steps; panics on an empty step list (fixed paths have
+    /// n ≥ 1 by definition).
+    pub fn new(steps: Vec<String>) -> Path {
+        assert!(!steps.is_empty(), "fixed paths have at least one step");
+        Path(steps)
+    }
+
+    /// Build from string steps.
+    pub fn from_steps<S: Into<String>>(steps: impl IntoIterator<Item = S>) -> Path {
+        Path::new(steps.into_iter().map(Into::into).collect())
+    }
+
+    /// Parse `a/b/c`.
+    pub fn parse(s: &str) -> Result<Path, String> {
+        let steps: Vec<String> = s.split('/').map(str::to_string).collect();
+        if steps.iter().any(|st| st.is_empty()) {
+            return Err(format!("empty step in path `{s}`"));
+        }
+        Ok(Path(steps))
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[String] {
+        &self.0
+    }
+
+    /// The first step (`b` in the paper's `$y/b/π` notation) — what
+    /// `dependencies` records.
+    pub fn head(&self) -> &str {
+        &self.0[0]
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false (paths are non-empty); provided for clippy's sake.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// For a single-step path, its step.
+    pub fn single(&self) -> Option<&str> {
+        (self.0.len() == 1).then(|| self.head())
+    }
+
+    /// Split into head and remainder (`None` remainder for single-step).
+    pub fn split_head(&self) -> (&str, Option<Path>) {
+        let rest = (self.0.len() > 1).then(|| Path(self.0[1..].to_vec()));
+        (self.head(), rest)
+    }
+
+    /// New path with `prefix` steps prepended.
+    pub fn prepend(&self, prefix: &[String]) -> Path {
+        let mut steps = prefix.to_vec();
+        steps.extend(self.0.iter().cloned());
+        Path(steps)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let p = Path::parse("bib/book/title").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.head(), "bib");
+        assert_eq!(p.to_string(), "bib/book/title");
+    }
+
+    #[test]
+    fn parse_rejects_empty_steps() {
+        assert!(Path::parse("a//b").is_err());
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("/a").is_err());
+    }
+
+    #[test]
+    fn single_and_split() {
+        let p = Path::parse("title").unwrap();
+        assert_eq!(p.single(), Some("title"));
+        assert_eq!(p.split_head(), ("title", None));
+        let q = Path::parse("a/b").unwrap();
+        assert_eq!(q.single(), None);
+        let (h, rest) = q.split_head();
+        assert_eq!(h, "a");
+        assert_eq!(rest.unwrap().to_string(), "b");
+    }
+
+    #[test]
+    fn prepend() {
+        let p = Path::parse("c").unwrap();
+        assert_eq!(p.prepend(&["a".into(), "b".into()]).to_string(), "a/b/c");
+    }
+}

@@ -1,0 +1,60 @@
+//! Concrete-syntax printer for XQuery− expressions.
+//!
+//! `parse_xquery(&expr.to_string())` reproduces `expr` (up to whitespace),
+//! which the round-trip tests rely on.
+
+use std::fmt;
+
+use crate::ast::Expr;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Empty => Ok(()),
+            Expr::Str(s) => f.write_str(s),
+            // No separator: brace expressions self-delimit, and a separator
+            // between adjacent strings would change what the query outputs.
+            Expr::Seq(items) => {
+                for it in items {
+                    write!(f, "{it}")?;
+                }
+                Ok(())
+            }
+            Expr::For { var, in_var, path, pred, body } => {
+                write!(f, "{{ for ${var} in ${in_var}/{path}")?;
+                if let Some(p) = pred {
+                    write!(f, " where {p}")?;
+                }
+                write!(f, " return {body} }}")
+            }
+            Expr::OutputPath { var, path } => write!(f, "{{${var}/{path}}}"),
+            Expr::OutputVar { var } => write!(f, "{{${var}}}"),
+            Expr::If { cond, body } => write!(f, "{{ if {cond} then {body} }}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_xquery;
+
+    #[track_caller]
+    fn roundtrip(src: &str) {
+        let e = parse_xquery(src).unwrap();
+        let printed = e.to_string();
+        let back = parse_xquery(&printed).unwrap_or_else(|err| panic!("reparse of `{printed}`: {err}"));
+        assert_eq!(back, e, "printed form: {printed}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("<a>hello</a>");
+        roundtrip("{$x}");
+        roundtrip("{$b/title}");
+        roundtrip("<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>");
+        roundtrip("{ for $b in /site/people/person where empty($p/person_income) return {$p} }");
+        roundtrip("{ if $b/year > 1991 and $b/publisher = \"AW\" then <book> }");
+        roundtrip("{ for $o in $x/a where $p/profile/profile_income > (5000 * $o/initial) return {$o} }");
+        roundtrip("{ if not ($a/x = 1 or true) then ok }");
+    }
+}

@@ -1,0 +1,159 @@
+//! Free variables and fresh-variable generation.
+
+use std::collections::BTreeSet;
+
+use crate::ast::Expr;
+use crate::cond::Cond;
+
+/// The free variables of an expression (paper, Section 3.2): `{$x/π}` and
+/// `{$x}` contribute `$x`; conditions contribute their variables; `for`
+/// binds its loop variable.
+pub fn free_vars(e: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_free(e, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_free(e: &Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Empty | Expr::Str(_) => {}
+        Expr::Seq(items) => items.iter().for_each(|i| collect_free(i, bound, out)),
+        Expr::OutputPath { var, .. } | Expr::OutputVar { var } => {
+            if !bound.iter().any(|b| b == var) {
+                out.insert(var.clone());
+            }
+        }
+        Expr::If { cond, body } => {
+            collect_cond_vars(cond, bound, out);
+            collect_free(body, bound, out);
+        }
+        Expr::For { var, in_var, path: _, pred, body } => {
+            if !bound.iter().any(|b| b == in_var) {
+                out.insert(in_var.clone());
+            }
+            bound.push(var.clone());
+            if let Some(p) = pred {
+                collect_cond_vars(p, bound, out);
+            }
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+    }
+}
+
+fn collect_cond_vars(c: &Cond, bound: &[String], out: &mut BTreeSet<String>) {
+    c.visit_paths(&mut |p| {
+        if !bound.contains(&p.var) {
+            out.insert(p.var.clone());
+        }
+    });
+}
+
+/// Generates variable names that do not collide with any name already used
+/// in a query (normalization rule 3's "`$x0` new").
+#[derive(Debug, Clone, Default)]
+pub struct VarGen {
+    used: BTreeSet<String>,
+    counter: usize,
+}
+
+impl VarGen {
+    /// Seed with every variable name occurring anywhere in the expression
+    /// (bound or free).
+    pub fn from_expr(e: &Expr) -> VarGen {
+        let mut used = BTreeSet::new();
+        collect_all_vars(e, &mut used);
+        VarGen { used, counter: 0 }
+    }
+
+    /// Mark a name as taken.
+    pub fn reserve(&mut self, name: &str) {
+        self.used.insert(name.to_string());
+    }
+
+    /// Produce a fresh name based on `hint` (usually the path step the
+    /// variable will range over, so generated queries stay readable).
+    pub fn fresh(&mut self, hint: &str) -> String {
+        if !hint.is_empty() && self.used.insert(hint.to_string()) {
+            return hint.to_string();
+        }
+        loop {
+            let candidate = format!("{hint}_{}", self.counter);
+            self.counter += 1;
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+}
+
+fn collect_all_vars(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Empty | Expr::Str(_) => {}
+        Expr::Seq(items) => items.iter().for_each(|i| collect_all_vars(i, out)),
+        Expr::OutputPath { var, .. } | Expr::OutputVar { var } => {
+            out.insert(var.clone());
+        }
+        Expr::If { cond, body } => {
+            cond.visit_paths(&mut |p| {
+                out.insert(p.var.clone());
+            });
+            collect_all_vars(body, out);
+        }
+        Expr::For { var, in_var, pred, body, .. } => {
+            out.insert(var.clone());
+            out.insert(in_var.clone());
+            if let Some(p) = pred {
+                p.visit_paths(&mut |pr| {
+                    out.insert(pr.var.clone());
+                });
+            }
+            collect_all_vars(body, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xquery;
+
+    #[test]
+    fn free_vars_of_query() {
+        let e = parse_xquery("{ for $b in $ROOT/bib/book return {$b/title} }").unwrap();
+        assert_eq!(free_vars(&e).into_iter().collect::<Vec<_>>(), ["ROOT"]);
+    }
+
+    #[test]
+    fn bound_variables_are_not_free() {
+        let e = parse_xquery("{ for $x in $y/a where $x/b = 1 return {$x} {$z} }").unwrap();
+        let fv = free_vars(&e);
+        assert!(fv.contains("y") && fv.contains("z"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn condition_variables_are_free() {
+        let e = parse_xquery("{ if $w/a = $v/b then <x> }").unwrap();
+        let fv = free_vars(&e);
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), ["v", "w"]);
+    }
+
+    #[test]
+    fn where_can_use_loop_variable() {
+        let e = parse_xquery("{ for $x in $y/a where $x/b = 1 return <z> }").unwrap();
+        assert_eq!(free_vars(&e).into_iter().collect::<Vec<_>>(), ["y"]);
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let e = parse_xquery("{ for $book in $ROOT/bib return {$book} }").unwrap();
+        let mut gen = VarGen::from_expr(&e);
+        let a = gen.fresh("book");
+        assert_ne!(a, "book");
+        let b = gen.fresh("book");
+        assert_ne!(a, b);
+        let c = gen.fresh("year");
+        assert_eq!(c, "year");
+    }
+}

@@ -1,0 +1,107 @@
+//! Word and name dictionaries for synthetic text.
+//!
+//! XMark fills text content with shuffled Shakespeare; we use a compact
+//! word list, which gives the same *shape* (element text of configurable
+//! word counts) without shipping a corpus. All words are XML-clean ASCII so
+//! generated documents need no escaping.
+
+use rand::Rng;
+
+/// Common English filler words.
+pub const WORDS: &[&str] = &[
+    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "pack", "my", "box", "with",
+    "five", "dozen", "liquor", "jugs", "how", "vexingly", "daft", "zebras", "jump", "amazingly",
+    "few", "discotheques", "provide", "jukeboxes", "auction", "lot", "rare", "vintage", "mint",
+    "condition", "original", "packaging", "shipping", "included", "reserve", "price", "bidder",
+    "payment", "accepted", "credit", "card", "money", "order", "cash", "collection", "antique",
+    "estate", "sale", "item", "excellent", "quality", "slight", "wear", "corner", "edge",
+    "signed", "first", "edition", "limited", "series", "collector", "grade", "professional",
+    "appraisal", "certificate", "authenticity", "guaranteed", "returns", "within", "days",
+    "buyer", "pays", "insurance", "optional", "international", "welcome", "contact", "seller",
+    "questions", "photos", "available", "request", "no", "low", "offers", "serious", "only",
+    "fast", "dispatch", "tracked", "delivery", "secure", "wrapped", "bubble", "sturdy", "carton",
+];
+
+/// Given names for persons.
+pub const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger", "Frances", "Grace", "Hedy", "Ivan",
+    "John", "Kathleen", "Leslie", "Margaret", "Niklaus", "Ole", "Peter", "Radia", "Seymour",
+    "Tim", "Ursula", "Vint", "Whitfield", "Xiaoyun", "Yukihiro", "Zhenyi",
+];
+
+/// Family names for persons.
+pub const LAST_NAMES: &[&str] = &[
+    "Lovelace", "Turing", "Liskov", "Shannon", "Knuth", "Dijkstra", "Allen", "Hopper", "Lamarr",
+    "Sutherland", "Backus", "Booth", "Lamport", "Hamilton", "Wirth", "Dahl", "Naur", "Perlman",
+    "Cray", "Berners", "Franklin", "Cerf", "Diffie", "Wang", "Matsumoto", "Tu",
+];
+
+/// Countries for addresses.
+pub const COUNTRIES: &[&str] = &[
+    "Austria", "Germany", "France", "Italy", "Spain", "Norway", "Japan", "Brazil", "Canada",
+    "Australia", "Kenya", "India",
+];
+
+/// Cities for addresses.
+pub const CITIES: &[&str] = &[
+    "Vienna", "Berlin", "Paris", "Rome", "Madrid", "Oslo", "Tokyo", "Recife", "Toronto",
+    "Sydney", "Nairobi", "Mumbai",
+];
+
+/// Interest/category topics.
+pub const TOPICS: &[&str] = &[
+    "stamps", "coins", "furniture", "paintings", "books", "maps", "clocks", "cameras", "toys",
+    "jewelry", "records", "posters", "instruments", "ceramics", "textiles", "tools",
+];
+
+/// Append `n` random words to `out`, space separated.
+pub fn push_words<R: Rng>(rng: &mut R, n: usize, out: &mut String) {
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.random_range(0..WORDS.len())]);
+    }
+}
+
+/// A random full name.
+pub fn full_name<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.random_range(0..LAST_NAMES.len())]
+    )
+}
+
+/// A random element of a slice.
+pub fn pick<'a, R: Rng>(rng: &mut R, items: &'a [&'a str]) -> &'a str {
+    items[rng.random_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_xml_clean() {
+        for w in WORDS.iter().chain(FIRST_NAMES).chain(LAST_NAMES).chain(COUNTRIES).chain(CITIES).chain(TOPICS) {
+            assert!(w.chars().all(|c| c.is_ascii_alphanumeric()), "{w}");
+        }
+    }
+
+    #[test]
+    fn push_words_count() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut s = String::new();
+        push_words(&mut rng, 5, &mut s);
+        assert_eq!(s.split(' ').count(), 5);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(42);
+        let mut b = rand::rngs::StdRng::seed_from_u64(42);
+        assert_eq!(full_name(&mut a), full_name(&mut b));
+    }
+}

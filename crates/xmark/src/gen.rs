@@ -1,0 +1,444 @@
+//! Deterministic, size-targeted XMark-like document generator.
+//!
+//! Faithful to the paper's setup rather than to xmlgen's bytes: the same
+//! element hierarchy and reference structure (persons referenced by
+//! `buyer_person`/`personref`, items by `itemref`), attributes already
+//! converted to subelements, and entity populations that scale linearly with
+//! the requested document size — so per-query buffer sizes and join costs
+//! grow with document size exactly as in Figure 4. Text content is seeded
+//! synthetic filler (see [`crate::dict`]).
+//!
+//! The generator works by byte budget: each section of `site` receives a
+//! fixed share of the target size and emits entities until its share is
+//! spent, which keeps the overall size within a few percent of the target
+//! for any target ≥ ~64 KiB.
+
+use std::io::{self, Write};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dict::{full_name, pick, push_words, CITIES, COUNTRIES, FIRST_NAMES, TOPICS};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct XmarkConfig {
+    /// Approximate size of the generated document in bytes.
+    pub target_bytes: usize,
+    /// RNG seed; equal seeds give byte-identical documents.
+    pub seed: u64,
+    /// Probability that a person has an income (drives Q11/Q20
+    /// selectivity); the paper's data had roughly half.
+    pub income_probability: f64,
+}
+
+impl XmarkConfig {
+    /// Config for a target size in bytes.
+    pub fn new(target_bytes: usize) -> XmarkConfig {
+        XmarkConfig { target_bytes, seed: 0xF1A5C0DE, income_probability: 0.5 }
+    }
+
+    /// Config for a target size in mebibytes.
+    pub fn megabytes(mb: usize) -> XmarkConfig {
+        Self::new(mb << 20)
+    }
+}
+
+/// What the generator produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XmarkSummary {
+    /// Exact bytes written.
+    pub bytes: u64,
+    /// Persons in `people`.
+    pub persons: usize,
+    /// Items across all regions.
+    pub items: usize,
+    /// Items in `australia` (Q13's region).
+    pub australia_items: usize,
+    /// Open auctions.
+    pub open_auctions: usize,
+    /// Closed auctions.
+    pub closed_auctions: usize,
+    /// Categories.
+    pub categories: usize,
+}
+
+/// Section shares of the byte budget (roughly XMark's proportions).
+const SHARE_REGIONS: f64 = 0.30;
+const SHARE_CATEGORIES: f64 = 0.02;
+const SHARE_CATGRAPH: f64 = 0.01;
+const SHARE_PEOPLE: f64 = 0.27;
+const SHARE_OPEN: f64 = 0.25;
+const SHARE_CLOSED: f64 = 0.15;
+
+/// Region shares within the regions budget (xmlgen's continental split).
+const REGION_SHARES: &[(&str, f64)] = &[
+    ("africa", 0.05),
+    ("asia", 0.10),
+    ("australia", 0.10),
+    ("europe", 0.30),
+    ("namerica", 0.40),
+    ("samerica", 0.05),
+];
+
+struct Counting<W: Write> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: Write> Counting<W> {
+    fn emit(&mut self, s: &str) -> io::Result<()> {
+        self.inner.write_all(s.as_bytes())?;
+        self.bytes += s.len() as u64;
+        Ok(())
+    }
+}
+
+/// Generate a document to any sink; returns entity counts and exact size.
+pub fn generate<W: Write>(cfg: &XmarkConfig, out: W) -> io::Result<XmarkSummary> {
+    let mut w = Counting { inner: out, bytes: 0 };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut summary = XmarkSummary::default();
+    let mut buf = String::with_capacity(4096);
+    let target = cfg.target_bytes as f64;
+
+    w.emit("<site>")?;
+
+    // Regions.
+    w.emit("<regions>")?;
+    let regions_budget = target * SHARE_REGIONS;
+    let mut item_id = 0usize;
+    for (region, share) in REGION_SHARES {
+        w.emit(&format!("<{region}>"))?;
+        let budget = w.bytes + (regions_budget * share) as u64;
+        let mut emitted = 0usize;
+        while w.bytes < budget || (*region == "australia" && emitted == 0 && cfg.target_bytes > 4096) {
+            buf.clear();
+            gen_item(&mut rng, item_id, &mut buf);
+            w.emit(&buf)?;
+            item_id += 1;
+            emitted += 1;
+            summary.items += 1;
+            if *region == "australia" {
+                summary.australia_items += 1;
+            }
+        }
+        w.emit(&format!("</{region}>"))?;
+    }
+    w.emit("</regions>")?;
+    let n_items = item_id.max(1);
+
+    // Categories.
+    w.emit("<categories>")?;
+    let budget = w.bytes + (target * SHARE_CATEGORIES) as u64;
+    let mut cat_id = 0usize;
+    while w.bytes < budget || cat_id == 0 {
+        buf.clear();
+        gen_category(&mut rng, cat_id, &mut buf);
+        w.emit(&buf)?;
+        cat_id += 1;
+        summary.categories += 1;
+    }
+    w.emit("</categories>")?;
+
+    // Category graph.
+    w.emit("<catgraph>")?;
+    let budget = w.bytes + (target * SHARE_CATGRAPH) as u64;
+    while w.bytes < budget {
+        buf.clear();
+        let from = rng.random_range(0..cat_id);
+        let to = rng.random_range(0..cat_id);
+        buf.push_str("<edge><edge_from>category");
+        buf.push_str(&from.to_string());
+        buf.push_str("</edge_from><edge_to>category");
+        buf.push_str(&to.to_string());
+        buf.push_str("</edge_to></edge>");
+        w.emit(&buf)?;
+    }
+    w.emit("</catgraph>")?;
+
+    // People. person0 always exists (Q1's lookup target).
+    w.emit("<people>")?;
+    let budget = w.bytes + (target * SHARE_PEOPLE) as u64;
+    let mut person_id = 0usize;
+    while w.bytes < budget || person_id == 0 {
+        buf.clear();
+        gen_person(&mut rng, person_id, cfg.income_probability, &mut buf);
+        w.emit(&buf)?;
+        person_id += 1;
+        summary.persons += 1;
+    }
+    w.emit("</people>")?;
+    let n_persons = person_id;
+
+    // Open auctions.
+    w.emit("<open_auctions>")?;
+    let budget = w.bytes + (target * SHARE_OPEN) as u64;
+    let mut oa_id = 0usize;
+    while w.bytes < budget || oa_id == 0 {
+        buf.clear();
+        gen_open_auction(&mut rng, oa_id, n_persons, n_items, &mut buf);
+        w.emit(&buf)?;
+        oa_id += 1;
+        summary.open_auctions += 1;
+    }
+    w.emit("</open_auctions>")?;
+
+    // Closed auctions.
+    w.emit("<closed_auctions>")?;
+    let budget = w.bytes + (target * SHARE_CLOSED) as u64;
+    let mut ca = 0usize;
+    while w.bytes < budget || ca == 0 {
+        buf.clear();
+        gen_closed_auction(&mut rng, n_persons, n_items, &mut buf);
+        w.emit(&buf)?;
+        ca += 1;
+        summary.closed_auctions += 1;
+    }
+    w.emit("</closed_auctions>")?;
+
+    w.emit("</site>")?;
+    w.inner.flush()?;
+    summary.bytes = w.bytes;
+    Ok(summary)
+}
+
+/// Generate into a string (tests and small benchmarks).
+pub fn generate_string(cfg: &XmarkConfig) -> (String, XmarkSummary) {
+    let mut out = Vec::with_capacity(cfg.target_bytes + cfg.target_bytes / 8);
+    let summary = generate(cfg, &mut out).expect("writing to a Vec cannot fail");
+    (String::from_utf8(out).expect("generator emits UTF-8"), summary)
+}
+
+fn tag(buf: &mut String, name: &str, value: &str) {
+    buf.push('<');
+    buf.push_str(name);
+    buf.push('>');
+    buf.push_str(value);
+    buf.push_str("</");
+    buf.push_str(name);
+    buf.push('>');
+}
+
+fn tag_words(rng: &mut StdRng, buf: &mut String, name: &str, lo: usize, hi: usize) {
+    buf.push('<');
+    buf.push_str(name);
+    buf.push('>');
+    let n = rng.random_range(lo..=hi);
+    push_words(rng, n, buf);
+    buf.push_str("</");
+    buf.push_str(name);
+    buf.push('>');
+}
+
+fn gen_item(rng: &mut StdRng, id: usize, buf: &mut String) {
+    buf.push_str("<item>");
+    tag(buf, "item_id", &format!("item{id}"));
+    tag(buf, "location", pick(rng, COUNTRIES));
+    tag(buf, "quantity", &rng.random_range(1..=10).to_string());
+    tag_words(rng, buf, "name", 2, 4);
+    tag(buf, "payment", if rng.random_bool(0.5) { "Creditcard" } else { "Money order" });
+    tag_words(rng, buf, "description", 25, 60);
+    tag_words(rng, buf, "shipping", 4, 10);
+    for _ in 0..rng.random_range(1..=3) {
+        tag(buf, "incategory", &format!("category{}", rng.random_range(0..64)));
+    }
+    if rng.random_bool(0.7) {
+        buf.push_str("<mailbox>");
+        for _ in 0..rng.random_range(0..=2) {
+            buf.push_str("<mail>");
+            tag(buf, "from", &full_name(rng));
+            tag(buf, "to", &full_name(rng));
+            tag(buf, "date", &gen_date(rng));
+            tag_words(rng, buf, "text", 30, 80);
+            buf.push_str("</mail>");
+        }
+        buf.push_str("</mailbox>");
+    }
+    buf.push_str("</item>");
+}
+
+fn gen_category(rng: &mut StdRng, id: usize, buf: &mut String) {
+    buf.push_str("<category>");
+    tag(buf, "category_id", &format!("category{id}"));
+    tag(buf, "name", pick(rng, TOPICS));
+    tag_words(rng, buf, "description", 10, 30);
+    buf.push_str("</category>");
+}
+
+fn gen_person(rng: &mut StdRng, id: usize, income_p: f64, buf: &mut String) {
+    buf.push_str("<person>");
+    tag(buf, "person_id", &format!("person{id}"));
+    let name = full_name(rng);
+    tag(buf, "name", &name);
+    tag(
+        buf,
+        "emailaddress",
+        &format!("mailto:{}@example.com", name.to_lowercase().replace(' ', ".")),
+    );
+    if rng.random_bool(0.5) {
+        tag(buf, "phone", &format!("+{} ({}) {}", rng.random_range(1..99), rng.random_range(10..999), rng.random_range(10000..9999999)));
+    }
+    if rng.random_bool(0.6) {
+        buf.push_str("<address>");
+        tag(buf, "street", &format!("{} {} St", rng.random_range(1..99), pick(rng, FIRST_NAMES)));
+        tag(buf, "city", pick(rng, CITIES));
+        tag(buf, "country", pick(rng, COUNTRIES));
+        tag(buf, "zipcode", &rng.random_range(1000..99999).to_string());
+        buf.push_str("</address>");
+    }
+    if rng.random_bool(0.5) {
+        tag(buf, "homepage", &format!("http://example.com/~person{id}"));
+    }
+    if rng.random_bool(0.5) {
+        tag(buf, "creditcard", &format!("{} {} {} {}", rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999)));
+    }
+    let income: Option<u32> = rng.random_bool(income_p).then(|| rng.random_range(9000..90000));
+    if rng.random_bool(0.75) {
+        buf.push_str("<profile>");
+        if let Some(inc) = income {
+            tag(buf, "profile_income", &inc.to_string());
+        }
+        for _ in 0..rng.random_range(0..=3) {
+            tag(buf, "interest", pick(rng, TOPICS));
+        }
+        if rng.random_bool(0.5) {
+            tag(buf, "education", if rng.random_bool(0.5) { "Graduate School" } else { "College" });
+        }
+        if rng.random_bool(0.5) {
+            tag(buf, "gender", if rng.random_bool(0.5) { "male" } else { "female" });
+        }
+        tag(buf, "business", if rng.random_bool(0.3) { "Yes" } else { "No" });
+        if rng.random_bool(0.5) {
+            tag(buf, "age", &rng.random_range(18..80).to_string());
+        }
+        buf.push_str("</profile>");
+    }
+    if let Some(inc) = income {
+        // The Appendix-A Q20 variant reads person_income directly under
+        // person; it mirrors the profile income (DESIGN.md §5.7).
+        tag(buf, "person_income", &inc.to_string());
+    }
+    if rng.random_bool(0.5) {
+        buf.push_str("<watches>");
+        for _ in 0..rng.random_range(0..=4) {
+            tag(buf, "watch", &format!("open_auction{}", rng.random_range(0..512)));
+        }
+        buf.push_str("</watches>");
+    }
+    buf.push_str("</person>");
+}
+
+fn gen_open_auction(rng: &mut StdRng, id: usize, n_persons: usize, n_items: usize, buf: &mut String) {
+    buf.push_str("<open_auction>");
+    tag(buf, "open_auction_id", &format!("open_auction{id}"));
+    let initial = rng.random_range(0.5_f64..100.0);
+    tag(buf, "initial", &format!("{initial:.2}"));
+    if rng.random_bool(0.4) {
+        tag(buf, "reserve", &format!("{:.2}", initial * rng.random_range(1.5..4.0)));
+    }
+    let mut current = initial;
+    for _ in 0..rng.random_range(0..=5) {
+        buf.push_str("<bidder>");
+        tag(buf, "date", &gen_date(rng));
+        tag(buf, "time", &format!("{:02}:{:02}:{:02}", rng.random_range(0..24), rng.random_range(0..60), rng.random_range(0..60)));
+        tag(buf, "personref", &format!("person{}", rng.random_range(0..n_persons)));
+        let inc = rng.random_range(1.5_f64..30.0);
+        tag(buf, "increase", &format!("{inc:.2}"));
+        current += inc;
+        buf.push_str("</bidder>");
+    }
+    tag(buf, "current", &format!("{current:.2}"));
+    if rng.random_bool(0.3) {
+        tag(buf, "privacy", "Yes");
+    }
+    tag(buf, "itemref", &format!("item{}", rng.random_range(0..n_items)));
+    tag(buf, "seller", &format!("person{}", rng.random_range(0..n_persons)));
+    tag_words(rng, buf, "annotation", 15, 35);
+    tag(buf, "quantity", &rng.random_range(1..=10).to_string());
+    tag(buf, "type", if rng.random_bool(0.5) { "Regular" } else { "Featured" });
+    tag(buf, "interval", &format!("{} days", rng.random_range(1..30)));
+    buf.push_str("</open_auction>");
+}
+
+fn gen_closed_auction(rng: &mut StdRng, n_persons: usize, n_items: usize, buf: &mut String) {
+    buf.push_str("<closed_auction>");
+    tag(buf, "seller", &format!("person{}", rng.random_range(0..n_persons)));
+    buf.push_str("<buyer>");
+    tag(buf, "buyer_person", &format!("person{}", rng.random_range(0..n_persons)));
+    buf.push_str("</buyer>");
+    tag(buf, "itemref", &format!("item{}", rng.random_range(0..n_items)));
+    tag(buf, "price", &format!("{:.2}", rng.random_range(5.0_f64..500.0)));
+    tag(buf, "date", &gen_date(rng));
+    tag(buf, "quantity", &rng.random_range(1..=10).to_string());
+    tag(buf, "type", if rng.random_bool(0.5) { "Regular" } else { "Featured" });
+    if rng.random_bool(0.8) {
+        tag_words(rng, buf, "annotation", 15, 35);
+    }
+    buf.push_str("</closed_auction>");
+}
+
+fn gen_date(rng: &mut StdRng) -> String {
+    format!("{:02}/{:02}/{}", rng.random_range(1..=12), rng.random_range(1..=28), rng.random_range(1998..2004))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flux_dtd::{validate_str, Dtd};
+
+    #[test]
+    fn deterministic() {
+        let cfg = XmarkConfig::new(64 << 10);
+        let (a, sa) = generate_string(&cfg);
+        let (b, sb) = generate_string(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = generate_string(&XmarkConfig { seed: 99, ..cfg });
+        assert_ne!(a, c, "different seeds give different documents");
+    }
+
+    #[test]
+    fn size_close_to_target() {
+        for kb in [64, 256, 1024] {
+            let cfg = XmarkConfig::new(kb << 10);
+            let (s, summary) = generate_string(&cfg);
+            assert_eq!(s.len() as u64, summary.bytes);
+            let ratio = s.len() as f64 / (kb << 10) as f64;
+            assert!((0.9..1.15).contains(&ratio), "{kb}KiB target, got ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn validates_against_the_adapted_dtd() {
+        let dtd = Dtd::parse(crate::XMARK_DTD).unwrap();
+        let (doc, _) = generate_string(&XmarkConfig::new(128 << 10));
+        validate_str(&dtd, &doc).unwrap();
+    }
+
+    #[test]
+    fn entity_counts_scale_linearly() {
+        let (_, small) = generate_string(&XmarkConfig::new(128 << 10));
+        let (_, big) = generate_string(&XmarkConfig::new(512 << 10));
+        let ratio = big.persons as f64 / small.persons as f64;
+        assert!((3.0..5.5).contains(&ratio), "persons {} vs {}", small.persons, big.persons);
+        assert!(big.closed_auctions > 2 * small.closed_auctions);
+    }
+
+    #[test]
+    fn person0_exists_and_structure_is_sound() {
+        let (doc, summary) = generate_string(&XmarkConfig::new(64 << 10));
+        assert!(doc.contains("<person_id>person0</person_id>"));
+        assert!(summary.persons > 0 && summary.closed_auctions > 0);
+        assert!(summary.australia_items > 0, "Q13 needs australian items");
+        assert!(doc.starts_with("<site><regions>"));
+        assert!(doc.ends_with("</closed_auctions></site>"));
+    }
+
+    #[test]
+    fn tiny_targets_still_produce_valid_documents() {
+        let dtd = Dtd::parse(crate::XMARK_DTD).unwrap();
+        let (doc, _) = generate_string(&XmarkConfig::new(1024));
+        validate_str(&dtd, &doc).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! # flux-xmark — the XMark auction benchmark substrate (paper, Section 6)
+//!
+//! The paper's experiments run adapted XMark queries over documents from the
+//! XMark `xmlgen` generator (V0.96), with "attributes … converted into
+//! subelements of their parent element" by the XSAX layer and the DTD
+//! "adjusted accordingly" (Appendix A). This crate rebuilds that substrate:
+//!
+//! * [`gen`] — a deterministic, size-targeted generator of XMark-like
+//!   auction sites (same element hierarchy, synthetic text, seeded RNG,
+//!   attributes already emitted as subelements: `person_id`,
+//!   `open_auction_id`, `buyer_person`, `profile_income`, …).
+//! * [`schema::XMARK_DTD`] — the adapted DTD. Its order constraints are the
+//!   ones the paper's results rely on: `person_id` precedes `name` (Q1
+//!   streams), `name` precedes `description` in items (Q13 streams), and
+//!   `people` precede `open_auctions` precede `closed_auctions` in `site`
+//!   (Q8/Q11 buffer both join sides under the shared scope).
+//! * [`queries`] — Q1, Q8, Q11, Q13 and Q20 exactly as printed in
+//!   Appendix A.
+
+pub mod dict;
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use gen::{generate, generate_string, XmarkConfig, XmarkSummary};
+pub use queries::{PaperQuery, PAPER_QUERIES, Q1, Q11, Q13, Q20, Q8};
+pub use schema::XMARK_DTD;

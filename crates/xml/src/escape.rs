@@ -1,0 +1,136 @@
+//! Escaping and entity resolution for XML character data.
+//!
+//! Only the five predefined XML entities plus numeric character references
+//! are supported, which is all the paper's data model (and XMark data)
+//! requires.
+
+use std::borrow::Cow;
+
+/// Escape `<`, `>`, `&` in character data for serialization.
+///
+/// Returns a borrowed string when no escaping is needed (the common case on
+/// XMark-style data), avoiding allocation on the output hot path.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| matches!(b, b'<' | b'>' | b'&')) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Escape character data for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| matches!(b, b'<' | b'>' | b'&' | b'"')) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve the predefined entities and numeric character references in `s`.
+///
+/// Unknown entity names are an error (reported by name) so that malformed
+/// input is caught rather than silently passed through.
+pub fn unescape(s: &str) -> Result<Cow<'_, str>, String> {
+    if !s.as_bytes().contains(&b'&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity reference near `{}`", &rest[amp..rest.len().min(amp + 12)]))?;
+        let name = &after[..semi];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| format!("bad hex character reference `&{name};`"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| format!("invalid code point in `&{name};`"))?);
+            }
+            _ if name.starts_with('#') => {
+                let cp: u32 = name[1..]
+                    .parse()
+                    .map_err(|_| format!("bad decimal character reference `&{name};`"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| format!("invalid code point in `&{name};`"))?);
+            }
+            _ => return Err(format!("unknown entity `&{name};`")),
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("hello"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_special_chars() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go&gt;");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;a&gt; &amp; &apos;b&apos; &quot;c&quot;").unwrap(), "<a> & 'b' \"c\"");
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_borrows_when_clean() {
+        assert!(matches!(unescape("plain text").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_errors() {
+        assert!(unescape("&nosuch;").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+        assert!(unescape("& alone").is_err());
+        assert!(unescape("&#1114112;").is_err()); // beyond char::MAX
+    }
+
+    #[test]
+    fn roundtrip() {
+        let samples = ["", "x", "<>&'\"", "a&b<c>d\"e'f", "&amp;lt;"];
+        for s in samples {
+            assert_eq!(unescape(&escape_text(s)).unwrap(), s, "text roundtrip of {s:?}");
+            assert_eq!(unescape(&escape_attr(s)).unwrap(), s, "attr roundtrip of {s:?}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # flux-xml — streaming XML substrate for the FluX query engine
+//!
+//! The FluX paper (Koch et al., VLDB 2004) evaluates queries directly on
+//! streams of SAX events. This crate provides everything the engine needs
+//! from the XML layer, built from scratch:
+//!
+//! * [`reader::Reader`] — a pull-based streaming parser producing
+//!   [`events::Event`]s (start element / end element / text). It checks
+//!   well-formedness (tag nesting, single root) as it goes and can convert
+//!   attributes into subelements on the fly, mirroring the paper's "XSAX"
+//!   parser (Appendix A: `<person id="x">` becomes
+//!   `<person><person_id>x</person_id>…`).
+//! * [`writer::Writer`] — a streaming serializer that is the exact inverse of
+//!   the reader; the FluX engine writes its output through it.
+//! * [`tree::Node`] — a small DOM used by the baseline engines and by the
+//!   runtime buffers (the paper's buffers hold well-formed event sequences,
+//!   which are isomorphic to these subtrees).
+//! * [`events::OwnedEvent`] — owned events for buffering and replay; data
+//!   replayed from a buffer is indistinguishable from stream input
+//!   (paper, Section 5).
+//!
+//! The data model follows the paper: elements and character data only; the
+//! reader either rejects, drops, or converts attributes. Namespaces, DTD
+//! internal-subset entity definitions and other XML arcana are out of scope,
+//! exactly as in the paper's prototype.
+
+pub mod escape;
+pub mod events;
+pub mod reader;
+pub mod tree;
+pub mod writer;
+pub mod xsax;
+
+pub use events::{Event, OwnedEvent};
+pub use reader::{AttributeMode, Reader, ReaderOptions, XmlError, XmlErrorKind};
+pub use tree::{Child, Node};
+pub use writer::Writer;

@@ -1,0 +1,656 @@
+//! Pull-based streaming XML parser.
+//!
+//! [`Reader`] reads from any [`BufRead`] source and yields one
+//! [`Event`] at a time without ever materializing the document — the property
+//! the whole FluX approach depends on. It performs well-formedness checking
+//! (matching tags, a single root element) and resolves entity references.
+//!
+//! Attribute handling follows the paper's experimental setup (Appendix A):
+//! the prototype's "XSAX parser converted attributes into subelements
+//! on-the-fly". [`AttributeMode::ConvertToSubelements`] reproduces this:
+//! `<person id="person0">` is reported as
+//! `<person><person_id>person0</person_id>` with the synthesized element name
+//! `{element}_{attribute}` (so `person`+`id` → `person_id`, `buyer`+`person`
+//! → `buyer_person`, exactly the names the adapted XMark queries use).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::BufRead;
+
+use crate::events::{Event, OwnedEvent};
+use crate::xsax::convert_attributes;
+
+/// How the reader treats attributes in start tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttributeMode {
+    /// Error out when an attribute is encountered (the paper's core data
+    /// model is attribute-free).
+    Reject,
+    /// Parse and discard attributes.
+    Drop,
+    /// Convert each attribute into a subelement named
+    /// `{element}_{attribute}`, placed before the element's other children
+    /// (the paper's XSAX behaviour).
+    #[default]
+    ConvertToSubelements,
+}
+
+/// Reader configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReaderOptions {
+    /// Attribute handling; defaults to XSAX-style conversion.
+    pub attributes: AttributeMode,
+    /// Report whitespace-only text nodes. Off by default: element-content
+    /// documents (like XMark) routinely contain indentation that carries no
+    /// data and would only inflate buffers.
+    pub keep_whitespace: bool,
+}
+
+/// Classification of parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Byte stream is not valid UTF-8.
+    Utf8,
+    /// Underlying I/O failure.
+    Io(String),
+    /// `</b>` closing `<a>`, or close with nothing open.
+    MismatchedTag { expected: Option<String>, found: String },
+    /// Document ended with open elements.
+    UnexpectedEof,
+    /// Content after the root element was closed.
+    TrailingContent,
+    /// Character data outside the root element.
+    TextOutsideRoot,
+    /// Malformed tag, bad name, bad attribute syntax, bad entity, …
+    Syntax(String),
+    /// An attribute was seen under [`AttributeMode::Reject`].
+    AttributeRejected { element: String, attribute: String },
+}
+
+/// A parse error with the byte offset at which it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// Byte offset into the input stream.
+    pub offset: u64,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::Utf8 => write!(f, "invalid UTF-8 at byte {}", self.offset),
+            XmlErrorKind::Io(e) => write!(f, "I/O error at byte {}: {e}", self.offset),
+            XmlErrorKind::MismatchedTag { expected, found } => match expected {
+                Some(e) => write!(f, "mismatched end tag </{found}> at byte {}, expected </{e}>", self.offset),
+                None => write!(f, "end tag </{found}> with no open element at byte {}", self.offset),
+            },
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input at byte {}", self.offset),
+            XmlErrorKind::TrailingContent => write!(f, "content after document root at byte {}", self.offset),
+            XmlErrorKind::TextOutsideRoot => write!(f, "character data outside the root element at byte {}", self.offset),
+            XmlErrorKind::Syntax(m) => write!(f, "XML syntax error at byte {}: {m}", self.offset),
+            XmlErrorKind::AttributeRejected { element, attribute } => {
+                write!(f, "attribute `{attribute}` on `<{element}>` at byte {} (attribute-free mode)", self.offset)
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+enum Slot {
+    None,
+    /// Borrow target for a text event.
+    Text,
+    /// Borrow target for an end tag name.
+    EndName,
+    /// Borrow target for a start tag name (attribute-free fast path).
+    StartName,
+    /// An owned event dequeued from `pending`.
+    Owned(OwnedEvent),
+}
+
+/// Streaming pull parser. See the [module documentation](self).
+pub struct Reader<R> {
+    src: R,
+    opts: ReaderOptions,
+    stack: Vec<String>,
+    pending: VecDeque<OwnedEvent>,
+    slot: Slot,
+    text_buf: String,
+    name_buf: String,
+    raw: Vec<u8>,
+    offset: u64,
+    seen_root: bool,
+    /// True when the next bytes to parse are the inside of a `<…>` tag (the
+    /// `<` has already been consumed while scanning text).
+    in_tag: bool,
+    finished: bool,
+}
+
+impl<'s> Reader<&'s [u8]> {
+    /// Parse from an in-memory string.
+    #[allow(clippy::should_implement_trait)] // fallible trait shape does not fit
+    pub fn from_str(s: &'s str) -> Self {
+        Self::new(s.as_bytes(), ReaderOptions::default())
+    }
+}
+
+impl<R: BufRead> Reader<R> {
+    /// Create a reader over any buffered byte source.
+    pub fn new(src: R, opts: ReaderOptions) -> Self {
+        Reader {
+            src,
+            opts,
+            stack: Vec::new(),
+            pending: VecDeque::new(),
+            slot: Slot::None,
+            text_buf: String::new(),
+            name_buf: String::new(),
+            raw: Vec::new(),
+            offset: 0,
+            seen_root: false,
+            in_tag: false,
+            finished: false,
+        }
+    }
+
+    /// Number of bytes consumed from the source so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err<T>(&self, kind: XmlErrorKind) -> Result<T, XmlError> {
+        Err(XmlError { kind, offset: self.offset })
+    }
+
+    /// Pull the next event. Returns `Ok(None)` at a well-formed end of
+    /// document. The returned event borrows from the reader and must be
+    /// released (dropped) before the next call.
+    pub fn next_event(&mut self) -> Result<Option<Event<'_>>, XmlError> {
+        loop {
+            // Deliver queued events first (attribute conversion etc.).
+            if let Some(ev) = self.pending.pop_front() {
+                if let OwnedEvent::End(_) = &ev {
+                    // End events synthesized for self-closing tags already
+                    // had their stack entry popped at queue time.
+                }
+                self.slot = Slot::Owned(ev);
+                break;
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            if self.in_tag {
+                self.in_tag = false;
+                if self.parse_tag()? {
+                    break;
+                }
+                continue; // comment / PI / doctype: nothing to report
+            }
+            // Scan character data until the next '<'.
+            self.raw.clear();
+            let n = self
+                .src
+                .read_until(b'<', &mut self.raw)
+                .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+            self.offset += n as u64;
+            let saw_lt = self.raw.last() == Some(&b'<');
+            let text_len = if saw_lt { self.raw.len() - 1 } else { self.raw.len() };
+            let had_text = self.take_text(text_len)?;
+            if saw_lt {
+                self.in_tag = true;
+            } else {
+                // EOF.
+                if !self.stack.is_empty() {
+                    return self.err(XmlErrorKind::UnexpectedEof);
+                }
+                if !self.seen_root {
+                    return self.err(XmlErrorKind::UnexpectedEof);
+                }
+                self.finished = true;
+            }
+            if had_text {
+                self.slot = Slot::Text;
+                break;
+            }
+        }
+        Ok(Some(match &self.slot {
+            Slot::Text => Event::Text(&self.text_buf),
+            Slot::EndName => Event::End(&self.name_buf),
+            Slot::StartName => Event::Start(&self.name_buf),
+            Slot::Owned(ev) => ev.as_event(),
+            Slot::None => unreachable!("slot set before break"),
+        }))
+    }
+
+    /// Decode and stash the first `len` bytes of `self.raw` as character
+    /// data; returns whether a text event should be emitted.
+    fn take_text(&mut self, len: usize) -> Result<bool, XmlError> {
+        if len == 0 {
+            return Ok(false);
+        }
+        let s = std::str::from_utf8(&self.raw[..len])
+            .map_err(|_| XmlError { kind: XmlErrorKind::Utf8, offset: self.offset })?;
+        let is_ws = s.chars().all(char::is_whitespace);
+        if is_ws && (!self.opts.keep_whitespace || self.stack.is_empty()) {
+            return Ok(false);
+        }
+        if self.stack.is_empty() {
+            if is_ws {
+                return Ok(false);
+            }
+            return self.err(XmlErrorKind::TextOutsideRoot);
+        }
+        let decoded = crate::escape::unescape(s).map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
+        self.text_buf.clear();
+        self.text_buf.push_str(&decoded);
+        Ok(true)
+    }
+
+    /// Parse one `<…>` construct (the leading `<` is already consumed).
+    /// Returns true when an event was produced (in `slot` or `pending`).
+    fn parse_tag(&mut self) -> Result<bool, XmlError> {
+        self.raw.clear();
+        let n = self
+            .src
+            .read_until(b'>', &mut self.raw)
+            .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+        self.offset += n as u64;
+        if self.raw.last() != Some(&b'>') {
+            return self.err(XmlErrorKind::UnexpectedEof);
+        }
+        self.raw.pop();
+
+        // Comments, CDATA and DOCTYPE may legitimately contain '>'.
+        if self.raw.starts_with(b"!--") {
+            while !self.raw.ends_with(b"--") || self.raw.len() < 5 {
+                let m = self
+                    .src
+                    .read_until(b'>', &mut self.raw)
+                    .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+                if m == 0 {
+                    return self.err(XmlErrorKind::UnexpectedEof);
+                }
+                self.offset += m as u64;
+                if self.raw.last() == Some(&b'>') {
+                    self.raw.pop();
+                } else {
+                    return self.err(XmlErrorKind::UnexpectedEof);
+                }
+            }
+            return Ok(false);
+        }
+        if self.raw.starts_with(b"![CDATA[") {
+            while !self.raw.ends_with(b"]]") {
+                // The '>' we consumed was CDATA content, not the terminator.
+                self.raw.push(b'>');
+                let m = self
+                    .src
+                    .read_until(b'>', &mut self.raw)
+                    .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+                if m == 0 {
+                    return self.err(XmlErrorKind::UnexpectedEof);
+                }
+                self.offset += m as u64;
+                if self.raw.last() == Some(&b'>') {
+                    self.raw.pop();
+                } else {
+                    return self.err(XmlErrorKind::UnexpectedEof);
+                }
+            }
+            if self.stack.is_empty() {
+                return self.err(XmlErrorKind::TextOutsideRoot);
+            }
+            let inner = &self.raw[8..self.raw.len() - 2];
+            let s = std::str::from_utf8(inner).map_err(|_| XmlError { kind: XmlErrorKind::Utf8, offset: self.offset })?;
+            self.text_buf.clear();
+            self.text_buf.push_str(s);
+            self.slot = Slot::Text;
+            return Ok(true);
+        }
+        if self.raw.starts_with(b"!") {
+            // DOCTYPE (possibly with an internal subset containing '>').
+            let mut depth = self.raw.iter().filter(|&&b| b == b'[').count() as i64
+                - self.raw.iter().filter(|&&b| b == b']').count() as i64;
+            while depth > 0 {
+                let m = self
+                    .src
+                    .read_until(b'>', &mut self.raw)
+                    .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+                if m == 0 {
+                    return self.err(XmlErrorKind::UnexpectedEof);
+                }
+                self.offset += m as u64;
+                let added = &self.raw[self.raw.len() - m..];
+                depth += added.iter().filter(|&&b| b == b'[').count() as i64
+                    - added.iter().filter(|&&b| b == b']').count() as i64;
+                if self.raw.last() == Some(&b'>') {
+                    self.raw.pop();
+                } else {
+                    return self.err(XmlErrorKind::UnexpectedEof);
+                }
+            }
+            return Ok(false);
+        }
+        if self.raw.starts_with(b"?") {
+            // Processing instruction / XML declaration; ignored.
+            return Ok(false);
+        }
+
+        let body = std::str::from_utf8(&self.raw).map_err(|_| XmlError { kind: XmlErrorKind::Utf8, offset: self.offset })?;
+        if let Some(name_part) = body.strip_prefix('/') {
+            // End tag.
+            let name = name_part.trim();
+            check_name(name).map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
+            match self.stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return self.err(XmlErrorKind::MismatchedTag { expected: Some(open), found: name.to_string() })
+                }
+                None => return self.err(XmlErrorKind::MismatchedTag { expected: None, found: name.to_string() }),
+            }
+            self.name_buf.clear();
+            self.name_buf.push_str(name);
+            self.slot = Slot::EndName;
+            return Ok(true);
+        }
+
+        // Start tag.
+        if self.seen_root && self.stack.is_empty() {
+            return self.err(XmlErrorKind::TrailingContent);
+        }
+        let (body, self_closing) = match body.strip_suffix('/') {
+            Some(b) => (b, true),
+            None => (body, false),
+        };
+        let body = body.trim_end();
+        let name_end = body.find(|c: char| c.is_whitespace()).unwrap_or(body.len());
+        let name = &body[..name_end];
+        check_name(name).map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
+        let attr_src = body[name_end..].trim();
+
+        self.seen_root = true;
+        if attr_src.is_empty() {
+            // Fast path: no attributes.
+            self.name_buf.clear();
+            self.name_buf.push_str(name);
+            if self_closing {
+                self.pending.push_back(OwnedEvent::End(name.into()));
+            } else {
+                self.stack.push(name.to_string());
+            }
+            self.slot = Slot::StartName;
+            return Ok(true);
+        }
+
+        let attrs = parse_attributes(attr_src).map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
+        match self.opts.attributes {
+            AttributeMode::Reject => self.err(XmlErrorKind::AttributeRejected {
+                element: name.to_string(),
+                attribute: attrs[0].0.clone(),
+            }),
+            AttributeMode::Drop => {
+                self.name_buf.clear();
+                self.name_buf.push_str(name);
+                if self_closing {
+                    self.pending.push_back(OwnedEvent::End(name.into()));
+                } else {
+                    self.stack.push(name.to_string());
+                }
+                self.slot = Slot::StartName;
+                Ok(true)
+            }
+            AttributeMode::ConvertToSubelements => {
+                for ev in convert_attributes(name, &attrs) {
+                    self.pending.push_back(ev);
+                }
+                if self_closing {
+                    self.pending.push_back(OwnedEvent::End(name.into()));
+                } else {
+                    self.stack.push(name.to_string());
+                }
+                // Caller loop pops from `pending`.
+                Ok(false)
+            }
+        }
+    }
+
+    /// Drain the whole document into owned events (testing convenience).
+    pub fn read_to_end(&mut self) -> Result<Vec<OwnedEvent>, XmlError> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            out.push(ev.to_owned());
+        }
+        Ok(out)
+    }
+}
+
+/// Validate an XML name (loose check: letters/`_`/`:` then name characters).
+fn check_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' || c == ':' => {}
+        Some(c) => return Err(format!("invalid name start character `{c}` in `{name}`")),
+        None => return Err("empty element name".into()),
+    }
+    for c in chars {
+        if !(c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')) {
+            return Err(format!("invalid name character `{c}` in `{name}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse `a="v" b='w'` attribute syntax. Values are entity-decoded.
+fn parse_attributes(src: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = src.trim_start();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("expected `=` in attribute list near `{rest}`"))?;
+        let name = rest[..eq].trim();
+        check_name(name)?;
+        let after = rest[eq + 1..].trim_start();
+        let quote = after
+            .chars()
+            .next()
+            .filter(|&c| c == '"' || c == '\'')
+            .ok_or_else(|| format!("attribute `{name}` value must be quoted"))?;
+        let val_rest = &after[1..];
+        let end = val_rest
+            .find(quote)
+            .ok_or_else(|| format!("unterminated value for attribute `{name}`"))?;
+        let value = crate::escape::unescape(&val_rest[..end])?;
+        out.push((name.to_string(), value.into_owned()));
+        rest = val_rest[end + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(xml: &str) -> Vec<OwnedEvent> {
+        Reader::from_str(xml).read_to_end().unwrap()
+    }
+
+    fn flat(xml: &str) -> String {
+        events(xml).iter().map(|e| e.to_string()).collect()
+    }
+
+    #[test]
+    fn simple_document() {
+        assert_eq!(flat("<a><b>hi</b></a>"), "<a><b>hi</b></a>");
+    }
+
+    #[test]
+    fn whitespace_dropped_by_default() {
+        assert_eq!(flat("<a>\n  <b>x</b>\n</a>"), "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn whitespace_kept_on_request() {
+        let mut r = Reader::new(
+            "<a> <b>x</b> </a>".as_bytes(),
+            ReaderOptions { keep_whitespace: true, ..Default::default() },
+        );
+        let evs = r.read_to_end().unwrap();
+        assert_eq!(evs.iter().map(|e| e.to_string()).collect::<String>(), "<a> <b>x</b> </a>");
+    }
+
+    #[test]
+    fn entities_resolved() {
+        let evs = events("<a>x &lt; y &amp; z</a>");
+        assert_eq!(evs[1], OwnedEvent::Text("x < y & z".into()));
+    }
+
+    #[test]
+    fn self_closing() {
+        assert_eq!(flat("<a><b/></a>"), "<a><b></b></a>");
+    }
+
+    #[test]
+    fn attributes_converted_to_subelements() {
+        assert_eq!(
+            flat(r#"<person id="person0"><name>Jo</name></person>"#),
+            "<person><person_id>person0</person_id><name>Jo</name></person>"
+        );
+    }
+
+    #[test]
+    fn multiple_attributes_in_order() {
+        assert_eq!(
+            flat(r#"<item featured="yes" id="item3"/>"#),
+            "<item><item_featured>yes</item_featured><item_id>item3</item_id></item>"
+        );
+    }
+
+    #[test]
+    fn attributes_dropped_mode() {
+        let mut r = Reader::new(
+            r#"<a x="1">t</a>"#.as_bytes(),
+            ReaderOptions { attributes: AttributeMode::Drop, ..Default::default() },
+        );
+        let evs = r.read_to_end().unwrap();
+        assert_eq!(evs.iter().map(|e| e.to_string()).collect::<String>(), "<a>t</a>");
+    }
+
+    #[test]
+    fn attributes_rejected_mode() {
+        let mut r = Reader::new(
+            r#"<a x="1">t</a>"#.as_bytes(),
+            ReaderOptions { attributes: AttributeMode::Reject, ..Default::default() },
+        );
+        let err = r.read_to_end().unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::AttributeRejected { .. }));
+    }
+
+    #[test]
+    fn prolog_comments_pi_doctype_skipped() {
+        let xml = r#"<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><!-- note --><a>x<?pi data?><!-- more --></a>"#;
+        assert_eq!(flat(xml), "<a>x</a>");
+    }
+
+    #[test]
+    fn comment_containing_gt() {
+        assert_eq!(flat("<a><!-- x > y --->ok</a>"), "<a>ok</a>");
+    }
+
+    #[test]
+    fn cdata_is_verbatim_text() {
+        let evs = events("<a><![CDATA[1 < 2 & so]]></a>");
+        assert_eq!(evs[1], OwnedEvent::Text("1 < 2 & so".into()));
+    }
+
+    #[test]
+    fn cdata_containing_gt() {
+        let evs = events("<a><![CDATA[x > y]]></a>");
+        assert_eq!(evs[1], OwnedEvent::Text("x > y".into()));
+    }
+
+    #[test]
+    fn mismatched_tag_rejected() {
+        let err = Reader::from_str("<a><b></a></b>").read_to_end().unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn truncated_document_rejected() {
+        let err = Reader::from_str("<a><b>").read_to_end().unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+        let err = Reader::from_str("<a").read_to_end().unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let err = Reader::from_str("<a/><b/>").read_to_end().unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::TrailingContent);
+        let err = Reader::from_str("<a/>junk").read_to_end().unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::TextOutsideRoot);
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let err = Reader::from_str("junk<a/>").read_to_end().unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::TextOutsideRoot);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let err = Reader::from_str("   ").read_to_end().unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn bad_entity_reported() {
+        let err = Reader::from_str("<a>&bogus;</a>").read_to_end().unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::Syntax(_)));
+    }
+
+    #[test]
+    fn bad_names_reported() {
+        assert!(Reader::from_str("<1a/>").read_to_end().is_err());
+        assert!(Reader::from_str("<a b c/>").read_to_end().is_err());
+    }
+
+    #[test]
+    fn depth_and_offset_track() {
+        let mut r = Reader::from_str("<a><b>x</b></a>");
+        assert_eq!(r.depth(), 0);
+        r.next_event().unwrap(); // <a>
+        assert_eq!(r.depth(), 1);
+        r.next_event().unwrap(); // <b>
+        assert_eq!(r.depth(), 2);
+        assert!(r.offset() > 0);
+    }
+
+    #[test]
+    fn deeply_nested() {
+        let mut xml = String::new();
+        for i in 0..200 {
+            xml.push_str(&format!("<e{i}>"));
+        }
+        for i in (0..200).rev() {
+            xml.push_str(&format!("</e{i}>"));
+        }
+        let evs = events(&xml);
+        assert_eq!(evs.len(), 400);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        assert_eq!(flat("<a k='v'/>"), "<a><a_k>v</a_k></a>");
+    }
+
+    #[test]
+    fn attribute_value_entities() {
+        assert_eq!(flat(r#"<a k="x &amp; y"/>"#), "<a><a_k>x &amp; y</a_k></a>");
+    }
+}

@@ -1,0 +1,146 @@
+//! Streaming XML serialization.
+//!
+//! The FluX engine emits its result as a stream of events; [`Writer`] turns
+//! that stream back into XML text with proper escaping. It also counts the
+//! bytes written, which the benchmark harness uses to sanity-check that
+//! different engines produce identically sized results.
+
+use std::io::{self, Write as IoWrite};
+
+use crate::escape::escape_text;
+use crate::events::Event;
+use crate::tree::Node;
+
+/// A streaming event serializer over any [`io::Write`] sink.
+pub struct Writer<W> {
+    out: W,
+    bytes: u64,
+}
+
+impl<W: IoWrite> Writer<W> {
+    /// Wrap a sink.
+    pub fn new(out: W) -> Self {
+        Writer { out, bytes: 0 }
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Write one event.
+    pub fn write_event(&mut self, ev: Event<'_>) -> io::Result<()> {
+        match ev {
+            Event::Start(n) => {
+                self.raw(b"<")?;
+                self.raw(n.as_bytes())?;
+                self.raw(b">")
+            }
+            Event::End(n) => {
+                self.raw(b"</")?;
+                self.raw(n.as_bytes())?;
+                self.raw(b">")
+            }
+            Event::Text(t) => {
+                let esc = escape_text(t);
+                self.raw(esc.as_bytes())
+            }
+        }
+    }
+
+    /// Write a raw, pre-formed string (used for the paper's "output of a
+    /// fixed string" query construct, where `<result>` is already literal
+    /// markup and must not be re-escaped).
+    pub fn write_raw(&mut self, s: &str) -> io::Result<()> {
+        self.raw(s.as_bytes())
+    }
+
+    /// Serialize a whole subtree.
+    pub fn write_node(&mut self, node: &Node) -> io::Result<()> {
+        let mut res = Ok(());
+        node.visit_events(&mut |ev| {
+            if res.is_ok() {
+                res = self.write_event(ev);
+            }
+        });
+        res
+    }
+
+    /// Flush and return the inner sink.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn raw(&mut self, b: &[u8]) -> io::Result<()> {
+        self.out.write_all(b)?;
+        self.bytes += b.len() as u64;
+        Ok(())
+    }
+}
+
+/// A sink that discards everything but counts bytes — used to measure result
+/// sizes (and benchmark pure engine throughput) without I/O cost.
+#[derive(Debug, Default)]
+pub struct NullSink {
+    /// Bytes "written".
+    pub bytes: u64,
+}
+
+impl IoWrite for NullSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_escaping() {
+        let mut w = Writer::new(Vec::new());
+        w.write_event(Event::Start("a")).unwrap();
+        w.write_event(Event::Text("1 < 2")).unwrap();
+        w.write_event(Event::End("a")).unwrap();
+        let out = w.into_inner().unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "<a>1 &lt; 2</a>");
+    }
+
+    #[test]
+    fn byte_counter_matches_output() {
+        let mut w = Writer::new(Vec::new());
+        w.write_event(Event::Start("abc")).unwrap();
+        w.write_event(Event::End("abc")).unwrap();
+        assert_eq!(w.bytes_written(), "<abc></abc>".len() as u64);
+    }
+
+    #[test]
+    fn raw_bypasses_escaping() {
+        let mut w = Writer::new(Vec::new());
+        w.write_raw("<result>").unwrap();
+        let out = w.into_inner().unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "<result>");
+    }
+
+    #[test]
+    fn node_roundtrip_through_writer() {
+        let n = Node::parse_str("<a><b>x &amp; y</b></a>").unwrap();
+        let mut w = Writer::new(Vec::new());
+        w.write_node(&n).unwrap();
+        let out = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        assert_eq!(Node::parse_str(&out).unwrap(), n);
+    }
+
+    #[test]
+    fn null_sink_counts() {
+        let mut w = Writer::new(NullSink::default());
+        w.write_event(Event::Start("x")).unwrap();
+        let sink = w.into_inner().unwrap();
+        assert_eq!(sink.bytes, 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! XSAX-style attribute-to-subelement conversion (paper, Appendix A).
+//!
+//! The paper's experiments use an attribute-free data model; their "XSAX
+//! parser converted attributes into subelements on-the-fly", renaming
+//! `<person id="…">` to `<person><person_id>…</person_id>`. The synthesized
+//! element name is `{element}_{attribute}` — this is where the adapted XMark
+//! query names `person_id`, `buyer_person`, `open_auction_id`,
+//! `profile_income` come from.
+
+use crate::events::OwnedEvent;
+
+/// Name of the subelement synthesized for attribute `attr` of `element`.
+pub fn converted_name(element: &str, attr: &str) -> String {
+    let mut s = String::with_capacity(element.len() + attr.len() + 1);
+    s.push_str(element);
+    s.push('_');
+    s.push_str(attr);
+    s
+}
+
+/// Produce the event sequence for a start tag with attributes:
+/// `Start(element)` followed by one `Start/Text/End` triple per attribute,
+/// in source order. The caller appends the element's real content afterwards.
+pub fn convert_attributes(element: &str, attrs: &[(String, String)]) -> Vec<OwnedEvent> {
+    let mut out = Vec::with_capacity(1 + attrs.len() * 3);
+    out.push(OwnedEvent::Start(element.into()));
+    for (name, value) in attrs {
+        let sub = converted_name(element, name);
+        out.push(OwnedEvent::Start(sub.clone().into_boxed_str()));
+        if !value.is_empty() {
+            out.push(OwnedEvent::Text(value.as_str().into()));
+        }
+        out.push(OwnedEvent::End(sub.into_boxed_str()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(converted_name("person", "id"), "person_id");
+        assert_eq!(converted_name("buyer", "person"), "buyer_person");
+        assert_eq!(converted_name("open_auction", "id"), "open_auction_id");
+        assert_eq!(converted_name("profile", "income"), "profile_income");
+    }
+
+    #[test]
+    fn conversion_event_shape() {
+        let evs = convert_attributes("person", &[("id".into(), "person0".into())]);
+        let s: String = evs.iter().map(|e| e.to_string()).collect();
+        assert_eq!(s, "<person><person_id>person0</person_id>");
+    }
+
+    #[test]
+    fn empty_value_has_no_text_event() {
+        let evs = convert_attributes("a", &[("k".into(), String::new())]);
+        assert_eq!(evs.len(), 3); // Start a, Start a_k, End a_k
+    }
+}

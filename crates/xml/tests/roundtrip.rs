@@ -1,0 +1,80 @@
+//! Property tests: random trees survive serialize → parse → serialize, and
+//! random text survives escaping.
+
+use flux_xml::{Node, Reader};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Includes XML-special characters and non-ASCII; excludes pure
+    // whitespace (dropped by the reader, by design) and the CR character
+    // (line-ending normalization is out of scope).
+    "[ -~äöü€<>&'\"]{1,20}"
+        .prop_filter("not whitespace-only", |s| !s.trim().is_empty())
+        .prop_map(|s| s.replace('\r', "."))
+}
+
+fn arb_tree() -> impl Strategy<Value = Node> {
+    let leaf = (arb_name(), proptest::option::of(arb_text())).prop_map(|(name, text)| {
+        let mut n = Node::new(name);
+        if let Some(t) = text {
+            n.push_text(t);
+        }
+        n
+    });
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (arb_name(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut n = Node::new(name);
+            for c in children {
+                n.children.push(flux_xml::Child::Elem(c));
+            }
+            n
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialize_parse_roundtrip(tree in arb_tree()) {
+        let xml = tree.to_xml();
+        let back = Node::parse_str(&xml).unwrap();
+        prop_assert_eq!(&back, &tree, "xml: {}", xml);
+        prop_assert_eq!(back.to_xml(), xml);
+    }
+
+    #[test]
+    fn event_stream_matches_tree_walk(tree in arb_tree()) {
+        // Parsing the serialized form yields exactly the tree's own event
+        // walk.
+        let xml = tree.to_xml();
+        let mut reader = Reader::from_str(&xml);
+        let parsed = reader.read_to_end().unwrap();
+        let direct = tree.to_events();
+        prop_assert_eq!(parsed, direct);
+    }
+
+    #[test]
+    fn escaping_roundtrip(text in arb_text()) {
+        let escaped = flux_xml::escape::escape_text(&text);
+        let back = flux_xml::escape::unescape(&escaped).unwrap();
+        prop_assert_eq!(back.as_ref(), text.as_str());
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any byte soup either parses or errors — never panics.
+        let mut r = Reader::new(&bytes[..], flux_xml::ReaderOptions::default());
+        let _ = r.read_to_end();
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(s in "[<>a-z/ =\"']{0,64}") {
+        let mut r = Reader::from_str(&s);
+        let _ = r.read_to_end();
+    }
+}

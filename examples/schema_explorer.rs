@@ -1,0 +1,50 @@
+//! Inspect what the scheduler sees in a DTD: order constraints
+//! `Ord_ρ(a,b)`, cardinality constraints `a ∈ ‖≤1`, and the Glushkov
+//! automata sizes (Section 2, Appendix B, Section 7).
+//!
+//! ```text
+//! cargo run --example schema_explorer                 # built-in bib DTD
+//! cargo run --example schema_explorer -- my.dtd       # your own DTD file
+//! ```
+
+use flux::dtd::Dtd;
+
+const DEFAULT_DTD: &str = "<!ELEMENT bib (book)*>\
+<!ELEMENT book (title,(author+|editor+),publisher,price)>\
+<!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+<!ELEMENT publisher (#PCDATA)><!ELEMENT price (#PCDATA)>";
+
+fn main() {
+    let src = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).expect("DTD file readable"),
+        None => DEFAULT_DTD.to_string(),
+    };
+    let dtd = Dtd::parse(&src).expect("DTD parses (one-unambiguous content models)");
+    println!("root element: {}", dtd.root());
+
+    for prod in dtd.productions() {
+        let syms = prod.symbols();
+        if syms.is_empty() {
+            continue;
+        }
+        println!("\n<!ELEMENT {} {}>", prod.name, prod.regex);
+        println!("  automaton: {} states", prod.automaton().n_states());
+        print!("  singleton children:");
+        let singles: Vec<&str> =
+            syms.iter().filter(|s| prod.card_le_1(s)).map(|s| s.as_str()).collect();
+        println!(" {}", if singles.is_empty() { "none".into() } else { singles.join(", ") });
+        println!("  order constraints Ord(a,b) (every a before every b):");
+        let mut any = false;
+        for a in syms {
+            for b in syms {
+                if a != b && prod.ord(a, b) {
+                    println!("    Ord({a}, {b})");
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            println!("    none — children of <{}> may interleave freely", prod.name);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # flux — Schema-based Scheduling of Event Processors and Buffer Minimization
+//!
+//! Umbrella crate for the Rust reproduction of Koch, Scherzinger, Schweikardt
+//! and Stegmaier, *"Schema-based Scheduling of Event Processors and Buffer
+//! Minimization for Queries on Structured Data Streams"*, VLDB 2004.
+//!
+//! The pieces (see `DESIGN.md` for the full inventory):
+//!
+//! * [`xml`] — streaming XML parser/serializer, DOM trees, XSAX attribute
+//!   conversion.
+//! * [`dtd`] — DTDs, Glushkov automata, order constraints `Ord_ρ(a,b)`,
+//!   `first-past` punctuation.
+//! * [`query`] — the XQuery− fragment: AST, parser, normal form (Figure 1),
+//!   tree evaluator.
+//! * [`core`] — the FluX language, safety (Definition 3.6), and the
+//!   `rewrite` scheduling algorithm (Figure 2).
+//! * [`engine`] — the buffer-conscious streaming runtime (Section 5).
+//! * [`baseline`] — DOM-based XQuery− engines standing in for Galax / AnonX.
+//! * [`xmark`] — the XMark-like data generator and the paper's adapted
+//!   benchmark queries (Appendix A).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flux::prelude::*;
+//!
+//! // The paper's introductory example: XMP Q3 over a bibliography.
+//! let dtd = Dtd::parse(r#"
+//!     <!ELEMENT bib (book)*>
+//!     <!ELEMENT book (title,(author+|editor+),publisher,price)>
+//!     <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>
+//!     <!ELEMENT editor (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+//!     <!ELEMENT price (#PCDATA)>
+//! "#).unwrap();
+//!
+//! let query = parse_xquery(
+//!     "<results>{ for $b in $ROOT/bib/book return \
+//!        <result> {$b/title} {$b/author} </result> }</results>",
+//! ).unwrap();
+//!
+//! // Schedule the query against the DTD: with this schema no buffering is
+//! // needed, titles and authors stream straight through.
+//! let flux = rewrite_query(&query, &dtd).unwrap();
+//!
+//! let doc = "<bib><book><title>T</title><author>A</author>\
+//!            <publisher>P</publisher><price>1</price></book></bib>";
+//! let run = run_streaming(&flux, &dtd, doc.as_bytes()).unwrap();
+//! assert_eq!(run.output, "<results><result><title>T</title><author>A</author></result></results>");
+//! assert_eq!(run.stats.peak_buffer_bytes, 0); // fully streamed
+//! ```
+
+pub use flux_baseline as baseline;
+pub use flux_core as core;
+pub use flux_dtd as dtd;
+pub use flux_engine as engine;
+pub use flux_query as query;
+pub use flux_xmark as xmark;
+pub use flux_xml as xml;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use flux_baseline::{DomEngine, ProjectionMode};
+    pub use flux_core::{rewrite_query, FluxExpr, Handler};
+    pub use flux_dtd::Dtd;
+    pub use flux_engine::run_streaming;
+    pub use flux_query::{parse_xquery, Expr};
+    pub use flux_xml::{Node, Reader};
+}

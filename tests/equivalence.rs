@@ -1,0 +1,113 @@
+//! Three-way equivalence on a hand-picked battery: for every query, DTD and
+//! document, the reference evaluator, the tree-semantics FluX interpreter
+//! (on the rewritten plan) and the streaming engine must produce identical
+//! output — and the DOM baselines must agree too.
+
+mod common;
+
+use common::{random_doc, TEST_DTD, TEST_DTD_WEAK};
+use flux::baseline::{DomEngine, ProjectionMode};
+use flux::core::{interp_flux, rewrite_query};
+use flux::dtd::Dtd;
+use flux::engine::run_streaming;
+use flux::query::eval::{eval_query, wrap_document};
+use flux::query::parse_xquery;
+
+const QUERIES: &[&str] = &[
+    // Plain traversals.
+    "<out>{ for $s in $ROOT/lib/shelf return {$s/label} }</out>",
+    "<out>{ for $b in $ROOT/lib/shelf/book return <b> {$b/title} {$b/author} </b> }</out>",
+    "{ $ROOT/lib/shelf/book/title }",
+    "{ $ROOT/lib }",
+    // Conditions: constant, exists, numeric.
+    "{ for $b in /lib/shelf/book where $b/price > 20 return {$b/title} }",
+    "{ for $b in /lib/shelf/book where exists $b/price return <has/> }",
+    "{ for $b in /lib/shelf/book where empty($b/author) return {$b} }",
+    "{ for $s in /lib/shelf where $s/label = \"alpha\" or $s/label = \"beta\" return <hit/> }",
+    // Joins.
+    "{ for $b in /lib/shelf/book return { for $j in /lib/shelf/journal \
+       where $b/title = $j/title return <same>{$b/title}</same> } }",
+    "{ for $s in /lib/shelf return { for $t in $s/book return \
+       { for $u in $s/journal where $t/title = $u/title return <m/> } } }",
+    // Nested loops over the same path (the tee/capture case).
+    "{ for $b in /lib/shelf/book return <one>{$b/title}</one><two>{$b/title}</two> }",
+    // Whole-subtree output with a condition.
+    "{ for $s in /lib/shelf where exists $s/book return {$s} }",
+    // Condition on a multi-step path.
+    "{ for $s in /lib/shelf where $s/book/price >= 10 return {$s/label} }",
+    // Mixed string/if output.
+    "<r>{ for $b in /lib/shelf/book return { if $b/price > 50 then <expensive/> } \
+       { if empty($b/price) then <free/> } }</r>",
+    // Dead paths select nothing everywhere.
+    "<r>{ for $z in /lib/nosuch/path return {$z} }</r>",
+    // Scaled comparison.
+    "{ for $b in /lib/shelf/book return { for $j in /lib/shelf/journal \
+       where $b/price > (2 * $j/issue) return <rich/> } }",
+];
+
+#[test]
+fn three_way_equivalence_over_many_documents() {
+    for dtd_src in [TEST_DTD, TEST_DTD_WEAK] {
+        let dtd = Dtd::parse(dtd_src).unwrap();
+        for seed in 0..8u64 {
+            let root = random_doc(&dtd, seed);
+            let doc_src = root.to_xml();
+            let doc = wrap_document(root);
+            for q in QUERIES {
+                let query = parse_xquery(q).unwrap();
+                let reference = eval_query(&query, &doc).unwrap();
+                let flux = rewrite_query(&query, &dtd)
+                    .unwrap_or_else(|e| panic!("rewrite failed for {q}: {e}"));
+                let via_interp = interp_flux(&flux, &dtd, &doc)
+                    .unwrap_or_else(|e| panic!("interp failed for {q}\nplan {flux}\ndoc {doc_src}\n{e}"));
+                assert_eq!(via_interp, reference, "interp≠eval\nquery {q}\nplan {flux}\ndoc {doc_src}");
+                let run = run_streaming(&flux, &dtd, doc_src.as_bytes())
+                    .unwrap_or_else(|e| panic!("engine failed for {q}\nplan {flux}\ndoc {doc_src}\n{e}"));
+                assert_eq!(run.output, reference, "engine≠eval\nquery {q}\nplan {flux}\ndoc {doc_src}");
+                assert_eq!(run.stats.final_buffer_bytes, 0, "buffer leak in {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn baselines_agree_with_reference() {
+    let dtd = Dtd::parse(TEST_DTD).unwrap();
+    for seed in 0..4u64 {
+        let root = random_doc(&dtd, seed);
+        let doc_src = root.to_xml();
+        let doc = wrap_document(root);
+        for q in QUERIES {
+            let query = parse_xquery(q).unwrap();
+            let reference = eval_query(&query, &doc).unwrap();
+            for mode in [ProjectionMode::Paths, ProjectionMode::None] {
+                let engine = DomEngine { projection: mode, memory_cap: None };
+                let out = engine.run(&query, doc_src.as_bytes()).unwrap();
+                assert_eq!(out.output, reference, "mode {mode:?}, query {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_passes_preserve_semantics() {
+    use flux::core::opt::{hoist::hoist_ifs, merge::merge_singleton_loops, share::share_singletons};
+    use flux::query::normalize;
+    let dtd = Dtd::parse(TEST_DTD).unwrap();
+    for seed in 0..4u64 {
+        let root = random_doc(&dtd, seed);
+        let doc = wrap_document(root);
+        for q in QUERIES {
+            let query = parse_xquery(q).unwrap();
+            let reference = eval_query(&query, &doc).unwrap();
+            let n = normalize(&query);
+            assert_eq!(eval_query(&n, &doc).unwrap(), reference, "normalize changed {q}");
+            let shared = share_singletons(&n, &dtd);
+            assert_eq!(eval_query(&shared, &doc).unwrap(), reference, "share changed {q}");
+            let merged = merge_singleton_loops(&shared, &dtd);
+            assert_eq!(eval_query(&merged, &doc).unwrap(), reference, "merge changed {q}");
+            let hoisted = hoist_ifs(&merged);
+            assert_eq!(eval_query(&hoisted, &doc).unwrap(), reference, "hoist changed {q}");
+        }
+    }
+}

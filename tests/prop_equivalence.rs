@@ -1,0 +1,60 @@
+//! Property-based validation of Theorem 4.3 and the engine: for random
+//! valid documents and random (schema-aware) queries, the rewritten FluX
+//! plan — executed by the tree interpreter and by the streaming engine —
+//! agrees with the direct XQuery− evaluation.
+
+mod common;
+
+use common::{random_doc, random_query, TEST_DTD, TEST_DTD_WEAK};
+use flux::core::{check_safety, interp_flux, rewrite_query};
+use flux::dtd::Dtd;
+use flux::engine::run_streaming;
+use flux::query::eval::{eval_query, wrap_document};
+use proptest::prelude::*;
+
+fn check_one(dtd: &Dtd, doc_seed: u64, query_seed: u64) {
+    let root = random_doc(dtd, doc_seed);
+    let doc_src = root.to_xml();
+    let doc = wrap_document(root);
+    let query = random_query(dtd, query_seed);
+
+    let reference = match eval_query(&query, &doc) {
+        Ok(r) => r,
+        Err(e) => panic!("reference eval failed: {e}\nquery {query}"),
+    };
+    let flux = rewrite_query(&query, dtd)
+        .unwrap_or_else(|e| panic!("rewrite failed: {e}\nquery {query}"));
+    check_safety(&flux, dtd)
+        .unwrap_or_else(|v| panic!("unsafe plan: {v}\nquery {query}\nplan {flux}"));
+
+    let via_interp = interp_flux(&flux, dtd, &doc)
+        .unwrap_or_else(|e| panic!("interp failed: {e}\nquery {query}\nplan {flux}"));
+    assert_eq!(
+        via_interp, reference,
+        "interp ≠ reference\nquery {query}\nplan {flux}\ndoc {doc_src}"
+    );
+
+    let run = run_streaming(&flux, dtd, doc_src.as_bytes())
+        .unwrap_or_else(|e| panic!("engine failed: {e}\nquery {query}\nplan {flux}\ndoc {doc_src}"));
+    assert_eq!(
+        run.output, reference,
+        "engine ≠ reference\nquery {query}\nplan {flux}\ndoc {doc_src}"
+    );
+    assert_eq!(run.stats.final_buffer_bytes, 0, "buffer leak\nquery {query}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rewrite_is_equivalent_on_ordered_dtd(doc_seed in 0u64..10_000, query_seed in 0u64..10_000) {
+        let dtd = Dtd::parse(TEST_DTD).unwrap();
+        check_one(&dtd, doc_seed, query_seed);
+    }
+
+    #[test]
+    fn rewrite_is_equivalent_on_weak_dtd(doc_seed in 0u64..10_000, query_seed in 0u64..10_000) {
+        let dtd = Dtd::parse(TEST_DTD_WEAK).unwrap();
+        check_one(&dtd, doc_seed, query_seed);
+    }
+}

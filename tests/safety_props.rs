@@ -1,0 +1,102 @@
+//! Properties of the static analyses: rewrite output is always safe
+//! (Theorem 4.3), normalization is idempotent, unique-result and linear
+//! (Theorem 4.1), and printing round-trips through the parsers.
+
+mod common;
+
+use common::{canon, canon_flux, random_query, TEST_DTD, TEST_DTD_WEAK};
+use flux::core::{check_safety, parse_flux, rewrite_query};
+use flux::dtd::Dtd;
+use flux::query::{is_normal_form, normalize_with_stats, parse_xquery};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rewrite_output_is_always_safe(query_seed in 0u64..100_000, weak in proptest::bool::ANY) {
+        let dtd = Dtd::parse(if weak { TEST_DTD_WEAK } else { TEST_DTD }).unwrap();
+        let query = random_query(&dtd, query_seed);
+        let flux = rewrite_query(&query, &dtd).unwrap();
+        check_safety(&flux, &dtd).unwrap();
+    }
+
+    #[test]
+    fn normalization_theorem_4_1(query_seed in 0u64..100_000) {
+        let dtd = Dtd::parse(TEST_DTD).unwrap();
+        let query = random_query(&dtd, query_seed);
+        let (n, stats) = normalize_with_stats(&query);
+        prop_assert!(is_normal_form(&n), "not normal: {n}");
+        // Idempotent with zero further rule applications (unique result).
+        let (n2, stats2) = normalize_with_stats(&n);
+        prop_assert_eq!(&n, &n2);
+        prop_assert_eq!(stats2.total(), 0);
+        // Linear in |Q| (a generous constant; the bound is the point).
+        prop_assert!(
+            stats.total() <= 8 * query.size() + 8,
+            "{} rule applications for |Q| = {}",
+            stats.total(),
+            query.size()
+        );
+    }
+
+    #[test]
+    fn printing_roundtrips(query_seed in 0u64..100_000) {
+        let dtd = Dtd::parse(TEST_DTD).unwrap();
+        let query = random_query(&dtd, query_seed);
+        let printed = query.to_string();
+        let back = parse_xquery(&printed).unwrap();
+        // Adjacent fixed strings merge in the concrete syntax; compare the
+        // canonical forms (output-equivalent by construction).
+        prop_assert_eq!(canon(&back), canon(&query), "printed: {}", printed);
+        // FluX plans round-trip through their parser too.
+        let flux = rewrite_query(&query, &dtd).unwrap();
+        let fprinted = flux.to_string();
+        let fback = parse_flux(&fprinted).unwrap();
+        prop_assert_eq!(canon_flux(&fback), canon_flux(&flux), "printed plan: {}", fprinted);
+    }
+}
+
+#[test]
+fn tampered_plans_are_caught() {
+    // Take a correct plan and weaken its past set: the checker must object.
+    let dtd = Dtd::parse(
+        "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+         <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>",
+    )
+    .unwrap();
+    let good = parse_flux(
+        "{ ps $ROOT: on bib as $bib return { ps $bib: on book as $b return \
+           { ps $b: on-first past(author,title) return \
+             { for $a in $b/author return {$a} } } } }",
+    )
+    .unwrap();
+    check_safety(&good, &dtd).unwrap();
+    let bad = parse_flux(
+        "{ ps $ROOT: on bib as $bib return { ps $bib: on book as $b return \
+           { ps $b: on-first past(title) return \
+             { for $a in $b/author return {$a} } } } }",
+    )
+    .unwrap();
+    let err = check_safety(&bad, &dtd).unwrap_err();
+    assert!(err.message.contains("author"), "{err}");
+}
+
+#[test]
+fn engine_refuses_unsafe_plans() {
+    let dtd = Dtd::parse(
+        "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+         <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>",
+    )
+    .unwrap();
+    let bad = parse_flux(
+        "{ ps $ROOT: on bib as $bib return { ps $bib: on book as $b return \
+           { ps $b: on-first past(title) return { for $a in $b/author return {$a} } } } }",
+    )
+    .unwrap();
+    let err = match flux::engine::CompiledQuery::compile(&bad, &dtd) {
+        Err(e) => e,
+        Ok(_) => panic!("unsafe plan compiled"),
+    };
+    assert!(matches!(err, flux::engine::EngineError::Unsafe(_)), "{err}");
+}

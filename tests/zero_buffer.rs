@@ -1,0 +1,109 @@
+//! The zero-buffer guarantee: queries whose plans contain only streaming
+//! handlers must report exactly 0 bytes of peak buffer memory, no captures
+//! and no buffer instances — the property behind the `0` cells of Figure 4.
+
+use flux::core::rewrite_query;
+use flux::dtd::Dtd;
+use flux::engine::run_streaming;
+use flux::query::parse_xquery;
+
+const DTD: &str = "<!ELEMENT catalog (vendor*)>\
+<!ELEMENT vendor (vendor_id,name,product*)>\
+<!ELEMENT product (code,price,stock)>\
+<!ELEMENT vendor_id (#PCDATA)><!ELEMENT name (#PCDATA)><!ELEMENT code (#PCDATA)>\
+<!ELEMENT price (#PCDATA)><!ELEMENT stock (#PCDATA)>";
+
+fn doc(vendors: usize) -> String {
+    let mut out = String::from("<catalog>");
+    for v in 0..vendors {
+        out.push_str(&format!("<vendor><vendor_id>v{v}</vendor_id><name>vendor {v}</name>"));
+        for p in 0..3 {
+            out.push_str(&format!(
+                "<product><code>c{v}-{p}</code><price>{}</price><stock>{}</stock></product>",
+                10 * (p + 1),
+                v + p
+            ));
+        }
+        out.push_str("</vendor>");
+    }
+    out.push_str("</catalog>");
+    out
+}
+
+#[track_caller]
+fn run(q: &str, input: &str) -> flux::engine::RunStats {
+    let dtd = Dtd::parse(DTD).unwrap();
+    let query = parse_xquery(q).unwrap();
+    let flux = rewrite_query(&query, &dtd).unwrap();
+    run_streaming(&flux, &dtd, input.as_bytes()).unwrap().stats
+}
+
+#[test]
+fn forward_projections_never_buffer() {
+    let input = doc(50);
+    for q in [
+        "<out>{ for $v in /catalog/vendor return {$v/name} }</out>",
+        "<out>{ for $v in /catalog/vendor return <v> {$v/vendor_id} {$v/name} </v> }</out>",
+        "<out>{ for $p in /catalog/vendor/product return {$p/code} {$p/price} }</out>",
+        "{ $ROOT/catalog/vendor/name }",
+        "<count>{ for $p in /catalog/vendor/product return <p/> }</count>",
+    ] {
+        let stats = run(q, &input);
+        assert_eq!(stats.peak_buffer_bytes, 0, "query: {q}");
+        assert_eq!(stats.captures, 0, "query: {q}");
+        assert_eq!(stats.buffers_created, 0, "query: {q}");
+    }
+}
+
+#[test]
+fn id_filter_streams_via_flags() {
+    // vendor_id precedes name: the filter costs a flag, not a buffer.
+    let input = doc(50);
+    let stats = run(
+        "<hit>{ for $v in /catalog/vendor where $v/vendor_id = 'v7' return {$v/name} }</hit>",
+        &input,
+    );
+    assert_eq!(stats.peak_buffer_bytes, 0);
+}
+
+#[test]
+fn peak_is_independent_of_document_length_for_streaming_queries() {
+    let q = "<out>{ for $v in /catalog/vendor return {$v/name} }</out>";
+    let small = run(q, &doc(5));
+    let large = run(q, &doc(500));
+    assert_eq!(small.peak_buffer_bytes, 0);
+    assert_eq!(large.peak_buffer_bytes, 0);
+    assert!(large.events > 50 * small.events.min(u64::MAX / 50), "large doc really is larger");
+}
+
+#[test]
+fn backward_reference_buffers_but_stays_bounded() {
+    // name is *before* the products: listing products per vendor name
+    // requires buffering the name only — one small value per vendor,
+    // regardless of document length.
+    let q = "<out>{ for $v in /catalog/vendor return \
+               { for $p in $v/product return <pair> {$v/name} {$p/code} </pair> } }</out>";
+    let small = run(q, &doc(10));
+    let large = run(q, &doc(1000));
+    assert!(small.peak_buffer_bytes > 0);
+    // Peak does not grow with the number of vendors (buffers are freed per
+    // vendor scope): allow only name-length jitter.
+    assert!(
+        large.peak_buffer_bytes <= small.peak_buffer_bytes + 8,
+        "small {} vs large {}",
+        small.peak_buffer_bytes,
+        large.peak_buffer_bytes
+    );
+}
+
+#[test]
+fn final_buffer_bytes_always_zero() {
+    let input = doc(20);
+    for q in [
+        "<out>{ for $v in /catalog/vendor return {$v} }</out>",
+        "<out>{ for $v in /catalog/vendor return { for $p in $v/product return {$v/name} } }</out>",
+    ] {
+        let stats = run(q, &input);
+        assert_eq!(stats.final_buffer_bytes, 0, "query: {q}");
+    }
+}
