@@ -22,7 +22,7 @@ pub mod dom_engine;
 pub mod mem;
 pub mod projection;
 
-pub use dom_engine::{BaselineError, DomEngine, DomOutcome, DomStats};
+pub use dom_engine::{BaselineError, DomEngine, DomOutcome, DomStats, PreparedDomQuery};
 pub use projection::{projection_spec, ProjSpec};
 
 /// Projection behaviour of the DOM engine.

@@ -55,7 +55,11 @@ pub fn projection_spec(q: &Expr) -> ProjSpec {
     spec
 }
 
-fn abs_path(env: &HashMap<String, Vec<String>>, var: &str, steps: &[String]) -> Option<Vec<String>> {
+fn abs_path(
+    env: &HashMap<String, Vec<String>>,
+    var: &str,
+    steps: &[String],
+) -> Option<Vec<String>> {
     let mut p = env.get(var)?.clone();
     p.extend(steps.iter().cloned());
     Some(p)

@@ -2,40 +2,28 @@
 //! are scheduled against the real XMark DTD (Q1/Q13 stream, zero buffers)
 //! and against an order-free weakening (everything is `(…)*`, so the
 //! scheduler must buffer) — the paper's Section 1 motivation, measured.
+//! Plans are prepared once per (query, DTD); the loop times execution only.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux::Engine;
+use flux_bench::micro::bench;
 use flux_bench::XMARK_DTD_WEAK;
-use flux_core::rewrite_query;
-use flux_dtd::Dtd;
-use flux_engine::CompiledQuery;
-use flux_query::parse_xquery;
 use flux_xmark::{generate_string, XmarkConfig, Q1, Q13, XMARK_DTD};
 use flux_xml::writer::NullSink;
 
-fn dtd_ablation(c: &mut Criterion) {
-    let strong = Dtd::parse(XMARK_DTD).unwrap();
-    let weak = Dtd::parse(XMARK_DTD_WEAK).unwrap();
+fn main() {
+    let strong = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    let weak = Engine::builder().dtd_str(XMARK_DTD_WEAK).build().unwrap();
     let (doc, _) = generate_string(&XmarkConfig::new(256 << 10));
 
-    let mut group = c.benchmark_group("dtd_ablation");
-    group.sample_size(10);
     for (name, src) in [("Q1", Q1), ("Q13", Q13)] {
-        let query = parse_xquery(src).unwrap();
-        for (dtd_name, dtd) in [("strong", &strong), ("weak", &weak)] {
-            let flux = rewrite_query(&query, dtd).unwrap();
-            let compiled = CompiledQuery::compile(&flux, dtd).unwrap();
+        for (dtd_name, engine) in [("strong", &strong), ("weak", &weak)] {
+            let prepared = engine.prepare(src).unwrap();
             // Report the buffering difference once, outside the timing loop.
-            let stats = compiled.run(doc.as_bytes(), NullSink::default()).unwrap();
+            let stats = prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap();
             eprintln!("{name}/{dtd_name}: peak buffer = {} bytes", stats.peak_buffer_bytes);
-            group.bench_with_input(
-                BenchmarkId::new(name, dtd_name),
-                &doc,
-                |b, doc| b.iter(|| compiled.run(doc.as_bytes(), NullSink::default()).unwrap()),
-            );
+            bench(&format!("dtd_ablation/{name}/{dtd_name}"), || {
+                prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap();
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, dtd_ablation);
-criterion_main!(benches);

@@ -1,36 +1,30 @@
 //! Micro-scale Figure 4: every paper query on small XMark documents,
 //! FluX vs the projected DOM baseline. The full-scale table is produced by
 //! the `figure4` binary; this bench tracks the same shape continuously.
+//!
+//! Every query is prepared ONCE, outside the timed region — the numbers
+//! measure execution, not re-planning.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux::Engine;
 use flux_baseline::{DomEngine, ProjectionMode};
-use flux_core::rewrite_query;
-use flux_dtd::Dtd;
-use flux_engine::CompiledQuery;
+use flux_bench::micro::bench;
 use flux_query::parse_xquery;
 use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
 use flux_xml::writer::NullSink;
 
-fn figure4_micro(c: &mut Criterion) {
-    let dtd = Dtd::parse(XMARK_DTD).unwrap();
+fn main() {
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
     let (doc, _) = generate_string(&XmarkConfig::new(256 << 10));
 
-    let mut group = c.benchmark_group("figure4_micro");
-    group.sample_size(10);
     for q in PAPER_QUERIES {
-        let query = parse_xquery(q.source).unwrap();
-        let flux = rewrite_query(&query, &dtd).unwrap();
-        let compiled = CompiledQuery::compile(&flux, &dtd).unwrap();
-        group.bench_with_input(BenchmarkId::new("flux", q.name), &doc, |b, doc| {
-            b.iter(|| compiled.run(doc.as_bytes(), NullSink::default()).unwrap());
+        let prepared = engine.prepare(q.source).unwrap();
+        bench(&format!("figure4_micro/flux/{}", q.name), || {
+            prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap();
         });
-        let dom = DomEngine { projection: ProjectionMode::Paths, memory_cap: None };
-        group.bench_with_input(BenchmarkId::new("galax-sim", q.name), &doc, |b, doc| {
-            b.iter(|| dom.run_to(&query, doc.as_bytes(), NullSink::default()).unwrap());
+        let query = parse_xquery(q.source).unwrap();
+        let dom = DomEngine { projection: ProjectionMode::Paths, memory_cap: None }.prepare(&query);
+        bench(&format!("figure4_micro/galax-sim/{}", q.name), || {
+            dom.run_to(doc.as_bytes(), NullSink::default()).unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, figure4_micro);
-criterion_main!(benches);

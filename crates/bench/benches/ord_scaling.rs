@@ -2,7 +2,7 @@
 //! models of growing size and time Glushkov construction + constraint
 //! computation; the curve should stay (sub-)quadratic.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_bench::micro::bench;
 use flux_dtd::constraints::Constraints;
 use flux_dtd::parser::parse_content_regex;
 use flux_dtd::Glushkov;
@@ -23,21 +23,13 @@ fn model(n: usize) -> String {
     format!("({})", parts.join(","))
 }
 
-fn ord_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ord_scaling");
-    group.sample_size(10);
+fn main() {
     for n in [8usize, 16, 32, 64, 128] {
         let src = model(n);
         let re = parse_content_regex(&src).unwrap();
-        group.bench_with_input(BenchmarkId::new("glushkov_and_ord", n), &re, |b, re| {
-            b.iter(|| {
-                let g = Glushkov::build(re).unwrap();
-                Constraints::compute(&g)
-            });
+        bench(&format!("ord_scaling/glushkov_and_ord/{n}"), || {
+            let g = Glushkov::build(&re).unwrap();
+            Constraints::compute(&g);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, ord_scaling);
-criterion_main!(benches);

@@ -1,29 +1,29 @@
 //! Ablation of the baseline's projection ([14]): DOM with vs without path
 //! projection — the optimization the paper's Galax baseline ran with.
+//! Projection analysis happens once, at preparation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flux_baseline::{DomEngine, ProjectionMode};
+use flux_bench::micro::bench;
 use flux_query::parse_xquery;
 use flux_xmark::{generate_string, XmarkConfig, Q1, Q13};
 use flux_xml::writer::NullSink;
 
-fn projection_ablation(c: &mut Criterion) {
+fn main() {
     let (doc, _) = generate_string(&XmarkConfig::new(256 << 10));
-    let mut group = c.benchmark_group("projection_ablation");
-    group.sample_size(10);
     for (name, src) in [("Q1", Q1), ("Q13", Q13)] {
         let query = parse_xquery(src).unwrap();
-        for (mode_name, mode) in [("projected", ProjectionMode::Paths), ("full", ProjectionMode::None)] {
-            let engine = DomEngine { projection: mode, memory_cap: None };
-            let stats = engine.run_to(&query, doc.as_bytes(), NullSink::default()).unwrap();
-            eprintln!("{name}/{mode_name}: tree = {} bytes, {} nodes", stats.tree_bytes, stats.nodes);
-            group.bench_with_input(BenchmarkId::new(name, mode_name), &doc, |b, doc| {
-                b.iter(|| engine.run_to(&query, doc.as_bytes(), NullSink::default()).unwrap());
+        for (mode_name, mode) in
+            [("projected", ProjectionMode::Paths), ("full", ProjectionMode::None)]
+        {
+            let prepared = DomEngine { projection: mode, memory_cap: None }.prepare(&query);
+            let stats = prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap();
+            eprintln!(
+                "{name}/{mode_name}: tree = {} bytes, {} nodes",
+                stats.tree_bytes, stats.nodes
+            );
+            bench(&format!("projection_ablation/{name}/{mode_name}"), || {
+                prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap();
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, projection_ablation);
-criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! measurable effect is plan size and per-event cursor work; this bench
 //! tracks plan construction cost and the node-count difference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_bench::micro::bench;
 use flux_engine::bufplan::{pi, BufferTree, Mark};
 use flux_query::parse_xquery;
 
@@ -28,21 +28,15 @@ fn trees(prune: bool) -> usize {
     tree.node_count()
 }
 
-fn pruning_ablation(c: &mut Criterion) {
+fn main() {
     let pruned = trees(true);
     let unpruned = trees(false);
     eprintln!("buffer tree nodes: pruned = {pruned}, unpruned = {unpruned}");
     assert!(pruned < unpruned, "pruning must shrink the plan");
 
-    let mut group = c.benchmark_group("pruning_ablation");
-    group.sample_size(20);
     for (name, prune) in [("pruned", true), ("unpruned", false)] {
-        group.bench_with_input(BenchmarkId::new("plan_build", name), &prune, |b, &p| {
-            b.iter(|| trees(p));
+        bench(&format!("pruning_ablation/plan_build/{name}"), || {
+            trees(prune);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, pruning_ablation);
-criterion_main!(benches);

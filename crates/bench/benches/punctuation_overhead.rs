@@ -5,7 +5,7 @@
 //! (the DFA transitions), and (c) parsing + validation + a `first-past`
 //! lookup per transition — the increments should be small and flat.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flux_bench::micro::bench;
 use flux_dtd::past::{Matcher, PastTable};
 use flux_dtd::Dtd;
 use flux_xmark::{generate_string, XmarkConfig, XMARK_DTD};
@@ -64,16 +64,16 @@ fn validate(doc: &str, dtd: &Dtd, with_past: bool) -> u64 {
     fired
 }
 
-fn punctuation_overhead(c: &mut Criterion) {
+fn main() {
     let dtd = Dtd::parse(XMARK_DTD).unwrap();
     let (doc, _) = generate_string(&XmarkConfig::new(512 << 10));
-    let mut group = c.benchmark_group("punctuation_overhead");
-    group.sample_size(10);
-    group.bench_function("parse_only", |b| b.iter(|| drain(&doc)));
-    group.bench_function("parse_validate", |b| b.iter(|| validate(&doc, &dtd, false)));
-    group.bench_function("parse_validate_past", |b| b.iter(|| validate(&doc, &dtd, true)));
-    group.finish();
+    bench("punctuation_overhead/parse_only", || {
+        drain(&doc);
+    });
+    bench("punctuation_overhead/parse_validate", || {
+        validate(&doc, &dtd, false);
+    });
+    bench("punctuation_overhead/parse_validate_past", || {
+        validate(&doc, &dtd, true);
+    });
 }
-
-criterion_group!(benches, punctuation_overhead);
-criterion_main!(benches);

@@ -16,10 +16,9 @@ use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::exit;
 
+use flux::Engine;
 use flux_baseline::{DomEngine, ProjectionMode};
-use flux_core::rewrite_query;
 use flux_dtd::Dtd;
-use flux_engine::CompiledQuery;
 use flux_query::parse_xquery;
 
 struct Args {
@@ -95,12 +94,14 @@ fn main() {
     };
     let query = parse_xquery(&query_src).unwrap_or_else(|e| die("parsing query", e));
 
-    let plan = rewrite_query(&query, &dtd).unwrap_or_else(|e| die("scheduling query", e));
-    let compiled = CompiledQuery::compile(&plan, &dtd).unwrap_or_else(|e| die("compiling plan", e));
+    // Prepare once (parse → schedule → safety check → buffer plan); every
+    // execution below reuses this compilation.
+    let engine = Engine::new(dtd);
+    let prepared = engine.prepare_expr(&query).unwrap_or_else(|e| die("scheduling query", e));
 
     if args.explain {
-        println!("FluX plan:\n  {plan}\n");
-        let buffers = compiled.buffer_plan();
+        println!("FluX plan:\n  {}\n", prepared.plan());
+        let buffers = prepared.buffer_plan();
         if buffers.is_empty() {
             println!("buffers: none — the query streams in constant memory");
         } else {
@@ -119,9 +120,10 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     if args.dom {
-        let engine = DomEngine { projection: ProjectionMode::Paths, memory_cap: None };
-        let stats = engine
-            .run_to(&query, input, &mut out)
+        let dom = DomEngine { projection: ProjectionMode::Paths, memory_cap: None };
+        let stats = dom
+            .prepare(&query)
+            .run_to(input, &mut out)
             .unwrap_or_else(|e| die("evaluating (DOM)", e));
         out.write_all(b"\n").ok();
         if args.stats {
@@ -132,7 +134,7 @@ fn main() {
         }
     } else {
         let stats =
-            compiled.run(input, &mut out).unwrap_or_else(|e| die("evaluating (streaming)", e));
+            prepared.run_to(input, &mut out).unwrap_or_else(|e| die("evaluating (streaming)", e));
         out.write_all(b"\n").ok();
         if args.stats {
             eprintln!(

@@ -14,9 +14,10 @@
 //! ```
 
 pub mod harness;
+pub mod micro;
 pub mod report;
 
-pub use harness::{dataset, run_cell, Dataset, EngineKind, EngineRun};
+pub use harness::{dataset, prepare_cell, run_cell, Dataset, EngineKind, EngineRun, PreparedCell};
 pub use report::{format_figure4, Row};
 
 /// A weakened XMark DTD for the schema-information ablation: the per-entity

@@ -1,0 +1,89 @@
+//! A minimal micro-benchmark runner (criterion is unavailable offline).
+//!
+//! Bench binaries are `harness = false`: each has a `main` that prepares
+//! its queries **once** and then times execution only, reporting
+//! min/median/mean over a fixed number of samples. Sample count can be
+//! overridden with `FLUX_BENCH_SAMPLES`; `FLUX_BENCH_FAST=1` drops to a
+//! single sample (used to smoke-test the bench binaries in CI).
+
+use std::time::{Duration, Instant};
+
+/// Samples per measurement (default 10, always at least 1). An explicit
+/// `FLUX_BENCH_SAMPLES` wins over `FLUX_BENCH_FAST`.
+pub fn samples() -> usize {
+    if let Some(n) = std::env::var("FLUX_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()) {
+        return 1usize.max(n);
+    }
+    if std::env::var_os("FLUX_BENCH_FAST").is_some() {
+        return 1;
+    }
+    10
+}
+
+/// One measured routine's timings.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Measurement label (`group/name` by convention).
+    pub label: String,
+    /// Per-sample wall-clock times, sorted ascending.
+    pub sorted: Vec<Duration>,
+}
+
+impl Timing {
+    /// Fastest sample — the least noisy single-machine statistic.
+    pub fn min(&self) -> Duration {
+        self.sorted[0]
+    }
+
+    /// Middle sample.
+    pub fn median(&self) -> Duration {
+        self.sorted[self.sorted.len() / 2]
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Duration {
+        self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
+    }
+}
+
+/// Time `f` (execution only — do all preparation before calling this),
+/// print one line, and return the timings.
+pub fn bench<F: FnMut()>(label: &str, mut f: F) -> Timing {
+    // One untimed warmup to populate caches and page in the data.
+    f();
+    let n = samples();
+    let mut sorted: Vec<Duration> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    sorted.sort_unstable();
+    let t = Timing { label: label.to_string(), sorted };
+    println!(
+        "{:<44} min {:>10.2?}   median {:>10.2?}   mean {:>10.2?}   ({} samples)",
+        t.label,
+        t.min(),
+        t.median(),
+        t.mean(),
+        n
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("FLUX_BENCH_SAMPLES", "3");
+        let mut runs = 0u32;
+        let t = bench("test/noop", || runs += 1);
+        std::env::remove_var("FLUX_BENCH_SAMPLES");
+        assert_eq!(runs, 4, "warmup + samples");
+        assert_eq!(t.sorted.len(), 3);
+        assert!(t.min() <= t.median() && t.median() <= *t.sorted.last().unwrap());
+    }
+}

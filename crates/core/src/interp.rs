@@ -16,7 +16,7 @@ use flux_dtd::past::{Matcher, PastTable};
 use flux_dtd::Dtd;
 use flux_query::eval::{eval_expr, Env, EvalError};
 use flux_query::ROOT_VAR;
-use flux_xml::{Node, Writer};
+use flux_xml::{Node, Sink, Writer};
 
 use crate::flux::{production_of, FluxExpr, Handler};
 
@@ -59,11 +59,11 @@ pub fn interp_flux(q: &FluxExpr, dtd: &Dtd, doc: &Node) -> Result<String, Interp
     Ok(String::from_utf8(bytes).expect("writer emits UTF-8"))
 }
 
-fn eval_flux<'t, W: std::io::Write>(
+fn eval_flux<'t, S: Sink>(
     q: &FluxExpr,
     dtd: &Dtd,
     env: &mut Env<'t>,
-    w: &mut Writer<W>,
+    w: &mut Writer<S>,
 ) -> Result<(), InterpError> {
     match q {
         FluxExpr::Simple(e) => Ok(eval_expr(e, env, w)?),
@@ -80,12 +80,12 @@ fn eval_flux<'t, W: std::io::Write>(
     }
 }
 
-fn run_ps<'t, W: std::io::Write>(
+fn run_ps<'t, S: Sink>(
     var: &str,
     handlers: &[Handler],
     dtd: &Dtd,
     env: &mut Env<'t>,
-    w: &mut Writer<W>,
+    w: &mut Writer<S>,
 ) -> Result<(), InterpError> {
     let node: &'t Node = env.get(var)?;
     let prod = production_of(dtd, &node.name)
@@ -141,9 +141,7 @@ fn run_ps<'t, W: std::io::Write>(
             }
         }
     }
-    matcher
-        .finish()
-        .map_err(|m| InterpError::Validation(format!("under <{}>: {m}", node.name)))?;
+    matcher.finish().map_err(|m| InterpError::Validation(format!("under <{}>: {m}", node.name)))?;
 
     // i = n+1: unfired on-first handlers fire now.
     for (idx, h) in handlers.iter().enumerate() {
@@ -241,10 +239,9 @@ mod tests {
     fn invalid_document_reported() {
         // The interpreter validates every scope it opens: <bib> requires
         // exactly one <book>, so an empty bib fails at scope end.
-        let q = parse_flux(
-            "{ ps $ROOT: on bib as $b return { ps $b: on book as $k return {$k} } }",
-        )
-        .unwrap();
+        let q =
+            parse_flux("{ ps $ROOT: on bib as $b return { ps $b: on book as $k return {$k} } }")
+                .unwrap();
         let dtd = Dtd::parse("<!ELEMENT bib (book)><!ELEMENT book (#PCDATA)>").unwrap();
         let doc = wrap_document(Node::parse_str("<bib></bib>").unwrap());
         let err = interp_flux(&q, &dtd, &doc).unwrap_err();
@@ -278,12 +275,16 @@ mod tests {
         // child; ζ order decides the output order.
         let dtd = Dtd::parse("<!ELEMENT bib (book)><!ELEMENT book (#PCDATA)>").unwrap();
         let doc = wrap_document(Node::parse_str("<bib><book>x</book></bib>").unwrap());
-        let q1 = parse_flux("{ ps $ROOT: on bib as $b return \
-            { ps $b: on-first past(book) return <after/>; on book as $k return {$k} } }")
+        let q1 = parse_flux(
+            "{ ps $ROOT: on bib as $b return \
+            { ps $b: on-first past(book) return <after/>; on book as $k return {$k} } }",
+        )
         .unwrap();
         assert_eq!(interp_flux(&q1, &dtd, &doc).unwrap(), "<after/><book>x</book>");
-        let q2 = parse_flux("{ ps $ROOT: on bib as $b return \
-            { ps $b: on book as $k return {$k}; on-first past(book) return <after/> } }")
+        let q2 = parse_flux(
+            "{ ps $ROOT: on bib as $b return \
+            { ps $b: on book as $k return {$k}; on-first past(book) return <after/> } }",
+        )
         .unwrap();
         assert_eq!(interp_flux(&q2, &dtd, &doc).unwrap(), "<book>x</book><after/>");
     }

@@ -43,9 +43,7 @@ fn go(e: &Expr, dtd: &Dtd, var_elem: &mut HashMap<String, String>) -> Expr {
             Expr::seq(out)
         }
         Expr::For { var, in_var, path, pred, body } => {
-            let prev = path
-                .single()
-                .map(|s| var_elem.insert(var.clone(), s.to_string()));
+            let prev = path.single().map(|s| var_elem.insert(var.clone(), s.to_string()));
             let new_body = go(body, dtd, var_elem);
             if let Some(prev) = prev {
                 match prev {

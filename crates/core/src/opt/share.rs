@@ -46,9 +46,11 @@ impl Scope<'_> {
 
 fn go(e: &Expr, scope: &mut Scope<'_>) -> Expr {
     match e {
-        Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } | Expr::OutputPath { .. } | Expr::If { .. } => {
-            e.clone()
-        }
+        Expr::Empty
+        | Expr::Str(_)
+        | Expr::OutputVar { .. }
+        | Expr::OutputPath { .. }
+        | Expr::If { .. } => e.clone(),
         Expr::Seq(items) => Expr::seq(items.iter().map(|i| go(i, scope)).collect::<Vec<_>>()),
         Expr::For { var, in_var, path, pred, body } => {
             let step = path.single();
@@ -66,9 +68,7 @@ fn go(e: &Expr, scope: &mut Scope<'_>) -> Expr {
             }
             // Otherwise descend, registering this binding for the body.
             let key = step.map(|s| (in_var.clone(), s.to_string()));
-            let prev_binding = key
-                .as_ref()
-                .map(|k| scope.bindings.insert(k.clone(), var.clone()));
+            let prev_binding = key.as_ref().map(|k| scope.bindings.insert(k.clone(), var.clone()));
             let prev_elem = step.map(|s| scope.var_elem.insert(var.clone(), s.to_string()));
             let new_body = go(body, scope);
             if let (Some(k), Some(prev)) = (&key, prev_binding) {
@@ -107,18 +107,17 @@ fn go(e: &Expr, scope: &mut Scope<'_>) -> Expr {
 pub fn subst_var(e: &Expr, from: &str, to: &str) -> Expr {
     match e {
         Expr::Empty | Expr::Str(_) => e.clone(),
-        Expr::OutputVar { var } => Expr::OutputVar {
-            var: if var == from { to.to_string() } else { var.clone() },
-        },
+        Expr::OutputVar { var } => {
+            Expr::OutputVar { var: if var == from { to.to_string() } else { var.clone() } }
+        }
         Expr::OutputPath { var, path } => Expr::OutputPath {
             var: if var == from { to.to_string() } else { var.clone() },
             path: path.clone(),
         },
         Expr::Seq(items) => Expr::Seq(items.iter().map(|i| subst_var(i, from, to)).collect()),
-        Expr::If { cond, body } => Expr::If {
-            cond: subst_cond(cond, from, to),
-            body: Box::new(subst_var(body, from, to)),
-        },
+        Expr::If { cond, body } => {
+            Expr::If { cond: subst_cond(cond, from, to), body: Box::new(subst_var(body, from, to)) }
+        }
         Expr::For { var, in_var, path, pred, body } => {
             let new_in = if in_var == from { to.to_string() } else { in_var.clone() };
             if var == from {
@@ -152,14 +151,12 @@ fn subst_cond(c: &flux_query::Cond, from: &str, to: &str) -> flux_query::Cond {
     };
     match c {
         Cond::True => Cond::True,
-        Cond::And(a, b) => Cond::And(
-            Box::new(subst_cond(a, from, to)),
-            Box::new(subst_cond(b, from, to)),
-        ),
-        Cond::Or(a, b) => Cond::Or(
-            Box::new(subst_cond(a, from, to)),
-            Box::new(subst_cond(b, from, to)),
-        ),
+        Cond::And(a, b) => {
+            Cond::And(Box::new(subst_cond(a, from, to)), Box::new(subst_cond(b, from, to)))
+        }
+        Cond::Or(a, b) => {
+            Cond::Or(Box::new(subst_cond(a, from, to)), Box::new(subst_cond(b, from, to)))
+        }
         Cond::Not(x) => Cond::Not(Box::new(subst_cond(x, from, to))),
         Cond::Atom(Atom::Exists(p)) => Cond::Atom(Atom::Exists(fix(p))),
         Cond::Atom(Atom::Cmp { left, op, right }) => Cond::Atom(Atom::Cmp {

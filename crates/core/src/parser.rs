@@ -242,10 +242,13 @@ mod tests {
 
     #[test]
     fn past_variants() {
-        let q = parse_flux("{ ps $x: on-first past(*) return <a>; on-first past() return <b> }").unwrap();
+        let q = parse_flux("{ ps $x: on-first past(*) return <a>; on-first past() return <b> }")
+            .unwrap();
         let FluxExpr::PS { handlers, .. } = &q else { panic!() };
         assert!(matches!(&handlers[0], Handler::OnFirst { past: PastSpec::All, .. }));
-        assert!(matches!(&handlers[1], Handler::OnFirst { past: PastSpec::Set(s), .. } if s.is_empty()));
+        assert!(
+            matches!(&handlers[1], Handler::OnFirst { past: PastSpec::Set(s), .. } if s.is_empty())
+        );
     }
 
     #[test]
@@ -269,7 +272,10 @@ mod tests {
         assert!(parse_flux("{ ps $x: on-first return <a> }").is_err()); // missing past
         assert!(parse_flux("{ ps $x: }").is_err()); // no handlers
         assert!(parse_flux("{$a} { ps $x: on-first past() return <a> }").is_err()); // non-string around ps
-        assert!(parse_flux("{ps $x: on-first past() return <a>} {ps $y: on-first past() return <b>}").is_err());
+        assert!(parse_flux(
+            "{ps $x: on-first past() return <a>} {ps $y: on-first past() return <b>}"
+        )
+        .is_err());
     }
 
     #[test]

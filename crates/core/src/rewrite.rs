@@ -369,12 +369,11 @@ mod tests {
 
     #[test]
     fn handler_order_follows_query_order() {
-        let f = rw_ok(
-            "<results>{ for $b in $ROOT/bib/book return <r/> }</results>",
-            BIB_WEAK,
-        );
+        let f = rw_ok("<results>{ for $b in $ROOT/bib/book return <r/> }</results>", BIB_WEAK);
         let FluxExpr::PS { handlers, .. } = &f else { panic!() };
-        assert!(matches!(&handlers[0], Handler::OnFirst { expr, .. } if expr.to_string() == "<results>"));
+        assert!(
+            matches!(&handlers[0], Handler::OnFirst { expr, .. } if expr.to_string() == "<results>")
+        );
         assert!(matches!(&handlers[1], Handler::On { label, .. } if label == "bib"));
         let Handler::OnFirst { past: PastSpec::Set(s), expr } = &handlers[2] else { panic!() };
         assert_eq!(expr.to_string(), "</results>");

@@ -60,11 +60,8 @@ fn check(
     let prod = Some(prod);
 
     for (idx, h) in handlers.iter().enumerate() {
-        let violation = |message: String| SafetyViolation {
-            scope_var: y.clone(),
-            handler: idx,
-            message,
-        };
+        let violation =
+            |message: String| SafetyViolation { scope_var: y.clone(), handler: idx, message };
         match h {
             Handler::OnFirst { past, expr } => {
                 let s: Vec<String> = match prod {
@@ -319,11 +316,8 @@ mod tests {
 
     #[test]
     fn impossible_labels_are_vacuously_safe() {
-        check_str(
-            "{ ps $ROOT: on zzz as $z return { for $t in $z/title return {$t} } }",
-            BIB_WEAK,
-        )
-        .unwrap();
+        check_str("{ ps $ROOT: on zzz as $z return { for $t in $z/title return {$t} } }", BIB_WEAK)
+            .unwrap();
     }
 
     #[test]

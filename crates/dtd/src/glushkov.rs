@@ -23,7 +23,11 @@ pub struct Ambiguous {
 
 impl std::fmt::Display for Ambiguous {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "content model is not one-unambiguous: competing occurrences of `{}`", self.symbol)
+        write!(
+            f,
+            "content model is not one-unambiguous: competing occurrences of `{}`",
+            self.symbol
+        )
     }
 }
 

@@ -50,7 +50,11 @@ pub struct Production {
 }
 
 impl Production {
-    fn compile(name: String, model: ContentModel, all_names: &[String]) -> Result<Production, DtdError> {
+    fn compile(
+        name: String,
+        model: ContentModel,
+        all_names: &[String],
+    ) -> Result<Production, DtdError> {
         let regex = match &model {
             ContentModel::Children(r) => r.clone(),
             ContentModel::PcData | ContentModel::Empty => Regex::Empty,
@@ -214,9 +218,9 @@ impl Dtd {
                     models.push((sub, ContentModel::PcData));
                 }
             }
-            let idx = *by_name
-                .get(&elem)
-                .ok_or_else(|| DtdError::Parse(format!("ATTLIST for undeclared element `{elem}`")))?;
+            let idx = *by_name.get(&elem).ok_or_else(|| {
+                DtdError::Parse(format!("ATTLIST for undeclared element `{elem}`"))
+            })?;
             let merged = match &models[idx].1 {
                 ContentModel::Children(r) => {
                     prefix.push(r.clone());
@@ -232,9 +236,7 @@ impl Dtd {
                     // Keep it simple and faithful to XSAX: attrs first, text
                     // after; we approximate with Children(prefix) and Mixed
                     // text allowance via Mixed list.
-                    ContentModel::Mixed(
-                        attrs.iter().map(|(a, _)| format!("{elem}_{a}")).collect(),
-                    )
+                    ContentModel::Mixed(attrs.iter().map(|(a, _)| format!("{elem}_{a}")).collect())
                 }
                 ContentModel::Mixed(names) => {
                     let mut names = names.clone();
@@ -311,6 +313,17 @@ impl Dtd {
         self.index.get(name).map(|&i| &self.prods[i])
     }
 
+    /// Positional handle of an element's production (for compiled plans
+    /// that must not borrow the DTD; resolve with [`Dtd::production_at`]).
+    pub fn production_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolve a handle from [`Dtd::production_index`].
+    pub fn production_at(&self, idx: usize) -> &Production {
+        &self.prods[idx]
+    }
+
     /// All productions in declaration order.
     pub fn productions(&self) -> &[Production] {
         &self.prods
@@ -345,7 +358,8 @@ fn scan_declarations(src: &str) -> Result<Vec<Decl>, DtdError> {
             break;
         }
         if let Some(r) = rest.strip_prefix("<!--") {
-            let end = r.find("-->").ok_or_else(|| DtdError::Parse("unterminated comment".into()))?;
+            let end =
+                r.find("-->").ok_or_else(|| DtdError::Parse("unterminated comment".into()))?;
             rest = &r[end + 3..];
             continue;
         }
@@ -357,7 +371,8 @@ fn scan_declarations(src: &str) -> Result<Vec<Decl>, DtdError> {
         if !rest.starts_with("<!") {
             return Err(DtdError::Parse(format!("expected a declaration, found `{}`", head(rest))));
         }
-        let end = rest.find('>').ok_or_else(|| DtdError::Parse("unterminated declaration".into()))?;
+        let end =
+            rest.find('>').ok_or_else(|| DtdError::Parse("unterminated declaration".into()))?;
         let body = &rest[2..end];
         rest = &rest[end + 1..];
         if let Some(b) = body.strip_prefix("ELEMENT") {
@@ -428,7 +443,11 @@ pub fn parse_content_regex(src: &str) -> Result<Regex, String> {
     let re = p.alt()?;
     p.skip_ws();
     if p.pos != p.src.len() {
-        return Err(format!("trailing input in content model at byte {}: `{}`", p.pos, &src[p.pos..]));
+        return Err(format!(
+            "trailing input in content model at byte {}: `{}`",
+            p.pos,
+            &src[p.pos..]
+        ));
     }
     Ok(re)
 }
@@ -509,7 +528,11 @@ impl RegexParser<'_> {
                     .map_err(|_| "non-UTF8 name".to_string())?;
                 Ok(Regex::sym(name))
             }
-            other => Err(format!("unexpected {:?} at byte {} in content model", other.map(|c| c as char), self.pos)),
+            other => Err(format!(
+                "unexpected {:?} at byte {} in content model",
+                other.map(|c| c as char),
+                self.pos
+            )),
         }
     }
 }
@@ -520,17 +543,15 @@ fn is_name_byte(b: u8) -> bool {
 
 fn parse_attlist_decl(body: &str) -> Result<Decl, DtdError> {
     let mut toks = tokenize_attlist(body);
-    let elem = toks
-        .next()
-        .ok_or_else(|| DtdError::Parse("ATTLIST missing element name".into()))?;
+    let elem = toks.next().ok_or_else(|| DtdError::Parse("ATTLIST missing element name".into()))?;
     let mut attrs = Vec::new();
     while let Some(attr) = toks.next() {
-        let _ty = toks
-            .next()
-            .ok_or_else(|| DtdError::Parse(format!("ATTLIST `{elem}`: attribute `{attr}` missing type")))?;
-        let default = toks
-            .next()
-            .ok_or_else(|| DtdError::Parse(format!("ATTLIST `{elem}`: attribute `{attr}` missing default")))?;
+        let _ty = toks.next().ok_or_else(|| {
+            DtdError::Parse(format!("ATTLIST `{elem}`: attribute `{attr}` missing type"))
+        })?;
+        let default = toks.next().ok_or_else(|| {
+            DtdError::Parse(format!("ATTLIST `{elem}`: attribute `{attr}` missing default"))
+        })?;
         let required = match default.as_str() {
             "#REQUIRED" => true,
             "#IMPLIED" => false,
@@ -658,7 +679,10 @@ mod tests {
 
     #[test]
     fn mixed_content() {
-        let dtd = Dtd::parse("<!ELEMENT p (#PCDATA|em|bold)*><!ELEMENT em (#PCDATA)><!ELEMENT bold (#PCDATA)>").unwrap();
+        let dtd = Dtd::parse(
+            "<!ELEMENT p (#PCDATA|em|bold)*><!ELEMENT em (#PCDATA)><!ELEMENT bold (#PCDATA)>",
+        )
+        .unwrap();
         let p = dtd.production("p").unwrap();
         assert!(p.allows_text());
         assert!(p.automaton().accepts(&["em", "bold", "em"]));

@@ -27,9 +27,8 @@ impl PastTable {
     /// trivially past — they can never occur).
     pub fn build<S: AsRef<str>>(g: &Glushkov, c: &Constraints, set: &[S]) -> PastTable {
         let sids: Vec<u32> = set.iter().filter_map(|s| g.symbol_id(s.as_ref())).collect();
-        let table = (0..g.n_states() as u32)
-            .map(|q| sids.iter().all(|&sid| c.past(q, sid)))
-            .collect();
+        let table =
+            (0..g.n_states() as u32).map(|q| sids.iter().all(|&sid| c.past(q, sid))).collect();
         PastTable { table }
     }
 

@@ -44,7 +44,9 @@ where
         match ev {
             Event::Start(name) => {
                 let top = stack.last_mut().expect("document scope always present");
-                top.1.step(name).map_err(|m| ValidationError { element: top.0.clone(), message: m })?;
+                top.1
+                    .step(name)
+                    .map_err(|m| ValidationError { element: top.0.clone(), message: m })?;
                 let prod = dtd.production(name).ok_or_else(|| ValidationError {
                     element: name.to_string(),
                     message: format!("element `{name}` is not declared in the DTD"),
@@ -62,9 +64,7 @@ where
             }
             Event::End(_) => {
                 let (name, matcher, _) = stack.pop().expect("reader guarantees matched tags");
-                matcher
-                    .finish()
-                    .map_err(|m| ValidationError { element: name, message: m })?;
+                matcher.finish().map_err(|m| ValidationError { element: name, message: m })?;
             }
         }
     }

@@ -213,10 +213,8 @@ mod tests {
     #[test]
     fn interior_nodes_record_tags_only() {
         let t = tree(&[("book/editor", true)]);
-        let (root, _) = record(
-            &t,
-            "<book><title>skip me</title><editor>E</editor></book><junk>j</junk>",
-        );
+        let (root, _) =
+            record(&t, "<book><title>skip me</title><editor>E</editor></book><junk>j</junk>");
         assert_eq!(root.to_xml(), "<scope><book><editor>E</editor></book></scope>");
     }
 

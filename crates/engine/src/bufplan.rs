@@ -273,7 +273,8 @@ mod tests {
     #[test]
     fn scope_var_constant_conditions_are_not_buffered() {
         // Flags handle these (paper §5); nothing is buffered for $r itself.
-        let alpha = parse_xquery("{ if $r/publisher = \"AW\" and exists $r/year then <y/> }").unwrap();
+        let alpha =
+            parse_xquery("{ if $r/publisher = \"AW\" and exists $r/year then <y/> }").unwrap();
         let t = buffer_tree_for("r", [&alpha]);
         assert!(t.is_empty(), "{}", t.render());
     }
@@ -286,7 +287,8 @@ mod tests {
         let t = buffer_tree_for("r", [&alpha]);
         assert_eq!(t.render(), "{a{c•}}");
         // exists needs tags only:
-        let alpha2 = parse_xquery("{ for $x in $r/a return { if exists $x/c then <y/> } }").unwrap();
+        let alpha2 =
+            parse_xquery("{ for $x in $r/a return { if exists $x/c then <y/> } }").unwrap();
         let t2 = buffer_tree_for("r", [&alpha2]);
         assert_eq!(t2.render(), "{a{c}}");
         assert!(!t2.children["a"].children["c"].marked);

@@ -11,12 +11,13 @@
 //!   fully-streaming queries copy subtrees without touching a buffer.
 
 use std::fmt;
+use std::sync::Arc;
 
-use flux_core::{check_safety, production_of, FluxExpr, Handler, PastSpec};
+use flux_core::{check_safety, production_of, FluxExpr, Handler, PastSpec, DOC_ELEM};
 use flux_dtd::{Dtd, PastTable, Production};
 use flux_query::eval::EvalError;
 use flux_query::{Atom, CmpRhs, Cond, Expr, PathRef, ROOT_VAR};
-use flux_xml::XmlError;
+use flux_xml::{ReaderOptions, XmlError};
 
 use crate::bufplan::{visit_atoms, BufferTree, Mark};
 use crate::flags::FlagSpec;
@@ -41,6 +42,14 @@ pub enum EngineError {
     Eval(EvalError),
     /// A FluX form the streaming engine does not support.
     Unsupported(String),
+    /// Runtime buffers exceeded the configured limit
+    /// ([`EngineOptions::max_buffer_bytes`]).
+    BufferLimit {
+        /// Bytes the run was about to hold.
+        used: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -54,6 +63,9 @@ impl fmt::Display for EngineError {
             EngineError::Undeclared(e) => write!(f, "element `{e}` is not declared in the DTD"),
             EngineError::Eval(e) => write!(f, "{e}"),
             EngineError::Unsupported(m) => write!(f, "unsupported FluX form: {m}"),
+            EngineError::BufferLimit { used, limit } => {
+                write!(f, "runtime buffers reached {used} bytes, over the {limit}-byte limit")
+            }
         }
     }
 }
@@ -72,11 +84,48 @@ impl From<EvalError> for EngineError {
     }
 }
 
-/// A compiled, executable query plan (borrows the DTD's automata).
-pub struct CompiledQuery<'d> {
-    dtd: &'d Dtd,
+/// Static configuration a query is compiled with. Cheap to copy; one
+/// compiled plan serves any number of concurrent runs with these settings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOptions {
+    /// How input streams are tokenized (attribute handling, whitespace).
+    pub reader: ReaderOptions,
+    /// Abort a run whose live buffers exceed this many bytes (`None` =
+    /// unlimited). A back-pressure guard for long-lived services: a query
+    /// the scheduler could not fully stream cannot hold arbitrary amounts
+    /// of one client's data in memory.
+    pub max_buffer_bytes: Option<usize>,
+}
+
+/// A compiled, executable query plan.
+///
+/// Owns everything it needs (the DTD travels along in an [`Arc`]), so a
+/// plan is `Send + Sync + 'static`: compile once, then run it from any
+/// number of threads or sessions concurrently.
+pub struct CompiledQuery {
+    dtd: Arc<Dtd>,
+    pub(crate) opts: EngineOptions,
     pub(crate) top: Top,
-    pub(crate) scopes: Vec<ScopeSpec<'d>>,
+    pub(crate) scopes: Vec<ScopeSpec>,
+}
+
+/// Position-based handle to a production, valid for the plan's own DTD —
+/// what makes the plan free of borrows.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ProdRef {
+    /// The document pseudo-production (`$ROOT`'s scope).
+    Doc,
+    /// `Dtd::production_at(idx)`.
+    Idx(usize),
+}
+
+impl ProdRef {
+    pub(crate) fn resolve(self, dtd: &Dtd) -> &Production {
+        match self {
+            ProdRef::Doc => dtd.doc_production(),
+            ProdRef::Idx(i) => dtd.production_at(i),
+        }
+    }
 }
 
 pub(crate) enum Top {
@@ -87,10 +136,10 @@ pub(crate) enum Top {
     Scope { pre: Option<String>, idx: usize, post: Option<String> },
 }
 
-pub(crate) struct ScopeSpec<'d> {
+pub(crate) struct ScopeSpec {
     pub var: String,
     pub elem: String,
-    pub prod: Option<&'d Production>,
+    pub prod: Option<ProdRef>,
     pub pre: Option<String>,
     pub post: Option<String>,
     pub handlers: Vec<CHandler>,
@@ -99,7 +148,7 @@ pub(crate) struct ScopeSpec<'d> {
     pub allows_text: bool,
 }
 
-impl ScopeSpec<'_> {
+impl ScopeSpec {
     pub(crate) fn needs_observer(&self) -> bool {
         !self.buffer_tree.is_empty() || !self.flags.is_empty()
     }
@@ -116,7 +165,11 @@ pub(crate) enum CHandler {
         /// complete title node has been seen".)
         defer_to_end: bool,
     },
-    On { label: String, var: String, body: CBody },
+    On {
+        label: String,
+        var: String,
+        body: CBody,
+    },
 }
 
 pub(crate) enum CBody {
@@ -140,11 +193,24 @@ pub(crate) enum SimpleItem {
     CondCopyChild(Cond),
 }
 
-impl<'d> CompiledQuery<'d> {
-    /// Compile a safe FluX query against the DTD.
-    pub fn compile(q: &FluxExpr, dtd: &'d Dtd) -> Result<CompiledQuery<'d>, EngineError> {
-        check_safety(q, dtd).map_err(|v| EngineError::Unsafe(v.to_string()))?;
-        let mut c = Compiler { dtd, scopes: Vec::new(), pending: Vec::new() };
+impl CompiledQuery {
+    /// Compile a safe FluX query against the DTD with default options.
+    ///
+    /// Convenience for one-off use; it clones the DTD into the plan. Long
+    /// running services that prepare many queries against one schema should
+    /// share it via [`CompiledQuery::compile_with`].
+    pub fn compile(q: &FluxExpr, dtd: &Dtd) -> Result<CompiledQuery, EngineError> {
+        Self::compile_with(q, Arc::new(dtd.clone()), EngineOptions::default())
+    }
+
+    /// Compile a safe FluX query against a shared DTD, with options.
+    pub fn compile_with(
+        q: &FluxExpr,
+        dtd: Arc<Dtd>,
+        opts: EngineOptions,
+    ) -> Result<CompiledQuery, EngineError> {
+        check_safety(q, &dtd).map_err(|v| EngineError::Unsafe(v.to_string()))?;
+        let mut c = Compiler { dtd: &dtd, scopes: Vec::new(), pending: Vec::new() };
         let top = match q {
             FluxExpr::Simple(e) => {
                 let fv = flux_query::free_vars(e);
@@ -157,22 +223,38 @@ impl<'d> CompiledQuery<'d> {
             }
             FluxExpr::PS { pre, var, handlers, post } => {
                 let mut chain = Vec::new();
-                let idx = c.compile_scope(var, flux_core::DOC_ELEM, None, None, handlers, &mut chain)?;
+                let idx =
+                    c.compile_scope(var, flux_core::DOC_ELEM, None, None, handlers, &mut chain)?;
                 Top::Scope { pre: pre.clone(), idx, post: post.clone() }
             }
         };
         c.finish_buffer_plans();
-        Ok(CompiledQuery { dtd, top, scopes: c.scopes })
+        let scopes = std::mem::take(&mut c.scopes);
+        Ok(CompiledQuery { dtd, opts, top, scopes })
     }
 
     /// The DTD the plan was compiled against.
-    pub fn dtd(&self) -> &'d Dtd {
-        self.dtd
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// A shared handle to the plan's DTD.
+    pub fn dtd_arc(&self) -> Arc<Dtd> {
+        Arc::clone(&self.dtd)
+    }
+
+    /// The options the plan was compiled with.
+    pub fn options(&self) -> EngineOptions {
+        self.opts
     }
 
     /// Total buffer-tree nodes across scopes (diagnostics/benches).
     pub fn buffer_tree_nodes(&self) -> usize {
-        self.scopes.iter().filter(|s| !s.buffer_tree.is_empty()).map(|s| s.buffer_tree.node_count()).sum()
+        self.scopes
+            .iter()
+            .filter(|s| !s.buffer_tree.is_empty())
+            .map(|s| s.buffer_tree.node_count())
+            .sum()
     }
 
     /// Scope variables that have a non-empty buffer tree, with a rendering
@@ -188,7 +270,7 @@ impl<'d> CompiledQuery<'d> {
 
 struct Compiler<'d> {
     dtd: &'d Dtd,
-    scopes: Vec<ScopeSpec<'d>>,
+    scopes: Vec<ScopeSpec>,
     /// XQuery− expressions to analyse for buffering/flags, with the scope
     /// chain (var, scope index) they appear under.
     pending: Vec<(Expr, Vec<(String, usize)>)>,
@@ -205,11 +287,16 @@ impl<'d> Compiler<'d> {
         chain: &mut Vec<(String, usize)>,
     ) -> Result<usize, EngineError> {
         let prod = production_of(self.dtd, elem);
+        let prod_ref = if elem == DOC_ELEM {
+            Some(ProdRef::Doc)
+        } else {
+            self.dtd.production_index(elem).map(ProdRef::Idx)
+        };
         let idx = self.scopes.len();
         self.scopes.push(ScopeSpec {
             var: var.to_string(),
             elem: elem.to_string(),
-            prod,
+            prod: prod_ref,
             pre: pre.cloned(),
             post: post.cloned(),
             handlers: Vec::new(),
@@ -236,7 +323,8 @@ impl<'d> Compiler<'d> {
                         // the scope cannot run anyway (Undeclared at runtime).
                     }
                     self.pending.push((expr.clone(), chain.clone()));
-                    let defer_to_end = self.scopes[idx].allows_text && reads_var_subtree(&expr, var);
+                    let defer_to_end =
+                        self.scopes[idx].allows_text && reads_var_subtree(&expr, var);
                     compiled.push(CHandler::OnFirst { table, expr, defer_to_end });
                 }
                 Handler::On { label, var: x, body } => {
@@ -265,7 +353,11 @@ impl<'d> Compiler<'d> {
                             }
                         }
                     };
-                    compiled.push(CHandler::On { label: label.clone(), var: x.clone(), body: cbody });
+                    compiled.push(CHandler::On {
+                        label: label.clone(),
+                        var: x.clone(),
+                        body: cbody,
+                    });
                 }
             }
         }
@@ -388,10 +480,19 @@ fn compile_simple_stream(e: &Expr, child_var: &str) -> Option<SimplePlan> {
 /// `resolve` returns `Some(value)` for atoms it owns (constant/exists atoms
 /// rooted at an in-scope process-stream variable); everything else is left
 /// for the buffer evaluator. Rebindings inside the expression are honoured.
-pub(crate) fn resolve_flags_expr(e: &Expr, resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>) -> Expr {
-    fn go(e: &Expr, bound: &mut Vec<String>, resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>) -> Expr {
+pub(crate) fn resolve_flags_expr(
+    e: &Expr,
+    resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>,
+) -> Expr {
+    fn go(
+        e: &Expr,
+        bound: &mut Vec<String>,
+        resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>,
+    ) -> Expr {
         match e {
-            Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } | Expr::OutputPath { .. } => e.clone(),
+            Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } | Expr::OutputPath { .. } => {
+                e.clone()
+            }
             Expr::Seq(items) => Expr::Seq(items.iter().map(|i| go(i, bound, resolve)).collect()),
             Expr::If { cond, body } => Expr::If {
                 cond: resolve_flags_cond_inner(cond, bound, resolve),
@@ -416,7 +517,10 @@ pub(crate) fn resolve_flags_expr(e: &Expr, resolve: &dyn Fn(&Atom, &[String]) ->
 }
 
 /// [`resolve_flags_expr`] for a bare condition.
-pub(crate) fn resolve_flags_cond(c: &Cond, resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>) -> Cond {
+pub(crate) fn resolve_flags_cond(
+    c: &Cond,
+    resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>,
+) -> Cond {
     resolve_flags_cond_inner(c, &mut Vec::new(), resolve)
 }
 
@@ -470,7 +574,7 @@ mod tests {
     const BIB_WEAK: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
         <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
 
-    fn compile_str<'d>(q: &str, dtd: &'d Dtd) -> CompiledQuery<'d> {
+    fn compile_str(q: &str, dtd: &Dtd) -> CompiledQuery {
         let e = parse_xquery(q).unwrap();
         let flux = rewrite_query(&e, dtd).unwrap();
         CompiledQuery::compile(&flux, dtd).unwrap()

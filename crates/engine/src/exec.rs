@@ -17,13 +17,13 @@
 //! Punctuation is exactly Appendix B: one validating DFA transition per
 //! child plus one `PastTable` lookup per `on-first` handler.
 
-use std::io::{BufRead, Write};
+use std::io::BufRead;
 
 use flux_core::FluxExpr;
 use flux_dtd::{Dtd, Glushkov};
 use flux_query::eval::{eval_cond, eval_expr, wrap_document, Env};
 use flux_query::{Atom, Cond, Expr, ROOT_VAR};
-use flux_xml::{Event, Node, OwnedEvent, Reader, ReaderOptions, Writer};
+use flux_xml::{Event, Node, OwnedEvent, Reader, Sink, Writer};
 
 use crate::buffer::Recorder;
 use crate::compile::{
@@ -44,6 +44,10 @@ pub struct RunOutcome {
 
 /// Compile and run a FluX query over an XML input stream, collecting the
 /// output in memory.
+#[deprecated(
+    since = "0.2.0",
+    note = "prepare once with `flux::Engine::prepare` (or `CompiledQuery::compile`) and run many times"
+)]
 pub fn run_streaming(
     q: &FluxExpr,
     dtd: &Dtd,
@@ -55,36 +59,42 @@ pub fn run_streaming(
     Ok(RunOutcome { output: String::from_utf8(out).expect("writer emits UTF-8"), stats })
 }
 
-/// Compile and run, writing the result to an arbitrary sink (used by the
-/// benchmarks with a byte-counting null sink).
-pub fn run_streaming_to<W: Write>(
+/// Compile and run, writing the result to an arbitrary sink.
+#[deprecated(
+    since = "0.2.0",
+    note = "prepare once with `flux::Engine::prepare` (or `CompiledQuery::compile`) and run many times"
+)]
+pub fn run_streaming_to<S: Sink>(
     q: &FluxExpr,
     dtd: &Dtd,
     input: impl BufRead,
-    out: W,
+    out: S,
 ) -> Result<RunStats, EngineError> {
     CompiledQuery::compile(q, dtd)?.run(input, out)
 }
 
-impl<'d> CompiledQuery<'d> {
+impl CompiledQuery {
     /// Run the compiled plan over an input stream.
-    pub fn run<R: BufRead, W: Write>(&self, input: R, out: W) -> Result<RunStats, EngineError> {
-        let mut reader = Reader::new(input, ReaderOptions::default());
-        match &self.top {
+    pub fn run<R: BufRead, S: Sink>(&self, input: R, out: S) -> Result<RunStats, EngineError> {
+        self.run_sink(input, out).0
+    }
+
+    /// Run the compiled plan, handing the sink back afterwards — on success
+    /// *and* on failure (a session must recover its capture buffer either
+    /// way). On success the sink is flushed (a flush failure is the run's
+    /// error); on failure it is returned unflushed so the original failure
+    /// is never masked by a flush error.
+    pub fn run_sink<R: BufRead, S: Sink>(
+        &self,
+        input: R,
+        out: S,
+    ) -> (Result<RunStats, EngineError>, S) {
+        let mut reader = Reader::new(input, self.opts.reader);
+        let (res, mut sink) = match &self.top {
             Top::Simple(e) => {
-                // No process-stream at all: materialize and evaluate.
-                let root = Node::parse(&mut reader)?;
-                let doc = wrap_document(root);
-                let mut stats = RunStats {
-                    peak_buffer_bytes: doc.buffered_bytes(),
-                    buffers_created: 1,
-                    ..RunStats::default()
-                };
                 let mut w = Writer::new(out);
-                let mut env = Env::with(ROOT_VAR, &doc);
-                eval_expr(e, &mut env, &mut w)?;
-                stats.output_bytes = w.bytes_written();
-                Ok(stats)
+                let res = self.run_simple(e, &mut reader, &mut w);
+                (res, w.into_sink())
             }
             Top::Scope { pre, idx, post } => {
                 let mut exec = Exec {
@@ -95,24 +105,91 @@ impl<'d> CompiledQuery<'d> {
                     env_stack: Vec::new(),
                     stats: RunStats::default(),
                     cur_bytes: 0,
+                    limit: self.opts.max_buffer_bytes,
                     cur_name: String::new(),
                     cur_text: String::new(),
                     cur_text_ws: true,
                 };
-                if let Some(s) = pre {
-                    exec.writer.write_raw(s).map_err(io_err)?;
+                let res = exec.drive(pre.as_deref(), *idx, post.as_deref());
+                (res, exec.writer.into_sink())
+            }
+        };
+        if res.is_ok() {
+            if let Err(e) = sink.flush_sink() {
+                return (Err(io_err(e)), sink);
+            }
+        }
+        (res, sink)
+    }
+
+    /// The degenerate no-`process-stream` path: materialize and evaluate.
+    /// The buffer limit is enforced *while* materializing, so an oversized
+    /// input aborts before it is ever held in memory.
+    fn run_simple<R: BufRead, S: Sink>(
+        &self,
+        e: &Expr,
+        reader: &mut Reader<R>,
+        w: &mut Writer<S>,
+    ) -> Result<RunStats, EngineError> {
+        let (root, bytes) = parse_limited(reader, self.opts.max_buffer_bytes)?;
+        let doc = wrap_document(root);
+        debug_assert_eq!(bytes, doc.buffered_bytes());
+        let mut stats =
+            RunStats { peak_buffer_bytes: bytes, buffers_created: 1, ..RunStats::default() };
+        let mut env = Env::with(ROOT_VAR, &doc);
+        eval_expr(e, &mut env, w)?;
+        stats.output_bytes = w.bytes_written();
+        Ok(stats)
+    }
+}
+
+/// `Node::parse` with incremental buffer accounting: charges each event's
+/// payload (tag names twice, text once — `Node::buffered_bytes`'s metric)
+/// against `limit` as it arrives. Returns the root and the total bytes,
+/// including the `#document` wrapper node the caller adds — the same value
+/// `wrap_document(root).buffered_bytes()` reports.
+fn parse_limited<R: BufRead>(
+    reader: &mut Reader<R>,
+    limit: Option<usize>,
+) -> Result<(Node, usize), EngineError> {
+    let mut stack: Vec<Node> = Vec::new();
+    let mut root: Option<Node> = None;
+    // The synthetic document node is buffered too (as in the seed's
+    // accounting, which measured the wrapped tree).
+    let mut bytes = 2 * flux_core::DOC_ELEM.len();
+    let charge = |grew: usize, bytes: &mut usize| -> Result<(), EngineError> {
+        *bytes += grew;
+        match limit {
+            Some(l) if *bytes > l => Err(EngineError::BufferLimit { used: *bytes, limit: l }),
+            _ => Ok(()),
+        }
+    };
+    while let Some(ev) = reader.next_event()? {
+        match ev {
+            Event::Start(n) => {
+                stack.push(Node::new(n));
+                charge(2 * n.len(), &mut bytes)?;
+            }
+            Event::Text(t) => {
+                if let Some(top) = stack.last_mut() {
+                    top.push_text(t);
+                    charge(t.len(), &mut bytes)?;
                 }
-                let mut src = Src::Stream;
-                exec.run_scope(*idx, &mut src, Term::Eof)?;
-                if let Some(s) = post {
-                    exec.writer.write_raw(s).map_err(io_err)?;
+            }
+            Event::End(_) => {
+                let done = stack.pop().expect("reader guarantees matched tags");
+                match stack.last_mut() {
+                    Some(top) => top.children.push(flux_xml::Child::Elem(done)),
+                    None => root = Some(done),
                 }
-                exec.stats.output_bytes = exec.writer.bytes_written();
-                exec.stats.final_buffer_bytes = exec.cur_bytes;
-                Ok(exec.stats)
             }
         }
     }
+    let root = root.ok_or(EngineError::Validation {
+        element: "#document".into(),
+        message: "empty input".into(),
+    })?;
+    Ok((root, bytes))
 }
 
 fn io_err(e: std::io::Error) -> EngineError {
@@ -162,52 +239,88 @@ enum Term {
     Eof,
 }
 
-struct Exec<'p, 'd, R, W: Write> {
-    plan: &'p CompiledQuery<'d>,
+struct Exec<'p, R, S: Sink> {
+    plan: &'p CompiledQuery,
     reader: Reader<R>,
-    writer: Writer<W>,
+    writer: Writer<S>,
     observers: Vec<Observer<'p>>,
     /// (scope index, observer index) for active scopes with observers.
     env_stack: Vec<(usize, usize)>,
     stats: RunStats,
     cur_bytes: usize,
+    /// Abort threshold for `cur_bytes` (`EngineOptions::max_buffer_bytes`).
+    limit: Option<usize>,
     cur_name: String,
     cur_text: String,
     cur_text_ws: bool,
 }
 
-impl<'p, 'd, R: BufRead, W: Write> Exec<'p, 'd, R, W> {
+impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
+    /// Run the whole plan: pre string, document scope, post string.
+    fn drive(
+        &mut self,
+        pre: Option<&str>,
+        idx: usize,
+        post: Option<&str>,
+    ) -> Result<RunStats, EngineError> {
+        if let Some(s) = pre {
+            self.writer.write_raw(s).map_err(io_err)?;
+        }
+        let mut src = Src::Stream;
+        self.run_scope(idx, &mut src, Term::Eof)?;
+        if let Some(s) = post {
+            self.writer.write_raw(s).map_err(io_err)?;
+        }
+        self.stats.output_bytes = self.writer.bytes_written();
+        self.stats.final_buffer_bytes = self.cur_bytes;
+        Ok(self.stats)
+    }
+
+    /// Account freshly buffered bytes and enforce the buffer limit.
+    fn charge(&mut self, grew: usize) -> Result<(), EngineError> {
+        self.stats.buffer_grow(&mut self.cur_bytes, grew);
+        match self.limit {
+            Some(limit) if self.cur_bytes > limit => {
+                Err(EngineError::BufferLimit { used: self.cur_bytes, limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Pull one event, routing it through the active observers.
     fn pull(&mut self, src: &mut Src<'_>) -> Result<Option<Pulled>, EngineError> {
         match src {
             Src::Stream => {
-                let ev = match self.reader.next_event()? {
-                    Some(e) => e,
-                    None => return Ok(None),
+                let (grew, pulled) = {
+                    let ev = match self.reader.next_event()? {
+                        Some(e) => e,
+                        None => return Ok(None),
+                    };
+                    self.stats.events += 1;
+                    let grew = dispatch(&mut self.observers, 0, ev);
+                    let pulled = match ev {
+                        Event::Start(n) => {
+                            self.cur_name.clear();
+                            self.cur_name.push_str(n);
+                            Pulled::Start
+                        }
+                        Event::End(n) => {
+                            self.cur_name.clear();
+                            self.cur_name.push_str(n);
+                            Pulled::End
+                        }
+                        Event::Text(t) => {
+                            self.cur_text.clear();
+                            self.cur_text.push_str(t);
+                            self.cur_text_ws = t.chars().all(char::is_whitespace);
+                            Pulled::Text
+                        }
+                    };
+                    (grew, pulled)
                 };
-                self.stats.events += 1;
-                let grew = dispatch(&mut self.observers, 0, ev);
                 if grew > 0 {
-                    self.stats.buffer_grow(&mut self.cur_bytes, grew);
+                    self.charge(grew)?;
                 }
-                let pulled = match ev {
-                    Event::Start(n) => {
-                        self.cur_name.clear();
-                        self.cur_name.push_str(n);
-                        Pulled::Start
-                    }
-                    Event::End(n) => {
-                        self.cur_name.clear();
-                        self.cur_name.push_str(n);
-                        Pulled::End
-                    }
-                    Event::Text(t) => {
-                        self.cur_text.clear();
-                        self.cur_text.push_str(t);
-                        self.cur_text_ws = t.chars().all(char::is_whitespace);
-                        Pulled::Text
-                    }
-                };
                 Ok(Some(pulled))
             }
             Src::Replay { events, pos, obs_base } => {
@@ -216,7 +329,7 @@ impl<'p, 'd, R: BufRead, W: Write> Exec<'p, 'd, R, W> {
                 let ev = owned.as_event();
                 let grew = dispatch(&mut self.observers, *obs_base, ev);
                 if grew > 0 {
-                    self.stats.buffer_grow(&mut self.cur_bytes, grew);
+                    self.charge(grew)?;
                 }
                 let pulled = match ev {
                     Event::Start(n) => {
@@ -245,9 +358,9 @@ impl<'p, 'd, R: BufRead, W: Write> Exec<'p, 'd, R, W> {
     /// the document scope). The scope's start tag has already been consumed.
     fn run_scope(&mut self, sidx: usize, src: &mut Src<'_>, term: Term) -> Result<(), EngineError> {
         let plan = self.plan;
-        let spec: &'p ScopeSpec<'d> = &plan.scopes[sidx];
-        let prod = spec.prod.ok_or_else(|| EngineError::Undeclared(spec.elem.clone()))?;
-        let automaton = prod.automaton();
+        let spec: &'p ScopeSpec = &plan.scopes[sidx];
+        let prod_ref = spec.prod.ok_or_else(|| EngineError::Undeclared(spec.elem.clone()))?;
+        let automaton = prod_ref.resolve(plan.dtd()).automaton();
 
         if let Some(s) = &spec.pre {
             self.writer.write_raw(s).map_err(io_err)?;
@@ -377,7 +490,7 @@ impl<'p, 'd, R: BufRead, W: Write> Exec<'p, 'd, R, W> {
     /// label; its start event has been dispatched to the observers.
     fn handle_child(
         &mut self,
-        spec: &'p ScopeSpec<'d>,
+        spec: &'p ScopeSpec,
         src: &mut Src<'_>,
         firing: &[usize],
         fired: &mut [bool],
@@ -389,9 +502,9 @@ impl<'p, 'd, R: BufRead, W: Write> Exec<'p, 'd, R, W> {
         // Could a condition flag still change within this child? If so, an
         // `on` handler must not evaluate conditions while the child streams;
         // consuming the child first (capture path) finalizes the flags.
-        let flags_pending = self.observers[src.obs_base()..].iter().any(|o| {
-            o.specs.iter().zip(&o.flags).any(|(spec, m)| m.may_change_below(spec))
-        });
+        let flags_pending = self.observers[src.obs_base()..]
+            .iter()
+            .any(|o| o.specs.iter().zip(&o.flags).any(|(spec, m)| m.may_change_below(spec)));
 
         let mut on_count = 0usize;
         let mut first_is_on = false;
@@ -517,7 +630,7 @@ impl<'p, 'd, R: BufRead, W: Write> Exec<'p, 'd, R, W> {
             if let Some(st) = store.as_deref_mut() {
                 let grew = ev.payload_bytes();
                 bytes += grew;
-                self.stats.buffer_grow(&mut self.cur_bytes, grew);
+                self.charge(grew)?;
                 st.push(ev);
             }
             if pulled == Pulled::End {
@@ -703,6 +816,7 @@ fn build_child_node(label: &str, events: &[OwnedEvent]) -> Node {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use flux_core::{interp_flux, parse_flux, rewrite_query};
@@ -764,7 +878,11 @@ mod tests {
         // the document size.
         assert!(stats.peak_buffer_bytes > 0);
         let doc_bytes = WEAK_DOC.len();
-        assert!(stats.peak_buffer_bytes < doc_bytes / 2, "peak {} too large", stats.peak_buffer_bytes);
+        assert!(
+            stats.peak_buffer_bytes < doc_bytes / 2,
+            "peak {} too large",
+            stats.peak_buffer_bytes
+        );
         assert_eq!(stats.final_buffer_bytes, 0, "all buffers released");
     }
 
@@ -954,6 +1072,35 @@ mod tests {
     }
 
     #[test]
+    fn simple_plan_peak_matches_wrapped_document() {
+        // A hand-written plan with no process-stream takes the Top::Simple
+        // path; its peak must equal the wrapped document's buffered bytes
+        // (the `#document` node included, as the seed reported).
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let flux = parse_flux("{ $ROOT/bib/book/title }").unwrap();
+        let compiled = CompiledQuery::compile(&flux, &dtd).unwrap();
+        let mut out = Vec::new();
+        let stats = compiled.run(WEAK_DOC.as_bytes(), &mut out).unwrap();
+        let doc = wrap_document(Node::parse_str(WEAK_DOC).unwrap());
+        assert_eq!(stats.peak_buffer_bytes, doc.buffered_bytes());
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn simple_plan_respects_the_buffer_limit_while_materializing() {
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let flux = parse_flux("{ $ROOT/bib }").unwrap();
+        let compiled = CompiledQuery::compile_with(
+            &flux,
+            std::sync::Arc::new(dtd),
+            crate::compile::EngineOptions { max_buffer_bytes: Some(32), ..Default::default() },
+        )
+        .unwrap();
+        let err = compiled.run(WEAK_DOC.as_bytes(), Vec::new()).unwrap_err();
+        assert!(matches!(err, EngineError::BufferLimit { limit: 32, .. }), "{err}");
+    }
+
+    #[test]
     fn degenerate_whole_document_query() {
         // {$ROOT}-style queries have no process-stream: the engine
         // materializes (and says so in the stats).
@@ -973,11 +1120,8 @@ mod tests {
         let dtd_src = "<!ELEMENT lib (shelf*,meta?)><!ELEMENT shelf (#PCDATA)>\
             <!ELEMENT meta (owner,year)><!ELEMENT owner (#PCDATA)><!ELEMENT year (#PCDATA)>";
         let doc = "<lib><shelf>s</shelf><meta><owner>1999</owner><year>42</year></meta></lib>";
-        let stats = check_equiv(
-            "{ if $ROOT/lib/meta >= 1841 then {$ROOT/lib/meta} }",
-            dtd_src,
-            doc,
-        );
+        let stats =
+            check_equiv("{ if $ROOT/lib/meta >= 1841 then {$ROOT/lib/meta} }", dtd_src, doc);
         assert!(stats.captures > 0, "the meta child must take the capture path");
         // And the negative case stays negative:
         check_equiv("{ if $ROOT/lib/meta >= 999999999 then {$ROOT/lib/meta} }", dtd_src, doc);

@@ -88,7 +88,14 @@ pub struct FlagMatcher {
 impl FlagMatcher {
     /// Fresh matcher (at scope entry).
     pub fn new() -> FlagMatcher {
-        FlagMatcher { path_len: 0, match_depth: 0, open_depth: 0, collect_depth: None, text: String::new(), value: false }
+        FlagMatcher {
+            path_len: 0,
+            match_depth: 0,
+            open_depth: 0,
+            collect_depth: None,
+            text: String::new(),
+            value: false,
+        }
     }
 
     /// Could this flag's value still change within the subtree of the most

@@ -23,34 +23,49 @@
 //! The engine insists on *safe* queries (Definition 3.6) — that is the
 //! contract that makes buffers complete whenever they are read.
 //!
+//! The compiled plan is the unit of reuse: [`CompiledQuery`] owns its DTD
+//! (shared via `Arc`) and is `Send + Sync`, so one compilation serves any
+//! number of concurrent runs — the paper's *schedule once, stream forever*
+//! reading, made literal.
+//!
 //! ```
+//! use std::sync::Arc;
 //! use flux_core::rewrite_query;
 //! use flux_dtd::Dtd;
-//! use flux_engine::run_streaming;
+//! use flux_engine::{CompiledQuery, EngineOptions};
 //! use flux_query::parse_xquery;
 //!
-//! let dtd = Dtd::parse(
+//! let dtd = Arc::new(Dtd::parse(
 //!     "<!ELEMENT bib (book)*>\
 //!      <!ELEMENT book (title,(author+|editor+),publisher,price)>",
-//! ).unwrap();
+//! ).unwrap());
 //! let q = parse_xquery(
 //!     "<results>{ for $b in $ROOT/bib/book return \
 //!        <result> {$b/title} {$b/author} </result> }</results>").unwrap();
 //! let flux = rewrite_query(&q, &dtd).unwrap();
+//!
+//! // Prepare once …
+//! let plan = CompiledQuery::compile_with(&flux, dtd, EngineOptions::default()).unwrap();
+//! // … execute many times, each run streaming to its own sink.
 //! let doc = "<bib><book><title>T</title><author>A</author>\
 //!            <publisher>P</publisher><price>1</price></book></bib>";
-//! let run = run_streaming(&flux, &dtd, doc.as_bytes()).unwrap();
-//! assert_eq!(run.output, "<results><result><title>T</title><author>A</author></result></results>");
-//! assert_eq!(run.stats.peak_buffer_bytes, 0);
+//! for _ in 0..3 {
+//!     let mut out = Vec::new();
+//!     let stats = plan.run(doc.as_bytes(), &mut out).unwrap();
+//!     assert_eq!(out, b"<results><result><title>T</title><author>A</author></result></results>");
+//!     assert_eq!(stats.peak_buffer_bytes, 0);
+//! }
 //! ```
 
-pub mod bufplan;
 pub mod buffer;
+pub mod bufplan;
 pub mod compile;
 pub mod exec;
 pub mod flags;
 pub mod stats;
 
-pub use compile::{CompiledQuery, EngineError};
-pub use exec::{run_streaming, run_streaming_to, RunOutcome};
+pub use compile::{CompiledQuery, EngineError, EngineOptions};
+pub use exec::RunOutcome;
+#[allow(deprecated)]
+pub use exec::{run_streaming, run_streaming_to};
 pub use stats::RunStats;

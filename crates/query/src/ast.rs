@@ -240,7 +240,9 @@ mod tests {
     #[test]
     fn size_grows_with_structure() {
         let small = parse_xquery("<a>").unwrap();
-        let big = parse_xquery("{ for $b in $ROOT/bib/book where $b/year > 1991 return {$b/title} }").unwrap();
+        let big =
+            parse_xquery("{ for $b in $ROOT/bib/book where $b/year > 1991 return {$b/title} }")
+                .unwrap();
         assert!(big.size() > small.size());
     }
 }

@@ -14,9 +14,8 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::io::Write as IoWrite;
 
-use flux_xml::{Node, Writer};
+use flux_xml::{Node, Sink, Writer};
 
 use crate::ast::Expr;
 use crate::cond::{Atom, CmpRhs, Cond, PathRef, RelOp};
@@ -92,10 +91,10 @@ impl<'a> Env<'a> {
 }
 
 /// Evaluate an expression, writing the result through an XML writer.
-pub fn eval_expr<W: IoWrite>(
+pub fn eval_expr<S: Sink>(
     expr: &Expr,
     env: &mut Env<'_>,
-    out: &mut Writer<W>,
+    out: &mut Writer<S>,
 ) -> Result<(), EvalError> {
     match expr {
         Expr::Empty => Ok(()),
@@ -265,7 +264,10 @@ mod tests {
             run("{ for $b in $ROOT/bib/book where exists $b/author return <y/> }"),
             "<y/><y/>"
         );
-        assert_eq!(run("{ for $b in $ROOT/bib/book where empty($b/price) return <n/> }"), "<n/><n/>");
+        assert_eq!(
+            run("{ for $b in $ROOT/bib/book where empty($b/price) return <n/> }"),
+            "<n/><n/>"
+        );
         assert_eq!(run("{ for $b in $ROOT/bib/book where empty($b/title) return <n/> }"), "");
     }
 
@@ -280,14 +282,21 @@ mod tests {
 
     #[test]
     fn scaled_comparison() {
-        let doc = wrap_document(Node::parse_str("<r><a><v>100</v></a><b><w>30</w></b></r>").unwrap());
+        let doc =
+            wrap_document(Node::parse_str("<r><a><v>100</v></a><b><w>30</w></b></r>").unwrap());
         let env = Env::with("ROOT", &doc);
-        assert!(eval_cond(&parse_condition("$ROOT/r/a/v > (3 * $ROOT/r/b/w)").unwrap(), &env).unwrap());
-        assert!(!eval_cond(&parse_condition("$ROOT/r/a/v > (4 * $ROOT/r/b/w)").unwrap(), &env).unwrap());
+        assert!(
+            eval_cond(&parse_condition("$ROOT/r/a/v > (3 * $ROOT/r/b/w)").unwrap(), &env).unwrap()
+        );
+        assert!(
+            !eval_cond(&parse_condition("$ROOT/r/a/v > (4 * $ROOT/r/b/w)").unwrap(), &env).unwrap()
+        );
         // Non-numeric operands make the comparison false, not an error.
-        let doc2 = wrap_document(Node::parse_str("<r><a><v>abc</v></a><b><w>30</w></b></r>").unwrap());
+        let doc2 =
+            wrap_document(Node::parse_str("<r><a><v>abc</v></a><b><w>30</w></b></r>").unwrap());
         let env2 = Env::with("ROOT", &doc2);
-        assert!(!eval_cond(&parse_condition("$ROOT/r/a/v > (1 * $ROOT/r/b/w)").unwrap(), &env2).unwrap());
+        assert!(!eval_cond(&parse_condition("$ROOT/r/a/v > (1 * $ROOT/r/b/w)").unwrap(), &env2)
+            .unwrap());
     }
 
     #[test]
@@ -308,12 +317,17 @@ mod tests {
     fn shadowing() {
         let doc = bib_doc();
         let out = eval_query(
-            &parse_xquery("{ for $b in $ROOT/bib/book return { for $b in $b/author return {$b} } }")
-                .unwrap(),
+            &parse_xquery(
+                "{ for $b in $ROOT/bib/book return { for $b in $b/author return {$b} } }",
+            )
+            .unwrap(),
             &doc,
         )
         .unwrap();
-        assert_eq!(out, "<author>Stevens</author><author>Wright</author><author>Abiteboul</author>");
+        assert_eq!(
+            out,
+            "<author>Stevens</author><author>Wright</author><author>Abiteboul</author>"
+        );
     }
 
     #[test]

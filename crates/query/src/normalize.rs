@@ -60,7 +60,9 @@ fn norm(e: &Expr, gen: &mut VarGen, stats: &mut NormalizeStats) -> Expr {
         Expr::Empty => Expr::Empty,
         Expr::Str(s) => Expr::Str(s.clone()),
         Expr::OutputVar { var } => Expr::OutputVar { var: var.clone() },
-        Expr::Seq(items) => Expr::seq(items.iter().map(|i| norm(i, gen, stats)).collect::<Vec<_>>()),
+        Expr::Seq(items) => {
+            Expr::seq(items.iter().map(|i| norm(i, gen, stats)).collect::<Vec<_>>())
+        }
         Expr::OutputPath { var, path } => {
             // Rule 2, then rule 3 for the remaining steps.
             stats.rule_output_path += 1;
@@ -156,12 +158,7 @@ fn push_if(chi: Cond, body: Expr, stats: &mut NormalizeStats) -> Expr {
         Expr::Empty => Expr::Empty,
         Expr::Seq(items) => {
             stats.rule_if_seq += items.len().saturating_sub(1);
-            Expr::seq(
-                items
-                    .into_iter()
-                    .map(|i| push_if(chi.clone(), i, stats))
-                    .collect::<Vec<_>>(),
-            )
+            Expr::seq(items.into_iter().map(|i| push_if(chi.clone(), i, stats)).collect::<Vec<_>>())
         }
         Expr::For { var, in_var, path, pred, body } => {
             debug_assert!(pred.is_none(), "body is normalized");
@@ -262,7 +259,9 @@ mod tests {
         assert!(matches!(&items[0], Expr::If { body, .. } if **body == Expr::str("<book>")));
         let Expr::For { path: py, body: yb, .. } = &items[1] else { panic!() };
         assert_eq!(py.to_string(), "year");
-        assert!(matches!(&**yb, Expr::If { body, .. } if matches!(&**body, Expr::OutputVar { .. })));
+        assert!(
+            matches!(&**yb, Expr::If { body, .. } if matches!(&**body, Expr::OutputVar { .. }))
+        );
         let Expr::For { path: pt, .. } = &items[2] else { panic!() };
         assert_eq!(pt.to_string(), "title");
         assert!(matches!(&items[3], Expr::If { body, .. } if **body == Expr::str("</book>")));
@@ -335,7 +334,9 @@ mod tests {
         // check the counter stays within a small multiple of |Q|.
         let mut src = String::from("{ for $a in $ROOT/r/s/t where $a/k = 1 return ");
         for i in 0..20 {
-            src.push_str(&format!("{{ for $b{i} in $a/c{i} return <x{i}> {{$b{i}/d/e}} </x{i}> }}"));
+            src.push_str(&format!(
+                "{{ for $b{i} in $a/c{i} return <x{i}> {{$b{i}/d/e}} </x{i}> }}"
+            ));
         }
         src.push('}');
         let e = parse_xquery(&src).unwrap();

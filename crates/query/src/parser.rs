@@ -274,9 +274,9 @@ fn parse_inner_expr(cur: &mut Cursor<'_>) -> Result<Expr, ParseError> {
         return Ok(Expr::If { cond, body: Box::new(body) });
     }
     if cur.eat_keyword("process-stream") || cur.eat_keyword("ps") {
-        return Err(cur.error(
-            "`process-stream` is FluX syntax, not XQuery−; use flux_core::parse_flux",
-        ));
+        return Err(
+            cur.error("`process-stream` is FluX syntax, not XQuery−; use flux_core::parse_flux")
+        );
     }
     cur.skip_ws();
     let (var, path) = cur.parse_var_path()?;
@@ -434,9 +434,8 @@ fn parse_scaled_or_number(cur: &mut Cursor<'_>) -> Result<CmpRhs, ParseError> {
         return Err(cur.error("expected a numeric literal"));
     }
     if cur.eat_char('*') {
-        let factor: f64 = lit
-            .parse()
-            .map_err(|_| cur.error(format!("bad numeric factor `{lit}`")))?;
+        let factor: f64 =
+            lit.parse().map_err(|_| cur.error(format!("bad numeric factor `{lit}`")))?;
         let path = parse_pathref(cur)?;
         Ok(CmpRhs::Scaled { factor, path })
     } else {
@@ -470,7 +469,10 @@ mod tests {
         assert!(pred.is_none());
         let Expr::Seq(inner) = &**body else { panic!() };
         assert_eq!(inner.len(), 4);
-        assert_eq!(inner[1], Expr::OutputPath { var: "b".into(), path: Path::parse("title").unwrap() });
+        assert_eq!(
+            inner[1],
+            Expr::OutputPath { var: "b".into(), path: Path::parse("title").unwrap() }
+        );
     }
 
     #[test]
@@ -496,8 +498,10 @@ mod tests {
 
     #[test]
     fn empty_is_not_exists() {
-        let q = parse_xquery("{ for $p in /site/people/person where empty($p/person_income) return {$p} }")
-            .unwrap();
+        let q = parse_xquery(
+            "{ for $p in /site/people/person where empty($p/person_income) return {$p} }",
+        )
+        .unwrap();
         let Expr::For { pred: Some(pred), .. } = &q else { panic!() };
         assert_eq!(pred.to_string(), "empty($p/person_income)");
         assert!(matches!(pred, Cond::Not(_)));

@@ -42,7 +42,8 @@ mod tests {
     fn roundtrip(src: &str) {
         let e = parse_xquery(src).unwrap();
         let printed = e.to_string();
-        let back = parse_xquery(&printed).unwrap_or_else(|err| panic!("reparse of `{printed}`: {err}"));
+        let back =
+            parse_xquery(&printed).unwrap_or_else(|err| panic!("reparse of `{printed}`: {err}"));
         assert_eq!(back, e, "printed form: {printed}");
     }
 
@@ -54,7 +55,9 @@ mod tests {
         roundtrip("<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>");
         roundtrip("{ for $b in /site/people/person where empty($p/person_income) return {$p} }");
         roundtrip("{ if $b/year > 1991 and $b/publisher = \"AW\" then <book> }");
-        roundtrip("{ for $o in $x/a where $p/profile/profile_income > (5000 * $o/initial) return {$o} }");
+        roundtrip(
+            "{ for $o in $x/a where $p/profile/profile_income > (5000 * $o/initial) return {$o} }",
+        );
         roundtrip("{ if not ($a/x = 1 or true) then ok }");
     }
 }

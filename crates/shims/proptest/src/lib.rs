@@ -1,0 +1,469 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! tiny property-testing harness covering exactly the subset its test suites
+//! use: the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), `prop_assert!`/`prop_assert_eq!`, strategies for integer ranges,
+//! booleans, `any::<u8>()`, regex-like string patterns (character classes
+//! with `{lo,hi}` repetition), and the `prop_map` / `prop_filter` /
+//! `prop_recursive` / tuple / `option::of` / `collection::vec` combinators.
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking (a
+//! failing case panics with the sampled inputs unshrunk) and a fixed
+//! deterministic seed sequence per test (cases are reproducible across
+//! runs — handy for an offline CI gate).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration, named like the real crate's.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+#[doc(hidden)]
+pub fn __rng_for_case(case: u64) -> TestRng {
+    TestRng::seed_from_u64(0xF1A5_7E57 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A value generator.
+pub trait Strategy: Sized {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying the predicate (resampled on rejection).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> Filter<Self, F> {
+        Filter { inner: self, f, reason }
+    }
+
+    /// Build a recursive strategy: `f` maps "a strategy for the inner
+    /// pieces" to "a strategy for one more level". The shim constructs
+    /// `depth` levels eagerly; `desired_size`/`expected_branch_size` are
+    /// accepted for signature compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            cur = f(cur).boxed();
+        }
+        cur
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_sample(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_sample(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive samples: {}", self.reason);
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Regex-like string patterns: a concatenation of atoms, each a literal
+/// character or a `[...]` class, optionally followed by `{n}` / `{lo,hi}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.reverse(); // pop() from the front
+    while let Some(c) = chars.pop() {
+        let class: Vec<char> = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => vec![chars.pop().unwrap_or_else(|| bad_pattern(pattern))],
+            lit => vec![lit],
+        };
+        let (lo, hi) = parse_quantifier(&mut chars, pattern);
+        let n = rng.random_range(lo..=hi);
+        for _ in 0..n {
+            out.push(class[rng.random_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+fn parse_class(rest: &mut Vec<char>, pattern: &str) -> Vec<char> {
+    let mut class = Vec::new();
+    loop {
+        let c = rest.pop().unwrap_or_else(|| bad_pattern(pattern));
+        match c {
+            ']' => break,
+            '\\' => class.push(rest.pop().unwrap_or_else(|| bad_pattern(pattern))),
+            _ => {
+                // `a-z` range unless the `-` is the class's last character.
+                if rest.last() == Some(&'-') && rest.get(rest.len().wrapping_sub(2)) != Some(&']') {
+                    rest.pop();
+                    let end = rest.pop().unwrap_or_else(|| bad_pattern(pattern));
+                    for v in (c as u32)..=(end as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            class.push(ch);
+                        }
+                    }
+                } else {
+                    class.push(c);
+                }
+            }
+        }
+    }
+    if class.is_empty() {
+        bad_pattern(pattern);
+    }
+    class
+}
+
+fn parse_quantifier(rest: &mut Vec<char>, pattern: &str) -> (usize, usize) {
+    match rest.last() {
+        Some('{') => {
+            rest.pop();
+            let mut spec = String::new();
+            loop {
+                match rest.pop() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => bad_pattern(pattern),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| bad_pattern(pattern)),
+                    hi.trim().parse().unwrap_or_else(|_| bad_pattern(pattern)),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            rest.pop();
+            (0, 1)
+        }
+        Some('*') => {
+            rest.pop();
+            (0, 8)
+        }
+        Some('+') => {
+            rest.pop();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn bad_pattern(pattern: &str) -> ! {
+    panic!("unsupported pattern in proptest shim: {pattern:?}")
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A fair coin.
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+
+    /// The `proptest::bool::ANY` strategy.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `Some` three times out of four, like the real crate's default weight.
+    pub struct OptionOf<S>(S);
+
+    impl<S: Strategy> Strategy for OptionOf<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            rng.random_bool(0.75).then(|| self.0.sample(rng))
+        }
+    }
+
+    /// Optional values of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+        OptionOf(inner)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A vector with a length drawn from `size` (half-open).
+    pub struct VecOf<S> {
+        inner: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecOf<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.clone());
+            (0..n).map(|_| self.inner.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of the inner strategy's values.
+    pub fn vec<S: Strategy>(inner: S, size: Range<usize>) -> VecOf<S> {
+        VecOf { inner, size }
+    }
+}
+
+/// The property-test macro: `#[test]` functions whose arguments are drawn
+/// from strategies, run for `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::__rng_for_case(case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assertion inside a property body (no shrinking in the shim: plain
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, BoxedStrategy, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_shapes() {
+        let mut rng = crate::__rng_for_case(3);
+        for _ in 0..200 {
+            let name = Strategy::sample(&"[a-z][a-z0-9_.-]{0,8}", &mut rng);
+            assert!((1..=9).contains(&name.chars().count()), "{name}");
+            assert!(name.chars().next().unwrap().is_ascii_lowercase());
+            let soup = Strategy::sample(&"[<>a-z/ =\"']{0,64}", &mut rng);
+            assert!(soup.chars().count() <= 64);
+            let text = Strategy::sample(&"[ -~äöü€<>&'\"]{1,20}", &mut rng);
+            assert!((1..=20).contains(&text.chars().count()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_draws_in_range(x in 5u64..25, b in crate::bool::ANY) {
+            prop_assert!((5..25).contains(&x));
+            let _ = b;
+        }
+
+        #[test]
+        fn combinators_compose(v in crate::collection::vec(any::<u8>(), 0..7), o in crate::option::of(0u32..3)) {
+            prop_assert!(v.len() < 7);
+            if let Some(x) = o { prop_assert!(x < 3); }
+        }
+    }
+}

@@ -9,49 +9,206 @@ use rand::Rng;
 
 /// Common English filler words.
 pub const WORDS: &[&str] = &[
-    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "pack", "my", "box", "with",
-    "five", "dozen", "liquor", "jugs", "how", "vexingly", "daft", "zebras", "jump", "amazingly",
-    "few", "discotheques", "provide", "jukeboxes", "auction", "lot", "rare", "vintage", "mint",
-    "condition", "original", "packaging", "shipping", "included", "reserve", "price", "bidder",
-    "payment", "accepted", "credit", "card", "money", "order", "cash", "collection", "antique",
-    "estate", "sale", "item", "excellent", "quality", "slight", "wear", "corner", "edge",
-    "signed", "first", "edition", "limited", "series", "collector", "grade", "professional",
-    "appraisal", "certificate", "authenticity", "guaranteed", "returns", "within", "days",
-    "buyer", "pays", "insurance", "optional", "international", "welcome", "contact", "seller",
-    "questions", "photos", "available", "request", "no", "low", "offers", "serious", "only",
-    "fast", "dispatch", "tracked", "delivery", "secure", "wrapped", "bubble", "sturdy", "carton",
+    "the",
+    "quick",
+    "brown",
+    "fox",
+    "jumps",
+    "over",
+    "lazy",
+    "dog",
+    "pack",
+    "my",
+    "box",
+    "with",
+    "five",
+    "dozen",
+    "liquor",
+    "jugs",
+    "how",
+    "vexingly",
+    "daft",
+    "zebras",
+    "jump",
+    "amazingly",
+    "few",
+    "discotheques",
+    "provide",
+    "jukeboxes",
+    "auction",
+    "lot",
+    "rare",
+    "vintage",
+    "mint",
+    "condition",
+    "original",
+    "packaging",
+    "shipping",
+    "included",
+    "reserve",
+    "price",
+    "bidder",
+    "payment",
+    "accepted",
+    "credit",
+    "card",
+    "money",
+    "order",
+    "cash",
+    "collection",
+    "antique",
+    "estate",
+    "sale",
+    "item",
+    "excellent",
+    "quality",
+    "slight",
+    "wear",
+    "corner",
+    "edge",
+    "signed",
+    "first",
+    "edition",
+    "limited",
+    "series",
+    "collector",
+    "grade",
+    "professional",
+    "appraisal",
+    "certificate",
+    "authenticity",
+    "guaranteed",
+    "returns",
+    "within",
+    "days",
+    "buyer",
+    "pays",
+    "insurance",
+    "optional",
+    "international",
+    "welcome",
+    "contact",
+    "seller",
+    "questions",
+    "photos",
+    "available",
+    "request",
+    "no",
+    "low",
+    "offers",
+    "serious",
+    "only",
+    "fast",
+    "dispatch",
+    "tracked",
+    "delivery",
+    "secure",
+    "wrapped",
+    "bubble",
+    "sturdy",
+    "carton",
 ];
 
 /// Given names for persons.
 pub const FIRST_NAMES: &[&str] = &[
-    "Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger", "Frances", "Grace", "Hedy", "Ivan",
-    "John", "Kathleen", "Leslie", "Margaret", "Niklaus", "Ole", "Peter", "Radia", "Seymour",
-    "Tim", "Ursula", "Vint", "Whitfield", "Xiaoyun", "Yukihiro", "Zhenyi",
+    "Ada",
+    "Alan",
+    "Barbara",
+    "Claude",
+    "Donald",
+    "Edsger",
+    "Frances",
+    "Grace",
+    "Hedy",
+    "Ivan",
+    "John",
+    "Kathleen",
+    "Leslie",
+    "Margaret",
+    "Niklaus",
+    "Ole",
+    "Peter",
+    "Radia",
+    "Seymour",
+    "Tim",
+    "Ursula",
+    "Vint",
+    "Whitfield",
+    "Xiaoyun",
+    "Yukihiro",
+    "Zhenyi",
 ];
 
 /// Family names for persons.
 pub const LAST_NAMES: &[&str] = &[
-    "Lovelace", "Turing", "Liskov", "Shannon", "Knuth", "Dijkstra", "Allen", "Hopper", "Lamarr",
-    "Sutherland", "Backus", "Booth", "Lamport", "Hamilton", "Wirth", "Dahl", "Naur", "Perlman",
-    "Cray", "Berners", "Franklin", "Cerf", "Diffie", "Wang", "Matsumoto", "Tu",
+    "Lovelace",
+    "Turing",
+    "Liskov",
+    "Shannon",
+    "Knuth",
+    "Dijkstra",
+    "Allen",
+    "Hopper",
+    "Lamarr",
+    "Sutherland",
+    "Backus",
+    "Booth",
+    "Lamport",
+    "Hamilton",
+    "Wirth",
+    "Dahl",
+    "Naur",
+    "Perlman",
+    "Cray",
+    "Berners",
+    "Franklin",
+    "Cerf",
+    "Diffie",
+    "Wang",
+    "Matsumoto",
+    "Tu",
 ];
 
 /// Countries for addresses.
 pub const COUNTRIES: &[&str] = &[
-    "Austria", "Germany", "France", "Italy", "Spain", "Norway", "Japan", "Brazil", "Canada",
-    "Australia", "Kenya", "India",
+    "Austria",
+    "Germany",
+    "France",
+    "Italy",
+    "Spain",
+    "Norway",
+    "Japan",
+    "Brazil",
+    "Canada",
+    "Australia",
+    "Kenya",
+    "India",
 ];
 
 /// Cities for addresses.
 pub const CITIES: &[&str] = &[
-    "Vienna", "Berlin", "Paris", "Rome", "Madrid", "Oslo", "Tokyo", "Recife", "Toronto",
-    "Sydney", "Nairobi", "Mumbai",
+    "Vienna", "Berlin", "Paris", "Rome", "Madrid", "Oslo", "Tokyo", "Recife", "Toronto", "Sydney",
+    "Nairobi", "Mumbai",
 ];
 
 /// Interest/category topics.
 pub const TOPICS: &[&str] = &[
-    "stamps", "coins", "furniture", "paintings", "books", "maps", "clocks", "cameras", "toys",
-    "jewelry", "records", "posters", "instruments", "ceramics", "textiles", "tools",
+    "stamps",
+    "coins",
+    "furniture",
+    "paintings",
+    "books",
+    "maps",
+    "clocks",
+    "cameras",
+    "toys",
+    "jewelry",
+    "records",
+    "posters",
+    "instruments",
+    "ceramics",
+    "textiles",
+    "tools",
 ];
 
 /// Append `n` random words to `out`, space separated.
@@ -85,7 +242,14 @@ mod tests {
 
     #[test]
     fn words_are_xml_clean() {
-        for w in WORDS.iter().chain(FIRST_NAMES).chain(LAST_NAMES).chain(COUNTRIES).chain(CITIES).chain(TOPICS) {
+        for w in WORDS
+            .iter()
+            .chain(FIRST_NAMES)
+            .chain(LAST_NAMES)
+            .chain(COUNTRIES)
+            .chain(CITIES)
+            .chain(TOPICS)
+        {
             assert!(w.chars().all(|c| c.is_ascii_alphanumeric()), "{w}");
         }
     }

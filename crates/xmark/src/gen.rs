@@ -112,7 +112,9 @@ pub fn generate<W: Write>(cfg: &XmarkConfig, out: W) -> io::Result<XmarkSummary>
         w.emit(&format!("<{region}>"))?;
         let budget = w.bytes + (regions_budget * share) as u64;
         let mut emitted = 0usize;
-        while w.bytes < budget || (*region == "australia" && emitted == 0 && cfg.target_bytes > 4096) {
+        while w.bytes < budget
+            || (*region == "australia" && emitted == 0 && cfg.target_bytes > 4096)
+        {
             buf.clear();
             gen_item(&mut rng, item_id, &mut buf);
             w.emit(&buf)?;
@@ -235,7 +237,7 @@ fn gen_item(rng: &mut StdRng, id: usize, buf: &mut String) {
     buf.push_str("<item>");
     tag(buf, "item_id", &format!("item{id}"));
     tag(buf, "location", pick(rng, COUNTRIES));
-    tag(buf, "quantity", &rng.random_range(1..=10).to_string());
+    tag(buf, "quantity", &rng.random_range(1..=10u32).to_string());
     tag_words(rng, buf, "name", 2, 4);
     tag(buf, "payment", if rng.random_bool(0.5) { "Creditcard" } else { "Money order" });
     tag_words(rng, buf, "description", 25, 60);
@@ -277,21 +279,40 @@ fn gen_person(rng: &mut StdRng, id: usize, income_p: f64, buf: &mut String) {
         &format!("mailto:{}@example.com", name.to_lowercase().replace(' ', ".")),
     );
     if rng.random_bool(0.5) {
-        tag(buf, "phone", &format!("+{} ({}) {}", rng.random_range(1..99), rng.random_range(10..999), rng.random_range(10000..9999999)));
+        tag(
+            buf,
+            "phone",
+            &format!(
+                "+{} ({}) {}",
+                rng.random_range(1..99),
+                rng.random_range(10..999),
+                rng.random_range(10000..9999999)
+            ),
+        );
     }
     if rng.random_bool(0.6) {
         buf.push_str("<address>");
         tag(buf, "street", &format!("{} {} St", rng.random_range(1..99), pick(rng, FIRST_NAMES)));
         tag(buf, "city", pick(rng, CITIES));
         tag(buf, "country", pick(rng, COUNTRIES));
-        tag(buf, "zipcode", &rng.random_range(1000..99999).to_string());
+        tag(buf, "zipcode", &rng.random_range(1000..99999u32).to_string());
         buf.push_str("</address>");
     }
     if rng.random_bool(0.5) {
         tag(buf, "homepage", &format!("http://example.com/~person{id}"));
     }
     if rng.random_bool(0.5) {
-        tag(buf, "creditcard", &format!("{} {} {} {}", rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999)));
+        tag(
+            buf,
+            "creditcard",
+            &format!(
+                "{} {} {} {}",
+                rng.random_range(1000..9999),
+                rng.random_range(1000..9999),
+                rng.random_range(1000..9999),
+                rng.random_range(1000..9999)
+            ),
+        );
     }
     let income: Option<u32> = rng.random_bool(income_p).then(|| rng.random_range(9000..90000));
     if rng.random_bool(0.75) {
@@ -310,7 +331,7 @@ fn gen_person(rng: &mut StdRng, id: usize, income_p: f64, buf: &mut String) {
         }
         tag(buf, "business", if rng.random_bool(0.3) { "Yes" } else { "No" });
         if rng.random_bool(0.5) {
-            tag(buf, "age", &rng.random_range(18..80).to_string());
+            tag(buf, "age", &rng.random_range(18..80u32).to_string());
         }
         buf.push_str("</profile>");
     }
@@ -329,7 +350,13 @@ fn gen_person(rng: &mut StdRng, id: usize, income_p: f64, buf: &mut String) {
     buf.push_str("</person>");
 }
 
-fn gen_open_auction(rng: &mut StdRng, id: usize, n_persons: usize, n_items: usize, buf: &mut String) {
+fn gen_open_auction(
+    rng: &mut StdRng,
+    id: usize,
+    n_persons: usize,
+    n_items: usize,
+    buf: &mut String,
+) {
     buf.push_str("<open_auction>");
     tag(buf, "open_auction_id", &format!("open_auction{id}"));
     let initial = rng.random_range(0.5_f64..100.0);
@@ -341,7 +368,16 @@ fn gen_open_auction(rng: &mut StdRng, id: usize, n_persons: usize, n_items: usiz
     for _ in 0..rng.random_range(0..=5) {
         buf.push_str("<bidder>");
         tag(buf, "date", &gen_date(rng));
-        tag(buf, "time", &format!("{:02}:{:02}:{:02}", rng.random_range(0..24), rng.random_range(0..60), rng.random_range(0..60)));
+        tag(
+            buf,
+            "time",
+            &format!(
+                "{:02}:{:02}:{:02}",
+                rng.random_range(0..24),
+                rng.random_range(0..60),
+                rng.random_range(0..60)
+            ),
+        );
         tag(buf, "personref", &format!("person{}", rng.random_range(0..n_persons)));
         let inc = rng.random_range(1.5_f64..30.0);
         tag(buf, "increase", &format!("{inc:.2}"));
@@ -355,7 +391,7 @@ fn gen_open_auction(rng: &mut StdRng, id: usize, n_persons: usize, n_items: usiz
     tag(buf, "itemref", &format!("item{}", rng.random_range(0..n_items)));
     tag(buf, "seller", &format!("person{}", rng.random_range(0..n_persons)));
     tag_words(rng, buf, "annotation", 15, 35);
-    tag(buf, "quantity", &rng.random_range(1..=10).to_string());
+    tag(buf, "quantity", &rng.random_range(1..=10u32).to_string());
     tag(buf, "type", if rng.random_bool(0.5) { "Regular" } else { "Featured" });
     tag(buf, "interval", &format!("{} days", rng.random_range(1..30)));
     buf.push_str("</open_auction>");
@@ -370,7 +406,7 @@ fn gen_closed_auction(rng: &mut StdRng, n_persons: usize, n_items: usize, buf: &
     tag(buf, "itemref", &format!("item{}", rng.random_range(0..n_items)));
     tag(buf, "price", &format!("{:.2}", rng.random_range(5.0_f64..500.0)));
     tag(buf, "date", &gen_date(rng));
-    tag(buf, "quantity", &rng.random_range(1..=10).to_string());
+    tag(buf, "quantity", &rng.random_range(1..=10u32).to_string());
     tag(buf, "type", if rng.random_bool(0.5) { "Regular" } else { "Featured" });
     if rng.random_bool(0.8) {
         tag_words(rng, buf, "annotation", 15, 35);
@@ -379,7 +415,12 @@ fn gen_closed_auction(rng: &mut StdRng, n_persons: usize, n_items: usize, buf: &
 }
 
 fn gen_date(rng: &mut StdRng) -> String {
-    format!("{:02}/{:02}/{}", rng.random_range(1..=12), rng.random_range(1..=28), rng.random_range(1998..2004))
+    format!(
+        "{:02}/{:02}/{}",
+        rng.random_range(1..=12),
+        rng.random_range(1..=28),
+        rng.random_range(1998..2004)
+    )
 }
 
 #[cfg(test)]

@@ -57,9 +57,9 @@ pub fn unescape(s: &str) -> Result<Cow<'_, str>, String> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         let after = &rest[amp + 1..];
-        let semi = after
-            .find(';')
-            .ok_or_else(|| format!("unterminated entity reference near `{}`", &rest[amp..rest.len().min(amp + 12)]))?;
+        let semi = after.find(';').ok_or_else(|| {
+            format!("unterminated entity reference near `{}`", &rest[amp..rest.len().min(amp + 12)])
+        })?;
         let name = &after[..semi];
         match name {
             "lt" => out.push('<'),
@@ -70,13 +70,19 @@ pub fn unescape(s: &str) -> Result<Cow<'_, str>, String> {
             _ if name.starts_with("#x") || name.starts_with("#X") => {
                 let cp = u32::from_str_radix(&name[2..], 16)
                     .map_err(|_| format!("bad hex character reference `&{name};`"))?;
-                out.push(char::from_u32(cp).ok_or_else(|| format!("invalid code point in `&{name};`"))?);
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| format!("invalid code point in `&{name};`"))?,
+                );
             }
             _ if name.starts_with('#') => {
                 let cp: u32 = name[1..]
                     .parse()
                     .map_err(|_| format!("bad decimal character reference `&{name};`"))?;
-                out.push(char::from_u32(cp).ok_or_else(|| format!("invalid code point in `&{name};`"))?);
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| format!("invalid code point in `&{name};`"))?,
+                );
             }
             _ => return Err(format!("unknown entity `&{name};`")),
         }
@@ -104,7 +110,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&lt;a&gt; &amp; &apos;b&apos; &quot;c&quot;").unwrap(), "<a> & 'b' \"c\"");
+        assert_eq!(
+            unescape("&lt;a&gt; &amp; &apos;b&apos; &quot;c&quot;").unwrap(),
+            "<a> & 'b' \"c\""
+        );
     }
 
     #[test]

@@ -27,11 +27,13 @@
 pub mod escape;
 pub mod events;
 pub mod reader;
+pub mod sink;
 pub mod tree;
 pub mod writer;
 pub mod xsax;
 
 pub use events::{Event, OwnedEvent};
 pub use reader::{AttributeMode, Reader, ReaderOptions, XmlError, XmlErrorKind};
+pub use sink::{Sink, StringSink};
 pub use tree::{Child, Node};
 pub use writer::Writer;

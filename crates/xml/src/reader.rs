@@ -82,15 +82,31 @@ impl fmt::Display for XmlError {
             XmlErrorKind::Utf8 => write!(f, "invalid UTF-8 at byte {}", self.offset),
             XmlErrorKind::Io(e) => write!(f, "I/O error at byte {}: {e}", self.offset),
             XmlErrorKind::MismatchedTag { expected, found } => match expected {
-                Some(e) => write!(f, "mismatched end tag </{found}> at byte {}, expected </{e}>", self.offset),
-                None => write!(f, "end tag </{found}> with no open element at byte {}", self.offset),
+                Some(e) => write!(
+                    f,
+                    "mismatched end tag </{found}> at byte {}, expected </{e}>",
+                    self.offset
+                ),
+                None => {
+                    write!(f, "end tag </{found}> with no open element at byte {}", self.offset)
+                }
             },
-            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input at byte {}", self.offset),
-            XmlErrorKind::TrailingContent => write!(f, "content after document root at byte {}", self.offset),
-            XmlErrorKind::TextOutsideRoot => write!(f, "character data outside the root element at byte {}", self.offset),
+            XmlErrorKind::UnexpectedEof => {
+                write!(f, "unexpected end of input at byte {}", self.offset)
+            }
+            XmlErrorKind::TrailingContent => {
+                write!(f, "content after document root at byte {}", self.offset)
+            }
+            XmlErrorKind::TextOutsideRoot => {
+                write!(f, "character data outside the root element at byte {}", self.offset)
+            }
             XmlErrorKind::Syntax(m) => write!(f, "XML syntax error at byte {}: {m}", self.offset),
             XmlErrorKind::AttributeRejected { element, attribute } => {
-                write!(f, "attribute `{attribute}` on `<{element}>` at byte {} (attribute-free mode)", self.offset)
+                write!(
+                    f,
+                    "attribute `{attribute}` on `<{element}>` at byte {} (attribute-free mode)",
+                    self.offset
+                )
             }
         }
     }
@@ -195,10 +211,10 @@ impl<R: BufRead> Reader<R> {
             }
             // Scan character data until the next '<'.
             self.raw.clear();
-            let n = self
-                .src
-                .read_until(b'<', &mut self.raw)
-                .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+            let n = self.src.read_until(b'<', &mut self.raw).map_err(|e| XmlError {
+                kind: XmlErrorKind::Io(e.to_string()),
+                offset: self.offset,
+            })?;
             self.offset += n as u64;
             let saw_lt = self.raw.last() == Some(&b'<');
             let text_len = if saw_lt { self.raw.len() - 1 } else { self.raw.len() };
@@ -247,7 +263,8 @@ impl<R: BufRead> Reader<R> {
             }
             return self.err(XmlErrorKind::TextOutsideRoot);
         }
-        let decoded = crate::escape::unescape(s).map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
+        let decoded = crate::escape::unescape(s)
+            .map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
         self.text_buf.clear();
         self.text_buf.push_str(&decoded);
         Ok(true)
@@ -270,10 +287,10 @@ impl<R: BufRead> Reader<R> {
         // Comments, CDATA and DOCTYPE may legitimately contain '>'.
         if self.raw.starts_with(b"!--") {
             while !self.raw.ends_with(b"--") || self.raw.len() < 5 {
-                let m = self
-                    .src
-                    .read_until(b'>', &mut self.raw)
-                    .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+                let m = self.src.read_until(b'>', &mut self.raw).map_err(|e| XmlError {
+                    kind: XmlErrorKind::Io(e.to_string()),
+                    offset: self.offset,
+                })?;
                 if m == 0 {
                     return self.err(XmlErrorKind::UnexpectedEof);
                 }
@@ -290,10 +307,10 @@ impl<R: BufRead> Reader<R> {
             while !self.raw.ends_with(b"]]") {
                 // The '>' we consumed was CDATA content, not the terminator.
                 self.raw.push(b'>');
-                let m = self
-                    .src
-                    .read_until(b'>', &mut self.raw)
-                    .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+                let m = self.src.read_until(b'>', &mut self.raw).map_err(|e| XmlError {
+                    kind: XmlErrorKind::Io(e.to_string()),
+                    offset: self.offset,
+                })?;
                 if m == 0 {
                     return self.err(XmlErrorKind::UnexpectedEof);
                 }
@@ -308,7 +325,8 @@ impl<R: BufRead> Reader<R> {
                 return self.err(XmlErrorKind::TextOutsideRoot);
             }
             let inner = &self.raw[8..self.raw.len() - 2];
-            let s = std::str::from_utf8(inner).map_err(|_| XmlError { kind: XmlErrorKind::Utf8, offset: self.offset })?;
+            let s = std::str::from_utf8(inner)
+                .map_err(|_| XmlError { kind: XmlErrorKind::Utf8, offset: self.offset })?;
             self.text_buf.clear();
             self.text_buf.push_str(s);
             self.slot = Slot::Text;
@@ -319,10 +337,10 @@ impl<R: BufRead> Reader<R> {
             let mut depth = self.raw.iter().filter(|&&b| b == b'[').count() as i64
                 - self.raw.iter().filter(|&&b| b == b']').count() as i64;
             while depth > 0 {
-                let m = self
-                    .src
-                    .read_until(b'>', &mut self.raw)
-                    .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+                let m = self.src.read_until(b'>', &mut self.raw).map_err(|e| XmlError {
+                    kind: XmlErrorKind::Io(e.to_string()),
+                    offset: self.offset,
+                })?;
                 if m == 0 {
                     return self.err(XmlErrorKind::UnexpectedEof);
                 }
@@ -343,17 +361,27 @@ impl<R: BufRead> Reader<R> {
             return Ok(false);
         }
 
-        let body = std::str::from_utf8(&self.raw).map_err(|_| XmlError { kind: XmlErrorKind::Utf8, offset: self.offset })?;
+        let body = std::str::from_utf8(&self.raw)
+            .map_err(|_| XmlError { kind: XmlErrorKind::Utf8, offset: self.offset })?;
         if let Some(name_part) = body.strip_prefix('/') {
             // End tag.
             let name = name_part.trim();
-            check_name(name).map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
+            check_name(name)
+                .map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
             match self.stack.pop() {
                 Some(open) if open == name => {}
                 Some(open) => {
-                    return self.err(XmlErrorKind::MismatchedTag { expected: Some(open), found: name.to_string() })
+                    return self.err(XmlErrorKind::MismatchedTag {
+                        expected: Some(open),
+                        found: name.to_string(),
+                    })
                 }
-                None => return self.err(XmlErrorKind::MismatchedTag { expected: None, found: name.to_string() }),
+                None => {
+                    return self.err(XmlErrorKind::MismatchedTag {
+                        expected: None,
+                        found: name.to_string(),
+                    })
+                }
             }
             self.name_buf.clear();
             self.name_buf.push_str(name);
@@ -372,7 +400,8 @@ impl<R: BufRead> Reader<R> {
         let body = body.trim_end();
         let name_end = body.find(|c: char| c.is_whitespace()).unwrap_or(body.len());
         let name = &body[..name_end];
-        check_name(name).map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
+        check_name(name)
+            .map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
         let attr_src = body[name_end..].trim();
 
         self.seen_root = true;
@@ -389,7 +418,8 @@ impl<R: BufRead> Reader<R> {
             return Ok(true);
         }
 
-        let attrs = parse_attributes(attr_src).map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
+        let attrs = parse_attributes(attr_src)
+            .map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
         match self.opts.attributes {
             AttributeMode::Reject => self.err(XmlErrorKind::AttributeRejected {
                 element: name.to_string(),
@@ -452,7 +482,9 @@ fn parse_attributes(src: &str) -> Result<Vec<(String, String)>, String> {
     let mut out = Vec::new();
     let mut rest = src.trim_start();
     while !rest.is_empty() {
-        let eq = rest.find('=').ok_or_else(|| format!("expected `=` in attribute list near `{rest}`"))?;
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("expected `=` in attribute list near `{rest}`"))?;
         let name = rest[..eq].trim();
         check_name(name)?;
         let after = rest[eq + 1..].trim_start();

@@ -1,0 +1,102 @@
+//! Output sinks: where serialized query results go.
+//!
+//! The engines are generic over [`Sink`] so results can stream to a socket,
+//! a file, a byte counter, or an in-memory capture without the hot path ever
+//! being forced through an owned `String`. Every [`std::io::Write`]
+//! implementor is a `Sink` via the blanket impl; [`StringSink`] is the
+//! capturing sink used when the caller does want the result as text.
+
+use std::io;
+
+/// A destination for serialized output bytes.
+///
+/// Blanket-implemented for every [`io::Write`], so `Vec<u8>`, files, sockets,
+/// `io::sink()` and friends all work directly.
+pub trait Sink {
+    /// Append a chunk of output.
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flush any buffered output to the final destination.
+    fn flush_sink(&mut self) -> io::Result<()>;
+}
+
+impl<W: io::Write> Sink for W {
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.write_all(bytes)
+    }
+
+    fn flush_sink(&mut self) -> io::Result<()> {
+        self.flush()
+    }
+}
+
+/// A sink that captures the output in memory as UTF-8 text.
+///
+/// The writer layer only emits valid UTF-8 (element names and escaped text),
+/// so [`StringSink::into_string`] never fails.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StringSink {
+    buf: Vec<u8>,
+}
+
+impl StringSink {
+    /// An empty capture buffer.
+    pub fn new() -> StringSink {
+        StringSink::default()
+    }
+
+    /// The captured output so far.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf).expect("writer emits UTF-8")
+    }
+
+    /// Bytes captured so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether anything has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the sink, yielding the captured output.
+    pub fn into_string(self) -> String {
+        String::from_utf8(self.buf).expect("writer emits UTF-8")
+    }
+}
+
+impl io::Write for StringSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_sink_captures() {
+        let mut s = StringSink::new();
+        s.write_bytes(b"<a>").unwrap();
+        s.write_bytes(b"x</a>").unwrap();
+        assert_eq!(s.as_str(), "<a>x</a>");
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+        assert_eq!(s.into_string(), "<a>x</a>");
+    }
+
+    #[test]
+    fn io_write_types_are_sinks() {
+        fn take(_: &mut impl Sink) {}
+        take(&mut Vec::new());
+        take(&mut io::sink());
+        take(&mut StringSink::new());
+    }
+}

@@ -5,21 +5,23 @@
 //! bytes written, which the benchmark harness uses to sanity-check that
 //! different engines produce identically sized results.
 
-use std::io::{self, Write as IoWrite};
+use std::io;
 
 use crate::escape::escape_text;
 use crate::events::Event;
+use crate::sink::Sink;
 use crate::tree::Node;
 
-/// A streaming event serializer over any [`io::Write`] sink.
-pub struct Writer<W> {
-    out: W,
+/// A streaming event serializer over any [`Sink`] (every [`io::Write`] is
+/// one via the blanket impl).
+pub struct Writer<S> {
+    out: S,
     bytes: u64,
 }
 
-impl<W: IoWrite> Writer<W> {
+impl<S: Sink> Writer<S> {
     /// Wrap a sink.
-    pub fn new(out: W) -> Self {
+    pub fn new(out: S) -> Self {
         Writer { out, bytes: 0 }
     }
 
@@ -67,13 +69,19 @@ impl<W: IoWrite> Writer<W> {
     }
 
     /// Flush and return the inner sink.
-    pub fn into_inner(mut self) -> io::Result<W> {
-        self.out.flush()?;
+    pub fn into_inner(mut self) -> io::Result<S> {
+        self.out.flush_sink()?;
         Ok(self.out)
     }
 
+    /// Return the inner sink without flushing (used to recover the sink on
+    /// error paths, where a flush could mask the original failure).
+    pub fn into_sink(self) -> S {
+        self.out
+    }
+
     fn raw(&mut self, b: &[u8]) -> io::Result<()> {
-        self.out.write_all(b)?;
+        self.out.write_bytes(b)?;
         self.bytes += b.len() as u64;
         Ok(())
     }
@@ -87,7 +95,7 @@ pub struct NullSink {
     pub bytes: u64,
 }
 
-impl IoWrite for NullSink {
+impl io::Write for NullSink {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         self.bytes += buf.len() as u64;
         Ok(buf.len())

@@ -8,10 +8,8 @@
 //! cargo run --example buffer_planner
 //! ```
 
-use flux::core::rewrite_query;
-use flux::dtd::Dtd;
 use flux::engine::bufplan::{buffer_tree_for, pi};
-use flux::engine::CompiledQuery;
+use flux::prelude::Engine;
 use flux::query::parse_xquery;
 use flux::xmark::{Q8, XMARK_DTD};
 
@@ -40,12 +38,10 @@ fn main() {
     println!("  (the `ceo` leaf was pruned: its marked ancestor `publisher` covers it)");
 
     // A real query's buffer plan: XMark Q8 against the auction schema.
-    let dtd = Dtd::parse(XMARK_DTD).expect("DTD parses");
-    let q8 = parse_xquery(Q8).expect("Q8 parses");
-    let flux = rewrite_query(&q8, &dtd).expect("rewrite");
-    let compiled = CompiledQuery::compile(&flux, &dtd).expect("compile");
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().expect("DTD parses");
+    let q8 = engine.prepare(Q8).expect("Q8 schedules");
     println!("\nXMark Q8 — compiled buffer plan (scope variable → buffer tree):");
-    for (var, tree) in compiled.buffer_plan() {
+    for (var, tree) in q8.buffer_plan() {
         println!("  ${var}: {tree}");
     }
     println!("\nOnly person ids/names and closed auctions are buffered — the");

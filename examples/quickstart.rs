@@ -1,19 +1,19 @@
-//! Quickstart: the paper's introductory example (Section 1).
+//! Quickstart: the paper's introductory example (Section 1), on the
+//! prepare-once/run-many API.
 //!
 //! XMP Q3 lists each book's titles and authors. Under a weak DTD the authors
 //! must be buffered until the end of each book; under the XML Query Use
 //! Cases DTD the order constraint `Ord_book(title, author)` lets everything
-//! stream with **zero** buffer memory. This example schedules the same query
-//! against both schemas, prints the FluX plans, and runs them.
+//! stream with **zero** buffer memory. This example builds one [`Engine`]
+//! per schema, prepares the same query against both, runs the preparation
+//! over a document (twice, to show reuse), and finally feeds the document
+//! chunk-by-chunk through a push [`Session`] — the socket-shaped input path.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use flux::core::rewrite_query;
-use flux::dtd::Dtd;
-use flux::engine::run_streaming;
-use flux::query::parse_xquery;
+use flux::prelude::*;
 
 const QUERY: &str = "<results>\
 { for $b in $ROOT/bib/book return \
@@ -40,23 +40,54 @@ const STRONG_DOC: &str = "<bib>\
 </bib>";
 
 fn main() {
-    let query = parse_xquery(QUERY).expect("query parses");
     println!("XQuery (XMP Q3):\n  {QUERY}\n");
 
     for (label, dtd_src, doc) in [
         ("weak DTD  <!ELEMENT book (title|author)*>", WEAK_DTD, WEAK_DOC),
-        ("strong DTD <!ELEMENT book (title,(author+|editor+),publisher,price)>", STRONG_DTD, STRONG_DOC),
+        (
+            "strong DTD <!ELEMENT book (title,(author+|editor+),publisher,price)>",
+            STRONG_DTD,
+            STRONG_DOC,
+        ),
     ] {
         println!("=== {label} ===");
-        let dtd = Dtd::parse(dtd_src).expect("DTD parses");
-        let flux = rewrite_query(&query, &dtd).expect("rewrite succeeds");
-        println!("FluX plan:\n  {flux}\n");
-        let run = run_streaming(&flux, &dtd, doc.as_bytes()).expect("streaming run");
+        // Prepare ONCE: parse → normalize → Figure 2 schedule → safety
+        // check → buffer planning. This is the amortized phase.
+        let engine = Engine::builder().dtd_str(dtd_src).build().expect("DTD parses");
+        let q = engine.prepare(QUERY).expect("query schedules");
+        println!("FluX plan:\n  {}\n", q.plan());
+        if q.is_fully_streaming() {
+            println!("buffers: none — the schedule proves constant-memory streaming");
+        } else {
+            for (var, tree) in q.buffer_plan() {
+                println!("buffer for ${var}: {tree}");
+            }
+        }
+
+        // Run MANY: the same preparation serves every document (and every
+        // thread — PreparedQuery is Send + Sync and cheap to clone).
+        let run = q.run_str(doc).expect("streaming run");
+        let again = q.run_str(doc).expect("same preparation, next document");
+        assert_eq!(run.output, again.output);
         println!("output:\n  {}", run.output);
         println!(
-            "stats: peak buffer = {} bytes, events = {}, on = {}, on-first = {}\n",
-            run.stats.peak_buffer_bytes, run.stats.events, run.stats.on_firings, run.stats.on_first_firings
+            "stats: peak buffer = {} bytes, events = {}, on = {}, on-first = {}",
+            run.stats.peak_buffer_bytes,
+            run.stats.events,
+            run.stats.on_firings,
+            run.stats.on_first_firings
         );
+
+        // Push-based input: bytes arrive in chunks, output streams to the
+        // sink, and the stats are identical to the one-shot run.
+        let mut session = q.session(StringSink::new());
+        for chunk in doc.as_bytes().chunks(16) {
+            session.feed(chunk).expect("session alive");
+        }
+        let fin = session.finish().expect("session completes");
+        assert_eq!(fin.sink.as_str(), run.output);
+        assert_eq!(fin.stats, run.stats);
+        println!("session (16-byte chunks): identical output and stats\n");
     }
     println!("Note the strong DTD's plan uses only `on` handlers for data — peak buffer is 0.");
 }

@@ -9,10 +9,7 @@
 //! cargo run --example weak_vs_strong_dtd
 //! ```
 
-use flux::core::rewrite_query;
-use flux::dtd::Dtd;
-use flux::engine::run_streaming;
-use flux::query::parse_xquery;
+use flux::prelude::*;
 
 const QUERY: &str = "<bib>\
 { for $b in $ROOT/bib/book \
@@ -52,14 +49,14 @@ fn doc(ordered: bool) -> String {
 }
 
 fn main() {
-    let query = parse_xquery(QUERY).expect("query parses");
     println!("XQuery (XMP Q1):\n  {QUERY}\n");
 
     for (label, dtd_src, ordered) in [("weak", WEAK, false), ("ordered", ORDERED, true)] {
-        let dtd = Dtd::parse(dtd_src).expect("DTD parses");
-        let flux = rewrite_query(&query, &dtd).expect("rewrite");
+        let engine = Engine::builder().dtd_str(dtd_src).build().expect("DTD parses");
+        let q = engine.prepare(QUERY).expect("query schedules");
+        let flux = q.plan();
         let data = doc(ordered);
-        let run = run_streaming(&flux, &dtd, data.as_bytes()).expect("run");
+        let run = q.run_str(&data).expect("run");
         let titles_stream = flux.to_string().contains("on title as");
         println!("=== {label} DTD ===");
         println!("plan: {flux}\n");
@@ -68,7 +65,11 @@ fn main() {
             "peak buffer: {} bytes — titles {} (years stay buffered in both plans,\n\
              exactly like the paper's F1 vs F′1)\n",
             run.stats.peak_buffer_bytes,
-            if titles_stream { "STREAM via an `on` handler" } else { "are BUFFERED until past(…)" },
+            if titles_stream {
+                "STREAM via an `on` handler"
+            } else {
+                "are BUFFERED until past(…)"
+            },
         );
     }
 }

@@ -10,38 +10,43 @@
 use std::time::Instant;
 
 use flux::baseline::{DomEngine, ProjectionMode};
-use flux::core::rewrite_query;
-use flux::dtd::Dtd;
-use flux::engine::CompiledQuery;
+use flux::prelude::Engine;
 use flux::query::parse_xquery;
 use flux::xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
 use flux::xml::writer::NullSink;
 
 fn main() {
     let mb: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
-    let dtd = Dtd::parse(XMARK_DTD).expect("XMark DTD parses");
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().expect("XMark DTD parses");
 
     eprint!("generating {mb} MB XMark document … ");
     let (doc, summary) = generate_string(&XmarkConfig::megabytes(mb));
     eprintln!(
         "{} bytes: {} persons, {} open auctions, {} closed auctions, {} australian items",
-        summary.bytes, summary.persons, summary.open_auctions, summary.closed_auctions,
+        summary.bytes,
+        summary.persons,
+        summary.open_auctions,
+        summary.closed_auctions,
         summary.australia_items
     );
 
-    println!("\n{:<6} {:>14} {:>14} {:>14} {:>14}", "query", "flux time", "flux buffer", "dom time", "dom tree");
+    println!(
+        "\n{:<6} {:>14} {:>14} {:>14} {:>14}",
+        "query", "flux time", "flux buffer", "dom time", "dom tree"
+    );
     for q in PAPER_QUERIES {
+        // Prepare both engines once, outside the timed region, so the
+        // numbers measure execution rather than planning.
+        let prepared = engine.prepare(q.source).expect("paper query schedules");
         let query = parse_xquery(q.source).expect("paper query parses");
-        let flux = rewrite_query(&query, &dtd).expect("rewrite");
-        let compiled = CompiledQuery::compile(&flux, &dtd).expect("compile");
+        let dom = DomEngine { projection: ProjectionMode::Paths, memory_cap: None }.prepare(&query);
 
         let t0 = Instant::now();
-        let stats = compiled.run(doc.as_bytes(), NullSink::default()).expect("flux run");
+        let stats = prepared.run_to(doc.as_bytes(), NullSink::default()).expect("flux run");
         let flux_time = t0.elapsed();
 
-        let dom = DomEngine { projection: ProjectionMode::Paths, memory_cap: None };
         let t1 = Instant::now();
-        let dom_stats = dom.run_to(&query, doc.as_bytes(), NullSink::default()).expect("dom run");
+        let dom_stats = dom.run_to(doc.as_bytes(), NullSink::default()).expect("dom run");
         let dom_time = t1.elapsed();
 
         assert_eq!(stats.output_bytes, dom_stats.output_bytes, "{}: engines disagree!", q.name);

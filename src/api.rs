@@ -1,0 +1,294 @@
+//! The prepared-query facade: compile once, run many.
+//!
+//! A FluX query is *scheduled once* against the DTD and then executed over
+//! arbitrarily many streams. The facade makes the cost split explicit:
+//!
+//! * [`Engine`] — built once per schema. Holds the parsed [`Dtd`] (shared
+//!   via `Arc`), reader options, the rewrite options, and the buffer-limit
+//!   policy.
+//! * [`Engine::prepare`] — the amortized phase: parse → normalize →
+//!   schedule (Figure 2) → safety check → buffer planning → compiled plan.
+//!   Linear in the query and schema, independent of any document.
+//! * [`PreparedQuery`] — the reusable product. It is cheap to clone and
+//!   `Send + Sync`: one preparation serves any number of concurrent runs
+//!   or [`Session`](crate::Session)s. Each execution is a single pass over
+//!   the input with exactly the buffering the schedule proves necessary.
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use flux_core::{parse_flux, rewrite_query_with, FluxExpr, RewriteOptions};
+use flux_dtd::Dtd;
+use flux_engine::{CompiledQuery, EngineOptions, RunOutcome, RunStats};
+use flux_query::{parse_xquery, Expr};
+use flux_xml::{AttributeMode, Sink, StringSink};
+
+use crate::error::FluxError;
+use crate::session::Session;
+
+/// A configured query engine for one schema. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    dtd: Arc<Dtd>,
+    opts: EngineOptions,
+    rewrite: RewriteOptions,
+}
+
+/// Configures and builds an [`Engine`].
+#[derive(Debug, Default, Clone)]
+pub struct EngineBuilder {
+    dtd: Option<Arc<Dtd>>,
+    dtd_src: Option<String>,
+    opts: EngineOptions,
+    rewrite: RewriteOptions,
+}
+
+impl EngineBuilder {
+    /// Use an already-parsed DTD.
+    pub fn dtd(mut self, dtd: Dtd) -> Self {
+        self.dtd = Some(Arc::new(dtd));
+        self
+    }
+
+    /// Share a DTD that other engines or code also hold.
+    pub fn dtd_arc(mut self, dtd: Arc<Dtd>) -> Self {
+        self.dtd = Some(dtd);
+        self
+    }
+
+    /// Parse the DTD from source at [`EngineBuilder::build`] time.
+    pub fn dtd_str(mut self, src: &str) -> Self {
+        self.dtd_src = Some(src.to_string());
+        self
+    }
+
+    /// How start-tag attributes are handled (default: XSAX-style conversion
+    /// to subelements, the paper's setup).
+    pub fn attributes(mut self, mode: AttributeMode) -> Self {
+        self.opts.reader.attributes = mode;
+        self
+    }
+
+    /// Report whitespace-only text nodes (default: off).
+    pub fn keep_whitespace(mut self, keep: bool) -> Self {
+        self.opts.reader.keep_whitespace = keep;
+        self
+    }
+
+    /// Abort any run whose live buffers exceed this many bytes — a
+    /// back-pressure guard for multi-tenant services (default: unlimited).
+    pub fn max_buffer_bytes(mut self, limit: usize) -> Self {
+        self.opts.max_buffer_bytes = Some(limit);
+        self
+    }
+
+    /// Override the scheduler's rewrite options (Section 7 optimizations).
+    pub fn rewrite_options(mut self, rewrite: RewriteOptions) -> Self {
+        self.rewrite = rewrite;
+        self
+    }
+
+    /// Build the engine. Fails if no DTD was provided or `dtd_str` does not
+    /// parse.
+    pub fn build(self) -> Result<Engine, FluxError> {
+        let dtd = match (self.dtd, self.dtd_src) {
+            (Some(dtd), None) => dtd,
+            (None, Some(src)) => Arc::new(Dtd::parse(&src)?),
+            (Some(_), Some(_)) => {
+                return Err(FluxError::Config(
+                    "provide the DTD either parsed or as source, not both".into(),
+                ))
+            }
+            (None, None) => {
+                return Err(FluxError::Config(
+                    "an Engine needs a DTD (builder.dtd(..) or builder.dtd_str(..))".into(),
+                ))
+            }
+        };
+        Ok(Engine { dtd, opts: self.opts, rewrite: self.rewrite })
+    }
+}
+
+impl Engine {
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine over a parsed DTD with default options.
+    pub fn new(dtd: Dtd) -> Engine {
+        Engine {
+            dtd: Arc::new(dtd),
+            opts: EngineOptions::default(),
+            rewrite: RewriteOptions::default(),
+        }
+    }
+
+    /// The schema this engine schedules against.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// Prepare an XQuery− query: the full compile-once pipeline
+    /// (parse → schedule → safety check → buffer plan).
+    pub fn prepare(&self, query: &str) -> Result<PreparedQuery, FluxError> {
+        self.prepare_expr(&parse_xquery(query)?)
+    }
+
+    /// Prepare an already-parsed XQuery− expression.
+    pub fn prepare_expr(&self, query: &Expr) -> Result<PreparedQuery, FluxError> {
+        let plan = rewrite_query_with(query, &self.dtd, self.rewrite)?;
+        self.prepare_flux(plan)
+    }
+
+    /// Prepare a hand-written FluX plan from source (checked for safety).
+    pub fn prepare_flux_str(&self, plan: &str) -> Result<PreparedQuery, FluxError> {
+        self.prepare_flux(parse_flux(plan)?)
+    }
+
+    /// Prepare an explicit FluX plan (checked for safety).
+    pub fn prepare_flux(&self, plan: FluxExpr) -> Result<PreparedQuery, FluxError> {
+        let compiled = CompiledQuery::compile_with(&plan, Arc::clone(&self.dtd), self.opts)?;
+        Ok(PreparedQuery { compiled: Arc::new(compiled), plan: Arc::new(plan) })
+    }
+}
+
+/// A fully compiled query pipeline, reusable across documents, threads and
+/// sessions. Produced by [`Engine::prepare`]; cloning is an `Arc` bump.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    compiled: Arc<CompiledQuery>,
+    plan: Arc<FluxExpr>,
+}
+
+impl PreparedQuery {
+    /// The scheduled FluX plan (for explain output).
+    pub fn plan(&self) -> &FluxExpr {
+        &self.plan
+    }
+
+    /// Scope variables with a non-empty buffer tree and its rendering —
+    /// empty iff the whole query streams in constant memory.
+    pub fn buffer_plan(&self) -> Vec<(String, String)> {
+        self.compiled.buffer_plan()
+    }
+
+    /// Does the schedule prove the query needs no buffering at all?
+    pub fn is_fully_streaming(&self) -> bool {
+        self.compiled.buffer_tree_nodes() == 0
+    }
+
+    /// Execute over a complete in-memory document, capturing the output.
+    pub fn run_str(&self, doc: &str) -> Result<RunOutcome, FluxError> {
+        self.run_bytes(doc.as_bytes())
+    }
+
+    /// Execute over a complete byte slice, capturing the output.
+    pub fn run_bytes(&self, doc: &[u8]) -> Result<RunOutcome, FluxError> {
+        let (res, sink) = self.compiled.run_sink(doc, StringSink::new());
+        Ok(RunOutcome { output: sink.into_string(), stats: res? })
+    }
+
+    /// Execute over any buffered reader, streaming the output to a
+    /// [`Sink`]. This is the zero-allocation hot path: nothing is collected
+    /// unless the plan's buffer trees demand it.
+    pub fn run_to<R: BufRead, S: Sink>(&self, input: R, sink: S) -> Result<RunStats, FluxError> {
+        Ok(self.compiled.run(input, sink)?)
+    }
+
+    /// Start an incremental push session: bytes arrive chunk-by-chunk via
+    /// [`Session::feed`] (e.g. straight off a socket), output streams to
+    /// `sink` as soon as the schedule allows.
+    pub fn session<S: Sink + Send + 'static>(&self, sink: S) -> Session<S> {
+        Session::spawn(Arc::clone(&self.compiled), sink)
+    }
+
+    /// A push session capturing its output in memory.
+    pub fn session_string(&self) -> Session<StringSink> {
+        self.session(StringSink::new())
+    }
+
+    /// The underlying compiled plan.
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DTD: &str = "<!ELEMENT bib (book)*>\
+        <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+        <!ELEMENT publisher (#PCDATA)><!ELEMENT price (#PCDATA)>";
+    const QUERY: &str = "<results>{ for $b in $ROOT/bib/book return \
+        <result> {$b/title} {$b/author} </result> }</results>";
+    const DOC: &str = "<bib><book><title>T</title><author>A</author>\
+        <publisher>P</publisher><price>1</price></book></bib>";
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn prepared_queries_are_shareable() {
+        assert_send_sync::<PreparedQuery>();
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn one_preparation_many_runs_and_threads() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        assert!(q.is_fully_streaming());
+        let first = q.run_str(DOC).unwrap();
+        assert_eq!(first.stats.peak_buffer_bytes, 0);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.run_str(DOC).unwrap().output)
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), first.output);
+        }
+    }
+
+    #[test]
+    fn builder_misuse_is_reported() {
+        assert!(matches!(Engine::builder().build(), Err(FluxError::Config(_))));
+        let both = Engine::builder().dtd_str(DTD).dtd(Dtd::parse(DTD).unwrap()).build();
+        assert!(matches!(both, Err(FluxError::Config(_))));
+        assert!(matches!(Engine::builder().dtd_str("<!ELEMENT").build(), Err(FluxError::Dtd(_))));
+    }
+
+    #[test]
+    fn buffer_limit_aborts_buffering_plans() {
+        // The weak schema forces author buffering; a tiny limit must abort.
+        let weak = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+            <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+        let engine = Engine::builder().dtd_str(weak).max_buffer_bytes(4).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let doc = "<bib><book><title>T</title><author>quite-long-author-name</author></book></bib>";
+        let err = q.run_str(doc).unwrap_err();
+        assert!(
+            matches!(err, FluxError::Engine(flux_engine::EngineError::BufferLimit { .. })),
+            "{err}"
+        );
+        // Streaming plans are untouched by the limit.
+        let strong = Engine::builder().dtd_str(DTD).max_buffer_bytes(4).build().unwrap();
+        assert_eq!(strong.prepare(QUERY).unwrap().run_str(DOC).unwrap().stats.peak_buffer_bytes, 0);
+    }
+
+    #[test]
+    fn explain_surface() {
+        let weak = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+            <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+        let engine = Engine::builder().dtd_str(weak).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        assert!(!q.is_fully_streaming());
+        let plan = q.buffer_plan();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].0, "b");
+        assert!(q.plan().to_string().contains("ps"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The unified error surface of the facade.
+//!
+//! Every crate in the workspace keeps its own precise error enum (XML
+//! syntax, DTD compilation, query parsing, scheduling, safety, runtime);
+//! [`FluxError`] wraps them all with `From` conversions so code using the
+//! [`Engine`](crate::Engine) / [`PreparedQuery`](crate::PreparedQuery) /
+//! [`Session`](crate::Session) API handles exactly one fallible type — and
+//! `?` works across every phase of the pipeline.
+
+use std::fmt;
+
+use flux_baseline::BaselineError;
+use flux_core::{InterpError, RewriteError, SafetyViolation};
+use flux_dtd::DtdError;
+use flux_engine::EngineError;
+use flux_query::eval::EvalError;
+use flux_query::ParseError;
+use flux_xml::XmlError;
+
+/// Any failure the FluX facade can report.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FluxError {
+    /// Input XML is malformed.
+    Xml(XmlError),
+    /// The DTD failed to parse or compile (e.g. an ambiguous content model).
+    Dtd(DtdError),
+    /// The XQuery− (or FluX) source failed to parse.
+    Parse(ParseError),
+    /// The scheduler could not rewrite the query against the schema.
+    Rewrite(RewriteError),
+    /// A hand-written FluX plan violates safety (Definition 3.6).
+    Unsafe(SafetyViolation),
+    /// The streaming engine rejected or aborted the run.
+    Engine(EngineError),
+    /// XQuery− evaluation failed (buffered subexpressions, baselines).
+    Eval(EvalError),
+    /// The reference tree interpreter failed.
+    Interp(InterpError),
+    /// A DOM baseline run failed.
+    Baseline(BaselineError),
+    /// The engine was configured inconsistently (builder misuse).
+    Config(String),
+    /// `Session::feed` after the session's worker already stopped; call
+    /// `Session::finish` for the underlying error.
+    SessionAborted,
+    /// The session's worker thread panicked.
+    SessionPanicked,
+}
+
+impl fmt::Display for FluxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FluxError::Xml(e) => write!(f, "{e}"),
+            FluxError::Dtd(e) => write!(f, "{e}"),
+            FluxError::Parse(e) => write!(f, "{e}"),
+            FluxError::Rewrite(e) => write!(f, "{e}"),
+            FluxError::Unsafe(v) => write!(f, "{v}"),
+            FluxError::Engine(e) => write!(f, "{e}"),
+            FluxError::Eval(e) => write!(f, "{e}"),
+            FluxError::Interp(e) => write!(f, "{e}"),
+            FluxError::Baseline(e) => write!(f, "{e}"),
+            FluxError::Config(m) => write!(f, "engine configuration error: {m}"),
+            FluxError::SessionAborted => {
+                write!(f, "session already stopped; finish() reports the cause")
+            }
+            FluxError::SessionPanicked => write!(f, "session worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for FluxError {}
+
+macro_rules! from_impl {
+    ($($variant:ident($ty:ty)),* $(,)?) => {$(
+        impl From<$ty> for FluxError {
+            fn from(e: $ty) -> FluxError {
+                FluxError::$variant(e)
+            }
+        }
+    )*};
+}
+
+from_impl! {
+    Xml(XmlError),
+    Dtd(DtdError),
+    Parse(ParseError),
+    Rewrite(RewriteError),
+    Unsafe(SafetyViolation),
+    Engine(EngineError),
+    Eval(EvalError),
+    Interp(InterpError),
+    Baseline(BaselineError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_phase_converts_with_question_mark() {
+        fn pipeline() -> Result<(), FluxError> {
+            flux_dtd::Dtd::parse("<!ELEMENT")?; // DtdError
+            Ok(())
+        }
+        assert!(matches!(pipeline(), Err(FluxError::Dtd(_))));
+
+        fn parse() -> Result<(), FluxError> {
+            flux_query::parse_xquery("{{{")?;
+            Ok(())
+        }
+        assert!(matches!(parse(), Err(FluxError::Parse(_))));
+    }
+
+    #[test]
+    fn displays_are_transparent() {
+        let e = FluxError::Config("no DTD".into());
+        assert!(e.to_string().contains("no DTD"));
+    }
+}

@@ -7,7 +7,7 @@
 //! The pieces (see `DESIGN.md` for the full inventory):
 //!
 //! * [`xml`] — streaming XML parser/serializer, DOM trees, XSAX attribute
-//!   conversion.
+//!   conversion, and the [`Sink`] output abstraction.
 //! * [`dtd`] — DTDs, Glushkov automata, order constraints `Ord_ρ(a,b)`,
 //!   `first-past` punctuation.
 //! * [`query`] — the XQuery− fragment: AST, parser, normal form (Figure 1),
@@ -19,34 +19,92 @@
 //! * [`xmark`] — the XMark-like data generator and the paper's adapted
 //!   benchmark queries (Appendix A).
 //!
-//! ## Quickstart
+//! ## Quickstart: prepare once, run many
+//!
+//! The paper's central claim is a cost split: a query is *scheduled once*
+//! against the DTD (cheap, static) and then executed over arbitrarily long
+//! streams with provably minimal buffering. The API mirrors that split.
+//! An [`Engine`] holds the schema; [`Engine::prepare`] performs the whole
+//! static pipeline (parse → normalize → Figure 2 rewrite → safety check →
+//! buffer planning) and yields a [`PreparedQuery`] that is `Send + Sync`,
+//! cheap to clone, and reusable for any number of documents:
 //!
 //! ```
 //! use flux::prelude::*;
 //!
 //! // The paper's introductory example: XMP Q3 over a bibliography.
-//! let dtd = Dtd::parse(r#"
-//!     <!ELEMENT bib (book)*>
-//!     <!ELEMENT book (title,(author+|editor+),publisher,price)>
-//!     <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>
-//!     <!ELEMENT editor (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
-//!     <!ELEMENT price (#PCDATA)>
-//! "#).unwrap();
+//! let engine = Engine::builder()
+//!     .dtd_str(r#"
+//!         <!ELEMENT bib (book)*>
+//!         <!ELEMENT book (title,(author+|editor+),publisher,price)>
+//!         <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>
+//!         <!ELEMENT editor (#PCDATA)> <!ELEMENT publisher (#PCDATA)>
+//!         <!ELEMENT price (#PCDATA)>
+//!     "#)
+//!     .build().unwrap();
 //!
-//! let query = parse_xquery(
+//! // Prepare once: with this schema the scheduler proves no buffering is
+//! // needed — titles and authors stream straight through.
+//! let q = engine.prepare(
 //!     "<results>{ for $b in $ROOT/bib/book return \
 //!        <result> {$b/title} {$b/author} </result> }</results>",
 //! ).unwrap();
+//! assert!(q.is_fully_streaming());
 //!
-//! // Schedule the query against the DTD: with this schema no buffering is
-//! // needed, titles and authors stream straight through.
-//! let flux = rewrite_query(&query, &dtd).unwrap();
+//! // …run many: the same preparation serves document after document.
+//! let doc1 = "<bib><book><title>T</title><author>A</author>\
+//!             <publisher>P</publisher><price>1</price></book></bib>";
+//! let doc2 = "<bib><book><title>U</title><editor>E</editor>\
+//!             <publisher>P</publisher><price>2</price></book></bib>";
+//! let run1 = q.run_str(doc1).unwrap();
+//! let run2 = q.run_str(doc2).unwrap();
+//! assert_eq!(run1.output, "<results><result><title>T</title><author>A</author></result></results>");
+//! assert_eq!(run2.output, "<results><result><title>U</title></result></results>");
+//! assert_eq!(run1.stats.peak_buffer_bytes, 0); // fully streamed
+//! assert_eq!(run2.stats.peak_buffer_bytes, 0);
 //!
-//! let doc = "<bib><book><title>T</title><author>A</author>\
-//!            <publisher>P</publisher><price>1</price></book></bib>";
-//! let run = run_streaming(&flux, &dtd, doc.as_bytes()).unwrap();
-//! assert_eq!(run.output, "<results><result><title>T</title><author>A</author></result></results>");
-//! assert_eq!(run.stats.peak_buffer_bytes, 0); // fully streamed
+//! // Push-based input: a Session accepts the document chunk-by-chunk (as
+//! // from a socket) and streams output to a Sink; boundaries may fall
+//! // anywhere and the stats match the one-shot run exactly.
+//! let mut session = q.session(StringSink::new());
+//! let (head, tail) = doc1.as_bytes().split_at(23);
+//! session.feed(head).unwrap();
+//! session.feed(tail).unwrap();
+//! let fin = session.finish().unwrap();
+//! assert_eq!(fin.sink.as_str(), run1.output);
+//! assert_eq!(fin.stats.peak_buffer_bytes, 0);
+//! ```
+//!
+//! ## Prepare vs execute: where the time goes
+//!
+//! * **Prepare** (once per query): parsing, normalization (Theorem 4.1),
+//!   the Figure 2 schedule, safety checking, Glushkov/`PastTable`
+//!   punctuation tables, and buffer-tree pruning. Cost depends only on
+//!   query and schema size — never on data.
+//! * **Execute** (per document): one pass over the input, one validating
+//!   DFA transition plus one table lookup per token (Appendix B), and only
+//!   the buffering the schedule proved necessary. Fully-streaming plans
+//!   run in constant memory — `peak_buffer_bytes == 0`.
+//!
+//! Services should hold `PreparedQuery` values (they are `Send + Sync`;
+//! clone them freely across threads) and spawn a [`Session`] per
+//! connection, optionally bounding per-run memory with
+//! [`EngineBuilder::max_buffer_bytes`].
+//!
+//! ## Compatibility
+//!
+//! The pre-0.2 free functions still compile behind deprecation warnings
+//! and delegate to the prepared path:
+//!
+//! ```
+//! # #![allow(deprecated)]
+//! use flux::prelude::*;
+//!
+//! let dtd = Dtd::parse("<!ELEMENT a (#PCDATA)>").unwrap();
+//! let q = parse_xquery("<r>{ for $x in $ROOT/a return {$x} }</r>").unwrap();
+//! let flux = rewrite_query(&q, &dtd).unwrap();
+//! let run = run_streaming(&flux, &dtd, "<a>hi</a>".as_bytes()).unwrap();
+//! assert_eq!(run.output, "<r><a>hi</a></r>");
 //! ```
 
 pub use flux_baseline as baseline;
@@ -57,12 +115,25 @@ pub use flux_query as query;
 pub use flux_xmark as xmark;
 pub use flux_xml as xml;
 
+mod api;
+mod error;
+mod session;
+
+pub use api::{Engine, EngineBuilder, PreparedQuery};
+pub use error::FluxError;
+pub use session::{Finished, Session};
+
 /// Convenient re-exports of the most used items.
 pub mod prelude {
-    pub use flux_baseline::{DomEngine, ProjectionMode};
+    pub use crate::api::{Engine, EngineBuilder, PreparedQuery};
+    pub use crate::error::FluxError;
+    pub use crate::session::{Finished, Session};
+    pub use flux_baseline::{DomEngine, PreparedDomQuery, ProjectionMode};
     pub use flux_core::{rewrite_query, FluxExpr, Handler};
     pub use flux_dtd::Dtd;
+    #[allow(deprecated)]
     pub use flux_engine::run_streaming;
+    pub use flux_engine::{RunOutcome, RunStats};
     pub use flux_query::{parse_xquery, Expr};
-    pub use flux_xml::{Node, Reader};
+    pub use flux_xml::{Node, Reader, Sink, StringSink};
 }

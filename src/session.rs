@@ -1,0 +1,346 @@
+//! Incremental, push-based query execution.
+//!
+//! The paper's engine is a *pull* loop: it recurses over scopes and blocks
+//! on the parser for the next event. A network service sees the opposite
+//! shape — bytes are *pushed* at it, chunk by chunk, with arbitrary
+//! boundaries. [`Session`] inverts the control flow without rewriting the
+//! engine as a state machine: each session runs its prepared plan on a
+//! dedicated worker thread that blocks on a [`ChunkPipe`], and
+//! [`Session::feed`] hands chunks to that pipe. Output streams to the
+//! session's [`Sink`] as soon as the schedule allows, so a fully-streaming
+//! plan emits results while the document is still arriving.
+//!
+//! Chunk boundaries are invisible to the engine — the pipe presents one
+//! contiguous byte stream — so output bytes *and* every statistic
+//! (`peak_buffer_bytes` in particular) are identical to a one-shot run over
+//! the concatenation of the chunks. `tests/session_chunking.rs` asserts
+//! this for every possible split position.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Read};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+use flux_engine::{CompiledQuery, EngineError, RunStats};
+use flux_xml::Sink;
+
+use crate::error::FluxError;
+
+/// A thread-safe, *bounded* byte queue bridging `feed` calls to the
+/// worker's reader. [`ChunkPipe::push`] blocks while the queue is at
+/// capacity, so a producer faster than the engine gets back-pressure
+/// instead of buffering the whole input in memory.
+#[derive(Default)]
+struct ChunkPipe {
+    state: Mutex<PipeState>,
+    /// Signalled when bytes (or EOF) become available to the reader.
+    ready: Condvar,
+    /// Signalled when queue space frees up (or the reader went away).
+    space: Condvar,
+}
+
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+    /// The worker's reader was dropped (run ended); pushers must not wait.
+    reader_gone: bool,
+}
+
+/// Queue capacity: enough to keep the worker busy, small enough that a
+/// stalled run cannot hold more than this per session.
+const PIPE_CAPACITY: usize = 1 << 20;
+
+impl ChunkPipe {
+    /// Append bytes, blocking while the queue is full (back-pressure).
+    /// Bytes are dropped once the reader is gone — the run is already
+    /// decided, and `Session::feed`/`finish` surface its outcome.
+    fn push(&self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let mut st = self.state.lock().expect("pipe lock");
+            while st.buf.len() >= PIPE_CAPACITY && !st.reader_gone {
+                st = self.space.wait(st).expect("pipe lock");
+            }
+            if st.reader_gone {
+                return;
+            }
+            let n = rest.len().min(PIPE_CAPACITY - st.buf.len());
+            st.buf.extend(&rest[..n]);
+            rest = &rest[n..];
+            drop(st);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Signal end of input.
+    fn close(&self) {
+        self.state.lock().expect("pipe lock").closed = true;
+        self.ready.notify_one();
+    }
+
+    /// Block until bytes are available (or EOF), then move up to `max` of
+    /// them into `out`. Returns 0 only at EOF.
+    fn drain_into(&self, out: &mut Vec<u8>, max: usize) -> usize {
+        let mut st = self.state.lock().expect("pipe lock");
+        while st.buf.is_empty() && !st.closed {
+            st = self.ready.wait(st).expect("pipe lock");
+        }
+        let n = st.buf.len().min(max);
+        out.extend(st.buf.drain(..n));
+        drop(st);
+        if n > 0 {
+            self.space.notify_one();
+        }
+        n
+    }
+
+    /// Mark the reader as gone and release any blocked pushers.
+    fn reader_dropped(&self) {
+        self.state.lock().expect("pipe lock").reader_gone = true;
+        self.space.notify_all();
+    }
+}
+
+/// The worker-side [`BufRead`] over a [`ChunkPipe`]. Dropping it (the run
+/// finished, successfully or not) unblocks any producer waiting for space.
+struct PipeReader {
+    pipe: Arc<ChunkPipe>,
+    local: Vec<u8>,
+    pos: usize,
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        self.pipe.reader_dropped();
+    }
+}
+
+const PIPE_CHUNK: usize = 64 * 1024;
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let avail = self.fill_buf()?;
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for PipeReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos >= self.local.len() {
+            self.local.clear();
+            self.pos = 0;
+            self.pipe.drain_into(&mut self.local, PIPE_CHUNK);
+        }
+        Ok(&self.local[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.local.len());
+    }
+}
+
+/// What a finished session produced.
+#[derive(Debug)]
+pub struct Finished<S> {
+    /// Run statistics — identical to a one-shot run over the same bytes.
+    pub stats: RunStats,
+    /// The sink handed to [`PreparedQuery::session`](crate::PreparedQuery::session),
+    /// with all output written.
+    pub sink: S,
+}
+
+/// One incremental execution of a [`PreparedQuery`](crate::PreparedQuery).
+///
+/// Feed chunks as they arrive, then [`finish`](Session::finish) to signal
+/// end of input and collect the [`RunStats`] and the sink. Dropping a
+/// session without finishing aborts it cleanly.
+pub struct Session<S: Sink + Send + 'static> {
+    pipe: Arc<ChunkPipe>,
+    worker: Option<JoinHandle<(Result<RunStats, EngineError>, S)>>,
+}
+
+impl<S: Sink + Send + 'static> Session<S> {
+    pub(crate) fn spawn(plan: Arc<CompiledQuery>, sink: S) -> Session<S> {
+        let pipe = Arc::new(ChunkPipe::default());
+        let reader = PipeReader { pipe: Arc::clone(&pipe), local: Vec::new(), pos: 0 };
+        let worker = thread::Builder::new()
+            .name("flux-session".into())
+            .spawn(move || plan.run_sink(reader, sink))
+            .expect("spawn session worker");
+        Session { pipe, worker: Some(worker) }
+    }
+
+    /// Push the next chunk of the document. Chunks may split the XML at any
+    /// byte boundary, including inside tags and multi-byte characters.
+    ///
+    /// Applies back-pressure: when the session's queue (1 MiB) is full,
+    /// `feed` blocks until the engine has consumed enough of it — a fast
+    /// producer cannot make the session hold the whole input in memory.
+    ///
+    /// Returns [`FluxError::SessionAborted`] when the worker has already
+    /// stopped (it hit an error on earlier input); call
+    /// [`finish`](Session::finish) to learn the cause.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), FluxError> {
+        if self.worker.as_ref().is_some_and(JoinHandle::is_finished) {
+            return Err(FluxError::SessionAborted);
+        }
+        self.pipe.push(chunk);
+        Ok(())
+    }
+
+    /// Signal end of input and wait for the run to complete.
+    ///
+    /// On failure the sink is dropped with the session; use
+    /// [`finish_parts`](Session::finish_parts) to recover it (partial
+    /// streamed output, an open connection) alongside the error.
+    pub fn finish(self) -> Result<Finished<S>, FluxError> {
+        let (res, sink) = self.finish_parts();
+        let stats = res?;
+        Ok(Finished { stats, sink: sink.expect("sink present when the run succeeded") })
+    }
+
+    /// Signal end of input, wait for the run, and return the outcome
+    /// together with the sink — which is handed back on success *and* on
+    /// failure (`None` only if the worker panicked).
+    pub fn finish_parts(mut self) -> (Result<RunStats, FluxError>, Option<S>) {
+        self.pipe.close();
+        let worker = self.worker.take().expect("worker present until finish/drop");
+        match worker.join() {
+            Ok((res, sink)) => (res.map_err(Into::into), Some(sink)),
+            Err(_) => (Err(FluxError::SessionPanicked), None),
+        }
+    }
+}
+
+impl<S: Sink + Send + 'static> Drop for Session<S> {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            // Wake the worker with EOF so it terminates promptly (typically
+            // with an unexpected-EOF error we discard along with the sink).
+            self.pipe.close();
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Engine;
+    use flux_xml::StringSink;
+
+    const DTD: &str = "<!ELEMENT bib (book)*>\
+        <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+        <!ELEMENT publisher (#PCDATA)><!ELEMENT price (#PCDATA)>";
+    const QUERY: &str = "<results>{ for $b in $ROOT/bib/book return \
+        <result> {$b/title} {$b/author} </result> }</results>";
+    const DOC: &str = "<bib><book><title>T</title><author>A</author>\
+        <publisher>P</publisher><price>1</price></book></bib>";
+
+    #[test]
+    fn chunked_session_matches_one_shot() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let reference = q.run_str(DOC).unwrap();
+
+        let mut s = q.session(StringSink::new());
+        let (a, b) = DOC.as_bytes().split_at(17);
+        s.feed(a).unwrap();
+        s.feed(b).unwrap();
+        let fin = s.finish().unwrap();
+        assert_eq!(fin.sink.as_str(), reference.output);
+        assert_eq!(fin.stats, reference.stats);
+    }
+
+    #[test]
+    fn byte_at_a_time_feed() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let reference = q.run_str(DOC).unwrap();
+        let mut s = q.session_string();
+        for b in DOC.as_bytes() {
+            s.feed(std::slice::from_ref(b)).unwrap();
+        }
+        let fin = s.finish().unwrap();
+        assert_eq!(fin.sink.into_string(), reference.output);
+        assert_eq!(fin.stats, reference.stats);
+    }
+
+    #[test]
+    fn truncated_input_reports_xml_error() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut s = q.session_string();
+        s.feed(b"<bib><book><title>T</title>").unwrap();
+        let err = s.finish().unwrap_err();
+        assert!(matches!(err, crate::FluxError::Engine(_)), "{err}");
+    }
+
+    #[test]
+    fn finish_parts_recovers_the_sink_on_failure() {
+        // Partial streamed output must survive a failed run.
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut s = q.session(StringSink::new());
+        // One complete book streams through before the input breaks off.
+        s.feed(
+            b"<bib><book><title>T</title><author>A</author>\
+              <publisher>P</publisher><price>1</price></book><book>",
+        )
+        .unwrap();
+        let (res, sink) = s.finish_parts();
+        assert!(res.is_err());
+        let partial = sink.expect("sink recovered on failure").into_string();
+        assert!(partial.contains("<title>T</title>"), "partial output kept: {partial}");
+    }
+
+    #[test]
+    fn dropped_session_does_not_hang() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut s = q.session_string();
+        s.feed(b"<bib>").unwrap();
+        drop(s); // must join the worker, not deadlock
+    }
+
+    #[test]
+    fn large_document_flows_through_the_bounded_pipe() {
+        // A document several times the pipe capacity must stream through
+        // without deadlock; back-pressure caps memory, not progress.
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let book = "<book><title>T</title><author>A</author>\
+                    <publisher>P</publisher><price>1</price></book>";
+        let books = (3 * super::PIPE_CAPACITY) / book.len() + 1;
+        let mut s = q.session_string();
+        s.feed(b"<bib>").unwrap();
+        for _ in 0..books {
+            s.feed(book.as_bytes()).unwrap();
+        }
+        s.feed(b"</bib>").unwrap();
+        let fin = s.finish().unwrap();
+        assert_eq!(fin.stats.peak_buffer_bytes, 0);
+        assert_eq!(fin.sink.as_str().matches("<result>").count(), books);
+    }
+
+    #[test]
+    fn many_sessions_from_one_preparation() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let reference = q.run_str(DOC).unwrap();
+        let sessions: Vec<_> = (0..8).map(|_| q.session_string()).collect();
+        let mut outs = Vec::new();
+        for mut s in sessions {
+            s.feed(DOC.as_bytes()).unwrap();
+            outs.push(s.finish().unwrap());
+        }
+        for fin in outs {
+            assert_eq!(fin.sink.as_str(), reference.output);
+            assert_eq!(fin.stats.peak_buffer_bytes, 0);
+        }
+    }
+}

@@ -55,8 +55,12 @@ fn gen_element(dtd: &Dtd, elem: &str, rng: &mut StdRng, depth: usize) -> Node {
                     node.push_text(random_text(rng));
                 } else if !names.is_empty() && depth < 8 {
                     let pick = &names[rng.random_range(0..names.len())];
-                    node.children
-                        .push(flux::xml::Child::Elem(gen_element(dtd, pick, rng, depth + 1)));
+                    node.children.push(flux::xml::Child::Elem(gen_element(
+                        dtd,
+                        pick,
+                        rng,
+                        depth + 1,
+                    )));
                 }
             }
         }
@@ -135,8 +139,7 @@ fn gen_seq(
     depth: usize,
 ) -> Expr {
     let n = rng.random_range(1..=3);
-    let items: Vec<Expr> =
-        (0..n).map(|_| gen_item(dtd, rng, scope, counter, depth)).collect();
+    let items: Vec<Expr> = (0..n).map(|_| gen_item(dtd, rng, scope, counter, depth)).collect();
     Expr::seq(items)
 }
 
@@ -173,7 +176,8 @@ fn gen_item(
             inner.push((var.clone(), elem));
             let pred = rng.random_bool(0.3).then(|| random_cond(dtd, rng, &inner));
             let body = gen_seq(dtd, rng, &inner, counter, depth + 1);
-            let body = if matches!(body, Expr::Empty) { Expr::output_var(var.clone()) } else { body };
+            let body =
+                if matches!(body, Expr::Empty) { Expr::output_var(var.clone()) } else { body };
             Expr::For { var, in_var, path, pred, body: Box::new(body) }
         }
         // At maximum depth: output some in-scope variable's subtree.
@@ -219,13 +223,15 @@ fn random_cond(dtd: &Dtd, rng: &mut StdRng, scope: &[(String, String)]) -> Cond 
             }
             2 => Cond::Atom(Atom::Cmp {
                 left,
-                op: [RelOp::Lt, RelOp::Gt, RelOp::Ge, RelOp::Le][rng.random_range(0..4)],
-                right: CmpRhs::Const(rng.random_range(0..2000).to_string()),
+                op: [RelOp::Lt, RelOp::Gt, RelOp::Ge, RelOp::Le][rng.random_range(0..4usize)],
+                right: CmpRhs::Const(rng.random_range(0..2000u32).to_string()),
             }),
             _ => Cond::Atom(Atom::Cmp {
                 left,
                 op: RelOp::Eq,
-                right: CmpRhs::Const(["alpha", "7", "knuth"][rng.random_range(0..3)].to_string()),
+                right: CmpRhs::Const(
+                    ["alpha", "7", "knuth"][rng.random_range(0..3usize)].to_string(),
+                ),
             }),
         }
     };

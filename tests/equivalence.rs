@@ -7,9 +7,9 @@ mod common;
 
 use common::{random_doc, TEST_DTD, TEST_DTD_WEAK};
 use flux::baseline::{DomEngine, ProjectionMode};
-use flux::core::{interp_flux, rewrite_query};
+use flux::core::interp_flux;
 use flux::dtd::Dtd;
-use flux::engine::run_streaming;
+use flux::prelude::Engine;
 use flux::query::eval::{eval_query, wrap_document};
 use flux::query::parse_xquery;
 
@@ -48,22 +48,33 @@ const QUERIES: &[&str] = &[
 #[test]
 fn three_way_equivalence_over_many_documents() {
     for dtd_src in [TEST_DTD, TEST_DTD_WEAK] {
-        let dtd = Dtd::parse(dtd_src).unwrap();
-        for seed in 0..8u64 {
-            let root = random_doc(&dtd, seed);
-            let doc_src = root.to_xml();
-            let doc = wrap_document(root);
-            for q in QUERIES {
+        let engine = Engine::builder().dtd_str(dtd_src).build().unwrap();
+        for q in QUERIES {
+            // Prepare once per query; the same plan then serves every
+            // generated document (the compile-once/run-many contract).
+            let prepared =
+                engine.prepare(q).unwrap_or_else(|e| panic!("prepare failed for {q}: {e}"));
+            let flux = prepared.plan();
+            for seed in 0..8u64 {
+                let root = random_doc(engine.dtd(), seed);
+                let doc_src = root.to_xml();
+                let doc = wrap_document(root);
                 let query = parse_xquery(q).unwrap();
                 let reference = eval_query(&query, &doc).unwrap();
-                let flux = rewrite_query(&query, &dtd)
-                    .unwrap_or_else(|e| panic!("rewrite failed for {q}: {e}"));
-                let via_interp = interp_flux(&flux, &dtd, &doc)
-                    .unwrap_or_else(|e| panic!("interp failed for {q}\nplan {flux}\ndoc {doc_src}\n{e}"));
-                assert_eq!(via_interp, reference, "interp≠eval\nquery {q}\nplan {flux}\ndoc {doc_src}");
-                let run = run_streaming(&flux, &dtd, doc_src.as_bytes())
-                    .unwrap_or_else(|e| panic!("engine failed for {q}\nplan {flux}\ndoc {doc_src}\n{e}"));
-                assert_eq!(run.output, reference, "engine≠eval\nquery {q}\nplan {flux}\ndoc {doc_src}");
+                let via_interp = interp_flux(flux, engine.dtd(), &doc).unwrap_or_else(|e| {
+                    panic!("interp failed for {q}\nplan {flux}\ndoc {doc_src}\n{e}")
+                });
+                assert_eq!(
+                    via_interp, reference,
+                    "interp≠eval\nquery {q}\nplan {flux}\ndoc {doc_src}"
+                );
+                let run = prepared.run_str(&doc_src).unwrap_or_else(|e| {
+                    panic!("engine failed for {q}\nplan {flux}\ndoc {doc_src}\n{e}")
+                });
+                assert_eq!(
+                    run.output, reference,
+                    "engine≠eval\nquery {q}\nplan {flux}\ndoc {doc_src}"
+                );
                 assert_eq!(run.stats.final_buffer_bytes, 0, "buffer leak in {q}");
             }
         }
@@ -91,7 +102,9 @@ fn baselines_agree_with_reference() {
 
 #[test]
 fn optimizer_passes_preserve_semantics() {
-    use flux::core::opt::{hoist::hoist_ifs, merge::merge_singleton_loops, share::share_singletons};
+    use flux::core::opt::{
+        hoist::hoist_ifs, merge::merge_singleton_loops, share::share_singletons,
+    };
     use flux::query::normalize;
     let dtd = Dtd::parse(TEST_DTD).unwrap();
     for seed in 0..4u64 {

@@ -8,7 +8,7 @@
 
 use flux::core::{interp_flux, parse_flux, rewrite_query};
 use flux::dtd::Dtd;
-use flux::engine::run_streaming;
+use flux::prelude::Engine;
 use flux::query::eval::{eval_query, wrap_document};
 use flux::query::{normalize, parse_xquery};
 use flux::xml::Node;
@@ -16,13 +16,18 @@ use flux::xml::Node;
 /// Run a query through all three execution paths and insist they agree.
 #[track_caller]
 fn all_paths(query: &str, dtd_src: &str, doc_src: &str) -> (String, flux::engine::RunStats) {
-    let dtd = Dtd::parse(dtd_src).unwrap();
+    let engine = Engine::builder().dtd_str(dtd_src).build().unwrap();
     let q = parse_xquery(query).unwrap();
-    let flux = rewrite_query(&q, &dtd).unwrap();
+    let prepared = engine.prepare_expr(&q).unwrap();
+    let flux = prepared.plan();
     let doc = wrap_document(Node::parse_str(doc_src).unwrap());
     let reference = eval_query(&q, &doc).unwrap();
-    assert_eq!(interp_flux(&flux, &dtd, &doc).unwrap(), reference, "interp differs\nplan: {flux}");
-    let run = run_streaming(&flux, &dtd, doc_src.as_bytes()).unwrap();
+    assert_eq!(
+        interp_flux(flux, engine.dtd(), &doc).unwrap(),
+        reference,
+        "interp differs\nplan: {flux}"
+    );
+    let run = prepared.run_str(doc_src).unwrap();
     assert_eq!(run.output, reference, "engine differs\nplan: {flux}");
     (reference, run.stats)
 }
@@ -88,9 +93,13 @@ fn section1_flux_query_runs_as_written() {
     let doc_src = "<bib><book><title>X</title><author>Y</author></book></bib>";
     let doc = wrap_document(Node::parse_str(doc_src).unwrap());
     let via_interp = interp_flux(&flux, &dtd, &doc).unwrap();
-    let via_engine = run_streaming(&flux, &dtd, doc_src.as_bytes()).unwrap();
+    let engine = Engine::new(dtd);
+    let via_engine = engine.prepare_flux(flux).unwrap().run_str(doc_src).unwrap();
     assert_eq!(via_interp, via_engine.output);
-    assert_eq!(via_interp, "<results><result><title>X</title><author>Y</author></result></results>");
+    assert_eq!(
+        via_interp,
+        "<results><result><title>X</title><author>Y</author></result></results>"
+    );
 }
 
 #[test]
@@ -144,7 +153,7 @@ fn example_3_4_trivial_flux_form() {
     let doc = wrap_document(Node::parse_str(doc_src).unwrap());
     assert_eq!(interp_flux(&trivial, &dtd, &doc).unwrap(), eval_query(&alpha, &doc).unwrap());
     // It buffers the whole referenced region, of course:
-    let run = run_streaming(&trivial, &dtd, doc_src.as_bytes()).unwrap();
+    let run = Engine::new(dtd).prepare_flux(trivial).unwrap().run_str(doc_src).unwrap();
     assert_eq!(run.output, eval_query(&alpha, &doc).unwrap());
 }
 
@@ -217,7 +226,10 @@ fn example_4_6_join_both_dtds() {
         <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
         <!ELEMENT publisher (#PCDATA)><!ELEMENT journal (#PCDATA)>";
     let (out, stats_weak) = all_paths(q3, interleaved, doc);
-    assert_eq!(out, "<results><result><author>smith</author><author>lee</author></result></results>");
+    assert_eq!(
+        out,
+        "<results><result><author>smith</author><author>lee</author></result></results>"
+    );
 
     let ordered = "<!ELEMENT bib (book*,article*)>\
         <!ELEMENT book (title,(author+|editor+),publisher)>\
@@ -281,5 +293,8 @@ fn example_4_2_normalization_matches_q1_prime() {
     assert!(s.contains("for $b in $bib/book"), "{s}");
     assert!(s.contains("for $year in $b/year"), "{s}");
     assert!(s.contains("for $title in $b/title"), "{s}");
-    assert!(s.matches("if ($b/publisher = \"Addison-Wesley\" and $b/year > 1991)").count() >= 4, "{s}");
+    assert!(
+        s.matches("if ($b/publisher = \"Addison-Wesley\" and $b/year > 1991)").count() >= 4,
+        "{s}"
+    );
 }

@@ -6,13 +6,13 @@
 mod common;
 
 use common::{random_doc, random_query, TEST_DTD, TEST_DTD_WEAK};
-use flux::core::{check_safety, interp_flux, rewrite_query};
-use flux::dtd::Dtd;
-use flux::engine::run_streaming;
+use flux::core::{check_safety, interp_flux};
+use flux::prelude::Engine;
 use flux::query::eval::{eval_query, wrap_document};
 use proptest::prelude::*;
 
-fn check_one(dtd: &Dtd, doc_seed: u64, query_seed: u64) {
+fn check_one(engine: &Engine, doc_seed: u64, query_seed: u64) {
+    let dtd = engine.dtd();
     let root = random_doc(dtd, doc_seed);
     let doc_src = root.to_xml();
     let doc = wrap_document(root);
@@ -22,20 +22,23 @@ fn check_one(dtd: &Dtd, doc_seed: u64, query_seed: u64) {
         Ok(r) => r,
         Err(e) => panic!("reference eval failed: {e}\nquery {query}"),
     };
-    let flux = rewrite_query(&query, dtd)
-        .unwrap_or_else(|e| panic!("rewrite failed: {e}\nquery {query}"));
-    check_safety(&flux, dtd)
+    let prepared = engine
+        .prepare_expr(&query)
+        .unwrap_or_else(|e| panic!("prepare failed: {e}\nquery {query}"));
+    let flux = prepared.plan();
+    check_safety(flux, dtd)
         .unwrap_or_else(|v| panic!("unsafe plan: {v}\nquery {query}\nplan {flux}"));
 
-    let via_interp = interp_flux(&flux, dtd, &doc)
+    let via_interp = interp_flux(flux, dtd, &doc)
         .unwrap_or_else(|e| panic!("interp failed: {e}\nquery {query}\nplan {flux}"));
     assert_eq!(
         via_interp, reference,
         "interp ≠ reference\nquery {query}\nplan {flux}\ndoc {doc_src}"
     );
 
-    let run = run_streaming(&flux, dtd, doc_src.as_bytes())
-        .unwrap_or_else(|e| panic!("engine failed: {e}\nquery {query}\nplan {flux}\ndoc {doc_src}"));
+    let run = prepared.run_str(&doc_src).unwrap_or_else(|e| {
+        panic!("engine failed: {e}\nquery {query}\nplan {flux}\ndoc {doc_src}")
+    });
     assert_eq!(
         run.output, reference,
         "engine ≠ reference\nquery {query}\nplan {flux}\ndoc {doc_src}"
@@ -48,13 +51,13 @@ proptest! {
 
     #[test]
     fn rewrite_is_equivalent_on_ordered_dtd(doc_seed in 0u64..10_000, query_seed in 0u64..10_000) {
-        let dtd = Dtd::parse(TEST_DTD).unwrap();
-        check_one(&dtd, doc_seed, query_seed);
+        let engine = Engine::builder().dtd_str(TEST_DTD).build().unwrap();
+        check_one(&engine, doc_seed, query_seed);
     }
 
     #[test]
     fn rewrite_is_equivalent_on_weak_dtd(doc_seed in 0u64..10_000, query_seed in 0u64..10_000) {
-        let dtd = Dtd::parse(TEST_DTD_WEAK).unwrap();
-        check_one(&dtd, doc_seed, query_seed);
+        let engine = Engine::builder().dtd_str(TEST_DTD_WEAK).build().unwrap();
+        check_one(&engine, doc_seed, query_seed);
     }
 }

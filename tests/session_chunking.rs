@@ -1,0 +1,111 @@
+//! Chunk-boundary invariance of the push-based [`flux::Session`].
+//!
+//! The session contract: however the input bytes are split across
+//! [`Session::feed`](flux::Session::feed) calls, the output is
+//! byte-identical to the one-shot pull run and so is every statistic —
+//! `peak_buffer_bytes` in particular, since the paper's buffer-minimization
+//! guarantee would be worthless if it depended on packet boundaries.
+//! Exhaustively checked at *every* byte offset (splits inside tags, inside
+//! text, and inside multi-byte UTF-8 sequences included), plus random
+//! multi-way splits.
+
+mod common;
+
+use flux::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STRONG_DTD: &str = "<!ELEMENT bib (book)*>\
+    <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+    <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+    <!ELEMENT publisher (#PCDATA)><!ELEMENT price (#PCDATA)>";
+const WEAK_DTD: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+    <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+
+/// XMP Q3, the paper's introductory example.
+const Q3: &str = "<results>{ for $b in $ROOT/bib/book return \
+    <result> {$b/title} {$b/author} </result> }</results>";
+
+const STRONG_DOC: &str = "<bib>\
+    <book><title>Größenwahn &amp; Mäßigung</title><author>Köch</author><author>Señor</author>\
+    <publisher>VLDB €</publisher><price>65</price></book>\
+    <book><title>Web</title><editor>Abiteboul</editor><publisher>MK</publisher>\
+    <price>39</price></book></bib>";
+
+const WEAK_DOC: &str = "<bib><book><title>T1</title><author>A1</author><title>T1b</title>\
+    <author>Ä2</author></book><book><author>B1</author></book></bib>";
+
+/// Feed `doc` split at the given offsets and compare against the one-shot
+/// run of the same preparation.
+#[track_caller]
+fn check_split(q: &PreparedQuery, reference: &RunOutcome, doc: &[u8], splits: &[usize]) {
+    let mut session = q.session(StringSink::new());
+    let mut prev = 0usize;
+    for &at in splits {
+        session.feed(&doc[prev..at]).expect("worker alive");
+        prev = at;
+    }
+    session.feed(&doc[prev..]).expect("worker alive");
+    let fin = session.finish().unwrap_or_else(|e| panic!("session failed at {splits:?}: {e}"));
+    assert_eq!(fin.sink.as_str(), reference.output, "output differs for splits {splits:?}");
+    assert_eq!(
+        fin.stats, reference.stats,
+        "stats (incl. peak_buffer_bytes) differ for splits {splits:?}"
+    );
+}
+
+/// The exhaustive property: one preparation, every possible two-chunk split.
+fn every_offset(dtd_src: &str, query: &str, doc: &str, expect_zero_peak: bool) {
+    let engine = Engine::builder().dtd_str(dtd_src).build().unwrap();
+    let q = engine.prepare(query).unwrap();
+    let reference = q.run_str(doc).unwrap();
+    assert_eq!(expect_zero_peak, reference.stats.peak_buffer_bytes == 0);
+    for at in 0..=doc.len() {
+        check_split(&q, &reference, doc.as_bytes(), &[at]);
+    }
+}
+
+#[test]
+fn q3_streams_identically_at_every_split_offset() {
+    // The paper's zero-buffer case: peak stays exactly 0 for all splits.
+    every_offset(STRONG_DTD, Q3, STRONG_DOC, true);
+}
+
+#[test]
+fn buffering_plan_is_split_invariant_too() {
+    // The weak schema forces author buffering; the peak must still be
+    // byte-for-byte identical however the input is chunked.
+    every_offset(WEAK_DTD, Q3, WEAK_DOC, false);
+}
+
+#[test]
+fn random_multiway_splits_on_generated_documents() {
+    let engine = Engine::builder().dtd_str(common::TEST_DTD).build().unwrap();
+    let q = engine
+        .prepare(
+            "<out>{ for $s in $ROOT/lib/shelf return \
+               { for $b in $s/book return <hit> {$s/label} {$b/title} </hit> } }</out>",
+        )
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for doc_seed in 0..12u64 {
+        let doc = common::random_doc(engine.dtd(), doc_seed).to_xml();
+        let reference = q.run_str(&doc).unwrap();
+        for _ in 0..8 {
+            let n_splits = rng.random_range(1..6usize);
+            let mut splits: Vec<usize> =
+                (0..n_splits).map(|_| rng.random_range(0..=doc.len())).collect();
+            splits.sort_unstable();
+            check_split(&q, &reference, doc.as_bytes(), &splits);
+        }
+    }
+}
+
+#[test]
+fn empty_chunks_are_harmless() {
+    let engine = Engine::builder().dtd_str(STRONG_DTD).build().unwrap();
+    let q = engine.prepare(Q3).unwrap();
+    let reference = q.run_str(STRONG_DOC).unwrap();
+    let mid = STRONG_DOC.len() / 2;
+    check_split(&q, &reference, STRONG_DOC.as_bytes(), &[0, 0, mid, mid, STRONG_DOC.len()]);
+}

@@ -3,22 +3,20 @@
 //! buffering behaviour the paper reports for each query.
 
 use flux::baseline::{DomEngine, ProjectionMode};
-use flux::core::rewrite_query;
 use flux::dtd::Dtd;
-use flux::engine::{run_streaming, RunStats};
+use flux::engine::RunStats;
+use flux::prelude::Engine;
 use flux::query::parse_xquery;
 use flux::xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
 
-fn setup() -> (Dtd, String, flux::xmark::XmarkSummary) {
-    let dtd = Dtd::parse(XMARK_DTD).unwrap();
+fn setup() -> (Engine, String, flux::xmark::XmarkSummary) {
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
     let (doc, summary) = generate_string(&XmarkConfig::new(96 << 10));
-    (dtd, doc, summary)
+    (engine, doc, summary)
 }
 
-fn run_query(dtd: &Dtd, doc: &str, src: &str) -> (String, RunStats) {
-    let q = parse_xquery(src).unwrap();
-    let flux = rewrite_query(&q, dtd).unwrap();
-    let run = run_streaming(&flux, dtd, doc.as_bytes()).unwrap();
+fn run_query(engine: &Engine, doc: &str, src: &str) -> (String, RunStats) {
+    let run = engine.prepare(src).unwrap().run_str(doc).unwrap();
     (run.output, run.stats)
 }
 
@@ -82,7 +80,12 @@ fn joins_buffer_both_sides_but_only_projected_parts() {
     let (dtd, doc, _) = setup();
     let (_, q8) = run_query(&dtd, &doc, flux::xmark::Q8);
     assert!(q8.peak_buffer_bytes > 0);
-    assert!(q8.peak_buffer_bytes < doc.len() / 2, "q8 peak {} vs doc {}", q8.peak_buffer_bytes, doc.len());
+    assert!(
+        q8.peak_buffer_bytes < doc.len() / 2,
+        "q8 peak {} vs doc {}",
+        q8.peak_buffer_bytes,
+        doc.len()
+    );
     let (_, q11) = run_query(&dtd, &doc, flux::xmark::Q11);
     assert!(q11.peak_buffer_bytes > 0);
     // Q11 buffers ids/incomes/initials only; Q8 buffers whole closed
@@ -102,7 +105,8 @@ fn flux_memory_beats_the_dom_by_a_wide_margin() {
         let (_, stats) = run_query(&dtd, &doc, q.source);
         let query = parse_xquery(q.source).unwrap();
         let dom = DomEngine { projection: ProjectionMode::Paths, memory_cap: None };
-        let dom_stats = dom.run_to(&query, doc.as_bytes(), flux::xml::writer::NullSink::default()).unwrap();
+        let dom_stats =
+            dom.run_to(&query, doc.as_bytes(), flux::xml::writer::NullSink::default()).unwrap();
         assert!(
             (stats.peak_buffer_bytes as f64) < 0.8 * dom_stats.tree_bytes as f64,
             "{}: flux {} vs dom {}",
@@ -128,13 +132,11 @@ fn memory_cap_reproduces_the_aborted_cells() {
 fn weak_dtd_forces_buffering_where_strong_streams() {
     // The dtd_ablation bench's assertion, as a test: without order
     // constraints Q1 can no longer stream.
-    let weak = Dtd::parse(flux_bench_weak_dtd()).unwrap();
-    let strong = Dtd::parse(XMARK_DTD).unwrap();
+    let weak = Engine::new(Dtd::parse(flux_bench_weak_dtd()).unwrap());
+    let strong = Engine::new(Dtd::parse(XMARK_DTD).unwrap());
     let (doc, _) = generate_string(&XmarkConfig::new(48 << 10));
-    let q = parse_xquery(flux::xmark::Q1).unwrap();
-    let strong_run =
-        run_streaming(&rewrite_query(&q, &strong).unwrap(), &strong, doc.as_bytes()).unwrap();
-    let weak_run = run_streaming(&rewrite_query(&q, &weak).unwrap(), &weak, doc.as_bytes()).unwrap();
+    let strong_run = strong.prepare(flux::xmark::Q1).unwrap().run_str(&doc).unwrap();
+    let weak_run = weak.prepare(flux::xmark::Q1).unwrap().run_str(&doc).unwrap();
     assert_eq!(strong_run.output, weak_run.output, "schema must not change results");
     assert_eq!(strong_run.stats.peak_buffer_bytes, 0);
     assert!(weak_run.stats.peak_buffer_bytes > 0);

@@ -2,10 +2,7 @@
 //! handlers must report exactly 0 bytes of peak buffer memory, no captures
 //! and no buffer instances — the property behind the `0` cells of Figure 4.
 
-use flux::core::rewrite_query;
-use flux::dtd::Dtd;
-use flux::engine::run_streaming;
-use flux::query::parse_xquery;
+use flux::prelude::Engine;
 
 const DTD: &str = "<!ELEMENT catalog (vendor*)>\
 <!ELEMENT vendor (vendor_id,name,product*)>\
@@ -32,10 +29,8 @@ fn doc(vendors: usize) -> String {
 
 #[track_caller]
 fn run(q: &str, input: &str) -> flux::engine::RunStats {
-    let dtd = Dtd::parse(DTD).unwrap();
-    let query = parse_xquery(q).unwrap();
-    let flux = rewrite_query(&query, &dtd).unwrap();
-    run_streaming(&flux, &dtd, input.as_bytes()).unwrap().stats
+    let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+    engine.prepare(q).unwrap().run_str(input).unwrap().stats
 }
 
 #[test]
