@@ -3,13 +3,14 @@
 
 use std::fmt;
 use std::io::BufRead;
+use std::sync::Arc;
 
 use flux_query::eval::{eval_expr, Env, EvalError};
 use flux_query::{Expr, ROOT_VAR};
-use flux_xml::{Event, Node, Reader, ReaderOptions, Sink, Writer, XmlError};
+use flux_xml::{Node, Reader, ReaderOptions, ResolvedEvent, Sink, Symbols, Writer, XmlError};
 
 use crate::mem::{node_overhead, text_overhead};
-use crate::projection::{projection_spec, ProjSpec};
+use crate::projection::{projection_spec, ProjRt, ProjSpec};
 use crate::ProjectionMode;
 
 /// Baseline engine failures.
@@ -100,12 +101,21 @@ pub struct PreparedDomQuery {
     engine: DomEngine,
     query: Expr,
     spec: Option<ProjSpec>,
+    /// Runtime form: the projection vocabulary interned once at prepare,
+    /// the trie keyed by [`flux_xml::NameId`]. Parsing resolves each tag
+    /// name once and the keep/skip decision is an integer lookup.
+    rt: Option<(Arc<Symbols>, ProjRt)>,
 }
 
 impl PreparedDomQuery {
     /// The query this preparation runs.
     pub fn query(&self) -> &Expr {
         &self.query
+    }
+
+    /// The projection analysis (planning form), when projection is on.
+    pub fn projection(&self) -> Option<&ProjSpec> {
+        self.spec.as_ref()
     }
 
     /// Run over one document, collecting the output in memory.
@@ -117,9 +127,15 @@ impl PreparedDomQuery {
 
     /// Run over one document, writing the output to any [`Sink`].
     pub fn run_to<S: Sink>(&self, input: impl BufRead, out: S) -> Result<DomStats, BaselineError> {
-        let mut reader = Reader::new(input, ReaderOptions::default());
+        let mut reader = match &self.rt {
+            Some((symbols, _)) => {
+                Reader::with_symbols(input, ReaderOptions::default(), Arc::clone(symbols))
+            }
+            None => Reader::new(input, ReaderOptions::default()),
+        };
         let mut stats = DomStats::default();
-        let doc = self.engine.materialize(&mut reader, self.spec.as_ref(), &mut stats)?;
+        let rt = self.rt.as_ref().map(|(_, rt)| rt);
+        let doc = self.engine.materialize(&mut reader, rt, &mut stats)?;
         let mut w = Writer::new(out);
         let mut env = Env::with(ROOT_VAR, &doc);
         eval_expr(&self.query, &mut env, &mut w)?;
@@ -140,7 +156,12 @@ impl DomEngine {
             ProjectionMode::Paths => Some(projection_spec(q)),
             ProjectionMode::None => None,
         };
-        PreparedDomQuery { engine: *self, query: q.clone(), spec }
+        let rt = spec.as_ref().map(|s| {
+            let mut symbols = Symbols::new();
+            let rt = s.compile(&mut symbols);
+            (Arc::new(symbols), rt)
+        });
+        PreparedDomQuery { engine: *self, query: q.clone(), spec, rt }
     }
 
     /// Run a query, collecting the output in memory.
@@ -160,16 +181,17 @@ impl DomEngine {
     }
 
     /// Parse the stream into a (projected) document node with memory
-    /// accounting and cap enforcement.
+    /// accounting and cap enforcement. Keep/skip decisions walk the
+    /// compiled id-trie — one integer lookup per start tag.
     fn materialize<R: BufRead>(
         &self,
         reader: &mut Reader<R>,
-        spec: Option<&ProjSpec>,
+        spec: Option<&ProjRt>,
         stats: &mut DomStats,
     ) -> Result<Node, BaselineError> {
         #[derive(Clone, Copy)]
         enum Keep<'s> {
-            At(&'s ProjSpec),
+            At(&'s ProjRt),
             Subtree,
             Skip,
         }
@@ -181,7 +203,7 @@ impl DomEngine {
         let root_keep = match spec {
             None => Keep::Subtree,
             Some(s) => {
-                if s.subtree {
+                if s.marked {
                     Keep::Subtree
                 } else {
                     Keep::At(s)
@@ -191,15 +213,15 @@ impl DomEngine {
         let mut bytes = 0usize;
         let cap = self.memory_cap.unwrap_or(usize::MAX);
 
-        while let Some(ev) = reader.next_event()? {
+        while let Some(ev) = reader.next_resolved()? {
             match ev {
-                Event::Start(name) => {
+                ResolvedEvent::Start(id, name) => {
                     let parent_keep = keep.last().copied().unwrap_or(root_keep);
                     let k = match parent_keep {
                         Keep::Skip => Keep::Skip,
                         Keep::Subtree => Keep::Subtree,
-                        Keep::At(s) => match s.children.get(name) {
-                            Some(c) if c.subtree => Keep::Subtree,
+                        Keep::At(s) => match s.child(id) {
+                            Some(c) if c.marked => Keep::Subtree,
                             Some(c) => Keep::At(c),
                             None => Keep::Skip,
                         },
@@ -214,7 +236,7 @@ impl DomEngine {
                     }
                     keep.push(k);
                 }
-                Event::Text(t) => {
+                ResolvedEvent::Text(t) => {
                     if matches!(keep.last().copied().unwrap_or(root_keep), Keep::Subtree) {
                         if let Some(top) = build.last_mut() {
                             top.push_text(t);
@@ -225,7 +247,7 @@ impl DomEngine {
                         }
                     }
                 }
-                Event::End(_) => {
+                ResolvedEvent::End(..) => {
                     let k = keep.pop().expect("reader guarantees balance");
                     if !matches!(k, Keep::Skip) {
                         let done = build.pop().expect("keep/build stacks aligned");

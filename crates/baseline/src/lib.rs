@@ -23,7 +23,7 @@ pub mod mem;
 pub mod projection;
 
 pub use dom_engine::{BaselineError, DomEngine, DomOutcome, DomStats, PreparedDomQuery};
-pub use projection::{projection_spec, ProjSpec};
+pub use projection::{projection_spec, ProjRt, ProjSpec};
 
 /// Projection behaviour of the DOM engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

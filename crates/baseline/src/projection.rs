@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 use flux_query::{Cond, Expr, ROOT_VAR};
+use flux_xml::Symbols;
 
 /// A projection trie over absolute paths from the document node.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -42,7 +43,27 @@ impl ProjSpec {
     pub fn node_count(&self) -> usize {
         1 + self.children.values().map(ProjSpec::node_count).sum::<usize>()
     }
+
+    /// Compile to the runtime form, interning every step name (the same
+    /// compile-time/per-event split as the FluX engine's buffer trees: the
+    /// materialization loop compares interned ids, never strings).
+    pub fn compile(&self, symbols: &mut Symbols) -> ProjRt {
+        ProjRt {
+            marked: self.subtree,
+            children: self
+                .children
+                .iter()
+                .map(|(name, c)| (symbols.intern(name), c.compile(symbols)))
+                .collect(),
+        }
+    }
 }
+
+/// Runtime projection trie: the shared [`IdTrie`](flux_xml::IdTrie) keyed
+/// by interned [`NameId`](flux_xml::NameId)s; `marked` means "keep this
+/// node's whole subtree". UNKNOWN never matches a child — names the query
+/// does not mention are exactly the ones projection discards.
+pub type ProjRt = flux_xml::IdTrie;
 
 /// Compute the projection for a query. Unknown variables (queries that are
 /// not closed) project conservatively to "keep everything".

@@ -1,0 +1,98 @@
+//! Streaming throughput: MB/s of the FluX engine over generated XMark.
+//!
+//! Seeds the repo's perf trajectory: runs the prepared FluX pipeline with a
+//! [`NullSink`] over XMark documents at several sizes and writes the
+//! measurements to `BENCH_throughput.json` at the repository root, so
+//! successive PRs can compare event-loop speed on identical input.
+//!
+//! Honours the shared bench environment knobs (`FLUX_BENCH_SAMPLES`,
+//! `FLUX_BENCH_FAST=1` for the CI smoke run, which also shrinks the
+//! documents so the binary cannot bit-rot without burning CI minutes).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use flux::Engine;
+use flux_bench::micro::samples;
+use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
+use flux_xml::writer::NullSink;
+
+/// One measured (query, document size) cell.
+struct Cell {
+    query: &'static str,
+    doc_bytes: usize,
+    events: u64,
+    min_seconds: f64,
+    mb_per_s: f64,
+    events_per_s: f64,
+    samples: usize,
+}
+
+fn main() {
+    let fast = std::env::var_os("FLUX_BENCH_FAST").is_some();
+    let sizes: &[usize] = if fast { &[64 << 10] } else { &[256 << 10, 1 << 20, 4 << 20] };
+    // Q1 streams with zero buffers (pure event-loop cost); Q20 exercises the
+    // capture/buffer path on the same input.
+    let queries: Vec<_> =
+        PAPER_QUERIES.iter().filter(|q| q.name == "Q1" || q.name == "Q20").collect();
+
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    let n = samples();
+    let mut cells = Vec::new();
+    for &size in sizes {
+        let (doc, _) = generate_string(&XmarkConfig::new(size));
+        for q in &queries {
+            let prepared = engine.prepare(q.source).unwrap();
+            // Warmup (also captures the event count for events/s).
+            let events = prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap().events;
+            let mut best = f64::MAX;
+            for _ in 0..n {
+                let t = Instant::now();
+                prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap();
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            let cell = Cell {
+                query: q.name,
+                doc_bytes: doc.len(),
+                events,
+                min_seconds: best,
+                mb_per_s: doc.len() as f64 / 1e6 / best,
+                events_per_s: events as f64 / best,
+                samples: n,
+            };
+            println!(
+                "throughput/{}/{}B  {:>8.1} MB/s  {:>12.0} events/s  (min of {} samples)",
+                cell.query, cell.doc_bytes, cell.mb_per_s, cell.events_per_s, n
+            );
+            cells.push(cell);
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, render_json(&cells)).expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+}
+
+/// Hand-rolled JSON (no serde in the offline build).
+fn render_json(cells: &[Cell]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"throughput\",\n  \"engine\": \"flux\",\n");
+    out.push_str("  \"sink\": \"NullSink\",\n  \"unit\": \"MB/s\",\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"query\": \"{}\", \"doc_bytes\": {}, \"events\": {}, \
+             \"min_seconds\": {:.6}, \"mb_per_s\": {:.2}, \"events_per_s\": {:.0}, \
+             \"samples\": {}}}{}",
+            c.query,
+            c.doc_bytes,
+            c.events,
+            c.min_seconds,
+            c.mb_per_s,
+            c.events_per_s,
+            c.samples,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -11,6 +11,8 @@
 
 use std::collections::HashMap;
 
+use flux_xml::{NameId, Symbols};
+
 use crate::regex::Regex;
 
 /// Error raised when an expression is not one-unambiguous (not a valid DTD
@@ -49,6 +51,13 @@ pub struct Glushkov {
     /// Dense transition matrix `state * n_symbols + sym → state+1` (0 = no
     /// transition).
     trans: Vec<u32>,
+    /// Dense `state × NameId` matrix over the *global* symbol table
+    /// (see [`Glushkov::index_names`]): `state * id_width + id → state+1`,
+    /// 0 = no transition. Column 0 (UNKNOWN) is always dead. Empty until
+    /// indexed.
+    id_trans: Vec<u32>,
+    /// Width of `id_trans` rows (the symbol table's length at index time).
+    id_width: u32,
 }
 
 /// Inductive attributes for a subexpression during construction.
@@ -166,7 +175,40 @@ impl Glushkov {
         let mut state_symbol = vec![u32::MAX];
         state_symbol.extend(pos_symbol);
 
-        Ok(Glushkov { symbols, sym_index, state_symbol, accepting, trans })
+        Ok(Glushkov {
+            symbols,
+            sym_index,
+            state_symbol,
+            accepting,
+            trans,
+            id_trans: Vec::new(),
+            id_width: 0,
+        })
+    }
+
+    /// Precompute the dense `states × NameId` transition table over a
+    /// global symbol table, making [`Glushkov::step_id`] a single indexed
+    /// load per event. Every symbol of the expression must already be
+    /// interned (the DTD interns its whole vocabulary before compiling
+    /// productions). Ids interned into a *later extension* of the table
+    /// (query-only names) fall outside the row width and correctly read as
+    /// "no transition".
+    pub fn index_names(&mut self, symbols: &Symbols) {
+        let w = symbols.len();
+        let mut t = vec![0u32; self.n_states() * w];
+        let n_syms = self.symbols.len();
+        for q in 0..self.n_states() {
+            for s in 0..n_syms {
+                let cell = self.trans[q * n_syms + s];
+                if cell != 0 {
+                    let id = symbols.resolve(&self.symbols[s]);
+                    debug_assert!(!id.is_unknown(), "symbol `{}` not interned", self.symbols[s]);
+                    t[q * w + id.index()] = cell;
+                }
+            }
+        }
+        self.id_trans = t;
+        self.id_width = w as u32;
     }
 
     /// Number of states (positions + 1).
@@ -205,6 +247,19 @@ impl Glushkov {
     /// Transition by symbol name.
     pub fn step_name(&self, state: u32, name: &str) -> Option<u32> {
         self.symbol_id(name).and_then(|sid| self.step(state, sid))
+    }
+
+    /// Deterministic transition by interned [`NameId`] — the per-event hot
+    /// path: one bounds test plus one indexed load, no hashing. Requires a
+    /// prior [`Glushkov::index_names`]; ids outside the indexed width
+    /// (UNKNOWN, or names interned later) have no transition.
+    #[inline]
+    pub fn step_id(&self, state: u32, id: NameId) -> Option<u32> {
+        if id.0 >= self.id_width {
+            return None;
+        }
+        let cell = self.id_trans[state as usize * self.id_width as usize + id.index()];
+        (cell != 0).then(|| cell - 1)
     }
 
     /// Is `state` accepting?
@@ -319,6 +374,31 @@ mod tests {
         let q1 = g.step_name(Glushkov::INITIAL, "a").unwrap();
         assert_eq!(g.symbol_name(g.state_symbol(q1).unwrap()), "a");
         assert_eq!(g.state_symbol(Glushkov::INITIAL), None);
+    }
+
+    #[test]
+    fn step_id_matches_step_name() {
+        let g0 = build("(a*,b,c*,(d|e*),a*)");
+        let mut symbols = Symbols::new();
+        symbols.intern("q_only"); // ids need not start at the expression's
+        for s in g0.symbols() {
+            symbols.intern(s);
+        }
+        let mut g = g0.clone();
+        g.index_names(&symbols);
+        for q in 0..g.n_states() as u32 {
+            for name in ["a", "b", "c", "d", "e", "zzz"] {
+                assert_eq!(
+                    g.step_id(q, symbols.resolve(name)),
+                    g.step_name(q, name),
+                    "state {q}, name {name}"
+                );
+            }
+        }
+        // UNKNOWN and later-interned ids are dead.
+        assert_eq!(g.step_id(0, NameId::UNKNOWN), None);
+        let late = symbols.intern("late-name");
+        assert_eq!(g.step_id(0, late), None);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+use flux_xml::{NameId, Symbols};
 
 use crate::constraints::Constraints;
 use crate::glushkov::Glushkov;
@@ -54,6 +57,7 @@ impl Production {
         name: String,
         model: ContentModel,
         all_names: &[String],
+        table: &Symbols,
     ) -> Result<Production, DtdError> {
         let regex = match &model {
             ContentModel::Children(r) => r.clone(),
@@ -61,8 +65,9 @@ impl Production {
             ContentModel::Mixed(names) => mixed_regex(names),
             ContentModel::Any => mixed_regex(all_names),
         };
-        let automaton = Glushkov::build(&regex)
+        let mut automaton = Glushkov::build(&regex)
             .map_err(|e| DtdError::Ambiguous { element: name.clone(), symbol: e.symbol })?;
+        automaton.index_names(table);
         let constraints = Constraints::compute(&automaton);
         let symbols = automaton.symbols().to_vec();
         Ok(Production { name, model, regex, automaton, constraints, symbols })
@@ -127,6 +132,13 @@ fn mixed_regex(names: &[String]) -> Regex {
 pub struct Dtd {
     prods: Vec<Production>,
     index: HashMap<String, usize>,
+    /// The interned element vocabulary (every declared or referenced name),
+    /// shared with readers and compiled query plans.
+    symbols: Arc<Symbols>,
+    /// Dense `NameId → production index` map (`u32::MAX` = none; slot 0 is
+    /// UNKNOWN). Same O(1) role for productions that `Glushkov::step_id`
+    /// plays for transitions.
+    prod_of_id: Vec<u32>,
     root: String,
     doc: Production,
 }
@@ -272,11 +284,19 @@ impl Dtd {
         }
 
         let all_names: Vec<String> = models.iter().map(|(n, _)| n.clone()).collect();
+        // Intern the complete vocabulary before compiling any automaton, so
+        // every production gets its dense NameId transition table.
+        let mut table = Symbols::new();
+        for n in &all_names {
+            table.intern(n);
+        }
         let mut prods = Vec::with_capacity(models.len());
         let mut index = HashMap::new();
+        let mut prod_of_id = vec![u32::MAX; table.len()];
         for (name, model) in models {
+            prod_of_id[table.resolve(&name).index()] = prods.len() as u32;
             index.insert(name.clone(), prods.len());
-            prods.push(Production::compile(name, model, &all_names)?);
+            prods.push(Production::compile(name, model, &all_names, &table)?);
         }
 
         let root = match root {
@@ -292,9 +312,10 @@ impl Dtd {
             "#document".to_string(),
             ContentModel::Children(Regex::sym(&root)),
             &all_names,
+            &table,
         )?;
 
-        Ok(Dtd { prods, index, root, doc })
+        Ok(Dtd { prods, index, symbols: Arc::new(table), prod_of_id, root, doc })
     }
 
     /// The document root element name.
@@ -308,9 +329,26 @@ impl Dtd {
         &self.doc
     }
 
+    /// The interned element vocabulary of this schema. Readers created with
+    /// [`flux_xml::Reader::with_symbols`] over this table (or an extension
+    /// of it) yield events whose ids drive [`Glushkov::step_id`] and
+    /// [`Dtd::production_by_id`] without any per-event hashing.
+    pub fn symbols(&self) -> &Arc<Symbols> {
+        &self.symbols
+    }
+
     /// Look up a production by element name.
     pub fn production(&self, name: &str) -> Option<&Production> {
         self.index.get(name).map(|&i| &self.prods[i])
+    }
+
+    /// Look up a production by interned id — one indexed load, the
+    /// streaming validator's per-element path. `None` for UNKNOWN, for ids
+    /// from a later table extension, and for interned non-element names.
+    #[inline]
+    pub fn production_by_id(&self, id: NameId) -> Option<&Production> {
+        let i = *self.prod_of_id.get(id.index())?;
+        (i != u32::MAX).then(|| &self.prods[i as usize])
     }
 
     /// Positional handle of an element's production (for compiled plans
@@ -702,6 +740,25 @@ mod tests {
         assert!(!p.automaton().accepts(&["name"]), "person_id is #REQUIRED");
         assert!(p.ord("person_id", "name"));
         assert!(dtd.production("person_id").unwrap().allows_text());
+    }
+
+    #[test]
+    fn symbols_cover_the_whole_vocabulary() {
+        let dtd = Dtd::parse("<!ELEMENT a (b,c)><!ATTLIST a k CDATA #IMPLIED>").unwrap();
+        // Declared, referenced-but-undeclared, and ATTLIST-synthesized
+        // names are all interned and map back to their productions.
+        for n in ["a", "b", "c", "a_k"] {
+            let id = dtd.symbols().resolve(n);
+            assert!(!id.is_unknown(), "{n} not interned");
+            assert_eq!(dtd.production_by_id(id).unwrap().name, n);
+        }
+        assert!(dtd.symbols().resolve("zzz").is_unknown());
+        assert!(dtd.production_by_id(NameId::UNKNOWN).is_none());
+        // By-id and by-name lookups agree with the automaton's step tables.
+        let a = dtd.production("a").unwrap();
+        let q1 = a.automaton().step_id(Glushkov::INITIAL, dtd.symbols().resolve("b"));
+        assert_eq!(q1, a.automaton().step_name(Glushkov::INITIAL, "b"));
+        assert!(q1.is_some());
     }
 
     #[test]

@@ -81,6 +81,21 @@ impl<'g> Matcher<'g> {
         }
     }
 
+    /// [`Matcher::step`] by interned id — the streaming engine's per-child
+    /// path (one indexed load, no hashing). `label` is only read on the
+    /// error path.
+    #[inline]
+    pub fn step_id(&mut self, id: flux_xml::NameId, label: &str) -> Result<(u32, u32), String> {
+        let old = self.state;
+        match self.g.step_id(old, id) {
+            Some(next) => {
+                self.state = next;
+                Ok((old, next))
+            }
+            None => Err(format!("element `{label}` not allowed here by the DTD")),
+        }
+    }
+
     /// Check that the children list may end here.
     pub fn finish(&self) -> Result<(), String> {
         if self.g.accepting(self.state) {

@@ -7,7 +7,7 @@
 //! generator's self-checks; the engine embeds the same per-scope
 //! [`crate::past::Matcher`] logic.
 
-use flux_xml::{Event, Reader};
+use flux_xml::Event;
 
 use crate::parser::Dtd;
 use crate::past::Matcher;
@@ -72,25 +72,64 @@ where
     matcher.finish().map_err(|m| ValidationError { element: name, message: m })
 }
 
-/// Parse and validate an XML string in one go.
+/// Parse and validate an XML string in one go — streaming, on the interned
+/// fast path: the reader resolves each tag name once against the DTD's
+/// symbol table, and every DFA step and production lookup is an indexed
+/// load ([`crate::Glushkov::step_id`], [`Dtd::production_by_id`]).
 pub fn validate_str(dtd: &Dtd, xml: &str) -> Result<(), ValidationError> {
-    let mut r = Reader::from_str(xml);
-    let mut events = Vec::new();
+    use flux_xml::ResolvedEvent;
+
+    let mut r = flux_xml::Reader::with_symbols(
+        xml.as_bytes(),
+        flux_xml::ReaderOptions::default(),
+        std::sync::Arc::clone(dtd.symbols()),
+    );
+    // Stack of (element name, matcher over its children, allows_text).
+    let mut stack: Vec<(String, Matcher<'_>, bool)> = Vec::new();
+    stack.push(("#document".to_string(), Matcher::new(dtd.doc_production().automaton()), false));
     loop {
-        match r.next_event() {
-            Ok(Some(ev)) => events.push(ev.to_owned()),
+        let ev = match r.next_resolved() {
+            Ok(Some(ev)) => ev,
             Ok(None) => break,
             Err(e) => {
                 return Err(ValidationError { element: "#document".into(), message: e.to_string() })
             }
+        };
+        match ev {
+            ResolvedEvent::Start(id, name) => {
+                let top = stack.last_mut().expect("document scope always present");
+                top.1
+                    .step_id(id, name)
+                    .map_err(|m| ValidationError { element: top.0.clone(), message: m })?;
+                let prod = dtd.production_by_id(id).ok_or_else(|| ValidationError {
+                    element: name.to_string(),
+                    message: format!("element `{name}` is not declared in the DTD"),
+                })?;
+                stack.push((name.to_string(), Matcher::new(prod.automaton()), prod.allows_text()));
+            }
+            ResolvedEvent::Text(t) => {
+                let top = stack.last().expect("document scope always present");
+                if !top.2 && !t.chars().all(char::is_whitespace) {
+                    return Err(ValidationError {
+                        element: top.0.clone(),
+                        message: "character data not allowed by the content model".into(),
+                    });
+                }
+            }
+            ResolvedEvent::End(..) => {
+                let (name, matcher, _) = stack.pop().expect("reader guarantees matched tags");
+                matcher.finish().map_err(|m| ValidationError { element: name, message: m })?;
+            }
         }
     }
-    validate_events(dtd, events.iter().map(|e| e.as_event()))
+    let (name, matcher, _) = stack.pop().expect("document scope");
+    matcher.finish().map_err(|m| ValidationError { element: name, message: m })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flux_xml::Reader;
 
     fn bib_dtd() -> Dtd {
         Dtd::parse(

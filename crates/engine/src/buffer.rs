@@ -1,25 +1,31 @@
 //! Runtime buffers: recording slivers of the stream into trees.
 //!
-//! A [`Recorder`] follows its scope's [`BufferTree`] as events stream by.
-//! Nodes are attached to the buffer *eagerly* (on their start event), so the
-//! buffer is a well-formed tree at every instant — XQuery− subexpressions
-//! can be evaluated against it mid-stream, which is exactly what safety
-//! licenses. Interior (unmarked) nodes store tags only; marked nodes store
-//! their whole subtrees; everything else is skipped.
+//! A [`Recorder`] follows its scope's compiled [`RtTree`] as events stream
+//! by. Nodes are attached to the buffer *eagerly* (on their start event), so
+//! the buffer is a well-formed tree at every instant — XQuery−
+//! subexpressions can be evaluated against it mid-stream, which is exactly
+//! what safety licenses. Interior (unmarked) nodes store tags only; marked
+//! nodes store their whole subtrees; everything else is skipped.
+//!
+//! Cursor navigation is by interned [`NameId`]: the per-event decision is a
+//! scan over a short id array compiled at prepare time — no string
+//! comparison, hashing or path splitting per document. Out-of-vocabulary
+//! events (UNKNOWN) can never match a compiled child and are skipped, like
+//! any other name that is not in the tree.
 //!
 //! Buffered bytes are charged to the run's memory accounting with the
 //! events-list metric (tag names twice, text once) and released when the
 //! scope instance ends.
 
-use flux_xml::Node;
+use flux_xml::{NameId, Node};
 
-use crate::bufplan::BufferTree;
+use crate::bufplan::RtTree;
 
 /// What the recorder is doing at one open-element level.
 #[derive(Debug, Clone, Copy)]
 enum RecFrame<'p> {
     /// Following an unmarked buffer-tree node (tags recorded, text skipped).
-    Follow(&'p BufferTree),
+    Follow(&'p RtTree),
     /// Inside a marked subtree: record everything.
     Capture,
     /// Not recorded.
@@ -29,7 +35,7 @@ enum RecFrame<'p> {
 /// Per-scope-instance recording state.
 #[derive(Debug)]
 pub struct Recorder<'p> {
-    tree: &'p BufferTree,
+    tree: &'p RtTree,
     /// The buffer: rooted at the scope element.
     root: Node,
     frames: Vec<RecFrame<'p>>,
@@ -41,7 +47,7 @@ pub struct Recorder<'p> {
 
 impl<'p> Recorder<'p> {
     /// Create a recorder for one scope instance.
-    pub fn new(tree: &'p BufferTree, scope_elem: &str) -> Recorder<'p> {
+    pub fn new(tree: &'p RtTree, scope_elem: &str) -> Recorder<'p> {
         Recorder {
             tree,
             root: Node::new(scope_elem),
@@ -68,15 +74,15 @@ impl<'p> Recorder<'p> {
         matches!(self.frames.last(), Some(RecFrame::Capture | RecFrame::Follow(_)))
     }
 
-    /// Would a child with this label be (partly) recorded right now?
-    /// Used by the executor to decide whether a handled child must be
+    /// Would a child with this (interned) label be (partly) recorded right
+    /// now? Used by the executor to decide whether a handled child must be
     /// captured rather than streamed.
-    pub fn would_record(&self, label: &str) -> bool {
+    pub fn would_record(&self, id: NameId) -> bool {
         match self.frames.last() {
             Some(RecFrame::Capture) => true,
             Some(RecFrame::Skip) => false,
-            Some(RecFrame::Follow(t)) => t.children.contains_key(label),
-            None => self.tree.marked || self.tree.children.contains_key(label),
+            Some(RecFrame::Follow(t)) => t.child(id).is_some(),
+            None => self.tree.marked || self.tree.child(id).is_some(),
         }
     }
 
@@ -92,11 +98,11 @@ impl<'p> Recorder<'p> {
     }
 
     /// Start-element event inside the scope; returns bytes newly charged.
-    pub fn on_start(&mut self, name: &str) -> usize {
+    pub fn on_start(&mut self, id: NameId, name: &str) -> usize {
         let action = match self.frames.last() {
             Some(RecFrame::Skip) => RecFrame::Skip,
             Some(RecFrame::Capture) => RecFrame::Capture,
-            Some(RecFrame::Follow(t)) => match t.children.get(name) {
+            Some(RecFrame::Follow(t)) => match t.child(id) {
                 Some(c) if c.marked => RecFrame::Capture,
                 Some(c) => RecFrame::Follow(c),
                 None => RecFrame::Skip,
@@ -105,7 +111,7 @@ impl<'p> Recorder<'p> {
                 if self.tree.marked {
                     RecFrame::Capture
                 } else {
-                    match self.tree.children.get(name) {
+                    match self.tree.child(id) {
                         Some(c) if c.marked => RecFrame::Capture,
                         Some(c) => RecFrame::Follow(c),
                         None => RecFrame::Skip,
@@ -158,28 +164,44 @@ impl<'p> Recorder<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flux_xml::{Event, Reader};
+    use crate::bufplan::BufferTree;
+    use flux_xml::{Reader, ReaderOptions, ResolvedEvent, Symbols};
+    use std::sync::Arc;
+
+    /// Compile a tree from `path → marked` pairs (splitting happens here,
+    /// at "compile time" — the recorder only ever sees interned ids).
+    fn tree(paths: &[(&str, bool)]) -> (RtTree, Arc<Symbols>) {
+        let mut t = BufferTree::default();
+        for (p, marked) in paths {
+            let steps: Vec<String> = p.split('/').map(str::to_string).collect();
+            t.insert(&steps, *marked);
+        }
+        t.prune();
+        let mut symbols = Symbols::new();
+        let rt = t.compile(&mut symbols);
+        (rt, Arc::new(symbols))
+    }
 
     /// Feed the children of `<scope>…</scope>` through a recorder.
-    fn record(tree: &BufferTree, content: &str) -> (Node, usize) {
+    fn record_with(tree: &RtTree, symbols: Arc<Symbols>, content: &str) -> (Node, usize) {
         let xml = format!("<scope>{content}</scope>");
-        let mut r = Reader::from_str(&xml);
+        let mut r = Reader::with_symbols(xml.as_bytes(), ReaderOptions::default(), symbols);
         let mut rec = Recorder::new(tree, "scope");
         let mut depth = 0;
-        while let Some(ev) = r.next_event().unwrap() {
+        while let Some(ev) = r.next_resolved().unwrap() {
             match ev {
-                Event::Start(n) => {
+                ResolvedEvent::Start(id, n) => {
                     depth += 1;
                     if depth > 1 {
-                        rec.on_start(n);
+                        rec.on_start(id, n);
                     }
                 }
-                Event::Text(t) => {
+                ResolvedEvent::Text(t) => {
                     if depth >= 1 {
                         rec.on_text(t);
                     }
                 }
-                Event::End(_) => {
+                ResolvedEvent::End(..) => {
                     if depth > 1 {
                         rec.on_end();
                     }
@@ -191,20 +213,15 @@ mod tests {
         (rec.root, bytes)
     }
 
-    fn tree(paths: &[(&str, bool)]) -> BufferTree {
-        let mut t = BufferTree::default();
-        for (p, marked) in paths {
-            let steps: Vec<String> = p.split('/').map(str::to_string).collect();
-            t.insert(&steps, *marked);
-        }
-        t.prune();
-        t
+    fn record(paths: &[(&str, bool)], content: &str) -> (Node, usize) {
+        let (t, s) = tree(paths);
+        record_with(&t, s, content)
     }
 
     #[test]
     fn marked_child_records_whole_subtree() {
-        let t = tree(&[("author", true)]);
-        let (root, bytes) = record(&t, "<title>T</title><author>A<em>!</em></author>");
+        let (root, bytes) =
+            record(&[("author", true)], "<title>T</title><author>A<em>!</em></author>");
         assert_eq!(root.to_xml(), "<scope><author>A<em>!</em></author></scope>");
         // author ×2 + em ×2 + "A" + "!"
         assert_eq!(bytes, 12 + 4 + 2);
@@ -212,9 +229,10 @@ mod tests {
 
     #[test]
     fn interior_nodes_record_tags_only() {
-        let t = tree(&[("book/editor", true)]);
-        let (root, _) =
-            record(&t, "<book><title>skip me</title><editor>E</editor></book><junk>j</junk>");
+        let (root, _) = record(
+            &[("book/editor", true)],
+            "<book><title>skip me</title><editor>E</editor></book><junk>j</junk>",
+        );
         assert_eq!(root.to_xml(), "<scope><book><editor>E</editor></book></scope>");
     }
 
@@ -222,24 +240,24 @@ mod tests {
     fn marked_root_captures_everything() {
         let mut t = BufferTree::default();
         t.insert(&[], true);
-        let (root, bytes) = record(&t, "x<多/>y");
+        let mut symbols = Symbols::new();
+        let rt = t.compile(&mut symbols);
+        let (root, bytes) = record_with(&rt, Arc::new(symbols), "x<多/>y");
         assert_eq!(root.to_xml(), "<scope>x<多></多>y</scope>");
         assert_eq!(bytes, 2 + "多".len() * 2);
     }
 
     #[test]
     fn tags_only_for_unmarked_leaves() {
-        let t = tree(&[("a", false)]);
-        let (root, bytes) = record(&t, "<a>value ignored<b>deep</b></a><a>two</a>");
+        let (root, bytes) = record(&[("a", false)], "<a>value ignored<b>deep</b></a><a>two</a>");
         assert_eq!(root.to_xml(), "<scope><a></a><a></a></scope>");
         assert_eq!(bytes, 4);
     }
 
     #[test]
     fn repeated_and_nested_matches() {
-        let t = tree(&[("book/editor", true), ("book/title", false)]);
         let (root, _) = record(
-            &t,
+            &[("book/editor", true), ("book/title", false)],
             "<book><title>t1</title><editor>E1</editor></book>\
              <book><editor>E2</editor><editor>E3</editor></book>",
         );
@@ -252,26 +270,36 @@ mod tests {
 
     #[test]
     fn would_record_reflects_cursor() {
-        let t = tree(&[("book/editor", true)]);
+        let (t, symbols) = tree(&[("book/editor", true)]);
+        let id = |n: &str| symbols.resolve(n);
         let mut rec = Recorder::new(&t, "scope");
-        assert!(rec.would_record("book"));
-        assert!(!rec.would_record("article"));
-        rec.on_start("book");
-        assert!(rec.would_record("editor"));
-        assert!(!rec.would_record("title"));
-        rec.on_start("editor");
-        assert!(rec.would_record("anything"), "inside a capture everything records");
+        assert!(rec.would_record(id("book")));
+        assert!(!rec.would_record(id("article")));
+        rec.on_start(id("book"), "book");
+        assert!(rec.would_record(id("editor")));
+        assert!(!rec.would_record(id("title")));
+        rec.on_start(id("editor"), "editor");
+        assert!(rec.would_record(id("anything")), "inside a capture everything records");
         rec.on_end();
         rec.on_end();
-        assert!(rec.would_record("book"));
+        assert!(rec.would_record(id("book")));
+    }
+
+    #[test]
+    fn unknown_names_are_skipped_not_confused() {
+        // An out-of-vocabulary element (UNKNOWN id) must neither record nor
+        // derail the cursor for later in-vocabulary siblings.
+        let (root, _) = record(&[("book", true)], "<zzz>skip</zzz><book>B</book>");
+        assert_eq!(root.to_xml(), "<scope><book>B</book></scope>");
     }
 
     #[test]
     fn partial_buffer_is_well_formed_mid_stream() {
-        let t = tree(&[("a/b", true)]);
+        let (t, symbols) = tree(&[("a/b", true)]);
+        let id = |n: &str| symbols.resolve(n);
         let mut rec = Recorder::new(&t, "s");
-        rec.on_start("a");
-        rec.on_start("b");
+        rec.on_start(id("a"), "a");
+        rec.on_start(id("b"), "b");
         rec.on_text("x");
         // Mid-stream, before any end events: the buffer is already a valid
         // tree containing the partially read data.

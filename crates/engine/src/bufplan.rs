@@ -24,6 +24,7 @@
 use std::collections::BTreeMap;
 
 use flux_query::{Atom, CmpRhs, Cond, Expr};
+use flux_xml::Symbols;
 
 /// A (pruned) buffer tree: which descendants of a scope variable to record.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -84,6 +85,28 @@ impl BufferTree {
             out.push('}');
         }
         out
+    }
+}
+
+/// The runtime form of a pruned [`BufferTree`]: the shared
+/// [`IdTrie`](flux_xml::IdTrie), children keyed by interned
+/// [`NameId`](flux_xml::NameId) and compiled once when a query is prepared. The recorder's per-event lookup
+/// becomes a scan over a short id array (children lists in DTD content
+/// models are small) instead of a string `BTreeMap` probe, and no path
+/// strings are split, copied or hashed per document.
+pub type RtTree = flux_xml::IdTrie;
+
+impl BufferTree {
+    /// Compile to the runtime form, interning every child name.
+    pub fn compile(&self, symbols: &mut Symbols) -> RtTree {
+        RtTree {
+            marked: self.marked,
+            children: self
+                .children
+                .iter()
+                .map(|(name, c)| (symbols.intern(name), c.compile(symbols)))
+                .collect(),
+        }
     }
 }
 

@@ -17,9 +17,9 @@ use flux_core::{check_safety, production_of, FluxExpr, Handler, PastSpec, DOC_EL
 use flux_dtd::{Dtd, PastTable, Production};
 use flux_query::eval::EvalError;
 use flux_query::{Atom, CmpRhs, Cond, Expr, PathRef, ROOT_VAR};
-use flux_xml::{ReaderOptions, XmlError};
+use flux_xml::{NameId, ReaderOptions, Symbols, XmlError};
 
-use crate::bufplan::{visit_atoms, BufferTree, Mark};
+use crate::bufplan::{visit_atoms, BufferTree, Mark, RtTree};
 use crate::flags::FlagSpec;
 
 /// Errors raised while compiling or running a query.
@@ -102,8 +102,16 @@ pub struct EngineOptions {
 /// Owns everything it needs (the DTD travels along in an [`Arc`]), so a
 /// plan is `Send + Sync + 'static`: compile once, then run it from any
 /// number of threads or sessions concurrently.
+///
+/// Compilation also fixes the plan's *symbol table*: the DTD's interned
+/// vocabulary extended with every element name the query mentions (handler
+/// labels, flag paths, buffer-tree steps). Each run's reader resolves tag
+/// names against this table once at tokenization, and the whole event loop
+/// — automaton steps, handler dispatch, flags, recorders — runs on
+/// [`NameId`] comparisons; see [`flux_xml::symbols`] for the architecture.
 pub struct CompiledQuery {
     dtd: Arc<Dtd>,
+    pub(crate) symbols: Arc<Symbols>,
     pub(crate) opts: EngineOptions,
     pub(crate) top: Top,
     pub(crate) scopes: Vec<ScopeSpec>,
@@ -143,7 +151,10 @@ pub(crate) struct ScopeSpec {
     pub pre: Option<String>,
     pub post: Option<String>,
     pub handlers: Vec<CHandler>,
+    /// Planning form of the buffer tree (diagnostics, `buffer_plan`).
     pub buffer_tree: BufferTree,
+    /// Runtime form: NameId-keyed, compiled once after planning.
+    pub buffer_rt: RtTree,
     pub flags: Vec<FlagSpec>,
     pub allows_text: bool,
 }
@@ -166,7 +177,10 @@ pub(crate) enum CHandler {
         defer_to_end: bool,
     },
     On {
-        label: String,
+        /// The child label, interned: dispatch is one integer compare per
+        /// (event, handler). A validated child's id is never UNKNOWN, so a
+        /// label can only fire on its own name.
+        label_id: NameId,
         var: String,
         body: CBody,
     },
@@ -210,7 +224,12 @@ impl CompiledQuery {
         opts: EngineOptions,
     ) -> Result<CompiledQuery, EngineError> {
         check_safety(q, &dtd).map_err(|v| EngineError::Unsafe(v.to_string()))?;
-        let mut c = Compiler { dtd: &dtd, scopes: Vec::new(), pending: Vec::new() };
+        // Extend the schema's interned vocabulary with the query's names.
+        // DTD ids are preserved, so the productions' dense transition
+        // tables remain valid; query-only names get fresh ids that no
+        // production can step on (they read as "no transition").
+        let symbols = (**dtd.symbols()).clone();
+        let mut c = Compiler { dtd: &dtd, symbols, scopes: Vec::new(), pending: Vec::new() };
         let top = match q {
             FluxExpr::Simple(e) => {
                 let fv = flux_query::free_vars(e);
@@ -230,12 +249,21 @@ impl CompiledQuery {
         };
         c.finish_buffer_plans();
         let scopes = std::mem::take(&mut c.scopes);
-        Ok(CompiledQuery { dtd, opts, top, scopes })
+        let symbols = Arc::new(std::mem::take(&mut c.symbols));
+        drop(c);
+        Ok(CompiledQuery { dtd, symbols, opts, top, scopes })
     }
 
     /// The DTD the plan was compiled against.
     pub fn dtd(&self) -> &Dtd {
         &self.dtd
+    }
+
+    /// The plan's symbol table: the DTD vocabulary plus every element name
+    /// the query mentions. Runs resolve input tag names against it once at
+    /// tokenization.
+    pub fn symbols(&self) -> &Arc<Symbols> {
+        &self.symbols
     }
 
     /// A shared handle to the plan's DTD.
@@ -270,6 +298,9 @@ impl CompiledQuery {
 
 struct Compiler<'d> {
     dtd: &'d Dtd,
+    /// The plan's symbol table under construction (DTD vocabulary + query
+    /// names).
+    symbols: Symbols,
     scopes: Vec<ScopeSpec>,
     /// XQuery− expressions to analyse for buffering/flags, with the scope
     /// chain (var, scope index) they appear under.
@@ -293,6 +324,7 @@ impl<'d> Compiler<'d> {
             self.dtd.production_index(elem).map(ProdRef::Idx)
         };
         let idx = self.scopes.len();
+        self.symbols.intern(elem);
         self.scopes.push(ScopeSpec {
             var: var.to_string(),
             elem: elem.to_string(),
@@ -301,6 +333,7 @@ impl<'d> Compiler<'d> {
             post: post.cloned(),
             handlers: Vec::new(),
             buffer_tree: BufferTree::default(),
+            buffer_rt: RtTree::default(),
             flags: Vec::new(),
             allows_text: prod.is_some_and(|p| p.allows_text()),
         });
@@ -354,7 +387,7 @@ impl<'d> Compiler<'d> {
                         }
                     };
                     compiled.push(CHandler::On {
-                        label: label.clone(),
+                        label_id: self.symbols.intern(label),
                         var: x.clone(),
                         body: cbody,
                     });
@@ -377,14 +410,17 @@ impl<'d> Compiler<'d> {
                 }
             }
             // Flags: constant/exists atoms rooted at a chain variable.
+            let scopes = &mut self.scopes;
+            let symbols = &mut self.symbols;
             visit_all_conds(&expr, &mut |cond, bound| {
                 visit_atoms(cond, &mut |atom| {
-                    if let Some((avar, spec)) = FlagSpec::from_atom(atom) {
+                    if let Some((avar, mut spec)) = FlagSpec::from_atom(atom) {
                         if bound.iter().any(|b| b == avar) {
                             return; // rebound inside the expression
                         }
                         if let Some((_, sidx)) = chain.iter().find(|(v, _)| v == avar) {
-                            let flags = &mut self.scopes[*sidx].flags;
+                            spec.intern(symbols);
+                            let flags = &mut scopes[*sidx].flags;
                             if !flags.contains(&spec) {
                                 flags.push(spec);
                             }
@@ -396,6 +432,7 @@ impl<'d> Compiler<'d> {
         }
         for s in &mut self.scopes {
             s.buffer_tree.prune();
+            s.buffer_rt = s.buffer_tree.compile(&mut self.symbols);
         }
     }
 }
@@ -473,79 +510,6 @@ fn compile_simple_stream(e: &Expr, child_var: &str) -> Option<SimplePlan> {
         }
     }
     (copies <= 1).then_some(SimplePlan { items: plan })
-}
-
-/// Substitute flag-resolvable atoms with their Boolean values.
-///
-/// `resolve` returns `Some(value)` for atoms it owns (constant/exists atoms
-/// rooted at an in-scope process-stream variable); everything else is left
-/// for the buffer evaluator. Rebindings inside the expression are honoured.
-pub(crate) fn resolve_flags_expr(
-    e: &Expr,
-    resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>,
-) -> Expr {
-    fn go(
-        e: &Expr,
-        bound: &mut Vec<String>,
-        resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>,
-    ) -> Expr {
-        match e {
-            Expr::Empty | Expr::Str(_) | Expr::OutputVar { .. } | Expr::OutputPath { .. } => {
-                e.clone()
-            }
-            Expr::Seq(items) => Expr::Seq(items.iter().map(|i| go(i, bound, resolve)).collect()),
-            Expr::If { cond, body } => Expr::If {
-                cond: resolve_flags_cond_inner(cond, bound, resolve),
-                body: Box::new(go(body, bound, resolve)),
-            },
-            Expr::For { var, in_var, path, pred, body } => {
-                bound.push(var.clone());
-                let pred = pred.as_ref().map(|c| resolve_flags_cond_inner(c, bound, resolve));
-                let body = go(body, bound, resolve);
-                bound.pop();
-                Expr::For {
-                    var: var.clone(),
-                    in_var: in_var.clone(),
-                    path: path.clone(),
-                    pred,
-                    body: Box::new(body),
-                }
-            }
-        }
-    }
-    go(e, &mut Vec::new(), resolve)
-}
-
-/// [`resolve_flags_expr`] for a bare condition.
-pub(crate) fn resolve_flags_cond(
-    c: &Cond,
-    resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>,
-) -> Cond {
-    resolve_flags_cond_inner(c, &mut Vec::new(), resolve)
-}
-
-fn resolve_flags_cond_inner(
-    c: &Cond,
-    bound: &mut Vec<String>,
-    resolve: &dyn Fn(&Atom, &[String]) -> Option<bool>,
-) -> Cond {
-    match c {
-        Cond::True => Cond::True,
-        Cond::And(a, b) => Cond::And(
-            Box::new(resolve_flags_cond_inner(a, bound, resolve)),
-            Box::new(resolve_flags_cond_inner(b, bound, resolve)),
-        ),
-        Cond::Or(a, b) => Cond::Or(
-            Box::new(resolve_flags_cond_inner(a, bound, resolve)),
-            Box::new(resolve_flags_cond_inner(b, bound, resolve)),
-        ),
-        Cond::Not(x) => Cond::Not(Box::new(resolve_flags_cond_inner(x, bound, resolve))),
-        Cond::Atom(atom) => match resolve(atom, bound) {
-            Some(true) => Cond::True,
-            Some(false) => Cond::Not(Box::new(Cond::True)),
-            None => Cond::Atom(atom.clone()),
-        },
-    }
 }
 
 /// Is this atom rooted at the given variable (for flag ownership tests)?
@@ -655,19 +619,5 @@ mod tests {
         // For-loops are not streamable:
         let e4 = parse_xquery("{ for $q in $t/x return {$q} }").unwrap();
         assert!(compile_simple_stream(&e4, "t").is_none());
-    }
-
-    #[test]
-    fn resolve_flags_respects_rebinding() {
-        let e = parse_xquery(
-            "{ if $b/x = 1 then ok } { for $b in $y/z return { if $b/x = 1 then inner } }",
-        )
-        .unwrap();
-        let resolved = resolve_flags_expr(&e, &|atom, bound| {
-            (atom_root_var(atom) == "b" && !bound.iter().any(|v| v == "b")).then_some(true)
-        });
-        let s = resolved.to_string();
-        assert!(s.contains("{ if true then ok }"), "{s}");
-        assert!(s.contains("{ if $b/x = 1 then inner }"), "inner $b is rebound: {s}");
     }
 }

@@ -18,17 +18,18 @@
 //! child plus one `PastTable` lookup per `on-first` handler.
 
 use std::io::BufRead;
+use std::sync::Arc;
 
 use flux_core::FluxExpr;
 use flux_dtd::{Dtd, Glushkov};
-use flux_query::eval::{eval_cond, eval_expr, wrap_document, Env};
+use flux_query::eval::{eval_cond_with, eval_expr, eval_expr_with, wrap_document, Env};
 use flux_query::{Atom, Cond, Expr, ROOT_VAR};
-use flux_xml::{Event, Node, OwnedEvent, Reader, Sink, Writer};
+use flux_xml::{Event, EventBuf, NameId, Node, Reader, ResolvedEvent, Sink, Writer};
 
 use crate::buffer::Recorder;
 use crate::compile::{
-    atom_is_join, atom_root_var, resolve_flags_cond, resolve_flags_expr, CBody, CHandler,
-    CompiledQuery, EngineError, ScopeSpec, SimpleItem, SimplePlan, Top,
+    atom_is_join, atom_root_var, CBody, CHandler, CompiledQuery, EngineError, ScopeSpec,
+    SimpleItem, SimplePlan, Top,
 };
 use crate::flags::{FlagMatcher, FlagSpec};
 use crate::stats::RunStats;
@@ -89,7 +90,9 @@ impl CompiledQuery {
         input: R,
         out: S,
     ) -> (Result<RunStats, EngineError>, S) {
-        let mut reader = Reader::new(input, self.opts.reader);
+        // The reader resolves each tag name once against the plan's symbol
+        // table; everything downstream dispatches on NameIds.
+        let mut reader = Reader::with_symbols(input, self.opts.reader, Arc::clone(&self.symbols));
         let (res, mut sink) = match &self.top {
             Top::Simple(e) => {
                 let mut w = Writer::new(out);
@@ -106,9 +109,12 @@ impl CompiledQuery {
                     stats: RunStats::default(),
                     cur_bytes: 0,
                     limit: self.opts.max_buffer_bytes,
+                    cur_id: NameId::UNKNOWN,
                     cur_name: String::new(),
                     cur_text: String::new(),
                     cur_text_ws: true,
+                    scope_scratch: Vec::new(),
+                    flag_pool: Vec::new(),
                 };
                 let res = exec.drive(pre.as_deref(), *idx, post.as_deref());
                 (res, exec.writer.into_sink())
@@ -209,7 +215,7 @@ enum Src<'s> {
     Stream,
     /// Replaying a captured child; `obs_base` is the observer-stack depth at
     /// capture time — outer observers already saw these events.
-    Replay { events: &'s [OwnedEvent], pos: usize, obs_base: usize },
+    Replay { events: &'s EventBuf, pos: usize, obs_base: usize },
 }
 
 impl Src<'_> {
@@ -250,9 +256,19 @@ struct Exec<'p, R, S: Sink> {
     cur_bytes: usize,
     /// Abort threshold for `cur_bytes` (`EngineOptions::max_buffer_bytes`).
     limit: Option<usize>,
+    /// Interned id of the tag in `cur_name` (UNKNOWN for names outside the
+    /// plan's vocabulary).
+    cur_id: NameId,
     cur_name: String,
     cur_text: String,
     cur_text_ws: bool,
+    /// Pool of `(fired, firing)` scratch vectors for `run_scope`: scope
+    /// entry/exit recycles them, so the streaming path allocates nothing
+    /// per scope instance.
+    scope_scratch: Vec<(Vec<bool>, Vec<usize>)>,
+    /// Pool of flag-matcher vectors, recycled the same way (the matchers
+    /// keep their text-buffer capacity across scope instances).
+    flag_pool: Vec<Vec<FlagMatcher>>,
 }
 
 impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
@@ -292,24 +308,26 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
         match src {
             Src::Stream => {
                 let (grew, pulled) = {
-                    let ev = match self.reader.next_event()? {
+                    let ev = match self.reader.next_resolved()? {
                         Some(e) => e,
                         None => return Ok(None),
                     };
                     self.stats.events += 1;
                     let grew = dispatch(&mut self.observers, 0, ev);
                     let pulled = match ev {
-                        Event::Start(n) => {
+                        ResolvedEvent::Start(id, n) => {
+                            self.cur_id = id;
                             self.cur_name.clear();
                             self.cur_name.push_str(n);
                             Pulled::Start
                         }
-                        Event::End(n) => {
+                        ResolvedEvent::End(id, n) => {
+                            self.cur_id = id;
                             self.cur_name.clear();
                             self.cur_name.push_str(n);
                             Pulled::End
                         }
-                        Event::Text(t) => {
+                        ResolvedEvent::Text(t) => {
                             self.cur_text.clear();
                             self.cur_text.push_str(t);
                             self.cur_text_ws = t.chars().all(char::is_whitespace);
@@ -324,25 +342,26 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
                 Ok(Some(pulled))
             }
             Src::Replay { events, pos, obs_base } => {
-                let Some(owned) = events.get(*pos) else { return Ok(None) };
+                let Some(ev) = events.get(*pos) else { return Ok(None) };
                 *pos += 1;
-                let ev = owned.as_event();
                 let grew = dispatch(&mut self.observers, *obs_base, ev);
                 if grew > 0 {
                     self.charge(grew)?;
                 }
                 let pulled = match ev {
-                    Event::Start(n) => {
+                    ResolvedEvent::Start(id, n) => {
+                        self.cur_id = id;
                         self.cur_name.clear();
                         self.cur_name.push_str(n);
                         Pulled::Start
                     }
-                    Event::End(n) => {
+                    ResolvedEvent::End(id, n) => {
+                        self.cur_id = id;
                         self.cur_name.clear();
                         self.cur_name.push_str(n);
                         Pulled::End
                     }
-                    Event::Text(t) => {
+                    ResolvedEvent::Text(t) => {
                         self.cur_text.clear();
                         self.cur_text.push_str(t);
                         self.cur_text_ws = t.chars().all(char::is_whitespace);
@@ -367,23 +386,28 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
         }
         let mut obs_created = false;
         if spec.needs_observer() {
-            let rec = if spec.buffer_tree.is_empty() {
+            let rec = if spec.buffer_rt.is_empty() {
                 None
             } else {
                 self.stats.buffers_created += 1;
-                Some(Recorder::new(&spec.buffer_tree, &spec.elem))
+                Some(Recorder::new(&spec.buffer_rt, &spec.elem))
             };
-            self.observers.push(Observer {
-                rec,
-                specs: &spec.flags,
-                flags: vec![FlagMatcher::new(); spec.flags.len()],
-            });
+            let mut flags = self.flag_pool.pop().unwrap_or_default();
+            flags.truncate(spec.flags.len());
+            for m in &mut flags {
+                m.reset();
+            }
+            flags.resize_with(spec.flags.len(), FlagMatcher::new);
+            self.observers.push(Observer { rec, specs: &spec.flags, flags });
             self.env_stack.push((sidx, self.observers.len() - 1));
             obs_created = true;
         }
 
         let mut state = Glushkov::INITIAL;
-        let mut fired = vec![false; spec.handlers.len()];
+        let (mut fired, mut firing) = self.scope_scratch.pop().unwrap_or_default();
+        fired.clear();
+        fired.resize(spec.handlers.len(), false);
+        firing.clear();
 
         // i = 0: on-first handlers whose past set can already not occur.
         for (h_idx, h) in spec.handlers.iter().enumerate() {
@@ -395,7 +419,6 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
             }
         }
 
-        let mut firing: Vec<usize> = Vec::new();
         loop {
             match self.pull(src)? {
                 None => {
@@ -426,7 +449,9 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
                 }
                 Some(Pulled::Start) => {
                     let old = state;
-                    let new = match automaton.step_name(old, &self.cur_name) {
+                    // One indexed load: the validating DFA transition by
+                    // interned id (UNKNOWN names have no transition).
+                    let new = match automaton.step_id(old, self.cur_id) {
                         Some(n) => n,
                         None => {
                             return Err(EngineError::Validation {
@@ -439,8 +464,8 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
                     firing.clear();
                     for (h_idx, h) in spec.handlers.iter().enumerate() {
                         match h {
-                            CHandler::On { label, .. } => {
-                                if label.as_str() == self.cur_name {
+                            CHandler::On { label_id, .. } => {
+                                if *label_id == self.cur_id {
                                     firing.push(h_idx);
                                 }
                             }
@@ -482,7 +507,10 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
             if let Some(rec) = o.rec {
                 RunStats::buffer_shrink(&mut self.cur_bytes, rec.bytes());
             }
+            self.flag_pool.push(o.flags);
         }
+        // Recycle the scratch vectors (error paths simply drop them).
+        self.scope_scratch.push((fired, firing));
         Ok(())
     }
 
@@ -551,7 +579,7 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
         // if an `on` handler must replay them.
         let need_events = on_count > 0;
         let label = if need_events && any_captured { self.cur_name.clone() } else { String::new() };
-        let mut scratch: Vec<OwnedEvent> = Vec::new();
+        let mut scratch = EventBuf::new();
         let scratch_bytes =
             self.consume_child(src, if need_events { Some(&mut scratch) } else { None })?;
         if need_events {
@@ -579,7 +607,8 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
                             // cur_name must hold the child label for the
                             // copy fast path; restore it from the scratch
                             // tail (the final End event carries the label).
-                            if let Some(OwnedEvent::End(n)) = scratch.last() {
+                            if let Some(ResolvedEvent::End(id, n)) = scratch.last() {
+                                self.cur_id = id;
                                 self.cur_name.clear();
                                 self.cur_name.push_str(n);
                             }
@@ -606,11 +635,12 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
 
     /// Consume the rest of the current child's subtree (start tag already
     /// consumed), optionally storing the events (including the final end
-    /// tag). Returns the bytes charged for stored events.
+    /// tag) into an arena-backed buffer — no per-event allocation. Returns
+    /// the bytes charged for stored events.
     fn consume_child(
         &mut self,
         src: &mut Src<'_>,
-        mut store: Option<&mut Vec<OwnedEvent>>,
+        mut store: Option<&mut EventBuf>,
     ) -> Result<usize, EngineError> {
         let mut depth = 0usize;
         let mut bytes = 0usize;
@@ -619,19 +649,17 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
                 element: "#stream".into(),
                 message: "events ended inside an element".into(),
             })?;
-            let ev = match pulled {
-                Pulled::Start => {
-                    depth += 1;
-                    OwnedEvent::Start(self.cur_name.as_str().into())
-                }
-                Pulled::Text => OwnedEvent::Text(self.cur_text.as_str().into()),
-                Pulled::End => OwnedEvent::End(self.cur_name.as_str().into()),
-            };
+            if pulled == Pulled::Start {
+                depth += 1;
+            }
             if let Some(st) = store.as_deref_mut() {
-                let grew = ev.payload_bytes();
+                let grew = match pulled {
+                    Pulled::Start => st.push_start(self.cur_id, &self.cur_name),
+                    Pulled::Text => st.push_text(&self.cur_text),
+                    Pulled::End => st.push_end(self.cur_id, &self.cur_name),
+                };
                 bytes += grew;
                 self.charge(grew)?;
-                st.push(ev);
             }
             if pulled == Pulled::End {
                 if depth == 0 {
@@ -702,10 +730,10 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
         Ok(())
     }
 
-    /// Fire an `on-first` handler: resolve flags, bind buffers, evaluate.
+    /// Fire an `on-first` handler: bind buffers and evaluate, resolving
+    /// flag-owned atoms on the fly — no expression clone per firing.
     fn fire_onfirst(&mut self, expr: &Expr) -> Result<(), EngineError> {
         self.stats.on_first_firings += 1;
-        let resolved = resolve_flags_expr(expr, &|atom, bound| self.lookup_flag(atom, bound));
         let plan = self.plan;
         let mut env = Env::new();
         for &(sidx, obs) in &self.env_stack {
@@ -713,13 +741,15 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
                 env.push(plan.scopes[sidx].var.clone(), rec.root());
             }
         }
-        eval_expr(&resolved, &mut env, &mut self.writer)?;
+        let (env_stack, observers) = (&self.env_stack, &self.observers);
+        let resolve =
+            |atom: &Atom, bound: &[String]| lookup_flag_in(plan, env_stack, observers, atom, bound);
+        eval_expr_with(expr, &mut env, &mut self.writer, &resolve)?;
         Ok(())
     }
 
     /// Fire a captured `on` handler body over the materialized child.
     fn fire_captured(&mut self, var: &str, expr: &Expr, child: &Node) -> Result<(), EngineError> {
-        let resolved = resolve_flags_expr(expr, &|atom, bound| self.lookup_flag(atom, bound));
         let plan = self.plan;
         let mut env = Env::new();
         for &(sidx, obs) in &self.env_stack {
@@ -728,13 +758,23 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
             }
         }
         env.push(var.to_string(), child);
-        eval_expr(&resolved, &mut env, &mut self.writer)?;
+        let (env_stack, observers) = (&self.env_stack, &self.observers);
+        let resolve = |atom: &Atom, bound: &[String]| {
+            // The handler variable is bound to the captured child: atoms
+            // rooted at it are never flag-owned.
+            if atom_root_var(atom) == var {
+                return None;
+            }
+            lookup_flag_in(plan, env_stack, observers, atom, bound)
+        };
+        eval_expr_with(expr, &mut env, &mut self.writer, &resolve)?;
         Ok(())
     }
 
-    /// Evaluate a condition: flags first, residual atoms over buffers.
+    /// Evaluate a condition: flag-owned atoms on the fly, residual atoms
+    /// over buffers. Allocation-free when everything resolves from flags
+    /// (the fully streaming case).
     fn eval_cond_runtime(&mut self, c: &Cond) -> Result<bool, EngineError> {
-        let resolved = resolve_flags_cond(c, &|atom, bound| self.lookup_flag(atom, bound));
         let plan = self.plan;
         let mut env = Env::new();
         for &(sidx, obs) in &self.env_stack {
@@ -742,50 +782,61 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
                 env.push(plan.scopes[sidx].var.clone(), rec.root());
             }
         }
-        Ok(eval_cond(&resolved, &env)?)
-    }
-
-    /// Current value of the flag evaluating `atom`, if the atom is
-    /// flag-owned by an active scope.
-    fn lookup_flag(&self, atom: &Atom, bound: &[String]) -> Option<bool> {
-        if atom_is_join(atom) {
-            return None;
-        }
-        let var = atom_root_var(atom);
-        if bound.iter().any(|b| b == var) {
-            return None; // rebound inside the expression
-        }
-        for &(sidx, obs) in self.env_stack.iter().rev() {
-            if self.plan.scopes[sidx].var == var {
-                let o = &self.observers[obs];
-                for (k, spec) in o.specs.iter().enumerate() {
-                    if spec.matches_atom(atom) {
-                        return Some(o.flags[k].value);
-                    }
-                }
-                return None;
-            }
-        }
-        None
+        let (env_stack, observers) = (&self.env_stack, &self.observers);
+        let resolve =
+            |atom: &Atom, bound: &[String]| lookup_flag_in(plan, env_stack, observers, atom, bound);
+        Ok(eval_cond_with(c, &env, &resolve)?)
     }
 }
 
-/// Route one event through the observers at or above `base`.
-fn dispatch(observers: &mut [Observer<'_>], base: usize, ev: Event<'_>) -> usize {
+/// Current value of the flag evaluating `atom`, if the atom is flag-owned
+/// by an active scope. `bound` carries the variables rebound inside the
+/// expression being evaluated (their atoms belong to the buffer evaluator).
+fn lookup_flag_in(
+    plan: &CompiledQuery,
+    env_stack: &[(usize, usize)],
+    observers: &[Observer<'_>],
+    atom: &Atom,
+    bound: &[String],
+) -> Option<bool> {
+    if atom_is_join(atom) {
+        return None;
+    }
+    let var = atom_root_var(atom);
+    if bound.iter().any(|b| b == var) {
+        return None; // rebound inside the expression
+    }
+    for &(sidx, obs) in env_stack.iter().rev() {
+        if plan.scopes[sidx].var == var {
+            let o = &observers[obs];
+            for (k, spec) in o.specs.iter().enumerate() {
+                if spec.matches_atom(atom) {
+                    return Some(o.flags[k].value);
+                }
+            }
+            return None;
+        }
+    }
+    None
+}
+
+/// Route one event through the observers at or above `base`. Flag and
+/// recorder decisions compare interned ids only.
+fn dispatch(observers: &mut [Observer<'_>], base: usize, ev: ResolvedEvent<'_>) -> usize {
     let mut grew = 0usize;
     for o in &mut observers[base..] {
         for (spec, m) in o.specs.iter().zip(&mut o.flags) {
             match ev {
-                Event::Start(n) => m.on_start(spec, n),
-                Event::Text(t) => m.on_text(t),
-                Event::End(_) => m.on_end(spec),
+                ResolvedEvent::Start(id, _) => m.on_start(spec, id),
+                ResolvedEvent::Text(t) => m.on_text(t),
+                ResolvedEvent::End(..) => m.on_end(spec),
             }
         }
         if let Some(rec) = &mut o.rec {
             grew += match ev {
-                Event::Start(n) => rec.on_start(n),
-                Event::Text(t) => rec.on_text(t),
-                Event::End(_) => {
+                ResolvedEvent::Start(id, n) => rec.on_start(id, n),
+                ResolvedEvent::Text(t) => rec.on_text(t),
+                ResolvedEvent::End(..) => {
                     rec.on_end();
                     0
                 }
@@ -797,13 +848,13 @@ fn dispatch(observers: &mut [Observer<'_>], base: usize, ev: Event<'_>) -> usize
 
 /// Build a node for a captured child from its label and remaining events
 /// (which end with the child's end tag).
-fn build_child_node(label: &str, events: &[OwnedEvent]) -> Node {
+fn build_child_node(label: &str, events: &EventBuf) -> Node {
     let mut stack = vec![Node::new(label)];
-    for ev in events {
+    for ev in events.iter() {
         match ev {
-            OwnedEvent::Start(n) => stack.push(Node::new(&**n)),
-            OwnedEvent::Text(t) => stack.last_mut().expect("balanced events").push_text(&**t),
-            OwnedEvent::End(_) => {
+            ResolvedEvent::Start(_, n) => stack.push(Node::new(n)),
+            ResolvedEvent::Text(t) => stack.last_mut().expect("balanced events").push_text(t),
+            ResolvedEvent::End(..) => {
                 let done = stack.pop().expect("balanced events");
                 match stack.last_mut() {
                     Some(parent) => parent.children.push(flux_xml::Child::Elem(done)),

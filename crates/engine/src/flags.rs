@@ -15,12 +15,17 @@
 //! final.
 
 use flux_query::{Atom, CmpRhs, PathRef, RelOp};
+use flux_xml::{NameId, Symbols};
 
 /// A compiled flag: one flag-evaluable atomic condition of one scope.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlagSpec {
     /// Path steps relative to the scope variable.
     pub path: Vec<String>,
+    /// The steps interned ([`FlagSpec::intern`], at query-prepare time):
+    /// the runtime matcher compares each start event's id against one
+    /// entry — no per-event string comparison.
+    pub path_ids: Vec<NameId>,
     /// What to do with matched nodes.
     pub kind: FlagKind,
 }
@@ -44,18 +49,30 @@ impl FlagSpec {
     /// flag-evaluable (constant comparison or existence check).
     pub fn from_atom(atom: &Atom) -> Option<(/*var*/ &str, FlagSpec)> {
         match atom {
-            Atom::Exists(PathRef { var, path }) => {
-                Some((var, FlagSpec { path: path.steps().to_vec(), kind: FlagKind::Exists }))
-            }
+            Atom::Exists(PathRef { var, path }) => Some((
+                var,
+                FlagSpec {
+                    path: path.steps().to_vec(),
+                    path_ids: Vec::new(),
+                    kind: FlagKind::Exists,
+                },
+            )),
             Atom::Cmp { left, op, right: CmpRhs::Const(rhs) } => Some((
                 &left.var,
                 FlagSpec {
                     path: left.path.steps().to_vec(),
+                    path_ids: Vec::new(),
                     kind: FlagKind::Cmp { op: *op, rhs: rhs.clone() },
                 },
             )),
             Atom::Cmp { .. } => None,
         }
+    }
+
+    /// Intern the path steps (compile time); must run before the spec's
+    /// matchers observe events.
+    pub fn intern(&mut self, symbols: &mut Symbols) {
+        self.path_ids = self.path.iter().map(|s| symbols.intern(s)).collect();
     }
 
     /// Does this spec evaluate the given atom?
@@ -98,6 +115,17 @@ impl FlagMatcher {
         }
     }
 
+    /// Back to the scope-entry state, keeping the text buffer's capacity —
+    /// pooled matchers make scope entry allocation-free.
+    pub fn reset(&mut self) {
+        self.path_len = 0;
+        self.match_depth = 0;
+        self.open_depth = 0;
+        self.collect_depth = None;
+        self.text.clear();
+        self.value = false;
+    }
+
     /// Could this flag's value still change within the subtree of the most
     /// recently opened element? True while a matched node's value is being
     /// collected, or while the open chain is a proper prefix of the path
@@ -110,16 +138,19 @@ impl FlagMatcher {
                 && self.match_depth < spec.path.len())
     }
 
-    /// Start-element event inside the scope.
-    pub fn on_start(&mut self, spec: &FlagSpec, name: &str) {
+    /// Start-element event inside the scope. The step comparison is by
+    /// interned id: out-of-vocabulary events (UNKNOWN) can never match an
+    /// interned step, so they are skipped exactly as a name mismatch.
+    pub fn on_start(&mut self, spec: &FlagSpec, id: flux_xml::NameId) {
+        debug_assert_eq!(spec.path_ids.len(), spec.path.len(), "FlagSpec::intern not called");
         self.path_len = spec.path.len();
         self.open_depth += 1;
         if self.collect_depth.is_some() {
             return; // nested inside a matched node; text keeps accumulating
         }
         if self.open_depth == self.match_depth + 1
-            && self.match_depth < spec.path.len()
-            && spec.path[self.match_depth] == name
+            && self.match_depth < spec.path_ids.len()
+            && spec.path_ids[self.match_depth] == id
         {
             self.match_depth += 1;
             if self.match_depth == spec.path.len() {
@@ -172,30 +203,36 @@ impl Default for FlagMatcher {
 mod tests {
     use super::*;
     use flux_query::parse_condition;
-    use flux_xml::{Event, Reader};
+    use flux_xml::{Reader, ReaderOptions, ResolvedEvent};
+    use std::sync::Arc;
 
     fn run_flag(spec: &FlagSpec, scope_content: &str) -> bool {
-        // Feed the children events of a synthetic scope.
+        // Feed the children events of a synthetic scope, resolved against
+        // the spec's own vocabulary (as the engine does).
+        let mut symbols = Symbols::new();
+        let mut spec = spec.clone();
+        spec.intern(&mut symbols);
         let xml = format!("<scope>{scope_content}</scope>");
-        let mut r = Reader::from_str(&xml);
+        let mut r =
+            Reader::with_symbols(xml.as_bytes(), ReaderOptions::default(), Arc::new(symbols));
         let mut m = FlagMatcher::new();
         let mut depth = 0;
-        while let Some(ev) = r.next_event().unwrap() {
+        while let Some(ev) = r.next_resolved().unwrap() {
             match ev {
-                Event::Start(n) => {
+                ResolvedEvent::Start(id, _) => {
                     depth += 1;
                     if depth > 1 {
-                        m.on_start(spec, n);
+                        m.on_start(&spec, id);
                     }
                 }
-                Event::Text(t) => {
+                ResolvedEvent::Text(t) => {
                     if depth > 1 {
                         m.on_text(t);
                     }
                 }
-                Event::End(_) => {
+                ResolvedEvent::End(..) => {
                     if depth > 1 {
-                        m.on_end(spec);
+                        m.on_end(&spec);
                     }
                     depth -= 1;
                 }

@@ -90,18 +90,47 @@ impl<'a> Env<'a> {
     }
 }
 
+/// External resolver for atomic conditions evaluable outside the buffers
+/// (the FluX engine's on-the-fly condition flags, paper §5). Called with
+/// the atom and the variables bound *inside* the expression so far; returns
+/// `Some(value)` for atoms it owns, `None` to evaluate against the
+/// environment's node bindings. Threading the resolver through evaluation
+/// (instead of substituting into a cloned expression) keeps handler
+/// firings allocation-free on the streaming path.
+pub type AtomResolver<'r> = &'r dyn Fn(&Atom, &[String]) -> Option<bool>;
+
 /// Evaluate an expression, writing the result through an XML writer.
 pub fn eval_expr<S: Sink>(
     expr: &Expr,
     env: &mut Env<'_>,
     out: &mut Writer<S>,
 ) -> Result<(), EvalError> {
+    eval_expr_with(expr, env, out, &|_, _| None)
+}
+
+/// [`eval_expr`] with an external atom resolver (see [`AtomResolver`]).
+pub fn eval_expr_with<S: Sink>(
+    expr: &Expr,
+    env: &mut Env<'_>,
+    out: &mut Writer<S>,
+    resolve: AtomResolver<'_>,
+) -> Result<(), EvalError> {
+    eval_expr_inner(expr, env, out, resolve, &mut Vec::new())
+}
+
+fn eval_expr_inner<S: Sink>(
+    expr: &Expr,
+    env: &mut Env<'_>,
+    out: &mut Writer<S>,
+    resolve: AtomResolver<'_>,
+    bound: &mut Vec<String>,
+) -> Result<(), EvalError> {
     match expr {
         Expr::Empty => Ok(()),
         Expr::Str(s) => out.write_raw(s).map_err(io_err),
         Expr::Seq(items) => {
             for it in items {
-                eval_expr(it, env, out)?;
+                eval_expr_inner(it, env, out, resolve, bound)?;
             }
             Ok(())
         }
@@ -116,8 +145,8 @@ pub fn eval_expr<S: Sink>(
             Ok(())
         }
         Expr::If { cond, body } => {
-            if eval_cond(cond, env)? {
-                eval_expr(body, env, out)?;
+            if eval_cond_inner(cond, env, resolve, bound)? {
+                eval_expr_inner(body, env, out, resolve, bound)?;
             }
             Ok(())
         }
@@ -125,16 +154,21 @@ pub fn eval_expr<S: Sink>(
             let root = env.get(in_var)?;
             let mut nodes = Vec::new();
             root.select(path.steps(), &mut nodes);
+            // `var` is rebound below this point: the resolver must not
+            // claim atoms rooted at it (lexical shadowing).
+            bound.push(var.clone());
             for n in nodes {
                 env.push(var.clone(), n);
                 let keep = match pred {
-                    Some(chi) => eval_cond(chi, env)?,
+                    Some(chi) => eval_cond_inner(chi, env, resolve, bound)?,
                     None => true,
                 };
-                let res = if keep { eval_expr(body, env, out) } else { Ok(()) };
+                let res =
+                    if keep { eval_expr_inner(body, env, out, resolve, bound) } else { Ok(()) };
                 env.pop();
                 res?;
             }
+            bound.pop();
             Ok(())
         }
     }
@@ -146,32 +180,61 @@ fn io_err(e: std::io::Error) -> EvalError {
 
 /// Evaluate a condition under the environment.
 pub fn eval_cond(cond: &Cond, env: &Env<'_>) -> Result<bool, EvalError> {
+    eval_cond_with(cond, env, &|_, _| None)
+}
+
+/// [`eval_cond`] with an external atom resolver (see [`AtomResolver`]).
+pub fn eval_cond_with(
+    cond: &Cond,
+    env: &Env<'_>,
+    resolve: AtomResolver<'_>,
+) -> Result<bool, EvalError> {
+    eval_cond_inner(cond, env, resolve, &mut Vec::new())
+}
+
+fn eval_cond_inner(
+    cond: &Cond,
+    env: &Env<'_>,
+    resolve: AtomResolver<'_>,
+    bound: &mut Vec<String>,
+) -> Result<bool, EvalError> {
     Ok(match cond {
         Cond::True => true,
-        Cond::And(a, b) => eval_cond(a, env)? && eval_cond(b, env)?,
-        Cond::Or(a, b) => eval_cond(a, env)? || eval_cond(b, env)?,
-        Cond::Not(c) => !eval_cond(c, env)?,
-        Cond::Atom(Atom::Exists(p)) => !env.select(p)?.is_empty(),
-        Cond::Atom(Atom::Cmp { left, op, right }) => {
-            let lhs = env.select(left)?;
-            match right {
-                CmpRhs::Const(s) => lhs.iter().any(|n| compare_values(&n.text(), *op, s)),
-                CmpRhs::Path(rp) => {
-                    let rhs = env.select(rp)?;
-                    lhs.iter().any(|l| {
-                        let lv = l.text();
-                        rhs.iter().any(|r| compare_values(&lv, *op, &r.text()))
-                    })
-                }
-                CmpRhs::Scaled { factor, path } => {
-                    let rhs = env.select(path)?;
-                    lhs.iter().any(|l| {
-                        let Ok(lv) = l.text().trim().parse::<f64>() else { return false };
-                        rhs.iter().any(|r| match r.text().trim().parse::<f64>() {
-                            Ok(rv) => op.test(partial_ord(lv, factor * rv)),
-                            Err(_) => false,
-                        })
-                    })
+        Cond::And(a, b) => {
+            eval_cond_inner(a, env, resolve, bound)? && eval_cond_inner(b, env, resolve, bound)?
+        }
+        Cond::Or(a, b) => {
+            eval_cond_inner(a, env, resolve, bound)? || eval_cond_inner(b, env, resolve, bound)?
+        }
+        Cond::Not(c) => !eval_cond_inner(c, env, resolve, bound)?,
+        Cond::Atom(atom) => {
+            if let Some(v) = resolve(atom, bound) {
+                return Ok(v);
+            }
+            match atom {
+                Atom::Exists(p) => !env.select(p)?.is_empty(),
+                Atom::Cmp { left, op, right } => {
+                    let lhs = env.select(left)?;
+                    match right {
+                        CmpRhs::Const(s) => lhs.iter().any(|n| compare_values(&n.text(), *op, s)),
+                        CmpRhs::Path(rp) => {
+                            let rhs = env.select(rp)?;
+                            lhs.iter().any(|l| {
+                                let lv = l.text();
+                                rhs.iter().any(|r| compare_values(&lv, *op, &r.text()))
+                            })
+                        }
+                        CmpRhs::Scaled { factor, path } => {
+                            let rhs = env.select(path)?;
+                            lhs.iter().any(|l| {
+                                let Ok(lv) = l.text().trim().parse::<f64>() else { return false };
+                                rhs.iter().any(|r| match r.text().trim().parse::<f64>() {
+                                    Ok(rv) => op.test(partial_ord(lv, factor * rv)),
+                                    Err(_) => false,
+                                })
+                            })
+                        }
+                    }
                 }
             }
         }
@@ -311,6 +374,36 @@ mod tests {
     fn unbound_variable_errors() {
         let e = parse_xquery("{$nope}").unwrap();
         assert_eq!(eval_query(&e, &bib_doc()).unwrap_err(), EvalError::Unbound("nope".into()));
+    }
+
+    #[test]
+    fn atom_resolver_respects_rebinding() {
+        // The resolver claims every atom rooted at $b as `true` — except
+        // where $b is rebound inside the expression, which must fall back
+        // to node evaluation (lexical shadowing, as FluX flag scoping
+        // requires).
+        let doc = wrap_document(Node::parse_str("<y><z><x>0</x></z><z><x>1</x></z></y>").unwrap());
+        let e = parse_xquery(
+            "{ if $b/x = 1 then <outer/> } \
+             { for $b in $ROOT/y/z return { if $b/x = 1 then <inner/> } }",
+        )
+        .unwrap();
+        let mut env = Env::with(crate::ROOT_VAR, &doc);
+        // $b is NOT bound in the environment: if the resolver failed to
+        // claim the outer atom, evaluation would error with Unbound.
+        let resolve = |atom: &Atom, bound: &[String]| {
+            let var = match atom {
+                Atom::Cmp { left, .. } => &left.var,
+                Atom::Exists(p) => &p.var,
+            };
+            (var == "b" && !bound.iter().any(|b| b == "b")).then_some(true)
+        };
+        let mut w = Writer::new(Vec::new());
+        eval_expr_with(&e, &mut env, &mut w, &resolve).unwrap();
+        let out = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        // Outer atom resolved true; inner $b rebound → evaluated over the
+        // document (matches only the second <z>).
+        assert_eq!(out, "<outer/><inner/>");
     }
 
     #[test]

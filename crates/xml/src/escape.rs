@@ -44,6 +44,37 @@ pub fn escape_attr(s: &str) -> Cow<'_, str> {
     Cow::Owned(out)
 }
 
+/// Stream `s` through `emit` with text escaping applied, as a sequence of
+/// maximal chunks: clean runs of the input are emitted as borrowed slices
+/// and each `<`/`>`/`&` as its entity. A single scan and **zero
+/// intermediate allocation** — the writer's output hot path; chunk counts
+/// stay proportional to the number of escaped characters, not the text
+/// length.
+pub fn escape_text_chunks<E>(
+    s: &str,
+    mut emit: impl FnMut(&str) -> Result<(), E>,
+) -> Result<(), E> {
+    let bytes = s.as_bytes();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        let ent = match b {
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            b'&' => "&amp;",
+            _ => continue,
+        };
+        if start < i {
+            emit(&s[start..i])?;
+        }
+        emit(ent)?;
+        start = i + 1;
+    }
+    if start < bytes.len() {
+        emit(&s[start..])?;
+    }
+    Ok(())
+}
+
 /// Resolve the predefined entities and numeric character references in `s`.
 ///
 /// Unknown entity names are an error (reported by name) so that malformed
@@ -53,6 +84,23 @@ pub fn unescape(s: &str) -> Result<Cow<'_, str>, String> {
         return Ok(Cow::Borrowed(s));
     }
     let mut out = String::with_capacity(s.len());
+    unescape_entities(s, &mut out)?;
+    Ok(Cow::Owned(out))
+}
+
+/// [`unescape`] appending into a caller-provided buffer — the reader's text
+/// path, which decodes every character-data run without an intermediate
+/// allocation (entity-free runs are a single `push_str`).
+pub fn unescape_into(s: &str, out: &mut String) -> Result<(), String> {
+    if !s.as_bytes().contains(&b'&') {
+        out.push_str(s);
+        return Ok(());
+    }
+    unescape_entities(s, out)
+}
+
+/// The slow path: `s` is known to contain at least one `&`.
+fn unescape_entities(s: &str, out: &mut String) -> Result<(), String> {
     let mut rest = s;
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
@@ -89,7 +137,7 @@ pub fn unescape(s: &str) -> Result<Cow<'_, str>, String> {
         rest = &after[semi + 1..];
     }
     out.push_str(rest);
-    Ok(Cow::Owned(out))
+    Ok(())
 }
 
 #[cfg(test)]
@@ -132,6 +180,41 @@ mod tests {
         assert!(unescape("&#xZZ;").is_err());
         assert!(unescape("& alone").is_err());
         assert!(unescape("&#1114112;").is_err()); // beyond char::MAX
+    }
+
+    #[test]
+    fn chunked_escape_matches_escape_text() {
+        let samples = ["", "plain", "a<b&c>d", "<<&>>", "x&", "&y", "多<é"];
+        for s in samples {
+            let mut chunks: Vec<String> = Vec::new();
+            escape_text_chunks::<()>(s, |c| {
+                chunks.push(c.to_string());
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(chunks.concat(), escape_text(s), "chunked escape of {s:?}");
+            // Clean input must be exactly one borrowed chunk (or none).
+            if !s.contains(['<', '>', '&']) {
+                assert!(chunks.len() <= 1, "{s:?} produced {chunks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_escape_propagates_errors() {
+        let res = escape_text_chunks("a<b", |_| Err("stop"));
+        assert_eq!(res, Err("stop"));
+    }
+
+    #[test]
+    fn unescape_into_appends() {
+        let mut buf = String::from("pre|");
+        unescape_into("x &lt; y", &mut buf).unwrap();
+        assert_eq!(buf, "pre|x < y");
+        buf.clear();
+        unescape_into("clean", &mut buf).unwrap();
+        assert_eq!(buf, "clean");
+        assert!(unescape_into("&bad;", &mut buf).is_err());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Arena-backed event buffers: the compact owned form of an event slice.
+//!
+//! The paper's runtime buffers hold well-formed event sequences; the naive
+//! owned form (`Vec<OwnedEvent>`, one `Box<str>` per event) pays one heap
+//! allocation per buffered event. [`EventBuf`] stores the same sequence as
+//! a flat record array plus one byte arena: tags carry their [`NameId`] and
+//! an `(offset, len)` span of the name bytes, text events a span of the
+//! text bytes. Pushing an event is two `Vec` appends (amortized, no
+//! per-event allocation); replaying yields [`ResolvedEvent`]s that are
+//! indistinguishable from live reader output — exactly the paper's "data
+//! read from a buffer is indistinguishable from data read from the input
+//! stream" (Section 5).
+//!
+//! `payload_bytes` of each event (name length for tags, text length for
+//! character data) is the span length, so buffer accounting is identical to
+//! the boxed representation.
+
+use crate::events::ResolvedEvent;
+use crate::symbols::NameId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Start,
+    End,
+    Text,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    kind: Kind,
+    id: NameId,
+    off: u32,
+    len: u32,
+}
+
+/// A growable, arena-backed buffer of events. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct EventBuf {
+    items: Vec<Item>,
+    arena: String,
+}
+
+impl EventBuf {
+    /// An empty buffer.
+    pub fn new() -> EventBuf {
+        EventBuf::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drop all events (retains capacity).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.arena.clear();
+    }
+
+    fn push(&mut self, kind: Kind, id: NameId, payload: &str) -> usize {
+        // Spans are u32 to keep records compact; a single buffer holding
+        // ≥ 4 GiB of payload must fail loudly rather than wrap offsets and
+        // replay corrupted events. (Engine buffer limits normally abort
+        // far earlier; this guards the unlimited configuration.)
+        let end = self.arena.len() + payload.len();
+        assert!(end <= u32::MAX as usize, "event buffer arena exceeds the 4 GiB span limit");
+        let off = self.arena.len() as u32;
+        self.arena.push_str(payload);
+        self.items.push(Item { kind, id, off, len: payload.len() as u32 });
+        payload.len()
+    }
+
+    /// Append `<name>`; returns the payload bytes charged (the name length).
+    pub fn push_start(&mut self, id: NameId, name: &str) -> usize {
+        self.push(Kind::Start, id, name)
+    }
+
+    /// Append `</name>`; returns the payload bytes charged.
+    pub fn push_end(&mut self, id: NameId, name: &str) -> usize {
+        self.push(Kind::End, id, name)
+    }
+
+    /// Append character data; returns the payload bytes charged.
+    pub fn push_text(&mut self, text: &str) -> usize {
+        self.push(Kind::Text, NameId::UNKNOWN, text)
+    }
+
+    /// The `i`-th event, if present.
+    pub fn get(&self, i: usize) -> Option<ResolvedEvent<'_>> {
+        self.items.get(i).map(|it| self.view(it))
+    }
+
+    /// The most recently pushed event.
+    pub fn last(&self) -> Option<ResolvedEvent<'_>> {
+        self.items.last().map(|it| self.view(it))
+    }
+
+    /// Iterate the buffered events in order.
+    pub fn iter(&self) -> impl Iterator<Item = ResolvedEvent<'_>> {
+        self.items.iter().map(|it| self.view(it))
+    }
+
+    /// Total payload bytes held (the buffer-accounting metric: tag names
+    /// once per event, text once).
+    pub fn payload_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn view(&self, it: &Item) -> ResolvedEvent<'_> {
+        let s = &self.arena[it.off as usize..(it.off + it.len) as usize];
+        match it.kind {
+            Kind::Start => ResolvedEvent::Start(it.id, s),
+            Kind::End => ResolvedEvent::End(it.id, s),
+            Kind::Text => ResolvedEvent::Text(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Event;
+
+    #[test]
+    fn push_and_replay() {
+        let mut b = EventBuf::new();
+        assert!(b.is_empty());
+        assert_eq!(b.push_start(NameId(3), "book"), 4);
+        assert_eq!(b.push_text("hi"), 2);
+        assert_eq!(b.push_end(NameId(3), "book"), 4);
+        assert_eq!(b.len(), 3);
+        let evs: Vec<Event<'_>> = b.iter().map(ResolvedEvent::to_event).collect();
+        assert_eq!(evs, vec![Event::Start("book"), Event::Text("hi"), Event::End("book")]);
+        assert_eq!(b.get(1), Some(ResolvedEvent::Text("hi")));
+        assert_eq!(b.last(), Some(ResolvedEvent::End(NameId(3), "book")));
+        assert_eq!(b.payload_bytes(), 10);
+    }
+
+    #[test]
+    fn clear_retains_nothing_visible() {
+        let mut b = EventBuf::new();
+        b.push_start(NameId(1), "a");
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.payload_bytes(), 0);
+        assert_eq!(b.get(0), None);
+    }
+
+    #[test]
+    fn ids_survive_buffering() {
+        let mut b = EventBuf::new();
+        b.push_start(NameId(7), "x");
+        b.push_end(NameId::UNKNOWN, "zzz");
+        assert_eq!(b.get(0), Some(ResolvedEvent::Start(NameId(7), "x")));
+        assert_eq!(b.get(1), Some(ResolvedEvent::End(NameId::UNKNOWN, "zzz")));
+    }
+}

@@ -1,0 +1,57 @@
+//! A compiled name trie: the shared runtime form of path-keyed plans.
+//!
+//! Both the FluX engine's buffer trees (which descendants of a scope to
+//! record) and the DOM baseline's projection tries (which paths of the
+//! document to keep) compile their planning structures down to the same
+//! shape — a trie over interned [`NameId`]s with a per-node "take the whole
+//! subtree" mark. Sharing the runtime type keeps the two engines' lookup
+//! semantics identical: children lists are short (bounded by DTD content
+//! models), so lookup is a linear scan over an id array, and
+//! [`NameId::UNKNOWN`] never matches a compiled child — names outside the
+//! static vocabulary are exactly the ones these plans discard.
+
+use crate::symbols::NameId;
+
+/// A compiled id-keyed trie. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct IdTrie {
+    /// Take this node's entire subtree.
+    pub marked: bool,
+    /// Children to descend into, by interned name.
+    pub children: Vec<(NameId, IdTrie)>,
+}
+
+impl IdTrie {
+    /// The child for an interned name, if the trie descends into it.
+    #[inline]
+    pub fn child(&self, id: NameId) -> Option<&IdTrie> {
+        self.children.iter().find(|(i, _)| *i == id).map(|(_, c)| c)
+    }
+
+    /// True when nothing at all would be taken.
+    pub fn is_empty(&self) -> bool {
+        !self.marked && self.children.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_lookup_by_id() {
+        let t = IdTrie {
+            marked: false,
+            children: vec![
+                (NameId(1), IdTrie { marked: true, children: vec![] }),
+                (NameId(2), IdTrie::default()),
+            ],
+        };
+        assert!(t.child(NameId(1)).unwrap().marked);
+        assert!(!t.child(NameId(2)).unwrap().marked);
+        assert!(t.child(NameId(3)).is_none());
+        assert!(t.child(NameId::UNKNOWN).is_none());
+        assert!(!t.is_empty());
+        assert!(IdTrie::default().is_empty());
+    }
+}

@@ -18,6 +18,17 @@
 //! * [`events::OwnedEvent`] — owned events for buffering and replay; data
 //!   replayed from a buffer is indistinguishable from stream input
 //!   (paper, Section 5).
+//! * [`symbols::Symbols`] — the compile-time symbol table. Element names of
+//!   the static vocabulary (DTD + query) are interned once into dense
+//!   [`symbols::NameId`]s; a reader carrying the table
+//!   ([`reader::Reader::with_symbols`]) hashes each tag name once at
+//!   tokenization and yields [`events::ResolvedEvent`]s, so automaton
+//!   steps, handler dispatch and buffer trees downstream work on integers.
+//!   Out-of-vocabulary names map to the reserved
+//!   [`symbols::NameId::UNKNOWN`].
+//! * [`evbuf::EventBuf`] — arena-backed owned event sequences (`NameId`
+//!   tags, `(offset, len)` text spans): the runtime buffer representation,
+//!   with no per-event heap allocation.
 //!
 //! The data model follows the paper: elements and character data only; the
 //! reader either rejects, drops, or converts attributes. Namespaces, DTD
@@ -25,15 +36,21 @@
 //! exactly as in the paper's prototype.
 
 pub mod escape;
+pub mod evbuf;
 pub mod events;
+pub mod idtrie;
 pub mod reader;
 pub mod sink;
+pub mod symbols;
 pub mod tree;
 pub mod writer;
 pub mod xsax;
 
-pub use events::{Event, OwnedEvent};
+pub use evbuf::EventBuf;
+pub use events::{Event, OwnedEvent, ResolvedEvent};
+pub use idtrie::IdTrie;
 pub use reader::{AttributeMode, Reader, ReaderOptions, XmlError, XmlErrorKind};
 pub use sink::{Sink, StringSink};
+pub use symbols::{NameId, Symbols};
 pub use tree::{Child, Node};
 pub use writer::Writer;

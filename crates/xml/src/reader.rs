@@ -5,6 +5,16 @@
 //! the whole FluX approach depends on. It performs well-formedness checking
 //! (matching tags, a single root element) and resolves entity references.
 //!
+//! # Name resolution
+//!
+//! A reader may carry a shared [`Symbols`] table
+//! ([`Reader::with_symbols`]); [`Reader::next_resolved`] then yields
+//! [`ResolvedEvent`]s whose tag names were hashed **once at tokenization**
+//! into dense [`NameId`]s. Names outside the table resolve to
+//! [`NameId::UNKNOWN`] but still carry their text. End tags never re-hash:
+//! the id is remembered on the open-element stack, which itself is a flat
+//! byte arena — the streaming path performs no per-event heap allocation.
+//!
 //! Attribute handling follows the paper's experimental setup (Appendix A):
 //! the prototype's "XSAX parser converted attributes into subelements
 //! on-the-fly". [`AttributeMode::ConvertToSubelements`] reproduces this:
@@ -13,12 +23,14 @@
 //! `{element}_{attribute}` (so `person`+`id` → `person_id`, `buyer`+`person`
 //! → `buyer_person`, exactly the names the adapted XMark queries use).
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::io::BufRead;
+use std::sync::Arc;
 
-use crate::events::{Event, OwnedEvent};
-use crate::xsax::convert_attributes;
+use crate::evbuf::EventBuf;
+use crate::events::{Event, OwnedEvent, ResolvedEvent};
+use crate::symbols::{NameId, Symbols};
+use crate::xsax::converted_name_into;
 
 /// How the reader treats attributes in start tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,26 +128,130 @@ impl std::error::Error for XmlError {}
 
 enum Slot {
     None,
-    /// Borrow target for a text event.
+    /// Borrow target for a text event (decoded into `text_buf`).
     Text,
-    /// Borrow target for an end tag name.
+    /// Text served directly from the source's buffer (zero-copy fast
+    /// path): the first `len` bytes of the *unconsumed* window, verified
+    /// ASCII and entity-free. `defer_consume` keeps the window in place
+    /// until the next pull.
+    SrcText {
+        len: usize,
+    },
+    /// Borrow target for an end tag name (`name_buf` + `cur_id`).
     EndName,
     /// Borrow target for a start tag name (attribute-free fast path).
     StartName,
-    /// An owned event dequeued from `pending`.
-    Owned(OwnedEvent),
+    /// Index into the `pending` event buffer.
+    Pending(usize),
+}
+
+/// Outcome of a fast-path attempt. `Fallback` guarantees no state was
+/// consumed or mutated: the general path re-reads the same bytes.
+enum Fast {
+    /// Event produced (slot set).
+    Emitted,
+    /// Handled without an event (whitespace dropped, tag opened).
+    Skipped,
+    /// Not a fast-path shape; use the general path.
+    Fallback,
+}
+
+/// SWAR byte search (the `memchr` of the fast path — `std`'s is private).
+#[inline]
+fn find_byte(needle: u8, hay: &[u8]) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let pat = u64::from(needle).wrapping_mul(LO);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk")) ^ pat;
+        if w.wrapping_sub(LO) & !w & HI != 0 {
+            for (j, &b) in hay[i..i + 8].iter().enumerate() {
+                if b == needle {
+                    return Some(i + j);
+                }
+            }
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| p + i)
+}
+
+/// Branchless property scan of a candidate text run: (any non-ASCII byte,
+/// any `&`, any non-whitespace). Whitespace is the `char::is_whitespace`
+/// ASCII subset (0x09–0x0D, 0x20); non-ASCII bytes read as non-whitespace
+/// but also set the first flag, which routes to the general path.
+#[inline]
+fn scan_text_props(run: &[u8]) -> (bool, bool, bool) {
+    let (mut hi, mut amp, mut nonws) = (0u8, 0u8, 0u8);
+    for &b in run {
+        hi |= b & 0x80;
+        amp |= u8::from(b == b'&');
+        nonws |= u8::from(b != b' ' && !(0x09..=0x0D).contains(&b));
+    }
+    (hi != 0, amp != 0, nonws != 0)
+}
+
+/// Is `b` an ASCII XML name character (after the first)?
+#[inline]
+fn is_ascii_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')
+}
+
+/// Record an element opening: a self-closing tag queues its end event in
+/// the pending buffer (reclaiming it first if fully drained); an open tag
+/// appends its name bytes to the flat stack arena. A free function over the
+/// reader's disjoint fields, so callers may keep `name` borrowed from the
+/// input buffers.
+fn open_element(
+    pending: &mut EventBuf,
+    pending_pos: &mut usize,
+    stack: &mut Vec<(u32, NameId)>,
+    stack_buf: &mut String,
+    id: NameId,
+    name: &str,
+    self_closing: bool,
+) {
+    if self_closing {
+        if *pending_pos == pending.len() {
+            pending.clear();
+            *pending_pos = 0;
+        }
+        pending.push_end(id, name);
+    } else {
+        let off = stack_buf.len() as u32;
+        stack_buf.push_str(name);
+        stack.push((off, id));
+    }
 }
 
 /// Streaming pull parser. See the [module documentation](self).
 pub struct Reader<R> {
     src: R,
     opts: ReaderOptions,
-    stack: Vec<String>,
-    pending: VecDeque<OwnedEvent>,
+    /// Static vocabulary for [`Reader::next_resolved`]; without it every
+    /// name resolves to [`NameId::UNKNOWN`].
+    symbols: Option<Arc<Symbols>>,
+    /// Open elements: `(offset into stack_buf, resolved id)`. The name
+    /// bytes live in `stack_buf`, so opening an element allocates nothing.
+    stack: Vec<(u32, NameId)>,
+    stack_buf: String,
+    /// Queued events (attribute conversion, self-closing end tags), arena
+    /// backed — no per-event allocation.
+    pending: EventBuf,
+    pending_pos: usize,
     slot: Slot,
+    /// Resolved id of the tag in `name_buf` (slots `StartName`/`EndName`).
+    cur_id: NameId,
     text_buf: String,
     name_buf: String,
+    /// Scratch for synthesized `{element}_{attribute}` names.
+    synth_buf: String,
     raw: Vec<u8>,
+    /// Bytes of the source's buffered window that belong to the event
+    /// currently held in `slot` (zero-copy text): consumed on the next
+    /// pull, after the borrow ends.
+    defer_consume: usize,
     offset: u64,
     seen_root: bool,
     /// True when the next bytes to parse are the inside of a `<…>` tag (the
@@ -158,17 +274,31 @@ impl<R: BufRead> Reader<R> {
         Reader {
             src,
             opts,
+            symbols: None,
             stack: Vec::new(),
-            pending: VecDeque::new(),
+            stack_buf: String::new(),
+            pending: EventBuf::new(),
+            pending_pos: 0,
             slot: Slot::None,
+            cur_id: NameId::UNKNOWN,
             text_buf: String::new(),
             name_buf: String::new(),
+            synth_buf: String::new(),
             raw: Vec::new(),
+            defer_consume: 0,
             offset: 0,
             seen_root: false,
             in_tag: false,
             finished: false,
         }
+    }
+
+    /// Create a reader that resolves tag names against a shared symbol
+    /// table (see the [module docs](self)).
+    pub fn with_symbols(src: R, opts: ReaderOptions, symbols: Arc<Symbols>) -> Self {
+        let mut r = Self::new(src, opts);
+        r.symbols = Some(symbols);
+        r
     }
 
     /// Number of bytes consumed from the source so far.
@@ -185,18 +315,43 @@ impl<R: BufRead> Reader<R> {
         Err(XmlError { kind, offset: self.offset })
     }
 
+    #[inline]
+    fn resolve(&self, name: &str) -> NameId {
+        match &self.symbols {
+            Some(s) => s.resolve(name),
+            None => NameId::UNKNOWN,
+        }
+    }
+
     /// Pull the next event. Returns `Ok(None)` at a well-formed end of
     /// document. The returned event borrows from the reader and must be
     /// released (dropped) before the next call.
     pub fn next_event(&mut self) -> Result<Option<Event<'_>>, XmlError> {
+        Ok(self.next_resolved()?.map(ResolvedEvent::to_event))
+    }
+
+    /// Pull the next event with its tag name resolved to a [`NameId`]
+    /// (see the [module docs](self)). Identical stream to
+    /// [`Reader::next_event`], plus ids.
+    ///
+    /// Dispatches to a zero-copy fast path whenever the next construct sits
+    /// entirely inside the source's buffered window and has the common
+    /// shape (entity-free ASCII text, attribute-free ASCII tags); anything
+    /// else — buffer boundaries, entities, attributes, comments, CDATA,
+    /// DOCTYPE, non-ASCII names — takes the general accumulating path,
+    /// which the fast path leaves completely untouched on fallback.
+    pub fn next_resolved(&mut self) -> Result<Option<ResolvedEvent<'_>>, XmlError> {
+        if self.defer_consume > 0 {
+            // The previous event borrowed the source window; release it now
+            // that the borrow is over.
+            self.src.consume(self.defer_consume);
+            self.defer_consume = 0;
+        }
         loop {
             // Deliver queued events first (attribute conversion etc.).
-            if let Some(ev) = self.pending.pop_front() {
-                if let OwnedEvent::End(_) = &ev {
-                    // End events synthesized for self-closing tags already
-                    // had their stack entry popped at queue time.
-                }
-                self.slot = Slot::Owned(ev);
+            if self.pending_pos < self.pending.len() {
+                self.slot = Slot::Pending(self.pending_pos);
+                self.pending_pos += 1;
                 break;
             }
             if self.finished {
@@ -204,12 +359,24 @@ impl<R: BufRead> Reader<R> {
             }
             if self.in_tag {
                 self.in_tag = false;
-                if self.parse_tag()? {
-                    break;
+                match self.fast_tag()? {
+                    Fast::Emitted => break,
+                    Fast::Skipped => continue,
+                    Fast::Fallback => {
+                        if self.parse_tag()? {
+                            break;
+                        }
+                        continue; // comment / PI / doctype: nothing to report
+                    }
                 }
-                continue; // comment / PI / doctype: nothing to report
             }
-            // Scan character data until the next '<'.
+            match self.fast_text()? {
+                Fast::Emitted => break,
+                Fast::Skipped => continue,
+                Fast::Fallback => {}
+            }
+            // General path: scan character data until the next '<',
+            // accumulating across buffer refills.
             self.raw.clear();
             let n = self.src.read_until(b'<', &mut self.raw).map_err(|e| XmlError {
                 kind: XmlErrorKind::Io(e.to_string()),
@@ -237,12 +404,151 @@ impl<R: BufRead> Reader<R> {
             }
         }
         Ok(Some(match &self.slot {
-            Slot::Text => Event::Text(&self.text_buf),
-            Slot::EndName => Event::End(&self.name_buf),
-            Slot::StartName => Event::Start(&self.name_buf),
-            Slot::Owned(ev) => ev.as_event(),
+            Slot::Text => ResolvedEvent::Text(&self.text_buf),
+            Slot::SrcText { len } => {
+                let buf = self.src.fill_buf().map_err(|e| XmlError {
+                    kind: XmlErrorKind::Io(e.to_string()),
+                    offset: self.offset,
+                })?;
+                // The run was verified pure ASCII by `fast_text`.
+                let s = std::str::from_utf8(&buf[..*len]).expect("ASCII-scanned text run");
+                ResolvedEvent::Text(s)
+            }
+            Slot::EndName => ResolvedEvent::End(self.cur_id, &self.name_buf),
+            Slot::StartName => ResolvedEvent::Start(self.cur_id, &self.name_buf),
+            Slot::Pending(i) => self.pending.get(*i).expect("pending index in range"),
             Slot::None => unreachable!("slot set before break"),
         }))
+    }
+
+    /// Zero-copy text scan: when the run up to the next `<` sits inside the
+    /// buffered window and is entity-free ASCII, the text event borrows the
+    /// window directly — no copy into `raw` or `text_buf`, and dropped
+    /// whitespace runs are never even UTF-8 validated.
+    fn fast_text(&mut self) -> Result<Fast, XmlError> {
+        let buf = self
+            .src
+            .fill_buf()
+            .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+        if buf.is_empty() {
+            // EOF, with nothing pending: same checks as the general path.
+            if !self.stack.is_empty() || !self.seen_root {
+                return self.err(XmlErrorKind::UnexpectedEof);
+            }
+            self.finished = true;
+            return Ok(Fast::Skipped);
+        }
+        let Some(pos) = find_byte(b'<', buf) else {
+            return Ok(Fast::Fallback); // run crosses the window: accumulate
+        };
+        if pos == 0 {
+            self.src.consume(1);
+            self.offset += 1;
+            self.in_tag = true;
+            return Ok(Fast::Skipped);
+        }
+        let (any_hi, any_amp, any_nonws) = scan_text_props(&buf[..pos]);
+        if any_hi || any_amp {
+            return Ok(Fast::Fallback); // entities / non-ASCII: decode path
+        }
+        let emit = if !any_nonws {
+            // Whitespace-only: reported only on request, inside the root.
+            self.opts.keep_whitespace && !self.stack.is_empty()
+        } else {
+            if self.stack.is_empty() {
+                self.offset += pos as u64 + 1;
+                return self.err(XmlErrorKind::TextOutsideRoot);
+            }
+            true
+        };
+        self.offset += pos as u64 + 1;
+        self.in_tag = true;
+        if emit {
+            self.defer_consume = pos + 1;
+            self.slot = Slot::SrcText { len: pos };
+            Ok(Fast::Emitted)
+        } else {
+            self.src.consume(pos + 1);
+            Ok(Fast::Skipped)
+        }
+    }
+
+    /// Zero-copy tag parse: attribute-free ASCII start and end tags whose
+    /// `>` sits inside the buffered window. Everything else (comments,
+    /// CDATA, DOCTYPE, PIs, attributes, unicode names, mismatch errors)
+    /// falls back to the general path, which re-reads the same bytes.
+    fn fast_tag(&mut self) -> Result<Fast, XmlError> {
+        let buf = self
+            .src
+            .fill_buf()
+            .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
+        let Some(pos) = find_byte(b'>', buf) else { return Ok(Fast::Fallback) };
+        let body = &buf[..pos];
+        match body.first() {
+            None => Ok(Fast::Fallback), // `<>`: let the general path error
+            Some(b'!' | b'?') => Ok(Fast::Fallback),
+            Some(b'/') => {
+                // End tag: the byte-compare against the open element *is*
+                // the validity check; any mismatch (including trailing
+                // whitespace or bad names) goes to the general path.
+                let name = &body[1..];
+                match self.stack.last().copied() {
+                    Some((off, id)) if self.stack_buf.as_bytes()[off as usize..] == *name => {
+                        self.name_buf.clear();
+                        self.name_buf.push_str(&self.stack_buf[off as usize..]);
+                        self.stack.pop();
+                        self.stack_buf.truncate(off as usize);
+                        self.cur_id = id;
+                        self.src.consume(pos + 1);
+                        self.offset += pos as u64 + 1;
+                        self.slot = Slot::EndName;
+                        Ok(Fast::Emitted)
+                    }
+                    _ => Ok(Fast::Fallback),
+                }
+            }
+            Some(&first) => {
+                // Start tag. Name must be ASCII; anything after it other
+                // than a bare `/` (attributes, whitespace) falls back.
+                if !(first.is_ascii_alphabetic() || first == b'_' || first == b':') {
+                    return Ok(Fast::Fallback);
+                }
+                let mut i = 1usize;
+                while i < body.len() && is_ascii_name_byte(body[i]) {
+                    i += 1;
+                }
+                let self_closing = match body.len() - i {
+                    0 => false,
+                    1 if body[i] == b'/' => true,
+                    _ => return Ok(Fast::Fallback),
+                };
+                if self.seen_root && self.stack.is_empty() {
+                    return Ok(Fast::Fallback); // TrailingContent error path
+                }
+                let name = std::str::from_utf8(&body[..i]).expect("ASCII-checked name");
+                let id = match &self.symbols {
+                    Some(s) => s.resolve(name),
+                    None => NameId::UNKNOWN,
+                };
+                self.cur_id = id;
+                self.name_buf.clear();
+                self.name_buf.push_str(name);
+                self.seen_root = true;
+                open_element(
+                    &mut self.pending,
+                    &mut self.pending_pos,
+                    &mut self.stack,
+                    &mut self.stack_buf,
+                    id,
+                    name,
+                    self_closing,
+                );
+                self.src.consume(pos + 1);
+                self.offset += pos as u64 + 1;
+                self.slot = Slot::StartName;
+                Ok(Fast::Emitted)
+            }
+        }
     }
 
     /// Decode and stash the first `len` bytes of `self.raw` as character
@@ -263,10 +569,9 @@ impl<R: BufRead> Reader<R> {
             }
             return self.err(XmlErrorKind::TextOutsideRoot);
         }
-        let decoded = crate::escape::unescape(s)
-            .map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
         self.text_buf.clear();
-        self.text_buf.push_str(&decoded);
+        crate::escape::unescape_into(s, &mut self.text_buf)
+            .map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
         Ok(true)
     }
 
@@ -364,29 +669,30 @@ impl<R: BufRead> Reader<R> {
         let body = std::str::from_utf8(&self.raw)
             .map_err(|_| XmlError { kind: XmlErrorKind::Utf8, offset: self.offset })?;
         if let Some(name_part) = body.strip_prefix('/') {
-            // End tag.
+            // End tag. The match against the open element is the validity
+            // check (the name was checked when it was opened); only the
+            // mismatch path re-examines it.
             let name = name_part.trim();
-            check_name(name)
-                .map_err(|m| XmlError { kind: XmlErrorKind::Syntax(m), offset: self.offset })?;
-            match self.stack.pop() {
-                Some(open) if open == name => {}
-                Some(open) => {
-                    return self.err(XmlErrorKind::MismatchedTag {
-                        expected: Some(open),
-                        found: name.to_string(),
-                    })
+            match self.stack.last().copied() {
+                Some((off, id)) if self.stack_buf[off as usize..] == *name => {
+                    self.stack.pop();
+                    self.stack_buf.truncate(off as usize);
+                    self.cur_id = id;
+                    self.name_buf.clear();
+                    self.name_buf.push_str(name);
+                    self.slot = Slot::EndName;
+                    return Ok(true);
                 }
-                None => {
-                    return self.err(XmlErrorKind::MismatchedTag {
-                        expected: None,
-                        found: name.to_string(),
-                    })
+                top => {
+                    check_name(name).map_err(|m| XmlError {
+                        kind: XmlErrorKind::Syntax(m),
+                        offset: self.offset,
+                    })?;
+                    let expected = top.map(|(off, _)| self.stack_buf[off as usize..].to_string());
+                    return self
+                        .err(XmlErrorKind::MismatchedTag { expected, found: name.to_string() });
                 }
             }
-            self.name_buf.clear();
-            self.name_buf.push_str(name);
-            self.slot = Slot::EndName;
-            return Ok(true);
         }
 
         // Start tag.
@@ -406,14 +712,21 @@ impl<R: BufRead> Reader<R> {
 
         self.seen_root = true;
         if attr_src.is_empty() {
-            // Fast path: no attributes.
+            // Fast path: no attributes. One hash, no allocation — the open
+            // element's name bytes go to the flat stack arena.
+            let id = self.resolve(name);
+            self.cur_id = id;
             self.name_buf.clear();
             self.name_buf.push_str(name);
-            if self_closing {
-                self.pending.push_back(OwnedEvent::End(name.into()));
-            } else {
-                self.stack.push(name.to_string());
-            }
+            open_element(
+                &mut self.pending,
+                &mut self.pending_pos,
+                &mut self.stack,
+                &mut self.stack_buf,
+                id,
+                name,
+                self_closing,
+            );
             self.slot = Slot::StartName;
             return Ok(true);
         }
@@ -426,25 +739,53 @@ impl<R: BufRead> Reader<R> {
                 attribute: attrs[0].0.clone(),
             }),
             AttributeMode::Drop => {
+                let id = self.resolve(name);
+                self.cur_id = id;
                 self.name_buf.clear();
                 self.name_buf.push_str(name);
-                if self_closing {
-                    self.pending.push_back(OwnedEvent::End(name.into()));
-                } else {
-                    self.stack.push(name.to_string());
-                }
+                open_element(
+                    &mut self.pending,
+                    &mut self.pending_pos,
+                    &mut self.stack,
+                    &mut self.stack_buf,
+                    id,
+                    name,
+                    self_closing,
+                );
                 self.slot = Slot::StartName;
                 Ok(true)
             }
             AttributeMode::ConvertToSubelements => {
-                for ev in convert_attributes(name, &attrs) {
-                    self.pending.push_back(ev);
+                // XSAX conversion straight into the pending arena: the
+                // element's start, one Start/Text/End triple per attribute
+                // and (for self-closing tags) the end. The loop invariant
+                // guarantees the previous pending batch was delivered.
+                if self.pending_pos == self.pending.len() {
+                    self.pending.clear();
+                    self.pending_pos = 0;
                 }
-                if self_closing {
-                    self.pending.push_back(OwnedEvent::End(name.into()));
-                } else {
-                    self.stack.push(name.to_string());
+                let id = self.resolve(name);
+                self.pending.push_start(id, name);
+                for (attr, value) in &attrs {
+                    converted_name_into(name, attr, &mut self.synth_buf);
+                    let sub_id = self.resolve(&self.synth_buf);
+                    self.pending.push_start(sub_id, &self.synth_buf);
+                    if !value.is_empty() {
+                        self.pending.push_text(value);
+                    }
+                    self.pending.push_end(sub_id, &self.synth_buf);
                 }
+                // The pending buffer is non-empty (start pushed above), so
+                // `open_element` will not reclaim it mid-batch.
+                open_element(
+                    &mut self.pending,
+                    &mut self.pending_pos,
+                    &mut self.stack,
+                    &mut self.stack_buf,
+                    id,
+                    name,
+                    self_closing,
+                );
                 // Caller loop pops from `pending`.
                 Ok(false)
             }
@@ -462,7 +803,30 @@ impl<R: BufRead> Reader<R> {
 }
 
 /// Validate an XML name (loose check: letters/`_`/`:` then name characters).
+/// ASCII names — the overwhelmingly common case — take a byte-wise path.
 fn check_name(name: &str) -> Result<(), String> {
+    let bytes = name.as_bytes();
+    match bytes.first() {
+        Some(&b) if b.is_ascii_alphabetic() || b == b'_' || b == b':' => {}
+        Some(&b) if !b.is_ascii() => return check_name_unicode(name),
+        Some(&b) => {
+            return Err(format!("invalid name start character `{}` in `{name}`", b as char))
+        }
+        None => return Err("empty element name".into()),
+    }
+    for &b in &bytes[1..] {
+        if !(b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')) {
+            if !b.is_ascii() {
+                return check_name_unicode(name);
+            }
+            return Err(format!("invalid name character `{}` in `{name}`", b as char));
+        }
+    }
+    Ok(())
+}
+
+/// The general (non-ASCII) name check.
+fn check_name_unicode(name: &str) -> Result<(), String> {
     let mut chars = name.chars();
     match chars.next() {
         Some(c) if c.is_alphabetic() || c == '_' || c == ':' => {}
@@ -613,6 +977,18 @@ mod tests {
     }
 
     #[test]
+    fn mismatch_reports_expected_open_tag() {
+        let err = Reader::from_str("<a><b></c>").read_to_end().unwrap_err();
+        match err.kind {
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                assert_eq!(expected.as_deref(), Some("b"));
+                assert_eq!(found, "c");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
     fn truncated_document_rejected() {
         let err = Reader::from_str("<a><b>").read_to_end().unwrap_err();
         assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
@@ -650,6 +1026,12 @@ mod tests {
     fn bad_names_reported() {
         assert!(Reader::from_str("<1a/>").read_to_end().is_err());
         assert!(Reader::from_str("<a b c/>").read_to_end().is_err());
+        assert!(Reader::from_str("<a></1a>").read_to_end().is_err());
+    }
+
+    #[test]
+    fn unicode_names_accepted() {
+        assert_eq!(flat("<多><é>x</é></多>"), "<多><é>x</é></多>");
     }
 
     #[test]
@@ -684,5 +1066,59 @@ mod tests {
     #[test]
     fn attribute_value_entities() {
         assert_eq!(flat(r#"<a k="x &amp; y"/>"#), "<a><a_k>x &amp; y</a_k></a>");
+    }
+
+    fn bib_symbols() -> Arc<Symbols> {
+        let mut s = Symbols::new();
+        for n in ["bib", "book", "title", "book_id"] {
+            s.intern(n);
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn resolved_ids_match_the_table() {
+        let syms = bib_symbols();
+        let doc = "<bib><book><title>T</title><zzz>u</zzz></book></bib>";
+        let mut r = Reader::with_symbols(doc.as_bytes(), ReaderOptions::default(), syms.clone());
+        let mut seen = Vec::new();
+        while let Some(ev) = r.next_resolved().unwrap() {
+            if let ResolvedEvent::Start(id, name) | ResolvedEvent::End(id, name) = ev {
+                seen.push((id, name.to_string()));
+            }
+        }
+        assert_eq!(seen[0], (syms.resolve("bib"), "bib".to_string()));
+        assert_eq!(seen[1], (syms.resolve("book"), "book".to_string()));
+        assert_eq!(seen[2], (syms.resolve("title"), "title".to_string()));
+        // End ids come from the stack, not a re-hash; they must agree.
+        assert_eq!(seen[3], (syms.resolve("title"), "title".to_string()));
+        // Out-of-vocabulary names resolve to UNKNOWN but keep their text.
+        assert_eq!(seen[4], (NameId::UNKNOWN, "zzz".to_string()));
+        assert_eq!(seen[5], (NameId::UNKNOWN, "zzz".to_string()));
+        assert!(seen[4].0.is_unknown());
+    }
+
+    #[test]
+    fn resolved_ids_flow_through_attribute_conversion() {
+        let syms = bib_symbols();
+        let doc = r#"<bib><book id="b1"/></bib>"#;
+        let mut r = Reader::with_symbols(doc.as_bytes(), ReaderOptions::default(), syms.clone());
+        let mut starts = Vec::new();
+        while let Some(ev) = r.next_resolved().unwrap() {
+            if let ResolvedEvent::Start(id, name) = ev {
+                starts.push((id, name.to_string()));
+            }
+        }
+        assert_eq!(starts[1], (syms.resolve("book"), "book".to_string()));
+        assert_eq!(starts[2], (syms.resolve("book_id"), "book_id".to_string()));
+    }
+
+    #[test]
+    fn reader_without_symbols_resolves_unknown() {
+        let mut r = Reader::from_str("<a>x</a>");
+        match r.next_resolved().unwrap().unwrap() {
+            ResolvedEvent::Start(id, "a") => assert!(id.is_unknown()),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

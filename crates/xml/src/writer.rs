@@ -7,7 +7,7 @@
 
 use std::io;
 
-use crate::escape::escape_text;
+use crate::escape::escape_text_chunks;
 use crate::events::Event;
 use crate::sink::Sink;
 use crate::tree::Node;
@@ -43,11 +43,15 @@ impl<S: Sink> Writer<S> {
                 self.raw(n.as_bytes())?;
                 self.raw(b">")
             }
-            Event::Text(t) => {
-                let esc = escape_text(t);
-                self.raw(esc.as_bytes())
-            }
+            Event::Text(t) => self.write_text(t),
         }
+    }
+
+    /// Write character data with escaping applied, streaming clean runs and
+    /// entities straight to the sink — no intermediate allocation even when
+    /// the text needs escaping.
+    pub fn write_text(&mut self, t: &str) -> io::Result<()> {
+        escape_text_chunks(t, |chunk| self.raw(chunk.as_bytes()))
     }
 
     /// Write a raw, pre-formed string (used for the paper's "output of a

@@ -5,34 +5,26 @@
 //! `<person id="…">` to `<person><person_id>…</person_id>`. The synthesized
 //! element name is `{element}_{attribute}` — this is where the adapted XMark
 //! query names `person_id`, `buyer_person`, `open_auction_id`,
-//! `profile_income` come from.
-
-use crate::events::OwnedEvent;
+//! `profile_income` come from. The reader performs the conversion directly
+//! into its pending event arena (see
+//! [`AttributeMode::ConvertToSubelements`](crate::reader::AttributeMode));
+//! this module owns the naming rule.
 
 /// Name of the subelement synthesized for attribute `attr` of `element`.
 pub fn converted_name(element: &str, attr: &str) -> String {
     let mut s = String::with_capacity(element.len() + attr.len() + 1);
-    s.push_str(element);
-    s.push('_');
-    s.push_str(attr);
+    converted_name_into(element, attr, &mut s);
     s
 }
 
-/// Produce the event sequence for a start tag with attributes:
-/// `Start(element)` followed by one `Start/Text/End` triple per attribute,
-/// in source order. The caller appends the element's real content afterwards.
-pub fn convert_attributes(element: &str, attrs: &[(String, String)]) -> Vec<OwnedEvent> {
-    let mut out = Vec::with_capacity(1 + attrs.len() * 3);
-    out.push(OwnedEvent::Start(element.into()));
-    for (name, value) in attrs {
-        let sub = converted_name(element, name);
-        out.push(OwnedEvent::Start(sub.clone().into_boxed_str()));
-        if !value.is_empty() {
-            out.push(OwnedEvent::Text(value.as_str().into()));
-        }
-        out.push(OwnedEvent::End(sub.into_boxed_str()));
-    }
-    out
+/// [`converted_name`] into a reusable buffer (the reader's conversion path
+/// synthesizes one name per attribute; reusing the buffer keeps that
+/// allocation-free after warmup).
+pub fn converted_name_into(element: &str, attr: &str, out: &mut String) {
+    out.clear();
+    out.push_str(element);
+    out.push('_');
+    out.push_str(attr);
 }
 
 #[cfg(test)]
@@ -48,15 +40,11 @@ mod tests {
     }
 
     #[test]
-    fn conversion_event_shape() {
-        let evs = convert_attributes("person", &[("id".into(), "person0".into())]);
-        let s: String = evs.iter().map(|e| e.to_string()).collect();
-        assert_eq!(s, "<person><person_id>person0</person_id>");
-    }
-
-    #[test]
-    fn empty_value_has_no_text_event() {
-        let evs = convert_attributes("a", &[("k".into(), String::new())]);
-        assert_eq!(evs.len(), 3); // Start a, Start a_k, End a_k
+    fn into_reuses_the_buffer() {
+        let mut buf = String::from("junk");
+        converted_name_into("a", "k", &mut buf);
+        assert_eq!(buf, "a_k");
+        converted_name_into("item", "featured", &mut buf);
+        assert_eq!(buf, "item_featured");
     }
 }

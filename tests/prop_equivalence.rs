@@ -46,6 +46,40 @@ fn check_one(engine: &Engine, doc_seed: u64, query_seed: u64) {
     assert_eq!(run.stats.final_buffer_bytes, 0, "buffer leak\nquery {query}");
 }
 
+/// The interned pipeline against the DOM baseline on generated XMark: for
+/// random fragments (size and seed vary), every paper query must produce
+/// byte-identical output from the FluX engine, the projected DOM baseline,
+/// and the reference evaluator.
+fn check_xmark_fragment(size_seed: u64, gen_seed: u64) {
+    use flux::baseline::{DomEngine, ProjectionMode};
+    use flux::xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
+    use flux::xml::writer::NullSink;
+
+    let target = 2048 + (size_seed % 7) * 3000;
+    let cfg = XmarkConfig { seed: gen_seed, ..XmarkConfig::new(target as usize) };
+    let (doc, _) = generate_string(&cfg);
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    for q in PAPER_QUERIES {
+        let query = flux::query::parse_xquery(q.source).unwrap();
+        let prepared = engine.prepare_expr(&query).unwrap();
+        let run = prepared.run_str(&doc).unwrap_or_else(|e| {
+            panic!("{} failed on fragment ({size_seed},{gen_seed}): {e}", q.name)
+        });
+        let dom = DomEngine { projection: ProjectionMode::Paths, memory_cap: None }
+            .prepare(&query)
+            .run(doc.as_bytes())
+            .unwrap();
+        assert_eq!(
+            run.output, dom.output,
+            "{} differs from DOM baseline on fragment ({size_seed},{gen_seed})",
+            q.name
+        );
+        // And the byte counts through a NullSink agree with the string run.
+        let stats = prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap();
+        assert_eq!(stats.output_bytes as usize, run.output.len(), "{}", q.name);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
 
@@ -59,5 +93,19 @@ proptest! {
     fn rewrite_is_equivalent_on_weak_dtd(doc_seed in 0u64..10_000, query_seed in 0u64..10_000) {
         let engine = Engine::builder().dtd_str(TEST_DTD_WEAK).build().unwrap();
         check_one(&engine, doc_seed, query_seed);
+    }
+}
+
+proptest! {
+    // XMark generation is heavier than the random-doc cases above; fewer
+    // cases keep the suite fast while still varying size and content.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interned_pipeline_matches_dom_on_xmark_fragments(
+        size_seed in 0u64..1_000,
+        gen_seed in 0u64..10_000,
+    ) {
+        check_xmark_fragment(size_seed, gen_seed);
     }
 }

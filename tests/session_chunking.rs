@@ -102,6 +102,34 @@ fn random_multiway_splits_on_generated_documents() {
 }
 
 #[test]
+fn unknown_names_stream_identically_at_every_split_offset() {
+    // Elements absent from both DTD and query carry the reserved UNKNOWN
+    // NameId. They flow through copies below the validated level; chunk
+    // boundaries (including ones splitting the unknown tag itself) must
+    // not change output or stats.
+    let dtd = "<!ELEMENT r (a)*><!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>";
+    let doc = "<r><a><b>x<zzz>mid<deep>d</deep></zzz>y</b></a><a><b><zzz/></b></a></r>";
+    every_offset(dtd, "<out>{ for $x in $ROOT/r/a return {$x} }</out>", doc, true);
+}
+
+#[test]
+fn unknown_name_validation_error_is_split_invariant() {
+    // An unknown element at a validated position must fail identically
+    // however the bytes are chunked.
+    let engine = Engine::builder().dtd_str(STRONG_DTD).build().unwrap();
+    let q = engine.prepare(Q3).unwrap();
+    let doc = b"<bib><zzz>x</zzz></bib>";
+    for at in 0..=doc.len() {
+        let mut s = q.session(StringSink::new());
+        let _ = s.feed(&doc[..at]);
+        let _ = s.feed(&doc[at..]);
+        let (res, _) = s.finish_parts();
+        let err = res.expect_err("unknown element at scope position must fail");
+        assert!(err.to_string().contains("zzz"), "split {at}: {err}");
+    }
+}
+
+#[test]
 fn empty_chunks_are_harmless() {
     let engine = Engine::builder().dtd_str(STRONG_DTD).build().unwrap();
     let q = engine.prepare(Q3).unwrap();

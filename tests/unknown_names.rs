@@ -1,0 +1,128 @@
+//! The `UNKNOWN` NameId path: element names absent from both the DTD and
+//! the query resolve to the reserved id, and must stream, buffer, and fail
+//! validation exactly as named elements always did.
+//!
+//! Such names can legitimately reach the engine wherever subtrees pass by
+//! without per-child validation — inside copied children, captured
+//! children, and recorded (buffered) subtrees. At a validated scope
+//! position they must produce the same validation error as before.
+
+mod common;
+
+use flux::prelude::*;
+use flux::query::eval::{eval_query, wrap_document};
+use flux::query::parse_xquery;
+use flux::xml::Node;
+
+/// `b` is a PCDATA leaf: content *inside* `<b>` is only validated when `b`
+/// itself becomes a scope, so out-of-vocabulary elements there flow through
+/// copies, captures and buffers untouched.
+const DTD: &str = "<!ELEMENT r (a)*><!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>";
+
+/// `zzz`/`deep` occur in neither the DTD nor any query below.
+const DOC: &str = "<r><a><b>x<zzz>mid<deep>d</deep></zzz>y</b></a><a><b><zzz/></b><b>t</b></a></r>";
+
+#[track_caller]
+fn check_against_dom(query: &str, doc: &str) -> RunOutcome {
+    let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+    let q = engine.prepare(query).unwrap();
+    let run = q.run_str(doc).unwrap();
+    let tree = wrap_document(Node::parse_str(doc).unwrap());
+    let expected = eval_query(&parse_xquery(query).unwrap(), &tree).unwrap();
+    assert_eq!(run.output, expected, "query: {query}");
+    run
+}
+
+#[test]
+fn unknown_elements_stream_through_copies() {
+    // `{$x}` compiles to the zero-buffer copy path: the unknown subtree is
+    // forwarded byte-identically without ever being buffered.
+    let run = check_against_dom("<out>{ for $x in $ROOT/r/a return {$x} }</out>", DOC);
+    assert_eq!(run.stats.peak_buffer_bytes, 0, "copy path must not buffer");
+    assert!(run.output.contains("<zzz>mid<deep>d</deep></zzz>"));
+}
+
+#[test]
+fn unknown_elements_survive_buffering() {
+    // Two reads of the same path force the capture/buffer path; the
+    // unknown elements are recorded inside the marked subtree and replayed.
+    let run = check_against_dom(
+        "<out>{ for $x in $ROOT/r/a return <one>{$x}</one><two>{$x}</two> }</out>",
+        DOC,
+    );
+    assert!(run.stats.peak_buffer_bytes > 0, "tee forces buffering");
+    assert_eq!(run.stats.final_buffer_bytes, 0, "buffers released");
+    assert_eq!(run.output.matches("<zzz>mid<deep>d</deep></zzz>").count(), 2);
+}
+
+#[test]
+fn unknown_elements_survive_capture_with_conditions() {
+    // A condition whose flag can still change inside the fired child forces
+    // the capture path: the child (unknown elements included) is consumed
+    // into the arena event buffer and rebuilt as a node.
+    let dtd = "<!ELEMENT lib (shelf*,meta?)><!ELEMENT shelf (#PCDATA)>\
+        <!ELEMENT meta (owner,year)><!ELEMENT owner (#PCDATA)><!ELEMENT year (#PCDATA)>";
+    let doc = "<lib><shelf>s</shelf><meta><owner>19<zzz>x</zzz>99</owner>\
+        <year>42</year></meta></lib>";
+    let query = "{ if $ROOT/lib/meta >= 1841 then {$ROOT/lib/meta} }";
+
+    let engine = Engine::builder().dtd_str(dtd).build().unwrap();
+    let q = engine.prepare(query).unwrap();
+    let run = q.run_str(doc).unwrap();
+    let tree = wrap_document(Node::parse_str(doc).unwrap());
+    let expected = eval_query(&parse_xquery(query).unwrap(), &tree).unwrap();
+    assert_eq!(run.output, expected);
+    assert!(run.stats.captures > 0, "the meta child must take the capture path");
+    assert!(run.output.contains("<zzz>x</zzz>"), "unknown subtree preserved: {}", run.output);
+}
+
+#[test]
+fn unknown_element_at_validated_position_rejected() {
+    // At a scope position the automaton has no transition for UNKNOWN:
+    // same validation error as any disallowed element.
+    let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+    let q = engine.prepare("<out>{ for $x in $ROOT/r/a return {$x} }</out>").unwrap();
+    let err = q.run_str("<r><zzz/></r>").unwrap_err();
+    match err {
+        FluxError::Engine(flux::engine::EngineError::Validation { element, message }) => {
+            assert_eq!(element, "r");
+            assert!(message.contains("`zzz` not allowed"), "{message}");
+        }
+        other => panic!("expected validation error, got {other}"),
+    }
+}
+
+#[test]
+fn standalone_validator_agrees_on_unknown_names() {
+    let dtd = flux::dtd::Dtd::parse(DTD).unwrap();
+    // The *standalone* validator descends everywhere and must reject
+    // out-of-vocabulary elements, exactly as before the interning change.
+    let err = flux::dtd::validate_str(&dtd, "<r><a><zzz/></a></r>").unwrap_err();
+    assert!(err.message.contains("not allowed") || err.message.contains("not declared"), "{err}");
+    let err2 = flux::dtd::validate_str(&dtd, "<r><a><b><zzz/></b></a></r>").unwrap_err();
+    assert!(err2.message.contains("not allowed"), "{err2}");
+    // And a valid document still validates.
+    flux::dtd::validate_str(&dtd, "<r><a><b>x</b></a></r>").unwrap();
+}
+
+#[test]
+fn unknown_names_in_random_documents_with_dead_steps() {
+    // The shared query generator emits occasional dead steps (`zzz`);
+    // random documents + queries already cross-check engine vs reference,
+    // here with documents spiked with out-of-vocabulary elements inside
+    // PCDATA leaves.
+    let engine = Engine::builder().dtd_str(common::TEST_DTD).build().unwrap();
+    for seed in 0..8u64 {
+        let mut doc = common::random_doc(engine.dtd(), seed).to_xml();
+        // Inject an unknown element inside the first text-bearing leaf.
+        if let Some(p) = doc.find("</label>") {
+            doc.insert_str(p, "<zzz>spike</zzz>");
+        }
+        let query = "<out>{ for $s in $ROOT/lib/shelf return {$s/label} }</out>";
+        let q = engine.prepare(query).unwrap();
+        let run = q.run_str(&doc).unwrap();
+        let tree = wrap_document(Node::parse_str(&doc).unwrap());
+        let expected = eval_query(&parse_xquery(query).unwrap(), &tree).unwrap();
+        assert_eq!(run.output, expected, "seed {seed}");
+    }
+}
