@@ -1,0 +1,115 @@
+//! Mass-concurrency throughput: many sessions multiplexed on one thread.
+//!
+//! The sans-IO `Session` executes inline — no worker thread, no pipe — so
+//! one thread can drive tens of thousands of concurrent streams. This bin
+//! opens a fleet of sessions over the prepared XMark Q1 pipeline, feeds
+//! them round-robin in small chunks (every session mid-parse while every
+//! other advances), and records the aggregate throughput plus a
+//! `sessions_per_thread` figure into `BENCH_throughput.json` (merged into
+//! the file the `throughput` bin writes, under a `"concurrency"` key).
+//!
+//! Honours the shared bench environment knobs (`FLUX_BENCH_SAMPLES`,
+//! `FLUX_BENCH_FAST=1` for the CI smoke run).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use flux::prelude::*;
+use flux_bench::micro::samples;
+use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
+use flux_xml::writer::NullSink;
+
+const CHUNK: usize = 4096;
+
+fn main() {
+    let fast = std::env::var_os("FLUX_BENCH_FAST").is_some();
+    let sessions: usize = if fast { 1_000 } else { 10_000 };
+    let doc_size: usize = if fast { 4 << 10 } else { 16 << 10 };
+
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    let q1 = PAPER_QUERIES.iter().find(|q| q.name == "Q1").expect("Q1 present");
+    let prepared = engine.prepare(q1.source).unwrap();
+    let (doc, _) = generate_string(&XmarkConfig::new(doc_size));
+    let reference = prepared.run_str(&doc).unwrap();
+
+    let n = samples().min(5);
+    let mut best = f64::MAX;
+    let mut peak_set_bytes = 0usize;
+    for _ in 0..n {
+        let t = Instant::now();
+        let mut set = SessionSet::new();
+        let ids: Vec<SessionId> =
+            (0..sessions).map(|_| set.open(&prepared, NullSink::default())).collect();
+        let bytes = doc.as_bytes();
+        let mut off = 0;
+        while off < bytes.len() {
+            let end = (off + CHUNK).min(bytes.len());
+            for &id in &ids {
+                set.feed(id, &bytes[off..end]).unwrap();
+            }
+            off = end;
+        }
+        peak_set_bytes = peak_set_bytes.max(set.buffered_bytes());
+        for id in ids {
+            let fin = set.finish(id).unwrap();
+            assert_eq!(fin.stats, reference.stats, "multiplexed run must match one-shot");
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+
+    let total_bytes = doc.len() as f64 * sessions as f64;
+    let mb_per_s = total_bytes / 1e6 / best;
+    let sessions_per_s = sessions as f64 / best;
+    println!(
+        "concurrency/{} sessions × {}B on 1 thread  {:>8.1} MB/s aggregate  \
+         {:>9.0} sessions/s  peak set memory {}B  (min of {n} samples)",
+        sessions,
+        doc.len(),
+        mb_per_s,
+        sessions_per_s,
+        peak_set_bytes,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    write_merged(path, sessions, doc.len(), best, mb_per_s, sessions_per_s, n);
+    println!("wrote {path}");
+}
+
+/// Merge the concurrency figures into `BENCH_throughput.json` without
+/// disturbing the `throughput` bin's results (hand-rolled JSON — no serde
+/// in the offline build). Idempotent: a previous `"concurrency"` section
+/// is replaced.
+fn write_merged(
+    path: &str,
+    sessions: usize,
+    doc_bytes: usize,
+    min_seconds: f64,
+    mb_per_s: f64,
+    sessions_per_s: f64,
+    samples: usize,
+) {
+    const MARKER: &str = "\n  ,\"concurrency\"";
+    let mut out = match std::fs::read_to_string(path) {
+        Ok(s) => match s.find(MARKER) {
+            Some(i) => s[..i].to_string(),
+            None => {
+                let t = s.trim_end();
+                t.strip_suffix('}').unwrap_or(t).trim_end().to_string()
+            }
+        },
+        // No throughput results yet: a minimal head that still uses the
+        // shared marker format, so either bin can run first and later runs
+        // of both keep merging instead of duplicating keys.
+        Err(_) => "{\n  \"bench\": \"throughput\"".to_string(),
+    };
+    out.push_str("\n  ,");
+    let _ = write!(
+        out,
+        "\"concurrency\": {{\"bin\": \"concurrency\", \"threads\": 1, \
+         \"sessions_per_thread\": {sessions}, \"doc_bytes\": {doc_bytes}, \
+         \"chunk_bytes\": {CHUNK}, \"min_seconds\": {min_seconds:.6}, \
+         \"aggregate_mb_per_s\": {mb_per_s:.2}, \"sessions_per_s\": {sessions_per_s:.0}, \
+         \"samples\": {samples}}}\n}}\n"
+    );
+    std::fs::write(path, out).expect("write BENCH_throughput.json");
+}

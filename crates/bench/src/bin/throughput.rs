@@ -69,8 +69,24 @@ fn main() {
     }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-    std::fs::write(path, render_json(&cells)).expect("write BENCH_throughput.json");
+    let mut json = render_json(&cells);
+    carry_over_concurrency(path, &mut json);
+    std::fs::write(path, json).expect("write BENCH_throughput.json");
     println!("wrote {path}");
+}
+
+/// Preserve the `"concurrency"` section the `concurrency` bin merged into
+/// the file, so the two bins can run in either order without clobbering
+/// each other's figures. (The marker format is shared with that bin.)
+fn carry_over_concurrency(path: &str, json: &mut String) {
+    const MARKER: &str = "\n  ,\"concurrency\"";
+    let Ok(old) = std::fs::read_to_string(path) else { return };
+    let Some(i) = old.find(MARKER) else { return };
+    // The section runs to the end of the old file, including the final `}`.
+    let section = old[i..].trim_end();
+    let t = json.trim_end();
+    let t = t.strip_suffix('}').unwrap_or(t).trim_end();
+    *json = format!("{t}{section}\n");
 }
 
 /// Hand-rolled JSON (no serde in the offline build).

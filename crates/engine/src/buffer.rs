@@ -13,6 +13,11 @@
 //! events (UNKNOWN) can never match a compiled child and are skipped, like
 //! any other name that is not in the tree.
 //!
+//! The recorder holds no borrow of the plan — its tree cursor is a stack of
+//! `u32` node handles, and each observation takes the scope's [`RtTree`] as
+//! an argument. That keeps the engine's resumable execution state
+//! (`Pump`) a plain owned value that can live across `feed` calls.
+//!
 //! Buffered bytes are charged to the run's memory accounting with the
 //! events-list metric (tag names twice, text once) and released when the
 //! scope instance ends.
@@ -23,9 +28,9 @@ use crate::bufplan::RtTree;
 
 /// What the recorder is doing at one open-element level.
 #[derive(Debug, Clone, Copy)]
-enum RecFrame<'p> {
+enum RecFrame {
     /// Following an unmarked buffer-tree node (tags recorded, text skipped).
-    Follow(&'p RtTree),
+    Follow(u32),
     /// Inside a marked subtree: record everything.
     Capture,
     /// Not recorded.
@@ -34,22 +39,20 @@ enum RecFrame<'p> {
 
 /// Per-scope-instance recording state.
 #[derive(Debug)]
-pub struct Recorder<'p> {
-    tree: &'p RtTree,
+pub struct Recorder {
     /// The buffer: rooted at the scope element.
     root: Node,
-    frames: Vec<RecFrame<'p>>,
+    frames: Vec<RecFrame>,
     /// Child indices of the open recorded chain (for cursor navigation).
     open_path: Vec<usize>,
     /// Bytes charged for this buffer so far.
     bytes: usize,
 }
 
-impl<'p> Recorder<'p> {
+impl Recorder {
     /// Create a recorder for one scope instance.
-    pub fn new(tree: &'p RtTree, scope_elem: &str) -> Recorder<'p> {
+    pub fn new(scope_elem: &str) -> Recorder {
         Recorder {
-            tree,
             root: Node::new(scope_elem),
             frames: Vec::new(),
             open_path: Vec::new(),
@@ -77,12 +80,12 @@ impl<'p> Recorder<'p> {
     /// Would a child with this (interned) label be (partly) recorded right
     /// now? Used by the executor to decide whether a handled child must be
     /// captured rather than streamed.
-    pub fn would_record(&self, id: NameId) -> bool {
+    pub fn would_record(&self, tree: &RtTree, id: NameId) -> bool {
         match self.frames.last() {
             Some(RecFrame::Capture) => true,
             Some(RecFrame::Skip) => false,
-            Some(RecFrame::Follow(t)) => t.child(id).is_some(),
-            None => self.tree.marked || self.tree.child(id).is_some(),
+            Some(RecFrame::Follow(n)) => tree.child(*n, id).is_some(),
+            None => tree.marked(RtTree::ROOT) || tree.child(RtTree::ROOT, id).is_some(),
         }
     }
 
@@ -98,24 +101,21 @@ impl<'p> Recorder<'p> {
     }
 
     /// Start-element event inside the scope; returns bytes newly charged.
-    pub fn on_start(&mut self, id: NameId, name: &str) -> usize {
+    pub fn on_start(&mut self, tree: &RtTree, id: NameId, name: &str) -> usize {
+        let follow = |node: u32| match tree.child(node, id) {
+            Some(c) if tree.marked(c) => RecFrame::Capture,
+            Some(c) => RecFrame::Follow(c),
+            None => RecFrame::Skip,
+        };
         let action = match self.frames.last() {
             Some(RecFrame::Skip) => RecFrame::Skip,
             Some(RecFrame::Capture) => RecFrame::Capture,
-            Some(RecFrame::Follow(t)) => match t.child(id) {
-                Some(c) if c.marked => RecFrame::Capture,
-                Some(c) => RecFrame::Follow(c),
-                None => RecFrame::Skip,
-            },
+            Some(RecFrame::Follow(n)) => follow(*n),
             None => {
-                if self.tree.marked {
+                if tree.marked(RtTree::ROOT) {
                     RecFrame::Capture
                 } else {
-                    match self.tree.child(id) {
-                        Some(c) if c.marked => RecFrame::Capture,
-                        Some(c) => RecFrame::Follow(c),
-                        None => RecFrame::Skip,
-                    }
+                    follow(RtTree::ROOT)
                 }
             }
         };
@@ -135,10 +135,10 @@ impl<'p> Recorder<'p> {
     }
 
     /// Character data inside the scope; returns bytes newly charged.
-    pub fn on_text(&mut self, text: &str) -> usize {
+    pub fn on_text(&mut self, tree: &RtTree, text: &str) -> usize {
         let capture = match self.frames.last() {
             Some(RecFrame::Capture) => true,
-            None => self.tree.marked, // text directly under a marked scope
+            None => tree.marked(RtTree::ROOT), // text directly under a marked scope
             _ => false,
         };
         if capture {
@@ -186,19 +186,19 @@ mod tests {
     fn record_with(tree: &RtTree, symbols: Arc<Symbols>, content: &str) -> (Node, usize) {
         let xml = format!("<scope>{content}</scope>");
         let mut r = Reader::with_symbols(xml.as_bytes(), ReaderOptions::default(), symbols);
-        let mut rec = Recorder::new(tree, "scope");
+        let mut rec = Recorder::new("scope");
         let mut depth = 0;
         while let Some(ev) = r.next_resolved().unwrap() {
             match ev {
                 ResolvedEvent::Start(id, n) => {
                     depth += 1;
                     if depth > 1 {
-                        rec.on_start(id, n);
+                        rec.on_start(tree, id, n);
                     }
                 }
                 ResolvedEvent::Text(t) => {
                     if depth >= 1 {
-                        rec.on_text(t);
+                        rec.on_text(tree, t);
                     }
                 }
                 ResolvedEvent::End(..) => {
@@ -272,17 +272,17 @@ mod tests {
     fn would_record_reflects_cursor() {
         let (t, symbols) = tree(&[("book/editor", true)]);
         let id = |n: &str| symbols.resolve(n);
-        let mut rec = Recorder::new(&t, "scope");
-        assert!(rec.would_record(id("book")));
-        assert!(!rec.would_record(id("article")));
-        rec.on_start(id("book"), "book");
-        assert!(rec.would_record(id("editor")));
-        assert!(!rec.would_record(id("title")));
-        rec.on_start(id("editor"), "editor");
-        assert!(rec.would_record(id("anything")), "inside a capture everything records");
+        let mut rec = Recorder::new("scope");
+        assert!(rec.would_record(&t, id("book")));
+        assert!(!rec.would_record(&t, id("article")));
+        rec.on_start(&t, id("book"), "book");
+        assert!(rec.would_record(&t, id("editor")));
+        assert!(!rec.would_record(&t, id("title")));
+        rec.on_start(&t, id("editor"), "editor");
+        assert!(rec.would_record(&t, id("anything")), "inside a capture everything records");
         rec.on_end();
         rec.on_end();
-        assert!(rec.would_record(id("book")));
+        assert!(rec.would_record(&t, id("book")));
     }
 
     #[test]
@@ -297,10 +297,10 @@ mod tests {
     fn partial_buffer_is_well_formed_mid_stream() {
         let (t, symbols) = tree(&[("a/b", true)]);
         let id = |n: &str| symbols.resolve(n);
-        let mut rec = Recorder::new(&t, "s");
-        rec.on_start(id("a"), "a");
-        rec.on_start(id("b"), "b");
-        rec.on_text("x");
+        let mut rec = Recorder::new("s");
+        rec.on_start(&t, id("a"), "a");
+        rec.on_start(&t, id("b"), "b");
+        rec.on_text(&t, "x");
         // Mid-stream, before any end events: the buffer is already a valid
         // tree containing the partially read data.
         assert_eq!(rec.root().to_xml(), "<s><a><b>x</b></a></s>");

@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 
 use flux_query::{Atom, CmpRhs, Cond, Expr};
-use flux_xml::Symbols;
+use flux_xml::{NameId, Symbols};
 
 /// A (pruned) buffer tree: which descendants of a scope variable to record.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -88,25 +88,67 @@ impl BufferTree {
     }
 }
 
-/// The runtime form of a pruned [`BufferTree`]: the shared
-/// [`IdTrie`](flux_xml::IdTrie), children keyed by interned
-/// [`NameId`](flux_xml::NameId) and compiled once when a query is prepared. The recorder's per-event lookup
-/// becomes a scan over a short id array (children lists in DTD content
-/// models are small) instead of a string `BTreeMap` probe, and no path
-/// strings are split, copied or hashed per document.
-pub type RtTree = flux_xml::IdTrie;
+/// The runtime form of a pruned [`BufferTree`], compiled once when a query
+/// is prepared: children keyed by interned [`NameId`](flux_xml::NameId), so
+/// the recorder's per-event lookup is a scan over a short id array
+/// (children lists in DTD content models are small) instead of a string
+/// `BTreeMap` probe, and no path strings are split, copied or hashed per
+/// document. Nodes are flattened into one arena and addressed by index —
+/// the resumable [`Pump`](crate::Pump) keeps recorder cursors across
+/// `feed` calls, and plain `u32` handles keep that state free of borrows
+/// into the plan.
+#[derive(Debug, Clone, Default)]
+pub struct RtTree {
+    nodes: Vec<RtNode>,
+}
+
+/// One node of an [`RtTree`]; node [`RtTree::ROOT`] is the scope variable.
+#[derive(Debug, Clone, Default)]
+struct RtNode {
+    marked: bool,
+    children: Vec<(NameId, u32)>,
+}
+
+impl RtTree {
+    /// Index of the root node (compiled trees always have one).
+    pub const ROOT: u32 = 0;
+
+    /// Does the node record its entire subtree?
+    #[inline]
+    pub fn marked(&self, node: u32) -> bool {
+        self.nodes[node as usize].marked
+    }
+
+    /// The child of `node` for an interned name, if the tree descends into
+    /// it. [`NameId::UNKNOWN`] never matches a compiled child.
+    #[inline]
+    pub fn child(&self, node: u32, id: NameId) -> Option<u32> {
+        self.nodes[node as usize].children.iter().find(|(i, _)| *i == id).map(|&(_, c)| c)
+    }
+
+    /// True when nothing at all would be recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.first().is_none_or(|root| !root.marked && root.children.is_empty())
+    }
+}
 
 impl BufferTree {
     /// Compile to the runtime form, interning every child name.
     pub fn compile(&self, symbols: &mut Symbols) -> RtTree {
-        RtTree {
-            marked: self.marked,
-            children: self
+        fn go(t: &BufferTree, symbols: &mut Symbols, nodes: &mut Vec<RtNode>) -> u32 {
+            let idx = nodes.len() as u32;
+            nodes.push(RtNode { marked: t.marked, children: Vec::new() });
+            let children = t
                 .children
                 .iter()
-                .map(|(name, c)| (symbols.intern(name), c.compile(symbols)))
-                .collect(),
+                .map(|(name, c)| (symbols.intern(name), go(c, symbols, nodes)))
+                .collect();
+            nodes[idx as usize].children = children;
+            idx
         }
+        let mut nodes = Vec::new();
+        go(self, symbols, &mut nodes);
+        RtTree { nodes }
     }
 }
 

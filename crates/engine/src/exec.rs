@@ -1,4 +1,5 @@
-//! The streaming event loop (paper, Section 5).
+//! The streaming event loop (paper, Section 5) as a resumable, sans-IO
+//! state machine.
 //!
 //! Children of the current scope are processed at node granularity. For each
 //! child the engine (a) lets the active recorders and condition flags
@@ -8,20 +9,36 @@
 //!   handlers, nothing records the child, and its body is streamable, the
 //!   child's events flow straight from the parser to the sub-scope or the
 //!   output — the zero-buffer path;
-//! * otherwise the child is consumed first (captured to a scratch event list
-//!   only if some `on` handler needs to replay it), and the handlers then
-//!   fire in ζ order — `on-first` expressions over the now-complete buffers,
-//!   `on` handlers over the replayed events. Data replayed from a buffer is
-//!   indistinguishable from stream input (Section 5).
+//! * otherwise the child is consumed first (captured to a pooled event
+//!   arena only if some `on` handler needs to replay it), and the handlers
+//!   then fire in ζ order — `on-first` expressions over the now-complete
+//!   buffers, `on` handlers over the replayed events. Data replayed from a
+//!   buffer is indistinguishable from stream input (Section 5).
 //!
 //! Punctuation is exactly Appendix B: one validating DFA transition per
 //! child plus one `PastTable` lookup per `on-first` handler.
+//!
+//! # Control flow: an explicit scope stack, not recursion
+//!
+//! The paper's engine is a *pull* loop that recurses over scopes and blocks
+//! on the parser. Here the recursion is an explicit stack of [`Frame`]s and
+//! control is inverted: the [`Machine`] consumes one resolved event at a
+//! time and *returns* when it needs more input, so a caller can run many
+//! executions concurrently on one thread ([`Pump`] is the public face; the
+//! facade's `Session` couples one to an incremental reader). Only the live
+//! stream suspends — replays of captured children are driven to completion
+//! within the event that finishes the capture, from an internal source
+//! stack (`replays`), exactly mirroring the recursive engine's nested
+//! loops. One code path serves both the one-shot [`CompiledQuery::run`]
+//! (which feeds the machine from a blocking reader) and push-based
+//! sessions, so chunked execution is byte- and statistic-identical to the
+//! one-shot run by construction.
 
 use std::io::BufRead;
 use std::sync::Arc;
 
-use flux_core::FluxExpr;
-use flux_dtd::{Dtd, Glushkov};
+use flux_core::DOC_ELEM;
+use flux_dtd::Glushkov;
 use flux_query::eval::{eval_cond_with, eval_expr, eval_expr_with, wrap_document, Env};
 use flux_query::{Atom, Cond, Expr, ROOT_VAR};
 use flux_xml::{Event, EventBuf, NameId, Node, Reader, ResolvedEvent, Sink, Writer};
@@ -29,9 +46,9 @@ use flux_xml::{Event, EventBuf, NameId, Node, Reader, ResolvedEvent, Sink, Write
 use crate::buffer::Recorder;
 use crate::compile::{
     atom_is_join, atom_root_var, CBody, CHandler, CompiledQuery, EngineError, ScopeSpec,
-    SimpleItem, SimplePlan, Top,
+    SimpleItem, Top,
 };
-use crate::flags::{FlagMatcher, FlagSpec};
+use crate::flags::FlagMatcher;
 use crate::stats::RunStats;
 
 /// Result of a streaming run that collected its output in memory.
@@ -41,37 +58,6 @@ pub struct RunOutcome {
     pub output: String,
     /// Run statistics (peak buffer memory, event counts, …).
     pub stats: RunStats,
-}
-
-/// Compile and run a FluX query over an XML input stream, collecting the
-/// output in memory.
-#[deprecated(
-    since = "0.2.0",
-    note = "prepare once with `flux::Engine::prepare` (or `CompiledQuery::compile`) and run many times"
-)]
-pub fn run_streaming(
-    q: &FluxExpr,
-    dtd: &Dtd,
-    input: impl BufRead,
-) -> Result<RunOutcome, EngineError> {
-    let compiled = CompiledQuery::compile(q, dtd)?;
-    let mut out = Vec::new();
-    let stats = compiled.run(input, &mut out)?;
-    Ok(RunOutcome { output: String::from_utf8(out).expect("writer emits UTF-8"), stats })
-}
-
-/// Compile and run, writing the result to an arbitrary sink.
-#[deprecated(
-    since = "0.2.0",
-    note = "prepare once with `flux::Engine::prepare` (or `CompiledQuery::compile`) and run many times"
-)]
-pub fn run_streaming_to<S: Sink>(
-    q: &FluxExpr,
-    dtd: &Dtd,
-    input: impl BufRead,
-    out: S,
-) -> Result<RunStats, EngineError> {
-    CompiledQuery::compile(q, dtd)?.run(input, out)
 }
 
 impl CompiledQuery {
@@ -93,33 +79,14 @@ impl CompiledQuery {
         // The reader resolves each tag name once against the plan's symbol
         // table; everything downstream dispatches on NameIds.
         let mut reader = Reader::with_symbols(input, self.opts.reader, Arc::clone(&self.symbols));
-        let (res, mut sink) = match &self.top {
-            Top::Simple(e) => {
-                let mut w = Writer::new(out);
-                let res = self.run_simple(e, &mut reader, &mut w);
-                (res, w.into_sink())
+        let mut st = Machine::new(Writer::new(out), self.opts.max_buffer_bytes);
+        let res = (|| {
+            while let Some(ev) = reader.next_resolved()? {
+                st.feed_event(self, ev)?;
             }
-            Top::Scope { pre, idx, post } => {
-                let mut exec = Exec {
-                    plan: self,
-                    reader,
-                    writer: Writer::new(out),
-                    observers: Vec::new(),
-                    env_stack: Vec::new(),
-                    stats: RunStats::default(),
-                    cur_bytes: 0,
-                    limit: self.opts.max_buffer_bytes,
-                    cur_id: NameId::UNKNOWN,
-                    cur_name: String::new(),
-                    cur_text: String::new(),
-                    cur_text_ws: true,
-                    scope_scratch: Vec::new(),
-                    flag_pool: Vec::new(),
-                };
-                let res = exec.drive(pre.as_deref(), *idx, post.as_deref());
-                (res, exec.writer.into_sink())
-            }
-        };
+            st.finish(self)
+        })();
+        let mut sink = st.into_sink();
         if res.is_ok() {
             if let Err(e) = sink.flush_sink() {
                 return (Err(io_err(e)), sink);
@@ -128,107 +95,113 @@ impl CompiledQuery {
         (res, sink)
     }
 
-    /// The degenerate no-`process-stream` path: materialize and evaluate.
-    /// The buffer limit is enforced *while* materializing, so an oversized
-    /// input aborts before it is ever held in memory.
-    fn run_simple<R: BufRead, S: Sink>(
-        &self,
-        e: &Expr,
-        reader: &mut Reader<R>,
-        w: &mut Writer<S>,
-    ) -> Result<RunStats, EngineError> {
-        let (root, bytes) = parse_limited(reader, self.opts.max_buffer_bytes)?;
-        let doc = wrap_document(root);
-        debug_assert_eq!(bytes, doc.buffered_bytes());
-        let mut stats =
-            RunStats { peak_buffer_bytes: bytes, buffers_created: 1, ..RunStats::default() };
-        let mut env = Env::with(ROOT_VAR, &doc);
-        eval_expr(e, &mut env, w)?;
-        stats.output_bytes = w.bytes_written();
-        Ok(stats)
+    /// Start a resumable, sans-IO execution of this plan: feed it resolved
+    /// events as they become available. See [`Pump`].
+    pub fn pump<S: Sink>(self: &Arc<Self>, sink: S) -> Pump<S> {
+        Pump::new(Arc::clone(self), sink)
     }
 }
 
-/// `Node::parse` with incremental buffer accounting: charges each event's
-/// payload (tag names twice, text once — `Node::buffered_bytes`'s metric)
-/// against `limit` as it arrives. Returns the root and the total bytes,
-/// including the `#document` wrapper node the caller adds — the same value
-/// `wrap_document(root).buffered_bytes()` reports.
-fn parse_limited<R: BufRead>(
-    reader: &mut Reader<R>,
-    limit: Option<usize>,
-) -> Result<(Node, usize), EngineError> {
-    let mut stack: Vec<Node> = Vec::new();
-    let mut root: Option<Node> = None;
-    // The synthetic document node is buffered too (as in the seed's
-    // accounting, which measured the wrapped tree).
-    let mut bytes = 2 * flux_core::DOC_ELEM.len();
-    let charge = |grew: usize, bytes: &mut usize| -> Result<(), EngineError> {
-        *bytes += grew;
-        match limit {
-            Some(l) if *bytes > l => Err(EngineError::BufferLimit { used: *bytes, limit: l }),
-            _ => Ok(()),
-        }
-    };
-    while let Some(ev) = reader.next_event()? {
-        match ev {
-            Event::Start(n) => {
-                stack.push(Node::new(n));
-                charge(2 * n.len(), &mut bytes)?;
-            }
-            Event::Text(t) => {
-                if let Some(top) = stack.last_mut() {
-                    top.push_text(t);
-                    charge(t.len(), &mut bytes)?;
-                }
-            }
-            Event::End(_) => {
-                let done = stack.pop().expect("reader guarantees matched tags");
-                match stack.last_mut() {
-                    Some(top) => top.children.push(flux_xml::Child::Elem(done)),
-                    None => root = Some(done),
-                }
-            }
-        }
+/// A resumable, push-based execution of a [`CompiledQuery`].
+///
+/// The pump is the engine's sans-IO core: it owns no input source and never
+/// blocks. Feed it [`ResolvedEvent`]s (typically from an incremental
+/// [`flux_xml::Reader`]) with [`Pump::feed_event`]; each call runs the
+/// schedule — handler dispatch, punctuation, buffering, output — inline on
+/// the calling thread and returns when the event is fully processed. Call
+/// [`Pump::finish`] at end of input to run the final validation and collect
+/// the [`RunStats`] and the sink.
+///
+/// Output, statistics and errors are identical to a one-shot
+/// [`CompiledQuery::run`] over the same event sequence: the one-shot path
+/// is itself implemented by feeding this machine.
+///
+/// After an error the pump is poisoned: further calls return an error
+/// without touching the stream state. Dropping a pump mid-stream is cheap
+/// and clean — there is no thread or channel behind it.
+pub struct Pump<S: Sink> {
+    plan: Arc<CompiledQuery>,
+    st: Machine<S>,
+}
+
+impl<S: Sink> Pump<S> {
+    /// A pump over a shared plan, writing to `sink`.
+    pub fn new(plan: Arc<CompiledQuery>, sink: S) -> Pump<S> {
+        let st = Machine::new(Writer::new(sink), plan.opts.max_buffer_bytes);
+        Pump { plan, st }
     }
-    let root = root.ok_or(EngineError::Validation {
-        element: "#document".into(),
-        message: "empty input".into(),
-    })?;
-    Ok((root, bytes))
+
+    /// Process the next input event. All output the schedule allows is
+    /// written to the sink before this returns.
+    #[inline]
+    pub fn feed_event(&mut self, ev: ResolvedEvent<'_>) -> Result<(), EngineError> {
+        let Pump { plan, st } = self;
+        st.feed_event(plan, ev)
+    }
+
+    /// Signal end of input: final punctuation, validation of the document
+    /// scope, and the flush of the sink. Returns the outcome together with
+    /// the sink (handed back on success *and* on failure).
+    pub fn finish(mut self) -> (Result<RunStats, EngineError>, S) {
+        let res = {
+            let Pump { plan, st } = &mut self;
+            st.finish(plan)
+        };
+        let mut sink = self.st.into_sink();
+        if res.is_ok() {
+            if let Err(e) = sink.flush_sink() {
+                return (Err(io_err(e)), sink);
+            }
+        }
+        (res, sink)
+    }
+
+    /// Abandon the run and recover the sink as-is — *without* the
+    /// end-of-input epilogue [`Pump::finish`] would write. This is the
+    /// right teardown when the input already failed upstream (e.g. a parse
+    /// error): the sink holds exactly the output a one-shot run produced
+    /// before the same failure, nothing more.
+    pub fn abort(self) -> S {
+        self.st.into_sink()
+    }
+
+    /// Bytes currently held in runtime buffers and captures — the same
+    /// quantity bounded by
+    /// [`EngineOptions::max_buffer_bytes`](crate::EngineOptions). Lets a
+    /// multiplexer account memory across many live pumps.
+    pub fn buffered_bytes(&self) -> usize {
+        self.st.cur_bytes
+    }
+
+    /// Statistics accumulated so far (final values come from
+    /// [`Pump::finish`]).
+    pub fn stats_so_far(&self) -> RunStats {
+        self.st.stats
+    }
 }
 
 fn io_err(e: std::io::Error) -> EngineError {
     EngineError::Eval(flux_query::eval::EvalError::Io(e.to_string()))
 }
 
-/// Per-scope-instance observation state (recording + flags).
-struct Observer<'p> {
-    rec: Option<Recorder<'p>>,
-    specs: &'p [FlagSpec],
+/// The error a poisoned machine reports if used again after a failure.
+fn poisoned() -> EngineError {
+    EngineError::Eval(flux_query::eval::EvalError::Io(
+        "pump already failed or finished; start a new one".into(),
+    ))
+}
+
+/// Per-scope-instance observation state (recording + flags). Holds no
+/// borrow of the plan: the scope index addresses the specs, and the
+/// recorder's tree cursor is index-based.
+struct Observer {
+    sidx: usize,
+    rec: Option<Recorder>,
     flags: Vec<FlagMatcher>,
 }
 
-/// Where events come from.
-enum Src<'s> {
-    /// The live input stream.
-    Stream,
-    /// Replaying a captured child; `obs_base` is the observer-stack depth at
-    /// capture time — outer observers already saw these events.
-    Replay { events: &'s EventBuf, pos: usize, obs_base: usize },
-}
-
-impl Src<'_> {
-    fn obs_base(&self) -> usize {
-        match self {
-            Src::Stream => 0,
-            Src::Replay { obs_base, .. } => *obs_base,
-        }
-    }
-}
-
-/// What kind of event the last `pull` produced (payload is in
-/// `Exec::cur_name` / `Exec::cur_text`).
+/// What kind of event the machine currently holds (payload is in
+/// `Machine::cur_name` / `Machine::cur_text`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Pulled {
     Start,
@@ -236,7 +209,7 @@ enum Pulled {
     Text,
 }
 
-/// How a scope run terminates.
+/// How a scope terminates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Term {
     /// On the matching end tag of the scope element.
@@ -245,294 +218,569 @@ enum Term {
     Eof,
 }
 
-struct Exec<'p, R, S: Sink> {
-    plan: &'p CompiledQuery,
-    reader: Reader<R>,
+/// A stream scope being executed (its start tag already consumed).
+struct ScopeFrame {
+    sidx: usize,
+    term: Term,
+    /// Validating DFA state within the scope's content model.
+    state: u32,
+    obs_created: bool,
+    /// Which `on-first` handlers have fired (pooled).
+    fired: Vec<bool>,
+    /// Handlers of the current child's firing list still to run after the
+    /// in-flight zero-copy consumption returns — all `on-first` (pooled).
+    rest: Vec<usize>,
+}
+
+/// What to do when a `Consume` frame completes.
+enum AfterConsume {
+    /// Capture path: become a [`Frame::Fire`] over these handlers (the
+    /// captured events are the top of `Machine::captures`).
+    /// (Plain no-continuation skips never build a frame at all — they use
+    /// the machine's `skip` counter.)
+    Fire { sidx: usize, handlers: Vec<usize> },
+    /// A simple handler body consumed the child: write its trailing items.
+    Simple(SimpleRest),
+}
+
+/// Continuation inside a simple (streamable) handler body: resume at
+/// `item` of handler `hidx` of scope `sidx` once the child is consumed.
+#[derive(Clone, Copy)]
+struct SimpleRest {
+    sidx: usize,
+    hidx: usize,
+    item: usize,
+}
+
+/// One entry of the explicit control stack. Events are always consumed by
+/// the top frame; frames below hold the continuations of enclosing scopes.
+enum Frame {
+    Scope(ScopeFrame),
+    /// Consume (skip or capture) the rest of the current child's subtree.
+    Consume {
+        depth: u32,
+        capturing: bool,
+        after: AfterConsume,
+    },
+    /// Copy the rest of the current child's subtree to the output.
+    Copy {
+        depth: u32,
+        rest: SimpleRest,
+    },
+    /// Fire the remaining handlers of a captured child, one at a time; each
+    /// `on` handler replays the capture (top of `Machine::captures`) from
+    /// the start. Never consumes events — advanced by the machine between
+    /// them.
+    Fire {
+        sidx: usize,
+        handlers: Vec<usize>,
+        next: usize,
+    },
+}
+
+/// An in-flight replay of a captured child. Events above `obs_base` in the
+/// observer stack have not seen this data; everything below observed it
+/// live during the capture.
+struct Replay {
+    capture: usize,
+    pos: usize,
+    obs_base: usize,
+}
+
+/// A captured child subtree awaiting (or under) replay.
+struct Capture {
+    buf: EventBuf,
+    /// Bytes charged against the buffer accounting; released when the
+    /// capture is retired.
+    bytes: usize,
+    /// The child's label (kept only when a `Captured` body materializes it).
+    label: String,
+}
+
+/// Top-level execution mode.
+enum Mode {
+    /// Normal scoped execution (`Top::Scope`).
+    Scoped,
+    /// Degenerate `Top::Simple` (no `process-stream`): materialize the
+    /// document incrementally — with the buffer limit enforced while
+    /// materializing — and evaluate at finish.
+    Simple { stack: Vec<Node>, root: Option<Node>, bytes: usize },
+}
+
+/// The resumable engine state. All plan references are by index (scope,
+/// handler, item, trie node), so the machine is a plain owned value that
+/// lives across `feed` calls without borrowing the plan.
+struct Machine<S: Sink> {
     writer: Writer<S>,
-    observers: Vec<Observer<'p>>,
+    mode: Mode,
+    frames: Vec<Frame>,
+    replays: Vec<Replay>,
+    captures: Vec<Capture>,
+    observers: Vec<Observer>,
     /// (scope index, observer index) for active scopes with observers.
     env_stack: Vec<(usize, usize)>,
     stats: RunStats,
     cur_bytes: usize,
     /// Abort threshold for `cur_bytes` (`EngineOptions::max_buffer_bytes`).
     limit: Option<usize>,
-    /// Interned id of the tag in `cur_name` (UNKNOWN for names outside the
-    /// plan's vocabulary).
+    /// The current event: kind, interned id and payload.
+    cur_kind: Pulled,
     cur_id: NameId,
     cur_name: String,
     cur_text: String,
     cur_text_ws: bool,
-    /// Pool of `(fired, firing)` scratch vectors for `run_scope`: scope
-    /// entry/exit recycles them, so the streaming path allocates nothing
-    /// per scope instance.
-    scope_scratch: Vec<(Vec<bool>, Vec<usize>)>,
-    /// Pool of flag-matcher vectors, recycled the same way (the matchers
-    /// keep their text-buffer capacity across scope instances).
+    /// Observer-stack base of the current event's source (0 = live stream).
+    cur_base: usize,
+    /// Pools: scope entry/exit and capture cycles recycle their vectors and
+    /// arenas, so the streaming path allocates nothing per scope instance
+    /// and buffering plans reuse one arena per captured child.
+    bool_pool: Vec<Vec<bool>>,
+    idx_pool: Vec<Vec<usize>>,
     flag_pool: Vec<Vec<FlagMatcher>>,
+    evbuf_pool: Vec<EventBuf>,
+    /// Scratch for the per-child firing list.
+    firing_scratch: Vec<usize>,
+    /// Fast path for the most common frame: when > 0, the machine is
+    /// skipping an unhandled child subtree, currently `skip` levels deep,
+    /// with no capture and no continuation beyond the scope's `rest`.
+    /// Equivalent to a `Consume { capturing: false, after: Nothing }`
+    /// frame, but costs a register instead of stack traffic per event.
+    skip: u32,
+    started: bool,
+    failed: bool,
 }
 
-impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
-    /// Run the whole plan: pre string, document scope, post string.
-    fn drive(
-        &mut self,
-        pre: Option<&str>,
-        idx: usize,
-        post: Option<&str>,
-    ) -> Result<RunStats, EngineError> {
-        if let Some(s) = pre {
-            self.writer.write_raw(s).map_err(io_err)?;
+/// Account freshly buffered bytes and enforce the buffer limit.
+fn charge_to(
+    stats: &mut RunStats,
+    cur_bytes: &mut usize,
+    limit: Option<usize>,
+    grew: usize,
+) -> Result<(), EngineError> {
+    stats.buffer_grow(cur_bytes, grew);
+    match limit {
+        Some(limit) if *cur_bytes > limit => {
+            Err(EngineError::BufferLimit { used: *cur_bytes, limit })
         }
-        let mut src = Src::Stream;
-        self.run_scope(idx, &mut src, Term::Eof)?;
-        if let Some(s) = post {
-            self.writer.write_raw(s).map_err(io_err)?;
+        _ => Ok(()),
+    }
+}
+
+/// Copy one event into the machine's current-event slots (shared by the
+/// stream and replay ingest paths, whose borrow shapes differ).
+#[inline]
+fn load_current(
+    ev: ResolvedEvent<'_>,
+    cur_kind: &mut Pulled,
+    cur_id: &mut NameId,
+    cur_name: &mut String,
+    cur_text: &mut String,
+    cur_text_ws: &mut bool,
+) {
+    match ev {
+        ResolvedEvent::Start(id, n) => {
+            *cur_id = id;
+            cur_name.clear();
+            cur_name.push_str(n);
+            *cur_kind = Pulled::Start;
         }
-        self.stats.output_bytes = self.writer.bytes_written();
-        self.stats.final_buffer_bytes = self.cur_bytes;
-        Ok(self.stats)
+        ResolvedEvent::End(id, n) => {
+            *cur_id = id;
+            cur_name.clear();
+            cur_name.push_str(n);
+            *cur_kind = Pulled::End;
+        }
+        ResolvedEvent::Text(t) => {
+            cur_text.clear();
+            cur_text.push_str(t);
+            *cur_text_ws = t.chars().all(char::is_whitespace);
+            *cur_kind = Pulled::Text;
+        }
+    }
+}
+
+/// The `Top::Simple` accounting: the materialized tree's bytes, checked
+/// against the limit as they arrive (an oversized input aborts before it is
+/// ever fully held in memory).
+fn charge_simple(bytes: &mut usize, limit: Option<usize>, grew: usize) -> Result<(), EngineError> {
+    *bytes += grew;
+    match limit {
+        Some(l) if *bytes > l => Err(EngineError::BufferLimit { used: *bytes, limit: l }),
+        _ => Ok(()),
+    }
+}
+
+impl<S: Sink> Machine<S> {
+    fn new(writer: Writer<S>, limit: Option<usize>) -> Machine<S> {
+        Machine {
+            writer,
+            mode: Mode::Scoped,
+            frames: Vec::new(),
+            replays: Vec::new(),
+            captures: Vec::new(),
+            observers: Vec::new(),
+            env_stack: Vec::new(),
+            stats: RunStats::default(),
+            cur_bytes: 0,
+            limit,
+            cur_kind: Pulled::Text,
+            cur_id: NameId::UNKNOWN,
+            cur_name: String::new(),
+            cur_text: String::new(),
+            cur_text_ws: true,
+            cur_base: 0,
+            bool_pool: Vec::new(),
+            idx_pool: Vec::new(),
+            flag_pool: Vec::new(),
+            evbuf_pool: Vec::new(),
+            firing_scratch: Vec::new(),
+            skip: 0,
+            started: false,
+            failed: false,
+        }
     }
 
-    /// Account freshly buffered bytes and enforce the buffer limit.
+    fn into_sink(self) -> S {
+        self.writer.into_sink()
+    }
+
     fn charge(&mut self, grew: usize) -> Result<(), EngineError> {
-        self.stats.buffer_grow(&mut self.cur_bytes, grew);
-        match self.limit {
-            Some(limit) if self.cur_bytes > limit => {
-                Err(EngineError::BufferLimit { used: self.cur_bytes, limit })
-            }
-            _ => Ok(()),
-        }
+        charge_to(&mut self.stats, &mut self.cur_bytes, self.limit, grew)
     }
 
-    /// Pull one event, routing it through the active observers.
-    fn pull(&mut self, src: &mut Src<'_>) -> Result<Option<Pulled>, EngineError> {
-        match src {
-            Src::Stream => {
-                let (grew, pulled) = {
-                    let ev = match self.reader.next_resolved()? {
-                        Some(e) => e,
-                        None => return Ok(None),
-                    };
-                    self.stats.events += 1;
-                    let grew = dispatch(&mut self.observers, 0, ev);
-                    let pulled = match ev {
-                        ResolvedEvent::Start(id, n) => {
-                            self.cur_id = id;
-                            self.cur_name.clear();
-                            self.cur_name.push_str(n);
-                            Pulled::Start
-                        }
-                        ResolvedEvent::End(id, n) => {
-                            self.cur_id = id;
-                            self.cur_name.clear();
-                            self.cur_name.push_str(n);
-                            Pulled::End
-                        }
-                        ResolvedEvent::Text(t) => {
-                            self.cur_text.clear();
-                            self.cur_text.push_str(t);
-                            self.cur_text_ws = t.chars().all(char::is_whitespace);
-                            Pulled::Text
-                        }
-                    };
-                    (grew, pulled)
-                };
-                if grew > 0 {
-                    self.charge(grew)?;
-                }
-                Ok(Some(pulled))
+    /// Lazy start: write the top pre string and enter the document scope
+    /// (or switch to the materializing mode).
+    fn start(&mut self, plan: &CompiledQuery) -> Result<(), EngineError> {
+        self.started = true;
+        match &plan.top {
+            Top::Simple(_) => {
+                // The synthetic document node is buffered too (as in the
+                // seed's accounting, which measured the wrapped tree).
+                self.mode =
+                    Mode::Simple { stack: Vec::new(), root: None, bytes: 2 * DOC_ELEM.len() };
             }
-            Src::Replay { events, pos, obs_base } => {
-                let Some(ev) = events.get(*pos) else { return Ok(None) };
-                *pos += 1;
-                let grew = dispatch(&mut self.observers, *obs_base, ev);
-                if grew > 0 {
-                    self.charge(grew)?;
+            Top::Scope { pre, idx, .. } => {
+                if let Some(s) = pre {
+                    self.writer.write_raw(s).map_err(io_err)?;
                 }
-                let pulled = match ev {
-                    ResolvedEvent::Start(id, n) => {
-                        self.cur_id = id;
-                        self.cur_name.clear();
-                        self.cur_name.push_str(n);
-                        Pulled::Start
-                    }
-                    ResolvedEvent::End(id, n) => {
-                        self.cur_id = id;
-                        self.cur_name.clear();
-                        self.cur_name.push_str(n);
-                        Pulled::End
-                    }
-                    ResolvedEvent::Text(t) => {
-                        self.cur_text.clear();
-                        self.cur_text.push_str(t);
-                        self.cur_text_ws = t.chars().all(char::is_whitespace);
-                        Pulled::Text
-                    }
-                };
-                Ok(Some(pulled))
+                self.enter_scope(plan, *idx, Term::Eof)?;
             }
         }
-    }
-
-    /// Run one scope: process children until the scope's end tag (or EOF for
-    /// the document scope). The scope's start tag has already been consumed.
-    fn run_scope(&mut self, sidx: usize, src: &mut Src<'_>, term: Term) -> Result<(), EngineError> {
-        let plan = self.plan;
-        let spec: &'p ScopeSpec = &plan.scopes[sidx];
-        let prod_ref = spec.prod.ok_or_else(|| EngineError::Undeclared(spec.elem.clone()))?;
-        let automaton = prod_ref.resolve(plan.dtd()).automaton();
-
-        if let Some(s) = &spec.pre {
-            self.writer.write_raw(s).map_err(io_err)?;
-        }
-        let mut obs_created = false;
-        if spec.needs_observer() {
-            let rec = if spec.buffer_rt.is_empty() {
-                None
-            } else {
-                self.stats.buffers_created += 1;
-                Some(Recorder::new(&spec.buffer_rt, &spec.elem))
-            };
-            let mut flags = self.flag_pool.pop().unwrap_or_default();
-            flags.truncate(spec.flags.len());
-            for m in &mut flags {
-                m.reset();
-            }
-            flags.resize_with(spec.flags.len(), FlagMatcher::new);
-            self.observers.push(Observer { rec, specs: &spec.flags, flags });
-            self.env_stack.push((sidx, self.observers.len() - 1));
-            obs_created = true;
-        }
-
-        let mut state = Glushkov::INITIAL;
-        let (mut fired, mut firing) = self.scope_scratch.pop().unwrap_or_default();
-        fired.clear();
-        fired.resize(spec.handlers.len(), false);
-        firing.clear();
-
-        // i = 0: on-first handlers whose past set can already not occur.
-        for (h_idx, h) in spec.handlers.iter().enumerate() {
-            if let CHandler::OnFirst { table, expr, defer_to_end } = h {
-                if !defer_to_end && table.as_ref().is_some_and(|t| t.fires_initially()) {
-                    fired[h_idx] = true;
-                    self.fire_onfirst(expr)?;
-                }
-            }
-        }
-
-        loop {
-            match self.pull(src)? {
-                None => {
-                    if term == Term::Eof {
-                        break;
-                    }
-                    return Err(EngineError::Validation {
-                        element: spec.elem.clone(),
-                        message: "events ended inside the scope".into(),
-                    });
-                }
-                Some(Pulled::End) => {
-                    if term == Term::Eof {
-                        return Err(EngineError::Validation {
-                            element: spec.elem.clone(),
-                            message: "unexpected end tag at document level".into(),
-                        });
-                    }
-                    break;
-                }
-                Some(Pulled::Text) => {
-                    if !spec.allows_text && !self.cur_text_ws {
-                        return Err(EngineError::Validation {
-                            element: spec.elem.clone(),
-                            message: "character data not allowed by the content model".into(),
-                        });
-                    }
-                }
-                Some(Pulled::Start) => {
-                    let old = state;
-                    // One indexed load: the validating DFA transition by
-                    // interned id (UNKNOWN names have no transition).
-                    let new = match automaton.step_id(old, self.cur_id) {
-                        Some(n) => n,
-                        None => {
-                            return Err(EngineError::Validation {
-                                element: spec.elem.clone(),
-                                message: format!("element `{}` not allowed here", self.cur_name),
-                            })
-                        }
-                    };
-                    state = new;
-                    firing.clear();
-                    for (h_idx, h) in spec.handlers.iter().enumerate() {
-                        match h {
-                            CHandler::On { label_id, .. } => {
-                                if *label_id == self.cur_id {
-                                    firing.push(h_idx);
-                                }
-                            }
-                            CHandler::OnFirst { table, defer_to_end, .. } => {
-                                if !defer_to_end
-                                    && !fired[h_idx]
-                                    && table.as_ref().is_some_and(|t| t.fires_on(old, new))
-                                {
-                                    firing.push(h_idx);
-                                }
-                            }
-                        }
-                    }
-                    self.handle_child(spec, src, &firing, &mut fired)?;
-                }
-            }
-        }
-
-        if !automaton.accepting(state) {
-            return Err(EngineError::Validation {
-                element: spec.elem.clone(),
-                message: "content ended prematurely (content model not satisfied)".into(),
-            });
-        }
-        // i = n+1: remaining on-first handlers fire now, in ζ order.
-        for (h_idx, h) in spec.handlers.iter().enumerate() {
-            if let CHandler::OnFirst { expr, .. } = h {
-                if !fired[h_idx] {
-                    self.fire_onfirst(expr)?;
-                }
-            }
-        }
-        if let Some(s) = &spec.post {
-            self.writer.write_raw(s).map_err(io_err)?;
-        }
-        if obs_created {
-            self.env_stack.pop();
-            let o = self.observers.pop().expect("observer pushed at scope entry");
-            if let Some(rec) = o.rec {
-                RunStats::buffer_shrink(&mut self.cur_bytes, rec.bytes());
-            }
-            self.flag_pool.push(o.flags);
-        }
-        // Recycle the scratch vectors (error paths simply drop them).
-        self.scope_scratch.push((fired, firing));
         Ok(())
     }
 
-    /// Process one child of the current scope. `self.cur_name` holds its
-    /// label; its start event has been dispatched to the observers.
+    #[inline]
+    fn feed_event(
+        &mut self,
+        plan: &CompiledQuery,
+        ev: ResolvedEvent<'_>,
+    ) -> Result<(), EngineError> {
+        if self.failed {
+            return Err(poisoned());
+        }
+        let r = self.feed_inner(plan, ev);
+        if r.is_err() {
+            self.failed = true;
+        }
+        r
+    }
+
+    fn finish(&mut self, plan: &CompiledQuery) -> Result<RunStats, EngineError> {
+        if self.failed {
+            return Err(poisoned());
+        }
+        let r = self.finish_inner(plan);
+        if r.is_err() {
+            self.failed = true;
+        }
+        r
+    }
+
+    #[inline]
+    fn feed_inner(
+        &mut self,
+        plan: &CompiledQuery,
+        ev: ResolvedEvent<'_>,
+    ) -> Result<(), EngineError> {
+        if !self.started {
+            self.start(plan)?;
+        }
+        if matches!(self.mode, Mode::Simple { .. }) {
+            return self.simple_event(ev);
+        }
+        self.stats.events += 1;
+        if !self.observers.is_empty() {
+            let grew = dispatch(plan, &mut self.observers, 0, ev);
+            if grew > 0 {
+                charge_to(&mut self.stats, &mut self.cur_bytes, self.limit, grew)?;
+            }
+        }
+        self.cur_base = 0;
+        self.set_current(ev);
+        self.process_current(plan)?;
+        if self.replays.is_empty() {
+            Ok(())
+        } else {
+            self.drain_replays(plan)
+        }
+    }
+
+    #[inline]
+    fn set_current(&mut self, ev: ResolvedEvent<'_>) {
+        load_current(
+            ev,
+            &mut self.cur_kind,
+            &mut self.cur_id,
+            &mut self.cur_name,
+            &mut self.cur_text,
+            &mut self.cur_text_ws,
+        );
+    }
+
+    /// Feed pending replay events until every replay source is drained —
+    /// this is where captured children are consumed by their handlers, all
+    /// within the stream event that completed the capture.
+    fn drain_replays(&mut self, plan: &CompiledQuery) -> Result<(), EngineError> {
+        while let Some(r) = self.replays.last() {
+            let (cap_idx, pos, base) = (r.capture, r.pos, r.obs_base);
+            if pos >= self.captures[cap_idx].buf.len() {
+                // This handler's replay is complete; run the next one.
+                self.replays.pop();
+                debug_assert!(
+                    matches!(self.frames.last(), Some(Frame::Fire { .. })),
+                    "a drained replay resumes its Fire frame"
+                );
+                self.advance_fire(plan)?;
+                continue;
+            }
+            self.replays.last_mut().expect("checked above").pos += 1;
+            self.ingest_replay(plan, cap_idx, pos, base)?;
+            self.process_current(plan)?;
+        }
+        Ok(())
+    }
+
+    /// Load one captured event as the current event, dispatching it to the
+    /// observers above `base` (outer observers saw it live at capture time).
+    fn ingest_replay(
+        &mut self,
+        plan: &CompiledQuery,
+        cap_idx: usize,
+        pos: usize,
+        base: usize,
+    ) -> Result<(), EngineError> {
+        let Machine {
+            captures,
+            observers,
+            cur_id,
+            cur_name,
+            cur_text,
+            cur_text_ws,
+            cur_kind,
+            cur_base,
+            stats,
+            cur_bytes,
+            limit,
+            ..
+        } = self;
+        let ev = captures[cap_idx].buf.get(pos).expect("replay position in range");
+        let grew = dispatch(plan, observers, base, ev);
+        *cur_base = base;
+        load_current(ev, cur_kind, cur_id, cur_name, cur_text, cur_text_ws);
+        if grew > 0 {
+            charge_to(stats, cur_bytes, *limit, grew)?;
+        }
+        Ok(())
+    }
+
+    /// Route the current event to the top frame — one frame access on the
+    /// hot paths; completions branch out to dedicated (colder) methods.
+    #[inline]
+    fn process_current(&mut self, plan: &CompiledQuery) -> Result<(), EngineError> {
+        if self.skip > 0 {
+            match self.cur_kind {
+                Pulled::Start => self.skip += 1,
+                Pulled::Text => {}
+                Pulled::End => {
+                    self.skip -= 1;
+                    if self.skip == 0 {
+                        // The skipped child is done; fire the scope's rest.
+                        return self.on_frame_pop(plan);
+                    }
+                }
+            }
+            return Ok(());
+        }
+        match self.frames.last_mut() {
+            Some(Frame::Scope(sf)) => {
+                let spec: &ScopeSpec = &plan.scopes[sf.sidx];
+                match self.cur_kind {
+                    Pulled::Start => {
+                        // One indexed load: the validating DFA transition by
+                        // interned id (UNKNOWN names have no transition).
+                        let automaton = spec
+                            .prod
+                            .expect("scope entered ⇒ production present")
+                            .resolve(plan.dtd())
+                            .automaton();
+                        let old_state = sf.state;
+                        let new = match automaton.step_id(old_state, self.cur_id) {
+                            Some(n) => n,
+                            None => {
+                                return Err(EngineError::Validation {
+                                    element: spec.elem.clone(),
+                                    message: format!(
+                                        "element `{}` not allowed here",
+                                        self.cur_name
+                                    ),
+                                })
+                            }
+                        };
+                        sf.state = new;
+                        // Which handlers fire on this child, in ζ order.
+                        let sidx = sf.sidx;
+                        let mut firing = std::mem::take(&mut self.firing_scratch);
+                        firing.clear();
+                        for (h_idx, h) in spec.handlers.iter().enumerate() {
+                            match h {
+                                CHandler::On { label_id, .. } => {
+                                    if *label_id == self.cur_id {
+                                        firing.push(h_idx);
+                                    }
+                                }
+                                CHandler::OnFirst { table, defer_to_end, .. } => {
+                                    if !*defer_to_end
+                                        && !sf.fired[h_idx]
+                                        && table
+                                            .as_ref()
+                                            .is_some_and(|t| t.fires_on(old_state, new))
+                                    {
+                                        firing.push(h_idx);
+                                    }
+                                }
+                            }
+                        }
+                        if firing.is_empty() {
+                            // Unhandled child — the common case on selective
+                            // queries: skip its whole subtree.
+                            self.firing_scratch = firing;
+                            self.skip = 1;
+                            return Ok(());
+                        }
+                        let firing = self.handle_child(plan, sidx, firing)?;
+                        self.firing_scratch = firing;
+                        Ok(())
+                    }
+                    Pulled::Text => {
+                        if !spec.allows_text && !self.cur_text_ws {
+                            return Err(EngineError::Validation {
+                                element: spec.elem.clone(),
+                                message: "character data not allowed by the content model".into(),
+                            });
+                        }
+                        Ok(())
+                    }
+                    Pulled::End => {
+                        if sf.term == Term::Eof {
+                            return Err(EngineError::Validation {
+                                element: spec.elem.clone(),
+                                message: "unexpected end tag at document level".into(),
+                            });
+                        }
+                        self.exit_scope(plan)
+                    }
+                }
+            }
+            Some(Frame::Consume { depth, capturing, .. }) => {
+                let done = match self.cur_kind {
+                    Pulled::Start => {
+                        *depth += 1;
+                        false
+                    }
+                    Pulled::Text => false,
+                    Pulled::End => {
+                        if *depth == 0 {
+                            true
+                        } else {
+                            *depth -= 1;
+                            false
+                        }
+                    }
+                };
+                if *capturing {
+                    let grew = {
+                        let cap =
+                            self.captures.last_mut().expect("capturing consume has a capture");
+                        let grew = match self.cur_kind {
+                            Pulled::Start => cap.buf.push_start(self.cur_id, &self.cur_name),
+                            Pulled::Text => cap.buf.push_text(&self.cur_text),
+                            Pulled::End => cap.buf.push_end(self.cur_id, &self.cur_name),
+                        };
+                        cap.bytes += grew;
+                        grew
+                    };
+                    self.charge(grew)?;
+                }
+                if done {
+                    self.complete_consume(plan)
+                } else {
+                    Ok(())
+                }
+            }
+            Some(Frame::Copy { depth, .. }) => {
+                let done = match self.cur_kind {
+                    Pulled::Start => {
+                        *depth += 1;
+                        false
+                    }
+                    Pulled::Text => false,
+                    Pulled::End => {
+                        if *depth == 0 {
+                            true
+                        } else {
+                            *depth -= 1;
+                            false
+                        }
+                    }
+                };
+                let ev = match self.cur_kind {
+                    Pulled::Start => Event::Start(&self.cur_name),
+                    Pulled::Text => Event::Text(&self.cur_text),
+                    Pulled::End => Event::End(&self.cur_name),
+                };
+                self.writer.write_event(ev).map_err(io_err)?;
+                if done {
+                    self.complete_copy(plan)
+                } else {
+                    Ok(())
+                }
+            }
+            Some(Frame::Fire { .. }) => unreachable!("Fire frames never receive events"),
+            None => Err(poisoned()), // events after the document completed
+        }
+    }
+
+    /// Process one child of the current scope. `cur_name` holds its label;
+    /// its start event has been dispatched to the observers. Returns a
+    /// (possibly different) vector for the firing scratch slot.
     fn handle_child(
         &mut self,
-        spec: &'p ScopeSpec,
-        src: &mut Src<'_>,
-        firing: &[usize],
-        fired: &mut [bool],
-    ) -> Result<(), EngineError> {
+        plan: &CompiledQuery,
+        sidx: usize,
+        firing: Vec<usize>,
+    ) -> Result<Vec<usize>, EngineError> {
+        let spec = &plan.scopes[sidx];
+        let base = self.cur_base;
         // Is the child being recorded into some buffer right now?
-        let recorded = self.observers[src.obs_base()..]
+        let recorded = self.observers[base..]
             .iter()
             .any(|o| o.rec.as_ref().is_some_and(Recorder::is_recording));
         // Could a condition flag still change within this child? If so, an
         // `on` handler must not evaluate conditions while the child streams;
         // consuming the child first (capture path) finalizes the flags.
-        let flags_pending = self.observers[src.obs_base()..]
-            .iter()
-            .any(|o| o.specs.iter().zip(&o.flags).any(|(spec, m)| m.may_change_below(spec)));
+        let flags_pending = self.observers[base..].iter().any(|o| {
+            plan.scopes[o.sidx].flags.iter().zip(&o.flags).any(|(fs, m)| m.may_change_below(fs))
+        });
 
         let mut on_count = 0usize;
         let mut first_is_on = false;
@@ -555,186 +803,383 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
         }
 
         if on_count == 1 && first_is_on && all_bodies_streamable && !recorded && !flags_pending {
-            // Zero-copy path: the child streams through.
-            for &h_idx in firing {
-                match &spec.handlers[h_idx] {
-                    CHandler::On { body, .. } => {
-                        self.stats.on_firings += 1;
-                        match body {
-                            CBody::Scope(i) => self.run_scope(*i, src, Term::End)?,
-                            CBody::Stream(plan) => self.exec_simple(plan, src)?,
-                            CBody::Captured(_) => unreachable!("checked streamable"),
-                        }
-                    }
-                    CHandler::OnFirst { expr, .. } => {
-                        fired[h_idx] = true;
-                        self.fire_onfirst(expr)?;
-                    }
+            // Zero-copy path: the child streams through the single `on`
+            // handler; any later on-first handlers fire once it completes
+            // (stashed as the scope's `rest`).
+            let h_idx = firing[0];
+            if firing.len() > 1 {
+                if let Some(Frame::Scope(sf)) = self.frames.last_mut() {
+                    sf.rest.extend_from_slice(&firing[1..]);
                 }
             }
-            return Ok(());
+            self.stats.on_firings += 1;
+            match &spec.handlers[h_idx] {
+                CHandler::On { body: CBody::Scope(i), .. } => {
+                    self.enter_scope(plan, *i, Term::End)?
+                }
+                CHandler::On { body: CBody::Stream(_), .. } => {
+                    self.start_simple(plan, sidx, h_idx)?
+                }
+                _ => unreachable!("checked streamable on-handler"),
+            }
+            return Ok(firing);
         }
 
         // Consume the child first (observers see it); keep its events only
         // if an `on` handler must replay them.
         let need_events = on_count > 0;
-        let label = if need_events && any_captured { self.cur_name.clone() } else { String::new() };
-        let mut scratch = EventBuf::new();
-        let scratch_bytes =
-            self.consume_child(src, if need_events { Some(&mut scratch) } else { None })?;
         if need_events {
-            self.stats.captures += 1;
+            let label = if any_captured { self.cur_name.clone() } else { String::new() };
+            let mut buf = self.evbuf_pool.pop().unwrap_or_default();
+            buf.clear();
+            self.captures.push(Capture { buf, bytes: 0, label });
+            self.frames.push(Frame::Consume {
+                depth: 0,
+                capturing: true,
+                after: AfterConsume::Fire { sidx, handlers: firing },
+            });
+            Ok(self.idx_pool.pop().unwrap_or_default())
+        } else {
+            // Only on-first handlers fire: skip the child, then fire them.
+            if !firing.is_empty() {
+                if let Some(Frame::Scope(sf)) = self.frames.last_mut() {
+                    sf.rest.extend_from_slice(&firing);
+                }
+            }
+            self.skip = 1;
+            Ok(firing)
         }
+    }
 
-        for &h_idx in firing {
-            match &spec.handlers[h_idx] {
+    /// A `Consume` frame saw its child's end tag: retire it and run its
+    /// continuation (port of the code after `consume_child` returned).
+    fn complete_consume(&mut self, plan: &CompiledQuery) -> Result<(), EngineError> {
+        let Some(Frame::Consume { after, .. }) = self.frames.pop() else {
+            unreachable!("complete_consume pops a consume frame")
+        };
+        match after {
+            AfterConsume::Fire { sidx, handlers } => {
+                self.stats.captures += 1;
+                self.frames.push(Frame::Fire { sidx, handlers, next: 0 });
+                self.advance_fire(plan)
+            }
+            AfterConsume::Simple(rest) => {
+                self.finish_simple(plan, rest)?;
+                self.on_frame_pop(plan)
+            }
+        }
+    }
+
+    /// A `Copy` frame wrote its child's end tag: trailing simple items,
+    /// then the parent's continuation.
+    fn complete_copy(&mut self, plan: &CompiledQuery) -> Result<(), EngineError> {
+        let Some(Frame::Copy { rest, .. }) = self.frames.pop() else {
+            unreachable!("complete_copy pops a copy frame")
+        };
+        self.finish_simple(plan, rest)?;
+        self.on_frame_pop(plan)
+    }
+
+    /// Run the next handlers of the top `Fire` frame until one needs a
+    /// replay (pushed, fed by `drain_replays`) or the list is done.
+    fn advance_fire(&mut self, plan: &CompiledQuery) -> Result<(), EngineError> {
+        loop {
+            let (sidx, h_idx) = match self.frames.last_mut() {
+                Some(Frame::Fire { sidx, handlers, next }) => {
+                    if *next >= handlers.len() {
+                        break;
+                    }
+                    let h = handlers[*next];
+                    *next += 1;
+                    (*sidx, h)
+                }
+                _ => unreachable!("advance_fire on a fire frame"),
+            };
+            match &plan.scopes[sidx].handlers[h_idx] {
                 CHandler::OnFirst { expr, .. } => {
-                    fired[h_idx] = true;
-                    self.fire_onfirst(expr)?;
+                    self.mark_fired_below(h_idx);
+                    self.fire_onfirst(plan, expr)?;
                 }
                 CHandler::On { var, body, .. } => {
                     self.stats.on_firings += 1;
                     match body {
                         CBody::Scope(i) => {
-                            let mut rsrc = Src::Replay {
-                                events: &scratch,
+                            self.replays.push(Replay {
+                                capture: self.captures.len() - 1,
                                 pos: 0,
                                 obs_base: self.observers.len(),
-                            };
-                            self.run_scope(*i, &mut rsrc, Term::End)?;
+                            });
+                            self.enter_scope(plan, *i, Term::End)?;
+                            return Ok(()); // drain_replays feeds it
                         }
-                        CBody::Stream(plan) => {
+                        CBody::Stream(_) => {
                             // cur_name must hold the child label for the
-                            // copy fast path; restore it from the scratch
+                            // copy fast path; restore it from the capture
                             // tail (the final End event carries the label).
-                            if let Some(ResolvedEvent::End(id, n)) = scratch.last() {
+                            if let Some(ResolvedEvent::End(id, n)) =
+                                self.captures.last().expect("fire has a capture").buf.last()
+                            {
                                 self.cur_id = id;
                                 self.cur_name.clear();
                                 self.cur_name.push_str(n);
                             }
-                            let mut rsrc = Src::Replay {
-                                events: &scratch,
+                            self.replays.push(Replay {
+                                capture: self.captures.len() - 1,
                                 pos: 0,
                                 obs_base: self.observers.len(),
-                            };
-                            self.exec_simple(plan, &mut rsrc)?;
+                            });
+                            self.start_simple(plan, sidx, h_idx)?;
+                            return Ok(()); // drain_replays feeds it
                         }
                         CBody::Captured(expr) => {
-                            let node = build_child_node(&label, &scratch);
-                            self.fire_captured(var, expr, &node)?;
+                            let node = {
+                                let cap = self.captures.last().expect("fire has a capture");
+                                build_child_node(&cap.label, &cap.buf)
+                            };
+                            self.fire_captured(plan, var, expr, &node)?;
                         }
                     }
                 }
             }
         }
-        if scratch_bytes > 0 {
-            RunStats::buffer_shrink(&mut self.cur_bytes, scratch_bytes);
+        // All handlers ran: retire the capture and pop the frame.
+        let Some(Frame::Fire { handlers, .. }) = self.frames.pop() else {
+            unreachable!("loop ended on a fire frame")
+        };
+        let mut handlers = handlers;
+        handlers.clear();
+        self.idx_pool.push(handlers);
+        let cap = self.captures.pop().expect("fire frame owns the top capture");
+        if cap.bytes > 0 {
+            RunStats::buffer_shrink(&mut self.cur_bytes, cap.bytes);
+        }
+        self.evbuf_pool.push(cap.buf);
+        self.on_frame_pop(plan)
+    }
+
+    /// Mark an on-first handler fired in the scope frame directly below the
+    /// top `Fire` frame.
+    fn mark_fired_below(&mut self, h_idx: usize) {
+        let below = self.frames.len().checked_sub(2).expect("Fire sits above its scope");
+        match &mut self.frames[below] {
+            Frame::Scope(sf) => sf.fired[h_idx] = true,
+            _ => unreachable!("Fire sits directly above its scope frame"),
+        }
+    }
+
+    /// A frame above the top scope completed: fire the scope's stashed
+    /// rest-handlers (the on-first tail of a zero-copy child's firing list).
+    fn on_frame_pop(&mut self, plan: &CompiledQuery) -> Result<(), EngineError> {
+        let (sidx, rest) = match self.frames.last_mut() {
+            Some(Frame::Scope(sf)) if !sf.rest.is_empty() => {
+                (sf.sidx, std::mem::take(&mut sf.rest))
+            }
+            _ => return Ok(()),
+        };
+        for &h_idx in &rest {
+            if let Some(Frame::Scope(sf)) = self.frames.last_mut() {
+                sf.fired[h_idx] = true;
+            }
+            let CHandler::OnFirst { expr, .. } = &plan.scopes[sidx].handlers[h_idx] else {
+                unreachable!("zero-copy rest handlers are on-first")
+            };
+            self.fire_onfirst(plan, expr)?;
+        }
+        let mut rest = rest;
+        rest.clear();
+        if let Some(Frame::Scope(sf)) = self.frames.last_mut() {
+            sf.rest = rest; // hand the (empty) vector back for reuse
+        } else {
+            self.idx_pool.push(rest);
         }
         Ok(())
     }
 
-    /// Consume the rest of the current child's subtree (start tag already
-    /// consumed), optionally storing the events (including the final end
-    /// tag) into an arena-backed buffer — no per-event allocation. Returns
-    /// the bytes charged for stored events.
-    fn consume_child(
+    /// Enter a scope (its start tag has been consumed): pre string,
+    /// observers, the i = 0 on-first pass, and the frame push.
+    fn enter_scope(
         &mut self,
-        src: &mut Src<'_>,
-        mut store: Option<&mut EventBuf>,
-    ) -> Result<usize, EngineError> {
-        let mut depth = 0usize;
-        let mut bytes = 0usize;
-        loop {
-            let pulled = self.pull(src)?.ok_or_else(|| EngineError::Validation {
-                element: "#stream".into(),
-                message: "events ended inside an element".into(),
-            })?;
-            if pulled == Pulled::Start {
-                depth += 1;
-            }
-            if let Some(st) = store.as_deref_mut() {
-                let grew = match pulled {
-                    Pulled::Start => st.push_start(self.cur_id, &self.cur_name),
-                    Pulled::Text => st.push_text(&self.cur_text),
-                    Pulled::End => st.push_end(self.cur_id, &self.cur_name),
-                };
-                bytes += grew;
-                self.charge(grew)?;
-            }
-            if pulled == Pulled::End {
-                if depth == 0 {
-                    return Ok(bytes);
-                }
-                depth -= 1;
-            }
+        plan: &CompiledQuery,
+        sidx: usize,
+        term: Term,
+    ) -> Result<(), EngineError> {
+        let spec = &plan.scopes[sidx];
+        if spec.prod.is_none() {
+            return Err(EngineError::Undeclared(spec.elem.clone()));
         }
-    }
-
-    /// Copy the current child verbatim to the output (start tag from
-    /// `cur_name`, remaining events from the source).
-    fn copy_child(&mut self, src: &mut Src<'_>) -> Result<(), EngineError> {
-        self.writer.write_event(Event::Start(&self.cur_name)).map_err(io_err)?;
-        let mut depth = 0usize;
-        loop {
-            let pulled = self.pull(src)?.ok_or_else(|| EngineError::Validation {
-                element: "#stream".into(),
-                message: "events ended inside an element".into(),
-            })?;
-            match pulled {
-                Pulled::Start => {
-                    depth += 1;
-                    self.writer.write_event(Event::Start(&self.cur_name)).map_err(io_err)?;
-                }
-                Pulled::Text => {
-                    self.writer.write_event(Event::Text(&self.cur_text)).map_err(io_err)?;
-                }
-                Pulled::End => {
-                    self.writer.write_event(Event::End(&self.cur_name)).map_err(io_err)?;
-                    if depth == 0 {
-                        return Ok(());
-                    }
-                    depth -= 1;
+        if let Some(s) = &spec.pre {
+            self.writer.write_raw(s).map_err(io_err)?;
+        }
+        let mut obs_created = false;
+        if spec.needs_observer() {
+            let rec = if spec.buffer_rt.is_empty() {
+                None
+            } else {
+                self.stats.buffers_created += 1;
+                Some(Recorder::new(&spec.elem))
+            };
+            let mut flags = self.flag_pool.pop().unwrap_or_default();
+            flags.truncate(spec.flags.len());
+            for m in &mut flags {
+                m.reset();
+            }
+            flags.resize_with(spec.flags.len(), FlagMatcher::new);
+            self.observers.push(Observer { sidx, rec, flags });
+            self.env_stack.push((sidx, self.observers.len() - 1));
+            obs_created = true;
+        }
+        let mut fired = self.bool_pool.pop().unwrap_or_default();
+        fired.clear();
+        fired.resize(spec.handlers.len(), false);
+        // i = 0: on-first handlers whose past set can already not occur.
+        for (h_idx, h) in spec.handlers.iter().enumerate() {
+            if let CHandler::OnFirst { table, expr, defer_to_end } = h {
+                if !defer_to_end && table.as_ref().is_some_and(|t| t.fires_initially()) {
+                    fired[h_idx] = true;
+                    self.fire_onfirst(plan, expr)?;
                 }
             }
         }
+        let rest = self.idx_pool.pop().unwrap_or_default();
+        debug_assert!(rest.is_empty(), "pooled index vectors are recycled empty");
+        self.frames.push(Frame::Scope(ScopeFrame {
+            sidx,
+            term,
+            state: Glushkov::INITIAL,
+            obs_created,
+            fired,
+            rest,
+        }));
+        Ok(())
     }
 
-    /// Execute a streamable simple handler body over the current child.
-    fn exec_simple(&mut self, plan: &SimplePlan, src: &mut Src<'_>) -> Result<(), EngineError> {
-        let mut consumed = false;
-        for item in &plan.items {
-            match item {
+    /// Leave the top scope: accepting check, the i = n+1 on-first pass,
+    /// post string, observer teardown, then the parent's continuation.
+    fn exit_scope(&mut self, plan: &CompiledQuery) -> Result<(), EngineError> {
+        let Some(Frame::Scope(sf)) = self.frames.pop() else {
+            unreachable!("exit_scope pops a scope frame")
+        };
+        let spec = &plan.scopes[sf.sidx];
+        let automaton =
+            spec.prod.expect("scope entered ⇒ production present").resolve(plan.dtd()).automaton();
+        if !automaton.accepting(sf.state) {
+            return Err(EngineError::Validation {
+                element: spec.elem.clone(),
+                message: "content ended prematurely (content model not satisfied)".into(),
+            });
+        }
+        // i = n+1: remaining on-first handlers fire now, in ζ order.
+        for (h_idx, h) in spec.handlers.iter().enumerate() {
+            if let CHandler::OnFirst { expr, .. } = h {
+                if !sf.fired[h_idx] {
+                    self.fire_onfirst(plan, expr)?;
+                }
+            }
+        }
+        if let Some(s) = &spec.post {
+            self.writer.write_raw(s).map_err(io_err)?;
+        }
+        if sf.obs_created {
+            self.env_stack.pop();
+            let o = self.observers.pop().expect("observer pushed at scope entry");
+            if let Some(rec) = o.rec {
+                RunStats::buffer_shrink(&mut self.cur_bytes, rec.bytes());
+            }
+            self.flag_pool.push(o.flags);
+        }
+        // Recycle the scratch vectors.
+        let ScopeFrame { mut fired, mut rest, .. } = sf;
+        debug_assert!(rest.is_empty(), "rest handlers fire before the scope's end tag");
+        fired.clear();
+        rest.clear();
+        self.bool_pool.push(fired);
+        self.idx_pool.push(rest);
+        self.on_frame_pop(plan)
+    }
+
+    /// Begin a streamable simple handler body over the current child
+    /// (port of `exec_simple`): leading items now, then a `Copy`/`Consume`
+    /// frame for the child, trailing items on its completion.
+    fn start_simple(
+        &mut self,
+        plan: &CompiledQuery,
+        sidx: usize,
+        hidx: usize,
+    ) -> Result<(), EngineError> {
+        let CHandler::On { body: CBody::Stream(sp), .. } = &plan.scopes[sidx].handlers[hidx] else {
+            unreachable!("start_simple on a stream body")
+        };
+        let items = &sp.items;
+        let mut i = 0usize;
+        while i < items.len() {
+            match &items[i] {
                 SimpleItem::Raw(s) => self.writer.write_raw(s).map_err(io_err)?,
                 SimpleItem::CondRaw(c, s) => {
-                    if self.eval_cond_runtime(c)? {
+                    if self.eval_cond_runtime(plan, c)? {
                         self.writer.write_raw(s).map_err(io_err)?;
                     }
                 }
                 SimpleItem::CopyChild => {
-                    self.copy_child(src)?;
-                    consumed = true;
+                    self.writer.write_event(Event::Start(&self.cur_name)).map_err(io_err)?;
+                    self.frames.push(Frame::Copy {
+                        depth: 0,
+                        rest: SimpleRest { sidx, hidx, item: i + 1 },
+                    });
+                    return Ok(());
                 }
                 SimpleItem::CondCopyChild(c) => {
-                    if self.eval_cond_runtime(c)? {
-                        self.copy_child(src)?;
+                    let rest = SimpleRest { sidx, hidx, item: i + 1 };
+                    if self.eval_cond_runtime(plan, c)? {
+                        self.writer.write_event(Event::Start(&self.cur_name)).map_err(io_err)?;
+                        self.frames.push(Frame::Copy { depth: 0, rest });
                     } else {
-                        self.consume_child(src, None)?;
+                        self.frames.push(Frame::Consume {
+                            depth: 0,
+                            capturing: false,
+                            after: AfterConsume::Simple(rest),
+                        });
                     }
-                    consumed = true;
+                    return Ok(());
                 }
             }
+            i += 1;
         }
-        if !consumed {
-            self.consume_child(src, None)?;
+        // No item consumed the child: skip it, then nothing remains.
+        self.frames.push(Frame::Consume {
+            depth: 0,
+            capturing: false,
+            after: AfterConsume::Simple(SimpleRest { sidx, hidx, item: items.len() }),
+        });
+        Ok(())
+    }
+
+    /// The trailing items of a simple body, after its child was consumed.
+    fn finish_simple(&mut self, plan: &CompiledQuery, rest: SimpleRest) -> Result<(), EngineError> {
+        let CHandler::On { body: CBody::Stream(sp), .. } =
+            &plan.scopes[rest.sidx].handlers[rest.hidx]
+        else {
+            unreachable!("finish_simple on a stream body")
+        };
+        for item in &sp.items[rest.item..] {
+            match item {
+                SimpleItem::Raw(s) => self.writer.write_raw(s).map_err(io_err)?,
+                SimpleItem::CondRaw(c, s) => {
+                    if self.eval_cond_runtime(plan, c)? {
+                        self.writer.write_raw(s).map_err(io_err)?;
+                    }
+                }
+                SimpleItem::CopyChild | SimpleItem::CondCopyChild(_) => {
+                    unreachable!("at most one consuming item per simple plan")
+                }
+            }
         }
         Ok(())
     }
 
     /// Fire an `on-first` handler: bind buffers and evaluate, resolving
     /// flag-owned atoms on the fly — no expression clone per firing.
-    fn fire_onfirst(&mut self, expr: &Expr) -> Result<(), EngineError> {
+    fn fire_onfirst(&mut self, plan: &CompiledQuery, expr: &Expr) -> Result<(), EngineError> {
         self.stats.on_first_firings += 1;
-        let plan = self.plan;
         let mut env = Env::new();
         for &(sidx, obs) in &self.env_stack {
             if let Some(rec) = &self.observers[obs].rec {
@@ -749,8 +1194,13 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
     }
 
     /// Fire a captured `on` handler body over the materialized child.
-    fn fire_captured(&mut self, var: &str, expr: &Expr, child: &Node) -> Result<(), EngineError> {
-        let plan = self.plan;
+    fn fire_captured(
+        &mut self,
+        plan: &CompiledQuery,
+        var: &str,
+        expr: &Expr,
+        child: &Node,
+    ) -> Result<(), EngineError> {
         let mut env = Env::new();
         for &(sidx, obs) in &self.env_stack {
             if let Some(rec) = &self.observers[obs].rec {
@@ -774,8 +1224,7 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
     /// Evaluate a condition: flag-owned atoms on the fly, residual atoms
     /// over buffers. Allocation-free when everything resolves from flags
     /// (the fully streaming case).
-    fn eval_cond_runtime(&mut self, c: &Cond) -> Result<bool, EngineError> {
-        let plan = self.plan;
+    fn eval_cond_runtime(&mut self, plan: &CompiledQuery, c: &Cond) -> Result<bool, EngineError> {
         let mut env = Env::new();
         for &(sidx, obs) in &self.env_stack {
             if let Some(rec) = &self.observers[obs].rec {
@@ -787,6 +1236,106 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
             |atom: &Atom, bound: &[String]| lookup_flag_in(plan, env_stack, observers, atom, bound);
         Ok(eval_cond_with(c, &env, &resolve)?)
     }
+
+    /// `Top::Simple`: materialize one event into the document tree.
+    fn simple_event(&mut self, ev: ResolvedEvent<'_>) -> Result<(), EngineError> {
+        let limit = self.limit;
+        let Mode::Simple { stack, root, bytes } = &mut self.mode else {
+            unreachable!("simple_event in simple mode")
+        };
+        match ev {
+            ResolvedEvent::Start(_, n) => {
+                stack.push(Node::new(n));
+                charge_simple(bytes, limit, 2 * n.len())?;
+            }
+            ResolvedEvent::Text(t) => {
+                if let Some(top) = stack.last_mut() {
+                    top.push_text(t);
+                    charge_simple(bytes, limit, t.len())?;
+                }
+            }
+            ResolvedEvent::End(..) => {
+                // Readers guarantee balanced tags, but `Pump::feed_event`
+                // is hand-feedable: poison instead of panicking.
+                let Some(done) = stack.pop() else {
+                    return Err(EngineError::Validation {
+                        element: "#document".into(),
+                        message: "unbalanced end event".into(),
+                    });
+                };
+                match stack.last_mut() {
+                    Some(top) => top.children.push(flux_xml::Child::Elem(done)),
+                    None => *root = Some(done),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `Top::Simple`: wrap and evaluate at end of input.
+    fn simple_finish(&mut self, plan: &CompiledQuery) -> Result<RunStats, EngineError> {
+        let Top::Simple(e) = &plan.top else { unreachable!("simple_finish in simple mode") };
+        let (root, bytes) = match &mut self.mode {
+            Mode::Simple { root, bytes, .. } => (root.take(), *bytes),
+            Mode::Scoped => unreachable!("simple_finish in simple mode"),
+        };
+        let root = root.ok_or(EngineError::Validation {
+            element: "#document".into(),
+            message: "empty input".into(),
+        })?;
+        let doc = wrap_document(root);
+        debug_assert_eq!(bytes, doc.buffered_bytes());
+        let mut stats =
+            RunStats { peak_buffer_bytes: bytes, buffers_created: 1, ..RunStats::default() };
+        let mut env = Env::with(ROOT_VAR, &doc);
+        eval_expr(e, &mut env, &mut self.writer)?;
+        stats.output_bytes = self.writer.bytes_written();
+        self.stats = stats;
+        Ok(stats)
+    }
+
+    /// End of input: run the document scope's epilogue (or report where the
+    /// stream broke off), write the top post string, finalize stats.
+    fn finish_inner(&mut self, plan: &CompiledQuery) -> Result<RunStats, EngineError> {
+        if !self.started {
+            self.start(plan)?;
+        }
+        if matches!(self.mode, Mode::Simple { .. }) {
+            return self.simple_finish(plan);
+        }
+        if self.skip > 0 {
+            return Err(EngineError::Validation {
+                element: "#stream".into(),
+                message: "events ended inside an element".into(),
+            });
+        }
+        match self.frames.last() {
+            Some(Frame::Scope(sf)) if sf.term == Term::Eof => {
+                debug_assert_eq!(self.frames.len(), 1, "document scope is the stack bottom");
+                self.exit_scope(plan)?;
+            }
+            Some(Frame::Scope(sf)) => {
+                return Err(EngineError::Validation {
+                    element: plan.scopes[sf.sidx].elem.clone(),
+                    message: "events ended inside the scope".into(),
+                });
+            }
+            Some(Frame::Consume { .. } | Frame::Copy { .. }) => {
+                return Err(EngineError::Validation {
+                    element: "#stream".into(),
+                    message: "events ended inside an element".into(),
+                });
+            }
+            Some(Frame::Fire { .. }) => unreachable!("machine quiesces with Fire resolved"),
+            None => return Err(poisoned()), // finish after finish
+        }
+        if let Top::Scope { post: Some(s), .. } = &plan.top {
+            self.writer.write_raw(s).map_err(io_err)?;
+        }
+        self.stats.output_bytes = self.writer.bytes_written();
+        self.stats.final_buffer_bytes = self.cur_bytes;
+        Ok(self.stats)
+    }
 }
 
 /// Current value of the flag evaluating `atom`, if the atom is flag-owned
@@ -795,7 +1344,7 @@ impl<'p, R: BufRead, S: Sink> Exec<'p, R, S> {
 fn lookup_flag_in(
     plan: &CompiledQuery,
     env_stack: &[(usize, usize)],
-    observers: &[Observer<'_>],
+    observers: &[Observer],
     atom: &Atom,
     bound: &[String],
 ) -> Option<bool> {
@@ -809,7 +1358,7 @@ fn lookup_flag_in(
     for &(sidx, obs) in env_stack.iter().rev() {
         if plan.scopes[sidx].var == var {
             let o = &observers[obs];
-            for (k, spec) in o.specs.iter().enumerate() {
+            for (k, spec) in plan.scopes[sidx].flags.iter().enumerate() {
                 if spec.matches_atom(atom) {
                     return Some(o.flags[k].value);
                 }
@@ -822,20 +1371,26 @@ fn lookup_flag_in(
 
 /// Route one event through the observers at or above `base`. Flag and
 /// recorder decisions compare interned ids only.
-fn dispatch(observers: &mut [Observer<'_>], base: usize, ev: ResolvedEvent<'_>) -> usize {
+fn dispatch(
+    plan: &CompiledQuery,
+    observers: &mut [Observer],
+    base: usize,
+    ev: ResolvedEvent<'_>,
+) -> usize {
     let mut grew = 0usize;
     for o in &mut observers[base..] {
-        for (spec, m) in o.specs.iter().zip(&mut o.flags) {
+        let spec = &plan.scopes[o.sidx];
+        for (fspec, m) in spec.flags.iter().zip(&mut o.flags) {
             match ev {
-                ResolvedEvent::Start(id, _) => m.on_start(spec, id),
+                ResolvedEvent::Start(id, _) => m.on_start(fspec, id),
                 ResolvedEvent::Text(t) => m.on_text(t),
-                ResolvedEvent::End(..) => m.on_end(spec),
+                ResolvedEvent::End(..) => m.on_end(fspec),
             }
         }
         if let Some(rec) = &mut o.rec {
             grew += match ev {
-                ResolvedEvent::Start(id, n) => rec.on_start(id, n),
-                ResolvedEvent::Text(t) => rec.on_text(t),
+                ResolvedEvent::Start(id, n) => rec.on_start(&spec.buffer_rt, id, n),
+                ResolvedEvent::Text(t) => rec.on_text(&spec.buffer_rt, t),
                 ResolvedEvent::End(..) => {
                     rec.on_end();
                     0
@@ -867,12 +1422,22 @@ fn build_child_node(label: &str, events: &EventBuf) -> Node {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use flux_core::{interp_flux, parse_flux, rewrite_query};
+    use flux_core::{interp_flux, parse_flux, rewrite_query, FluxExpr};
+    use flux_dtd::Dtd;
     use flux_query::eval::eval_query;
     use flux_query::parse_xquery;
+
+    /// Compile and run over an in-memory document (what the deprecated
+    /// `run_streaming` shim used to do; the shim is gone, the prepared
+    /// path is the only path).
+    fn run_once(q: &FluxExpr, dtd: &Dtd, doc: &str) -> Result<RunOutcome, EngineError> {
+        let compiled = CompiledQuery::compile(q, dtd)?;
+        let mut out = Vec::new();
+        let stats = compiled.run(doc.as_bytes(), &mut out)?;
+        Ok(RunOutcome { output: String::from_utf8(out).expect("writer emits UTF-8"), stats })
+    }
 
     const BIB_WEAK: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
         <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
@@ -896,7 +1461,7 @@ mod tests {
         let dtd = Dtd::parse(dtd_src).unwrap();
         let q = parse_xquery(query).unwrap();
         let flux = rewrite_query(&q, &dtd).unwrap();
-        let run = run_streaming(&flux, &dtd, doc_src.as_bytes())
+        let run = run_once(&flux, &dtd, doc_src)
             .unwrap_or_else(|e| panic!("engine failed on {query}: {e}\nplan: {flux}"));
         let doc = wrap_document(Node::parse_str(doc_src).unwrap());
         let expected = eval_query(&q, &doc).unwrap();
@@ -1062,7 +1627,7 @@ mod tests {
         let flux = rewrite_query(&q, &dtd).unwrap();
         // Wrong child order for the strong DTD:
         let bad = "<bib><book><author>A</author><title>T</title><publisher>P</publisher><price>1</price></book></bib>";
-        let err = run_streaming(&flux, &dtd, bad.as_bytes()).unwrap_err();
+        let err = run_once(&flux, &dtd, bad).unwrap_err();
         assert!(matches!(err, EngineError::Validation { .. }), "{err}");
     }
 
@@ -1071,7 +1636,7 @@ mod tests {
         let dtd = Dtd::parse(BIB_WEAK).unwrap();
         let q = parse_xquery("<r>{ for $b in $ROOT/bib/book return <x/> }</r>").unwrap();
         let flux = rewrite_query(&q, &dtd).unwrap();
-        let err = run_streaming(&flux, &dtd, "<bib><book></bib>".as_bytes()).unwrap_err();
+        let err = run_once(&flux, &dtd, "<bib><book></bib>").unwrap_err();
         assert!(matches!(err, EngineError::Xml(_)), "{err}");
     }
 
@@ -1083,7 +1648,7 @@ mod tests {
                { ps $bib: on book as $b return <b/> } } </results>",
         )
         .unwrap();
-        let run = run_streaming(&flux, &dtd, WEAK_DOC.as_bytes()).unwrap();
+        let run = run_once(&flux, &dtd, WEAK_DOC).unwrap();
         assert_eq!(run.output, "<results><b/><b/></results>");
     }
 
@@ -1097,7 +1662,7 @@ mod tests {
                { ps $b: on-first past(book) return <flush/>; on book as $k return {$k} } }",
         )
         .unwrap();
-        let run = run_streaming(&flux, &dtd, "<bib><book>x</book></bib>".as_bytes()).unwrap();
+        let run = run_once(&flux, &dtd, "<bib><book>x</book></bib>").unwrap();
         assert_eq!(run.output, "<flush/><book>x</book>");
         // And the converse order:
         let flux2 = parse_flux(
@@ -1105,7 +1670,7 @@ mod tests {
                { ps $b: on book as $k return {$k}; on-first past(book) return <flush/> } }",
         )
         .unwrap();
-        let run2 = run_streaming(&flux2, &dtd, "<bib><book>x</book></bib>".as_bytes()).unwrap();
+        let run2 = run_once(&flux2, &dtd, "<bib><book>x</book></bib>").unwrap();
         assert_eq!(run2.output, "<book>x</book><flush/>");
     }
 
@@ -1158,7 +1723,7 @@ mod tests {
         let dtd = Dtd::parse(BIB_WEAK).unwrap();
         let q = parse_xquery("{ $ROOT/bib }").unwrap();
         let flux = rewrite_query(&q, &dtd).unwrap();
-        let run = run_streaming(&flux, &dtd, WEAK_DOC.as_bytes()).unwrap();
+        let run = run_once(&flux, &dtd, WEAK_DOC).unwrap();
         let doc = wrap_document(Node::parse_str(WEAK_DOC).unwrap());
         assert_eq!(run.output, eval_query(&q, &doc).unwrap());
     }
@@ -1188,5 +1753,64 @@ mod tests {
             dtd_src,
             doc,
         );
+    }
+
+    #[test]
+    fn pump_driven_by_hand_matches_one_shot() {
+        // Drive the sans-IO machine event by event from an incremental
+        // reader and compare with the blocking one-shot run.
+        let dtd = Dtd::parse(BIB_WEAK).unwrap();
+        let q = parse_xquery(
+            "<results>{ for $b in $ROOT/bib/book return <result> {$b/title} {$b/author} </result> }</results>",
+        )
+        .unwrap();
+        let flux = rewrite_query(&q, &dtd).unwrap();
+        let plan = Arc::new(CompiledQuery::compile(&flux, &dtd).unwrap());
+
+        let mut reference = Vec::new();
+        let ref_stats = plan.run(WEAK_DOC.as_bytes(), &mut reference).unwrap();
+
+        let mut pump = plan.pump(Vec::new());
+        let mut reader =
+            Reader::incremental_with_symbols(plan.options().reader, Arc::clone(plan.symbols()));
+        for chunk in WEAK_DOC.as_bytes().chunks(3) {
+            reader.feed(chunk);
+            loop {
+                match reader.poll_resolved().unwrap() {
+                    flux_xml::Polled::Event(ev) => pump.feed_event(ev).unwrap(),
+                    flux_xml::Polled::NeedMoreData => break,
+                    flux_xml::Polled::End => break,
+                }
+            }
+        }
+        reader.close();
+        loop {
+            match reader.poll_resolved().unwrap() {
+                flux_xml::Polled::Event(ev) => pump.feed_event(ev).unwrap(),
+                flux_xml::Polled::NeedMoreData => unreachable!("closed"),
+                flux_xml::Polled::End => break,
+            }
+        }
+        let (res, sink) = pump.finish();
+        assert_eq!(sink, reference);
+        assert_eq!(res.unwrap(), ref_stats);
+    }
+
+    #[test]
+    fn pump_is_poisoned_after_an_error() {
+        let dtd = Dtd::parse(BIB_STRONG).unwrap();
+        let q = parse_xquery("<r>{ for $b in $ROOT/bib/book return {$b/title} }</r>").unwrap();
+        let flux = rewrite_query(&q, &dtd).unwrap();
+        let plan = Arc::new(CompiledQuery::compile(&flux, &dtd).unwrap());
+        let mut pump = plan.pump(Vec::new());
+        let syms = Arc::clone(plan.symbols());
+        // <bib><zzz> — unknown element at a validated position.
+        pump.feed_event(ResolvedEvent::Start(syms.resolve("bib"), "bib")).unwrap();
+        let err = pump.feed_event(ResolvedEvent::Start(NameId::UNKNOWN, "zzz")).unwrap_err();
+        assert!(matches!(err, EngineError::Validation { .. }), "{err}");
+        // Poisoned from here on.
+        assert!(pump.feed_event(ResolvedEvent::End(NameId::UNKNOWN, "zzz")).is_err());
+        let (res, _sink) = pump.finish();
+        assert!(res.is_err());
     }
 }

@@ -65,7 +65,5 @@ pub mod flags;
 pub mod stats;
 
 pub use compile::{CompiledQuery, EngineError, EngineOptions};
-pub use exec::RunOutcome;
-#[allow(deprecated)]
-pub use exec::{run_streaming, run_streaming_to};
+pub use exec::{Pump, RunOutcome};
 pub use stats::RunStats;

@@ -62,6 +62,15 @@ impl EventBuf {
         self.arena.clear();
     }
 
+    /// Drop every event after the first `len` (retains capacity). Used by
+    /// the incremental reader to roll back a partially parsed construct.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.items.len() {
+            self.arena.truncate(self.items[len].off as usize);
+            self.items.truncate(len);
+        }
+    }
+
     fn push(&mut self, kind: Kind, id: NameId, payload: &str) -> usize {
         // Spans are u32 to keep records compact; a single buffer holding
         // ≥ 4 GiB of payload must fail loudly rather than wrap offsets and

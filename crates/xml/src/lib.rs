@@ -49,7 +49,9 @@ pub mod xsax;
 pub use evbuf::EventBuf;
 pub use events::{Event, OwnedEvent, ResolvedEvent};
 pub use idtrie::IdTrie;
-pub use reader::{AttributeMode, Reader, ReaderOptions, XmlError, XmlErrorKind};
+pub use reader::{
+    AttributeMode, FeedSource, Polled, Reader, ReaderOptions, XmlError, XmlErrorKind,
+};
 pub use sink::{Sink, StringSink};
 pub use symbols::{NameId, Symbols};
 pub use tree::{Child, Node};

@@ -24,7 +24,7 @@
 //! → `buyer_person`, exactly the names the adapted XMark queries use).
 
 use std::fmt;
-use std::io::BufRead;
+use std::io::{self, BufRead};
 use std::sync::Arc;
 
 use crate::evbuf::EventBuf;
@@ -247,6 +247,9 @@ pub struct Reader<R> {
     name_buf: String,
     /// Scratch for synthesized `{element}_{attribute}` names.
     synth_buf: String,
+    /// Scratch spans for the attribute fast path: `(name, value)` byte
+    /// ranges of the tag body, validated before anything is mutated.
+    attr_spans: Vec<(u32, u32, u32, u32)>,
     raw: Vec<u8>,
     /// Bytes of the source's buffered window that belong to the event
     /// currently held in `slot` (zero-copy text): consumed on the next
@@ -284,6 +287,7 @@ impl<R: BufRead> Reader<R> {
             text_buf: String::new(),
             name_buf: String::new(),
             synth_buf: String::new(),
+            attr_spans: Vec::new(),
             raw: Vec::new(),
             defer_consume: 0,
             offset: 0,
@@ -341,6 +345,18 @@ impl<R: BufRead> Reader<R> {
     /// DOCTYPE, non-ASCII names — takes the general accumulating path,
     /// which the fast path leaves completely untouched on fallback.
     pub fn next_resolved(&mut self) -> Result<Option<ResolvedEvent<'_>>, XmlError> {
+        if self.advance()? {
+            Ok(Some(self.current()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Parse up to the next event, leaving it described in `self.slot`.
+    /// Returns `false` at a well-formed end of document. Split from the
+    /// event materialization ([`Reader::current`]) so the incremental mode
+    /// can inspect reader state between parsing and borrowing the event.
+    fn advance(&mut self) -> Result<bool, XmlError> {
         if self.defer_consume > 0 {
             // The previous event borrowed the source window; release it now
             // that the borrow is over.
@@ -355,7 +371,7 @@ impl<R: BufRead> Reader<R> {
                 break;
             }
             if self.finished {
-                return Ok(None);
+                return Ok(false);
             }
             if self.in_tag {
                 self.in_tag = false;
@@ -403,7 +419,13 @@ impl<R: BufRead> Reader<R> {
                 break;
             }
         }
-        Ok(Some(match &self.slot {
+        Ok(true)
+    }
+
+    /// Materialize the event described by `self.slot` (set by
+    /// [`Reader::advance`]).
+    fn current(&mut self) -> Result<ResolvedEvent<'_>, XmlError> {
+        Ok(match &self.slot {
             Slot::Text => ResolvedEvent::Text(&self.text_buf),
             Slot::SrcText { len } => {
                 let buf = self.src.fill_buf().map_err(|e| XmlError {
@@ -418,7 +440,7 @@ impl<R: BufRead> Reader<R> {
             Slot::StartName => ResolvedEvent::Start(self.cur_id, &self.name_buf),
             Slot::Pending(i) => self.pending.get(*i).expect("pending index in range"),
             Slot::None => unreachable!("slot set before break"),
-        }))
+        })
     }
 
     /// Zero-copy text scan: when the run up to the next `<` sits inside the
@@ -508,10 +530,14 @@ impl<R: BufRead> Reader<R> {
                 }
             }
             Some(&first) => {
-                // Start tag. Name must be ASCII; anything after it other
-                // than a bare `/` (attributes, whitespace) falls back.
+                // Start tag. Name must be ASCII; after it either nothing, a
+                // bare `/`, or an ASCII attribute list (handled by
+                // `fast_attr_tag`); anything else falls back.
                 if !(first.is_ascii_alphabetic() || first == b'_' || first == b':') {
                     return Ok(Fast::Fallback);
+                }
+                if self.seen_root && self.stack.is_empty() {
+                    return Ok(Fast::Fallback); // TrailingContent error path
                 }
                 let mut i = 1usize;
                 while i < body.len() && is_ascii_name_byte(body[i]) {
@@ -520,11 +546,8 @@ impl<R: BufRead> Reader<R> {
                 let self_closing = match body.len() - i {
                     0 => false,
                     1 if body[i] == b'/' => true,
-                    _ => return Ok(Fast::Fallback),
+                    _ => return self.fast_attr_tag(pos, i),
                 };
-                if self.seen_root && self.stack.is_empty() {
-                    return Ok(Fast::Fallback); // TrailingContent error path
-                }
                 let name = std::str::from_utf8(&body[..i]).expect("ASCII-checked name");
                 let id = match &self.symbols {
                     Some(s) => s.resolve(name),
@@ -549,6 +572,150 @@ impl<R: BufRead> Reader<R> {
                 Ok(Fast::Emitted)
             }
         }
+    }
+
+    /// Fast path for attribute-bearing ASCII start tags (the previously
+    /// missing piece of the zero-copy path — XSAX conversion used to take
+    /// the allocating fallback for every attributed tag). The attribute
+    /// list is validated and sliced directly from the buffered window, then
+    /// the conversion is synthesized straight into the pending arena: no
+    /// raw-buffer accumulation, no UTF-8 revalidation, no per-attribute
+    /// `String`s. Any deviation from the clean shape — non-ASCII bytes,
+    /// entities in values, malformed syntax, reject mode — falls back with
+    /// nothing consumed or mutated, and the general path re-reads the same
+    /// bytes (so error offsets stay identical to the accumulating path).
+    ///
+    /// `pos` is the index of the closing `>` in the buffered window and
+    /// `name_len` the length of the already-validated element name.
+    fn fast_attr_tag(&mut self, pos: usize, name_len: usize) -> Result<Fast, XmlError> {
+        if matches!(self.opts.attributes, AttributeMode::Reject) {
+            return Ok(Fast::Fallback); // pure error path; let the slow path report it
+        }
+        // Split borrows: the window borrows `src` while the pending arena,
+        // scratch buffers and element stack are written.
+        let Reader {
+            src,
+            opts,
+            symbols,
+            stack,
+            stack_buf,
+            pending,
+            pending_pos,
+            slot,
+            cur_id,
+            name_buf,
+            synth_buf,
+            attr_spans,
+            offset,
+            seen_root,
+            ..
+        } = self;
+        let buf = src
+            .fill_buf()
+            .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: *offset })?;
+        let body = &buf[..pos];
+        if !body.is_ascii() {
+            return Ok(Fast::Fallback);
+        }
+        // Phase 1: validate the whole attribute list before mutating
+        // anything (`Fast::Fallback` must leave no trace).
+        attr_spans.clear();
+        let mut self_closing = false;
+        let mut i = name_len;
+        loop {
+            while i < body.len() && body[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i == body.len() {
+                break;
+            }
+            if body[i] == b'/' {
+                if i + 1 == body.len() {
+                    self_closing = true;
+                    break;
+                }
+                return Ok(Fast::Fallback);
+            }
+            let ns = i;
+            if !(body[i].is_ascii_alphabetic() || body[i] == b'_' || body[i] == b':') {
+                return Ok(Fast::Fallback);
+            }
+            i += 1;
+            while i < body.len() && is_ascii_name_byte(body[i]) {
+                i += 1;
+            }
+            let ne = i;
+            while i < body.len() && body[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i == body.len() || body[i] != b'=' {
+                return Ok(Fast::Fallback);
+            }
+            i += 1;
+            while i < body.len() && body[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i == body.len() || (body[i] != b'"' && body[i] != b'\'') {
+                return Ok(Fast::Fallback);
+            }
+            let quote = body[i];
+            i += 1;
+            let vs = i;
+            // `&` needs entity decoding — the general path owns that.
+            while i < body.len() && body[i] != quote && body[i] != b'&' {
+                i += 1;
+            }
+            if i == body.len() || body[i] == b'&' {
+                return Ok(Fast::Fallback);
+            }
+            attr_spans.push((ns as u32, ne as u32, vs as u32, i as u32));
+            i += 1;
+        }
+        // Phase 2: commit. All slices are ASCII-checked above.
+        let name = std::str::from_utf8(&body[..name_len]).expect("ASCII-checked name");
+        let symbols: &Option<Arc<Symbols>> = symbols;
+        let resolve = |n: &str| match symbols {
+            Some(s) => s.resolve(n),
+            None => NameId::UNKNOWN,
+        };
+        let id = resolve(name);
+        *seen_root = true;
+        let emitted = if attr_spans.is_empty() || matches!(opts.attributes, AttributeMode::Drop) {
+            // `<a  >` / drop mode: a plain start tag.
+            *cur_id = id;
+            name_buf.clear();
+            name_buf.push_str(name);
+            open_element(pending, pending_pos, stack, stack_buf, id, name, self_closing);
+            *slot = Slot::StartName;
+            true
+        } else {
+            // XSAX conversion into the pending arena, exactly as the
+            // general path does it (which guarantees the batch invariant:
+            // the previous batch was fully delivered before a new tag).
+            if *pending_pos == pending.len() {
+                pending.clear();
+                *pending_pos = 0;
+            }
+            pending.push_start(id, name);
+            for &(ns, ne, vs, ve) in attr_spans.iter() {
+                let attr = std::str::from_utf8(&body[ns as usize..ne as usize])
+                    .expect("ASCII-checked attribute name");
+                converted_name_into(name, attr, synth_buf);
+                let sub_id = resolve(synth_buf);
+                pending.push_start(sub_id, synth_buf);
+                if ve > vs {
+                    let value = std::str::from_utf8(&body[vs as usize..ve as usize])
+                        .expect("ASCII-checked attribute value");
+                    pending.push_text(value);
+                }
+                pending.push_end(sub_id, synth_buf);
+            }
+            open_element(pending, pending_pos, stack, stack_buf, id, name, self_closing);
+            false // caller loop pops from `pending`
+        };
+        self.src.consume(pos + 1);
+        self.offset += pos as u64 + 1;
+        Ok(if emitted { Fast::Emitted } else { Fast::Skipped })
     }
 
     /// Decode and stash the first `len` bytes of `self.raw` as character
@@ -799,6 +966,195 @@ impl<R: BufRead> Reader<R> {
             out.push(ev.to_owned());
         }
         Ok(out)
+    }
+}
+
+/// The byte source of the incremental (sans-IO) reader: bytes arrive via
+/// [`Reader::feed`] and are parsed in place — no worker thread, no blocking
+/// reads. `fill_buf` exposes the whole unconsumed window, so the zero-copy
+/// fast paths see maximal runs; running out of fed bytes is recorded in
+/// `hit_end`, which [`Reader::poll_resolved`] uses to distinguish "no more
+/// bytes *yet*" from true end of input and to roll back parse attempts that
+/// ran off the end.
+#[derive(Debug, Default)]
+pub struct FeedSource {
+    buf: Vec<u8>,
+    pos: usize,
+    closed: bool,
+    /// A read touched the end of the fed bytes while the source was open.
+    hit_end: bool,
+}
+
+impl FeedSource {
+    fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim the committed prefix before growing: a long-lived session
+        // retains only the unparsed tail, not the whole document so far.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+impl io::Read for FeedSource {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let avail = self.fill_buf()?;
+        let n = avail.len().min(out.len());
+        out[..n].copy_from_slice(&avail[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for FeedSource {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        if self.pos >= self.buf.len() && !self.closed {
+            self.hit_end = true;
+        }
+        Ok(&self.buf[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.buf.len());
+    }
+}
+
+/// One step of the incremental parse ([`Reader::poll_resolved`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polled<'a> {
+    /// The next event of the stream.
+    Event(ResolvedEvent<'a>),
+    /// The fed bytes end mid-construct: [`Reader::feed`] more (or
+    /// [`Reader::close`]) and poll again.
+    NeedMoreData,
+    /// The source is closed and the document fully parsed.
+    End,
+}
+
+/// Rollback point for the incremental mode: everything an event-parse
+/// attempt may mutate *before* the construct is known to fit in the fed
+/// bytes. State the parser only touches once a construct is complete
+/// (pending-arena reclaim, element-stack pops) needs no undo — completion
+/// is immediately followed by event delivery, never by another source read.
+#[derive(Clone, Copy)]
+struct Checkpoint {
+    src_pos: usize,
+    offset: u64,
+    seen_root: bool,
+    in_tag: bool,
+    finished: bool,
+    stack_len: usize,
+    stack_buf_len: usize,
+    pending_len: usize,
+    pending_pos: usize,
+}
+
+impl Reader<FeedSource> {
+    /// An incremental reader: push bytes with [`Reader::feed`], pull events
+    /// with [`Reader::poll_resolved`]. See the [module docs](self).
+    pub fn incremental(opts: ReaderOptions) -> Reader<FeedSource> {
+        Reader::new(FeedSource::default(), opts)
+    }
+
+    /// [`Reader::incremental`] resolving names against a shared symbol
+    /// table, like [`Reader::with_symbols`].
+    pub fn incremental_with_symbols(
+        opts: ReaderOptions,
+        symbols: Arc<Symbols>,
+    ) -> Reader<FeedSource> {
+        Reader::with_symbols(FeedSource::default(), opts, symbols)
+    }
+
+    /// Append the next chunk of the document. Chunks may split the XML at
+    /// any byte boundary, including inside tags and multi-byte characters.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.src.feed(bytes);
+    }
+
+    /// Signal end of input: subsequent polls parse to completion instead of
+    /// asking for more data.
+    pub fn close(&mut self) {
+        self.src.closed = true;
+    }
+
+    /// Has [`Reader::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.src.closed
+    }
+
+    /// Bytes fed but not yet consumed by the parser (at a quiescent point:
+    /// the tail of an incomplete construct).
+    pub fn unconsumed_bytes(&self) -> usize {
+        self.src.buf.len() - self.src.pos
+    }
+
+    /// Parse the next event from the fed bytes. Returns
+    /// [`Polled::NeedMoreData`] — with the reader state fully rolled back —
+    /// when the bytes end mid-construct and the source is not closed, so
+    /// the event stream (and every error, with its offset) is byte-for-byte
+    /// identical to a blocking [`Reader::next_resolved`] run over the
+    /// concatenation of the chunks.
+    pub fn poll_resolved(&mut self) -> Result<Polled<'_>, XmlError> {
+        if self.defer_consume > 0 {
+            // Commit the previous event's deferred window before taking the
+            // checkpoint: its bytes are delivered and must never re-parse.
+            self.src.consume(self.defer_consume);
+            self.defer_consume = 0;
+        }
+        let cp = self.checkpoint();
+        self.src.hit_end = false;
+        match self.advance() {
+            Ok(true) => {
+                debug_assert!(
+                    !self.src.hit_end || self.src.closed,
+                    "an emitted event must not depend on bytes past the fed window"
+                );
+                Ok(Polled::Event(self.current()?))
+            }
+            Ok(false) if self.src.hit_end && !self.src.closed => {
+                self.restore(cp);
+                Ok(Polled::NeedMoreData)
+            }
+            Ok(false) => Ok(Polled::End),
+            Err(_) if self.src.hit_end && !self.src.closed => {
+                self.restore(cp);
+                Ok(Polled::NeedMoreData)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            src_pos: self.src.pos,
+            offset: self.offset,
+            seen_root: self.seen_root,
+            in_tag: self.in_tag,
+            finished: self.finished,
+            stack_len: self.stack.len(),
+            stack_buf_len: self.stack_buf.len(),
+            pending_len: self.pending.len(),
+            pending_pos: self.pending_pos,
+        }
+    }
+
+    fn restore(&mut self, cp: Checkpoint) {
+        debug_assert!(
+            self.stack.len() >= cp.stack_len && self.pending.len() >= cp.pending_len,
+            "rollback cannot restore popped state (see Checkpoint docs)"
+        );
+        self.src.pos = cp.src_pos;
+        self.offset = cp.offset;
+        self.seen_root = cp.seen_root;
+        self.in_tag = cp.in_tag;
+        self.finished = cp.finished;
+        self.stack.truncate(cp.stack_len);
+        self.stack_buf.truncate(cp.stack_buf_len);
+        self.pending.truncate(cp.pending_len);
+        self.pending_pos = cp.pending_pos;
+        self.slot = Slot::None;
+        self.defer_consume = 0;
     }
 }
 
@@ -1120,5 +1476,151 @@ mod tests {
             ResolvedEvent::Start(id, "a") => assert!(id.is_unknown()),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn attributed_tags_fast_and_slow_paths_agree() {
+        // The attribute fast path must produce the identical event stream
+        // to the accumulating path (exercised via 1-byte read windows).
+        let docs = [
+            r#"<a k="v">t</a>"#,
+            r#"<a k="v"/>"#,
+            r#"<a k = 'v' l="w"  />"#,
+            r#"<a  >x</a>"#,
+            r#"<item featured="yes" id="item3"><x y=""/></item>"#,
+            r#"<a k="x &amp; y">t</a>"#,
+            r#"<a k="köln">t</a>"#,
+        ];
+        for doc in docs {
+            let fast = Reader::from_str(doc).read_to_end().unwrap();
+            let slow = Reader::new(
+                std::io::BufReader::with_capacity(1, doc.as_bytes()),
+                ReaderOptions::default(),
+            )
+            .read_to_end()
+            .unwrap();
+            assert_eq!(fast, slow, "doc: {doc}");
+        }
+    }
+
+    #[test]
+    fn attributed_tag_errors_agree_between_paths() {
+        // `<a k="a>b">` is here deliberately: both paths truncate the tag at
+        // the first `>` (pre-existing contract) and report it unterminated.
+        for doc in [
+            r#"<a k=v>t</a>"#,
+            r#"<a k>t</a>"#,
+            r#"<a 1k="v"/>"#,
+            r#"<a k="v>more text"#,
+            r#"<a k="a>b">t</a>"#,
+        ] {
+            let fast = Reader::from_str(doc).read_to_end().unwrap_err();
+            let slow = Reader::new(
+                std::io::BufReader::with_capacity(1, doc.as_bytes()),
+                ReaderOptions::default(),
+            )
+            .read_to_end()
+            .unwrap_err();
+            assert_eq!(fast, slow, "doc: {doc}");
+        }
+    }
+
+    /// Drive an incremental reader over `doc` split into `chunks`, closing
+    /// after the last one.
+    fn poll_all(doc: &str, chunks: &[&[u8]]) -> Result<Vec<OwnedEvent>, XmlError> {
+        let mut r = Reader::incremental(ReaderOptions::default());
+        let mut out = Vec::new();
+        let mut next = 0usize;
+        loop {
+            match r.poll_resolved()? {
+                Polled::Event(ev) => out.push(ev.to_event().to_owned()),
+                Polled::NeedMoreData => {
+                    if next < chunks.len() {
+                        r.feed(chunks[next]);
+                        next += 1;
+                    } else {
+                        assert!(!r.is_closed(), "closed reader must not ask for more data");
+                        r.close();
+                    }
+                }
+                Polled::End => break,
+            }
+        }
+        assert_eq!(r.offset(), doc.len() as u64);
+        Ok(out)
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_at_every_split() {
+        // Constructs that stress rollback: tags, attributes, entities,
+        // comments (with `>`), CDATA, DOCTYPE, PIs, unicode names and
+        // multi-byte text, self-closing tags, whitespace runs.
+        let docs = [
+            "<a><b>hi</b></a>",
+            r#"<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x<?pi d?><!-- c > d --->y</a>"#,
+            r#"<person id="person0"><name>Jo &amp; Bo</name><多>é</多></person>"#,
+            "<a><![CDATA[1 < 2 & x > y]]></a>",
+            "<a>\n  <b k='v' l=\"w\"/>tail</a>",
+            "  <a>täxt</a>  ",
+        ];
+        for doc in docs {
+            let reference = Reader::from_str(doc).read_to_end().unwrap();
+            for at in 0..=doc.len() {
+                let (head, tail) = doc.as_bytes().split_at(at);
+                let got = poll_all(doc, &[head, tail])
+                    .unwrap_or_else(|e| panic!("split {at} of {doc}: {e}"));
+                assert_eq!(got, reference, "split {at} of {doc}");
+            }
+            // And fully byte-at-a-time.
+            let bytes: Vec<&[u8]> = doc.as_bytes().chunks(1).collect();
+            assert_eq!(poll_all(doc, &bytes).unwrap(), reference, "byte-at-a-time {doc}");
+        }
+    }
+
+    #[test]
+    fn incremental_errors_match_one_shot_at_every_split() {
+        let docs =
+            ["<a><b></a></b>", "<a>&bogus;</a>", "<a/>junk", "junk<a/>", "<a/><b/>", "<a k=v/>"];
+        for doc in docs {
+            let reference = Reader::from_str(doc).read_to_end().unwrap_err();
+            for at in 0..=doc.len() {
+                let (head, tail) = doc.as_bytes().split_at(at);
+                let err = poll_all(doc, &[head, tail]).expect_err("must fail");
+                assert_eq!(err, reference, "split {at} of {doc}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_truncation_errors_only_after_close() {
+        let mut r = Reader::incremental(ReaderOptions::default());
+        r.feed(b"<a><b>");
+        assert_eq!(
+            r.poll_resolved().unwrap(),
+            Polled::Event(ResolvedEvent::Start(NameId::UNKNOWN, "a"))
+        );
+        assert_eq!(
+            r.poll_resolved().unwrap(),
+            Polled::Event(ResolvedEvent::Start(NameId::UNKNOWN, "b"))
+        );
+        // Mid-document: not an error yet, just hungry.
+        assert_eq!(r.poll_resolved().unwrap(), Polled::NeedMoreData);
+        assert_eq!(r.poll_resolved().unwrap(), Polled::NeedMoreData);
+        r.close();
+        let err = r.poll_resolved().unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn incremental_reclaims_consumed_bytes() {
+        let mut r = Reader::incremental(ReaderOptions::default());
+        r.feed(b"<a>");
+        while let Polled::Event(_) = r.poll_resolved().unwrap() {}
+        for _ in 0..1000 {
+            r.feed(b"<b>x</b>");
+            while let Polled::Event(_) = r.poll_resolved().unwrap() {}
+        }
+        // Only the unparsed tail is retained, not the whole stream.
+        assert!(r.unconsumed_bytes() < 16, "retained {}", r.unconsumed_bytes());
     }
 }

@@ -198,9 +198,12 @@ impl PreparedQuery {
 
     /// Start an incremental push session: bytes arrive chunk-by-chunk via
     /// [`Session::feed`] (e.g. straight off a socket), output streams to
-    /// `sink` as soon as the schedule allows.
-    pub fn session<S: Sink + Send + 'static>(&self, sink: S) -> Session<S> {
-        Session::spawn(Arc::clone(&self.compiled), sink)
+    /// `sink` as soon as the schedule allows. The session executes inline
+    /// on the caller's thread — no worker thread is spawned — so any number
+    /// of sessions can be multiplexed from one thread (see
+    /// [`SessionSet`](crate::SessionSet)).
+    pub fn session<S: Sink>(&self, sink: S) -> Session<S> {
+        Session::new(Arc::clone(&self.compiled), sink)
     }
 
     /// A push session capturing its output in memory.

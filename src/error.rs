@@ -41,10 +41,12 @@ pub enum FluxError {
     Baseline(BaselineError),
     /// The engine was configured inconsistently (builder misuse).
     Config(String),
-    /// `Session::feed` after the session's worker already stopped; call
-    /// `Session::finish` for the underlying error.
+    /// `Session::feed` after the session already failed on earlier input;
+    /// call `Session::finish` for the underlying error.
     SessionAborted,
-    /// The session's worker thread panicked.
+    /// Historical variant from the worker-thread `Session` (pre-0.3):
+    /// sessions now execute inline and cannot lose a run to a worker
+    /// panic. Kept so exhaustive matches keep compiling; never produced.
     SessionPanicked,
 }
 

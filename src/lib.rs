@@ -87,24 +87,41 @@
 //!   run in constant memory — `peak_buffer_bytes == 0`.
 //!
 //! Services should hold `PreparedQuery` values (they are `Send + Sync`;
-//! clone them freely across threads) and spawn a [`Session`] per
+//! clone them freely across threads) and open a [`Session`] per
 //! connection, optionally bounding per-run memory with
-//! [`EngineBuilder::max_buffer_bytes`].
-//!
-//! ## Compatibility
-//!
-//! The pre-0.2 free functions still compile behind deprecation warnings
-//! and delegate to the prepared path:
+//! [`EngineBuilder::max_buffer_bytes`]. Sessions execute *inline* on the
+//! caller's thread — the engine core is a sans-IO resumable state machine
+//! (see [`engine::Pump`]), so a session is a plain value, not a thread —
+//! and a [`SessionSet`] multiplexes thousands of live streams from one
+//! thread:
 //!
 //! ```
-//! # #![allow(deprecated)]
 //! use flux::prelude::*;
 //!
-//! let dtd = Dtd::parse("<!ELEMENT a (#PCDATA)>").unwrap();
-//! let q = parse_xquery("<r>{ for $x in $ROOT/a return {$x} }</r>").unwrap();
-//! let flux = rewrite_query(&q, &dtd).unwrap();
-//! let run = run_streaming(&flux, &dtd, "<a>hi</a>".as_bytes()).unwrap();
-//! assert_eq!(run.output, "<r><a>hi</a></r>");
+//! # let engine = Engine::builder()
+//! #     .dtd_str("<!ELEMENT bib (book)*>\
+//! #       <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+//! #       <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>\
+//! #       <!ELEMENT editor (#PCDATA)> <!ELEMENT publisher (#PCDATA)>\
+//! #       <!ELEMENT price (#PCDATA)>")
+//! #     .build().unwrap();
+//! # let q = engine.prepare(
+//! #     "<results>{ for $b in $ROOT/bib/book return \
+//! #        <result> {$b/title} {$b/author} </result> }</results>").unwrap();
+//! # let doc1 = "<bib><book><title>T</title><author>A</author>\
+//! #             <publisher>P</publisher><price>1</price></book></bib>";
+//! // One thread, many concurrent streams, interleaved arbitrarily.
+//! let mut set = SessionSet::new();
+//! let ids: Vec<_> = (0..64).map(|_| set.open(&q, StringSink::new())).collect();
+//! for chunk in doc1.as_bytes().chunks(7) {
+//!     for &id in &ids {
+//!         set.feed(id, chunk).unwrap();   // runs the engine inline
+//!     }
+//! }
+//! for id in ids {
+//!     assert_eq!(set.finish(id).unwrap().sink.as_str(),
+//!                q.run_str(doc1).unwrap().output);
+//! }
 //! ```
 
 pub use flux_baseline as baseline;
@@ -121,19 +138,17 @@ mod session;
 
 pub use api::{Engine, EngineBuilder, PreparedQuery};
 pub use error::FluxError;
-pub use session::{Finished, Session};
+pub use session::{Finished, Session, SessionId, SessionSet};
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::api::{Engine, EngineBuilder, PreparedQuery};
     pub use crate::error::FluxError;
-    pub use crate::session::{Finished, Session};
+    pub use crate::session::{Finished, Session, SessionId, SessionSet};
     pub use flux_baseline::{DomEngine, PreparedDomQuery, ProjectionMode};
     pub use flux_core::{rewrite_query, FluxExpr, Handler};
     pub use flux_dtd::Dtd;
-    #[allow(deprecated)]
-    pub use flux_engine::run_streaming;
-    pub use flux_engine::{RunOutcome, RunStats};
+    pub use flux_engine::{Pump, RunOutcome, RunStats};
     pub use flux_query::{parse_xquery, Expr};
     pub use flux_xml::{Node, Reader, Sink, StringSink};
 }

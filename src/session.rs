@@ -1,147 +1,42 @@
-//! Incremental, push-based query execution.
+//! Incremental, push-based query execution — sans IO, sans threads.
 //!
 //! The paper's engine is a *pull* loop: it recurses over scopes and blocks
 //! on the parser for the next event. A network service sees the opposite
 //! shape — bytes are *pushed* at it, chunk by chunk, with arbitrary
-//! boundaries. [`Session`] inverts the control flow without rewriting the
-//! engine as a state machine: each session runs its prepared plan on a
-//! dedicated worker thread that blocks on a [`ChunkPipe`], and
-//! [`Session::feed`] hands chunks to that pipe. Output streams to the
-//! session's [`Sink`] as soon as the schedule allows, so a fully-streaming
-//! plan emits results while the document is still arriving.
+//! boundaries. [`Session`] inverts the control flow *inside the engine*:
+//! the execution is a resumable state machine ([`flux_engine::Pump`]) fed
+//! by an incremental parser, so [`Session::feed`] runs the plan inline on
+//! the caller's thread until the fed bytes are exhausted, then returns.
+//! There is no worker thread, no channel, no condition variable, and no
+//! extra copy of the payload: the parser's zero-copy fast paths read
+//! straight out of the fed window, and output streams to the session's
+//! [`Sink`] as soon as the schedule allows — a fully-streaming plan emits
+//! results while the document is still arriving.
 //!
-//! Chunk boundaries are invisible to the engine — the pipe presents one
-//! contiguous byte stream — so output bytes *and* every statistic
+//! Chunk boundaries are invisible to the engine — the incremental reader
+//! rolls back any construct that runs off the end of the fed bytes and
+//! re-parses it when more arrive — so output bytes *and* every statistic
 //! (`peak_buffer_bytes` in particular) are identical to a one-shot run over
 //! the concatenation of the chunks. `tests/session_chunking.rs` asserts
 //! this for every possible split position.
+//!
+//! Because a session is just a plain value (reader state + machine state),
+//! serving N concurrent streams costs N small structs — not N OS threads —
+//! and a single thread can multiplex thousands of live sessions:
+//! [`SessionSet`] is the bookkeeping container for exactly that, with
+//! per-session sinks and aggregate buffer accounting. Memory per session
+//! is bounded by the engine's buffer plan (plus the tail of one unparsed
+//! construct); the buffer-limit policy
+//! ([`EngineBuilder::max_buffer_bytes`](crate::EngineBuilder::max_buffer_bytes))
+//! applies to each session individually.
 
-use std::collections::VecDeque;
-use std::io::{self, BufRead, Read};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::{self, JoinHandle};
+use std::sync::Arc;
 
-use flux_engine::{CompiledQuery, EngineError, RunStats};
-use flux_xml::Sink;
+use flux_engine::{CompiledQuery, EngineError, Pump, RunStats};
+use flux_xml::{FeedSource, Polled, Reader, Sink};
 
+use crate::api::PreparedQuery;
 use crate::error::FluxError;
-
-/// A thread-safe, *bounded* byte queue bridging `feed` calls to the
-/// worker's reader. [`ChunkPipe::push`] blocks while the queue is at
-/// capacity, so a producer faster than the engine gets back-pressure
-/// instead of buffering the whole input in memory.
-#[derive(Default)]
-struct ChunkPipe {
-    state: Mutex<PipeState>,
-    /// Signalled when bytes (or EOF) become available to the reader.
-    ready: Condvar,
-    /// Signalled when queue space frees up (or the reader went away).
-    space: Condvar,
-}
-
-#[derive(Default)]
-struct PipeState {
-    buf: VecDeque<u8>,
-    closed: bool,
-    /// The worker's reader was dropped (run ended); pushers must not wait.
-    reader_gone: bool,
-}
-
-/// Queue capacity: enough to keep the worker busy, small enough that a
-/// stalled run cannot hold more than this per session.
-const PIPE_CAPACITY: usize = 1 << 20;
-
-impl ChunkPipe {
-    /// Append bytes, blocking while the queue is full (back-pressure).
-    /// Bytes are dropped once the reader is gone — the run is already
-    /// decided, and `Session::feed`/`finish` surface its outcome.
-    fn push(&self, bytes: &[u8]) {
-        let mut rest = bytes;
-        while !rest.is_empty() {
-            let mut st = self.state.lock().expect("pipe lock");
-            while st.buf.len() >= PIPE_CAPACITY && !st.reader_gone {
-                st = self.space.wait(st).expect("pipe lock");
-            }
-            if st.reader_gone {
-                return;
-            }
-            let n = rest.len().min(PIPE_CAPACITY - st.buf.len());
-            st.buf.extend(&rest[..n]);
-            rest = &rest[n..];
-            drop(st);
-            self.ready.notify_one();
-        }
-    }
-
-    /// Signal end of input.
-    fn close(&self) {
-        self.state.lock().expect("pipe lock").closed = true;
-        self.ready.notify_one();
-    }
-
-    /// Block until bytes are available (or EOF), then move up to `max` of
-    /// them into `out`. Returns 0 only at EOF.
-    fn drain_into(&self, out: &mut Vec<u8>, max: usize) -> usize {
-        let mut st = self.state.lock().expect("pipe lock");
-        while st.buf.is_empty() && !st.closed {
-            st = self.ready.wait(st).expect("pipe lock");
-        }
-        let n = st.buf.len().min(max);
-        out.extend(st.buf.drain(..n));
-        drop(st);
-        if n > 0 {
-            self.space.notify_one();
-        }
-        n
-    }
-
-    /// Mark the reader as gone and release any blocked pushers.
-    fn reader_dropped(&self) {
-        self.state.lock().expect("pipe lock").reader_gone = true;
-        self.space.notify_all();
-    }
-}
-
-/// The worker-side [`BufRead`] over a [`ChunkPipe`]. Dropping it (the run
-/// finished, successfully or not) unblocks any producer waiting for space.
-struct PipeReader {
-    pipe: Arc<ChunkPipe>,
-    local: Vec<u8>,
-    pos: usize,
-}
-
-impl Drop for PipeReader {
-    fn drop(&mut self) {
-        self.pipe.reader_dropped();
-    }
-}
-
-const PIPE_CHUNK: usize = 64 * 1024;
-
-impl Read for PipeReader {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let avail = self.fill_buf()?;
-        let n = avail.len().min(buf.len());
-        buf[..n].copy_from_slice(&avail[..n]);
-        self.consume(n);
-        Ok(n)
-    }
-}
-
-impl BufRead for PipeReader {
-    fn fill_buf(&mut self) -> io::Result<&[u8]> {
-        if self.pos >= self.local.len() {
-            self.local.clear();
-            self.pos = 0;
-            self.pipe.drain_into(&mut self.local, PIPE_CHUNK);
-        }
-        Ok(&self.local[self.pos..])
-    }
-
-    fn consume(&mut self, amt: usize) {
-        self.pos = (self.pos + amt).min(self.local.len());
-    }
-}
 
 /// What a finished session produced.
 #[derive(Debug)]
@@ -156,43 +51,62 @@ pub struct Finished<S> {
 /// One incremental execution of a [`PreparedQuery`](crate::PreparedQuery).
 ///
 /// Feed chunks as they arrive, then [`finish`](Session::finish) to signal
-/// end of input and collect the [`RunStats`] and the sink. Dropping a
-/// session without finishing aborts it cleanly.
-pub struct Session<S: Sink + Send + 'static> {
-    pipe: Arc<ChunkPipe>,
-    worker: Option<JoinHandle<(Result<RunStats, EngineError>, S)>>,
+/// end of input and collect the [`RunStats`] and the sink. Execution
+/// happens *inside* `feed`, on the caller's thread; a session holds no
+/// thread or other OS resource, so dropping one mid-stream is trivially
+/// clean and thousands can be live at once (see [`SessionSet`]).
+pub struct Session<S: Sink> {
+    reader: Reader<FeedSource>,
+    pump: Pump<S>,
+    /// The first error the run hit; later calls report `SessionAborted`
+    /// and [`Session::finish_parts`] surfaces this cause.
+    error: Option<FluxError>,
 }
 
-impl<S: Sink + Send + 'static> Session<S> {
-    pub(crate) fn spawn(plan: Arc<CompiledQuery>, sink: S) -> Session<S> {
-        let pipe = Arc::new(ChunkPipe::default());
-        let reader = PipeReader { pipe: Arc::clone(&pipe), local: Vec::new(), pos: 0 };
-        let worker = thread::Builder::new()
-            .name("flux-session".into())
-            .spawn(move || plan.run_sink(reader, sink))
-            .expect("spawn session worker");
-        Session { pipe, worker: Some(worker) }
+impl<S: Sink> Session<S> {
+    pub(crate) fn new(plan: Arc<CompiledQuery>, sink: S) -> Session<S> {
+        let reader =
+            Reader::incremental_with_symbols(plan.options().reader, Arc::clone(plan.symbols()));
+        Session { reader, pump: Pump::new(plan, sink), error: None }
     }
 
     /// Push the next chunk of the document. Chunks may split the XML at any
     /// byte boundary, including inside tags and multi-byte characters.
     ///
-    /// Applies back-pressure: when the session's queue (1 MiB) is full,
-    /// `feed` blocks until the engine has consumed enough of it — a fast
-    /// producer cannot make the session hold the whole input in memory.
+    /// The engine runs inline: every event completed by this chunk is
+    /// processed (and its output written) before `feed` returns, so a
+    /// caller is naturally back-pressured by its own sink and the session
+    /// never queues raw input beyond the tail of one unparsed construct.
     ///
-    /// Returns [`FluxError::SessionAborted`] when the worker has already
-    /// stopped (it hit an error on earlier input); call
-    /// [`finish`](Session::finish) to learn the cause.
+    /// Returns [`FluxError::SessionAborted`] when the run has already
+    /// failed on earlier input; call [`finish`](Session::finish) (or
+    /// [`finish_parts`](Session::finish_parts)) to learn the cause.
     pub fn feed(&mut self, chunk: &[u8]) -> Result<(), FluxError> {
-        if self.worker.as_ref().is_some_and(JoinHandle::is_finished) {
+        if self.error.is_some() {
             return Err(FluxError::SessionAborted);
         }
-        self.pipe.push(chunk);
+        self.reader.feed(chunk);
+        if let Err(e) = self.drain_events() {
+            // Surface the cause at finish, like the one-shot run would.
+            self.error = Some(e);
+        }
         Ok(())
     }
 
-    /// Signal end of input and wait for the run to complete.
+    /// Pump every event the fed bytes complete through the machine.
+    fn drain_events(&mut self) -> Result<(), FluxError> {
+        loop {
+            match self.reader.poll_resolved() {
+                Ok(Polled::Event(ev)) => self.pump.feed_event(ev)?,
+                Ok(Polled::NeedMoreData | Polled::End) => return Ok(()),
+                // Parse errors surface exactly as the engine reports them
+                // on the one-shot path.
+                Err(e) => return Err(FluxError::Engine(EngineError::Xml(e))),
+            }
+        }
+    }
+
+    /// Signal end of input and complete the run.
     ///
     /// On failure the sink is dropped with the session; use
     /// [`finish_parts`](Session::finish_parts) to recover it (partial
@@ -203,32 +117,187 @@ impl<S: Sink + Send + 'static> Session<S> {
         Ok(Finished { stats, sink: sink.expect("sink present when the run succeeded") })
     }
 
-    /// Signal end of input, wait for the run, and return the outcome
+    /// Signal end of input, complete the run, and return the outcome
     /// together with the sink — which is handed back on success *and* on
-    /// failure (`None` only if the worker panicked).
+    /// failure.
     pub fn finish_parts(mut self) -> (Result<RunStats, FluxError>, Option<S>) {
-        self.pipe.close();
-        let worker = self.worker.take().expect("worker present until finish/drop");
-        match worker.join() {
-            Ok((res, sink)) => (res.map_err(Into::into), Some(sink)),
-            Err(_) => (Err(FluxError::SessionPanicked), None),
+        let res = match self.error.take() {
+            Some(e) => Err(e),
+            None => {
+                self.reader.close();
+                self.drain_events()
+            }
+        };
+        match res {
+            // A failed run is abandoned, not finished: the recovered sink
+            // holds exactly what a one-shot run wrote before the same
+            // failure — no end-of-input epilogue is appended.
+            Err(e) => (Err(e), Some(self.pump.abort())),
+            Ok(()) => {
+                let (fin, sink) = self.pump.finish();
+                (fin.map_err(Into::into), Some(sink))
+            }
         }
+    }
+
+    /// Bytes this session currently holds: runtime buffers and captures
+    /// (the quantity bounded by
+    /// [`EngineBuilder::max_buffer_bytes`](crate::EngineBuilder::max_buffer_bytes))
+    /// plus the unparsed tail of the fed input.
+    pub fn buffered_bytes(&self) -> usize {
+        self.pump.buffered_bytes() + self.reader.unconsumed_bytes()
+    }
+
+    /// Has this session failed on earlier input? (The cause is reported by
+    /// [`finish_parts`](Session::finish_parts).)
+    pub fn is_aborted(&self) -> bool {
+        self.error.is_some()
     }
 }
 
-impl<S: Sink + Send + 'static> Drop for Session<S> {
-    fn drop(&mut self) {
-        if let Some(worker) = self.worker.take() {
-            // Wake the worker with EOF so it terminates promptly (typically
-            // with an unexpected-EOF error we discard along with the sink).
-            self.pipe.close();
-            let _ = worker.join();
+/// Handle to one session inside a [`SessionSet`].
+///
+/// Ids are generation-checked: using an id after its session finished (and
+/// the slot was reused) panics instead of touching the wrong stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    idx: u32,
+    gen: u32,
+}
+
+/// A single-threaded multiplexer of many live [`Session`]s.
+///
+/// Because sessions execute inline on `feed`, mass concurrency needs no
+/// scheduler: hold the sessions in a set, feed whichever stream has bytes,
+/// finish whichever closed. One thread comfortably drives tens of
+/// thousands of sessions this way (see `examples/session_multiplex.rs` and
+/// the `flux-bench` `concurrency` bin); each session keeps its own sink,
+/// and the set exposes aggregate buffer accounting for admission control.
+///
+/// ```
+/// use flux::prelude::*;
+///
+/// let engine = Engine::builder()
+///     .dtd_str("<!ELEMENT a (#PCDATA)>")
+///     .build().unwrap();
+/// let q = engine.prepare("<r>{ for $x in $ROOT/a return {$x} }</r>").unwrap();
+///
+/// let mut set = SessionSet::new();
+/// let ids: Vec<_> = (0..100).map(|_| set.open(&q, StringSink::new())).collect();
+/// // Interleave: feed all sessions round-robin, byte by byte.
+/// let doc = b"<a>hi</a>";
+/// for i in 0..doc.len() {
+///     for &id in &ids {
+///         set.feed(id, &doc[i..i + 1]).unwrap();
+///     }
+/// }
+/// for id in ids {
+///     let fin = set.finish(id).unwrap();
+///     assert_eq!(fin.sink.as_str(), "<r><a>hi</a></r>");
+/// }
+/// assert!(set.is_empty());
+/// ```
+pub struct SessionSet<S: Sink> {
+    slots: Vec<(u32, Option<Session<S>>)>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<S: Sink> Default for SessionSet<S> {
+    fn default() -> Self {
+        SessionSet::new()
+    }
+}
+
+impl<S: Sink> SessionSet<S> {
+    /// An empty set.
+    pub fn new() -> SessionSet<S> {
+        SessionSet { slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    /// Open a new session for `query`, writing to `sink`.
+    pub fn open(&mut self, query: &PreparedQuery, sink: S) -> SessionId {
+        let session = query.session(sink);
+        self.live += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.1 = Some(session);
+                SessionId { idx, gen: slot.0 }
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("fewer than 2^32 sessions");
+                self.slots.push((0, Some(session)));
+                SessionId { idx, gen: 0 }
+            }
         }
+    }
+
+    fn slot(&mut self, id: SessionId) -> &mut Session<S> {
+        let (gen, session) = &mut self.slots[id.idx as usize];
+        assert_eq!(*gen, id.gen, "stale SessionId: that session already finished");
+        session.as_mut().expect("session present while the generation matches")
+    }
+
+    /// Close a slot, bumping its generation so stale ids are caught.
+    fn take(&mut self, id: SessionId) -> Session<S> {
+        let (gen, session) = &mut self.slots[id.idx as usize];
+        assert_eq!(*gen, id.gen, "stale SessionId: that session already finished");
+        let s = session.take().expect("session present while the generation matches");
+        *gen += 1;
+        self.free.push(id.idx);
+        self.live -= 1;
+        s
+    }
+
+    /// Feed a chunk to one session ([`Session::feed`]).
+    pub fn feed(&mut self, id: SessionId, chunk: &[u8]) -> Result<(), FluxError> {
+        self.slot(id).feed(chunk)
+    }
+
+    /// Finish one session and release its slot ([`Session::finish`]).
+    pub fn finish(&mut self, id: SessionId) -> Result<Finished<S>, FluxError> {
+        self.take(id).finish()
+    }
+
+    /// Finish one session, recovering the sink on failure too
+    /// ([`Session::finish_parts`]).
+    pub fn finish_parts(&mut self, id: SessionId) -> (Result<RunStats, FluxError>, Option<S>) {
+        self.take(id).finish_parts()
+    }
+
+    /// Drop one session mid-stream (its slot is released; no output is
+    /// produced beyond what already streamed to its sink).
+    pub fn abort(&mut self, id: SessionId) {
+        drop(self.take(id));
+    }
+
+    /// Direct access to one live session.
+    pub fn session(&mut self, id: SessionId) -> &mut Session<S> {
+        self.slot(id)
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total bytes held across all live sessions (buffers, captures, and
+    /// unparsed input tails) — the admission-control quantity for a
+    /// multi-tenant service.
+    pub fn buffered_bytes(&self) -> usize {
+        self.slots.iter().filter_map(|(_, s)| s.as_ref()).map(Session::buffered_bytes).sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::Engine;
     use flux_xml::StringSink;
 
@@ -299,27 +368,65 @@ mod tests {
     }
 
     #[test]
-    fn dropped_session_does_not_hang() {
+    fn dropped_session_is_clean() {
+        // No worker, no pipe: dropping mid-stream releases everything.
         let engine = Engine::builder().dtd_str(DTD).build().unwrap();
         let q = engine.prepare(QUERY).unwrap();
         let mut s = q.session_string();
-        s.feed(b"<bib>").unwrap();
-        drop(s); // must join the worker, not deadlock
+        s.feed(b"<bib><book><title>T").unwrap();
+        drop(s);
     }
 
     #[test]
-    fn large_document_flows_through_the_bounded_pipe() {
-        // A document several times the pipe capacity must stream through
-        // without deadlock; back-pressure caps memory, not progress.
+    fn feed_after_error_reports_aborted_and_finish_reports_the_cause() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut s = q.session_string();
+        // An element the schema forbids at this position: the run fails
+        // inline, during this very feed.
+        s.feed(b"<bib><zzz>").unwrap();
+        assert!(s.is_aborted());
+        let err = s.feed(b"<book>").unwrap_err();
+        assert!(matches!(err, FluxError::SessionAborted), "{err}");
+        let (res, sink) = s.finish_parts();
+        let cause = res.unwrap_err();
+        assert!(cause.to_string().contains("zzz"), "{cause}");
+        assert!(sink.is_some(), "sink recovered after feed-after-error");
+    }
+
+    #[test]
+    fn failed_session_sink_matches_the_one_shot_partial() {
+        // A failed run must not append the end-of-input epilogue (post
+        // strings, end-deferred on-first output): the recovered sink has to
+        // be byte-identical to the one-shot run's partial sink.
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let doc = b"<bib><book><title>T</title><author>A</author>\
+                    <publisher>P</publisher><price>1</price></book></bib>junk";
+        let (one_shot_res, one_shot_sink) = q.compiled().run_sink(&doc[..], StringSink::new());
+        assert!(one_shot_res.is_err());
+        let mut s = q.session(StringSink::new());
+        s.feed(doc).unwrap();
+        let (res, sink) = s.finish_parts();
+        assert!(res.is_err());
+        assert_eq!(sink.unwrap().as_str(), one_shot_sink.as_str());
+    }
+
+    #[test]
+    fn large_document_streams_in_constant_memory() {
+        // A multi-megabyte document must flow through without the session
+        // retaining it: the streaming plan buffers nothing, and the reader
+        // keeps only the unparsed tail of the current construct.
         let engine = Engine::builder().dtd_str(DTD).build().unwrap();
         let q = engine.prepare(QUERY).unwrap();
         let book = "<book><title>T</title><author>A</author>\
                     <publisher>P</publisher><price>1</price></book>";
-        let books = (3 * super::PIPE_CAPACITY) / book.len() + 1;
+        let books = (3 << 20) / book.len() + 1;
         let mut s = q.session_string();
         s.feed(b"<bib>").unwrap();
         for _ in 0..books {
             s.feed(book.as_bytes()).unwrap();
+            assert!(s.buffered_bytes() < 128, "retained {}", s.buffered_bytes());
         }
         s.feed(b"</bib>").unwrap();
         let fin = s.finish().unwrap();
@@ -342,5 +449,41 @@ mod tests {
             assert_eq!(fin.sink.as_str(), reference.output);
             assert_eq!(fin.stats.peak_buffer_bytes, 0);
         }
+    }
+
+    #[test]
+    fn session_set_reuses_slots_and_checks_generations() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut set = SessionSet::new();
+        let a = set.open(&q, StringSink::new());
+        set.feed(a, DOC.as_bytes()).unwrap();
+        set.finish(a).unwrap();
+        assert!(set.is_empty());
+        let b = set.open(&q, StringSink::new());
+        assert_eq!(a.idx, b.idx, "slot reused");
+        assert_ne!(a.gen, b.gen, "generation bumped");
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            set.feed(a, b"x").ok();
+        }));
+        assert!(stale.is_err(), "stale id must panic, not cross streams");
+        set.abort(b);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn session_set_accounts_buffers() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut set = SessionSet::new();
+        let a = set.open(&q, StringSink::new());
+        let b = set.open(&q, StringSink::new());
+        // Unfinished tag tails are retained and accounted.
+        set.feed(a, b"<bib><book><title>very long pending text").unwrap();
+        set.feed(b, b"<bib").unwrap();
+        assert!(set.buffered_bytes() > 0);
+        set.abort(a);
+        set.abort(b);
+        assert_eq!(set.buffered_bytes(), 0);
     }
 }
