@@ -1,30 +1,47 @@
-//! Mass-concurrency throughput: many sessions multiplexed on one thread.
+//! Mass-concurrency throughput: many sessions multiplexed per shard, and
+//! cross-core scaling of the sharded [`flux::Runtime`].
 //!
-//! The sans-IO `Session` executes inline — no worker thread, no pipe — so
-//! one thread can drive tens of thousands of concurrent streams. This bin
-//! opens a fleet of sessions over the prepared XMark Q1 pipeline, feeds
-//! them round-robin in small chunks (every session mid-parse while every
-//! other advances), and records the aggregate throughput plus a
-//! `sessions_per_thread` figure into `BENCH_throughput.json` (merged into
-//! the file the `throughput` bin writes, under a `"concurrency"` key).
+//! Two measurements, merged into `BENCH_throughput.json` under the
+//! `"concurrency"` key (shared marker protocol with the `throughput` bin —
+//! the bins can run in either order):
+//!
+//! * **single shard, inline** — the sans-IO `Session` executes inline, so
+//!   one thread drives thousands of concurrent streams through a
+//!   [`flux::Shard`]; records aggregate MB/s and `sessions_per_thread`
+//!   (the historical figure tracked since PR 3);
+//! * **multi-shard scaling** — the same fleet spread over a
+//!   [`flux::Runtime`] at 1, 2, … worker shards (same harness at every
+//!   point, so the ratios are honest): records per-shard-count aggregate
+//!   MB/s in a `"scaling"` array. The PR-4 acceptance bar is ≥ 1.5×
+//!   aggregate MB/s at 4 shards vs 1 shard on the same hardware.
 //!
 //! Honours the shared bench environment knobs (`FLUX_BENCH_SAMPLES`,
-//! `FLUX_BENCH_FAST=1` for the CI smoke run).
+//! `FLUX_BENCH_FAST=1` for the CI smoke run, which shrinks the fleet and
+//! sweeps shards ∈ {1, 2}).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use flux::prelude::*;
 use flux_bench::micro::samples;
+use flux_bench::report::merge_concurrency;
 use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
 use flux_xml::writer::NullSink;
 
 const CHUNK: usize = 4096;
 
+struct Scaling {
+    shards: usize,
+    min_seconds: f64,
+    mb_per_s: f64,
+}
+
 fn main() {
     let fast = std::env::var_os("FLUX_BENCH_FAST").is_some();
     let sessions: usize = if fast { 1_000 } else { 10_000 };
     let doc_size: usize = if fast { 4 << 10 } else { 16 << 10 };
+    let shard_counts: &[usize] = if fast { &[1, 2] } else { &[1, 2, 4] };
 
     let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
     let q1 = PAPER_QUERIES.iter().find(|q| q.name == "Q1").expect("Q1 present");
@@ -33,30 +50,31 @@ fn main() {
     let reference = prepared.run_str(&doc).unwrap();
 
     let n = samples().min(5);
+
+    // ---- single shard, inline on this thread (sessions_per_thread) ----
     let mut best = f64::MAX;
     let mut peak_set_bytes = 0usize;
     for _ in 0..n {
         let t = Instant::now();
-        let mut set = SessionSet::new();
+        let mut shard = Shard::new();
         let ids: Vec<SessionId> =
-            (0..sessions).map(|_| set.open(&prepared, NullSink::default())).collect();
+            (0..sessions).map(|_| shard.open(&prepared, NullSink::default())).collect();
         let bytes = doc.as_bytes();
         let mut off = 0;
         while off < bytes.len() {
             let end = (off + CHUNK).min(bytes.len());
             for &id in &ids {
-                set.feed(id, &bytes[off..end]).unwrap();
+                let _ = shard.feed(id, &bytes[off..end]).unwrap();
             }
             off = end;
         }
-        peak_set_bytes = peak_set_bytes.max(set.buffered_bytes());
+        peak_set_bytes = peak_set_bytes.max(shard.buffered_bytes());
         for id in ids {
-            let fin = set.finish(id).unwrap();
+            let fin = shard.finish(id).unwrap();
             assert_eq!(fin.stats, reference.stats, "multiplexed run must match one-shot");
         }
         best = best.min(t.elapsed().as_secs_f64());
     }
-
     let total_bytes = doc.len() as f64 * sessions as f64;
     let mb_per_s = total_bytes / 1e6 / best;
     let sessions_per_s = sessions as f64 / best;
@@ -70,46 +88,99 @@ fn main() {
         peak_set_bytes,
     );
 
+    // ---- multi-shard scaling over the Runtime ----
+    let chunks: Vec<Arc<[u8]>> = doc.as_bytes().chunks(CHUNK).map(Arc::from).collect();
+    let mut scaling = Vec::new();
+    for &shards in shard_counts {
+        let mut best = f64::MAX;
+        for _ in 0..n {
+            let t = Instant::now();
+            let mut rt: Runtime<NullSink> = Runtime::new(shards);
+            let ids: Vec<RuntimeId> =
+                (0..sessions).map(|_| rt.open(&prepared, NullSink::default())).collect();
+            for chunk in &chunks {
+                for &id in &ids {
+                    rt.feed_shared(id, Arc::clone(chunk));
+                }
+            }
+            for &id in &ids {
+                rt.finish(id);
+            }
+            let mut done = 0usize;
+            while done < sessions {
+                match rt.wait_event().expect("workers alive") {
+                    RuntimeEvent::Finished { result, .. } => {
+                        let stats = result.expect("run succeeds");
+                        assert_eq!(stats, reference.stats, "sharded run must match one-shot");
+                        done += 1;
+                    }
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+            drop(rt);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        let mb = total_bytes / 1e6 / best;
+        println!(
+            "concurrency/{sessions} sessions × {}B on {shards} shard(s)  {mb:>8.1} MB/s \
+             aggregate  (min of {n} samples)",
+            doc.len(),
+        );
+        scaling.push(Scaling { shards, min_seconds: best, mb_per_s: mb });
+    }
+    if let (Some(one), Some(top)) =
+        (scaling.iter().find(|s| s.shards == 1), scaling.iter().max_by_key(|s| s.shards))
+    {
+        if top.shards > 1 {
+            println!(
+                "concurrency/scaling  {}-shard vs 1-shard: {:.2}x",
+                top.shards,
+                top.mb_per_s / one.mb_per_s
+            );
+        }
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-    write_merged(path, sessions, doc.len(), best, mb_per_s, sessions_per_s, n);
+    let section = render_section(sessions, doc.len(), best, mb_per_s, sessions_per_s, n, &scaling);
+    let existing = std::fs::read_to_string(path).ok();
+    std::fs::write(path, merge_concurrency(existing.as_deref(), &section))
+        .expect("write BENCH_throughput.json");
     println!("wrote {path}");
 }
 
-/// Merge the concurrency figures into `BENCH_throughput.json` without
-/// disturbing the `throughput` bin's results (hand-rolled JSON — no serde
-/// in the offline build). Idempotent: a previous `"concurrency"` section
-/// is replaced.
-fn write_merged(
-    path: &str,
+/// The `"concurrency"` section value (hand-rolled JSON — no serde in the
+/// offline build).
+fn render_section(
     sessions: usize,
     doc_bytes: usize,
     min_seconds: f64,
     mb_per_s: f64,
     sessions_per_s: f64,
     samples: usize,
-) {
-    const MARKER: &str = "\n  ,\"concurrency\"";
-    let mut out = match std::fs::read_to_string(path) {
-        Ok(s) => match s.find(MARKER) {
-            Some(i) => s[..i].to_string(),
-            None => {
-                let t = s.trim_end();
-                t.strip_suffix('}').unwrap_or(t).trim_end().to_string()
-            }
-        },
-        // No throughput results yet: a minimal head that still uses the
-        // shared marker format, so either bin can run first and later runs
-        // of both keep merging instead of duplicating keys.
-        Err(_) => "{\n  \"bench\": \"throughput\"".to_string(),
-    };
-    out.push_str("\n  ,");
-    let _ = write!(
-        out,
-        "\"concurrency\": {{\"bin\": \"concurrency\", \"threads\": 1, \
+    scaling: &[Scaling],
+) -> String {
+    // Cross-core ratios are only meaningful up to the host's parallelism:
+    // record it so a 4-shard figure from a 1-core container reads as what
+    // it is.
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let mut out = format!(
+        "{{\"bin\": \"concurrency\", \"threads\": 1, \"host_cpus\": {host_cpus}, \
          \"sessions_per_thread\": {sessions}, \"doc_bytes\": {doc_bytes}, \
          \"chunk_bytes\": {CHUNK}, \"min_seconds\": {min_seconds:.6}, \
          \"aggregate_mb_per_s\": {mb_per_s:.2}, \"sessions_per_s\": {sessions_per_s:.0}, \
-         \"samples\": {samples}}}\n}}\n"
+         \"samples\": {samples}, \"scaling\": ["
     );
-    std::fs::write(path, out).expect("write BENCH_throughput.json");
+    for (i, s) in scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"shards\": {}, \"min_seconds\": {:.6}, \"aggregate_mb_per_s\": {:.2}}}",
+            if i == 0 { "" } else { ", " },
+            s.shards,
+            s.min_seconds,
+            s.mb_per_s,
+        );
+    }
+    out.push_str("]}");
+    out
 }

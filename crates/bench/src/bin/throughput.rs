@@ -5,6 +5,11 @@
 //! measurements to `BENCH_throughput.json` at the repository root, so
 //! successive PRs can compare event-loop speed on identical input.
 //!
+//! Pass `--large` to extend the sweep to a 32 MB document — the paper's
+//! Figure 4 measures up to 100 MB, and the large point keeps the MB/s
+//! trajectory honest on inputs that dwarf every cache. CI keeps the small
+//! smoke sizes.
+//!
 //! Honours the shared bench environment knobs (`FLUX_BENCH_SAMPLES`,
 //! `FLUX_BENCH_FAST=1` for the CI smoke run, which also shrinks the
 //! documents so the binary cannot bit-rot without burning CI minutes).
@@ -14,6 +19,7 @@ use std::time::Instant;
 
 use flux::Engine;
 use flux_bench::micro::samples;
+use flux_bench::report::merge_throughput;
 use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
 use flux_xml::writer::NullSink;
 
@@ -30,7 +36,12 @@ struct Cell {
 
 fn main() {
     let fast = std::env::var_os("FLUX_BENCH_FAST").is_some();
-    let sizes: &[usize] = if fast { &[64 << 10] } else { &[256 << 10, 1 << 20, 4 << 20] };
+    let large = std::env::args().any(|a| a == "--large");
+    let sizes: &[usize] = match (fast, large) {
+        (true, _) => &[64 << 10],
+        (false, false) => &[256 << 10, 1 << 20, 4 << 20],
+        (false, true) => &[256 << 10, 1 << 20, 4 << 20, 32 << 20],
+    };
     // Q1 streams with zero buffers (pure event-loop cost); Q20 exercises the
     // capture/buffer path on the same input.
     let queries: Vec<_> =
@@ -69,24 +80,12 @@ fn main() {
     }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-    let mut json = render_json(&cells);
-    carry_over_concurrency(path, &mut json);
+    // Preserve the `"concurrency"` section the `concurrency` bin merged
+    // into the file, so the two bins can run in either order.
+    let existing = std::fs::read_to_string(path).ok();
+    let json = merge_throughput(existing.as_deref(), &render_json(&cells));
     std::fs::write(path, json).expect("write BENCH_throughput.json");
     println!("wrote {path}");
-}
-
-/// Preserve the `"concurrency"` section the `concurrency` bin merged into
-/// the file, so the two bins can run in either order without clobbering
-/// each other's figures. (The marker format is shared with that bin.)
-fn carry_over_concurrency(path: &str, json: &mut String) {
-    const MARKER: &str = "\n  ,\"concurrency\"";
-    let Ok(old) = std::fs::read_to_string(path) else { return };
-    let Some(i) = old.find(MARKER) else { return };
-    // The section runs to the end of the old file, including the final `}`.
-    let section = old[i..].trim_end();
-    let t = json.trim_end();
-    let t = t.strip_suffix('}').unwrap_or(t).trim_end();
-    *json = format!("{t}{section}\n");
 }
 
 /// Hand-rolled JSON (no serde in the offline build).

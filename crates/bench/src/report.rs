@@ -1,6 +1,53 @@
-//! Rendering measured cells in the layout of the paper's Figure 4.
+//! Rendering measured cells in the layout of the paper's Figure 4, plus
+//! the `BENCH_throughput.json` merge protocol shared by the `throughput`
+//! and `concurrency` binaries.
 
 use crate::harness::EngineRun;
+
+/// The `"concurrency"` section marker inside `BENCH_throughput.json`. The
+/// `throughput` bin owns everything before it; the `concurrency` bin owns
+/// the section — so the two can run in either order, any number of times,
+/// without clobbering each other's figures.
+pub const CONCURRENCY_MARKER: &str = "\n  ,\"concurrency\"";
+
+/// The `throughput`-owned head of the file: everything before the
+/// concurrency section, with the closing brace stripped so a section (or a
+/// fresh `}` terminator) can be appended.
+pub fn throughput_head(json: &str) -> &str {
+    match json.find(CONCURRENCY_MARKER) {
+        Some(i) => &json[..i],
+        None => {
+            let t = json.trim_end();
+            t.strip_suffix('}').unwrap_or(t).trim_end()
+        }
+    }
+}
+
+/// The `concurrency`-owned section (marker through end of file), if any.
+pub fn concurrency_section(json: &str) -> Option<&str> {
+    json.find(CONCURRENCY_MARKER).map(|i| json[i..].trim_end())
+}
+
+/// Merge a freshly rendered `concurrency` section body (the JSON value,
+/// without the marker) into the existing file contents, preserving the
+/// throughput head. `existing` may be `None` (file absent: a minimal head
+/// is synthesized so the `throughput` bin can still merge later).
+pub fn merge_concurrency(existing: Option<&str>, section_value: &str) -> String {
+    let head = match existing {
+        Some(s) => throughput_head(s).to_string(),
+        None => "{\n  \"bench\": \"throughput\"".to_string(),
+    };
+    format!("{head}{CONCURRENCY_MARKER}: {section_value}\n}}\n")
+}
+
+/// Merge freshly rendered throughput JSON (a complete `{…}` document) with
+/// the concurrency section of the existing file contents, if any.
+pub fn merge_throughput(existing: Option<&str>, throughput_json: &str) -> String {
+    match existing.and_then(concurrency_section) {
+        Some(section) => format!("{}{section}\n", throughput_head(throughput_json)),
+        None => throughput_json.to_string(),
+    }
+}
 
 /// One row of the results table: a query at one document size.
 #[derive(Debug, Clone)]
@@ -75,6 +122,35 @@ pub fn format_figure4(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const THROUGHPUT: &str =
+        "{\n  \"bench\": \"throughput\",\n  \"results\": [\n    {\"query\": \"Q1\"}\n  ]\n}\n";
+    const SECTION: &str = "{\"bin\": \"concurrency\", \"sessions_per_thread\": 10}";
+
+    #[test]
+    fn bench_json_merges_in_either_run_order() {
+        // throughput first, then concurrency:
+        let a = merge_concurrency(Some(THROUGHPUT), SECTION);
+        // concurrency first (no file), then throughput:
+        let b = merge_throughput(Some(&merge_concurrency(None, SECTION)), THROUGHPUT);
+        for s in [&a, &b] {
+            assert!(s.contains("\"results\""), "{s}");
+            assert!(s.contains("\"concurrency\""), "{s}");
+            assert!(s.trim_end().ends_with('}'), "{s}");
+        }
+        // Sections survive re-runs of either bin without duplication.
+        let a2 = merge_concurrency(Some(&a), SECTION);
+        assert_eq!(a2.matches(CONCURRENCY_MARKER).count(), 1, "{a2}");
+        let a3 = merge_throughput(Some(&a2), THROUGHPUT);
+        assert_eq!(a3.matches("\"results\"").count(), 1, "{a3}");
+        assert_eq!(a3.matches(CONCURRENCY_MARKER).count(), 1, "{a3}");
+    }
+
+    #[test]
+    fn throughput_rerun_without_section_is_identity() {
+        assert_eq!(merge_throughput(None, THROUGHPUT), THROUGHPUT);
+        assert_eq!(merge_throughput(Some(THROUGHPUT), THROUGHPUT), THROUGHPUT);
+    }
 
     fn run(sec: f64, mem: Option<u64>, aborted: Option<&str>) -> EngineRun {
         EngineRun {

@@ -1,0 +1,184 @@
+//! Pluggable buffer-budget accounting: the seam between one run's byte
+//! counting and a fleet-wide admission controller.
+//!
+//! The paper bounds buffer memory *per query* — the schedule proves how
+//! little one run may hold. A multi-tenant service additionally needs an
+//! *aggregate* bound: N concurrent sessions must not together retain more
+//! than the machine affords, however each one's schedule behaves. The
+//! engine therefore reports every retained-byte delta (recorder growth,
+//! child captures, `Top::Simple` materialization) through a [`BudgetHook`]
+//! when one is installed ([`Pump::with_budget`](crate::Pump::with_budget)),
+//! in addition to the per-run counter behind
+//! [`EngineOptions::max_buffer_bytes`](crate::EngineOptions).
+//!
+//! The hook is *strict*: a charge either fits under the shared budget or is
+//! denied, so the recorded aggregate can never exceed the configured
+//! ceiling. Denial surfaces as
+//! [`EngineError::BudgetDenied`](crate::EngineError) and poisons the run —
+//! it is the hard backstop. Orderly flow control happens one layer up:
+//! a multiplexer consults [`BudgetHook::should_pause`] *between* events and
+//! suspends sessions (backpressure) while headroom is scarce, so the
+//! backstop only fires when a single event outgrows the controller's
+//! reserve. Every granted byte is paired with a release: scope exits and
+//! capture retirements release eagerly, and dropping a run mid-stream
+//! (abort, error, early drop) releases whatever it still held.
+
+use std::sync::Arc;
+
+/// Shared accounting for bytes retained in runtime buffers, across any
+/// number of concurrent runs. Implementations must be thread-safe: pumps on
+/// different worker threads charge the same hook.
+///
+/// The engine guarantees balanced accounting: over a run's lifetime (up to
+/// and including its drop) the sum of granted [`try_grow`] bytes equals the
+/// sum of [`release`] bytes.
+///
+/// [`try_grow`]: BudgetHook::try_grow
+/// [`release`]: BudgetHook::release
+pub trait BudgetHook: Send + Sync {
+    /// One run wants to retain `bytes` more. Return `false` to deny the
+    /// charge (the run fails with
+    /// [`EngineError::BudgetDenied`](crate::EngineError)); on `true` the
+    /// bytes are considered held until released.
+    fn try_grow(&self, bytes: usize) -> bool;
+
+    /// `bytes` previously granted by [`BudgetHook::try_grow`] are no longer
+    /// held.
+    fn release(&self, bytes: usize);
+
+    /// Should runs pause *before their next event* because headroom is
+    /// scarce? Advisory flow control, checked by session layers between
+    /// events (the engine itself never blocks): pausing early keeps
+    /// per-event charges inside the remaining headroom so
+    /// [`BudgetHook::try_grow`] never has to deny. Default: never pause.
+    fn should_pause(&self) -> bool {
+        false
+    }
+}
+
+/// One run's view of the accounting: the per-run limit from
+/// [`EngineOptions`](crate::EngineOptions), the optional shared hook, and
+/// how much this run has charged to the hook so far (released on drop, so
+/// aborted and dropped runs can never leak shared budget).
+pub(crate) struct Budget {
+    limit: Option<usize>,
+    hook: Option<Arc<dyn BudgetHook>>,
+    charged: usize,
+}
+
+impl Budget {
+    pub(crate) fn new(limit: Option<usize>, hook: Option<Arc<dyn BudgetHook>>) -> Budget {
+        Budget { limit, hook, charged: 0 }
+    }
+
+    /// Check `used` against the per-run limit, then charge `grew` to the
+    /// shared hook. Call *after* adding `grew` to the run's counter.
+    pub(crate) fn check(&mut self, used: usize, grew: usize) -> Result<(), crate::EngineError> {
+        if let Some(limit) = self.limit {
+            if used > limit {
+                return Err(crate::EngineError::BufferLimit { used, limit });
+            }
+        }
+        if let Some(hook) = &self.hook {
+            if !hook.try_grow(grew) {
+                return Err(crate::EngineError::BudgetDenied { requested: grew });
+            }
+            self.charged += grew;
+        }
+        Ok(())
+    }
+
+    /// Bytes this run currently has charged to the shared hook (0 without
+    /// one). The admission-gate measure: a run with outstanding charges
+    /// must keep draining, because its progress is what releases them.
+    pub(crate) fn charged(&self) -> usize {
+        self.charged
+    }
+
+    /// Return `bytes` to the shared hook (no-op without one).
+    pub(crate) fn release(&mut self, bytes: usize) {
+        if let Some(hook) = &self.hook {
+            let n = bytes.min(self.charged);
+            if n > 0 {
+                self.charged -= n;
+                hook.release(n);
+            }
+        }
+    }
+}
+
+impl Drop for Budget {
+    fn drop(&mut self) {
+        // Whatever the run still held — a failed run's captures, an aborted
+        // session's buffers, a Top::Simple tree — goes back to the pool.
+        if let Some(hook) = &self.hook {
+            if self.charged > 0 {
+                hook.release(self.charged);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counter {
+        used: AtomicUsize,
+        cap: usize,
+    }
+
+    impl BudgetHook for Counter {
+        fn try_grow(&self, bytes: usize) -> bool {
+            let mut cur = self.used.load(Ordering::Relaxed);
+            loop {
+                if cur + bytes > self.cap {
+                    return false;
+                }
+                match self.used.compare_exchange_weak(
+                    cur,
+                    cur + bytes,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return true,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+        fn release(&self, bytes: usize) {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn drop_releases_outstanding_charges() {
+        let hook = Arc::new(Counter { used: AtomicUsize::new(0), cap: 100 });
+        {
+            let mut b = Budget::new(None, Some(hook.clone()));
+            b.check(30, 30).unwrap();
+            b.check(50, 20).unwrap();
+            assert_eq!(hook.used.load(Ordering::Relaxed), 50);
+            b.release(10);
+            assert_eq!(hook.used.load(Ordering::Relaxed), 40);
+        }
+        assert_eq!(hook.used.load(Ordering::Relaxed), 0, "drop releases the rest");
+    }
+
+    #[test]
+    fn denial_is_reported_and_not_charged() {
+        let hook = Arc::new(Counter { used: AtomicUsize::new(0), cap: 10 });
+        let mut b = Budget::new(None, Some(hook.clone()));
+        assert!(matches!(b.check(11, 11), Err(crate::EngineError::BudgetDenied { requested: 11 })));
+        assert_eq!(hook.used.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn per_run_limit_checked_before_the_hook() {
+        let hook = Arc::new(Counter { used: AtomicUsize::new(0), cap: 1000 });
+        let mut b = Budget::new(Some(8), Some(hook.clone()));
+        assert!(matches!(b.check(9, 9), Err(crate::EngineError::BufferLimit { .. })));
+        assert_eq!(hook.used.load(Ordering::Relaxed), 0, "denied runs charge nothing");
+    }
+}

@@ -20,7 +20,11 @@
 //!
 //! Buffered bytes are charged to the run's memory accounting with the
 //! events-list metric (tag names twice, text once) and released when the
-//! scope instance ends.
+//! scope instance ends. The recorder itself only *reports* deltas (the
+//! return values of [`Recorder::on_start`] / [`Recorder::on_text`]); the
+//! executor routes them through the run's `Budget` — the per-run
+//! `max_buffer_bytes` limit plus the pluggable fleet-wide
+//! [`BudgetHook`](crate::BudgetHook) an admission controller installs.
 
 use flux_xml::{NameId, Node};
 

@@ -50,6 +50,14 @@ pub enum EngineError {
         /// The configured ceiling.
         limit: usize,
     },
+    /// The shared buffer budget ([`crate::BudgetHook`]) denied a charge:
+    /// the aggregate pool is exhausted and a single event needed more than
+    /// the remaining headroom. The hard backstop behind the admission
+    /// layer's backpressure — see [`crate::budget`].
+    BudgetDenied {
+        /// Bytes the run asked to retain.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -65,6 +73,9 @@ impl fmt::Display for EngineError {
             EngineError::Unsupported(m) => write!(f, "unsupported FluX form: {m}"),
             EngineError::BufferLimit { used, limit } => {
                 write!(f, "runtime buffers reached {used} bytes, over the {limit}-byte limit")
+            }
+            EngineError::BudgetDenied { requested } => {
+                write!(f, "shared buffer budget denied a {requested}-byte charge")
             }
         }
     }

@@ -43,6 +43,7 @@ use flux_query::eval::{eval_cond_with, eval_expr, eval_expr_with, wrap_document,
 use flux_query::{Atom, Cond, Expr, ROOT_VAR};
 use flux_xml::{Event, EventBuf, NameId, Node, Reader, ResolvedEvent, Sink, Writer};
 
+use crate::budget::{Budget, BudgetHook};
 use crate::buffer::Recorder;
 use crate::compile::{
     atom_is_join, atom_root_var, CBody, CHandler, CompiledQuery, EngineError, ScopeSpec,
@@ -79,7 +80,7 @@ impl CompiledQuery {
         // The reader resolves each tag name once against the plan's symbol
         // table; everything downstream dispatches on NameIds.
         let mut reader = Reader::with_symbols(input, self.opts.reader, Arc::clone(&self.symbols));
-        let mut st = Machine::new(Writer::new(out), self.opts.max_buffer_bytes);
+        let mut st = Machine::new(Writer::new(out), self.opts.max_buffer_bytes, None);
         let res = (|| {
             while let Some(ev) = reader.next_resolved()? {
                 st.feed_event(self, ev)?;
@@ -127,7 +128,17 @@ pub struct Pump<S: Sink> {
 impl<S: Sink> Pump<S> {
     /// A pump over a shared plan, writing to `sink`.
     pub fn new(plan: Arc<CompiledQuery>, sink: S) -> Pump<S> {
-        let st = Machine::new(Writer::new(sink), plan.opts.max_buffer_bytes);
+        let st = Machine::new(Writer::new(sink), plan.opts.max_buffer_bytes, None);
+        Pump { plan, st }
+    }
+
+    /// A pump whose retained-byte deltas are additionally charged to a
+    /// shared [`BudgetHook`] — the seam an admission controller plugs into
+    /// (see [`crate::budget`]). Charges the hook denies fail the run with
+    /// [`EngineError::BudgetDenied`]; everything charged is released by the
+    /// time the pump is finished, aborted or dropped.
+    pub fn with_budget(plan: Arc<CompiledQuery>, sink: S, hook: Arc<dyn BudgetHook>) -> Pump<S> {
+        let st = Machine::new(Writer::new(sink), plan.opts.max_buffer_bytes, Some(hook));
         Pump { plan, st }
     }
 
@@ -171,6 +182,15 @@ impl<S: Sink> Pump<S> {
     /// multiplexer account memory across many live pumps.
     pub fn buffered_bytes(&self) -> usize {
         self.st.cur_bytes
+    }
+
+    /// Bytes this pump currently has charged to its shared [`BudgetHook`]
+    /// (0 without one). Unlike [`Pump::buffered_bytes`] this includes the
+    /// `Top::Simple` materialization, so it is the admission-gate measure:
+    /// a run with outstanding charges must keep draining — its progress is
+    /// what releases them back to the pool.
+    pub fn budget_charged(&self) -> usize {
+        self.st.budget.charged()
     }
 
     /// Statistics accumulated so far (final values come from
@@ -321,8 +341,10 @@ struct Machine<S: Sink> {
     env_stack: Vec<(usize, usize)>,
     stats: RunStats,
     cur_bytes: usize,
-    /// Abort threshold for `cur_bytes` (`EngineOptions::max_buffer_bytes`).
-    limit: Option<usize>,
+    /// Enforces `EngineOptions::max_buffer_bytes` on `cur_bytes` and
+    /// forwards every retained-byte delta to the shared [`BudgetHook`]
+    /// (when installed) — releasing whatever is still charged on drop.
+    budget: Budget,
     /// The current event: kind, interned id and payload.
     cur_kind: Pulled,
     cur_id: NameId,
@@ -350,20 +372,16 @@ struct Machine<S: Sink> {
     failed: bool,
 }
 
-/// Account freshly buffered bytes and enforce the buffer limit.
+/// Account freshly buffered bytes: peak statistic, per-run limit, and the
+/// shared budget hook (when installed).
 fn charge_to(
     stats: &mut RunStats,
     cur_bytes: &mut usize,
-    limit: Option<usize>,
+    budget: &mut Budget,
     grew: usize,
 ) -> Result<(), EngineError> {
     stats.buffer_grow(cur_bytes, grew);
-    match limit {
-        Some(limit) if *cur_bytes > limit => {
-            Err(EngineError::BufferLimit { used: *cur_bytes, limit })
-        }
-        _ => Ok(()),
-    }
+    budget.check(*cur_bytes, grew)
 }
 
 /// Copy one event into the machine's current-event slots (shared by the
@@ -400,18 +418,19 @@ fn load_current(
 }
 
 /// The `Top::Simple` accounting: the materialized tree's bytes, checked
-/// against the limit as they arrive (an oversized input aborts before it is
-/// ever fully held in memory).
-fn charge_simple(bytes: &mut usize, limit: Option<usize>, grew: usize) -> Result<(), EngineError> {
+/// against the limit (and charged to the shared budget) as they arrive —
+/// an oversized input aborts before it is ever fully held in memory.
+fn charge_simple(bytes: &mut usize, budget: &mut Budget, grew: usize) -> Result<(), EngineError> {
     *bytes += grew;
-    match limit {
-        Some(l) if *bytes > l => Err(EngineError::BufferLimit { used: *bytes, limit: l }),
-        _ => Ok(()),
-    }
+    budget.check(*bytes, grew)
 }
 
 impl<S: Sink> Machine<S> {
-    fn new(writer: Writer<S>, limit: Option<usize>) -> Machine<S> {
+    fn new(
+        writer: Writer<S>,
+        limit: Option<usize>,
+        hook: Option<Arc<dyn BudgetHook>>,
+    ) -> Machine<S> {
         Machine {
             writer,
             mode: Mode::Scoped,
@@ -422,7 +441,7 @@ impl<S: Sink> Machine<S> {
             env_stack: Vec::new(),
             stats: RunStats::default(),
             cur_bytes: 0,
-            limit,
+            budget: Budget::new(limit, hook),
             cur_kind: Pulled::Text,
             cur_id: NameId::UNKNOWN,
             cur_name: String::new(),
@@ -445,7 +464,7 @@ impl<S: Sink> Machine<S> {
     }
 
     fn charge(&mut self, grew: usize) -> Result<(), EngineError> {
-        charge_to(&mut self.stats, &mut self.cur_bytes, self.limit, grew)
+        charge_to(&mut self.stats, &mut self.cur_bytes, &mut self.budget, grew)
     }
 
     /// Lazy start: write the top pre string and enter the document scope
@@ -456,8 +475,11 @@ impl<S: Sink> Machine<S> {
             Top::Simple(_) => {
                 // The synthetic document node is buffered too (as in the
                 // seed's accounting, which measured the wrapped tree).
-                self.mode =
-                    Mode::Simple { stack: Vec::new(), root: None, bytes: 2 * DOC_ELEM.len() };
+                self.mode = Mode::Simple { stack: Vec::new(), root: None, bytes: 0 };
+                let Mode::Simple { bytes, .. } = &mut self.mode else {
+                    unreachable!("just assigned")
+                };
+                charge_simple(bytes, &mut self.budget, 2 * DOC_ELEM.len())?;
             }
             Top::Scope { pre, idx, .. } => {
                 if let Some(s) = pre {
@@ -512,7 +534,7 @@ impl<S: Sink> Machine<S> {
         if !self.observers.is_empty() {
             let grew = dispatch(plan, &mut self.observers, 0, ev);
             if grew > 0 {
-                charge_to(&mut self.stats, &mut self.cur_bytes, self.limit, grew)?;
+                charge_to(&mut self.stats, &mut self.cur_bytes, &mut self.budget, grew)?;
             }
         }
         self.cur_base = 0;
@@ -580,7 +602,7 @@ impl<S: Sink> Machine<S> {
             cur_base,
             stats,
             cur_bytes,
-            limit,
+            budget,
             ..
         } = self;
         let ev = captures[cap_idx].buf.get(pos).expect("replay position in range");
@@ -588,7 +610,7 @@ impl<S: Sink> Machine<S> {
         *cur_base = base;
         load_current(ev, cur_kind, cur_id, cur_name, cur_text, cur_text_ws);
         if grew > 0 {
-            charge_to(stats, cur_bytes, *limit, grew)?;
+            charge_to(stats, cur_bytes, budget, grew)?;
         }
         Ok(())
     }
@@ -952,6 +974,7 @@ impl<S: Sink> Machine<S> {
         let cap = self.captures.pop().expect("fire frame owns the top capture");
         if cap.bytes > 0 {
             RunStats::buffer_shrink(&mut self.cur_bytes, cap.bytes);
+            self.budget.release(cap.bytes);
         }
         self.evbuf_pool.push(cap.buf);
         self.on_frame_pop(plan)
@@ -1084,6 +1107,7 @@ impl<S: Sink> Machine<S> {
             let o = self.observers.pop().expect("observer pushed at scope entry");
             if let Some(rec) = o.rec {
                 RunStats::buffer_shrink(&mut self.cur_bytes, rec.bytes());
+                self.budget.release(rec.bytes());
             }
             self.flag_pool.push(o.flags);
         }
@@ -1239,19 +1263,19 @@ impl<S: Sink> Machine<S> {
 
     /// `Top::Simple`: materialize one event into the document tree.
     fn simple_event(&mut self, ev: ResolvedEvent<'_>) -> Result<(), EngineError> {
-        let limit = self.limit;
-        let Mode::Simple { stack, root, bytes } = &mut self.mode else {
+        let Machine { mode, budget, .. } = self;
+        let Mode::Simple { stack, root, bytes } = mode else {
             unreachable!("simple_event in simple mode")
         };
         match ev {
             ResolvedEvent::Start(_, n) => {
                 stack.push(Node::new(n));
-                charge_simple(bytes, limit, 2 * n.len())?;
+                charge_simple(bytes, budget, 2 * n.len())?;
             }
             ResolvedEvent::Text(t) => {
                 if let Some(top) = stack.last_mut() {
                     top.push_text(t);
-                    charge_simple(bytes, limit, t.len())?;
+                    charge_simple(bytes, budget, t.len())?;
                 }
             }
             ResolvedEvent::End(..) => {

@@ -4,6 +4,9 @@
 //!
 //! * [`bufplan`] — buffer paths Π, prefix trees, marking and pruning
 //!   (Figure 3): decides statically which slivers of the input are buffered.
+//! * [`budget`] — pluggable accounting ([`BudgetHook`]) so a fleet of
+//!   concurrent runs can share one aggregate byte budget on top of the
+//!   per-run [`EngineOptions::max_buffer_bytes`] limit.
 //! * [`flags`] — on-the-fly Boolean accumulators for constant comparisons
 //!   and `exists` conditions ("only a Boolean flag is required", §5).
 //! * [`buffer`] — runtime buffers; nodes are attached eagerly so partially
@@ -57,6 +60,7 @@
 //! }
 //! ```
 
+pub mod budget;
 pub mod buffer;
 pub mod bufplan;
 pub mod compile;
@@ -64,6 +68,7 @@ pub mod exec;
 pub mod flags;
 pub mod stats;
 
+pub use budget::BudgetHook;
 pub use compile::{CompiledQuery, EngineError, EngineOptions};
 pub use exec::{Pump, RunOutcome};
 pub use stats::RunStats;

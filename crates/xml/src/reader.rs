@@ -983,6 +983,13 @@ pub struct FeedSource {
     closed: bool,
     /// A read touched the end of the fed bytes while the source was open.
     hit_end: bool,
+    /// Text-scan position hint: `buf[pos..lt_scanned]` is known to contain
+    /// no `<`. A text run fed in many tiny chunks is scanned once per
+    /// *byte*, not once per *poll* — without the hint every poll re-scans
+    /// the run from its start, worst-case O(n²) on pathological
+    /// fragmentation. Maintained by [`Reader::poll_resolved`]; may lag
+    /// behind `pos` (then it is simply ignored).
+    lt_scanned: usize,
 }
 
 impl FeedSource {
@@ -991,6 +998,7 @@ impl FeedSource {
         // retains only the unparsed tail, not the whole document so far.
         if self.pos > 0 {
             self.buf.drain(..self.pos);
+            self.lt_scanned = self.lt_scanned.saturating_sub(self.pos);
             self.pos = 0;
         }
         self.buf.extend_from_slice(bytes);
@@ -1101,6 +1109,26 @@ impl Reader<FeedSource> {
             // checkpoint: its bytes are delivered and must never re-parse.
             self.src.consume(self.defer_consume);
             self.defer_consume = 0;
+        }
+        // Text-scan fast exit: at a quiescent point outside a tag, no event
+        // can complete before the next `<` arrives (a text run only ends at
+        // `<` or at close). Scan just the bytes the hint has not covered —
+        // the parse attempt below would otherwise re-scan (and the general
+        // path re-copy) the whole pending run on every poll, O(n²) when a
+        // long run is fed in tiny chunks.
+        if !self.in_tag
+            && !self.finished
+            && !self.src.closed
+            && self.pending_pos >= self.pending.len()
+        {
+            let from = self.src.pos.max(self.src.lt_scanned);
+            match find_byte(b'<', &self.src.buf[from..]) {
+                Some(i) => self.src.lt_scanned = from + i,
+                None => {
+                    self.src.lt_scanned = self.src.buf.len();
+                    return Ok(Polled::NeedMoreData);
+                }
+            }
         }
         let cp = self.checkpoint();
         self.src.hit_end = false;
@@ -1609,6 +1637,48 @@ mod tests {
         r.close();
         let err = r.poll_resolved().unwrap_err();
         assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn fragmented_text_is_not_rescanned_quadratically() {
+        // A long text run fed in many tiny chunks: the scan-position hint
+        // must cover the whole fed window after every poll, so the next
+        // poll scans only the bytes it has not seen — without the hint each
+        // poll re-scans (and re-copies) the run from its start, O(n²).
+        let mut r = Reader::incremental(ReaderOptions::default());
+        r.feed(b"<a>");
+        assert!(matches!(r.poll_resolved().unwrap(), Polled::Event(ResolvedEvent::Start(..))));
+        assert_eq!(r.poll_resolved().unwrap(), Polled::NeedMoreData);
+        let chunk = [b'x'; 64];
+        let chunks = 512usize;
+        for _ in 0..chunks {
+            r.feed(&chunk);
+            assert_eq!(r.poll_resolved().unwrap(), Polled::NeedMoreData);
+            assert_eq!(r.src.lt_scanned, r.src.buf.len(), "hint covers the fed window");
+        }
+        r.feed(b"</a>");
+        match r.poll_resolved().unwrap() {
+            Polled::Event(ResolvedEvent::Text(t)) => {
+                assert_eq!(t.len(), chunks * chunk.len());
+                assert!(t.bytes().all(|b| b == b'x'));
+            }
+            other => panic!("expected the completed text run, got {other:?}"),
+        }
+        assert!(matches!(r.poll_resolved().unwrap(), Polled::Event(ResolvedEvent::End(..))));
+        r.close();
+        assert_eq!(r.poll_resolved().unwrap(), Polled::End);
+    }
+
+    #[test]
+    fn scan_hint_survives_interleaved_tags_and_rollbacks() {
+        // The hint is a pure memo over buffer content: tags completing,
+        // checkpoint rollbacks and buffer reclaims in between must never
+        // make it skip a `<` or corrupt an event. Byte-at-a-time feeding of
+        // a tag-and-text mix exercises every interleaving.
+        let doc = "<a>alpha<b>beta</b>gamma &amp; delta<c/>  tail</a>";
+        let reference = Reader::from_str(doc).read_to_end().unwrap();
+        let bytes: Vec<&[u8]> = doc.as_bytes().chunks(1).collect();
+        assert_eq!(poll_all(doc, &bytes).unwrap(), reference);
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn main() {
     let reference = q.run_str(&docs[0]).unwrap();
 
     let t = Instant::now();
-    let mut set = SessionSet::new();
+    let mut set = Shard::new();
     let ids: Vec<SessionId> = (0..SESSIONS).map(|_| set.open(&q, StringSink::new())).collect();
     println!("opened {} sessions on one thread (no worker threads, no pipes)", set.len());
 
@@ -54,7 +54,7 @@ fn main() {
         for (i, &id) in ids.iter().enumerate() {
             let bytes = docs[i].as_bytes();
             if off < bytes.len() {
-                set.feed(id, &bytes[off..(off + 16).min(bytes.len())]).unwrap();
+                let _ = set.feed(id, &bytes[off..(off + 16).min(bytes.len())]).unwrap();
             }
         }
         off += 16;

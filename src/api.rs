@@ -19,12 +19,12 @@ use std::sync::Arc;
 
 use flux_core::{parse_flux, rewrite_query_with, FluxExpr, RewriteOptions};
 use flux_dtd::Dtd;
-use flux_engine::{CompiledQuery, EngineOptions, RunOutcome, RunStats};
+use flux_engine::{BudgetHook, CompiledQuery, EngineOptions, RunOutcome, RunStats};
 use flux_query::{parse_xquery, Expr};
 use flux_xml::{AttributeMode, Sink, StringSink};
 
 use crate::error::FluxError;
-use crate::session::Session;
+use crate::runtime::Session;
 
 /// A configured query engine for one schema. See the [module docs](self).
 #[derive(Debug, Clone)]
@@ -201,9 +201,21 @@ impl PreparedQuery {
     /// `sink` as soon as the schedule allows. The session executes inline
     /// on the caller's thread — no worker thread is spawned — so any number
     /// of sessions can be multiplexed from one thread (see
-    /// [`SessionSet`](crate::SessionSet)).
+    /// [`Shard`](crate::Shard)) or spread across cores
+    /// ([`Runtime`](crate::Runtime)).
     pub fn session<S: Sink>(&self, sink: S) -> Session<S> {
         Session::new(Arc::clone(&self.compiled), sink)
+    }
+
+    /// A push session whose retained buffer bytes charge a shared budget —
+    /// usually an [`AdmissionController`](crate::AdmissionController)'s
+    /// [`hook`](crate::AdmissionController::hook), shared with every other
+    /// session of the service. While the budget runs tight
+    /// [`Session::feed_outcome`] reports
+    /// [`FeedOutcome::Backpressure`](crate::FeedOutcome) and the session
+    /// resumes once the pool frees (see [`crate::runtime`]).
+    pub fn session_with_budget<S: Sink>(&self, sink: S, budget: Arc<dyn BudgetHook>) -> Session<S> {
+        Session::with_budget(Arc::clone(&self.compiled), sink, Some(budget))
     }
 
     /// A push session capturing its output in memory.

@@ -43,11 +43,14 @@ pub enum FluxError {
     Config(String),
     /// `Session::feed` after the session already failed on earlier input;
     /// call `Session::finish` for the underlying error.
+    ///
+    /// Note that a feed the shared buffer budget cannot execute yet is
+    /// *not* an error: it reports
+    /// [`FeedOutcome::Backpressure`](crate::FeedOutcome) and resumes later
+    /// (only the engine-level backstop
+    /// [`EngineError::BudgetDenied`](flux_engine::EngineError) fails a
+    /// run, surfacing here as [`FluxError::Engine`]).
     SessionAborted,
-    /// Historical variant from the worker-thread `Session` (pre-0.3):
-    /// sessions now execute inline and cannot lose a run to a worker
-    /// panic. Kept so exhaustive matches keep compiling; never produced.
-    SessionPanicked,
 }
 
 impl fmt::Display for FluxError {
@@ -66,7 +69,6 @@ impl fmt::Display for FluxError {
             FluxError::SessionAborted => {
                 write!(f, "session already stopped; finish() reports the cause")
             }
-            FluxError::SessionPanicked => write!(f, "session worker panicked"),
         }
     }
 }

@@ -91,9 +91,13 @@
 //! connection, optionally bounding per-run memory with
 //! [`EngineBuilder::max_buffer_bytes`]. Sessions execute *inline* on the
 //! caller's thread — the engine core is a sans-IO resumable state machine
-//! (see [`engine::Pump`]), so a session is a plain value, not a thread —
-//! and a [`SessionSet`] multiplexes thousands of live streams from one
-//! thread:
+//! (see [`engine::Pump`]), so a session is a plain value, not a thread.
+//! The [`runtime`] module stacks the service layers on top: a [`Shard`]
+//! multiplexes thousands of live streams from one thread, a [`Runtime`]
+//! spreads N shards over N worker threads with least-loaded placement, and
+//! an [`AdmissionController`] bounds the *aggregate* buffer bytes across
+//! every session — feeds past the shared budget report
+//! [`FeedOutcome::Backpressure`] and resume when buffers release:
 //!
 //! ```
 //! use flux::prelude::*;
@@ -111,16 +115,33 @@
 //! # let doc1 = "<bib><book><title>T</title><author>A</author>\
 //! #             <publisher>P</publisher><price>1</price></book></bib>";
 //! // One thread, many concurrent streams, interleaved arbitrarily.
-//! let mut set = SessionSet::new();
-//! let ids: Vec<_> = (0..64).map(|_| set.open(&q, StringSink::new())).collect();
+//! let mut shard = Shard::new();
+//! let ids: Vec<_> = (0..64).map(|_| shard.open(&q, StringSink::new())).collect();
 //! for chunk in doc1.as_bytes().chunks(7) {
 //!     for &id in &ids {
-//!         set.feed(id, chunk).unwrap();   // runs the engine inline
+//!         let _ = shard.feed(id, chunk).unwrap();   // runs the engine inline
 //!     }
 //! }
 //! for id in ids {
-//!     assert_eq!(set.finish(id).unwrap().sink.as_str(),
+//!     assert_eq!(shard.finish(id).unwrap().sink.as_str(),
 //!                q.run_str(doc1).unwrap().output);
+//! }
+//!
+//! // N worker threads behind one poll-shaped handle.
+//! let mut rt = Runtime::new(2);
+//! let ids: Vec<_> = (0..16).map(|_| rt.open(&q, StringSink::new())).collect();
+//! let chunk: std::sync::Arc<[u8]> = doc1.as_bytes().into();
+//! for &id in &ids {
+//!     rt.feed_shared(id, chunk.clone());  // one copy, fanned out
+//!     rt.finish(id);
+//! }
+//! let mut done = 0;
+//! while done < ids.len() {
+//!     if let Some(RuntimeEvent::Finished { result, sink, .. }) = rt.wait_event() {
+//!         result.unwrap();
+//!         assert_eq!(sink.unwrap().as_str(), q.run_str(doc1).unwrap().output);
+//!         done += 1;
+//!     }
 //! }
 //! ```
 
@@ -134,21 +155,27 @@ pub use flux_xml as xml;
 
 mod api;
 mod error;
-mod session;
+pub mod runtime;
 
 pub use api::{Engine, EngineBuilder, PreparedQuery};
 pub use error::FluxError;
-pub use session::{Finished, Session, SessionId, SessionSet};
+pub use runtime::{
+    AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
+    SessionId, Shard,
+};
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::api::{Engine, EngineBuilder, PreparedQuery};
     pub use crate::error::FluxError;
-    pub use crate::session::{Finished, Session, SessionId, SessionSet};
+    pub use crate::runtime::{
+        AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
+        SessionId, Shard,
+    };
     pub use flux_baseline::{DomEngine, PreparedDomQuery, ProjectionMode};
     pub use flux_core::{rewrite_query, FluxExpr, Handler};
     pub use flux_dtd::Dtd;
-    pub use flux_engine::{Pump, RunOutcome, RunStats};
+    pub use flux_engine::{BudgetHook, Pump, RunOutcome, RunStats};
     pub use flux_query::{parse_xquery, Expr};
     pub use flux_xml::{Node, Reader, Sink, StringSink};
 }

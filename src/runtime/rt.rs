@@ -1,0 +1,596 @@
+//! The multi-core runtime: N [`Shard`](crate::Shard)-style workers on N
+//! threads behind one poll-shaped handle.
+//!
+//! A [`Runtime`] owns its worker threads; each worker single-threadedly
+//! multiplexes the sessions placed on it, exactly like a
+//! [`Shard`](crate::Shard) does, and all workers optionally share one
+//! [`AdmissionController`](crate::AdmissionController). The handle is
+//! *poll-shaped* by design: commands ([`Runtime::open`], [`Runtime::feed`],
+//! [`Runtime::finish`], [`Runtime::abort`]) enqueue onto the owning
+//! worker's mailbox and return immediately; results flow back as
+//! [`RuntimeEvent`]s drained with [`Runtime::poll_events`] (non-blocking)
+//! or [`Runtime::wait_event`] (blocking). Nothing in the contract assumes
+//! a blocked caller, so an async front-end (a tokio feature gate mapping
+//! mailboxes onto tasks and events onto wakers) can drop in behind the
+//! same surface without touching the layers below — that is the planned
+//! next step in `ROADMAP.md`.
+//!
+//! Placement is least-loaded: a new session goes to the worker with the
+//! fewest live sessions. Ids are global and generation-checked
+//! ([`RuntimeId`]), so a stale id panics instead of touching a stranger's
+//! stream. [`Runtime::drain`] is the graceful shutdown: every queued
+//! command is processed, workers join, and the remaining events are handed
+//! back (sessions still open at that point are aborted, returning whatever
+//! they charged to the admission budget).
+//!
+//! Workers retry sessions paused on the shared budget whenever their
+//! mailbox goes quiet, so cross-worker releases (a session finishing on
+//! another core) un-stall a paused session without any caller involvement;
+//! the [`RuntimeEvent::Stalled`] / [`RuntimeEvent::Resumed`] notifications
+//! exist for observability and source-side flow control.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use flux_engine::RunStats;
+use flux_xml::Sink;
+
+use crate::api::PreparedQuery;
+use crate::error::FluxError;
+use crate::runtime::{AdmissionController, FeedOutcome, Session};
+
+/// Global handle to one session inside a [`Runtime`]. Generation-checked:
+/// using an id after its session finished (and the slot was reused) panics
+/// instead of touching the wrong stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RuntimeId {
+    slot: u32,
+    gen: u32,
+}
+
+/// Completion and flow-control notifications from the workers, drained via
+/// [`Runtime::poll_events`] / [`Runtime::wait_event`].
+#[derive(Debug)]
+pub enum RuntimeEvent<S> {
+    /// A [`Runtime::finish`] completed ([`Session::finish_parts`]
+    /// semantics: the sink comes back on success *and* on failure).
+    Finished {
+        /// Which session.
+        id: RuntimeId,
+        /// The run outcome.
+        result: Result<RunStats, FluxError>,
+        /// The session's sink with everything written so far.
+        sink: Option<S>,
+    },
+    /// A [`Runtime::abort`] completed; the slot is free again.
+    Aborted {
+        /// Which session.
+        id: RuntimeId,
+    },
+    /// The session paused on the shared budget
+    /// ([`FeedOutcome::Backpressure`]); its worker retries automatically —
+    /// the caller should stop feeding it until [`RuntimeEvent::Resumed`].
+    Stalled {
+        /// Which session.
+        id: RuntimeId,
+    },
+    /// A previously stalled session is executing again.
+    Resumed {
+        /// Which session.
+        id: RuntimeId,
+    },
+}
+
+/// Mailbox commands, one queue per worker. The session travels boxed so
+/// the hot `Feed` variant stays a couple of words wide on the channel.
+enum Cmd<S: Sink> {
+    Open { slot: u32, gen: u32, session: Box<Session<S>> },
+    Feed { slot: u32, chunk: Arc<[u8]> },
+    Resume { slot: u32 },
+    Finish { slot: u32 },
+    Abort { slot: u32 },
+    Shutdown,
+}
+
+struct WorkerHandle<S: Sink> {
+    tx: Sender<Cmd<S>>,
+    /// Live sessions on this worker (for least-loaded placement; the
+    /// worker decrements on finish/abort).
+    live: Arc<AtomicUsize>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Slot table entry: who owns the session and which id generation is
+/// current.
+struct Slot {
+    gen: u32,
+    worker: u16,
+    open: bool,
+}
+
+/// N single-threaded session multiplexers on N worker threads — see the
+/// [module docs](self).
+pub struct Runtime<S: Sink + Send + 'static> {
+    workers: Vec<WorkerHandle<S>>,
+    events: Receiver<RuntimeEvent<S>>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    admission: Option<AdmissionController>,
+    live: usize,
+}
+
+impl<S: Sink + Send + 'static> Runtime<S> {
+    /// A runtime with `shards` worker threads and no shared budget.
+    pub fn new(shards: usize) -> Runtime<S> {
+        Runtime::build(shards, None)
+    }
+
+    /// A runtime with `shards` worker threads whose sessions all charge
+    /// the given [`AdmissionController`].
+    pub fn with_admission(shards: usize, admission: AdmissionController) -> Runtime<S> {
+        Runtime::build(shards, Some(admission))
+    }
+
+    fn build(shards: usize, admission: Option<AdmissionController>) -> Runtime<S> {
+        assert!(shards > 0, "a Runtime needs at least one shard");
+        let (events_tx, events) = channel();
+        let workers = (0..shards)
+            .map(|i| {
+                let (tx, rx) = channel();
+                let live = Arc::new(AtomicUsize::new(0));
+                let worker_live = Arc::clone(&live);
+                let worker_events = events_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("flux-shard-{i}"))
+                    .spawn(move || worker_loop(rx, worker_events, worker_live))
+                    .expect("spawn shard worker");
+                WorkerHandle { tx, live, handle: Some(handle) }
+            })
+            .collect();
+        Runtime { workers, events, slots: Vec::new(), free: Vec::new(), admission, live: 0 }
+    }
+
+    /// Number of worker threads.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Sessions opened and not yet drained as
+    /// [`RuntimeEvent::Finished`]/[`RuntimeEvent::Aborted`].
+    pub fn live_sessions(&self) -> usize {
+        self.live
+    }
+
+    /// Live sessions per worker (placement snapshot, for observability).
+    pub fn session_counts(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.live.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Open a session on the least-loaded worker.
+    pub fn open(&mut self, query: &PreparedQuery, sink: S) -> RuntimeId {
+        let worker = self
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.live.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        let session = match &self.admission {
+            Some(ctrl) => query.session_with_budget(sink, ctrl.hook()),
+            None => query.session(sink),
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.worker = worker as u16;
+                s.open = true;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("fewer than 2^32 sessions");
+                self.slots.push(Slot { gen: 0, worker: worker as u16, open: true });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.workers[worker].live.fetch_add(1, Ordering::Relaxed);
+        self.live += 1;
+        self.send(worker, Cmd::Open { slot, gen, session: Box::new(session) });
+        RuntimeId { slot, gen }
+    }
+
+    /// Enqueue a chunk for one session (copied once into a shared buffer;
+    /// use [`Runtime::feed_shared`] to fan the same bytes out to many
+    /// sessions without re-copying).
+    pub fn feed(&mut self, id: RuntimeId, chunk: &[u8]) {
+        self.feed_shared(id, Arc::from(chunk));
+    }
+
+    /// Enqueue an already-shared chunk for one session.
+    pub fn feed_shared(&mut self, id: RuntimeId, chunk: Arc<[u8]>) {
+        let worker = self.check(id);
+        self.send(worker, Cmd::Feed { slot: id.slot, chunk });
+    }
+
+    /// Ask a stalled session's worker to retry it now (workers also retry
+    /// on their own whenever their mailbox goes quiet).
+    pub fn resume(&mut self, id: RuntimeId) {
+        let worker = self.check(id);
+        self.send(worker, Cmd::Resume { slot: id.slot });
+    }
+
+    /// Enqueue end-of-input for one session; the result arrives as
+    /// [`RuntimeEvent::Finished`]. The id is dead from here on.
+    pub fn finish(&mut self, id: RuntimeId) {
+        let worker = self.check(id);
+        self.slots[id.slot as usize].open = false;
+        self.send(worker, Cmd::Finish { slot: id.slot });
+    }
+
+    /// Enqueue a mid-stream abort; confirmed by [`RuntimeEvent::Aborted`].
+    /// The id is dead from here on.
+    pub fn abort(&mut self, id: RuntimeId) {
+        let worker = self.check(id);
+        self.slots[id.slot as usize].open = false;
+        self.send(worker, Cmd::Abort { slot: id.slot });
+    }
+
+    /// Drain every event the workers have produced so far (non-blocking).
+    pub fn poll_events(&mut self) -> Vec<RuntimeEvent<S>> {
+        let evs: Vec<_> = self.events.try_iter().collect();
+        for ev in &evs {
+            self.retire(ev);
+        }
+        evs
+    }
+
+    /// Block for the next event. Returns `None` only when every worker has
+    /// exited (after [`Runtime::drain`] started the shutdown).
+    pub fn wait_event(&mut self) -> Option<RuntimeEvent<S>> {
+        let ev = self.events.recv().ok()?;
+        self.retire(&ev);
+        Some(ev)
+    }
+
+    /// Graceful shutdown: process every queued command, join the workers,
+    /// and hand back the events not yet drained. Sessions never finished or
+    /// aborted are dropped with their worker (their budget charges are
+    /// released; no event is emitted for them).
+    pub fn drain(mut self) -> Vec<RuntimeEvent<S>> {
+        self.shutdown();
+        let mut evs = Vec::new();
+        while let Ok(ev) = self.events.recv() {
+            self.retire(&ev);
+            evs.push(ev);
+        }
+        evs
+    }
+
+    /// Send shutdown to all workers and join them (idempotent).
+    fn shutdown(&mut self) {
+        for w in &mut self.workers {
+            let _ = w.tx.send(Cmd::Shutdown); // queued behind all prior work
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                h.join().expect("shard worker panicked");
+            }
+        }
+    }
+
+    /// Free the slot behind a completed session's event.
+    fn retire(&mut self, ev: &RuntimeEvent<S>) {
+        let id = match ev {
+            RuntimeEvent::Finished { id, .. } | RuntimeEvent::Aborted { id } => *id,
+            RuntimeEvent::Stalled { .. } | RuntimeEvent::Resumed { .. } => return,
+        };
+        let s = &mut self.slots[id.slot as usize];
+        debug_assert_eq!(s.gen, id.gen, "events retire in id order");
+        s.gen += 1;
+        self.free.push(id.slot);
+        self.live -= 1;
+    }
+
+    fn send(&self, worker: usize, cmd: Cmd<S>) {
+        self.workers[worker].tx.send(cmd).expect("shard worker alive while the runtime is");
+    }
+
+    /// Generation check; returns the owning worker.
+    fn check(&self, id: RuntimeId) -> usize {
+        let s = &self.slots[id.slot as usize];
+        assert!(
+            s.open && s.gen == id.gen,
+            "stale RuntimeId: that session already finished or aborted"
+        );
+        s.worker as usize
+    }
+}
+
+impl<S: Sink + Send + 'static> Drop for Runtime<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How long a worker with stalled sessions waits for mail before retrying
+/// them. Cross-worker budget releases have no direct wakeup channel (yet —
+/// the async seam will carry one), so this bounds the resume latency.
+const STALLED_RETRY: Duration = Duration::from_micros(200);
+
+struct Entry<S: Sink> {
+    gen: u32,
+    session: Session<S>,
+    /// Chunks refused by the admission gate, waiting to be re-fed in
+    /// order. Non-empty ⇔ the session is stalled.
+    pending: std::collections::VecDeque<Arc<[u8]>>,
+}
+
+/// One worker thread: a mailbox-driven session multiplexer. (The admission
+/// gate lives inside each `Session`; workers only see its `FeedOutcome`.)
+fn worker_loop<S: Sink + Send + 'static>(
+    rx: Receiver<Cmd<S>>,
+    events: Sender<RuntimeEvent<S>>,
+    live: Arc<AtomicUsize>,
+) {
+    let mut sessions: HashMap<u32, Entry<S>> = HashMap::new();
+    let mut stalled: Vec<u32> = Vec::new();
+    loop {
+        let cmd = if stalled.is_empty() {
+            match rx.recv() {
+                Ok(c) => Some(c),
+                Err(_) => return, // runtime dropped without Shutdown
+            }
+        } else {
+            match rx.recv_timeout(STALLED_RETRY) {
+                Ok(c) => Some(c),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        match cmd {
+            Some(Cmd::Open { slot, gen, session }) => {
+                let prev = sessions
+                    .insert(slot, Entry { gen, session: *session, pending: Default::default() });
+                debug_assert!(prev.is_none(), "slot reused before retirement");
+            }
+            Some(Cmd::Feed { slot, chunk }) => {
+                let e = sessions.get_mut(&slot).expect("feed addresses a live session");
+                if e.pending.is_empty() {
+                    match e.session.feed_outcome(&chunk) {
+                        Ok(FeedOutcome::Accepted) => {}
+                        Ok(FeedOutcome::Backpressure) => {
+                            // First refusal: queue the chunk and tell the
+                            // source to ease off.
+                            e.pending.push_back(chunk);
+                            stalled.push(slot);
+                            let id = RuntimeId { slot, gen: e.gen };
+                            let _ = events.send(RuntimeEvent::Stalled { id });
+                        }
+                        // Failed earlier; the cause surfaces at finish.
+                        Err(_) => {}
+                    }
+                } else {
+                    // Keep byte order: behind the already-refused chunks.
+                    e.pending.push_back(chunk);
+                }
+            }
+            Some(Cmd::Resume { slot }) => {
+                let e = sessions.get_mut(&slot).expect("resume addresses a live session");
+                retry_entry(e, slot, &mut stalled, &events);
+            }
+            Some(Cmd::Finish { slot }) => {
+                let Entry { gen, mut session, pending } =
+                    sessions.remove(&slot).expect("finish addresses a live session");
+                stalled.retain(|&s| s != slot);
+                // End of input: the remaining bytes are committed, so they
+                // bypass the admission gate (budget still strictly
+                // enforced) and the run completes or fails on its merits.
+                for chunk in pending {
+                    if session.feed(&chunk).is_err() {
+                        break; // already failed; finish reports the cause
+                    }
+                }
+                let (result, sink) = session.finish_parts();
+                live.fetch_sub(1, Ordering::Relaxed);
+                let id = RuntimeId { slot, gen };
+                let _ = events.send(RuntimeEvent::Finished { id, result, sink });
+            }
+            Some(Cmd::Abort { slot }) => {
+                let Entry { gen, session, .. } =
+                    sessions.remove(&slot).expect("abort addresses a live session");
+                stalled.retain(|&s| s != slot);
+                drop(session); // releases buffers and budget charges
+                live.fetch_sub(1, Ordering::Relaxed);
+                let _ = events.send(RuntimeEvent::Aborted { id: RuntimeId { slot, gen } });
+            }
+            Some(Cmd::Shutdown) => return, // drops remaining sessions
+            None => {}                     // retry tick
+        }
+        // Budget may have freed (here or on another worker): retry stalled
+        // sessions. Cheap when nothing changed — the admission gate is one
+        // atomic read.
+        stalled.retain(|&slot| {
+            let e = sessions.get_mut(&slot).expect("stalled list tracks live sessions");
+            retry_entry_inner(e, slot, &events)
+        });
+    }
+}
+
+/// Retry one stalled entry via the mailbox `Resume` path.
+fn retry_entry<S: Sink>(
+    e: &mut Entry<S>,
+    slot: u32,
+    stalled: &mut Vec<u32>,
+    events: &Sender<RuntimeEvent<S>>,
+) {
+    if !retry_entry_inner(e, slot, events) {
+        stalled.retain(|&s| s != slot);
+    }
+}
+
+/// Feed as many queued chunks as the gate now admits. Returns whether the
+/// entry is still stalled.
+fn retry_entry_inner<S: Sink>(
+    e: &mut Entry<S>,
+    slot: u32,
+    events: &Sender<RuntimeEvent<S>>,
+) -> bool {
+    if e.pending.is_empty() {
+        return false; // was not stalled; nothing to announce
+    }
+    while let Some(chunk) = e.pending.front() {
+        match e.session.feed_outcome(chunk) {
+            Ok(FeedOutcome::Accepted) => {
+                e.pending.pop_front();
+            }
+            Ok(FeedOutcome::Backpressure) => return true,
+            // Failed earlier: drop the queue, the cause surfaces at finish.
+            Err(_) => {
+                e.pending.clear();
+                break;
+            }
+        }
+    }
+    let id = RuntimeId { slot, gen: e.gen };
+    let _ = events.send(RuntimeEvent::Resumed { id });
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use flux_xml::StringSink;
+
+    const DTD: &str = "<!ELEMENT bib (book)*>\
+        <!ELEMENT book (title,(author+|editor+),publisher,price)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)><!ELEMENT editor (#PCDATA)>\
+        <!ELEMENT publisher (#PCDATA)><!ELEMENT price (#PCDATA)>";
+    const QUERY: &str = "<results>{ for $b in $ROOT/bib/book return \
+        <result> {$b/title} {$b/author} </result> }</results>";
+
+    fn doc(i: usize) -> String {
+        format!(
+            "<bib><book><title>T{i}</title><author>A{i}</author>\
+             <publisher>P</publisher><price>{}</price></book></bib>",
+            i % 89
+        )
+    }
+
+    #[test]
+    fn sessions_complete_across_shards_with_identical_results() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        const N: usize = 64;
+        let docs: Vec<String> = (0..N).map(doc).collect();
+        let refs: Vec<String> = docs.iter().map(|d| q.run_str(d).unwrap().output).collect();
+
+        let mut rt = Runtime::new(3);
+        let ids: Vec<RuntimeId> = (0..N).map(|_| rt.open(&q, StringSink::new())).collect();
+        // Chunked, interleaved feeding across all sessions.
+        for step in 0..8 {
+            for (i, &id) in ids.iter().enumerate() {
+                let bytes = docs[i].as_bytes();
+                let lo = bytes.len() * step / 8;
+                let hi = bytes.len() * (step + 1) / 8;
+                rt.feed(id, &bytes[lo..hi]);
+            }
+        }
+        for &id in &ids {
+            rt.finish(id);
+        }
+        let mut seen = [false; N];
+        let by_id: HashMap<RuntimeId, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for _ in 0..N {
+            match rt.wait_event().expect("workers alive") {
+                RuntimeEvent::Finished { id, result, sink } => {
+                    let i = by_id[&id];
+                    result.unwrap();
+                    assert_eq!(sink.unwrap().as_str(), refs[i], "session {i}");
+                    seen[i] = true;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rt.live_sessions(), 0);
+        assert!(rt.drain().is_empty());
+    }
+
+    #[test]
+    fn placement_is_least_loaded() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut rt = Runtime::new(4);
+        let _ids: Vec<RuntimeId> = (0..12).map(|_| rt.open(&q, StringSink::new())).collect();
+        let counts = rt.session_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 12);
+        assert!(counts.iter().all(|&c| c == 3), "balanced placement: {counts:?}");
+        let _ = rt.drain();
+    }
+
+    #[test]
+    fn slots_are_reused_and_stale_ids_panic() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut rt = Runtime::new(2);
+        let a = rt.open(&q, StringSink::new());
+        rt.feed(a, doc(0).as_bytes());
+        rt.finish(a);
+        // Wait for the completion so the slot retires.
+        match rt.wait_event().unwrap() {
+            RuntimeEvent::Finished { id, result, .. } => {
+                assert_eq!(id, a);
+                result.unwrap();
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let b = rt.open(&q, StringSink::new());
+        assert_ne!(a, b, "generation bumped on reuse");
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.feed(a, b"x");
+        }));
+        assert!(stale.is_err(), "stale id must panic");
+        rt.abort(b);
+        let evs = rt.drain();
+        assert!(matches!(evs[..], [RuntimeEvent::Aborted { id }] if id == b), "{evs:?}");
+    }
+
+    #[test]
+    fn failed_sessions_report_their_cause_at_finish() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut rt = Runtime::new(2);
+        let bad = rt.open(&q, StringSink::new());
+        rt.feed(bad, b"<bib><zzz/>"); // schema violation, fails inline
+        rt.feed(bad, b"<book>"); // feed-after-error: absorbed, not fatal
+        rt.finish(bad);
+        match rt.wait_event().unwrap() {
+            RuntimeEvent::Finished { id, result, sink } => {
+                assert_eq!(id, bad);
+                let err = result.unwrap_err();
+                assert!(err.to_string().contains("zzz"), "{err}");
+                assert!(sink.is_some(), "sink recovered on failure");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = rt.drain();
+    }
+
+    #[test]
+    fn drain_aborts_still_open_sessions_cleanly() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut rt = Runtime::new(2);
+        let a = rt.open(&q, StringSink::new());
+        rt.feed(a, b"<bib><book><title>mid-stream");
+        // Never finished: drain drops it without an event, budget-clean.
+        let evs = rt.drain();
+        assert!(evs.is_empty(), "{evs:?}");
+    }
+}

@@ -22,21 +22,24 @@
 //!
 //! Because a session is just a plain value (reader state + machine state),
 //! serving N concurrent streams costs N small structs — not N OS threads —
-//! and a single thread can multiplex thousands of live sessions:
-//! [`SessionSet`] is the bookkeeping container for exactly that, with
-//! per-session sinks and aggregate buffer accounting. Memory per session
-//! is bounded by the engine's buffer plan (plus the tail of one unparsed
-//! construct); the buffer-limit policy
-//! ([`EngineBuilder::max_buffer_bytes`](crate::EngineBuilder::max_buffer_bytes))
-//! applies to each session individually.
+//! and a single thread can multiplex thousands of live sessions: that is
+//! the [`Shard`](crate::Shard) layer, and [`Runtime`](crate::Runtime)
+//! spreads shards across cores. Memory per session is bounded by the
+//! engine's buffer plan (plus the tail of one unparsed construct); the
+//! per-session buffer-limit policy is
+//! [`EngineBuilder::max_buffer_bytes`](crate::EngineBuilder::max_buffer_bytes),
+//! and an [`AdmissionController`](crate::AdmissionController) additionally
+//! bounds the *aggregate* across sessions — a session under admission
+//! control reports [`FeedOutcome::Backpressure`] from
+//! [`Session::feed_outcome`] when the shared budget runs tight.
 
 use std::sync::Arc;
 
-use flux_engine::{CompiledQuery, EngineError, Pump, RunStats};
+use flux_engine::{BudgetHook, CompiledQuery, EngineError, Pump, RunStats};
 use flux_xml::{FeedSource, Polled, Reader, Sink};
 
-use crate::api::PreparedQuery;
 use crate::error::FluxError;
+use crate::runtime::FeedOutcome;
 
 /// What a finished session produced.
 #[derive(Debug)]
@@ -54,20 +57,38 @@ pub struct Finished<S> {
 /// end of input and collect the [`RunStats`] and the sink. Execution
 /// happens *inside* `feed`, on the caller's thread; a session holds no
 /// thread or other OS resource, so dropping one mid-stream is trivially
-/// clean and thousands can be live at once (see [`SessionSet`]).
+/// clean and thousands can be live at once (see [`Shard`](crate::Shard)).
 pub struct Session<S: Sink> {
     reader: Reader<FeedSource>,
     pump: Pump<S>,
     /// The first error the run hit; later calls report `SessionAborted`
     /// and [`Session::finish_parts`] surfaces this cause.
     error: Option<FluxError>,
+    /// Shared admission hook: consulted between events to pause execution
+    /// while aggregate headroom is scarce. `None` = never pause.
+    budget: Option<Arc<dyn BudgetHook>>,
+    /// Execution stopped on [`FeedOutcome::Backpressure`]; fed bytes wait
+    /// in the reader until [`Session::resume`] (or finish) drains them.
+    paused: bool,
 }
 
 impl<S: Sink> Session<S> {
     pub(crate) fn new(plan: Arc<CompiledQuery>, sink: S) -> Session<S> {
+        Session::with_budget(plan, sink, None)
+    }
+
+    pub(crate) fn with_budget(
+        plan: Arc<CompiledQuery>,
+        sink: S,
+        budget: Option<Arc<dyn BudgetHook>>,
+    ) -> Session<S> {
         let reader =
             Reader::incremental_with_symbols(plan.options().reader, Arc::clone(plan.symbols()));
-        Session { reader, pump: Pump::new(plan, sink), error: None }
+        let pump = match &budget {
+            Some(hook) => Pump::with_budget(plan, sink, Arc::clone(hook)),
+            None => Pump::new(plan, sink),
+        };
+        Session { reader, pump, error: None, budget, paused: false }
     }
 
     /// Push the next chunk of the document. Chunks may split the XML at any
@@ -81,16 +102,90 @@ impl<S: Sink> Session<S> {
     /// Returns [`FluxError::SessionAborted`] when the run has already
     /// failed on earlier input; call [`finish`](Session::finish) (or
     /// [`finish_parts`](Session::finish_parts)) to learn the cause.
+    ///
+    /// This method bypasses the admission gate: the chunk is absorbed and
+    /// executed even while the shared budget is tight (every charge is
+    /// still strictly enforced — see [`Session::feed_outcome`] for the
+    /// flow-controlled variant). That makes it the right call for input
+    /// the caller has already committed to deliver, e.g. to complete a
+    /// document whose buffers are exactly what will free the pool.
     pub fn feed(&mut self, chunk: &[u8]) -> Result<(), FluxError> {
         if self.error.is_some() {
             return Err(FluxError::SessionAborted);
         }
+        // A bypass feed executes: the session is no longer waiting.
+        self.paused = false;
         self.reader.feed(chunk);
+        self.drain();
+        Ok(())
+    }
+
+    /// [`Session::feed`] behind the admission gate. While the shared
+    /// budget is tight *and* this session holds no buffers, the chunk is
+    /// refused — nothing is absorbed, [`FeedOutcome::Backpressure`] is
+    /// returned, and the caller re-feeds the same chunk once
+    /// [`Session::resume`] reports [`FeedOutcome::Accepted`] (budget frees
+    /// when other sessions release buffers: scope exits, finishes, aborts).
+    ///
+    /// A session that already holds buffers is always admitted: processing
+    /// its input is what completes and releases those buffers, so gating it
+    /// would trade memory pressure for livelock. The aggregate can still
+    /// never exceed the budget — a charge the pool cannot grant fails the
+    /// run with [`flux_engine::EngineError::BudgetDenied`].
+    pub fn feed_outcome(&mut self, chunk: &[u8]) -> Result<FeedOutcome, FluxError> {
+        if self.error.is_some() {
+            return Err(FluxError::SessionAborted);
+        }
+        if self.gated() {
+            self.paused = true;
+            return Ok(FeedOutcome::Backpressure);
+        }
+        self.paused = false;
+        self.reader.feed(chunk);
+        self.drain();
+        Ok(FeedOutcome::Accepted)
+    }
+
+    /// Re-check the admission gate after [`FeedOutcome::Backpressure`]:
+    /// [`FeedOutcome::Accepted`] means feeds will be admitted again (the
+    /// refused chunk was never absorbed — re-feed it). Cheap to call
+    /// speculatively: one atomic read.
+    pub fn resume(&mut self) -> Result<FeedOutcome, FluxError> {
+        if self.error.is_some() {
+            return Err(FluxError::SessionAborted);
+        }
+        if self.gated() {
+            return Ok(FeedOutcome::Backpressure);
+        }
+        self.paused = false;
+        Ok(FeedOutcome::Accepted)
+    }
+
+    /// Did the last [`Session::feed_outcome`] refuse its chunk (and no
+    /// [`Session::resume`] has succeeded since)?
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Is the admission gate closed for this session right now? Keyed on
+    /// the session's *outstanding shared-budget charges* (not its local
+    /// buffer count, which `Top::Simple` plans never touch): a session
+    /// with charges must keep draining, because its progress is what
+    /// releases them back to the pool.
+    fn gated(&self) -> bool {
+        match &self.budget {
+            Some(b) => b.should_pause() && self.pump.budget_charged() == 0,
+            None => false,
+        }
+    }
+
+    /// Run the machine over the fed bytes; errors are stored for
+    /// [`Session::finish_parts`], like the one-shot run would surface them.
+    fn drain(&mut self) {
         if let Err(e) = self.drain_events() {
             // Surface the cause at finish, like the one-shot run would.
             self.error = Some(e);
         }
-        Ok(())
     }
 
     /// Pump every event the fed bytes complete through the machine.
@@ -120,6 +215,11 @@ impl<S: Sink> Session<S> {
     /// Signal end of input, complete the run, and return the outcome
     /// together with the sink — which is handed back on success *and* on
     /// failure.
+    ///
+    /// Finishing ignores the admission gate: the remaining input drains to
+    /// completion here, with the budget still strictly enforced — a charge
+    /// the shared pool genuinely cannot grant fails the run with
+    /// [`flux_engine::EngineError::BudgetDenied`].
     pub fn finish_parts(mut self) -> (Result<RunStats, FluxError>, Option<S>) {
         let res = match self.error.take() {
             Some(e) => Err(e),
@@ -149,149 +249,9 @@ impl<S: Sink> Session<S> {
     }
 
     /// Has this session failed on earlier input? (The cause is reported by
-    /// [`finish_parts`](Session::finish_parts).)
+    /// [`Session::finish_parts`].)
     pub fn is_aborted(&self) -> bool {
         self.error.is_some()
-    }
-}
-
-/// Handle to one session inside a [`SessionSet`].
-///
-/// Ids are generation-checked: using an id after its session finished (and
-/// the slot was reused) panics instead of touching the wrong stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct SessionId {
-    idx: u32,
-    gen: u32,
-}
-
-/// A single-threaded multiplexer of many live [`Session`]s.
-///
-/// Because sessions execute inline on `feed`, mass concurrency needs no
-/// scheduler: hold the sessions in a set, feed whichever stream has bytes,
-/// finish whichever closed. One thread comfortably drives tens of
-/// thousands of sessions this way (see `examples/session_multiplex.rs` and
-/// the `flux-bench` `concurrency` bin); each session keeps its own sink,
-/// and the set exposes aggregate buffer accounting for admission control.
-///
-/// ```
-/// use flux::prelude::*;
-///
-/// let engine = Engine::builder()
-///     .dtd_str("<!ELEMENT a (#PCDATA)>")
-///     .build().unwrap();
-/// let q = engine.prepare("<r>{ for $x in $ROOT/a return {$x} }</r>").unwrap();
-///
-/// let mut set = SessionSet::new();
-/// let ids: Vec<_> = (0..100).map(|_| set.open(&q, StringSink::new())).collect();
-/// // Interleave: feed all sessions round-robin, byte by byte.
-/// let doc = b"<a>hi</a>";
-/// for i in 0..doc.len() {
-///     for &id in &ids {
-///         set.feed(id, &doc[i..i + 1]).unwrap();
-///     }
-/// }
-/// for id in ids {
-///     let fin = set.finish(id).unwrap();
-///     assert_eq!(fin.sink.as_str(), "<r><a>hi</a></r>");
-/// }
-/// assert!(set.is_empty());
-/// ```
-pub struct SessionSet<S: Sink> {
-    slots: Vec<(u32, Option<Session<S>>)>,
-    free: Vec<u32>,
-    live: usize,
-}
-
-impl<S: Sink> Default for SessionSet<S> {
-    fn default() -> Self {
-        SessionSet::new()
-    }
-}
-
-impl<S: Sink> SessionSet<S> {
-    /// An empty set.
-    pub fn new() -> SessionSet<S> {
-        SessionSet { slots: Vec::new(), free: Vec::new(), live: 0 }
-    }
-
-    /// Open a new session for `query`, writing to `sink`.
-    pub fn open(&mut self, query: &PreparedQuery, sink: S) -> SessionId {
-        let session = query.session(sink);
-        self.live += 1;
-        match self.free.pop() {
-            Some(idx) => {
-                let slot = &mut self.slots[idx as usize];
-                slot.1 = Some(session);
-                SessionId { idx, gen: slot.0 }
-            }
-            None => {
-                let idx = u32::try_from(self.slots.len()).expect("fewer than 2^32 sessions");
-                self.slots.push((0, Some(session)));
-                SessionId { idx, gen: 0 }
-            }
-        }
-    }
-
-    fn slot(&mut self, id: SessionId) -> &mut Session<S> {
-        let (gen, session) = &mut self.slots[id.idx as usize];
-        assert_eq!(*gen, id.gen, "stale SessionId: that session already finished");
-        session.as_mut().expect("session present while the generation matches")
-    }
-
-    /// Close a slot, bumping its generation so stale ids are caught.
-    fn take(&mut self, id: SessionId) -> Session<S> {
-        let (gen, session) = &mut self.slots[id.idx as usize];
-        assert_eq!(*gen, id.gen, "stale SessionId: that session already finished");
-        let s = session.take().expect("session present while the generation matches");
-        *gen += 1;
-        self.free.push(id.idx);
-        self.live -= 1;
-        s
-    }
-
-    /// Feed a chunk to one session ([`Session::feed`]).
-    pub fn feed(&mut self, id: SessionId, chunk: &[u8]) -> Result<(), FluxError> {
-        self.slot(id).feed(chunk)
-    }
-
-    /// Finish one session and release its slot ([`Session::finish`]).
-    pub fn finish(&mut self, id: SessionId) -> Result<Finished<S>, FluxError> {
-        self.take(id).finish()
-    }
-
-    /// Finish one session, recovering the sink on failure too
-    /// ([`Session::finish_parts`]).
-    pub fn finish_parts(&mut self, id: SessionId) -> (Result<RunStats, FluxError>, Option<S>) {
-        self.take(id).finish_parts()
-    }
-
-    /// Drop one session mid-stream (its slot is released; no output is
-    /// produced beyond what already streamed to its sink).
-    pub fn abort(&mut self, id: SessionId) {
-        drop(self.take(id));
-    }
-
-    /// Direct access to one live session.
-    pub fn session(&mut self, id: SessionId) -> &mut Session<S> {
-        self.slot(id)
-    }
-
-    /// Number of live sessions.
-    pub fn len(&self) -> usize {
-        self.live
-    }
-
-    /// Is the set empty?
-    pub fn is_empty(&self) -> bool {
-        self.live == 0
-    }
-
-    /// Total bytes held across all live sessions (buffers, captures, and
-    /// unparsed input tails) — the admission-control quantity for a
-    /// multi-tenant service.
-    pub fn buffered_bytes(&self) -> usize {
-        self.slots.iter().filter_map(|(_, s)| s.as_ref()).map(Session::buffered_bytes).sum()
     }
 }
 
@@ -337,6 +297,19 @@ mod tests {
         let fin = s.finish().unwrap();
         assert_eq!(fin.sink.into_string(), reference.output);
         assert_eq!(fin.stats, reference.stats);
+    }
+
+    #[test]
+    fn unbudgeted_feed_outcome_is_always_accepted() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut s = q.session_string();
+        for chunk in DOC.as_bytes().chunks(7) {
+            assert_eq!(s.feed_outcome(chunk).unwrap(), FeedOutcome::Accepted);
+            assert!(!s.is_paused());
+        }
+        assert_eq!(s.resume().unwrap(), FeedOutcome::Accepted);
+        s.finish().unwrap();
     }
 
     #[test]
@@ -449,41 +422,5 @@ mod tests {
             assert_eq!(fin.sink.as_str(), reference.output);
             assert_eq!(fin.stats.peak_buffer_bytes, 0);
         }
-    }
-
-    #[test]
-    fn session_set_reuses_slots_and_checks_generations() {
-        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
-        let q = engine.prepare(QUERY).unwrap();
-        let mut set = SessionSet::new();
-        let a = set.open(&q, StringSink::new());
-        set.feed(a, DOC.as_bytes()).unwrap();
-        set.finish(a).unwrap();
-        assert!(set.is_empty());
-        let b = set.open(&q, StringSink::new());
-        assert_eq!(a.idx, b.idx, "slot reused");
-        assert_ne!(a.gen, b.gen, "generation bumped");
-        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            set.feed(a, b"x").ok();
-        }));
-        assert!(stale.is_err(), "stale id must panic, not cross streams");
-        set.abort(b);
-        assert!(set.is_empty());
-    }
-
-    #[test]
-    fn session_set_accounts_buffers() {
-        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
-        let q = engine.prepare(QUERY).unwrap();
-        let mut set = SessionSet::new();
-        let a = set.open(&q, StringSink::new());
-        let b = set.open(&q, StringSink::new());
-        // Unfinished tag tails are retained and accounted.
-        set.feed(a, b"<bib><book><title>very long pending text").unwrap();
-        set.feed(b, b"<bib").unwrap();
-        assert!(set.buffered_bytes() > 0);
-        set.abort(a);
-        set.abort(b);
-        assert_eq!(set.buffered_bytes(), 0);
     }
 }

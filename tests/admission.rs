@@ -1,0 +1,340 @@
+//! Fleet-wide admission control: one byte budget across many sessions.
+//!
+//! The paper bounds buffer memory per run; these tests pin the *aggregate*
+//! bound across a fleet:
+//!
+//! * the recorded aggregate never exceeds the configured budget — asserted
+//!   through an independent counting accounting hook wrapped around the
+//!   [`AdmissionController`];
+//! * budget exhaustion mid-stream across ≥ 3 sessions refuses new growth
+//!   with [`FeedOutcome::Backpressure`] (nothing absorbed, nothing lost);
+//! * a backpressured session resumes once a competing session completes;
+//! * sessions release everything they charged on finish, abort and drop;
+//! * a single event larger than the whole budget is denied (error), not
+//!   deadlocked;
+//! * the multi-core [`Runtime`] queues refused chunks and resumes them
+//!   automatically, with deterministic stall/resume events on one worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use flux::prelude::*;
+
+/// The weak schema forces author buffering until each book closes — the
+/// paper's Section 1 motivation, here used to park bytes in session
+/// buffers at will.
+const WEAK_DTD: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+    <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+const QUERY: &str = "<results>{ for $b in $ROOT/bib/book return \
+    <result> {$b/title} {$b/author} </result> }</results>";
+
+fn prepared() -> PreparedQuery {
+    let engine = Engine::builder().dtd_str(WEAK_DTD).build().unwrap();
+    engine.prepare(QUERY).unwrap()
+}
+
+/// `<bib><book><author>xxx…` — feeding this parks ~`payload` bytes in the
+/// session's buffer until the book closes.
+fn hold_prefix(payload: usize) -> String {
+    format!("<bib><book><author>{}</author>", "x".repeat(payload))
+}
+
+const SUFFIX: &str = "<title>t</title></book></bib>";
+
+/// An independent counting hook wrapped around the controller: the tests'
+/// witness that the recorded aggregate never exceeds the budget, whatever
+/// the controller claims about itself.
+struct CountingHook {
+    inner: Arc<dyn BudgetHook>,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl CountingHook {
+    fn over(ctrl: &AdmissionController) -> Arc<CountingHook> {
+        Arc::new(CountingHook {
+            inner: ctrl.hook(),
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        })
+    }
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+impl BudgetHook for CountingHook {
+    fn try_grow(&self, bytes: usize) -> bool {
+        if !self.inner.try_grow(bytes) {
+            return false;
+        }
+        let now = self.used.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+        true
+    }
+    fn release(&self, bytes: usize) {
+        self.inner.release(bytes);
+        self.used.fetch_sub(bytes, Ordering::SeqCst);
+    }
+    fn should_pause(&self) -> bool {
+        self.inner.should_pause()
+    }
+}
+
+#[test]
+fn exhaustion_across_three_sessions_then_resume_after_a_completion() {
+    let q = prepared();
+    let reference = q.run_str(&(hold_prefix(1000) + SUFFIX)).unwrap();
+
+    let ctrl = AdmissionController::with_reserve(3000, 1200);
+    let mut shard = Shard::with_budget(ctrl.hook());
+    let a = shard.open(&q, StringSink::new());
+    let b = shard.open(&q, StringSink::new());
+    let c = shard.open(&q, StringSink::new());
+
+    let prefix = hold_prefix(1000);
+    // Two sessions park ~1012 bytes each: headroom drops under the reserve.
+    assert_eq!(shard.feed(a, prefix.as_bytes()).unwrap(), FeedOutcome::Accepted);
+    let after_one = ctrl.used();
+    assert!(after_one >= 1000, "author buffered: {after_one}");
+    assert_eq!(shard.feed(b, prefix.as_bytes()).unwrap(), FeedOutcome::Accepted);
+    assert!(ctrl.is_tight(), "two holders exhaust the headroom");
+
+    // The third session holds nothing: the gate refuses its chunk.
+    assert_eq!(shard.feed(c, prefix.as_bytes()).unwrap(), FeedOutcome::Backpressure);
+    assert!(shard.session(c).is_paused());
+    assert_eq!(ctrl.used(), 2 * after_one, "refused chunk charged nothing");
+    assert_eq!(shard.resume(c).unwrap(), FeedOutcome::Backpressure, "still tight");
+
+    // Holders keep draining (that is what frees the pool): complete A.
+    assert_eq!(shard.feed(a, SUFFIX.as_bytes()).unwrap(), FeedOutcome::Accepted);
+    let fin_a = shard.finish(a).unwrap();
+    assert_eq!(fin_a.sink.as_str(), reference.output);
+    assert_eq!(ctrl.used(), after_one, "A released its buffers");
+
+    // Now the gate opens for C: re-feed the refused chunk.
+    assert_eq!(shard.resume(c).unwrap(), FeedOutcome::Accepted);
+    assert_eq!(shard.feed(c, prefix.as_bytes()).unwrap(), FeedOutcome::Accepted);
+    assert_eq!(shard.feed(c, SUFFIX.as_bytes()).unwrap(), FeedOutcome::Accepted);
+    assert_eq!(shard.feed(b, SUFFIX.as_bytes()).unwrap(), FeedOutcome::Accepted);
+    assert_eq!(shard.finish(b).unwrap().sink.as_str(), reference.output);
+    assert_eq!(shard.finish(c).unwrap().sink.as_str(), reference.output);
+    assert_eq!(ctrl.used(), 0, "everything released");
+    assert!(ctrl.peak_used() <= ctrl.budget());
+}
+
+#[test]
+fn counting_hook_proves_the_aggregate_never_exceeds_the_budget() {
+    const BUDGET: usize = 4000;
+    const N: usize = 6;
+    let q = prepared();
+    let ctrl = AdmissionController::with_reserve(BUDGET, 1500);
+    let counting = CountingHook::over(&ctrl);
+    let mut shard: Shard<StringSink> = Shard::with_budget(counting.clone());
+
+    // Three books per session, chunks split right after each author so a
+    // chunk boundary always parks a buffer.
+    let docs: Vec<String> = (0..N)
+        .map(|i| {
+            let books: String = (0..3)
+                .map(|j| {
+                    format!(
+                        "<book><author>{}</author><title>t{i}-{j}</title></book>",
+                        "a".repeat(600)
+                    )
+                })
+                .collect();
+            format!("<bib>{books}</bib>")
+        })
+        .collect();
+    let references: Vec<String> = docs.iter().map(|d| q.run_str(d).unwrap().output).collect();
+    let chunks: Vec<Vec<&[u8]>> = docs
+        .iter()
+        .map(|d| {
+            let bytes = d.as_bytes();
+            let mut cuts = vec![0usize];
+            let mut at = 0;
+            while let Some(i) = d[at..].find("</author>") {
+                at += i + "</author>".len();
+                cuts.push(at);
+            }
+            cuts.push(bytes.len());
+            cuts.windows(2).map(|w| &bytes[w[0]..w[1]]).filter(|c| !c.is_empty()).collect()
+        })
+        .collect();
+
+    let ids: Vec<SessionId> = (0..N).map(|_| shard.open(&q, StringSink::new())).collect();
+    let mut off = [0usize; N];
+    let mut outputs: Vec<Option<String>> = vec![None; N];
+    let mut saw_backpressure = false;
+    while outputs.iter().any(Option::is_none) {
+        let mut progressed = false;
+        for i in 0..N {
+            if outputs[i].is_some() {
+                continue;
+            }
+            if off[i] < chunks[i].len() {
+                match shard.feed(ids[i], chunks[i][off[i]]).unwrap() {
+                    FeedOutcome::Accepted => {
+                        off[i] += 1;
+                        progressed = true;
+                    }
+                    FeedOutcome::Backpressure => saw_backpressure = true,
+                }
+            }
+            if off[i] == chunks[i].len() {
+                outputs[i] = Some(shard.finish(ids[i]).unwrap().sink.into_string());
+                progressed = true;
+            }
+        }
+        assert!(progressed, "the admission gate must not livelock the fleet");
+    }
+    for (i, out) in outputs.into_iter().enumerate() {
+        assert_eq!(out.unwrap(), references[i], "session {i}");
+    }
+    assert!(saw_backpressure, "the budget must actually bite in this workload");
+    assert!(
+        counting.peak() <= BUDGET,
+        "aggregate peak {} exceeded the {BUDGET}-byte budget",
+        counting.peak()
+    );
+    assert!(counting.peak() > 0);
+    assert_eq!(ctrl.used(), 0);
+}
+
+#[test]
+fn budget_releases_on_abort_and_drop() {
+    let q = prepared();
+    let ctrl = AdmissionController::new(1 << 20);
+
+    // Shard-managed: abort mid-hold returns the charge.
+    let mut shard = Shard::with_budget(ctrl.hook());
+    let a = shard.open(&q, StringSink::new());
+    assert_eq!(shard.feed(a, hold_prefix(2000).as_bytes()).unwrap(), FeedOutcome::Accepted);
+    assert!(ctrl.used() >= 2000);
+    shard.abort(a);
+    assert_eq!(ctrl.used(), 0, "abort released the charge");
+
+    // Bare session: dropping mid-hold returns the charge too.
+    let mut s = q.session_with_budget(StringSink::new(), ctrl.hook());
+    s.feed(hold_prefix(2000).as_bytes()).unwrap();
+    assert!(ctrl.used() >= 2000);
+    drop(s);
+    assert_eq!(ctrl.used(), 0, "drop released the charge");
+
+    // And a failed session as well (validation error mid-hold).
+    let mut s = q.session_with_budget(StringSink::new(), ctrl.hook());
+    s.feed(hold_prefix(2000).as_bytes()).unwrap();
+    s.feed(b"<zzz>").unwrap(); // schema violation: run fails inline
+    assert!(s.is_aborted());
+    let (res, _sink) = s.finish_parts();
+    assert!(res.is_err());
+    assert_eq!(ctrl.used(), 0, "failed run released the charge");
+}
+
+#[test]
+fn materializing_plans_stay_admitted_while_they_hold_the_pool() {
+    // A hand-written FluX plan with no process-stream makes the engine
+    // materialize the document (Top::Simple), charging the shared budget
+    // without touching the scoped-buffer counter. The admission gate must
+    // key on the session's outstanding *charges*, not its scoped buffers —
+    // otherwise the one session able to free the pool gets refused forever.
+    let engine = Engine::builder().dtd_str(WEAK_DTD).build().unwrap();
+    let q = engine.prepare_flux_str("{ $ROOT/bib }").unwrap();
+    let doc = hold_prefix(1500) + SUFFIX;
+    let reference = q.run_str(&doc).unwrap();
+
+    let ctrl = AdmissionController::with_reserve(4000, 2600);
+    let mut s = q.session_with_budget(StringSink::new(), ctrl.hook());
+    assert_eq!(s.feed_outcome(hold_prefix(1500).as_bytes()).unwrap(), FeedOutcome::Accepted);
+    assert!(ctrl.used() >= 1500, "materialized tree charged: {}", ctrl.used());
+    assert!(ctrl.is_tight(), "the charges push headroom under the reserve");
+
+    // A fresh session holding nothing is gated …
+    let mut fresh = q.session_with_budget(StringSink::new(), ctrl.hook());
+    assert_eq!(fresh.feed_outcome(b"<bib>").unwrap(), FeedOutcome::Backpressure);
+    // … but the holder keeps draining to completion.
+    assert_eq!(s.feed_outcome(SUFFIX.as_bytes()).unwrap(), FeedOutcome::Accepted);
+    let fin = s.finish().unwrap();
+    assert_eq!(fin.sink.as_str(), reference.output);
+    drop(fresh);
+    assert_eq!(ctrl.used(), 0, "materialized tree released at finish/drop");
+}
+
+#[test]
+fn oversized_event_is_denied_not_deadlocked() {
+    let q = prepared();
+    let ctrl = AdmissionController::new(256);
+    let mut s = q.session_with_budget(StringSink::new(), ctrl.hook());
+    // A single author larger than the entire budget can never fit: the
+    // strict hook denies the charge and the run fails — no silent overrun,
+    // no waiting for a release that cannot come.
+    s.feed(hold_prefix(4096).as_bytes()).unwrap();
+    let (res, _sink) = s.finish_parts();
+    match res.unwrap_err() {
+        FluxError::Engine(flux::engine::EngineError::BudgetDenied { requested }) => {
+            assert!(requested > 256, "the oversized charge is the one denied: {requested}");
+        }
+        other => panic!("expected BudgetDenied, got {other}"),
+    }
+    assert_eq!(ctrl.used(), 0, "denied run released everything");
+    assert!(ctrl.peak_used() <= ctrl.budget());
+}
+
+#[test]
+fn runtime_queues_refused_chunks_and_resumes_deterministically() {
+    let q = prepared();
+    let reference = q.run_str(&(hold_prefix(1000) + SUFFIX)).unwrap();
+    let ctrl = AdmissionController::with_reserve(3000, 1200);
+
+    // One worker: the mailbox is FIFO and retries run after every command,
+    // so the stall/resume sequence is fully deterministic.
+    let mut rt: Runtime<StringSink> = Runtime::with_admission(1, ctrl.clone());
+    let a = rt.open(&q, StringSink::new());
+    let b = rt.open(&q, StringSink::new());
+    let c = rt.open(&q, StringSink::new());
+    let prefix = hold_prefix(1000);
+    rt.feed(a, prefix.as_bytes());
+    rt.feed(b, prefix.as_bytes()); // two holders: pool goes tight
+    rt.feed(c, prefix.as_bytes()); // refused: queued behind the gate
+    rt.feed(a, SUFFIX.as_bytes()); // closes A's book → the retry admits C
+    rt.finish(a);
+    rt.feed(b, SUFFIX.as_bytes());
+    rt.feed(c, SUFFIX.as_bytes());
+    rt.finish(b);
+    rt.finish(c);
+
+    let mut log = Vec::new();
+    for _ in 0..5 {
+        match rt.wait_event().expect("workers alive") {
+            RuntimeEvent::Stalled { id } => log.push(format!("stalled-{}", name(id, a, b, c))),
+            RuntimeEvent::Resumed { id } => log.push(format!("resumed-{}", name(id, a, b, c))),
+            RuntimeEvent::Finished { id, result, sink } => {
+                result.unwrap();
+                assert_eq!(sink.unwrap().as_str(), reference.output);
+                log.push(format!("finished-{}", name(id, a, b, c)));
+            }
+            RuntimeEvent::Aborted { .. } => unreachable!("nothing aborts here"),
+        }
+    }
+    assert_eq!(
+        log,
+        ["stalled-c", "resumed-c", "finished-a", "finished-b", "finished-c"],
+        "deterministic single-worker stall/resume order"
+    );
+    assert_eq!(ctrl.used(), 0);
+    assert!(ctrl.peak_used() <= ctrl.budget());
+    assert!(rt.drain().is_empty());
+}
+
+fn name(id: RuntimeId, a: RuntimeId, b: RuntimeId, c: RuntimeId) -> &'static str {
+    if id == a {
+        "a"
+    } else if id == b {
+        "b"
+    } else if id == c {
+        "c"
+    } else {
+        "?"
+    }
+}
