@@ -1,0 +1,88 @@
+//! Network throughput: aggregate MB/s through `flux-serve` over M loopback
+//! connections.
+//!
+//! The `concurrency` bin measures the in-process ceiling (sessions
+//! multiplexed straight on a `Shard`/`Runtime`); this bin measures the
+//! same engine behind the full network stack — wire framing, non-blocking
+//! socket I/O, the readiness loop, and the per-connection output seam —
+//! so the protocol overhead stays an honest, tracked number. Results merge
+//! into `BENCH_throughput.json` under the `"netbench"` key (order-invariant
+//! with the other bins' sections — see `flux_bench::report`).
+//!
+//! Honours the shared bench environment knobs (`FLUX_BENCH_SAMPLES`,
+//! `FLUX_BENCH_FAST=1` for the CI smoke run, which shrinks the fleet and
+//! the document).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use flux::prelude::*;
+use flux_bench::micro::samples;
+use flux_bench::report::merge_section;
+use flux_serve::{Client, Server, ServerConfig};
+use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
+
+fn main() {
+    let fast = std::env::var_os("FLUX_BENCH_FAST").is_some();
+    let connections: usize = if fast { 8 } else { 32 };
+    let doc_size: usize = if fast { 32 << 10 } else { 256 << 10 };
+    let chunk: usize = 8 << 10;
+    let shards: usize = 2;
+
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    let q1 = PAPER_QUERIES.iter().find(|q| q.name == "Q1").expect("Q1 present");
+    let prepared = engine.prepare(q1.source).unwrap();
+    let (doc, _) = generate_string(&XmarkConfig::new(doc_size));
+    let reference = prepared.run_str(&doc).unwrap();
+
+    let mut registry = QueryRegistry::new();
+    registry.register("q1", prepared);
+    let cfg = ServerConfig { shards, ..ServerConfig::default() };
+    let server = Server::spawn("127.0.0.1:0", registry, cfg).expect("server binds");
+    let addr = server.addr();
+
+    let n = samples().min(5);
+    let mut best = f64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let doc = doc.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let outcome = client.run_document("q1", doc.as_bytes(), chunk).expect("run");
+                    outcome.done.expect("finished")
+                })
+            })
+            .collect();
+        for h in handles {
+            let (events, output_bytes) = h.join().expect("client thread");
+            assert_eq!(events, reference.stats.events, "server run must match one-shot");
+            assert_eq!(output_bytes, reference.stats.output_bytes);
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    server.shutdown().expect("clean shutdown");
+
+    let total_bytes = doc.len() as f64 * connections as f64;
+    let mb_per_s = total_bytes / 1e6 / best;
+    println!(
+        "netbench/{connections} connections × {}B over loopback ({shards} shards)  \
+         {mb_per_s:>8.1} MB/s aggregate  (min of {n} samples)",
+        doc.len(),
+    );
+
+    let mut section = String::new();
+    let _ = write!(
+        section,
+        "{{\"bin\": \"netbench\", \"connections\": {connections}, \"doc_bytes\": {}, \
+         \"chunk_bytes\": {chunk}, \"shards\": {shards}, \"min_seconds\": {best:.6}, \
+         \"aggregate_mb_per_s\": {mb_per_s:.2}, \"samples\": {n}}}",
+        doc.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let existing = std::fs::read_to_string(path).ok();
+    std::fs::write(path, merge_section(existing.as_deref(), "netbench", &section))
+        .expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+}

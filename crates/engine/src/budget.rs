@@ -23,6 +23,7 @@
 //! capture retirements release eagerly, and dropping a run mid-stream
 //! (abort, error, early drop) releases whatever it still held.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Shared accounting for bytes retained in runtime buffers, across any
@@ -53,6 +54,116 @@ pub trait BudgetHook: Send + Sync {
     /// [`BudgetHook::try_grow`] never has to deny. Default: never pause.
     fn should_pause(&self) -> bool {
         false
+    }
+
+    /// Subscribe a [`BudgetWaker`] to *release edges*: whenever a
+    /// [`BudgetHook::release`] leaves the pool with enough headroom that
+    /// [`BudgetHook::should_pause`] turns false, every armed subscribed
+    /// waker must be fired. This is how multiplexers sleep on a tight
+    /// budget instead of polling it: a worker with paused sessions arms its
+    /// waker, blocks on its own mailbox, and the release that frees the
+    /// pool delivers the resume — on the release *edge*, with no retry
+    /// tick.
+    ///
+    /// The default implementation ignores the waker, which is only correct
+    /// for hooks that never pause: **a hook that can return `true` from
+    /// [`BudgetHook::should_pause`] must deliver wakeups** (or forward
+    /// subscriptions to an inner hook that does, as wrapping hooks should
+    /// forward all five methods) — otherwise sessions it pauses resume only
+    /// on unrelated mailbox traffic.
+    fn subscribe_waker(&self, waker: &Arc<BudgetWaker>) {
+        let _ = waker;
+    }
+}
+
+/// One subscriber of budget release edges (see
+/// [`BudgetHook::subscribe_waker`]): an *armable* callback, so firing is
+/// edge-triggered and idempotent.
+///
+/// The cycle is: the owner [`arm`](BudgetWaker::arm)s the waker, re-checks
+/// [`BudgetHook::should_pause`] (arming *before* checking closes the race
+/// with a concurrent release), and blocks; a release edge
+/// [`fire`](BudgetWaker::fire)s every armed waker exactly once — the
+/// notification callback typically enqueues a retry message onto the
+/// owner's mailbox. A waker that is not armed costs a release edge one
+/// relaxed atomic load.
+pub struct BudgetWaker {
+    armed: AtomicBool,
+    /// Aggregate armed count of the hook this waker subscribed to, bound at
+    /// [`BudgetHook::subscribe_waker`] time. Lets the hook's release path
+    /// skip the subscriber scan with one relaxed load while nobody waits.
+    armed_hint: std::sync::OnceLock<Arc<std::sync::atomic::AtomicUsize>>,
+    notify: Box<dyn Fn() + Send + Sync>,
+}
+
+impl BudgetWaker {
+    /// A waker invoking `notify` on every release edge it is armed for.
+    /// `notify` runs on whatever thread performs the release: keep it to a
+    /// wakeup (a channel send, a condvar signal), not work.
+    pub fn new(notify: impl Fn() + Send + Sync + 'static) -> Arc<BudgetWaker> {
+        Arc::new(BudgetWaker {
+            armed: AtomicBool::new(false),
+            armed_hint: std::sync::OnceLock::new(),
+            notify: Box::new(notify),
+        })
+    }
+
+    /// Bind the subscriber-side armed counter (called by the hook the waker
+    /// subscribes to; at most one hook per waker).
+    pub fn bind_armed_hint(&self, hint: Arc<std::sync::atomic::AtomicUsize>) {
+        self.armed_hint.set(hint).expect("a BudgetWaker subscribes to one hook");
+    }
+
+    /// Arm for the next release edge. Arm *before* re-checking
+    /// [`BudgetHook::should_pause`]: a release between the check and the
+    /// blocking wait then still fires the waker.
+    pub fn arm(&self) {
+        if !self.armed.swap(true, Ordering::SeqCst) {
+            if let Some(hint) = self.armed_hint.get() {
+                hint.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Cancel a pending arm (the owner woke up for another reason). A
+    /// concurrent [`BudgetWaker::fire`] may still have won the flag — a
+    /// spurious notification must be tolerated (retries are cheap no-ops).
+    pub fn disarm(&self) {
+        if self.armed.swap(false, Ordering::SeqCst) {
+            if let Some(hint) = self.armed_hint.get() {
+                hint.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Invoke the callback if armed, consuming the arm. Called by hook
+    /// implementations on release edges.
+    pub fn fire(&self) {
+        if self.armed.swap(false, Ordering::SeqCst) {
+            if let Some(hint) = self.armed_hint.get() {
+                hint.fetch_sub(1, Ordering::SeqCst);
+            }
+            (self.notify)();
+        }
+    }
+
+    /// Is the waker currently armed?
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for BudgetWaker {
+    fn drop(&mut self) {
+        // An owner can die while armed (a runtime dropped mid-stall):
+        // return the arm so the subscriber-side armed count stays exact.
+        self.disarm();
+    }
+}
+
+impl std::fmt::Debug for BudgetWaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetWaker").field("armed", &self.is_armed()).finish()
     }
 }
 
@@ -172,6 +283,35 @@ mod tests {
         let mut b = Budget::new(None, Some(hook.clone()));
         assert!(matches!(b.check(11, 11), Err(crate::EngineError::BudgetDenied { requested: 11 })));
         assert_eq!(hook.used.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn waker_fires_once_per_arm_and_tracks_the_hint() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        let w = BudgetWaker::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        let hint = Arc::new(AtomicUsize::new(0));
+        w.bind_armed_hint(hint.clone());
+
+        w.fire(); // unarmed: nothing happens
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+
+        w.arm();
+        w.arm(); // idempotent: the hint counts armed wakers, not arm calls
+        assert_eq!(hint.load(Ordering::SeqCst), 1);
+        assert!(w.is_armed());
+        w.fire();
+        w.fire(); // edge-triggered: the arm was consumed
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(hint.load(Ordering::SeqCst), 0);
+
+        w.arm();
+        w.disarm();
+        w.fire();
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "disarm cancels the pending arm");
+        assert_eq!(hint.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod exec;
 pub mod flags;
 pub mod stats;
 
-pub use budget::BudgetHook;
+pub use budget::{BudgetHook, BudgetWaker};
 pub use compile::{CompiledQuery, EngineError, EngineOptions};
 pub use exec::{Pump, RunOutcome};
 pub use stats::RunStats;

@@ -1,0 +1,284 @@
+//! A small blocking client for the flux-serve wire protocol — what the
+//! loopback tests, the example and the `netbench` driver speak. Production
+//! clients in other languages only need the frame table in
+//! [`protocol`](crate::protocol).
+//!
+//! Writes are internally buffered and flushed opportunistically without
+//! blocking, and reads drain whenever a write would block — so a caller may
+//! push an arbitrarily large document before collecting results without
+//! deadlocking on full TCP buffers in both directions.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{encode_frame, DecodePoll, ErrorCode, FrameDecoder, FrameKind, HEADER_LEN};
+
+/// One decoded server→client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// A chunk of query output.
+    Result(Vec<u8>),
+    /// The run finished; counters from the engine's `RunStats`.
+    Done {
+        /// Input events the engine processed.
+        events: u64,
+        /// Total output bytes (across all `RESULT` frames).
+        output_bytes: u64,
+    },
+    /// The run was aborted (acknowledges `ABORT`).
+    AbortAck,
+    /// The session paused on the server's shared buffer budget.
+    Stalled,
+    /// The stalled session resumed.
+    Resumed,
+    /// Structured failure.
+    Error {
+        /// Decoded error code (`None` for a code this client is too old to
+        /// know).
+        code: Option<ErrorCode>,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Everything a full client→server run produced, collected by
+/// [`Client::collect`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Concatenated `RESULT` payloads, in order.
+    pub output: Vec<u8>,
+    /// `(events, output_bytes)` from the `DONE` frame, if the run finished.
+    pub done: Option<(u64, u64)>,
+    /// The run acknowledged an abort.
+    pub aborted: bool,
+    /// The `ERROR` frame, if any ended the run.
+    pub error: Option<(Option<ErrorCode>, String)>,
+    /// `STALLED` frames observed.
+    pub stalls: usize,
+    /// `RESUMED` frames observed.
+    pub resumes: usize,
+}
+
+/// A blocking protocol client — see the [module docs](self).
+pub struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded frames not yet accepted by the socket.
+    pending: Vec<u8>,
+    pending_pos: usize,
+    inbox: VecDeque<ServerMsg>,
+    scratch: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            // Generous: the client accepts whatever the server frames.
+            decoder: FrameDecoder::new(64 << 20),
+            pending: Vec::new(),
+            pending_pos: 0,
+            inbox: VecDeque::new(),
+            scratch: vec![0; 16 << 10],
+        })
+    }
+
+    /// Queue an `OPEN` for the registered query `id`.
+    pub fn open(&mut self, id: &str) -> io::Result<()> {
+        self.send(FrameKind::Open, id.as_bytes())
+    }
+
+    /// Queue the next document chunk.
+    pub fn chunk(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.send(FrameKind::Chunk, bytes)
+    }
+
+    /// Queue end-of-document.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.send(FrameKind::Finish, &[])
+    }
+
+    /// Queue a mid-stream abort.
+    pub fn abort(&mut self) -> io::Result<()> {
+        self.send(FrameKind::Abort, &[])
+    }
+
+    /// Queue raw pre-encoded bytes (protocol-violation testing).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.pending.extend_from_slice(bytes);
+        self.drive()
+    }
+
+    fn send(&mut self, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+        encode_frame(&mut self.pending, kind, payload);
+        self.drive()
+    }
+
+    /// Non-blocking progress: push pending writes, drain available reads.
+    fn drive(&mut self) -> io::Result<()> {
+        self.stream.set_nonblocking(true)?;
+        let res = self.drive_nonblocking();
+        // Restore blocking mode for `next_msg` before surfacing any error.
+        self.stream.set_nonblocking(false)?;
+        res
+    }
+
+    fn drive_nonblocking(&mut self) -> io::Result<()> {
+        loop {
+            let mut progressed = false;
+            while self.pending_pos < self.pending.len() {
+                match self.stream.write(&self.pending[self.pending_pos..]) {
+                    Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                    Ok(n) => {
+                        self.pending_pos += n;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.pending_pos == self.pending.len() {
+                self.pending.clear();
+                self.pending_pos = 0;
+            }
+            // Drain whatever the server already produced so neither side's
+            // TCP buffer can deadlock a large exchange.
+            match self.stream.read(&mut self.scratch) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => {
+                    self.decoder.feed(&self.scratch[..n]);
+                    self.decode_into_inbox()?;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+            if self.pending.is_empty() || !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn decode_into_inbox(&mut self) -> io::Result<()> {
+        loop {
+            match self.decoder.poll() {
+                Ok(DecodePoll::Frame { kind, payload }) => {
+                    let msg = decode_msg(kind, payload)?;
+                    self.inbox.push_back(msg);
+                }
+                Ok(DecodePoll::NeedMoreData) => return Ok(()),
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+        }
+    }
+
+    /// The next server message, blocking until one arrives. Pending writes
+    /// keep flushing while waiting.
+    pub fn next_msg(&mut self) -> io::Result<ServerMsg> {
+        loop {
+            if let Some(msg) = self.inbox.pop_front() {
+                return Ok(msg);
+            }
+            if !self.pending.is_empty() {
+                self.drive()?;
+                if !self.pending.is_empty() && self.inbox.is_empty() {
+                    // The server is not draining us yet (backpressure):
+                    // yield rather than spin.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                continue;
+            }
+            // Blocking read (stream is left in blocking mode by drive()).
+            match self.stream.read(&mut self.scratch) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => {
+                    self.decoder.feed(&self.scratch[..n]);
+                    self.decode_into_inbox()?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Collect messages until the run ends (`DONE` or `ERROR`).
+    pub fn collect(&mut self) -> io::Result<Outcome> {
+        let mut out = Outcome::default();
+        loop {
+            match self.next_msg()? {
+                ServerMsg::Result(bytes) => out.output.extend_from_slice(&bytes),
+                ServerMsg::Done { events, output_bytes } => {
+                    out.done = Some((events, output_bytes));
+                    return Ok(out);
+                }
+                ServerMsg::AbortAck => {
+                    out.aborted = true;
+                    return Ok(out);
+                }
+                ServerMsg::Stalled => out.stalls += 1,
+                ServerMsg::Resumed => out.resumes += 1,
+                ServerMsg::Error { code, message } => {
+                    out.error = Some((code, message));
+                    return Ok(out);
+                }
+            }
+        }
+    }
+
+    /// Open `id`, stream `doc` in `chunk_size`-byte chunks, finish, and
+    /// collect the whole exchange.
+    pub fn run_document(&mut self, id: &str, doc: &[u8], chunk_size: usize) -> io::Result<Outcome> {
+        self.open(id)?;
+        for chunk in doc.chunks(chunk_size.max(1)) {
+            self.chunk(chunk)?;
+        }
+        self.finish()?;
+        self.collect()
+    }
+
+    /// The underlying stream (for tests that need raw socket control).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+fn decode_msg(kind: FrameKind, payload: &[u8]) -> io::Result<ServerMsg> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    Ok(match kind {
+        FrameKind::Result => ServerMsg::Result(payload.to_vec()),
+        FrameKind::Done => match payload.first() {
+            Some(0) if payload.len() == 17 => ServerMsg::Done {
+                events: u64::from_be_bytes(payload[1..9].try_into().expect("8 bytes")),
+                output_bytes: u64::from_be_bytes(payload[9..17].try_into().expect("8 bytes")),
+            },
+            Some(1) => ServerMsg::AbortAck,
+            _ => return Err(bad("malformed DONE payload")),
+        },
+        FrameKind::Stalled => ServerMsg::Stalled,
+        FrameKind::Resumed => ServerMsg::Resumed,
+        FrameKind::Error => {
+            let (code, message) = payload.split_first().ok_or_else(|| bad("empty ERROR"))?;
+            ServerMsg::Error {
+                code: ErrorCode::from_byte(*code),
+                message: String::from_utf8_lossy(message).into_owned(),
+            }
+        }
+        FrameKind::Open | FrameKind::Chunk | FrameKind::Finish | FrameKind::Abort => {
+            return Err(bad("client-to-server frame from server"))
+        }
+    })
+}
+
+/// A valid frame header for `len` payload bytes of `kind` (testing aid).
+pub fn header(kind: FrameKind, len: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0] = kind.byte();
+    h[1..].copy_from_slice(&len.to_be_bytes());
+    h
+}

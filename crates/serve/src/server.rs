@@ -1,0 +1,507 @@
+//! The server: many TCP connections multiplexed onto one
+//! [`flux::Runtime`].
+//!
+//! One thread owns all the sockets. Each tick ([`Server::step`]) it polls
+//! the [`Poller`] for readiness, accepts new connections, decodes inbound
+//! frames into runtime commands (`OPEN` → [`Runtime::open`], `CHUNK` →
+//! [`Runtime::feed`], …), drains the runtime's completion/flow-control
+//! events back into outbound frames, moves engine output from the
+//! per-session [`SharedOut`] buffers into `RESULT` frames, and flushes
+//! write buffers. The engine itself executes on the runtime's worker
+//! threads; the server thread only shovels bytes — which is why a single
+//! poll loop drives thousands of connections.
+//!
+//! Admission control composes: configure a budget
+//! ([`ServerConfig::budget`]) and sessions that would outgrow the shared
+//! pool stall inside the runtime, surface here as `STALLED` frames, park
+//! the connection's reads (TCP backpressure does the rest), and resume on
+//! the budget-release wakeup with a `RESUMED` frame.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use flux::{QueryRegistry, Runtime, RuntimeEvent, RuntimeId};
+use flux_engine::BudgetHook;
+
+use crate::conn::{Conn, ConnState, FrameSink, ReadPass, SharedOut};
+use crate::poller::{default_poller, Interest, Poller, Readiness, Token};
+use crate::protocol::{DecodePoll, ErrorCode, FrameKind};
+
+/// Tuning knobs for a [`Server`].
+pub struct ServerConfig {
+    /// Worker threads in the underlying [`Runtime`].
+    pub shards: usize,
+    /// Shared buffer budget all sessions charge (admission control); `None`
+    /// = unbounded.
+    pub budget: Option<Arc<dyn BudgetHook>>,
+    /// Largest accepted inbound frame payload; a header declaring more is a
+    /// protocol error. Also the cap for outbound `RESULT` payloads the
+    /// server produces.
+    pub max_frame_payload: usize,
+    /// Outbound high-water mark: a connection whose write buffer exceeds
+    /// this stops reading (and so stops feeding the engine) until the
+    /// socket drains.
+    pub outbuf_high_water: usize,
+    /// Largest `RESULT` frame payload the server emits.
+    pub result_frame_max: usize,
+    /// Readiness poll granularity — also the latency floor for runtime
+    /// events landing while every socket is quiet.
+    pub poll_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 1,
+            budget: None,
+            max_frame_payload: 1 << 20,
+            outbuf_high_water: 256 << 10,
+            result_frame_max: 32 << 10,
+            poll_timeout: Duration::from_millis(1),
+        }
+    }
+}
+
+const LISTENER: Token = 0;
+
+/// A TCP front-end over a [`Runtime`] — see the [module docs](self).
+pub struct Server {
+    listener: TcpListener,
+    poller: Box<dyn Poller>,
+    runtime: Runtime<FrameSink>,
+    registry: QueryRegistry,
+    cfg: ServerConfig,
+    conns: HashMap<Token, Conn>,
+    by_session: HashMap<RuntimeId, Token>,
+    next_token: Token,
+    scratch: Vec<u8>,
+    readiness: Vec<Readiness>,
+}
+
+impl Server {
+    /// Bind on `addr` with the platform's default [`Poller`] backend.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: QueryRegistry,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::bind_with_poller(addr, registry, cfg, default_poller())
+    }
+
+    /// Bind with an explicit poller backend (the epoll/io_uring seam).
+    pub fn bind_with_poller(
+        addr: impl ToSocketAddrs,
+        registry: QueryRegistry,
+        cfg: ServerConfig,
+        mut poller: Box<dyn Poller>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let runtime = match &cfg.budget {
+            Some(hook) => Runtime::with_budget(cfg.shards, Arc::clone(hook)),
+            None => Runtime::new(cfg.shards),
+        };
+        poller.register(LISTENER, raw_handle_listener(&listener), Interest::READ);
+        Ok(Server {
+            listener,
+            poller,
+            runtime,
+            registry,
+            cfg,
+            conns: HashMap::new(),
+            by_session: HashMap::new(),
+            next_token: LISTENER + 1,
+            scratch: vec![0; 16 << 10],
+            readiness: Vec::new(),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Connections currently accepted.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Sessions currently live in the runtime.
+    pub fn live_sessions(&self) -> usize {
+        self.runtime.live_sessions()
+    }
+
+    /// Serve forever.
+    pub fn run(mut self) -> io::Result<()> {
+        self.run_until(|| false)
+    }
+
+    /// Serve until `stop` returns true (checked once per tick, so shutdown
+    /// latency is one poll timeout).
+    pub fn run_until(&mut self, stop: impl Fn() -> bool) -> io::Result<()> {
+        while !stop() {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Bind + serve on a background thread; the returned handle stops and
+    /// joins it on [`ServerHandle::shutdown`] (or drop).
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        registry: QueryRegistry,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let mut server = Server::bind(addr, registry, cfg)?;
+        let addr = server.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("flux-serve".into())
+            .spawn(move || server.run_until(|| stop_flag.load(Ordering::Relaxed)))
+            .expect("spawn server thread");
+        Ok(ServerHandle { addr, stop, join: Some(join) })
+    }
+
+    /// One event-loop tick: poll readiness, do all I/O that is ready, pump
+    /// runtime events and session output, flush writes.
+    pub fn step(&mut self) -> io::Result<()> {
+        let mut readiness = std::mem::take(&mut self.readiness);
+        readiness.clear();
+        self.poller.poll(&mut readiness, self.cfg.poll_timeout)?;
+        for r in &readiness {
+            if r.token == LISTENER {
+                self.accept_ready();
+            } else if r.readable {
+                self.read_ready(r.token);
+            }
+            // Writability is consumed by the flush pass below.
+        }
+        self.readiness = readiness;
+        self.pump_runtime_events();
+        self.pump_session_output();
+        self.flush_and_sweep();
+        Ok(())
+    }
+
+    /// Accept every pending connection.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // broken before it began
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.alloc_token();
+                    self.poller.register(token, raw_handle(&stream), Interest::READ);
+                    self.conns.insert(token, Conn::new(stream, self.cfg.max_frame_payload));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (ECONNABORTED etc): skip.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn alloc_token(&mut self) -> Token {
+        loop {
+            let t = self.next_token;
+            self.next_token = self.next_token.wrapping_add(1).max(LISTENER + 1);
+            if !self.conns.contains_key(&t) {
+                return t;
+            }
+        }
+    }
+
+    /// Read and decode everything one connection has for us, translating
+    /// frames into runtime commands as they complete.
+    fn read_ready(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        loop {
+            if !conn.wants_read(self.cfg.outbuf_high_water) {
+                break; // backpressured, stalled, or closing: leave it in TCP
+            }
+            let pass = conn.read_pass(&mut self.scratch);
+            // Decode whatever is buffered, even on EOF: the peer may have
+            // written complete frames and closed.
+            loop {
+                match conn.decoder.poll() {
+                    Ok(DecodePoll::Frame { kind, payload }) => match kind {
+                        FrameKind::Open => {
+                            let query_id = String::from_utf8_lossy(payload).into_owned();
+                            match (conn.state, self.registry.get(&query_id).cloned()) {
+                                // `Rejected` accepts a fresh OPEN directly:
+                                // the client abandoned the refused run
+                                // without ever chunking it.
+                                (ConnState::Idle | ConnState::Rejected, Some(q)) => {
+                                    let shared = SharedOut::new();
+                                    let id = self.runtime.open(&q, FrameSink(Arc::clone(&shared)));
+                                    conn.shared = Some(shared);
+                                    conn.state = ConnState::Running(id);
+                                    self.by_session.insert(id, token);
+                                }
+                                (ConnState::Idle | ConnState::Rejected, None) => {
+                                    conn.queue_error(
+                                        ErrorCode::UnknownQuery,
+                                        &format!("no query registered under id {query_id:?}"),
+                                    );
+                                    conn.state = ConnState::Rejected;
+                                }
+                                (_, _) => {
+                                    fail_state(conn, &mut self.runtime, "OPEN during a run");
+                                    break;
+                                }
+                            }
+                        }
+                        FrameKind::Chunk => match conn.state {
+                            ConnState::Running(id) => self.runtime.feed(id, payload),
+                            // A pipelined chunk of a refused OPEN: absorb.
+                            ConnState::Rejected => {}
+                            _ => {
+                                fail_state(conn, &mut self.runtime, "CHUNK without an open run");
+                                break;
+                            }
+                        },
+                        FrameKind::Finish => match conn.state {
+                            ConnState::Running(id) => {
+                                self.runtime.finish(id);
+                                conn.state = ConnState::Finishing(id);
+                            }
+                            // End of the refused run's pipelined frames;
+                            // the ERROR already answered it.
+                            ConnState::Rejected => conn.state = ConnState::Idle,
+                            _ => {
+                                fail_state(conn, &mut self.runtime, "FINISH without an open run");
+                                break;
+                            }
+                        },
+                        FrameKind::Abort => match conn.state {
+                            ConnState::Running(id) => {
+                                self.runtime.abort(id);
+                                conn.state = ConnState::Aborting(id);
+                            }
+                            ConnState::Rejected => conn.state = ConnState::Idle,
+                            _ => {
+                                fail_state(conn, &mut self.runtime, "ABORT without an open run");
+                                break;
+                            }
+                        },
+                        // Server→client tags coming *from* a client are a
+                        // protocol violation.
+                        FrameKind::Result
+                        | FrameKind::Done
+                        | FrameKind::Stalled
+                        | FrameKind::Resumed
+                        | FrameKind::Error => {
+                            fail_protocol(
+                                conn,
+                                &mut self.runtime,
+                                &format!(
+                                    "server-to-client frame 0x{:02x} from client",
+                                    kind.byte()
+                                ),
+                            );
+                            break;
+                        }
+                    },
+                    Ok(DecodePoll::NeedMoreData) => break,
+                    Err(e) => {
+                        fail_protocol(conn, &mut self.runtime, &e.to_string());
+                        break;
+                    }
+                }
+            }
+            match pass {
+                ReadPass::Progress => continue,
+                ReadPass::Drained => break,
+                ReadPass::PeerGone => {
+                    conn.peer_gone = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Translate runtime events into outbound frames.
+    fn pump_runtime_events(&mut self) {
+        for ev in self.runtime.poll_events() {
+            match ev {
+                RuntimeEvent::Stalled { id } => {
+                    if let Some(conn) = self.by_session.get(&id).and_then(|t| self.conns.get_mut(t))
+                    {
+                        conn.stalled = true;
+                        conn.queue(FrameKind::Stalled, &[]);
+                    }
+                }
+                RuntimeEvent::Resumed { id } => {
+                    if let Some(conn) = self.by_session.get(&id).and_then(|t| self.conns.get_mut(t))
+                    {
+                        conn.stalled = false;
+                        conn.queue(FrameKind::Resumed, &[]);
+                    }
+                }
+                RuntimeEvent::Finished { id, result, sink } => {
+                    let token = self.by_session.remove(&id);
+                    drop(sink); // same SharedOut the connection holds
+                    if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
+                        conn.stalled = false;
+                        conn.state = ConnState::Idle;
+                        if conn.close_after_flush {
+                            // A fatal error already ended this stream on
+                            // the wire: the `ERROR` frame is the last word.
+                            conn.shared = None;
+                            continue;
+                        }
+                        conn.drain_results(self.cfg.result_frame_max);
+                        conn.shared = None;
+                        match result {
+                            Ok(stats) => {
+                                conn.queue_done_finished(stats.events, stats.output_bytes);
+                            }
+                            Err(e) => {
+                                conn.queue_error(ErrorCode::Engine, &e.to_string());
+                            }
+                        }
+                    }
+                }
+                RuntimeEvent::Aborted { id } => {
+                    let token = self.by_session.remove(&id);
+                    if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
+                        conn.shared = None;
+                        conn.stalled = false;
+                        let acked = matches!(conn.state, ConnState::Aborting(_));
+                        conn.state = ConnState::Idle;
+                        if acked && !conn.close_after_flush {
+                            conn.queue_done_aborted();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move engine output from the shared buffers into `RESULT` frames.
+    fn pump_session_output(&mut self) {
+        for conn in self.conns.values_mut() {
+            conn.drain_results(self.cfg.result_frame_max);
+        }
+    }
+
+    /// Flush write buffers, update poll interests, reap dead connections.
+    fn flush_and_sweep(&mut self) {
+        let mut dead = Vec::new();
+        for (&token, conn) in &mut self.conns {
+            if conn.out_len() > 0 && !conn.peer_gone {
+                conn.flush_pass();
+            }
+            if conn.peer_gone || (conn.close_after_flush && conn.out_len() == 0) {
+                dead.push(token);
+                continue;
+            }
+            let interest = Interest {
+                readable: conn.wants_read(self.cfg.outbuf_high_water),
+                writable: conn.out_len() > 0,
+            };
+            if interest != conn.registered {
+                self.poller.reregister(token, interest);
+                conn.registered = interest;
+            }
+        }
+        for token in dead {
+            let conn = self.conns.remove(&token).expect("dead list tracks live conns");
+            self.poller.deregister(token);
+            if let Some(id) = conn.state.abort_on_death() {
+                // Mid-stream disconnect: abort the session. Its buffers and
+                // budget charges release inside the runtime; the Aborted
+                // event finds the connection gone and is dropped.
+                self.runtime.abort(id);
+            }
+            // Finishing/Aborting sessions complete on their own; their
+            // terminal event cleans up `by_session` above.
+        }
+    }
+}
+
+/// Put a connection into fatal-protocol-error teardown.
+fn fail_protocol(conn: &mut Conn, runtime: &mut Runtime<FrameSink>, message: &str) {
+    conn.queue_error(ErrorCode::Protocol, message);
+    teardown(conn, runtime);
+}
+
+/// Put a connection into fatal-state-error teardown.
+fn fail_state(conn: &mut Conn, runtime: &mut Runtime<FrameSink>, message: &str) {
+    conn.queue_error(ErrorCode::State, message);
+    teardown(conn, runtime);
+}
+
+fn teardown(conn: &mut Conn, runtime: &mut Runtime<FrameSink>) {
+    if let Some(id) = conn.state.abort_on_death() {
+        runtime.abort(id);
+        conn.state = ConnState::Aborting(id);
+    }
+    // The `ERROR` frame is the stream's last word: drop the output seam so
+    // result bytes the aborted run already produced cannot trail it.
+    conn.shared = None;
+    conn.close_after_flush = true;
+}
+
+/// A running server on a background thread (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the loop and join the thread, surfacing any I/O error the loop
+    /// died with.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.join.take() {
+            Some(join) => join.join().expect("server thread panicked"),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(unix)]
+fn raw_handle(stream: &TcpStream) -> crate::poller::RawHandle {
+    use std::os::unix::io::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_handle(_stream: &TcpStream) -> crate::poller::RawHandle {
+    -1
+}
+
+#[cfg(unix)]
+fn raw_handle_listener(listener: &TcpListener) -> crate::poller::RawHandle {
+    use std::os::unix::io::AsRawFd;
+    listener.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_handle_listener(_listener: &TcpListener) -> crate::poller::RawHandle {
+    -1
+}

@@ -229,6 +229,61 @@ impl PreparedQuery {
     }
 }
 
+/// A shared, immutable catalog of prepared queries addressed by string id —
+/// what a network front-end (e.g. the `flux-serve` crate) resolves an
+/// `OPEN <query-id>` request against.
+///
+/// Build it once at startup ([`QueryRegistry::register`] each prepared
+/// query, then hand the registry out); cloning is cheap (`Arc` bump) and
+/// the registry is `Send + Sync`, so every server thread can hold one. Ids
+/// are arbitrary non-empty UTF-8 — typically short names like `"q1"`.
+#[derive(Clone, Default)]
+pub struct QueryRegistry {
+    queries: Arc<std::collections::HashMap<String, PreparedQuery>>,
+}
+
+impl QueryRegistry {
+    /// An empty registry.
+    pub fn new() -> QueryRegistry {
+        QueryRegistry::default()
+    }
+
+    /// Add (or replace) a prepared query under `id`.
+    ///
+    /// Registration is a startup-time operation: if the registry has
+    /// already been cloned and shared, this clones the underlying map
+    /// (copy-on-write) — existing clones keep the catalog they saw.
+    pub fn register(&mut self, id: impl Into<String>, query: PreparedQuery) {
+        Arc::make_mut(&mut self.queries).insert(id.into(), query);
+    }
+
+    /// Look up a prepared query by id.
+    pub fn get(&self, id: &str) -> Option<&PreparedQuery> {
+        self.queries.get(id)
+    }
+
+    /// Registered ids, in arbitrary order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.queries.keys().map(String::as_str)
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for QueryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryRegistry").field("ids", &self.ids().collect::<Vec<_>>()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +347,24 @@ mod tests {
         // Streaming plans are untouched by the limit.
         let strong = Engine::builder().dtd_str(DTD).max_buffer_bytes(4).build().unwrap();
         assert_eq!(strong.prepare(QUERY).unwrap().run_str(DOC).unwrap().stats.peak_buffer_bytes, 0);
+    }
+
+    #[test]
+    fn registry_shares_prepared_queries_by_id() {
+        assert_send_sync::<QueryRegistry>();
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let mut reg = QueryRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("q", engine.prepare(QUERY).unwrap());
+        let shared = reg.clone();
+        // Copy-on-write: late registration is invisible to earlier clones.
+        reg.register("other", engine.prepare(QUERY).unwrap());
+        assert_eq!(reg.len(), 2);
+        assert_eq!(shared.len(), 1);
+        assert!(shared.get("q").is_some());
+        assert!(shared.get("missing").is_none());
+        let out = shared.get("q").unwrap().run_str(DOC).unwrap();
+        assert!(out.output.contains("<title>T</title>"));
     }
 
     #[test]

@@ -97,7 +97,10 @@
 //! spreads N shards over N worker threads with least-loaded placement, and
 //! an [`AdmissionController`] bounds the *aggregate* buffer bytes across
 //! every session — feeds past the shared budget report
-//! [`FeedOutcome::Backpressure`] and resume when buffers release:
+//! [`FeedOutcome::Backpressure`] and resume on the budget-release wakeup.
+//! (The `flux-serve` crate puts a TCP front-end on the whole stack: a
+//! [`QueryRegistry`] of prepared queries served over a length-prefixed
+//! wire protocol, one `Runtime` behind the sockets.)
 //!
 //! ```
 //! use flux::prelude::*;
@@ -157,7 +160,7 @@ mod api;
 mod error;
 pub mod runtime;
 
-pub use api::{Engine, EngineBuilder, PreparedQuery};
+pub use api::{Engine, EngineBuilder, PreparedQuery, QueryRegistry};
 pub use error::FluxError;
 pub use runtime::{
     AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
@@ -166,7 +169,7 @@ pub use runtime::{
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
-    pub use crate::api::{Engine, EngineBuilder, PreparedQuery};
+    pub use crate::api::{Engine, EngineBuilder, PreparedQuery, QueryRegistry};
     pub use crate::error::FluxError;
     pub use crate::runtime::{
         AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
@@ -175,7 +178,7 @@ pub mod prelude {
     pub use flux_baseline::{DomEngine, PreparedDomQuery, ProjectionMode};
     pub use flux_core::{rewrite_query, FluxExpr, Handler};
     pub use flux_dtd::Dtd;
-    pub use flux_engine::{BudgetHook, Pump, RunOutcome, RunStats};
+    pub use flux_engine::{BudgetHook, BudgetWaker, Pump, RunOutcome, RunStats};
     pub use flux_query::{parse_xquery, Expr};
     pub use flux_xml::{Node, Reader, Sink, StringSink};
 }

@@ -21,9 +21,9 @@
 //! session with [`flux_engine::EngineError::BudgetDenied`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use flux_engine::BudgetHook;
+use flux_engine::{BudgetHook, BudgetWaker};
 
 /// A shared byte budget across any number of sessions, shards and worker
 /// threads. Cheap to clone (an `Arc` bump); plug it into a
@@ -40,6 +40,15 @@ struct Inner {
     reserve: usize,
     used: AtomicUsize,
     peak: AtomicUsize,
+    /// Release-edge subscribers ([`BudgetHook::subscribe_waker`]): workers
+    /// sleeping on a tight pool. Held weakly so a dropped runtime's wakers
+    /// unsubscribe themselves — dead entries are pruned on every
+    /// subscription and on every armed release edge. The `armed` count is
+    /// the release hot path's fast exit — one relaxed load while nobody
+    /// waits ([`BudgetWaker`]'s drop returns any pending arm, so the count
+    /// stays exact across runtime teardown).
+    wakers: Mutex<Vec<std::sync::Weak<BudgetWaker>>>,
+    armed: Arc<AtomicUsize>,
 }
 
 impl BudgetHook for Inner {
@@ -61,12 +70,38 @@ impl BudgetHook for Inner {
     }
 
     fn release(&self, bytes: usize) {
-        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+        // SeqCst pairs with the SeqCst arm in `BudgetWaker::arm`: either
+        // this release observes the waker armed, or the arming worker's
+        // subsequent `should_pause` observes the subtracted `used` — a
+        // wakeup can be spurious but never lost.
+        let prev = self.used.fetch_sub(bytes, Ordering::SeqCst);
         debug_assert!(prev >= bytes, "admission accounting underflow");
+        if self.armed.load(Ordering::SeqCst) > 0 && !self.should_pause() {
+            // Release edge with sleepers: the pool just crossed back over
+            // the reserve. Fire every live armed waker (each consumes its
+            // arm, so an already-woken worker is not poked twice) and drop
+            // registrations whose owner died.
+            self.wakers.lock().expect("waker registry").retain(|w| match w.upgrade() {
+                Some(w) => {
+                    w.fire();
+                    true
+                }
+                None => false,
+            });
+        }
     }
 
     fn should_pause(&self) -> bool {
-        self.budget - self.used.load(Ordering::Relaxed).min(self.budget) < self.reserve
+        self.budget - self.used.load(Ordering::SeqCst).min(self.budget) < self.reserve
+    }
+
+    fn subscribe_waker(&self, waker: &Arc<BudgetWaker>) {
+        waker.bind_armed_hint(Arc::clone(&self.armed));
+        let mut wakers = self.wakers.lock().expect("waker registry");
+        // A controller can outlive many runtimes: prune the registrations
+        // of dropped subscribers so the registry tracks live wakers only.
+        wakers.retain(|w| w.strong_count() > 0);
+        wakers.push(Arc::downgrade(waker));
     }
 }
 
@@ -88,6 +123,8 @@ impl AdmissionController {
                 reserve: reserve.min(budget),
                 used: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
+                wakers: Mutex::new(Vec::new()),
+                armed: Arc::new(AtomicUsize::new(0)),
             }),
         }
     }
@@ -166,6 +203,81 @@ mod tests {
         assert!(c.is_tight(), "headroom 29 < reserve 30");
         h.release(71);
         assert!(!c.is_tight());
+    }
+
+    #[test]
+    fn release_edges_fire_armed_wakers_exactly_once() {
+        let c = AdmissionController::with_reserve(100, 30);
+        let h = c.hook();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        let w = BudgetWaker::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        h.subscribe_waker(&w);
+
+        assert!(h.try_grow(80));
+        assert!(c.is_tight());
+        w.arm();
+        h.release(5); // headroom 25: still under the reserve — no edge
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        h.release(10); // headroom 35: the release edge
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        h.release(10); // waker no longer armed: edge-triggered, not level
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+        // Re-arming catches the next episode.
+        h.release(55);
+        assert!(h.try_grow(80));
+        assert!(c.is_tight());
+        w.arm();
+        h.release(80);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn dropped_subscribers_unsubscribe_and_return_their_arm() {
+        // A controller outlives many runtimes: dying subscribers must not
+        // accumulate in the registry or strand the armed count.
+        let c = AdmissionController::with_reserve(100, 30);
+        let h = c.hook();
+        let w1 = BudgetWaker::new(|| {});
+        h.subscribe_waker(&w1);
+        w1.arm();
+        assert_eq!(c.inner.armed.load(Ordering::SeqCst), 1);
+        drop(w1); // the runtime died mid-stall
+        assert_eq!(c.inner.armed.load(Ordering::SeqCst), 0, "drop returns the arm");
+
+        // The next subscription prunes the dead registration …
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        let w2 = BudgetWaker::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        h.subscribe_waker(&w2);
+        assert_eq!(c.inner.wakers.lock().unwrap().len(), 1, "dead waker pruned");
+
+        // … and release edges keep working for the live one.
+        assert!(h.try_grow(80));
+        w2.arm();
+        h.release(80);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unarmed_wakers_never_fire() {
+        let c = AdmissionController::with_reserve(100, 30);
+        let h = c.hook();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        let w = BudgetWaker::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        h.subscribe_waker(&w);
+        assert!(h.try_grow(90));
+        h.release(90);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
     }
 
     #[test]

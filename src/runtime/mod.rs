@@ -26,8 +26,10 @@
 //!   immediately; completions, stalls and resumptions come back as
 //!   [`RuntimeEvent`]s ([`Runtime::poll_events`] / [`Runtime::wait_event`]).
 //!   [`Runtime::drain`] shuts the fleet down gracefully. The API is
-//!   deliberately poll-shaped so an async front-end (tokio feature gate)
-//!   can drop in behind it without reshaping the layers below.
+//!   deliberately poll-shaped so front-ends that must not block can sit
+//!   directly on top — the `flux-serve` crate's TCP server drives one
+//!   `Runtime` from a socket readiness loop, and a tokio feature gate can
+//!   drop in the same way without reshaping the layers below.
 //! * **[`AdmissionController`]** — a shared byte budget across every
 //!   session plugged into it, on any shard. The engine reports each
 //!   retained-byte delta through a pluggable
@@ -38,7 +40,10 @@
 //!   exits, finishes, aborts — a dropped session always returns everything
 //!   it held). The gate only refuses *new* growth: sessions already
 //!   holding buffers keep draining, because completing their scopes is
-//!   precisely what frees the pool.
+//!   precisely what frees the pool. Resumption is event-driven: workers
+//!   sleeping on a tight pool subscribe a
+//!   [`BudgetWaker`](flux_engine::BudgetWaker) and are fired on the exact
+//!   release edge that restores headroom — there is no retry tick.
 //!
 //! Chunk boundaries are invisible at every layer: output bytes and all
 //! statistics are identical to a one-shot run over the concatenation of

@@ -23,20 +23,23 @@
 //! back (sessions still open at that point are aborted, returning whatever
 //! they charged to the admission budget).
 //!
-//! Workers retry sessions paused on the shared budget whenever their
-//! mailbox goes quiet, so cross-worker releases (a session finishing on
-//! another core) un-stall a paused session without any caller involvement;
-//! the [`RuntimeEvent::Stalled`] / [`RuntimeEvent::Resumed`] notifications
-//! exist for observability and source-side flow control.
+//! Sessions paused on the shared budget resume on the *release edge*: each
+//! worker subscribes a [`BudgetWaker`] to the budget hook, arms it before
+//! sleeping on its mailbox, and the release that restores headroom (a
+//! session finishing on any core — or outside the runtime entirely) fires
+//! the waker, which enqueues a retry onto the worker's own mailbox. There
+//! is no retry tick and no polling: a stalled fleet sleeps until the exact
+//! moment the pool frees. The [`RuntimeEvent::Stalled`] /
+//! [`RuntimeEvent::Resumed`] notifications exist for observability and
+//! source-side flow control.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-use flux_engine::RunStats;
+use flux_engine::{BudgetHook, BudgetWaker, RunStats};
 use flux_xml::Sink;
 
 use crate::api::PreparedQuery;
@@ -88,11 +91,27 @@ pub enum RuntimeEvent<S> {
 /// Mailbox commands, one queue per worker. The session travels boxed so
 /// the hot `Feed` variant stays a couple of words wide on the channel.
 enum Cmd<S: Sink> {
-    Open { slot: u32, gen: u32, session: Box<Session<S>> },
-    Feed { slot: u32, chunk: Arc<[u8]> },
-    Resume { slot: u32 },
-    Finish { slot: u32 },
-    Abort { slot: u32 },
+    Open {
+        slot: u32,
+        gen: u32,
+        session: Box<Session<S>>,
+    },
+    Feed {
+        slot: u32,
+        chunk: Arc<[u8]>,
+    },
+    Resume {
+        slot: u32,
+    },
+    Finish {
+        slot: u32,
+    },
+    Abort {
+        slot: u32,
+    },
+    /// Budget-release wakeup (sent by the worker's [`BudgetWaker`]): no
+    /// payload — receiving any command re-runs the stalled retries.
+    RetryStalled,
     Shutdown,
 }
 
@@ -119,7 +138,7 @@ pub struct Runtime<S: Sink + Send + 'static> {
     events: Receiver<RuntimeEvent<S>>,
     slots: Vec<Slot>,
     free: Vec<u32>,
-    admission: Option<AdmissionController>,
+    budget: Option<Arc<dyn BudgetHook>>,
     live: usize,
 }
 
@@ -132,10 +151,20 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     /// A runtime with `shards` worker threads whose sessions all charge
     /// the given [`AdmissionController`].
     pub fn with_admission(shards: usize, admission: AdmissionController) -> Runtime<S> {
-        Runtime::build(shards, Some(admission))
+        Runtime::with_budget(shards, admission.hook())
     }
 
-    fn build(shards: usize, admission: Option<AdmissionController>) -> Runtime<S> {
+    /// A runtime charging an arbitrary [`BudgetHook`] — the seam for
+    /// wrapping an [`AdmissionController`] with counting or logging
+    /// decoration. The hook must deliver budget-release wakeups
+    /// ([`BudgetHook::subscribe_waker`]) if it ever pauses sessions;
+    /// wrapping hooks should forward all five trait methods to the inner
+    /// controller.
+    pub fn with_budget(shards: usize, budget: Arc<dyn BudgetHook>) -> Runtime<S> {
+        Runtime::build(shards, Some(budget))
+    }
+
+    fn build(shards: usize, budget: Option<Arc<dyn BudgetHook>>) -> Runtime<S> {
         assert!(shards > 0, "a Runtime needs at least one shard");
         let (events_tx, events) = channel();
         let workers = (0..shards)
@@ -144,14 +173,28 @@ impl<S: Sink + Send + 'static> Runtime<S> {
                 let live = Arc::new(AtomicUsize::new(0));
                 let worker_live = Arc::clone(&live);
                 let worker_events = events_tx.clone();
+                // The worker's budget-release wakeup: fired on the release
+                // edge (possibly from another worker's thread, or from a
+                // session outside this runtime entirely), it lands in the
+                // worker's own mailbox and re-runs the stalled retries.
+                let worker_budget = budget.as_ref().map(|hook| {
+                    let wake_tx = tx.clone();
+                    let waker = BudgetWaker::new(move || {
+                        // The worker may already be shutting down: a wakeup
+                        // with nobody to wake is fine to drop.
+                        let _ = wake_tx.send(Cmd::RetryStalled);
+                    });
+                    hook.subscribe_waker(&waker);
+                    (Arc::clone(hook), waker)
+                });
                 let handle = std::thread::Builder::new()
                     .name(format!("flux-shard-{i}"))
-                    .spawn(move || worker_loop(rx, worker_events, worker_live))
+                    .spawn(move || worker_loop(rx, worker_events, worker_live, worker_budget))
                     .expect("spawn shard worker");
                 WorkerHandle { tx, live, handle: Some(handle) }
             })
             .collect();
-        Runtime { workers, events, slots: Vec::new(), free: Vec::new(), admission, live: 0 }
+        Runtime { workers, events, slots: Vec::new(), free: Vec::new(), budget, live: 0 }
     }
 
     /// Number of worker threads.
@@ -179,8 +222,8 @@ impl<S: Sink + Send + 'static> Runtime<S> {
             .min_by_key(|(_, w)| w.live.load(Ordering::Relaxed))
             .map(|(i, _)| i)
             .expect("at least one worker");
-        let session = match &self.admission {
-            Some(ctrl) => query.session_with_budget(sink, ctrl.hook()),
+        let session = match &self.budget {
+            Some(hook) => query.session_with_budget(sink, Arc::clone(hook)),
             None => query.session(sink),
         };
         let slot = match self.free.pop() {
@@ -316,11 +359,6 @@ impl<S: Sink + Send + 'static> Drop for Runtime<S> {
     }
 }
 
-/// How long a worker with stalled sessions waits for mail before retrying
-/// them. Cross-worker budget releases have no direct wakeup channel (yet —
-/// the async seam will carry one), so this bounds the resume latency.
-const STALLED_RETRY: Duration = Duration::from_micros(200);
-
 struct Entry<S: Sink> {
     gen: u32,
     session: Session<S>,
@@ -331,10 +369,15 @@ struct Entry<S: Sink> {
 
 /// One worker thread: a mailbox-driven session multiplexer. (The admission
 /// gate lives inside each `Session`; workers only see its `FeedOutcome`.)
+/// With sessions stalled on the shared budget the worker sleeps on its
+/// mailbox with its [`BudgetWaker`] armed — the release edge that restores
+/// headroom enqueues [`Cmd::RetryStalled`], so resumption is event-driven,
+/// not polled.
 fn worker_loop<S: Sink + Send + 'static>(
     rx: Receiver<Cmd<S>>,
     events: Sender<RuntimeEvent<S>>,
     live: Arc<AtomicUsize>,
+    budget: Option<(Arc<dyn BudgetHook>, Arc<BudgetWaker>)>,
 ) {
     let mut sessions: HashMap<u32, Entry<S>> = HashMap::new();
     let mut stalled: Vec<u32> = Vec::new();
@@ -345,10 +388,27 @@ fn worker_loop<S: Sink + Send + 'static>(
                 Err(_) => return, // runtime dropped without Shutdown
             }
         } else {
-            match rx.recv_timeout(STALLED_RETRY) {
-                Ok(c) => Some(c),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => return,
+            // Sessions are stalled on the shared budget (the only stall
+            // cause, so a budget is necessarily present). Arm the wakeup
+            // *before* re-checking the gate: a release landing between the
+            // two still fires the waker into this mailbox, so the blocking
+            // recv below can never sleep through it.
+            let (hook, waker) =
+                budget.as_ref().expect("stalled sessions imply an admission budget");
+            waker.arm();
+            if !hook.should_pause() {
+                // The pool freed between the last retry and arming: skip
+                // the sleep and retry right now.
+                waker.disarm();
+                None
+            } else {
+                match rx.recv() {
+                    Ok(c) => {
+                        waker.disarm();
+                        Some(c)
+                    }
+                    Err(_) => return,
+                }
             }
         };
         match cmd {
@@ -408,7 +468,9 @@ fn worker_loop<S: Sink + Send + 'static>(
                 let _ = events.send(RuntimeEvent::Aborted { id: RuntimeId { slot, gen } });
             }
             Some(Cmd::Shutdown) => return, // drops remaining sessions
-            None => {}                     // retry tick
+            // A budget-release wakeup (or a spurious one after a disarm
+            // race): nothing to do here — the retry pass below is the point.
+            Some(Cmd::RetryStalled) | None => {}
         }
         // Budget may have freed (here or on another worker): retry stalled
         // sessions. Cheap when nothing changed — the admission gate is one

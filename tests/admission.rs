@@ -73,11 +73,21 @@ impl BudgetHook for CountingHook {
         true
     }
     fn release(&self, bytes: usize) {
-        self.inner.release(bytes);
+        // Count down *before* returning the bytes to the pool: once the
+        // pool may re-grant them to another thread, this witness must not
+        // still be holding them, or its peak could transiently read above
+        // the budget. (No underflow: a release happens-after its own grant
+        // on the same session's thread.)
         self.used.fetch_sub(bytes, Ordering::SeqCst);
+        self.inner.release(bytes);
     }
     fn should_pause(&self) -> bool {
         self.inner.should_pause()
+    }
+    // Wrapping hooks must forward wakeup subscriptions, or sessions they
+    // pause would sleep through the release edge.
+    fn subscribe_waker(&self, waker: &Arc<flux::engine::BudgetWaker>) {
+        self.inner.subscribe_waker(waker);
     }
 }
 
@@ -325,6 +335,93 @@ fn runtime_queues_refused_chunks_and_resumes_deterministically() {
     assert_eq!(ctrl.used(), 0);
     assert!(ctrl.peak_used() <= ctrl.budget());
     assert!(rt.drain().is_empty());
+}
+
+#[test]
+fn stalled_sessions_resume_on_the_release_edge_without_a_tick() {
+    // PR 4 resumed cross-worker stalls on a 200 µs mailbox-idle retry tick;
+    // the tick is gone, so a stalled worker sleeps until the release edge
+    // fires its BudgetWaker. This test would *hang* (not merely slow down)
+    // if the wakeup were lost: after the Stalled event no further command
+    // is ever sent to the runtime — the only thing that can un-stall the
+    // session is the budget release performed on this thread.
+    let q = prepared();
+    let reference = q.run_str(&(hold_prefix(1000) + SUFFIX)).unwrap();
+    let ctrl = AdmissionController::with_reserve(3000, 1200);
+
+    // An external holder (a bare session on this thread, not managed by the
+    // runtime) parks enough bytes to close the admission gate.
+    let mut holder = q.session_with_budget(StringSink::new(), ctrl.hook());
+    holder.feed(hold_prefix(2200).as_bytes()).unwrap();
+    assert!(ctrl.is_tight(), "the holder closes the gate");
+
+    // Deterministic 1-worker runtime: its only session stalls immediately.
+    let mut rt: Runtime<StringSink> = Runtime::with_admission(1, ctrl.clone());
+    let s = rt.open(&q, StringSink::new());
+    rt.feed(s, hold_prefix(1000).as_bytes());
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Stalled { id } => assert_eq!(id, s),
+        other => panic!("expected a stall, got {other:?}"),
+    }
+
+    // Release the pool from this thread. No command accompanies it: the
+    // Resumed event below can only come from the wakeup channel.
+    drop(holder);
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Resumed { id } => assert_eq!(id, s),
+        other => panic!("expected the release-edge resume, got {other:?}"),
+    }
+
+    rt.feed(s, SUFFIX.as_bytes());
+    rt.finish(s);
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Finished { id, result, sink } => {
+            assert_eq!(id, s);
+            result.unwrap();
+            assert_eq!(sink.unwrap().as_str(), reference.output);
+        }
+        other => panic!("expected the finish, got {other:?}"),
+    }
+    assert_eq!(ctrl.used(), 0);
+    assert!(rt.drain().is_empty());
+}
+
+#[test]
+fn wrapped_hooks_deliver_wakeups_through_the_forwarded_subscription() {
+    // Same release-edge shape, but the runtime charges the CountingHook
+    // wrapper: the subscription must reach the controller through the
+    // wrapper's subscribe_waker forwarding for the resume to ever arrive.
+    let q = prepared();
+    let ctrl = AdmissionController::with_reserve(3000, 1200);
+    let counting = CountingHook::over(&ctrl);
+
+    let mut holder = q.session_with_budget(StringSink::new(), counting.clone());
+    holder.feed(hold_prefix(2200).as_bytes()).unwrap();
+    assert!(ctrl.is_tight());
+
+    let mut rt: Runtime<StringSink> = Runtime::with_budget(1, counting.clone());
+    let s = rt.open(&q, StringSink::new());
+    rt.feed(s, hold_prefix(1000).as_bytes());
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Stalled { id } => assert_eq!(id, s),
+        other => panic!("expected a stall, got {other:?}"),
+    }
+    drop(holder);
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Resumed { id } => assert_eq!(id, s),
+        other => panic!("expected the release-edge resume, got {other:?}"),
+    }
+    rt.feed(s, SUFFIX.as_bytes());
+    rt.finish(s);
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Finished { result, .. } => {
+            result.unwrap();
+        }
+        other => panic!("expected the finish, got {other:?}"),
+    }
+    assert_eq!(ctrl.used(), 0);
+    assert_eq!(counting.peak(), counting.peak().min(ctrl.budget()));
+    let _ = rt.drain();
 }
 
 fn name(id: RuntimeId, a: RuntimeId, b: RuntimeId, c: RuntimeId) -> &'static str {
