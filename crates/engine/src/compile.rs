@@ -97,7 +97,7 @@ impl From<EvalError> for EngineError {
 
 /// Static configuration a query is compiled with. Cheap to copy; one
 /// compiled plan serves any number of concurrent runs with these settings.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineOptions {
     /// How input streams are tokenized (attribute handling, whitespace).
     pub reader: ReaderOptions,
@@ -234,12 +234,37 @@ impl CompiledQuery {
         dtd: Arc<Dtd>,
         opts: EngineOptions,
     ) -> Result<CompiledQuery, EngineError> {
-        check_safety(q, &dtd).map_err(|v| EngineError::Unsafe(v.to_string()))?;
         // Extend the schema's interned vocabulary with the query's names.
         // DTD ids are preserved, so the productions' dense transition
         // tables remain valid; query-only names get fresh ids that no
         // production can step on (they read as "no transition").
         let symbols = (**dtd.symbols()).clone();
+        Self::compile_with_symbols(q, dtd, opts, symbols)
+    }
+
+    /// [`CompiledQuery::compile_with`], seeding the plan's symbol table with
+    /// an explicit starting vocabulary instead of the DTD's own.
+    ///
+    /// The seed must extend the DTD's table — every name the DTD interned
+    /// must resolve to the *same* [`NameId`] in the seed — because the
+    /// productions' dense transition tables are indexed by those ids. This
+    /// is the fan-out seam ([`crate::fanout`]): many queries compiled
+    /// against one *union* symbol table produce plans whose ids agree, so a
+    /// single tokenization pass can drive all of them.
+    pub fn compile_with_symbols(
+        q: &FluxExpr,
+        dtd: Arc<Dtd>,
+        opts: EngineOptions,
+        symbols: Symbols,
+    ) -> Result<CompiledQuery, EngineError> {
+        for (id, name) in dtd.symbols().iter() {
+            if symbols.resolve(name) != id {
+                return Err(EngineError::Unsupported(format!(
+                    "seed symbol table does not extend the DTD's (`{name}` moved)"
+                )));
+            }
+        }
+        check_safety(q, &dtd).map_err(|v| EngineError::Unsafe(v.to_string()))?;
         let mut c = Compiler { dtd: &dtd, symbols, scopes: Vec::new(), pending: Vec::new() };
         let top = match q {
             FluxExpr::Simple(e) => {

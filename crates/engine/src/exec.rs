@@ -103,6 +103,33 @@ impl CompiledQuery {
     }
 }
 
+/// What a [`Pump`] needs from the event stream right now — the seam that
+/// lets a shared multi-subscriber driver ([`crate::fanout::FanoutDriver`])
+/// stop feeding a pump that is provably indifferent to the next events.
+///
+/// The claim behind [`StreamInterest::SkipSubtree`] is exact, not
+/// heuristic: while the machine is skipping an unhandled subtree *and* has
+/// no active observers, feeding it an event inside that subtree does
+/// nothing but bump the event counter and the skip depth — no output, no
+/// buffering, no budget traffic, no validation. A driver may therefore
+/// withhold those events entirely and later reconcile the counter with
+/// [`Pump::fast_forward_skip`] before delivering the end tag that closes
+/// the skipped subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamInterest {
+    /// Every event matters (or withholding is not provably safe): keep
+    /// feeding.
+    All,
+    /// The machine is inside a skipped subtree, currently `depth` levels
+    /// deep, with no observers. It next changes state at the end tag that
+    /// closes the element `depth` levels up; everything before that tag
+    /// may be withheld.
+    SkipSubtree {
+        /// Current skip depth (≥ 1).
+        depth: u32,
+    },
+}
+
 /// A resumable, push-based execution of a [`CompiledQuery`].
 ///
 /// The pump is the engine's sans-IO core: it owns no input source and never
@@ -197,6 +224,42 @@ impl<S: Sink> Pump<S> {
     /// [`Pump::finish`]).
     pub fn stats_so_far(&self) -> RunStats {
         self.st.stats
+    }
+
+    /// Does this pump need the next events? See [`StreamInterest`].
+    ///
+    /// Reports [`StreamInterest::SkipSubtree`] exactly when the machine is
+    /// in the bare-counter skip state with no observers installed: no
+    /// recorder or condition flag can see the withheld events (observers
+    /// are pushed only on scope entry, which cannot happen inside a skipped
+    /// subtree), no capture is in flight (the top frame is a scope frame),
+    /// and the skip path touches nothing but the event counter.
+    pub fn stream_interest(&self) -> StreamInterest {
+        if !self.st.failed && self.st.skip > 0 && self.st.observers.is_empty() {
+            StreamInterest::SkipSubtree { depth: self.st.skip }
+        } else {
+            StreamInterest::All
+        }
+    }
+
+    /// Reconcile this pump after a driver withheld `skipped_events` events
+    /// under a [`StreamInterest::SkipSubtree`] contract.
+    ///
+    /// The withheld events are everything strictly inside the skipped
+    /// subtree after the pump was parked, *excluding* the end tag that
+    /// closes the subtree — feed that tag normally right after this call
+    /// (it pops the skip state and fires the enclosing scope's pending
+    /// handlers exactly as an unwithheld run would). Since the subtree is
+    /// balanced, the logical skip depth just before that end tag is 1
+    /// regardless of the depth at park time, and the only state the
+    /// withheld events would have changed is the event counter.
+    pub fn fast_forward_skip(&mut self, skipped_events: u64) {
+        debug_assert!(
+            !self.st.failed && self.st.skip > 0 && self.st.observers.is_empty(),
+            "fast_forward_skip outside a SkipSubtree parking contract"
+        );
+        self.st.skip = 1;
+        self.st.stats.events += skipped_events;
     }
 }
 

@@ -65,10 +65,12 @@ pub mod buffer;
 pub mod bufplan;
 pub mod compile;
 pub mod exec;
+pub mod fanout;
 pub mod flags;
 pub mod stats;
 
 pub use budget::{BudgetHook, BudgetWaker};
 pub use compile::{CompiledQuery, EngineError, EngineOptions};
-pub use exec::{Pump, RunOutcome};
+pub use exec::{Pump, RunOutcome, StreamInterest};
+pub use fanout::{FanoutDriver, FanoutPlan, FanoutQuery, SharedMatcher, SubTeardown};
 pub use stats::RunStats;

@@ -67,7 +67,9 @@ pub struct Client {
     /// Encoded frames not yet accepted by the socket.
     pending: Vec<u8>,
     pending_pos: usize,
-    inbox: VecDeque<ServerMsg>,
+    /// Complete inbound frames, decoded lazily: shared fan-out runs read
+    /// them tagged, everything else as plain [`ServerMsg`]s.
+    inbox: VecDeque<(FrameKind, Vec<u8>)>,
     scratch: Vec<u8>,
 }
 
@@ -169,8 +171,7 @@ impl Client {
         loop {
             match self.decoder.poll() {
                 Ok(DecodePoll::Frame { kind, payload }) => {
-                    let msg = decode_msg(kind, payload)?;
-                    self.inbox.push_back(msg);
+                    self.inbox.push_back((kind, payload.to_vec()));
                 }
                 Ok(DecodePoll::NeedMoreData) => return Ok(()),
                 Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
@@ -181,9 +182,15 @@ impl Client {
     /// The next server message, blocking until one arrives. Pending writes
     /// keep flushing while waiting.
     pub fn next_msg(&mut self) -> io::Result<ServerMsg> {
+        let (kind, payload) = self.next_frame()?;
+        decode_msg(kind, &payload)
+    }
+
+    /// The next raw frame, blocking until one arrives.
+    fn next_frame(&mut self) -> io::Result<(FrameKind, Vec<u8>)> {
         loop {
-            if let Some(msg) = self.inbox.pop_front() {
-                return Ok(msg);
+            if let Some(frame) = self.inbox.pop_front() {
+                return Ok(frame);
             }
             if !self.pending.is_empty() {
                 self.drive()?;
@@ -242,10 +249,111 @@ impl Client {
         self.collect()
     }
 
+    /// Queue one `OPEN` per id: a shared fan-out run (the server parses the
+    /// document once for all of them). Follow with `chunk`/`finish` and
+    /// [`Client::collect_shared`].
+    pub fn open_many<I: AsRef<str>>(&mut self, ids: &[I]) -> io::Result<()> {
+        for id in ids {
+            self.open(id.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Collect a shared fan-out run of `subs` subscribers: demultiplex the
+    /// subscriber-tagged `RESULT`/`DONE`/`ERROR` frames into one
+    /// [`Outcome`] per subscriber (in `OPEN` order), until every
+    /// subscriber has its terminal frame. `STALLED`/`RESUMED` are
+    /// connection-level — the shared parse pauses as a whole — and are
+    /// counted on every subscriber.
+    ///
+    /// A connection-level (untagged) `ERROR` ends every remaining
+    /// subscriber with that error.
+    pub fn collect_shared(&mut self, subs: usize) -> io::Result<Vec<Outcome>> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let mut outs = vec![Outcome::default(); subs];
+        let mut open = vec![true; subs];
+        while open.iter().any(|&o| o) {
+            let (kind, payload) = self.next_frame()?;
+            match kind {
+                FrameKind::Stalled => outs.iter_mut().for_each(|o| o.stalls += 1),
+                FrameKind::Resumed => outs.iter_mut().for_each(|o| o.resumes += 1),
+                FrameKind::Error if untagged_error(&payload, subs) => {
+                    // Connection-fatal refusal (protocol/state/compile):
+                    // one untagged frame answers the whole run.
+                    let msg = decode_msg(kind, &payload)?;
+                    let ServerMsg::Error { code, message } = msg else { unreachable!() };
+                    for (o, live) in outs.iter_mut().zip(&open) {
+                        if *live {
+                            o.error = Some((code, message.clone()));
+                        }
+                    }
+                    return Ok(outs);
+                }
+                FrameKind::Result | FrameKind::Done | FrameKind::Error => {
+                    if payload.len() < 4 {
+                        return Err(bad("shared-mode frame shorter than its subscriber tag"));
+                    }
+                    let sub =
+                        u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+                    if sub >= subs {
+                        return Err(bad("subscriber tag out of range"));
+                    }
+                    match decode_msg(kind, &payload[4..])? {
+                        ServerMsg::Result(bytes) => outs[sub].output.extend_from_slice(&bytes),
+                        ServerMsg::Done { events, output_bytes } => {
+                            outs[sub].done = Some((events, output_bytes));
+                            open[sub] = false;
+                        }
+                        ServerMsg::AbortAck => {
+                            outs[sub].aborted = true;
+                            open[sub] = false;
+                        }
+                        ServerMsg::Error { code, message } => {
+                            outs[sub].error = Some((code, message));
+                            open[sub] = false;
+                        }
+                        ServerMsg::Stalled | ServerMsg::Resumed => {
+                            return Err(bad("tagged flow-control frame"))
+                        }
+                    }
+                }
+                _ => return Err(bad("client-to-server frame from server")),
+            }
+        }
+        Ok(outs)
+    }
+
+    /// Open every id as one shared run, stream `doc` once, and collect the
+    /// per-subscriber outcomes.
+    pub fn run_document_shared<I: AsRef<str>>(
+        &mut self,
+        ids: &[I],
+        doc: &[u8],
+        chunk_size: usize,
+    ) -> io::Result<Vec<Outcome>> {
+        self.open_many(ids)?;
+        for chunk in doc.chunks(chunk_size.max(1)) {
+            self.chunk(chunk)?;
+        }
+        self.finish()?;
+        self.collect_shared(ids.len())
+    }
+
     /// The underlying stream (for tests that need raw socket control).
     pub fn stream(&self) -> &TcpStream {
         &self.stream
     }
+}
+
+/// Is this `ERROR` payload connection-level (untagged)? A tagged payload
+/// starts with a valid in-range 4-byte subscriber index followed by a known
+/// error-code byte; an untagged one starts with the code byte itself (1-4,
+/// never 0 — the high byte of any real subscriber index).
+fn untagged_error(payload: &[u8], subs: usize) -> bool {
+    let tagged = payload.len() >= 5
+        && (u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize) < subs
+        && ErrorCode::from_byte(payload[4]).is_some();
+    !tagged
 }
 
 fn decode_msg(kind: FrameKind, payload: &[u8]) -> io::Result<ServerMsg> {

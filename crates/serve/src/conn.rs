@@ -28,8 +28,8 @@ use flux_xml::Sink;
 
 use crate::poller::Interest;
 use crate::protocol::{
-    encode_done_aborted, encode_done_finished, encode_error, encode_frame, ErrorCode, FrameDecoder,
-    FrameKind,
+    done_finished_payload, encode_done_aborted, encode_done_finished, encode_error, encode_frame,
+    ErrorCode, FrameDecoder, FrameKind,
 };
 
 /// Where a connection is in the session lifecycle.
@@ -37,6 +37,11 @@ use crate::protocol::{
 pub(crate) enum ConnState {
     /// No session: `OPEN` is the only acceptable next frame.
     Idle,
+    /// One or more valid `OPEN`s received, no document bytes yet. Further
+    /// `OPEN`s join the set ([`Conn::pending_opens`]); the first `CHUNK`
+    /// or `FINISH` seals it into a session (single for one id, shared
+    /// fan-out for several).
+    Collecting,
     /// An `OPEN` was refused (unknown query id) but the connection lives
     /// on. A pipelining client may already have the doomed run's `CHUNK`s
     /// and `FINISH` in flight: they are absorbed silently (`FINISH` /
@@ -134,9 +139,15 @@ pub(crate) struct Conn {
     /// Consumed prefix of `out` (partial writes).
     out_pos: usize,
     pub(crate) state: ConnState,
+    /// Query ids collected from `OPEN` frames, awaiting the seal
+    /// (`Collecting` only).
+    pub(crate) pending_opens: Vec<String>,
     /// The live session's output seam (present from `OPEN` to the terminal
     /// runtime event).
     pub(crate) shared: Option<Arc<SharedOut>>,
+    /// Shared fan-out mode: one output seam per subscriber, drained into
+    /// subscriber-tagged `RESULT` frames. Empty in single mode.
+    pub(crate) multi: Vec<Arc<SharedOut>>,
     /// The session is paused on the shared admission budget: reads are
     /// parked so the client's chunks queue in its own socket, not here.
     pub(crate) stalled: bool,
@@ -157,7 +168,9 @@ impl Conn {
             out: Vec::new(),
             out_pos: 0,
             state: ConnState::Idle,
+            pending_opens: Vec::new(),
             shared: None,
+            multi: Vec::new(),
             stalled: false,
             close_after_flush: false,
             peer_gone: false,
@@ -190,9 +203,43 @@ impl Conn {
         encode_done_aborted(&mut self.out);
     }
 
-    /// Drain the session's shared output into `RESULT` frames of at most
-    /// `frame_max` payload bytes each.
+    /// Queue a subscriber-tagged frame (shared fan-out mode): the payload
+    /// is prefixed with the 4-byte big-endian subscriber index.
+    pub(crate) fn queue_tagged(&mut self, sub: u32, kind: FrameKind, payload: &[u8]) {
+        let mut tagged = Vec::with_capacity(4 + payload.len());
+        tagged.extend_from_slice(&sub.to_be_bytes());
+        tagged.extend_from_slice(payload);
+        encode_frame(&mut self.out, kind, &tagged);
+    }
+
+    /// Queue a subscriber-tagged `ERROR` frame.
+    pub(crate) fn queue_error_tagged(&mut self, sub: u32, code: ErrorCode, message: &str) {
+        let mut payload = Vec::with_capacity(1 + message.len());
+        payload.push(code.byte());
+        payload.extend_from_slice(message.as_bytes());
+        self.queue_tagged(sub, FrameKind::Error, &payload);
+    }
+
+    /// Queue a subscriber-tagged finished-`DONE` frame.
+    pub(crate) fn queue_done_finished_tagged(&mut self, sub: u32, events: u64, output_bytes: u64) {
+        self.queue_tagged(sub, FrameKind::Done, &done_finished_payload(events, output_bytes));
+    }
+
+    /// Queue a subscriber-tagged aborted-`DONE` frame.
+    pub(crate) fn queue_done_aborted_tagged(&mut self, sub: u32) {
+        self.queue_tagged(sub, FrameKind::Done, &[1]);
+    }
+
+    /// Drain the session's output into `RESULT` frames of at most
+    /// `frame_max` payload bytes each — untagged in single mode, tagged
+    /// per subscriber in shared mode.
     pub(crate) fn drain_results(&mut self, frame_max: usize) {
+        if !self.multi.is_empty() {
+            for sub in 0..self.multi.len() {
+                self.drain_sub(sub, frame_max);
+            }
+            return;
+        }
         let Some(shared) = &self.shared else { return };
         if shared.len() == 0 {
             return;
@@ -200,6 +247,19 @@ impl Conn {
         let bytes = shared.take();
         for chunk in bytes.chunks(frame_max.max(1)) {
             self.queue(FrameKind::Result, chunk);
+        }
+    }
+
+    /// Drain one shared-mode subscriber's output into tagged `RESULT`
+    /// frames. The tag rides inside the payload, so the data slice shrinks
+    /// by the tag's 4 bytes to respect the configured payload cap.
+    pub(crate) fn drain_sub(&mut self, sub: usize, frame_max: usize) {
+        if self.multi[sub].len() == 0 {
+            return;
+        }
+        let bytes = self.multi[sub].take();
+        for chunk in bytes.chunks(frame_max.saturating_sub(4).max(1)) {
+            self.queue_tagged(sub as u32, FrameKind::Result, chunk);
         }
     }
 

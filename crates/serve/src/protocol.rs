@@ -18,6 +18,22 @@
 //! | 0x84 | s→c | `RESUMED` | empty — the session is executing again |
 //! | 0x85 | s→c | `ERROR`   | 1 [`ErrorCode`] byte + UTF-8 message |
 //!
+//! ## Shared fan-out mode
+//!
+//! A client may send *several* `OPEN` frames before its first `CHUNK`:
+//! the server collects the query ids and seals the set when document bytes
+//! start flowing. One `OPEN` is the classic single-query run above. Two or
+//! more compile into one shared plan
+//! ([`SubscriptionSet`](flux::SubscriptionSet)) executed in a **single
+//! pass** over the document — and the per-run frames demultiplex: in
+//! shared mode every `RESULT`, `DONE` and `ERROR` payload is prefixed with
+//! a 4-byte big-endian subscriber index (the position of the `OPEN` that
+//! created it), each subscriber getting its own result stream, terminal
+//! status and counters. `STALLED`/`RESUMED` stay connection-level — the
+//! shared parse pauses as a whole. `ABORT` before the terminal frames
+//! drops the whole run and is acknowledged with one tagged aborted-`DONE`
+//! per subscriber.
+//!
 //! [`FrameDecoder`] mirrors the incremental reader's `FeedSource` style:
 //! bytes arrive via [`FrameDecoder::feed`] with arbitrary boundaries,
 //! [`FrameDecoder::poll`] yields complete frames (borrowing the payload
@@ -254,12 +270,19 @@ pub fn encode_error(out: &mut Vec<u8>, code: ErrorCode, message: &str) {
     encode_frame(out, FrameKind::Error, &payload);
 }
 
-/// Append a `DONE` frame for a completed run.
-pub fn encode_done_finished(out: &mut Vec<u8>, events: u64, output_bytes: u64) {
+/// The payload of a finished-run `DONE` frame (status 0 + two u64-BE
+/// counters). Shared fan-out prefixes this with a subscriber tag, so the
+/// body is built separately from the frame.
+pub fn done_finished_payload(events: u64, output_bytes: u64) -> [u8; 17] {
     let mut payload = [0u8; 17];
     payload[1..9].copy_from_slice(&events.to_be_bytes());
     payload[9..17].copy_from_slice(&output_bytes.to_be_bytes());
-    encode_frame(out, FrameKind::Done, &payload);
+    payload
+}
+
+/// Append a `DONE` frame for a completed run.
+pub fn encode_done_finished(out: &mut Vec<u8>, events: u64, output_bytes: u64) {
+    encode_frame(out, FrameKind::Done, &done_finished_payload(events, output_bytes));
 }
 
 /// Append a `DONE` frame acknowledging an abort.

@@ -11,6 +11,13 @@
 //! threads; the server thread only shovels bytes — which is why a single
 //! poll loop drives thousands of connections.
 //!
+//! Shared fan-out composes with all of it: a client sending several
+//! `OPEN`s before its first `CHUNK` gets them compiled (through a
+//! catalog-validated [`SubscriptionSet`] cache) into **one** shared
+//! session — the document is parsed once for all of them and every
+//! subscriber's `RESULT`/`DONE`/`ERROR` frames come back tagged with its
+//! subscriber index.
+//!
 //! Admission control composes: configure a budget
 //! ([`ServerConfig::budget`]) and sessions that would outgrow the shared
 //! pool stall inside the runtime, surface here as `STALLED` frames, park
@@ -24,7 +31,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use flux::{QueryRegistry, Runtime, RuntimeEvent, RuntimeId};
+use flux::{QueryRegistry, Runtime, RuntimeEvent, RuntimeId, SubscriptionSet};
 use flux_engine::BudgetHook;
 
 use crate::conn::{Conn, ConnState, FrameSink, ReadPass, SharedOut};
@@ -77,6 +84,10 @@ pub struct Server {
     cfg: ServerConfig,
     conns: HashMap<Token, Conn>,
     by_session: HashMap<RuntimeId, Token>,
+    /// Compiled shared plans keyed by their subscriber-ordered id list, so
+    /// repeat fan-out opens (the dissemination hot path) skip compilation.
+    /// Entries are revalidated against the registry catalog on every hit.
+    set_cache: HashMap<Vec<String>, SubscriptionSet>,
     next_token: Token,
     scratch: Vec<u8>,
     readiness: Vec<Readiness>,
@@ -114,6 +125,7 @@ impl Server {
             cfg,
             conns: HashMap::new(),
             by_session: HashMap::new(),
+            set_cache: HashMap::new(),
             next_token: LISTENER + 1,
             scratch: vec![0; 16 << 10],
             readiness: Vec::new(),
@@ -235,25 +247,26 @@ impl Server {
                     Ok(DecodePoll::Frame { kind, payload }) => match kind {
                         FrameKind::Open => {
                             let query_id = String::from_utf8_lossy(payload).into_owned();
-                            match (conn.state, self.registry.get(&query_id).cloned()) {
+                            match conn.state {
                                 // `Rejected` accepts a fresh OPEN directly:
                                 // the client abandoned the refused run
-                                // without ever chunking it.
-                                (ConnState::Idle | ConnState::Rejected, Some(q)) => {
-                                    let shared = SharedOut::new();
-                                    let id = self.runtime.open(&q, FrameSink(Arc::clone(&shared)));
-                                    conn.shared = Some(shared);
-                                    conn.state = ConnState::Running(id);
-                                    self.by_session.insert(id, token);
+                                // without ever chunking it. Further OPENs
+                                // while `Collecting` join the fan-out set;
+                                // the first document bytes seal it.
+                                ConnState::Idle | ConnState::Rejected | ConnState::Collecting => {
+                                    if self.registry.get(&query_id).is_some() {
+                                        conn.pending_opens.push(query_id);
+                                        conn.state = ConnState::Collecting;
+                                    } else {
+                                        conn.queue_error(
+                                            ErrorCode::UnknownQuery,
+                                            &format!("no query registered under id {query_id:?}"),
+                                        );
+                                        conn.pending_opens.clear();
+                                        conn.state = ConnState::Rejected;
+                                    }
                                 }
-                                (ConnState::Idle | ConnState::Rejected, None) => {
-                                    conn.queue_error(
-                                        ErrorCode::UnknownQuery,
-                                        &format!("no query registered under id {query_id:?}"),
-                                    );
-                                    conn.state = ConnState::Rejected;
-                                }
-                                (_, _) => {
+                                _ => {
                                     fail_state(conn, &mut self.runtime, "OPEN during a run");
                                     break;
                                 }
@@ -261,6 +274,24 @@ impl Server {
                         }
                         FrameKind::Chunk => match conn.state {
                             ConnState::Running(id) => self.runtime.feed(id, payload),
+                            ConnState::Collecting => {
+                                // Copy releases the decoder borrow before
+                                // the seal takes the connection mutably —
+                                // once per run, on its first chunk only.
+                                let first = payload.to_vec();
+                                if let Some(id) = seal(
+                                    conn,
+                                    token,
+                                    &mut self.runtime,
+                                    &self.registry,
+                                    &mut self.set_cache,
+                                    &mut self.by_session,
+                                ) {
+                                    self.runtime.feed(id, &first);
+                                }
+                                // A failed seal left the connection
+                                // `Rejected`: absorb the doomed chunks.
+                            }
                             // A pipelined chunk of a refused OPEN: absorb.
                             ConnState::Rejected => {}
                             _ => {
@@ -272,6 +303,26 @@ impl Server {
                             ConnState::Running(id) => {
                                 self.runtime.finish(id);
                                 conn.state = ConnState::Finishing(id);
+                            }
+                            // An empty document is a legal run: seal and
+                            // finish in one step.
+                            ConnState::Collecting => {
+                                match seal(
+                                    conn,
+                                    token,
+                                    &mut self.runtime,
+                                    &self.registry,
+                                    &mut self.set_cache,
+                                    &mut self.by_session,
+                                ) {
+                                    Some(id) => {
+                                        self.runtime.finish(id);
+                                        conn.state = ConnState::Finishing(id);
+                                    }
+                                    // The seal's ERROR frame answered the
+                                    // run; this FINISH closes it out.
+                                    None => conn.state = ConnState::Idle,
+                                }
                             }
                             // End of the refused run's pipelined frames;
                             // the ERROR already answered it.
@@ -285,6 +336,19 @@ impl Server {
                             ConnState::Running(id) => {
                                 self.runtime.abort(id);
                                 conn.state = ConnState::Aborting(id);
+                            }
+                            // Aborting before any document bytes: nothing
+                            // ran, acknowledge each pending open directly.
+                            ConnState::Collecting => {
+                                let opens = std::mem::take(&mut conn.pending_opens);
+                                if opens.len() == 1 {
+                                    conn.queue_done_aborted();
+                                } else {
+                                    for sub in 0..opens.len() {
+                                        conn.queue_done_aborted_tagged(sub as u32);
+                                    }
+                                }
+                                conn.state = ConnState::Idle;
                             }
                             ConnState::Rejected => conn.state = ConnState::Idle,
                             _ => {
@@ -370,15 +434,60 @@ impl Server {
                         }
                     }
                 }
+                RuntimeEvent::FinishedShared { id, results } => {
+                    let token = self.by_session.remove(&id);
+                    if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
+                        conn.stalled = false;
+                        conn.state = ConnState::Idle;
+                        if conn.close_after_flush {
+                            conn.multi.clear();
+                            continue;
+                        }
+                        // Flush each subscriber's remaining output before
+                        // its terminal frame, so tagged RESULTs never trail
+                        // the tagged DONE.
+                        for sub in 0..conn.multi.len() {
+                            conn.drain_sub(sub, self.cfg.result_frame_max);
+                        }
+                        conn.multi.clear();
+                        for (sub, (result, sink)) in results.into_iter().enumerate() {
+                            drop(sink); // same SharedOut the connection held
+                            match result {
+                                Ok(stats) => conn.queue_done_finished_tagged(
+                                    sub as u32,
+                                    stats.events,
+                                    stats.output_bytes,
+                                ),
+                                Err(e) => conn.queue_error_tagged(
+                                    sub as u32,
+                                    ErrorCode::Engine,
+                                    &e.to_string(),
+                                ),
+                            }
+                        }
+                    }
+                }
+                // The server never detaches individual subscribers (the
+                // wire protocol aborts whole runs), but the runtime API
+                // allows embedders to: tolerate the event.
+                RuntimeEvent::SubAborted { .. } => {}
                 RuntimeEvent::Aborted { id } => {
                     let token = self.by_session.remove(&id);
                     if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
                         conn.shared = None;
+                        let subs = conn.multi.len();
+                        conn.multi.clear();
                         conn.stalled = false;
                         let acked = matches!(conn.state, ConnState::Aborting(_));
                         conn.state = ConnState::Idle;
                         if acked && !conn.close_after_flush {
-                            conn.queue_done_aborted();
+                            if subs > 0 {
+                                for sub in 0..subs {
+                                    conn.queue_done_aborted_tagged(sub as u32);
+                                }
+                            } else {
+                                conn.queue_done_aborted();
+                            }
                         }
                     }
                 }
@@ -428,6 +537,74 @@ impl Server {
     }
 }
 
+/// Seal a `Collecting` connection's pending opens into a session: a plain
+/// runtime session for one id, a shared fan-out session for several.
+/// Returns the session id, or `None` if compilation refused the set (the
+/// connection is left `Rejected` with the `ERROR` frame queued, exactly
+/// like an unknown-query refusal — the client's pipelined document frames
+/// are absorbed).
+fn seal(
+    conn: &mut Conn,
+    token: Token,
+    runtime: &mut Runtime<FrameSink>,
+    registry: &QueryRegistry,
+    set_cache: &mut HashMap<Vec<String>, SubscriptionSet>,
+    by_session: &mut HashMap<RuntimeId, Token>,
+) -> Option<RuntimeId> {
+    let ids = std::mem::take(&mut conn.pending_opens);
+    if ids.len() == 1 {
+        // Single-query run: the classic untagged path, byte-identical on
+        // the wire to the pre-fan-out protocol.
+        let Some(q) = registry.get(&ids[0]).cloned() else {
+            conn.queue_error(
+                ErrorCode::UnknownQuery,
+                &format!("no query registered under id {:?}", ids[0]),
+            );
+            conn.state = ConnState::Rejected;
+            return None;
+        };
+        let shared = SharedOut::new();
+        let id = runtime.open(&q, FrameSink(Arc::clone(&shared)));
+        conn.shared = Some(shared);
+        conn.state = ConnState::Running(id);
+        by_session.insert(id, token);
+        return Some(id);
+    }
+    let set = match cached_set(registry, set_cache, &ids) {
+        Ok(set) => set,
+        Err(e) => {
+            conn.queue_error(ErrorCode::Engine, &e.to_string());
+            conn.state = ConnState::Rejected;
+            return None;
+        }
+    };
+    let outs: Vec<Arc<SharedOut>> = (0..ids.len()).map(|_| SharedOut::new()).collect();
+    let sinks = outs.iter().map(|o| FrameSink(Arc::clone(o))).collect();
+    let id = runtime.open_shared(&set, sinks);
+    conn.multi = outs;
+    conn.state = ConnState::Running(id);
+    by_session.insert(id, token);
+    Some(id)
+}
+
+/// The compiled shared plan for `ids`, from the cache when its snapshot
+/// still matches the registry's catalog, recompiled (and re-cached)
+/// otherwise.
+fn cached_set(
+    registry: &QueryRegistry,
+    set_cache: &mut HashMap<Vec<String>, SubscriptionSet>,
+    ids: &[String],
+) -> Result<SubscriptionSet, flux::FluxError> {
+    if let Some(set) = set_cache.get(ids) {
+        if set.is_current(registry) {
+            return Ok(set.clone());
+        }
+    }
+    let set = SubscriptionSet::compile_subset(registry, ids)?;
+    set_cache.insert(ids.to_vec(), set.clone());
+    Ok(set)
+}
+
 /// Put a connection into fatal-protocol-error teardown.
 fn fail_protocol(conn: &mut Conn, runtime: &mut Runtime<FrameSink>, message: &str) {
     conn.queue_error(ErrorCode::Protocol, message);
@@ -445,9 +622,11 @@ fn teardown(conn: &mut Conn, runtime: &mut Runtime<FrameSink>) {
         runtime.abort(id);
         conn.state = ConnState::Aborting(id);
     }
-    // The `ERROR` frame is the stream's last word: drop the output seam so
+    // The `ERROR` frame is the stream's last word: drop the output seams so
     // result bytes the aborted run already produced cannot trail it.
     conn.shared = None;
+    conn.multi.clear();
+    conn.pending_opens.clear();
     conn.close_after_flush = true;
 }
 

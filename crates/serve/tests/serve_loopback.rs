@@ -271,6 +271,134 @@ fn abort_frame_is_acknowledged_and_releases_the_budget() {
     server.shutdown().unwrap();
 }
 
+#[test]
+fn multiple_opens_share_one_parse_and_demux_per_subscriber() {
+    // Shared fan-out over the wire: several OPENs before the first CHUNK
+    // become one shared parse, and every subscriber's tagged result stream
+    // is byte-identical to its in-process one-shot run — including a
+    // duplicate subscription of the same query.
+    let (doc, _) = generate_string(&XmarkConfig::new(24 << 10));
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    let mut registry = QueryRegistry::new();
+    let mut references = std::collections::HashMap::new();
+    for q in PAPER_QUERIES {
+        let prepared = engine.prepare(q.source).unwrap();
+        references.insert(q.name, prepared.run_str(&doc).unwrap());
+        registry.register(q.name, prepared);
+    }
+    let server = Server::spawn("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+
+    let ids = ["Q1", "Q13", "Q20", "Q1"];
+    for chunk_size in [3usize, 257, 4096] {
+        let mut client = Client::connect(server.addr()).unwrap();
+        let outs = client.run_document_shared(&ids, doc.as_bytes(), chunk_size).unwrap();
+        assert_eq!(outs.len(), ids.len());
+        for (id, out) in ids.iter().zip(&outs) {
+            let reference = &references[id];
+            assert_eq!(out.error, None, "{id}@{chunk_size}");
+            assert_eq!(
+                String::from_utf8(out.output.clone()).unwrap(),
+                reference.output,
+                "{id} over the shared parse must match its one-shot run @{chunk_size}"
+            );
+            let (events, output_bytes) = out.done.expect("finished");
+            assert_eq!(events, reference.stats.events, "{id}@{chunk_size}");
+            assert_eq!(output_bytes, reference.stats.output_bytes, "{id}@{chunk_size}");
+        }
+        // The same connection runs a classic single-query request next:
+        // the seal picks the untagged path again.
+        let single = client.run_document("Q13", doc.as_bytes(), chunk_size).unwrap();
+        assert_eq!(
+            String::from_utf8(single.output).unwrap(),
+            references["Q13"].output,
+            "single mode on the same connection @{chunk_size}"
+        );
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shared_abort_acknowledges_every_subscriber_and_releases_the_budget() {
+    let (registry, _) = weak_registry();
+    let ctrl = AdmissionController::new(1 << 20);
+    let cfg = ServerConfig { budget: Some(ctrl.hook()), ..ServerConfig::default() };
+    let server = Server::spawn("127.0.0.1:0", registry, cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // All three subscribers buffer their own copy of the held author.
+    client.open_many(&["weak", "weak", "weak"]).unwrap();
+    client.chunk(hold_prefix(2000).as_bytes()).unwrap();
+    wait_until("all three subscribers to charge the pool", || ctrl.used() >= 3 * 2000);
+
+    client.abort().unwrap();
+    let outs = client.collect_shared(3).unwrap();
+    for out in &outs {
+        assert!(out.aborted, "{outs:?}");
+    }
+    wait_until("the aborted shared session to release every byte", || ctrl.used() == 0);
+
+    // Aborting a collected-but-never-chunked set acks without a session …
+    client.open_many(&["weak", "weak"]).unwrap();
+    client.abort().unwrap();
+    let outs = client.collect_shared(2).unwrap();
+    assert!(outs.iter().all(|o| o.aborted), "{outs:?}");
+
+    // … and the connection stays usable for a fresh shared run.
+    let doc = hold_prefix(10) + SUFFIX;
+    let outs = client.run_document_shared(&["weak", "weak"], doc.as_bytes(), 16).unwrap();
+    assert!(outs.iter().all(|o| o.done.is_some()), "{outs:?}");
+    assert_eq!(outs[0].output, outs[1].output);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shared_stall_pauses_the_whole_parse_and_resumes_for_all() {
+    // Budget stalls in shared mode are stream-level: the connection gets
+    // one untagged STALLED/RESUMED pair while another session holds the
+    // pool, and both subscribers' results still match the reference.
+    let (registry, q) = weak_registry();
+    // The shared run's document is small enough that both subscribers fit
+    // beside the remaining holder once the gate reopens.
+    let shared_prefix = hold_prefix(300);
+    let reference = q.run_str(&(shared_prefix.clone() + SUFFIX)).unwrap();
+    let ctrl = AdmissionController::with_reserve(3000, 1200);
+    let cfg = ServerConfig { shards: 1, budget: Some(ctrl.hook()), ..ServerConfig::default() };
+    let server = Server::spawn("127.0.0.1:0", registry, cfg).unwrap();
+
+    let prefix = hold_prefix(1000);
+    let mut holder = Client::connect(server.addr()).unwrap();
+    holder.open("weak").unwrap();
+    holder.chunk(prefix.as_bytes()).unwrap();
+    wait_until("the holder to charge the pool", || ctrl.used() >= 1000);
+    let mut holder2 = Client::connect(server.addr()).unwrap();
+    holder2.open("weak").unwrap();
+    holder2.chunk(prefix.as_bytes()).unwrap();
+    wait_until("the pool to go tight", || ctrl.is_tight());
+
+    let mut shared = Client::connect(server.addr()).unwrap();
+    shared.open_many(&["weak", "weak"]).unwrap();
+    shared.chunk(shared_prefix.as_bytes()).unwrap();
+    assert_eq!(shared.next_msg().unwrap(), ServerMsg::Stalled, "shared run stalls as a whole");
+
+    // Free the pool; the shared parse resumes and completes.
+    holder.chunk(SUFFIX.as_bytes()).unwrap();
+    holder.finish().unwrap();
+    assert!(holder.collect().unwrap().done.is_some());
+    holder2.chunk(SUFFIX.as_bytes()).unwrap();
+    holder2.finish().unwrap();
+    assert!(holder2.collect().unwrap().done.is_some());
+
+    shared.chunk(SUFFIX.as_bytes()).unwrap();
+    shared.finish().unwrap();
+    let outs = shared.collect_shared(2).unwrap();
+    for out in &outs {
+        assert_eq!(String::from_utf8(out.output.clone()).unwrap(), reference.output);
+        assert!(out.resumes >= 1, "the resume reached the client: {out:?}");
+    }
+    wait_until("all budget to release", || ctrl.used() == 0);
+    server.shutdown().unwrap();
+}
+
 /// An independent witness wrapped around the controller: the disconnect
 /// test's proof that *everything* charged was released, whatever the
 /// controller claims about itself.

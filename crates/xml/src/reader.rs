@@ -48,7 +48,7 @@ pub enum AttributeMode {
 }
 
 /// Reader configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReaderOptions {
     /// Attribute handling; defaults to XSAX-style conversion.
     pub attributes: AttributeMode,

@@ -227,6 +227,14 @@ impl PreparedQuery {
     pub fn compiled(&self) -> &CompiledQuery {
         &self.compiled
     }
+
+    pub(crate) fn compiled_arc(&self) -> Arc<CompiledQuery> {
+        Arc::clone(&self.compiled)
+    }
+
+    pub(crate) fn plan_arc(&self) -> Arc<FluxExpr> {
+        Arc::clone(&self.plan)
+    }
 }
 
 /// A shared, immutable catalog of prepared queries addressed by string id —
@@ -237,6 +245,36 @@ impl PreparedQuery {
 /// query, then hand the registry out); cloning is cheap (`Arc` bump) and
 /// the registry is `Send + Sync`, so every server thread can hold one. Ids
 /// are arbitrary non-empty UTF-8 — typically short names like `"q1"`.
+///
+/// The catalog is copy-on-write: mutation ([`QueryRegistry::register`],
+/// [`QueryRegistry::unregister`]) never disturbs clones handed out earlier,
+/// and any clone can tell whether it still sees the same catalog as another
+/// via [`QueryRegistry::same_catalog`] — which is how a compiled
+/// [`SubscriptionSet`](crate::SubscriptionSet) detects it has gone stale.
+///
+/// ```
+/// use flux::{Engine, QueryRegistry};
+///
+/// let engine = Engine::builder()
+///     .dtd_str("<!ELEMENT bib (book)*><!ELEMENT book (title)>\
+///               <!ELEMENT title (#PCDATA)>")
+///     .build()?;
+/// let q = "<r>{ for $b in $ROOT/bib/book return <hit> {$b/title} </hit> }</r>";
+///
+/// let mut reg = QueryRegistry::new();
+/// reg.register("titles", engine.prepare(q)?);
+/// let served = reg.clone(); // what the server threads see
+///
+/// reg.register("titles-v2", engine.prepare(q)?);
+/// reg.unregister("titles");
+/// assert_eq!(reg.len(), 1);
+/// assert_eq!(reg.iter().count(), 1);
+/// // Earlier clones keep the catalog they saw …
+/// assert!(served.get("titles").is_some());
+/// // … and the divergence is observable.
+/// assert!(!served.same_catalog(&reg));
+/// # Ok::<(), flux::FluxError>(())
+/// ```
 #[derive(Clone, Default)]
 pub struct QueryRegistry {
     queries: Arc<std::collections::HashMap<String, PreparedQuery>>,
@@ -257,6 +295,14 @@ impl QueryRegistry {
         Arc::make_mut(&mut self.queries).insert(id.into(), query);
     }
 
+    /// Remove the query registered under `id`, returning it if present.
+    ///
+    /// Copy-on-write like [`QueryRegistry::register`]: clones that already
+    /// exist keep serving the old catalog.
+    pub fn unregister(&mut self, id: &str) -> Option<PreparedQuery> {
+        Arc::make_mut(&mut self.queries).remove(id)
+    }
+
     /// Look up a prepared query by id.
     pub fn get(&self, id: &str) -> Option<&PreparedQuery> {
         self.queries.get(id)
@@ -265,6 +311,20 @@ impl QueryRegistry {
     /// Registered ids, in arbitrary order.
     pub fn ids(&self) -> impl Iterator<Item = &str> {
         self.queries.keys().map(String::as_str)
+    }
+
+    /// Iterate over `(id, query)` pairs, in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PreparedQuery)> {
+        self.queries.iter().map(|(id, q)| (id.as_str(), q))
+    }
+
+    /// Do `self` and `other` see the very same catalog (the same underlying
+    /// copy-on-write map)? Any mutation of either side after they diverged
+    /// makes this `false` — even a register/unregister round-trip that
+    /// restores equal contents, which is exactly the conservative behavior
+    /// a compiled-artifact cache wants.
+    pub fn same_catalog(&self, other: &QueryRegistry) -> bool {
+        Arc::ptr_eq(&self.queries, &other.queries)
     }
 
     /// Number of registered queries.
@@ -365,6 +425,27 @@ mod tests {
         assert!(shared.get("missing").is_none());
         let out = shared.get("q").unwrap().run_str(DOC).unwrap();
         assert!(out.output.contains("<title>T</title>"));
+    }
+
+    #[test]
+    fn registry_unregister_iter_and_catalog_identity() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let mut reg = QueryRegistry::new();
+        reg.register("a", engine.prepare(QUERY).unwrap());
+        reg.register("b", engine.prepare(QUERY).unwrap());
+        let snapshot = reg.clone();
+        assert!(reg.same_catalog(&snapshot));
+
+        assert!(reg.unregister("a").is_some());
+        assert!(reg.unregister("a").is_none());
+        assert_eq!(reg.len(), 1);
+        let mut seen: Vec<&str> = reg.iter().map(|(id, _)| id).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, ["b"]);
+        // The snapshot kept the pre-unregister catalog, and the divergence
+        // is visible through catalog identity.
+        assert_eq!(snapshot.len(), 2);
+        assert!(!reg.same_catalog(&snapshot));
     }
 
     #[test]

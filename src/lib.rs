@@ -98,6 +98,10 @@
 //! an [`AdmissionController`] bounds the *aggregate* buffer bytes across
 //! every session — feeds past the shared budget report
 //! [`FeedOutcome::Backpressure`] and resume on the budget-release wakeup.
+//! For content-based dissemination, a [`SubscriptionSet`] compiles many
+//! prepared queries into *one* shared single-pass plan and a
+//! [`SharedSession`] fans one parse of each document out to all of them —
+//! M subscriptions cost one tokenization, not M.
 //! (The `flux-serve` crate puts a TCP front-end on the whole stack: a
 //! [`QueryRegistry`] of prepared queries served over a length-prefixed
 //! wire protocol, one `Runtime` behind the sockets.)
@@ -158,22 +162,25 @@ pub use flux_xml as xml;
 
 mod api;
 mod error;
+mod fanout;
 pub mod runtime;
 
 pub use api::{Engine, EngineBuilder, PreparedQuery, QueryRegistry};
 pub use error::FluxError;
+pub use fanout::SubscriptionSet;
 pub use runtime::{
     AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
-    SessionId, Shard,
+    SessionId, Shard, SharedSession, SharedSessionId,
 };
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
     pub use crate::api::{Engine, EngineBuilder, PreparedQuery, QueryRegistry};
     pub use crate::error::FluxError;
+    pub use crate::fanout::SubscriptionSet;
     pub use crate::runtime::{
         AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
-        SessionId, Shard,
+        SessionId, Shard, SharedSession, SharedSessionId,
     };
     pub use flux_baseline::{DomEngine, PreparedDomQuery, ProjectionMode};
     pub use flux_core::{rewrite_query, FluxExpr, Handler};

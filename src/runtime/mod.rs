@@ -13,6 +13,14 @@
 //!   Unchanged contract from the sans-IO PR; under admission control its
 //!   [`Session::feed_outcome`] additionally reports
 //!   [`FeedOutcome::Backpressure`].
+//! * **[`SharedSession`]** — the fan-out twin of [`Session`]: one
+//!   incremental parse of one document dispatched to M subscriptions
+//!   compiled together by a
+//!   [`SubscriptionSet`](crate::SubscriptionSet), each with its own sink,
+//!   statistics, budget charges and failure isolation. Shards address
+//!   shared sessions with generation-checked [`SharedSessionId`]s, and the
+//!   [`Runtime`] opens them with
+//!   [`Runtime::open_shared`](crate::Runtime::open_shared).
 //! * **[`Shard`]** — a single-threaded multiplexer of many live sessions
 //!   (the former `SessionSet`, slimmed to pure multiplexing):
 //!   generation-checked [`SessionId`]s, slot reuse, aggregate buffer
@@ -55,11 +63,13 @@ mod admission;
 mod rt;
 mod session;
 mod shard;
+mod shared;
 
 pub use admission::AdmissionController;
 pub use rt::{Runtime, RuntimeEvent, RuntimeId};
 pub use session::{Finished, Session};
-pub use shard::{SessionId, Shard};
+pub use shard::{SessionId, Shard, SharedSessionId};
+pub use shared::SharedSession;
 
 /// What [`Session::feed_outcome`] / [`Shard::feed`] did with a chunk.
 ///

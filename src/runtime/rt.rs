@@ -44,7 +44,8 @@ use flux_xml::Sink;
 
 use crate::api::PreparedQuery;
 use crate::error::FluxError;
-use crate::runtime::{AdmissionController, FeedOutcome, Session};
+use crate::fanout::SubscriptionSet;
+use crate::runtime::{AdmissionController, FeedOutcome, Session, SharedSession};
 
 /// Global handle to one session inside a [`Runtime`]. Generation-checked:
 /// using an id after its session finished (and the slot was reused) panics
@@ -69,10 +70,35 @@ pub enum RuntimeEvent<S> {
         /// The session's sink with everything written so far.
         sink: Option<S>,
     },
+    /// A [`Runtime::finish`] of a shared fan-out session completed
+    /// ([`SharedSession::finish_parts`] semantics).
+    FinishedShared {
+        /// Which shared session.
+        id: RuntimeId,
+        /// One entry per subscriber, in [`SubscriptionSet::ids`] order:
+        /// the outcome plus the sink (`None` only for subscribers aborted
+        /// earlier, whose sinks came back via
+        /// [`RuntimeEvent::SubAborted`]).
+        #[allow(clippy::type_complexity)]
+        results: Vec<(Result<RunStats, FluxError>, Option<S>)>,
+    },
     /// A [`Runtime::abort`] completed; the slot is free again.
     Aborted {
         /// Which session.
         id: RuntimeId,
+    },
+    /// A [`Runtime::abort_shared_sub`] completed: one subscriber of a
+    /// shared session detached mid-stream. The session itself stays live
+    /// (its slot retires on [`RuntimeEvent::FinishedShared`] /
+    /// [`RuntimeEvent::Aborted`]).
+    SubAborted {
+        /// Which shared session.
+        id: RuntimeId,
+        /// The subscriber index.
+        sub: usize,
+        /// Its sink with the output streamed so far (`None` if that
+        /// subscriber was already aborted).
+        sink: Option<S>,
     },
     /// The session paused on the shared budget
     /// ([`FeedOutcome::Backpressure`]); its worker retries automatically —
@@ -96,6 +122,11 @@ enum Cmd<S: Sink> {
         gen: u32,
         session: Box<Session<S>>,
     },
+    OpenShared {
+        slot: u32,
+        gen: u32,
+        session: Box<SharedSession<S>>,
+    },
     Feed {
         slot: u32,
         chunk: Arc<[u8]>,
@@ -108,6 +139,11 @@ enum Cmd<S: Sink> {
     },
     Abort {
         slot: u32,
+    },
+    /// Detach one subscriber of a shared session mid-stream.
+    AbortSub {
+        slot: u32,
+        sub: usize,
     },
     /// Budget-release wakeup (sent by the worker's [`BudgetWaker`]): no
     /// payload — receiving any command re-runs the stalled retries.
@@ -215,6 +251,32 @@ impl<S: Sink + Send + 'static> Runtime<S> {
 
     /// Open a session on the least-loaded worker.
     pub fn open(&mut self, query: &PreparedQuery, sink: S) -> RuntimeId {
+        let session = match &self.budget {
+            Some(hook) => query.session_with_budget(sink, Arc::clone(hook)),
+            None => query.session(sink),
+        };
+        let (worker, slot, gen) = self.place();
+        self.send(worker, Cmd::Open { slot, gen, session: Box::new(session) });
+        RuntimeId { slot, gen }
+    }
+
+    /// Open a shared fan-out session over a compiled [`SubscriptionSet`]
+    /// on the least-loaded worker: one parse, `set.len()` subscribers, one
+    /// sink each (in [`SubscriptionSet::ids`] order). Drive it with the
+    /// ordinary [`Runtime::feed`] / [`Runtime::finish`] / [`Runtime::abort`]
+    /// commands; completion arrives as [`RuntimeEvent::FinishedShared`].
+    pub fn open_shared(&mut self, set: &SubscriptionSet, sinks: Vec<S>) -> RuntimeId {
+        let session = match &self.budget {
+            Some(hook) => set.session_with_budget(sinks, Arc::clone(hook)),
+            None => set.session(sinks),
+        };
+        let (worker, slot, gen) = self.place();
+        self.send(worker, Cmd::OpenShared { slot, gen, session: Box::new(session) });
+        RuntimeId { slot, gen }
+    }
+
+    /// Least-loaded placement: claim a slot and a worker for a new session.
+    fn place(&mut self) -> (usize, u32, u32) {
         let worker = self
             .workers
             .iter()
@@ -222,10 +284,6 @@ impl<S: Sink + Send + 'static> Runtime<S> {
             .min_by_key(|(_, w)| w.live.load(Ordering::Relaxed))
             .map(|(i, _)| i)
             .expect("at least one worker");
-        let session = match &self.budget {
-            Some(hook) => query.session_with_budget(sink, Arc::clone(hook)),
-            None => query.session(sink),
-        };
         let slot = match self.free.pop() {
             Some(slot) => {
                 let s = &mut self.slots[slot as usize];
@@ -242,8 +300,7 @@ impl<S: Sink + Send + 'static> Runtime<S> {
         let gen = self.slots[slot as usize].gen;
         self.workers[worker].live.fetch_add(1, Ordering::Relaxed);
         self.live += 1;
-        self.send(worker, Cmd::Open { slot, gen, session: Box::new(session) });
-        RuntimeId { slot, gen }
+        (worker, slot, gen)
     }
 
     /// Enqueue a chunk for one session (copied once into a shared buffer;
@@ -280,6 +337,14 @@ impl<S: Sink + Send + 'static> Runtime<S> {
         let worker = self.check(id);
         self.slots[id.slot as usize].open = false;
         self.send(worker, Cmd::Abort { slot: id.slot });
+    }
+
+    /// Detach one subscriber of a shared session mid-stream; its sink
+    /// comes back via [`RuntimeEvent::SubAborted`] while the shared parse
+    /// keeps running for the rest. The id stays live.
+    pub fn abort_shared_sub(&mut self, id: RuntimeId, sub: usize) {
+        let worker = self.check(id);
+        self.send(worker, Cmd::AbortSub { slot: id.slot, sub });
     }
 
     /// Drain every event the workers have produced so far (non-blocking).
@@ -328,8 +393,12 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     /// Free the slot behind a completed session's event.
     fn retire(&mut self, ev: &RuntimeEvent<S>) {
         let id = match ev {
-            RuntimeEvent::Finished { id, .. } | RuntimeEvent::Aborted { id } => *id,
-            RuntimeEvent::Stalled { .. } | RuntimeEvent::Resumed { .. } => return,
+            RuntimeEvent::Finished { id, .. }
+            | RuntimeEvent::FinishedShared { id, .. }
+            | RuntimeEvent::Aborted { id } => *id,
+            RuntimeEvent::Stalled { .. }
+            | RuntimeEvent::Resumed { .. }
+            | RuntimeEvent::SubAborted { .. } => return,
         };
         let s = &mut self.slots[id.slot as usize];
         debug_assert_eq!(s.gen, id.gen, "events retire in id order");
@@ -359,9 +428,35 @@ impl<S: Sink + Send + 'static> Drop for Runtime<S> {
     }
 }
 
+/// A worker entry's execution: one single-query session or one shared
+/// fan-out session. Both expose the same feed/gate surface, so the
+/// stall/retry machinery is agnostic to the shape.
+// Boxed so the enum (and every worker map entry) stays pointer-sized
+// regardless of how the two session layouts grow.
+enum AnySession<S: Sink> {
+    Single(Box<Session<S>>),
+    Shared(Box<SharedSession<S>>),
+}
+
+impl<S: Sink> AnySession<S> {
+    fn feed_outcome(&mut self, chunk: &[u8]) -> Result<FeedOutcome, FluxError> {
+        match self {
+            AnySession::Single(s) => s.feed_outcome(chunk),
+            AnySession::Shared(s) => s.feed_outcome(chunk),
+        }
+    }
+
+    fn feed(&mut self, chunk: &[u8]) -> Result<(), FluxError> {
+        match self {
+            AnySession::Single(s) => s.feed(chunk),
+            AnySession::Shared(s) => s.feed(chunk),
+        }
+    }
+}
+
 struct Entry<S: Sink> {
     gen: u32,
-    session: Session<S>,
+    session: AnySession<S>,
     /// Chunks refused by the admission gate, waiting to be re-fed in
     /// order. Non-empty ⇔ the session is stalled.
     pending: std::collections::VecDeque<Arc<[u8]>>,
@@ -413,8 +508,25 @@ fn worker_loop<S: Sink + Send + 'static>(
         };
         match cmd {
             Some(Cmd::Open { slot, gen, session }) => {
-                let prev = sessions
-                    .insert(slot, Entry { gen, session: *session, pending: Default::default() });
+                let prev = sessions.insert(
+                    slot,
+                    Entry {
+                        gen,
+                        session: AnySession::Single(session),
+                        pending: Default::default(),
+                    },
+                );
+                debug_assert!(prev.is_none(), "slot reused before retirement");
+            }
+            Some(Cmd::OpenShared { slot, gen, session }) => {
+                let prev = sessions.insert(
+                    slot,
+                    Entry {
+                        gen,
+                        session: AnySession::Shared(session),
+                        pending: Default::default(),
+                    },
+                );
                 debug_assert!(prev.is_none(), "slot reused before retirement");
             }
             Some(Cmd::Feed { slot, chunk }) => {
@@ -454,10 +566,27 @@ fn worker_loop<S: Sink + Send + 'static>(
                         break; // already failed; finish reports the cause
                     }
                 }
-                let (result, sink) = session.finish_parts();
                 live.fetch_sub(1, Ordering::Relaxed);
                 let id = RuntimeId { slot, gen };
-                let _ = events.send(RuntimeEvent::Finished { id, result, sink });
+                match session {
+                    AnySession::Single(s) => {
+                        let (result, sink) = s.finish_parts();
+                        let _ = events.send(RuntimeEvent::Finished { id, result, sink });
+                    }
+                    AnySession::Shared(s) => {
+                        let results = s.finish_parts();
+                        let _ = events.send(RuntimeEvent::FinishedShared { id, results });
+                    }
+                }
+            }
+            Some(Cmd::AbortSub { slot, sub }) => {
+                let e = sessions.get_mut(&slot).expect("abort-sub addresses a live session");
+                let AnySession::Shared(s) = &mut e.session else {
+                    panic!("abort-sub addresses a shared session");
+                };
+                let sink = s.abort_sub(sub);
+                let id = RuntimeId { slot, gen: e.gen };
+                let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink });
             }
             Some(Cmd::Abort { slot }) => {
                 let Entry { gen, session, .. } =
@@ -642,6 +771,65 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let _ = rt.drain();
+    }
+
+    #[test]
+    fn shared_sessions_fan_out_across_the_runtime() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut reg = crate::QueryRegistry::new();
+        reg.register("a", q.clone());
+        reg.register("b", q.clone());
+        reg.register("c", q.clone());
+        let set = crate::SubscriptionSet::compile(&reg).unwrap();
+        let d = doc(7);
+        let reference = q.run_str(&d).unwrap();
+
+        let mut rt = Runtime::new(2);
+        let id = rt.open_shared(&set, (0..3).map(|_| StringSink::new()).collect());
+        // A plain session rides alongside on the same runtime.
+        let single = rt.open(&q, StringSink::new());
+        for chunk in d.as_bytes().chunks(11) {
+            rt.feed(id, chunk);
+            rt.feed(single, chunk);
+        }
+        // Detach one subscriber mid-stream; its sink comes back early.
+        rt.abort_shared_sub(id, 1);
+        rt.finish(id);
+        rt.finish(single);
+        let (mut saw_shared, mut saw_sub, mut saw_single) = (false, false, false);
+        while !(saw_shared && saw_sub && saw_single) {
+            match rt.wait_event().expect("workers alive") {
+                RuntimeEvent::SubAborted { id: sid, sub, sink } => {
+                    assert_eq!(sid, id);
+                    assert_eq!(sub, 1);
+                    assert!(sink.is_some());
+                    saw_sub = true;
+                }
+                RuntimeEvent::FinishedShared { id: sid, results } => {
+                    assert_eq!(sid, id);
+                    assert_eq!(results.len(), 3);
+                    for (i, (res, sink)) in results.into_iter().enumerate() {
+                        if i == 1 {
+                            assert!(res.is_err() && sink.is_none(), "aborted subscriber");
+                        } else {
+                            res.unwrap();
+                            assert_eq!(sink.unwrap().as_str(), reference.output);
+                        }
+                    }
+                    saw_shared = true;
+                }
+                RuntimeEvent::Finished { id: sid, result, sink } => {
+                    assert_eq!(sid, single);
+                    result.unwrap();
+                    assert_eq!(sink.unwrap().as_str(), reference.output);
+                    saw_single = true;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(rt.live_sessions(), 0);
+        assert!(rt.drain().is_empty());
     }
 
     #[test]

@@ -7,7 +7,8 @@ use flux_xml::Sink;
 
 use crate::api::PreparedQuery;
 use crate::error::FluxError;
-use crate::runtime::{FeedOutcome, Finished, Session};
+use crate::fanout::SubscriptionSet;
+use crate::runtime::{FeedOutcome, Finished, Session, SharedSession};
 
 /// Handle to one session inside a [`Shard`].
 ///
@@ -15,6 +16,14 @@ use crate::runtime::{FeedOutcome, Finished, Session};
 /// the slot was reused) panics instead of touching the wrong stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId {
+    pub(crate) idx: u32,
+    pub(crate) gen: u32,
+}
+
+/// Handle to one [`SharedSession`] inside a [`Shard`] — a separate id
+/// space from [`SessionId`], equally generation-checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SharedSessionId {
     pub(crate) idx: u32,
     pub(crate) gen: u32,
 }
@@ -62,6 +71,11 @@ pub struct Shard<S: Sink> {
     slots: Vec<(u32, Option<Session<S>>)>,
     free: Vec<u32>,
     live: usize,
+    /// Shared fan-out sessions, in their own slot space (most shards never
+    /// open one; single-query sessions stay on the dense hot path).
+    shared: Vec<(u32, Option<SharedSession<S>>)>,
+    shared_free: Vec<u32>,
+    shared_live: usize,
     /// Shared budget every session opened here charges (None = unbudgeted).
     budget: Option<Arc<dyn BudgetHook>>,
 }
@@ -75,14 +89,26 @@ impl<S: Sink> Default for Shard<S> {
 impl<S: Sink> Shard<S> {
     /// An empty, unbudgeted shard.
     pub fn new() -> Shard<S> {
-        Shard { slots: Vec::new(), free: Vec::new(), live: 0, budget: None }
+        Self::build(None)
     }
 
     /// An empty shard whose sessions all charge `budget` — typically an
     /// [`AdmissionController`](crate::AdmissionController) hook shared by
     /// every shard of a service.
     pub fn with_budget(budget: Arc<dyn BudgetHook>) -> Shard<S> {
-        Shard { slots: Vec::new(), free: Vec::new(), live: 0, budget: Some(budget) }
+        Self::build(Some(budget))
+    }
+
+    fn build(budget: Option<Arc<dyn BudgetHook>>) -> Shard<S> {
+        Shard {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            shared: Vec::new(),
+            shared_free: Vec::new(),
+            shared_live: 0,
+            budget,
+        }
     }
 
     /// Open a new session for `query`, writing to `sink`.
@@ -162,21 +188,121 @@ impl<S: Sink> Shard<S> {
         self.slot(id)
     }
 
-    /// Number of live sessions.
+    /// Open a shared fan-out session over a compiled [`SubscriptionSet`]:
+    /// one parse, `set.len()` subscribers, one sink each (in
+    /// [`SubscriptionSet::ids`] order). Shares the shard's budget hook
+    /// like every single-query session.
+    pub fn open_shared(&mut self, set: &SubscriptionSet, sinks: Vec<S>) -> SharedSessionId {
+        let session = match &self.budget {
+            Some(hook) => set.session_with_budget(sinks, Arc::clone(hook)),
+            None => set.session(sinks),
+        };
+        self.shared_live += 1;
+        match self.shared_free.pop() {
+            Some(idx) => {
+                let slot = &mut self.shared[idx as usize];
+                slot.1 = Some(session);
+                SharedSessionId { idx, gen: slot.0 }
+            }
+            None => {
+                let idx =
+                    u32::try_from(self.shared.len()).expect("fewer than 2^32 shared sessions");
+                self.shared.push((0, Some(session)));
+                SharedSessionId { idx, gen: 0 }
+            }
+        }
+    }
+
+    fn shared_slot(&mut self, id: SharedSessionId) -> &mut SharedSession<S> {
+        let (gen, session) = &mut self.shared[id.idx as usize];
+        assert_eq!(*gen, id.gen, "stale SharedSessionId: that session already finished");
+        session.as_mut().expect("shared session present while the generation matches")
+    }
+
+    fn take_shared(&mut self, id: SharedSessionId) -> SharedSession<S> {
+        let (gen, session) = &mut self.shared[id.idx as usize];
+        assert_eq!(*gen, id.gen, "stale SharedSessionId: that session already finished");
+        let s = session.take().expect("shared session present while the generation matches");
+        *gen += 1;
+        self.shared_free.push(id.idx);
+        self.shared_live -= 1;
+        s
+    }
+
+    /// Feed a chunk to a shared session
+    /// ([`SharedSession::feed_outcome`]) — the one tokenization that
+    /// drives all its subscribers. Backpressure is stream-level: on
+    /// [`FeedOutcome::Backpressure`] the chunk was refused for the whole
+    /// fan-out; re-feed after [`Shard::resume_shared`] succeeds.
+    pub fn feed_shared(
+        &mut self,
+        id: SharedSessionId,
+        chunk: &[u8],
+    ) -> Result<FeedOutcome, FluxError> {
+        self.shared_slot(id).feed_outcome(chunk)
+    }
+
+    /// Re-check the admission gate for a stalled shared session.
+    pub fn resume_shared(&mut self, id: SharedSessionId) -> Result<FeedOutcome, FluxError> {
+        self.shared_slot(id).resume()
+    }
+
+    /// Finish a shared session, releasing its slot: one entry per
+    /// subscriber ([`SharedSession::finish_parts`]).
+    #[allow(clippy::type_complexity)]
+    pub fn finish_shared(
+        &mut self,
+        id: SharedSessionId,
+    ) -> Vec<(Result<RunStats, FluxError>, Option<S>)> {
+        self.take_shared(id).finish_parts()
+    }
+
+    /// Drop a whole shared session mid-stream, releasing its slot and
+    /// everything its subscribers charged to the shared budget.
+    pub fn abort_shared(&mut self, id: SharedSessionId) {
+        drop(self.take_shared(id));
+    }
+
+    /// Abort a single subscriber of a shared session
+    /// ([`SharedSession::abort_sub`]); the parse keeps running for the
+    /// rest.
+    pub fn abort_shared_sub(&mut self, id: SharedSessionId, sub: usize) -> Option<S> {
+        self.shared_slot(id).abort_sub(sub)
+    }
+
+    /// Direct access to one live shared session.
+    pub fn shared_session(&mut self, id: SharedSessionId) -> &mut SharedSession<S> {
+        self.shared_slot(id)
+    }
+
+    /// Number of live single-query sessions.
     pub fn len(&self) -> usize {
         self.live
     }
 
-    /// Is the shard empty?
-    pub fn is_empty(&self) -> bool {
-        self.live == 0
+    /// Number of live shared fan-out sessions.
+    pub fn shared_len(&self) -> usize {
+        self.shared_live
     }
 
-    /// Total bytes held across all live sessions (buffers, captures, and
-    /// unparsed input tails) — the admission-control quantity for a
-    /// multi-tenant service.
+    /// Is the shard empty (no live sessions of either kind)?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0 && self.shared_live == 0
+    }
+
+    /// Total bytes held across all live sessions of both kinds (buffers,
+    /// captures, and unparsed input tails) — the admission-control
+    /// quantity for a multi-tenant service.
     pub fn buffered_bytes(&self) -> usize {
-        self.slots.iter().filter_map(|(_, s)| s.as_ref()).map(Session::buffered_bytes).sum()
+        let single: usize =
+            self.slots.iter().filter_map(|(_, s)| s.as_ref()).map(Session::buffered_bytes).sum();
+        let shared: usize = self
+            .shared
+            .iter()
+            .filter_map(|(_, s)| s.as_ref())
+            .map(SharedSession::buffered_bytes)
+            .sum();
+        single + shared
     }
 }
 
@@ -212,6 +338,47 @@ mod tests {
         }));
         assert!(stale.is_err(), "stale id must panic, not cross streams");
         shard.abort(b);
+        assert!(shard.is_empty());
+    }
+
+    #[test]
+    fn shard_multiplexes_shared_sessions_alongside_single_ones() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut reg = crate::QueryRegistry::new();
+        reg.register("q", q.clone());
+        reg.register("q2", q.clone());
+        let set = crate::SubscriptionSet::compile(&reg).unwrap();
+        let reference = q.run_str(DOC).unwrap();
+
+        let mut shard = Shard::new();
+        let single = shard.open(&q, StringSink::new());
+        let shared = shard.open_shared(&set, vec![StringSink::new(), StringSink::new()]);
+        assert_eq!(shard.len(), 1);
+        assert_eq!(shard.shared_len(), 1);
+        assert!(!shard.is_empty());
+        for chunk in DOC.as_bytes().chunks(5) {
+            let _ = shard.feed(single, chunk).unwrap();
+            let _ = shard.feed_shared(shared, chunk).unwrap();
+        }
+        assert_eq!(shard.resume_shared(shared).unwrap(), FeedOutcome::Accepted);
+        for (res, sink) in shard.finish_shared(shared) {
+            res.unwrap();
+            assert_eq!(sink.unwrap().as_str(), reference.output);
+        }
+        shard.finish(single).unwrap();
+        assert!(shard.is_empty());
+        // Slot reuse bumps the generation; stale shared ids must panic.
+        let again = shard.open_shared(&set, vec![StringSink::new(), StringSink::new()]);
+        assert_eq!(again.idx, shared.idx);
+        assert_ne!(again.gen, shared.gen);
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shard.feed_shared(shared, b"x").ok();
+        }));
+        assert!(stale.is_err(), "stale shared id must panic");
+        let sink = shard.abort_shared_sub(again, 0).expect("sub abort yields the sink");
+        let _ = sink.into_string();
+        shard.abort_shared(again);
         assert!(shard.is_empty());
     }
 

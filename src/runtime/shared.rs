@@ -1,0 +1,385 @@
+//! One incremental parse fanned out to M subscriptions.
+//!
+//! [`SharedSession`] is to a [`SubscriptionSet`](crate::SubscriptionSet)
+//! what [`Session`](crate::Session) is to a single
+//! [`PreparedQuery`](crate::PreparedQuery): a plain resumable value — one
+//! incremental reader plus an engine-level
+//! [`FanoutDriver`](flux_engine::FanoutDriver) — fed chunk by chunk on the
+//! caller's thread. The document is tokenized **once**; every resolved
+//! event fans out to the subscriptions still interested in the current
+//! subtree (the rest are parked, see `flux_engine::fanout`), and each
+//! subscriber keeps its own sink, statistics and budget charges.
+//!
+//! The per-subscriber semantics are deliberate and pinned by tests:
+//!
+//! * **A subscriber's failure detaches the subscriber, never the stream.**
+//!   A validation error only one query cares about stops that query; the
+//!   other M−1 keep streaming, and the error surfaces in that subscriber's
+//!   entry of [`SharedSession::finish_parts`]. (A *parse* error is a
+//!   property of the shared input itself, so it fails every subscriber —
+//!   exactly as it would fail each independent run.)
+//! * **Aborting a subscriber detaches it immediately**
+//!   ([`SharedSession::abort_sub`]): its sink comes back with the output
+//!   streamed so far, its buffers and shared-budget charges are released,
+//!   and the parse continues for the rest.
+//! * **Budget stalls are stream-level.** The admission gate
+//!   ([`SharedSession::feed_outcome`]) pauses the *whole* shared parse
+//!   while the pool is tight and no subscriber holds charges — a single
+//!   parse cannot advance subscribers selectively, and a stalled
+//!   subscriber that held the only charges would starve the rest anyway.
+//!   This is the stall-the-stream choice; detaching slow subscribers to a
+//!   catch-up replay is a policy the caller can build with
+//!   [`SharedSession::abort_sub`].
+
+use std::sync::Arc;
+
+use flux_engine::{BudgetHook, EngineError, FanoutDriver, FanoutPlan, RunStats};
+use flux_xml::{FeedSource, Polled, Reader, Sink, XmlError};
+
+use crate::error::FluxError;
+use crate::runtime::FeedOutcome;
+
+/// One shared incremental execution of a compiled
+/// [`SubscriptionSet`](crate::SubscriptionSet). See the [module docs](self).
+pub struct SharedSession<S: Sink> {
+    reader: Reader<FeedSource>,
+    driver: FanoutDriver<S>,
+    /// A stream-level failure (XML parse error) — fatal for every
+    /// subscriber, fanned out at finish. Per-subscriber engine errors
+    /// never land here; they detach their subscriber inside the driver.
+    error: Option<XmlError>,
+    budget: Option<Arc<dyn BudgetHook>>,
+    paused: bool,
+}
+
+impl<S: Sink> SharedSession<S> {
+    pub(crate) fn new(
+        plan: &FanoutPlan,
+        sinks: Vec<S>,
+        budget: Option<Arc<dyn BudgetHook>>,
+    ) -> SharedSession<S> {
+        let reader =
+            Reader::incremental_with_symbols(plan.options().reader, Arc::clone(plan.symbols()));
+        let driver = match &budget {
+            Some(hook) => FanoutDriver::with_budget(plan, sinks, Arc::clone(hook)),
+            None => FanoutDriver::new(plan, sinks),
+        };
+        SharedSession { reader, driver, error: None, budget, paused: false }
+    }
+
+    /// Push the next chunk of the shared document; every event it
+    /// completes is dispatched to all interested subscribers before the
+    /// call returns. Chunks may split the XML at any byte boundary.
+    ///
+    /// Returns [`FluxError::SessionAborted`] once the shared input has
+    /// failed to parse (per-subscriber failures do *not* abort the
+    /// session — see the [module docs](self)).
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), FluxError> {
+        if self.error.is_some() {
+            return Err(FluxError::SessionAborted);
+        }
+        self.paused = false;
+        self.reader.feed(chunk);
+        self.drain();
+        Ok(())
+    }
+
+    /// [`SharedSession::feed`] behind the admission gate, mirroring
+    /// [`Session::feed_outcome`](crate::Session::feed_outcome): while the
+    /// shared budget is tight and no subscriber holds charges, the chunk
+    /// is refused ([`FeedOutcome::Backpressure`]) and nothing is absorbed.
+    /// One stalled *stream* parks all its subscribers — the stream-level
+    /// stall semantics pinned in the [module docs](self).
+    pub fn feed_outcome(&mut self, chunk: &[u8]) -> Result<FeedOutcome, FluxError> {
+        if self.error.is_some() {
+            return Err(FluxError::SessionAborted);
+        }
+        if self.gated() {
+            self.paused = true;
+            return Ok(FeedOutcome::Backpressure);
+        }
+        self.paused = false;
+        self.reader.feed(chunk);
+        self.drain();
+        Ok(FeedOutcome::Accepted)
+    }
+
+    /// Re-check the admission gate after [`FeedOutcome::Backpressure`];
+    /// [`FeedOutcome::Accepted`] means feeds are admitted again (the
+    /// refused chunk was never absorbed — re-feed it).
+    pub fn resume(&mut self) -> Result<FeedOutcome, FluxError> {
+        if self.error.is_some() {
+            return Err(FluxError::SessionAborted);
+        }
+        if self.gated() {
+            return Ok(FeedOutcome::Backpressure);
+        }
+        self.paused = false;
+        Ok(FeedOutcome::Accepted)
+    }
+
+    /// Did the last [`SharedSession::feed_outcome`] refuse its chunk (and
+    /// no [`SharedSession::resume`] has succeeded since)?
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    fn gated(&self) -> bool {
+        match &self.budget {
+            Some(b) => b.should_pause() && self.driver.budget_charged() == 0,
+            None => false,
+        }
+    }
+
+    fn drain(&mut self) {
+        loop {
+            match self.reader.poll_resolved() {
+                // Dispatch is infallible at the stream level: a subscriber
+                // whose pump errors is detached inside the driver.
+                Ok(Polled::Event(ev)) => self.driver.feed_event(ev),
+                Ok(Polled::NeedMoreData | Polled::End) => return,
+                Err(e) => {
+                    self.error = Some(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Number of subscriptions (in any state).
+    pub fn len(&self) -> usize {
+        self.driver.len()
+    }
+
+    /// Is the session empty? (Never true: sets are non-empty.)
+    pub fn is_empty(&self) -> bool {
+        self.driver.is_empty()
+    }
+
+    /// Subscribers still live: not failed, not aborted.
+    pub fn live_subscribers(&self) -> usize {
+        self.driver.live_subscribers()
+    }
+
+    /// Has the shared input failed to parse? (Fatal for all subscribers;
+    /// the cause is fanned out by [`SharedSession::finish_parts`].)
+    pub fn is_aborted(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Has subscriber `i` failed on its own engine error?
+    pub fn sub_failed(&self, i: usize) -> bool {
+        self.driver.is_failed(i)
+    }
+
+    /// Abort one subscriber mid-stream: its sink comes back with the
+    /// output streamed so far (no end-of-input epilogue), its buffers and
+    /// budget charges are released, and the shared parse continues for
+    /// everyone else. `None` if `i` was already aborted.
+    pub fn abort_sub(&mut self, i: usize) -> Option<S> {
+        self.driver.abort_sub(i)
+    }
+
+    /// Bytes this session currently holds: every live subscriber's
+    /// buffers and captures plus the unparsed tail of the fed input.
+    pub fn buffered_bytes(&self) -> usize {
+        self.driver.buffered_bytes() + self.reader.unconsumed_bytes()
+    }
+
+    /// Aggregate bytes currently charged to the shared budget hook.
+    pub fn budget_charged(&self) -> usize {
+        self.driver.budget_charged()
+    }
+
+    /// Signal end of input and complete every subscription.
+    ///
+    /// One entry per subscriber, in subscription order, mirroring
+    /// [`Session::finish_parts`](crate::Session::finish_parts): the
+    /// outcome plus the sink (returned on success *and* on failure; `None`
+    /// only for subscribers aborted earlier via
+    /// [`SharedSession::abort_sub`], whose sinks were already handed
+    /// back — their outcome reads [`FluxError::SessionAborted`]). Every
+    /// completed subscriber's output and statistics are identical to an
+    /// independent [`Session`](crate::Session) run over the same bytes.
+    #[allow(clippy::type_complexity)]
+    pub fn finish_parts(mut self) -> Vec<(Result<RunStats, FluxError>, Option<S>)> {
+        if self.error.is_none() {
+            self.reader.close();
+            self.drain();
+        }
+        match self.error {
+            // The shared input itself is broken: every subscriber fails
+            // with the same cause, holding the output an independent run
+            // would have streamed before the same failure.
+            Some(xml) => self
+                .driver
+                .abort_all()
+                .into_iter()
+                .map(|t| match t {
+                    flux_engine::SubTeardown::Detached => (Err(FluxError::SessionAborted), None),
+                    flux_engine::SubTeardown::Failed(e, sink) => {
+                        (Err(FluxError::Engine(e)), Some(sink))
+                    }
+                    flux_engine::SubTeardown::Aborted(sink) => {
+                        (Err(FluxError::Engine(EngineError::Xml(xml.clone()))), Some(sink))
+                    }
+                })
+                .collect(),
+            None => self
+                .driver
+                .finish()
+                .into_iter()
+                .map(|entry| match entry {
+                    None => (Err(FluxError::SessionAborted), None),
+                    Some((res, sink)) => (res.map_err(Into::into), Some(sink)),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, QueryRegistry, SubscriptionSet};
+    use flux_xml::StringSink;
+
+    const DTD: &str = "<!ELEMENT bib (book|article)*>\
+        <!ELEMENT book (title,author)><!ELEMENT article (headline,author)>\
+        <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>\
+        <!ELEMENT headline (#PCDATA)>";
+    const Q_BOOKS: &str = "<books>{ for $b in $ROOT/bib/book return \
+        <hit> {$b/title} </hit> }</books>";
+    const Q_ARTICLES: &str = "<articles>{ for $a in $ROOT/bib/article return \
+        <hit> {$a/headline} </hit> }</articles>";
+    const DOC: &str = "<bib>\
+        <book><title>T1</title><author>A1</author></book>\
+        <article><headline>H1</headline><author>B1</author></article>\
+        <book><title>T2</title><author>A2</author></book>\
+        </bib>";
+
+    fn set() -> SubscriptionSet {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let mut reg = QueryRegistry::new();
+        reg.register("articles", engine.prepare(Q_ARTICLES).unwrap());
+        reg.register("books", engine.prepare(Q_BOOKS).unwrap());
+        SubscriptionSet::compile(&reg).unwrap()
+    }
+
+    #[test]
+    fn chunked_shared_run_matches_independent_sessions() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let set = set();
+        for chunk in [1usize, 7, 64] {
+            let mut s = set.session_strings();
+            for c in DOC.as_bytes().chunks(chunk) {
+                s.feed(c).unwrap();
+            }
+            let outs = s.finish_parts();
+            for (id, (res, sink)) in set.ids().iter().zip(outs) {
+                let q = match id.as_str() {
+                    "articles" => Q_ARTICLES,
+                    _ => Q_BOOKS,
+                };
+                let reference = engine.prepare(q).unwrap().run_str(DOC).unwrap();
+                assert_eq!(sink.unwrap().as_str(), reference.output);
+                assert_eq!(res.unwrap(), reference.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_error_fans_out_to_every_subscriber() {
+        let set = set();
+        let mut s = set.session_strings();
+        // A mismatched end tag is a well-formedness error of the shared
+        // input itself.
+        s.feed(b"<bib><book><title>T</zzz>").unwrap();
+        assert!(s.is_aborted());
+        assert!(matches!(s.feed(b"x"), Err(FluxError::SessionAborted)));
+        let outs = s.finish_parts();
+        assert_eq!(outs.len(), 2);
+        for (res, sink) in outs {
+            assert!(matches!(res, Err(FluxError::Engine(EngineError::Xml(_)))));
+            assert!(sink.is_some(), "partial output recovered");
+        }
+    }
+
+    #[test]
+    fn abort_sub_detaches_one_and_finishes_the_rest() {
+        let set = set();
+        let mut s = set.session_strings();
+        let (head, tail) = DOC.as_bytes().split_at(40);
+        s.feed(head).unwrap();
+        let sink = s.abort_sub(0).expect("first abort yields the sink");
+        let _ = sink.into_string();
+        assert_eq!(s.live_subscribers(), 1);
+        s.feed(tail).unwrap();
+        let outs = s.finish_parts();
+        assert!(matches!(outs[0], (Err(FluxError::SessionAborted), None)));
+        let (res, sink) = &outs[1];
+        assert!(res.is_ok());
+        assert!(sink.as_ref().unwrap().as_str().contains("<title>T1</title>"));
+    }
+
+    #[test]
+    fn one_failing_subscriber_leaves_the_stream_running() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let set = set();
+        let mut s = set.session_strings();
+        // zzz violates article's content model: the articles subscription
+        // fails; books never looks inside articles and streams on.
+        let doc = "<bib>\
+            <article><zzz/><headline>H</headline><author>B</author></article>\
+            <book><title>T</title><author>A</author></book>\
+            </bib>";
+        for c in doc.as_bytes().chunks(9) {
+            s.feed(c).unwrap();
+        }
+        assert!(!s.is_aborted(), "per-subscriber failure is not a stream failure");
+        assert!(s.sub_failed(0));
+        assert_eq!(s.live_subscribers(), 1);
+        let outs = s.finish_parts();
+        let (articles_res, articles_sink) = &outs[0];
+        assert!(articles_res.is_err());
+        assert!(articles_sink.is_some());
+        let (books_res, books_sink) = &outs[1];
+        let reference = engine.prepare(Q_BOOKS).unwrap().run_str(doc).unwrap();
+        assert_eq!(books_sink.as_ref().unwrap().as_str(), reference.output);
+        assert_eq!(*books_res.as_ref().unwrap(), reference.stats);
+    }
+
+    #[test]
+    fn unbudgeted_gate_always_admits() {
+        let set = set();
+        let mut s = set.session_strings();
+        for c in DOC.as_bytes().chunks(11) {
+            assert_eq!(s.feed_outcome(c).unwrap(), FeedOutcome::Accepted);
+            assert!(!s.is_paused());
+        }
+        assert_eq!(s.resume().unwrap(), FeedOutcome::Accepted);
+        for (res, _) in s.finish_parts() {
+            res.unwrap();
+        }
+    }
+
+    #[test]
+    fn dropped_shared_session_is_clean() {
+        let set = set();
+        let mut s = set.session_strings();
+        s.feed(b"<bib><book><title>T").unwrap();
+        drop(s);
+    }
+
+    #[test]
+    fn truncated_input_fails_every_subscriber_like_independent_runs() {
+        let set = set();
+        let mut s = set.session(vec![StringSink::new(), StringSink::new()]);
+        s.feed(b"<bib><book><title>T</title>").unwrap();
+        let outs = s.finish_parts();
+        for (res, sink) in outs {
+            assert!(res.is_err());
+            assert!(sink.is_some());
+        }
+    }
+}

@@ -324,7 +324,7 @@ fn runtime_queues_refused_chunks_and_resumes_deterministically() {
                 assert_eq!(sink.unwrap().as_str(), reference.output);
                 log.push(format!("finished-{}", name(id, a, b, c)));
             }
-            RuntimeEvent::Aborted { .. } => unreachable!("nothing aborts here"),
+            other => unreachable!("nothing aborts and nothing is shared here: {other:?}"),
         }
     }
     assert_eq!(
@@ -422,6 +422,100 @@ fn wrapped_hooks_deliver_wakeups_through_the_forwarded_subscription() {
     assert_eq!(ctrl.used(), 0);
     assert_eq!(counting.peak(), counting.peak().min(ctrl.budget()));
     let _ = rt.drain();
+}
+
+#[test]
+fn shared_fanout_charges_each_subscriber_and_returns_to_zero_on_finish() {
+    // ISSUE satellite: the counting-hook aggregate over a *shared* run with
+    // three subscribers. Every subscriber buffers its own copy of the held
+    // author text (its charges are its own, exactly as in three independent
+    // sessions), and the whole aggregate returns to zero on finish.
+    let q = prepared();
+    let reference = q.run_str(&(hold_prefix(500) + SUFFIX)).unwrap();
+    let mut reg = QueryRegistry::new();
+    for id in ["a", "b", "c"] {
+        reg.register(id, q.clone());
+    }
+    let set = SubscriptionSet::compile(&reg).unwrap();
+
+    let ctrl = AdmissionController::new(1 << 20);
+    let counting = CountingHook::over(&ctrl);
+    let mut s = set
+        .session_with_budget((0..set.len()).map(|_| StringSink::new()).collect(), counting.clone());
+
+    s.feed(hold_prefix(500).as_bytes()).unwrap();
+    let held = ctrl.used();
+    assert!(held >= 3 * 500, "three subscribers each hold the author: {held}");
+    assert_eq!(s.budget_charged(), held, "session accounting agrees with the pool");
+
+    s.feed(SUFFIX.as_bytes()).unwrap();
+    assert_eq!(ctrl.used(), 0, "buffers flush when each book closes");
+    for (res, sink) in s.finish_parts() {
+        res.unwrap();
+        assert_eq!(sink.unwrap().as_str(), reference.output);
+    }
+    assert_eq!(ctrl.used(), 0);
+    assert!(counting.peak() >= held);
+}
+
+#[test]
+fn aborting_one_shared_subscriber_returns_exactly_its_own_charge() {
+    // ISSUE satellite, second half: mid-stream abort of one subscriber out
+    // of three releases that subscriber's share immediately; the survivors
+    // keep their holdings, finish normally, and the aggregate ends at zero.
+    let q = prepared();
+    let reference = q.run_str(&(hold_prefix(500) + SUFFIX)).unwrap();
+    let mut reg = QueryRegistry::new();
+    for id in ["a", "b", "c"] {
+        reg.register(id, q.clone());
+    }
+    let set = SubscriptionSet::compile(&reg).unwrap();
+
+    let ctrl = AdmissionController::new(1 << 20);
+    let counting = CountingHook::over(&ctrl);
+    let mut s = set
+        .session_with_budget((0..set.len()).map(|_| StringSink::new()).collect(), counting.clone());
+
+    s.feed(hold_prefix(500).as_bytes()).unwrap();
+    let held = ctrl.used();
+    assert!(held >= 3 * 500);
+
+    let aborted = s.abort_sub(0).expect("sink recovered");
+    // The streamed constructor prefix is already out, but the held author
+    // text never flushed: the recovered sink is a strict prefix.
+    assert!(reference.output.starts_with(aborted.as_str()));
+    assert!(!aborted.as_str().contains("xxx"));
+    let after_abort = ctrl.used();
+    assert_eq!(after_abort, held - held / 3, "one of three equal charges released");
+
+    s.feed(SUFFIX.as_bytes()).unwrap();
+    let parts = s.finish_parts();
+    assert!(parts[0].1.is_none(), "the aborted subscriber's sink is already gone");
+    for (res, sink) in parts.into_iter().skip(1) {
+        res.unwrap();
+        assert_eq!(sink.unwrap().as_str(), reference.output);
+    }
+    assert_eq!(ctrl.used(), 0, "survivors released everything on finish");
+}
+
+#[test]
+fn dropping_a_shared_session_mid_stream_releases_the_whole_aggregate() {
+    let q = prepared();
+    let mut reg = QueryRegistry::new();
+    for id in ["a", "b", "c"] {
+        reg.register(id, q.clone());
+    }
+    let set = SubscriptionSet::compile(&reg).unwrap();
+
+    let ctrl = AdmissionController::new(1 << 20);
+    let mut s = set.session_with_budget(
+        (0..set.len()).map(|_| StringSink::new()).collect(),
+        CountingHook::over(&ctrl),
+    );
+    s.feed(hold_prefix(500).as_bytes()).unwrap();
+    assert!(ctrl.used() >= 3 * 500);
+    drop(s);
+    assert_eq!(ctrl.used(), 0, "drop mid-stream returns every charge");
 }
 
 fn name(id: RuntimeId, a: RuntimeId, b: RuntimeId, c: RuntimeId) -> &'static str {
