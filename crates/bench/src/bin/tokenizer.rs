@@ -1,0 +1,159 @@
+//! SWAR-vs-SIMD tokenizer A/B: what does the two-stage structural scan buy?
+//!
+//! Isolates the tokenizer stack layer by layer, once per classification
+//! kernel the host CPU can run (always `swar`, plus `sse2`/`avx2` where
+//! available — each forced via [`ScannerChoice`], the same knob
+//! `FLUX_FORCE_SWAR` drives in production):
+//!
+//! * **classify** — stage 1 alone: batch-classify the whole document into
+//!   [`StructuralIndex`] blocks, no parsing. The raw kernel ceiling.
+//! * **reader** — the full tokenizer: pull every resolved event through
+//!   [`flux_xml::Reader`] with the XMark symbol table attached.
+//! * **q1 / q20** — end to end: the paper's streaming queries over the
+//!   engine, differing only in the forced scanner backend.
+//!
+//! Results land under the `"tokenizer"` key of `BENCH_throughput.json`
+//! (shared marker protocol — the bench bins run in any order). Honours
+//! `FLUX_BENCH_SAMPLES` and `FLUX_BENCH_FAST=1` (CI smoke run: small
+//! document).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use flux::prelude::*;
+use flux_bench::micro::samples;
+use flux_bench::report::merge_section;
+use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
+use flux_xml::scan::{Scanner, ScannerChoice, StructuralIndex, ANCHOR_BYTES};
+use flux_xml::writer::NullSink;
+use flux_xml::Reader;
+
+struct Ab {
+    backend: &'static str,
+    classify_mb_per_s: f64,
+    reader_mb_per_s: f64,
+    q1_mb_per_s: f64,
+    q20_mb_per_s: f64,
+}
+
+fn best_of(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let fast = std::env::var_os("FLUX_BENCH_FAST").is_some();
+    let doc_bytes: usize = if fast { 256 << 10 } else { 4 << 20 };
+    let (doc, _) = generate_string(&XmarkConfig::new(doc_bytes));
+    let bytes = doc.as_bytes();
+    let n = samples().min(5);
+    let mb = bytes.len() as f64 / 1e6;
+
+    // Every kernel this host can actually run: forcing a choice the CPU
+    // (or `FLUX_FORCE_SWAR`) rules out degrades, so dedup by the backend
+    // the scanner really selected.
+    let mut lineup: Vec<(ScannerChoice, Scanner)> = Vec::new();
+    for choice in [ScannerChoice::ForceSwar, ScannerChoice::ForceSse2, ScannerChoice::ForceAvx2] {
+        let scanner = Scanner::with_choice(choice);
+        if lineup.iter().all(|(_, s)| s.backend() != scanner.backend()) {
+            lineup.push((choice, scanner));
+        }
+    }
+
+    let mut results = Vec::new();
+    for &(choice, scanner) in &lineup {
+        let engine = Engine::builder().dtd_str(XMARK_DTD).scanner(choice).build().unwrap();
+        let symbols = engine.dtd().symbols().clone();
+
+        // Stage 1 alone: classify the document in anchor-sized batches.
+        let mut idx = StructuralIndex::new();
+        let classify = best_of(n, || {
+            let mut off = 0usize;
+            let mut structural = 0u64;
+            while off < bytes.len() {
+                scanner.anchor(&mut idx, off as u64, &bytes[off..]);
+                structural += idx.blocks().iter().map(|b| b.lt.count_ones() as u64).sum::<u64>();
+                off += ANCHOR_BYTES.min(bytes.len() - off);
+            }
+            std::hint::black_box(structural);
+        });
+
+        // The full tokenizer: every resolved event, names interned.
+        let opts = flux_xml::ReaderOptions { scanner: choice, ..Default::default() };
+        let reader = best_of(n, || {
+            let mut r = Reader::with_symbols(bytes, opts, symbols.clone());
+            let mut events = 0u64;
+            while let Some(ev) = r.next_resolved().unwrap() {
+                std::hint::black_box(&ev);
+                events += 1;
+            }
+            std::hint::black_box(events);
+        });
+
+        // End to end on the paper's streaming queries.
+        let mut end_to_end = [0.0f64; 2];
+        for (slot, name) in end_to_end.iter_mut().zip(["Q1", "Q20"]) {
+            let q = PAPER_QUERIES.iter().find(|q| q.name == name).expect("paper query");
+            let prepared = engine.prepare(q.source).unwrap();
+            *slot = best_of(n, || {
+                prepared.run_to(bytes, NullSink::default()).unwrap();
+            });
+        }
+
+        let ab = Ab {
+            backend: scanner.backend().name(),
+            classify_mb_per_s: mb / classify,
+            reader_mb_per_s: mb / reader,
+            q1_mb_per_s: mb / end_to_end[0],
+            q20_mb_per_s: mb / end_to_end[1],
+        };
+        println!(
+            "tokenizer/{:<4} classify {:>7.1} MB/s  reader {:>6.1} MB/s  \
+             Q1 {:>6.1} MB/s  Q20 {:>6.1} MB/s  (doc {}B, min of {n} samples)",
+            ab.backend,
+            ab.classify_mb_per_s,
+            ab.reader_mb_per_s,
+            ab.q1_mb_per_s,
+            ab.q20_mb_per_s,
+            bytes.len(),
+        );
+        results.push(ab);
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let section = render_section(bytes.len(), n, &results);
+    let existing = std::fs::read_to_string(path).ok();
+    std::fs::write(path, merge_section(existing.as_deref(), "tokenizer", &section))
+        .expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+}
+
+/// The `"tokenizer"` section value (hand-rolled JSON — no serde in the
+/// offline build).
+fn render_section(doc_bytes: usize, samples: usize, results: &[Ab]) -> String {
+    let mut out = format!(
+        "{{\"bin\": \"tokenizer\", \"detected\": {:?}, \"doc_bytes\": {doc_bytes}, \
+         \"samples\": {samples}, \"backends\": [",
+        Scanner::detect().backend().name(),
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"backend\": {:?}, \"classify_mb_per_s\": {:.1}, \
+             \"reader_mb_per_s\": {:.1}, \"q1_mb_per_s\": {:.1}, \"q20_mb_per_s\": {:.1}}}",
+            if i == 0 { "" } else { ", " },
+            r.backend,
+            r.classify_mb_per_s,
+            r.reader_mb_per_s,
+            r.q1_mb_per_s,
+            r.q20_mb_per_s,
+        );
+    }
+    out.push_str("]}");
+    out
+}

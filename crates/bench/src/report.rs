@@ -14,7 +14,7 @@ use crate::harness::EngineRun;
 
 /// The section names each bench binary may own, in the canonical order
 /// they are laid out in the file.
-pub const SECTIONS: &[&str] = &["concurrency", "netbench", "figure4", "fanout"];
+pub const SECTIONS: &[&str] = &["concurrency", "netbench", "figure4", "fanout", "tokenizer"];
 
 /// The `"concurrency"` section marker (kept as a named constant because CI
 /// greps for it).
@@ -187,6 +187,7 @@ mod tests {
     const NETBENCH: &str = "{\"bin\": \"netbench\", \"connections\": 32}";
     const FIGURE4: &str = "{\"bin\": \"figure4\", \"rows\": []}";
     const FANOUT: &str = "{\"bin\": \"fanout\", \"runs\": []}";
+    const TOKENIZER: &str = "{\"bin\": \"tokenizer\", \"backends\": []}";
 
     #[test]
     fn bench_json_merges_in_either_run_order() {
@@ -212,15 +213,21 @@ mod tests {
         // Apply the four writers in several different orders; the result
         // must always carry the head and every section exactly once.
         type Step = (&'static str, &'static str);
-        let steps: [Step; 5] = [
+        let steps: [Step; 6] = [
             ("throughput", THROUGHPUT),
             ("concurrency", SECTION),
             ("netbench", NETBENCH),
             ("figure4", FIGURE4),
             ("fanout", FANOUT),
+            ("tokenizer", TOKENIZER),
         ];
-        let orders: [[usize; 5]; 5] =
-            [[0, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 4, 0, 3, 1], [1, 3, 4, 0, 2], [3, 0, 4, 1, 2]];
+        let orders: [[usize; 6]; 5] = [
+            [0, 1, 2, 3, 4, 5],
+            [5, 4, 3, 2, 1, 0],
+            [2, 5, 4, 0, 3, 1],
+            [1, 3, 5, 4, 0, 2],
+            [3, 0, 4, 5, 1, 2],
+        ];
         for order in orders {
             let mut file: Option<String> = None;
             for &i in &order {
@@ -250,6 +257,7 @@ mod tests {
                     ("netbench", NETBENCH),
                     ("figure4", FIGURE4),
                     ("fanout", FANOUT),
+                    ("tokenizer", TOKENIZER),
                 ],
                 "order {order:?}"
             );

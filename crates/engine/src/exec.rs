@@ -86,7 +86,11 @@ impl CompiledQuery {
                 st.feed_event(self, ev)?;
             }
             st.finish(self)
-        })();
+        })()
+        .map(|mut stats| {
+            stats.scan = reader.scan_telemetry();
+            stats
+        });
         let mut sink = st.into_sink();
         if res.is_ok() {
             if let Err(e) = sink.flush_sink() {
@@ -474,7 +478,15 @@ fn load_current(
         ResolvedEvent::Text(t) => {
             cur_text.clear();
             cur_text.push_str(t);
-            *cur_text_ws = t.chars().all(char::is_whitespace);
+            // Byte-wise whitespace scan with an early exit on the first
+            // ASCII non-whitespace byte (the overwhelmingly common case);
+            // only text containing non-ASCII falls back to the full
+            // `char::is_whitespace` walk.
+            *cur_text_ws = match t.bytes().find(|b| !matches!(b, b' ' | 0x09..=0x0D)) {
+                None => true,
+                Some(b) if b.is_ascii() => false,
+                Some(_) => t.chars().all(char::is_whitespace),
+            };
             *cur_kind = Pulled::Text;
         }
     }
@@ -601,6 +613,30 @@ impl<S: Sink> Machine<S> {
             }
         }
         self.cur_base = 0;
+        if self.skip > 0 {
+            // Skipped subtree: only the event kind matters, so the
+            // name/text copy in `set_current` is skipped along with it.
+            // (`process_current` keeps its own skip branch for replayed
+            // events, which enter below this screen.)
+            match ev {
+                ResolvedEvent::Start(..) => self.skip += 1,
+                ResolvedEvent::Text(_) => {}
+                ResolvedEvent::End(..) => {
+                    self.skip -= 1;
+                    if self.skip == 0 {
+                        // The skipped child is done; fire the scope's rest.
+                        self.set_current(ev);
+                        self.on_frame_pop(plan)?;
+                        return if self.replays.is_empty() {
+                            Ok(())
+                        } else {
+                            self.drain_replays(plan)
+                        };
+                    }
+                }
+            }
+            return Ok(());
+        }
         self.set_current(ev);
         self.process_current(plan)?;
         if self.replays.is_empty() {

@@ -8,6 +8,8 @@
 //! Fixed per-structure overhead is excluded, as the paper excludes the JVM's
 //! fixed footprint.
 
+use flux_xml::ScanTelemetry;
+
 /// Counters accumulated during one streaming run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -27,6 +29,11 @@ pub struct RunStats {
     pub buffers_created: u64,
     /// Child subtrees captured for replay or deferred evaluation.
     pub captures: u64,
+    /// Structural-scanner telemetry from the run's tokenizer: which kernel
+    /// classified the input and how many bytes each reader path consumed.
+    /// Deliberately compares equal regardless of contents — the split is
+    /// chunk-geometry-dependent and must not perturb stats equality.
+    pub scan: ScanTelemetry,
 }
 
 impl RunStats {

@@ -12,6 +12,8 @@ use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use flux_xml::{Backend, ScanTelemetry};
+
 use crate::protocol::{encode_frame, DecodePoll, ErrorCode, FrameDecoder, FrameKind, HEADER_LEN};
 
 /// One decoded server→client message.
@@ -25,6 +27,9 @@ pub enum ServerMsg {
         events: u64,
         /// Total output bytes (across all `RESULT` frames).
         output_bytes: u64,
+        /// Scanner telemetry from the server's tokenizer; `None` when the
+        /// server speaks the pre-telemetry 17-byte `DONE` payload.
+        scan: Option<ScanTelemetry>,
     },
     /// The run was aborted (acknowledges `ABORT`).
     AbortAck,
@@ -50,6 +55,9 @@ pub struct Outcome {
     pub output: Vec<u8>,
     /// `(events, output_bytes)` from the `DONE` frame, if the run finished.
     pub done: Option<(u64, u64)>,
+    /// Scanner telemetry from the `DONE` frame (`None` until the run
+    /// finishes, or from a pre-telemetry server).
+    pub scan: Option<ScanTelemetry>,
     /// The run acknowledged an abort.
     pub aborted: bool,
     /// The `ERROR` frame, if any ended the run.
@@ -220,8 +228,9 @@ impl Client {
         loop {
             match self.next_msg()? {
                 ServerMsg::Result(bytes) => out.output.extend_from_slice(&bytes),
-                ServerMsg::Done { events, output_bytes } => {
+                ServerMsg::Done { events, output_bytes, scan } => {
                     out.done = Some((events, output_bytes));
+                    out.scan = scan;
                     return Ok(out);
                 }
                 ServerMsg::AbortAck => {
@@ -300,8 +309,9 @@ impl Client {
                     }
                     match decode_msg(kind, &payload[4..])? {
                         ServerMsg::Result(bytes) => outs[sub].output.extend_from_slice(&bytes),
-                        ServerMsg::Done { events, output_bytes } => {
+                        ServerMsg::Done { events, output_bytes, scan } => {
                             outs[sub].done = Some((events, output_bytes));
+                            outs[sub].scan = scan;
                             open[sub] = false;
                         }
                         ServerMsg::AbortAck => {
@@ -361,9 +371,26 @@ fn decode_msg(kind: FrameKind, payload: &[u8]) -> io::Result<ServerMsg> {
     Ok(match kind {
         FrameKind::Result => ServerMsg::Result(payload.to_vec()),
         FrameKind::Done => match payload.first() {
-            Some(0) if payload.len() == 17 => ServerMsg::Done {
+            // Both the current 34-byte payload (with scanner telemetry)
+            // and the pre-telemetry 17-byte one decode: a new client can
+            // talk to an old server.
+            Some(0) if payload.len() == 17 || payload.len() == 34 => ServerMsg::Done {
                 events: u64::from_be_bytes(payload[1..9].try_into().expect("8 bytes")),
                 output_bytes: u64::from_be_bytes(payload[9..17].try_into().expect("8 bytes")),
+                scan: if payload.len() == 34 {
+                    Some(ScanTelemetry {
+                        backend: Backend::from_code(payload[17])
+                            .ok_or_else(|| bad("unknown scanner backend code in DONE"))?,
+                        fast_path_bytes: u64::from_be_bytes(
+                            payload[18..26].try_into().expect("8 bytes"),
+                        ),
+                        general_path_bytes: u64::from_be_bytes(
+                            payload[26..34].try_into().expect("8 bytes"),
+                        ),
+                    })
+                } else {
+                    None
+                },
             },
             Some(1) => ServerMsg::AbortAck,
             _ => return Err(bad("malformed DONE payload")),
@@ -389,4 +416,42 @@ pub fn header(kind: FrameKind, len: u32) -> [u8; HEADER_LEN] {
     h[0] = kind.byte();
     h[1..].copy_from_slice(&len.to_be_bytes());
     h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn done_decodes_current_and_legacy_payloads() {
+        // Current 34-byte payload: counters + scanner telemetry.
+        let scan = ScanTelemetry {
+            backend: Backend::Avx2,
+            fast_path_bytes: 4096,
+            general_path_bytes: 128,
+        };
+        let payload = crate::protocol::done_finished_payload(10, 20, scan);
+        match decode_msg(FrameKind::Done, &payload).unwrap() {
+            ServerMsg::Done { events: 10, output_bytes: 20, scan: Some(got) } => {
+                assert_eq!(got.backend, Backend::Avx2);
+                assert_eq!(got.fast_path_bytes, 4096);
+                assert_eq!(got.general_path_bytes, 128);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Pre-telemetry 17-byte payload still decodes, with scan absent.
+        match decode_msg(FrameKind::Done, &payload[..17]).unwrap() {
+            ServerMsg::Done { events: 10, output_bytes: 20, scan: None } => {}
+            other => panic!("{other:?}"),
+        }
+
+        // An unknown backend code is malformed, not silently mislabeled.
+        let mut bad_code = payload;
+        bad_code[17] = 0xFF;
+        assert!(decode_msg(FrameKind::Done, &bad_code).is_err());
+
+        // Any other length is malformed.
+        assert!(decode_msg(FrameKind::Done, &payload[..20]).is_err());
+    }
 }

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use flux::RuntimeId;
-use flux_xml::Sink;
+use flux_xml::{ScanTelemetry, Sink};
 
 use crate::poller::Interest;
 use crate::protocol::{
@@ -194,8 +194,13 @@ impl Conn {
     }
 
     /// Queue the `DONE` frame for a completed run.
-    pub(crate) fn queue_done_finished(&mut self, events: u64, output_bytes: u64) {
-        encode_done_finished(&mut self.out, events, output_bytes);
+    pub(crate) fn queue_done_finished(
+        &mut self,
+        events: u64,
+        output_bytes: u64,
+        scan: ScanTelemetry,
+    ) {
+        encode_done_finished(&mut self.out, events, output_bytes, scan);
     }
 
     /// Queue the `DONE` frame acknowledging an abort.
@@ -221,8 +226,14 @@ impl Conn {
     }
 
     /// Queue a subscriber-tagged finished-`DONE` frame.
-    pub(crate) fn queue_done_finished_tagged(&mut self, sub: u32, events: u64, output_bytes: u64) {
-        self.queue_tagged(sub, FrameKind::Done, &done_finished_payload(events, output_bytes));
+    pub(crate) fn queue_done_finished_tagged(
+        &mut self,
+        sub: u32,
+        events: u64,
+        output_bytes: u64,
+        scan: ScanTelemetry,
+    ) {
+        self.queue_tagged(sub, FrameKind::Done, &done_finished_payload(events, output_bytes, scan));
     }
 
     /// Queue a subscriber-tagged aborted-`DONE` frame.

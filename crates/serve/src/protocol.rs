@@ -13,7 +13,7 @@
 //! | 0x03 | c→s | `FINISH`  | empty — end of document, complete the run |
 //! | 0x04 | c→s | `ABORT`   | empty — drop the run mid-stream |
 //! | 0x81 | s→c | `RESULT`  | next bytes of the query output (any split) |
-//! | 0x82 | s→c | `DONE`    | 1 status byte (0 finished / 1 aborted); on 0: two u64-BE — events, output bytes |
+//! | 0x82 | s→c | `DONE`    | 1 status byte (0 finished / 1 aborted); on 0: two u64-BE — events, output bytes — then scanner telemetry: 1 backend-code byte ([`Backend::code`](flux_xml::Backend::code)) + two u64-BE — fast-path bytes, general-path bytes |
 //! | 0x83 | s→c | `STALLED` | empty — the session paused on the shared budget; ease off |
 //! | 0x84 | s→c | `RESUMED` | empty — the session is executing again |
 //! | 0x85 | s→c | `ERROR`   | 1 [`ErrorCode`] byte + UTF-8 message |
@@ -46,6 +46,8 @@
 //! buffers, its payload).
 
 use std::fmt;
+
+use flux_xml::ScanTelemetry;
 
 /// Bytes of a frame header: kind + u32 payload length.
 pub const HEADER_LEN: usize = 5;
@@ -270,19 +272,28 @@ pub fn encode_error(out: &mut Vec<u8>, code: ErrorCode, message: &str) {
     encode_frame(out, FrameKind::Error, &payload);
 }
 
-/// The payload of a finished-run `DONE` frame (status 0 + two u64-BE
-/// counters). Shared fan-out prefixes this with a subscriber tag, so the
-/// body is built separately from the frame.
-pub fn done_finished_payload(events: u64, output_bytes: u64) -> [u8; 17] {
-    let mut payload = [0u8; 17];
+/// The payload of a finished-run `DONE` frame: status 0, two u64-BE run
+/// counters, then the scanner telemetry (backend code byte + two u64-BE
+/// per-path byte counters). Shared fan-out prefixes this with a subscriber
+/// tag, so the body is built separately from the frame.
+pub fn done_finished_payload(events: u64, output_bytes: u64, scan: ScanTelemetry) -> [u8; 34] {
+    let mut payload = [0u8; 34];
     payload[1..9].copy_from_slice(&events.to_be_bytes());
     payload[9..17].copy_from_slice(&output_bytes.to_be_bytes());
+    payload[17] = scan.backend.code();
+    payload[18..26].copy_from_slice(&scan.fast_path_bytes.to_be_bytes());
+    payload[26..34].copy_from_slice(&scan.general_path_bytes.to_be_bytes());
     payload
 }
 
 /// Append a `DONE` frame for a completed run.
-pub fn encode_done_finished(out: &mut Vec<u8>, events: u64, output_bytes: u64) {
-    encode_frame(out, FrameKind::Done, &done_finished_payload(events, output_bytes));
+pub fn encode_done_finished(
+    out: &mut Vec<u8>,
+    events: u64,
+    output_bytes: u64,
+    scan: ScanTelemetry,
+) {
+    encode_frame(out, FrameKind::Done, &done_finished_payload(events, output_bytes, scan));
 }
 
 /// Append a `DONE` frame acknowledging an abort.
@@ -364,15 +375,24 @@ mod tests {
 
     #[test]
     fn done_frames_carry_status_and_stats() {
+        let scan = ScanTelemetry {
+            backend: flux_xml::Backend::Sse2,
+            fast_path_bytes: 900,
+            general_path_bytes: 100,
+        };
         let mut out = Vec::new();
-        encode_done_finished(&mut out, 42, 7);
+        encode_done_finished(&mut out, 42, 7, scan);
         let mut dec = FrameDecoder::new(64);
         dec.feed(&out);
         match dec.poll().unwrap() {
             DecodePoll::Frame { kind: FrameKind::Done, payload } => {
+                assert_eq!(payload.len(), 34);
                 assert_eq!(payload[0], 0);
                 assert_eq!(u64::from_be_bytes(payload[1..9].try_into().unwrap()), 42);
                 assert_eq!(u64::from_be_bytes(payload[9..17].try_into().unwrap()), 7);
+                assert_eq!(payload[17], flux_xml::Backend::Sse2.code());
+                assert_eq!(u64::from_be_bytes(payload[18..26].try_into().unwrap()), 900);
+                assert_eq!(u64::from_be_bytes(payload[26..34].try_into().unwrap()), 100);
             }
             other => panic!("{other:?}"),
         }

@@ -426,7 +426,11 @@ impl Server {
                         conn.shared = None;
                         match result {
                             Ok(stats) => {
-                                conn.queue_done_finished(stats.events, stats.output_bytes);
+                                conn.queue_done_finished(
+                                    stats.events,
+                                    stats.output_bytes,
+                                    stats.scan,
+                                );
                             }
                             Err(e) => {
                                 conn.queue_error(ErrorCode::Engine, &e.to_string());
@@ -457,6 +461,7 @@ impl Server {
                                     sub as u32,
                                     stats.events,
                                     stats.output_bytes,
+                                    stats.scan,
                                 ),
                                 Err(e) => conn.queue_error_tagged(
                                     sub as u32,

@@ -84,6 +84,11 @@ fn concurrent_clients_with_tiny_chunks_match_one_shot_for_every_query() {
                 let (events, output_bytes) = outcome.done.expect("finished");
                 assert_eq!(events, reference.stats.events, "{name}/{chunk_size}");
                 assert_eq!(output_bytes, reference.stats.output_bytes, "{name}/{chunk_size}");
+                // The DONE frame carries the scanner telemetry: the
+                // server-side kernel label plus non-trivial byte counters.
+                let scan = outcome.scan.expect("scanner telemetry in DONE");
+                assert_eq!(scan.backend, flux::xml::Scanner::detect().backend());
+                assert!(scan.fast_path_bytes + scan.general_path_bytes > 0, "{name}/{chunk_size}");
             }));
         }
     }

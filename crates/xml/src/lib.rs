@@ -29,6 +29,12 @@
 //! * [`evbuf::EventBuf`] — arena-backed owned event sequences (`NameId`
 //!   tags, `(offset, len)` text spans): the runtime buffer representation,
 //!   with no per-event heap allocation.
+//! * [`scan`] — the two-stage structural scanner behind the reader's fast
+//!   paths: runtime-detected SIMD (AVX2/SSE2) or portable SWAR
+//!   classification of each 32-byte block into per-class bitmasks, which
+//!   the reader's text/name/attribute loops consume instead of
+//!   byte-at-a-time dispatch. See the module docs for the feature-detection
+//!   story and the `FeedSource` batch-boundary contract.
 //!
 //! The data model follows the paper: elements and character data only; the
 //! reader either rejects, drops, or converts attributes. Namespaces, DTD
@@ -40,6 +46,7 @@ pub mod evbuf;
 pub mod events;
 pub mod idtrie;
 pub mod reader;
+pub mod scan;
 pub mod sink;
 pub mod symbols;
 pub mod tree;
@@ -52,6 +59,7 @@ pub use idtrie::IdTrie;
 pub use reader::{
     AttributeMode, FeedSource, Polled, Reader, ReaderOptions, XmlError, XmlErrorKind,
 };
+pub use scan::{Backend, ScanTelemetry, Scanner, ScannerChoice};
 pub use sink::{Sink, StringSink};
 pub use symbols::{NameId, Symbols};
 pub use tree::{Child, Node};

@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use crate::evbuf::EventBuf;
 use crate::events::{Event, OwnedEvent, ResolvedEvent};
+use crate::scan::{ScanTelemetry, Scanner, ScannerChoice, StructuralIndex, BLOCK};
 use crate::symbols::{NameId, Symbols};
 use crate::xsax::converted_name_into;
 
@@ -56,6 +57,9 @@ pub struct ReaderOptions {
     /// documents (like XMark) routinely contain indentation that carries no
     /// data and would only inflate buffers.
     pub keep_whitespace: bool,
+    /// Structural-scanner backend selection (see [`crate::scan`]); defaults
+    /// to the best kernel the CPU supports.
+    pub scanner: ScannerChoice,
 }
 
 /// Classification of parse failures.
@@ -141,6 +145,15 @@ enum Slot {
     EndName,
     /// Borrow target for a start tag name (attribute-free fast path).
     StartName,
+    /// Start tag served straight from the stack arena: the name is the
+    /// topmost `stack` entry, which the fast path just pushed — no copy
+    /// into `name_buf`.
+    StackTop,
+    /// End tag served straight from the stack arena: the name is the
+    /// topmost `stack` entry; the pop (and arena truncate) is deferred to
+    /// the next pull so the borrow needs no copy, mirroring
+    /// `defer_consume`.
+    StackPop,
     /// Index into the `pending` event buffer.
     Pending(usize),
 }
@@ -154,48 +167,6 @@ enum Fast {
     Skipped,
     /// Not a fast-path shape; use the general path.
     Fallback,
-}
-
-/// SWAR byte search (the `memchr` of the fast path — `std`'s is private).
-#[inline]
-fn find_byte(needle: u8, hay: &[u8]) -> Option<usize> {
-    const LO: u64 = 0x0101_0101_0101_0101;
-    const HI: u64 = 0x8080_8080_8080_8080;
-    let pat = u64::from(needle).wrapping_mul(LO);
-    let mut i = 0usize;
-    while i + 8 <= hay.len() {
-        let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk")) ^ pat;
-        if w.wrapping_sub(LO) & !w & HI != 0 {
-            for (j, &b) in hay[i..i + 8].iter().enumerate() {
-                if b == needle {
-                    return Some(i + j);
-                }
-            }
-        }
-        i += 8;
-    }
-    hay[i..].iter().position(|&b| b == needle).map(|p| p + i)
-}
-
-/// Branchless property scan of a candidate text run: (any non-ASCII byte,
-/// any `&`, any non-whitespace). Whitespace is the `char::is_whitespace`
-/// ASCII subset (0x09–0x0D, 0x20); non-ASCII bytes read as non-whitespace
-/// but also set the first flag, which routes to the general path.
-#[inline]
-fn scan_text_props(run: &[u8]) -> (bool, bool, bool) {
-    let (mut hi, mut amp, mut nonws) = (0u8, 0u8, 0u8);
-    for &b in run {
-        hi |= b & 0x80;
-        amp |= u8::from(b == b'&');
-        nonws |= u8::from(b != b' ' && !(0x09..=0x0D).contains(&b));
-    }
-    (hi != 0, amp != 0, nonws != 0)
-}
-
-/// Is `b` an ASCII XML name character (after the first)?
-#[inline]
-fn is_ascii_name_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')
 }
 
 /// Record an element opening: a self-closing tag queues its end event in
@@ -225,10 +196,90 @@ fn open_element(
     }
 }
 
+/// Ensure the structural index covers the current parse position
+/// (`offset` = stream offset of `buf[0]`), re-anchoring when the parse has
+/// moved past — or, after an incremental rollback, before — the covered
+/// range. Returns the index-relative position of `buf[0]`.
+///
+/// One anchor batch serves the next few hundred events; classification is
+/// amortized to ~one pass per input byte. Free function (not a method) so
+/// it can run while `buf` still borrows the source field.
+#[inline]
+fn ensure_index(scanner: Scanner, idx: &mut StructuralIndex, offset: u64, buf: &[u8]) -> usize {
+    if let Some(d) = offset.checked_sub(idx.origin()) {
+        if d < idx.covered() as u64 {
+            let d = d as usize;
+            // A batch ending mid-block (the anchor ran out of window) can't
+            // be extended in place; if the window has since grown past it —
+            // an incremental feed landed — re-anchor so `extend` always
+            // continues from a block-aligned boundary.
+            if idx.covered().is_multiple_of(BLOCK) || idx.covered() - d >= buf.len() {
+                return d;
+            }
+        }
+    }
+    scanner.anchor(idx, offset, buf);
+    0
+}
+
+/// First `<` (`gt == false`) or `>` (`gt == true`) in the window, searching
+/// the index from position `*delta` (= the window start) and classifying
+/// more of the window while uncovered bytes remain. Returns a
+/// window-relative position; `None` means the construct crosses the window
+/// (the caller falls back to the accumulating path, exactly as the raw
+/// byte-search did).
+///
+/// On a miss past the covered range the index is *re-anchored* at the
+/// window start (updating `*delta` for the caller's later mask queries)
+/// rather than extended in place: extension would let the index span the
+/// whole stream on a one-shot source, growing mask storage with document
+/// size. Re-anchoring bounds it at one anchor batch plus one construct;
+/// only the partial tail beyond the old coverage is classified twice.
+/// In-place extension still handles a single construct outgrowing a fresh
+/// anchor (`*delta == 0`).
+#[inline]
+fn find_structural(
+    scanner: Scanner,
+    idx: &mut StructuralIndex,
+    offset: u64,
+    delta: &mut usize,
+    buf: &[u8],
+    gt: bool,
+) -> Option<usize> {
+    let mut from = *delta;
+    loop {
+        let hit = if gt { idx.first_gt(from) } else { idx.first_lt(from) };
+        if let Some(p) = hit {
+            return Some(p - *delta);
+        }
+        let covered_rel = idx.covered() - *delta;
+        if covered_rel >= buf.len() {
+            return None;
+        }
+        if *delta > 0 {
+            scanner.anchor(idx, offset, buf);
+            *delta = 0;
+            from = 0;
+        } else {
+            from = idx.covered();
+            scanner.extend(idx, &buf[covered_rel..]);
+        }
+    }
+}
+
 /// Streaming pull parser. See the [module documentation](self).
 pub struct Reader<R> {
     src: R,
     opts: ReaderOptions,
+    /// Stage-1 structural classifier, resolved once from
+    /// `opts.scanner` (see [`crate::scan`]).
+    scanner: Scanner,
+    /// Reusable stage-1 output the fast paths parse from.
+    sidx: StructuralIndex,
+    /// Bytes consumed via the structural fast paths (telemetry).
+    fast_bytes: u64,
+    /// Bytes consumed via the accumulating general path (telemetry).
+    general_bytes: u64,
     /// Static vocabulary for [`Reader::next_resolved`]; without it every
     /// name resolves to [`NameId::UNKNOWN`].
     symbols: Option<Arc<Symbols>>,
@@ -277,6 +328,10 @@ impl<R: BufRead> Reader<R> {
         Reader {
             src,
             opts,
+            scanner: Scanner::with_choice(opts.scanner),
+            sidx: StructuralIndex::new(),
+            fast_bytes: 0,
+            general_bytes: 0,
             symbols: None,
             stack: Vec::new(),
             stack_buf: String::new(),
@@ -312,7 +367,20 @@ impl<R: BufRead> Reader<R> {
 
     /// Depth of currently open elements.
     pub fn depth(&self) -> usize {
-        self.stack.len()
+        // An End event just delivered from the fast path leaves its pop
+        // pending until the next pull; it is closed as far as callers are
+        // concerned.
+        self.stack.len() - usize::from(matches!(self.slot, Slot::StackPop))
+    }
+
+    /// Scan-path observability: selected backend and bytes consumed per
+    /// path. See [`ScanTelemetry`] for why this never affects equality.
+    pub fn scan_telemetry(&self) -> ScanTelemetry {
+        ScanTelemetry {
+            backend: self.scanner.backend(),
+            fast_path_bytes: self.fast_bytes,
+            general_path_bytes: self.general_bytes,
+        }
     }
 
     fn err<T>(&self, kind: XmlErrorKind) -> Result<T, XmlError> {
@@ -363,6 +431,13 @@ impl<R: BufRead> Reader<R> {
             self.src.consume(self.defer_consume);
             self.defer_consume = 0;
         }
+        if let Slot::StackPop = self.slot {
+            // The previous End event borrowed the topmost stack entry;
+            // commit the deferred pop now that the borrow is over.
+            let (off, _) = self.stack.pop().expect("deferred pop has an open element");
+            self.stack_buf.truncate(off as usize);
+            self.slot = Slot::None;
+        }
         loop {
             // Deliver queued events first (attribute conversion etc.).
             if self.pending_pos < self.pending.len() {
@@ -399,6 +474,7 @@ impl<R: BufRead> Reader<R> {
                 offset: self.offset,
             })?;
             self.offset += n as u64;
+            self.general_bytes += n as u64;
             let saw_lt = self.raw.last() == Some(&b'<');
             let text_len = if saw_lt { self.raw.len() - 1 } else { self.raw.len() };
             let had_text = self.take_text(text_len)?;
@@ -432,12 +508,26 @@ impl<R: BufRead> Reader<R> {
                     kind: XmlErrorKind::Io(e.to_string()),
                     offset: self.offset,
                 })?;
-                // The run was verified pure ASCII by `fast_text`.
-                let s = std::str::from_utf8(&buf[..*len]).expect("ASCII-scanned text run");
+                let run = &buf[..*len];
+                debug_assert!(run.is_ascii(), "SrcText runs are scanner-verified ASCII");
+                // SAFETY: `fast_text` emits `SrcText` only when the
+                // structural scan's high-bit class over this exact run was
+                // empty — the bytes are pure ASCII, hence valid UTF-8, and
+                // the window cannot have moved (consume is deferred until
+                // the next pull).
+                let s = unsafe { std::str::from_utf8_unchecked(run) };
                 ResolvedEvent::Text(s)
             }
             Slot::EndName => ResolvedEvent::End(self.cur_id, &self.name_buf),
             Slot::StartName => ResolvedEvent::Start(self.cur_id, &self.name_buf),
+            Slot::StackTop => {
+                let &(off, id) = self.stack.last().expect("open element for start slot");
+                ResolvedEvent::Start(id, &self.stack_buf[off as usize..])
+            }
+            Slot::StackPop => {
+                let &(off, id) = self.stack.last().expect("open element for end slot");
+                ResolvedEvent::End(id, &self.stack_buf[off as usize..])
+            }
             Slot::Pending(i) => self.pending.get(*i).expect("pending index in range"),
             Slot::None => unreachable!("slot set before break"),
         })
@@ -460,16 +550,22 @@ impl<R: BufRead> Reader<R> {
             self.finished = true;
             return Ok(Fast::Skipped);
         }
-        let Some(pos) = find_byte(b'<', buf) else {
-            return Ok(Fast::Fallback); // run crosses the window: accumulate
-        };
-        if pos == 0 {
+        if buf[0] == b'<' {
             self.src.consume(1);
             self.offset += 1;
+            self.fast_bytes += 1;
             self.in_tag = true;
             return Ok(Fast::Skipped);
         }
-        let (any_hi, any_amp, any_nonws) = scan_text_props(&buf[..pos]);
+        // Stage 2 against the shared amortized index: find the `<`, then
+        // read the run's properties straight from the masks.
+        let mut delta = ensure_index(self.scanner, &mut self.sidx, self.offset, buf);
+        let found =
+            find_structural(self.scanner, &mut self.sidx, self.offset, &mut delta, buf, false);
+        let Some(pos) = found else {
+            return Ok(Fast::Fallback); // run crosses the window: accumulate
+        };
+        let (any_hi, any_amp, any_nonws) = self.sidx.text_props(delta, delta + pos);
         if any_hi || any_amp {
             return Ok(Fast::Fallback); // entities / non-ASCII: decode path
         }
@@ -478,12 +574,18 @@ impl<R: BufRead> Reader<R> {
             self.opts.keep_whitespace && !self.stack.is_empty()
         } else {
             if self.stack.is_empty() {
-                self.offset += pos as u64 + 1;
-                return self.err(XmlErrorKind::TextOutsideRoot);
+                // Report the error at the end of the run without moving
+                // `self.offset`: nothing is consumed here, and the index
+                // anchors on `offset` matching the window start.
+                return Err(XmlError {
+                    kind: XmlErrorKind::TextOutsideRoot,
+                    offset: self.offset + pos as u64 + 1,
+                });
             }
             true
         };
         self.offset += pos as u64 + 1;
+        self.fast_bytes += pos as u64 + 1;
         self.in_tag = true;
         if emit {
             self.defer_consume = pos + 1;
@@ -504,7 +606,12 @@ impl<R: BufRead> Reader<R> {
             .src
             .fill_buf()
             .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
-        let Some(pos) = find_byte(b'>', buf) else { return Ok(Fast::Fallback) };
+        let mut delta = ensure_index(self.scanner, &mut self.sidx, self.offset, buf);
+        let found =
+            find_structural(self.scanner, &mut self.sidx, self.offset, &mut delta, buf, true);
+        let Some(pos) = found else {
+            return Ok(Fast::Fallback);
+        };
         let body = &buf[..pos];
         match body.first() {
             None => Ok(Fast::Fallback), // `<>`: let the general path error
@@ -514,16 +621,14 @@ impl<R: BufRead> Reader<R> {
                 // the validity check; any mismatch (including trailing
                 // whitespace or bad names) goes to the general path.
                 let name = &body[1..];
-                match self.stack.last().copied() {
-                    Some((off, id)) if self.stack_buf.as_bytes()[off as usize..] == *name => {
-                        self.name_buf.clear();
-                        self.name_buf.push_str(&self.stack_buf[off as usize..]);
-                        self.stack.pop();
-                        self.stack_buf.truncate(off as usize);
-                        self.cur_id = id;
+                match self.stack.last() {
+                    Some(&(off, _)) if self.stack_buf.as_bytes()[off as usize..] == *name => {
+                        // Emit straight from the stack arena; the pop is
+                        // deferred until the borrow ends (next pull).
                         self.src.consume(pos + 1);
                         self.offset += pos as u64 + 1;
-                        self.slot = Slot::EndName;
+                        self.fast_bytes += pos as u64 + 1;
+                        self.slot = Slot::StackPop;
                         Ok(Fast::Emitted)
                     }
                     _ => Ok(Fast::Fallback),
@@ -539,24 +644,27 @@ impl<R: BufRead> Reader<R> {
                 if self.seen_root && self.stack.is_empty() {
                     return Ok(Fast::Fallback); // TrailingContent error path
                 }
-                let mut i = 1usize;
-                while i < body.len() && is_ascii_name_byte(body[i]) {
-                    i += 1;
-                }
+                // The index found the `>`, so it covers the whole tag body;
+                // the name/attribute runs below parse from the same masks.
+                let i = (self.sidx.name_run(delta + 1) - delta).min(body.len());
                 let self_closing = match body.len() - i {
                     0 => false,
                     1 if body[i] == b'/' => true,
-                    _ => return self.fast_attr_tag(pos, i),
+                    _ => return self.fast_attr_tag(delta, pos, i),
                 };
                 let name = std::str::from_utf8(&body[..i]).expect("ASCII-checked name");
                 let id = match &self.symbols {
                     Some(s) => s.resolve(name),
                     None => NameId::UNKNOWN,
                 };
-                self.cur_id = id;
-                self.name_buf.clear();
-                self.name_buf.push_str(name);
                 self.seen_root = true;
+                if self_closing {
+                    // The end event goes to `pending`; the start borrows
+                    // `name_buf` since nothing stays on the stack.
+                    self.cur_id = id;
+                    self.name_buf.clear();
+                    self.name_buf.push_str(name);
+                }
                 open_element(
                     &mut self.pending,
                     &mut self.pending_pos,
@@ -568,7 +676,8 @@ impl<R: BufRead> Reader<R> {
                 );
                 self.src.consume(pos + 1);
                 self.offset += pos as u64 + 1;
-                self.slot = Slot::StartName;
+                self.fast_bytes += pos as u64 + 1;
+                self.slot = if self_closing { Slot::StartName } else { Slot::StackTop };
                 Ok(Fast::Emitted)
             }
         }
@@ -585,9 +694,15 @@ impl<R: BufRead> Reader<R> {
     /// nothing consumed or mutated, and the general path re-reads the same
     /// bytes (so error offsets stay identical to the accumulating path).
     ///
-    /// `pos` is the index of the closing `>` in the buffered window and
+    /// `delta` is the window start's position in the structural index,
+    /// `pos` the index of the closing `>` in the buffered window, and
     /// `name_len` the length of the already-validated element name.
-    fn fast_attr_tag(&mut self, pos: usize, name_len: usize) -> Result<Fast, XmlError> {
+    fn fast_attr_tag(
+        &mut self,
+        delta: usize,
+        pos: usize,
+        name_len: usize,
+    ) -> Result<Fast, XmlError> {
         if matches!(self.opts.attributes, AttributeMode::Reject) {
             return Ok(Fast::Fallback); // pure error path; let the slow path report it
         }
@@ -597,6 +712,7 @@ impl<R: BufRead> Reader<R> {
             src,
             opts,
             symbols,
+            sidx,
             stack,
             stack_buf,
             pending,
@@ -614,7 +730,11 @@ impl<R: BufRead> Reader<R> {
             .fill_buf()
             .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: *offset })?;
         let body = &buf[..pos];
-        if !body.is_ascii() {
+        // `fast_tag` just found the `>` through this same (unconsumed)
+        // window, so the index covers at least `delta + pos + 1` bytes and
+        // is queried here at `delta`-shifted positions.
+        debug_assert!(sidx.covered() > delta + pos);
+        if sidx.any_hi(delta, delta + pos) {
             return Ok(Fast::Fallback);
         }
         // Phase 1: validate the whole attribute list before mutating
@@ -623,9 +743,9 @@ impl<R: BufRead> Reader<R> {
         let mut self_closing = false;
         let mut i = name_len;
         loop {
-            while i < body.len() && body[i].is_ascii_whitespace() {
-                i += 1;
-            }
+            // The `>` at `pos` is in no whitespace/name class, so the
+            // mask-run queries below never pass `body.len()`.
+            i = sidx.skip_ws(delta + i) - delta;
             if i == body.len() {
                 break;
             }
@@ -640,34 +760,24 @@ impl<R: BufRead> Reader<R> {
             if !(body[i].is_ascii_alphabetic() || body[i] == b'_' || body[i] == b':') {
                 return Ok(Fast::Fallback);
             }
-            i += 1;
-            while i < body.len() && is_ascii_name_byte(body[i]) {
-                i += 1;
-            }
-            let ne = i;
-            while i < body.len() && body[i].is_ascii_whitespace() {
-                i += 1;
-            }
+            let ne = sidx.name_run(delta + i + 1) - delta;
+            i = sidx.skip_ws(delta + ne) - delta;
             if i == body.len() || body[i] != b'=' {
                 return Ok(Fast::Fallback);
             }
-            i += 1;
-            while i < body.len() && body[i].is_ascii_whitespace() {
-                i += 1;
-            }
+            i = sidx.skip_ws(delta + i + 1) - delta;
             if i == body.len() || (body[i] != b'"' && body[i] != b'\'') {
                 return Ok(Fast::Fallback);
             }
             let quote = body[i];
-            i += 1;
-            let vs = i;
-            // `&` needs entity decoding — the general path owns that.
-            while i < body.len() && body[i] != quote && body[i] != b'&' {
-                i += 1;
-            }
-            if i == body.len() || body[i] == b'&' {
-                return Ok(Fast::Fallback);
-            }
+            let vs = i + 1;
+            // `&` needs entity decoding — the general path owns that; a
+            // close quote at or past the `>` means the value runs off the
+            // tag body, which the general path rejects too.
+            i = match sidx.value_end(delta + vs, quote).map(|end| end - delta) {
+                Some(end) if end < body.len() && body[end] == quote => end,
+                _ => return Ok(Fast::Fallback),
+            };
             attr_spans.push((ns as u32, ne as u32, vs as u32, i as u32));
             i += 1;
         }
@@ -682,11 +792,15 @@ impl<R: BufRead> Reader<R> {
         *seen_root = true;
         let emitted = if attr_spans.is_empty() || matches!(opts.attributes, AttributeMode::Drop) {
             // `<a  >` / drop mode: a plain start tag.
-            *cur_id = id;
-            name_buf.clear();
-            name_buf.push_str(name);
             open_element(pending, pending_pos, stack, stack_buf, id, name, self_closing);
-            *slot = Slot::StartName;
+            *slot = if self_closing {
+                *cur_id = id;
+                name_buf.clear();
+                name_buf.push_str(name);
+                Slot::StartName
+            } else {
+                Slot::StackTop
+            };
             true
         } else {
             // XSAX conversion into the pending arena, exactly as the
@@ -715,6 +829,7 @@ impl<R: BufRead> Reader<R> {
         };
         self.src.consume(pos + 1);
         self.offset += pos as u64 + 1;
+        self.fast_bytes += pos as u64 + 1;
         Ok(if emitted { Fast::Emitted } else { Fast::Skipped })
     }
 
@@ -751,6 +866,7 @@ impl<R: BufRead> Reader<R> {
             .read_until(b'>', &mut self.raw)
             .map_err(|e| XmlError { kind: XmlErrorKind::Io(e.to_string()), offset: self.offset })?;
         self.offset += n as u64;
+        self.general_bytes += n as u64;
         if self.raw.last() != Some(&b'>') {
             return self.err(XmlErrorKind::UnexpectedEof);
         }
@@ -767,6 +883,7 @@ impl<R: BufRead> Reader<R> {
                     return self.err(XmlErrorKind::UnexpectedEof);
                 }
                 self.offset += m as u64;
+                self.general_bytes += m as u64;
                 if self.raw.last() == Some(&b'>') {
                     self.raw.pop();
                 } else {
@@ -787,6 +904,7 @@ impl<R: BufRead> Reader<R> {
                     return self.err(XmlErrorKind::UnexpectedEof);
                 }
                 self.offset += m as u64;
+                self.general_bytes += m as u64;
                 if self.raw.last() == Some(&b'>') {
                     self.raw.pop();
                 } else {
@@ -817,6 +935,7 @@ impl<R: BufRead> Reader<R> {
                     return self.err(XmlErrorKind::UnexpectedEof);
                 }
                 self.offset += m as u64;
+                self.general_bytes += m as u64;
                 let added = &self.raw[self.raw.len() - m..];
                 depth += added.iter().filter(|&&b| b == b'[').count() as i64
                     - added.iter().filter(|&&b| b == b']').count() as i64;
@@ -1110,6 +1229,13 @@ impl Reader<FeedSource> {
             self.src.consume(self.defer_consume);
             self.defer_consume = 0;
         }
+        if let Slot::StackPop = self.slot {
+            // Likewise for a delivered End event's deferred pop: rollback
+            // can only truncate, so the pop must precede the checkpoint.
+            let (off, _) = self.stack.pop().expect("deferred pop has an open element");
+            self.stack_buf.truncate(off as usize);
+            self.slot = Slot::None;
+        }
         // Text-scan fast exit: at a quiescent point outside a tag, no event
         // can complete before the next `<` arrives (a text run only ends at
         // `<` or at close). Scan just the bytes the hint has not covered —
@@ -1122,7 +1248,7 @@ impl Reader<FeedSource> {
             && self.pending_pos >= self.pending.len()
         {
             let from = self.src.pos.max(self.src.lt_scanned);
-            match find_byte(b'<', &self.src.buf[from..]) {
+            match self.scanner.find_byte(b'<', &self.src.buf[from..]) {
                 Some(i) => self.src.lt_scanned = from + i,
                 None => {
                     self.src.lt_scanned = self.src.buf.len();

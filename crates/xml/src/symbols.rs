@@ -74,19 +74,66 @@ impl Hasher for FnvHasher {
 
 type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 
+/// One slot of the quick-resolve table: a direct-mapped cache in front of
+/// the FNV map, keyed by the first eight name bytes plus the length. A
+/// vocabulary name whose slot was taken first by another name simply stays
+/// on the fallback path — the cache is an accelerator, never an authority.
+#[derive(Debug, Clone, Copy)]
+struct QuickSlot {
+    /// First eight bytes of the name, little-endian, zero-padded.
+    key: u64,
+    /// Name length in bytes (`u32::MAX` marks an empty slot).
+    len: u32,
+    id: u32,
+}
+
+const QUICK_EMPTY: QuickSlot = QuickSlot { key: 0, len: u32::MAX, id: 0 };
+const QUICK_SLOTS: usize = 512;
+
+/// One multiply over the packed prefix — the whole point of the quick
+/// table: the per-event FNV byte loop becomes a single word operation.
+#[inline]
+fn quick_hash(key: u64, len: usize) -> usize {
+    ((key ^ len as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as usize & (QUICK_SLOTS - 1)
+}
+
+/// The first eight bytes of a name as a little-endian word, zero-padded.
+#[inline]
+fn quick_key(name: &[u8]) -> u64 {
+    if let Some(head) = name.get(..8) {
+        u64::from_le_bytes(head.try_into().expect("eight bytes"))
+    } else {
+        let mut b = [0u8; 8];
+        b[..name.len()].copy_from_slice(name);
+        u64::from_le_bytes(b)
+    }
+}
+
 /// An append-only interning table mapping element names to [`NameId`]s.
 /// See the [module docs](self) for where it sits in the pipeline.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Symbols {
     /// `names[id.index()]`; slot 0 is the UNKNOWN placeholder.
     names: Vec<Box<str>>,
     index: FnvMap<Box<str>, u32>,
+    /// Direct-mapped quick-resolve cache (see [`QuickSlot`]).
+    quick: Vec<QuickSlot>,
+}
+
+impl Default for Symbols {
+    fn default() -> Symbols {
+        Symbols::new()
+    }
 }
 
 impl Symbols {
     /// An empty table (only the reserved UNKNOWN slot).
     pub fn new() -> Symbols {
-        Symbols { names: vec!["".into()], index: FnvMap::default() }
+        Symbols {
+            names: vec!["".into()],
+            index: FnvMap::default(),
+            quick: vec![QUICK_EMPTY; QUICK_SLOTS],
+        }
     }
 
     /// Intern a name, returning its (possibly pre-existing) id.
@@ -100,15 +147,37 @@ impl Symbols {
                 let id = self.names.len() as u32;
                 self.names.push(name.into());
                 self.index.insert(name.into(), id);
+                if self.quick.len() == QUICK_SLOTS && !name.is_empty() {
+                    let key = quick_key(name.as_bytes());
+                    let slot = &mut self.quick[quick_hash(key, name.len())];
+                    if slot.len == u32::MAX {
+                        *slot = QuickSlot { key, len: name.len() as u32, id };
+                    }
+                }
                 NameId(id)
             }
         }
     }
 
     /// Resolve a name: its id if interned, [`NameId::UNKNOWN`] otherwise.
-    /// One hash — this is the per-event call.
+    /// This is the per-event call: one multiply against the quick table in
+    /// the common case, one FNV hash + probe on a quick miss.
     #[inline]
     pub fn resolve(&self, name: &str) -> NameId {
+        let bytes = name.as_bytes();
+        let key = quick_key(bytes);
+        if let Some(s) = self.quick.get(quick_hash(key, bytes.len())) {
+            if s.key == key
+                && s.len as usize == bytes.len()
+                // A prefix+length match only proves identity for short
+                // names; longer ones confirm the tail against the interned
+                // spelling.
+                && (bytes.len() <= 8
+                    || self.names[s.id as usize].as_bytes()[8..] == bytes[8..])
+            {
+                return NameId(s.id);
+            }
+        }
         match self.index.get(name) {
             Some(&id) => NameId(id),
             None => NameId::UNKNOWN,

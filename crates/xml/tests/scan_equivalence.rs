@@ -1,0 +1,150 @@
+//! SIMD-vs-SWAR scanner equivalence: the structural index is an
+//! implementation detail, never an observable one.
+//!
+//! Every test here parses the same documents once per classification
+//! kernel the host can run (SWAR always; SSE2/AVX2 where the CPU has
+//! them) and asserts the event streams are identical — including when a
+//! structural byte lands at *every* offset inside a 64-byte window
+//! (crossing both 32-byte block boundaries and the AVX2 lane split), and
+//! when the input arrives chunked at every split point (the
+//! `FeedSource` checkpoint/rollback contract the batch scanner must
+//! respect).
+
+use flux_xml::scan::{Scanner, ScannerChoice};
+use flux_xml::{OwnedEvent, Polled, Reader, ReaderOptions, XmlError};
+use proptest::prelude::*;
+
+/// One forced choice per backend this host can actually run. Forcing a
+/// kernel the CPU lacks degrades to the next-best one, so dedup on the
+/// backend the scanner really selected.
+fn backends() -> Vec<ScannerChoice> {
+    let mut out: Vec<(ScannerChoice, flux_xml::Backend)> = Vec::new();
+    for choice in [ScannerChoice::ForceSwar, ScannerChoice::ForceSse2, ScannerChoice::ForceAvx2] {
+        let b = Scanner::with_choice(choice).backend();
+        if out.iter().all(|&(_, seen)| seen != b) {
+            out.push((choice, b));
+        }
+    }
+    out.into_iter().map(|(c, _)| c).collect()
+}
+
+fn opts(choice: ScannerChoice) -> ReaderOptions {
+    ReaderOptions { scanner: choice, ..ReaderOptions::default() }
+}
+
+/// One-shot event stream under a forced scanner choice.
+fn events(choice: ScannerChoice, doc: &str) -> Result<Vec<OwnedEvent>, XmlError> {
+    Reader::new(doc.as_bytes(), opts(choice)).read_to_end()
+}
+
+/// Incremental event stream, fed as `head`/`tail` split at `split`.
+fn events_split(
+    choice: ScannerChoice,
+    doc: &str,
+    split: usize,
+) -> Result<Vec<OwnedEvent>, XmlError> {
+    let chunks = [&doc.as_bytes()[..split], &doc.as_bytes()[split..]];
+    let mut r = Reader::incremental(opts(choice));
+    let mut out = Vec::new();
+    let mut next = 0usize;
+    loop {
+        match r.poll_resolved()? {
+            Polled::Event(ev) => out.push(ev.to_event().to_owned()),
+            Polled::NeedMoreData => {
+                if next < chunks.len() {
+                    r.feed(chunks[next]);
+                    next += 1;
+                } else {
+                    r.close();
+                }
+            }
+            Polled::End => return Ok(out),
+        }
+    }
+}
+
+/// All backends agree with the SWAR oracle on `doc` (which must parse).
+fn assert_equivalent(doc: &str) {
+    let reference = events(ScannerChoice::ForceSwar, doc)
+        .unwrap_or_else(|e| panic!("SWAR oracle rejects {doc:?}: {e}"));
+    for choice in backends() {
+        let got = events(choice, doc).unwrap_or_else(|e| panic!("{choice:?} rejects {doc:?}: {e}"));
+        assert_eq!(got, reference, "{choice:?} diverges on {doc:?}");
+    }
+}
+
+#[test]
+fn structural_bytes_at_every_offset_in_a_simd_window() {
+    // Slide each construct across 64 alignments: every position inside a
+    // 32-byte classification block and across the block seam. The padding
+    // sits *inside* the character data, so the interesting byte moves
+    // while the document stays well-formed.
+    for off in 0..64 {
+        let pad = "a".repeat(off);
+
+        // Entity-escaped structural characters in text.
+        assert_equivalent(&format!("<r>{pad}&lt;&amp;&gt;z</r>"));
+        // A raw `>` is legal text; make it land on every alignment.
+        assert_equivalent(&format!("<r>{pad}x > y</r>"));
+        // CDATA shields every structural byte, including `<`.
+        assert_equivalent(&format!("<r>{pad}<![CDATA[<a b=\"c\">&'</x]]></r>"));
+        // Comments may contain anything but `--`, notably `>` and `<`.
+        assert_equivalent(&format!("<r>{pad}<!-- < > & \" ' ->x --></r>"));
+        // Attribute values: both quote kinds, escaped `>`/`&`/`<` (the
+        // reader treats a raw `>` as ending the tag, by design).
+        assert_equivalent(&format!("<r><e a=\"{pad}p&gt;q&amp;'r&lt;\" b='{pad}x\"y'/></r>"));
+        // A start tag whose name run itself crosses the seam.
+        assert_equivalent(&format!("<r><{pad}tag attr=\"v\">t</{pad}tag></r>"));
+    }
+}
+
+#[test]
+fn chunk_splits_are_invisible_at_every_offset_on_every_backend() {
+    // Constructs that stress rollback at a batch boundary: tags with
+    // attributes, entities, comments with `>`, CDATA, multi-byte text.
+    let doc = "<r a=\"1&gt;2\" b='&amp;'>pad<!-- x > y --><![CDATA[<&]]>é&lt;<e/>t</r>";
+    for choice in backends() {
+        let reference = events(choice, doc).expect("one-shot parses");
+        for split in 0..=doc.len() {
+            // A split may land mid-construct, even mid-UTF-8-sequence:
+            // the incremental parse must still produce the same stream.
+            let got = events_split(choice, doc, split)
+                .unwrap_or_else(|e| panic!("{choice:?} split {split}: {e}"));
+            assert_eq!(got, reference, "{choice:?} split at {split}");
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_rejection() {
+    // Error detection must not depend on the kernel either.
+    for doc in ["<r>text", "<r></s>", "<r><e a=>x</e></r>", "text<r/>", "<r>&bogus;</r>"] {
+        let reference = events(ScannerChoice::ForceSwar, doc);
+        for choice in backends() {
+            let got = events(choice, doc);
+            assert_eq!(got, reference, "{choice:?} on {doc:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_documents_parse_identically_on_all_backends(
+        text in "[a-z >'\"]{0,80}",
+        attr in "[a-z ']{0,40}",
+        split_seed in 0usize..4096,
+    ) {
+        let doc = format!(
+            "<r a=\"{attr}\"><x>{}</x><![CDATA[{text}]]></r>",
+            flux_xml::escape::escape_text(&text),
+        );
+        let reference = events(ScannerChoice::ForceSwar, &doc).expect("well-formed");
+        for choice in backends() {
+            prop_assert_eq!(&events(choice, &doc).expect("parses"), &reference);
+            let split = split_seed % (doc.len() + 1);
+            prop_assert_eq!(&events_split(choice, &doc, split).expect("parses"), &reference);
+        }
+    }
+}

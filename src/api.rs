@@ -21,7 +21,7 @@ use flux_core::{parse_flux, rewrite_query_with, FluxExpr, RewriteOptions};
 use flux_dtd::Dtd;
 use flux_engine::{BudgetHook, CompiledQuery, EngineOptions, RunOutcome, RunStats};
 use flux_query::{parse_xquery, Expr};
-use flux_xml::{AttributeMode, Sink, StringSink};
+use flux_xml::{AttributeMode, ScannerChoice, Sink, StringSink};
 
 use crate::error::FluxError;
 use crate::runtime::Session;
@@ -70,6 +70,15 @@ impl EngineBuilder {
     }
 
     /// Report whitespace-only text nodes (default: off).
+    /// Which structural-scanner backend the tokenizer uses (default:
+    /// [`ScannerChoice::Auto`] — the best kernel the CPU supports, or SWAR
+    /// when `FLUX_FORCE_SWAR` is set). Forcing a kernel the CPU lacks
+    /// degrades to the best available one.
+    pub fn scanner(mut self, choice: ScannerChoice) -> Self {
+        self.opts.reader.scanner = choice;
+        self
+    }
+
     pub fn keep_whitespace(mut self, keep: bool) -> Self {
         self.opts.reader.keep_whitespace = keep;
         self

@@ -234,8 +234,16 @@ impl<S: Sink> Session<S> {
             // failure — no end-of-input epilogue is appended.
             Err(e) => (Err(e), Some(self.pump.abort())),
             Ok(()) => {
+                let scan = self.reader.scan_telemetry();
                 let (fin, sink) = self.pump.finish();
-                (fin.map_err(Into::into), Some(sink))
+                (
+                    fin.map(|mut stats| {
+                        stats.scan = scan;
+                        stats
+                    })
+                    .map_err(Into::into),
+                    Some(sink),
+                )
             }
         }
     }

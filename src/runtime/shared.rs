@@ -225,15 +225,27 @@ impl<S: Sink> SharedSession<S> {
                     }
                 })
                 .collect(),
-            None => self
-                .driver
-                .finish()
-                .into_iter()
-                .map(|entry| match entry {
-                    None => (Err(FluxError::SessionAborted), None),
-                    Some((res, sink)) => (res.map_err(Into::into), Some(sink)),
-                })
-                .collect(),
+            None => {
+                // One shared parse serves every subscriber: the scanner
+                // telemetry of the single reader is the telemetry of each
+                // subscription.
+                let scan = self.reader.scan_telemetry();
+                self.driver
+                    .finish()
+                    .into_iter()
+                    .map(|entry| match entry {
+                        None => (Err(FluxError::SessionAborted), None),
+                        Some((res, sink)) => (
+                            res.map(|mut stats| {
+                                stats.scan = scan;
+                                stats
+                            })
+                            .map_err(Into::into),
+                            Some(sink),
+                        ),
+                    })
+                    .collect()
+            }
         }
     }
 }
