@@ -14,7 +14,8 @@ use crate::harness::EngineRun;
 
 /// The section names each bench binary may own, in the canonical order
 /// they are laid out in the file.
-pub const SECTIONS: &[&str] = &["concurrency", "netbench", "figure4", "fanout", "tokenizer"];
+pub const SECTIONS: &[&str] =
+    &["concurrency", "netbench", "figure4", "fanout", "tokenizer", "snapshot"];
 
 /// The `"concurrency"` section marker (kept as a named constant because CI
 /// greps for it).
@@ -188,6 +189,7 @@ mod tests {
     const FIGURE4: &str = "{\"bin\": \"figure4\", \"rows\": []}";
     const FANOUT: &str = "{\"bin\": \"fanout\", \"runs\": []}";
     const TOKENIZER: &str = "{\"bin\": \"tokenizer\", \"backends\": []}";
+    const SNAPSHOT: &str = "{\"bin\": \"snapshot\", \"sessions\": 1000}";
 
     #[test]
     fn bench_json_merges_in_either_run_order() {
@@ -213,20 +215,21 @@ mod tests {
         // Apply the four writers in several different orders; the result
         // must always carry the head and every section exactly once.
         type Step = (&'static str, &'static str);
-        let steps: [Step; 6] = [
+        let steps: [Step; 7] = [
             ("throughput", THROUGHPUT),
             ("concurrency", SECTION),
             ("netbench", NETBENCH),
             ("figure4", FIGURE4),
             ("fanout", FANOUT),
             ("tokenizer", TOKENIZER),
+            ("snapshot", SNAPSHOT),
         ];
-        let orders: [[usize; 6]; 5] = [
-            [0, 1, 2, 3, 4, 5],
-            [5, 4, 3, 2, 1, 0],
-            [2, 5, 4, 0, 3, 1],
-            [1, 3, 5, 4, 0, 2],
-            [3, 0, 4, 5, 1, 2],
+        let orders: [[usize; 7]; 5] = [
+            [0, 1, 2, 3, 4, 5, 6],
+            [6, 5, 4, 3, 2, 1, 0],
+            [2, 5, 6, 4, 0, 3, 1],
+            [1, 3, 5, 6, 4, 0, 2],
+            [3, 0, 6, 4, 5, 1, 2],
         ];
         for order in orders {
             let mut file: Option<String> = None;
@@ -258,6 +261,7 @@ mod tests {
                     ("figure4", FIGURE4),
                     ("fanout", FANOUT),
                     ("tokenizer", TOKENIZER),
+                    ("snapshot", SNAPSHOT),
                 ],
                 "order {order:?}"
             );

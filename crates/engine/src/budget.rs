@@ -206,6 +206,33 @@ impl Budget {
         self.charged
     }
 
+    /// Rebuild a budget from a snapshot: re-grant exactly the `charged`
+    /// bytes the saved run held through the (new) hook, so the aggregate
+    /// accounting stays balanced across suspend/restore — a spilled
+    /// session's drop released its charges, and restoring re-acquires them.
+    /// If the hook refuses the re-grant (the pool has since filled), the
+    /// restore is refused with [`flux_state::StateError::BudgetDenied`];
+    /// nothing is charged and the caller can retry when headroom returns.
+    ///
+    /// With `pre_granted` the caller has already reserved the full charge
+    /// through the hook (the runtime does this before tearing the old
+    /// session down, so a migrate/unspill can never lose a race for
+    /// headroom); the budget adopts the reservation instead of growing.
+    pub(crate) fn resume(
+        limit: Option<usize>,
+        hook: Option<Arc<dyn BudgetHook>>,
+        charged: usize,
+        pre_granted: bool,
+    ) -> Result<Budget, flux_state::StateError> {
+        if let Some(hook) = &hook {
+            if charged > 0 && !pre_granted && !hook.try_grow(charged) {
+                return Err(flux_state::StateError::BudgetDenied { requested: charged });
+            }
+        }
+        let charged = if hook.is_some() { charged } else { 0 };
+        Ok(Budget { limit, hook, charged })
+    }
+
     /// Return `bytes` to the shared hook (no-op without one).
     pub(crate) fn release(&mut self, bytes: usize) {
         if let Some(hook) = &self.hook {

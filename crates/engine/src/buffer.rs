@@ -154,6 +154,68 @@ impl Recorder {
         }
     }
 
+    /// Serialize the recording state (buffer tree + cursor) for a session
+    /// snapshot. The open chain (`open_path`) and per-level actions
+    /// (`frames`) must survive: a scope can be snapshotted while elements
+    /// are still open inside it.
+    pub(crate) fn state_save(&self, enc: &mut flux_state::Enc) {
+        self.root.state_save(enc);
+        enc.put_usize(self.frames.len());
+        for f in &self.frames {
+            match f {
+                RecFrame::Follow(n) => {
+                    enc.put_u8(0);
+                    enc.put_uint(u64::from(*n));
+                }
+                RecFrame::Capture => enc.put_u8(1),
+                RecFrame::Skip => enc.put_u8(2),
+            }
+        }
+        enc.put_usize(self.open_path.len());
+        for &i in &self.open_path {
+            enc.put_usize(i);
+        }
+        enc.put_usize(self.bytes);
+    }
+
+    /// Rebuild a recorder saved by [`Recorder::state_save`].
+    pub(crate) fn state_load(
+        dec: &mut flux_state::Dec<'_>,
+    ) -> Result<Recorder, flux_state::StateError> {
+        use flux_state::StateError;
+        let root = Node::state_load(dec)?;
+        let nframes = dec.get_count()?;
+        let mut frames = Vec::with_capacity(nframes);
+        for _ in 0..nframes {
+            frames.push(match dec.get_u8()? {
+                0 => RecFrame::Follow(
+                    u32::try_from(dec.get_uint()?)
+                        .map_err(|_| StateError::Corrupt("recorder node handle exceeds u32"))?,
+                ),
+                1 => RecFrame::Capture,
+                2 => RecFrame::Skip,
+                _ => return Err(StateError::Corrupt("unknown recorder frame kind")),
+            });
+        }
+        let npath = dec.get_count()?;
+        let mut open_path = Vec::with_capacity(npath);
+        for _ in 0..npath {
+            open_path.push(dec.get_usize()?);
+        }
+        let bytes = dec.get_usize()?;
+        let rec = Recorder { root, frames, open_path, bytes };
+        // The open chain must address elements in the rebuilt tree, or
+        // cursor navigation would panic on the next event.
+        let mut n = &rec.root;
+        for &i in &rec.open_path {
+            n = match n.children.get(i) {
+                Some(flux_xml::Child::Elem(e)) => e,
+                _ => return Err(StateError::Corrupt("recorder open chain escapes the buffer")),
+            };
+        }
+        Ok(rec)
+    }
+
     /// End-element event inside the scope.
     pub fn on_end(&mut self) {
         match self.frames.pop() {

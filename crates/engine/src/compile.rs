@@ -321,6 +321,40 @@ impl CompiledQuery {
             .sum()
     }
 
+    /// A deterministic digest of the plan's *state identity*: everything a
+    /// session snapshot's indices refer to — the interned symbol table (so
+    /// every saved `NameId` resolves to the same name), the scope list and
+    /// each scope's handler/flag arity (so saved scope/handler indices
+    /// address the same specs), the event-shaping reader options, and the
+    /// buffer limit. Restoring a snapshot against a plan with a different
+    /// fingerprint is refused. Deliberately excluded: the scanner backend
+    /// choice — snapshots migrate freely between AVX2, SSE2 and SWAR hosts.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = flux_state::Fnv64::new();
+        h.write_u64(self.symbols.fingerprint());
+        h.write_u64(self.scopes.len() as u64);
+        for s in &self.scopes {
+            h.write(s.var.as_bytes());
+            h.write(&[0xff]);
+            h.write(s.elem.as_bytes());
+            h.write(&[0xff]);
+            h.write_u64(s.handlers.len() as u64);
+            h.write_u64(s.flags.len() as u64);
+            h.write_u64(s.buffer_tree.node_count() as u64);
+        }
+        h.write(&[
+            match self.opts.reader.attributes {
+                flux_xml::AttributeMode::Reject => 0,
+                flux_xml::AttributeMode::Drop => 1,
+                flux_xml::AttributeMode::ConvertToSubelements => 2,
+            },
+            u8::from(self.opts.reader.keep_whitespace),
+            u8::from(matches!(self.top, Top::Scope { .. })),
+        ]);
+        h.write_u64(self.opts.max_buffer_bytes.map_or(0, |n| n as u64 + 1));
+        h.finish()
+    }
+
     /// Scope variables that have a non-empty buffer tree, with a rendering
     /// (diagnostics/examples).
     pub fn buffer_plan(&self) -> Vec<(String, String)> {

@@ -265,10 +265,79 @@ impl<S: Sink> Pump<S> {
         self.st.skip = 1;
         self.st.stats.events += skipped_events;
     }
+
+    /// The compiled plan this pump executes.
+    pub fn plan(&self) -> &Arc<CompiledQuery> {
+        &self.plan
+    }
+
+    /// Serialize the pump's complete resumable state (the `flux_state` PUMP
+    /// section payload). Only *quiescent* pumps snapshot — the state between
+    /// two `feed_event` calls, which is the only state a session layer can
+    /// observe: replays drained, no handler mid-fire (both are invariants at
+    /// every `feed_event` return, so a refusal here indicates a caller
+    /// snapshotting from inside a handler). A failed pump also refuses —
+    /// restore must not resurrect a poisoned run.
+    pub fn state_save(&self, enc: &mut flux_state::Enc) -> Result<(), flux_state::StateError> {
+        self.st.state_save(enc)
+    }
+
+    /// Rebuild a pump saved by [`Pump::state_save`] against the same plan
+    /// (plan identity is validated by fingerprint at the session layer),
+    /// writing further output to a fresh `sink`. The saved budget charges
+    /// are re-granted through `hook` — pass the restoring runtime's hook, or
+    /// `None` to restore without admission control. A hook that refuses the
+    /// re-grant fails the restore with
+    /// [`flux_state::StateError::BudgetDenied`] and charges nothing, so the
+    /// caller can retry when headroom returns.
+    pub fn state_load(
+        plan: Arc<CompiledQuery>,
+        sink: S,
+        hook: Option<Arc<dyn BudgetHook>>,
+        dec: &mut flux_state::Dec<'_>,
+    ) -> Result<Pump<S>, flux_state::StateError> {
+        let st = Machine::state_load(&plan, sink, hook, dec, false)?;
+        Ok(Pump { plan, st })
+    }
+
+    /// [`Pump::state_load`] for a caller that has already reserved the
+    /// pump's recorded charges through `hook` (e.g. by `try_grow`ing the
+    /// snapshot's BUDGET-section total before tearing the old pump down).
+    /// The rebuilt budget adopts the reservation instead of growing again,
+    /// so the restore cannot fail with `BudgetDenied` and the aggregate
+    /// accounting never dips or double-counts across the handoff.
+    pub fn state_load_pregranted(
+        plan: Arc<CompiledQuery>,
+        sink: S,
+        hook: Option<Arc<dyn BudgetHook>>,
+        dec: &mut flux_state::Dec<'_>,
+    ) -> Result<Pump<S>, flux_state::StateError> {
+        let st = Machine::state_load(&plan, sink, hook, dec, true)?;
+        Ok(Pump { plan, st })
+    }
 }
 
 fn io_err(e: std::io::Error) -> EngineError {
     EngineError::Eval(flux_query::eval::EvalError::Io(e.to_string()))
+}
+
+fn save_simple_rest(enc: &mut flux_state::Enc, r: &SimpleRest) {
+    enc.put_usize(r.sidx);
+    enc.put_usize(r.hidx);
+    enc.put_usize(r.item);
+}
+
+fn load_simple_rest(
+    plan: &CompiledQuery,
+    dec: &mut flux_state::Dec<'_>,
+) -> Result<SimpleRest, flux_state::StateError> {
+    let sidx = dec.get_usize()?;
+    let hidx = dec.get_usize()?;
+    let item = dec.get_usize()?;
+    if plan.scopes.get(sidx).and_then(|s| s.handlers.get(hidx)).is_none() {
+        return Err(flux_state::StateError::Corrupt("handler continuation out of range"));
+    }
+    Ok(SimpleRest { sidx, hidx, item })
 }
 
 /// The error a poisoned machine reports if used again after a failure.
@@ -536,6 +605,316 @@ impl<S: Sink> Machine<S> {
 
     fn into_sink(self) -> S {
         self.writer.into_sink()
+    }
+
+    /// See [`Pump::state_save`]. Pools and the firing scratch are recycled
+    /// capacity, not state — restored machines start them empty. The
+    /// environment stack is not saved either: an observer is pushed together
+    /// with its env entry and popped with it, so `env_stack[i]` is always
+    /// `(observers[i].sidx, i)` and the restore rebuilds it from the
+    /// observer list.
+    fn state_save(&self, enc: &mut flux_state::Enc) -> Result<(), flux_state::StateError> {
+        use flux_state::StateError;
+        if self.failed {
+            return Err(StateError::NotQuiescent("pump has failed"));
+        }
+        if !self.replays.is_empty() {
+            return Err(StateError::NotQuiescent("capture replay in flight"));
+        }
+        enc.put_bool(self.started);
+        enc.put_uint(self.writer.bytes_written());
+        match &self.mode {
+            Mode::Scoped => enc.put_u8(0),
+            Mode::Simple { stack, root, bytes } => {
+                enc.put_u8(1);
+                enc.put_usize(stack.len());
+                for n in stack {
+                    n.state_save(enc);
+                }
+                if enc.put_opt(root.is_some()) {
+                    root.as_ref().expect("present").state_save(enc);
+                }
+                enc.put_usize(*bytes);
+            }
+        }
+        enc.put_usize(self.frames.len());
+        for f in &self.frames {
+            match f {
+                Frame::Scope(sf) => {
+                    enc.put_u8(0);
+                    enc.put_usize(sf.sidx);
+                    enc.put_u8(match sf.term {
+                        Term::End => 0,
+                        Term::Eof => 1,
+                    });
+                    enc.put_uint(u64::from(sf.state));
+                    enc.put_bool(sf.obs_created);
+                    enc.put_usize(sf.fired.len());
+                    for &b in &sf.fired {
+                        enc.put_bool(b);
+                    }
+                    enc.put_usize(sf.rest.len());
+                    for &h in &sf.rest {
+                        enc.put_usize(h);
+                    }
+                }
+                Frame::Consume { depth, capturing, after } => {
+                    enc.put_u8(1);
+                    enc.put_uint(u64::from(*depth));
+                    enc.put_bool(*capturing);
+                    match after {
+                        AfterConsume::Fire { sidx, handlers } => {
+                            enc.put_u8(0);
+                            enc.put_usize(*sidx);
+                            enc.put_usize(handlers.len());
+                            for &h in handlers {
+                                enc.put_usize(h);
+                            }
+                        }
+                        AfterConsume::Simple(r) => {
+                            enc.put_u8(1);
+                            save_simple_rest(enc, r);
+                        }
+                    }
+                }
+                Frame::Copy { depth, rest } => {
+                    enc.put_u8(2);
+                    enc.put_uint(u64::from(*depth));
+                    save_simple_rest(enc, rest);
+                }
+                Frame::Fire { .. } => {
+                    return Err(StateError::NotQuiescent("handler dispatch in flight"));
+                }
+            }
+        }
+        enc.put_usize(self.captures.len());
+        for c in &self.captures {
+            c.buf.state_save(enc);
+            enc.put_usize(c.bytes);
+            enc.put_str(&c.label);
+        }
+        enc.put_usize(self.observers.len());
+        for o in &self.observers {
+            enc.put_usize(o.sidx);
+            if enc.put_opt(o.rec.is_some()) {
+                o.rec.as_ref().expect("present").state_save(enc);
+            }
+            enc.put_usize(o.flags.len());
+            for m in &o.flags {
+                m.state_save(enc);
+            }
+        }
+        // Stats, minus the scanner telemetry: which SIMD kernel tokenized
+        // which bytes is a property of each host's run, not of the query
+        // state, and must not pin a snapshot to a CPU feature set.
+        enc.put_usize(self.stats.peak_buffer_bytes);
+        enc.put_usize(self.stats.final_buffer_bytes);
+        enc.put_uint(self.stats.events);
+        enc.put_uint(self.stats.output_bytes);
+        enc.put_uint(self.stats.on_firings);
+        enc.put_uint(self.stats.on_first_firings);
+        enc.put_uint(self.stats.buffers_created);
+        enc.put_uint(self.stats.captures);
+        enc.put_usize(self.cur_bytes);
+        enc.put_usize(self.budget.charged());
+        enc.put_u8(match self.cur_kind {
+            Pulled::Start => 0,
+            Pulled::End => 1,
+            Pulled::Text => 2,
+        });
+        enc.put_uint(u64::from(self.cur_id.0));
+        enc.put_str(&self.cur_name);
+        enc.put_str(&self.cur_text);
+        enc.put_bool(self.cur_text_ws);
+        enc.put_usize(self.cur_base);
+        enc.put_uint(u64::from(self.skip));
+        Ok(())
+    }
+
+    /// See [`Pump::state_load`]. Every plan-relative index is range-checked
+    /// against the live plan before it is trusted — a corrupt or mismatched
+    /// snapshot must fail the restore, never panic the next event.
+    fn state_load(
+        plan: &CompiledQuery,
+        sink: S,
+        hook: Option<Arc<dyn BudgetHook>>,
+        dec: &mut flux_state::Dec<'_>,
+        pre_granted: bool,
+    ) -> Result<Machine<S>, flux_state::StateError> {
+        use flux_state::StateError;
+        let started = dec.get_bool()?;
+        let written = dec.get_uint()?;
+        let mode = match dec.get_u8()? {
+            0 => Mode::Scoped,
+            1 => {
+                let n = dec.get_count()?;
+                let mut stack = Vec::with_capacity(n);
+                for _ in 0..n {
+                    stack.push(Node::state_load(dec)?);
+                }
+                let root = if dec.get_opt()? { Some(Node::state_load(dec)?) } else { None };
+                let bytes = dec.get_usize()?;
+                Mode::Simple { stack, root, bytes }
+            }
+            _ => return Err(StateError::Corrupt("unknown execution mode")),
+        };
+        let nframes = dec.get_count()?;
+        let mut frames = Vec::with_capacity(nframes);
+        for _ in 0..nframes {
+            frames.push(match dec.get_u8()? {
+                0 => {
+                    let sidx = dec.get_usize()?;
+                    let spec = plan
+                        .scopes
+                        .get(sidx)
+                        .ok_or(StateError::Corrupt("scope index out of range"))?;
+                    let term = match dec.get_u8()? {
+                        0 => Term::End,
+                        1 => Term::Eof,
+                        _ => return Err(StateError::Corrupt("unknown scope terminator")),
+                    };
+                    let state = u32::try_from(dec.get_uint()?)
+                        .map_err(|_| StateError::Corrupt("DFA state exceeds u32"))?;
+                    let obs_created = dec.get_bool()?;
+                    let nf = dec.get_count()?;
+                    if nf != spec.handlers.len() {
+                        return Err(StateError::Corrupt("fired set does not match the plan"));
+                    }
+                    let mut fired = Vec::with_capacity(nf);
+                    for _ in 0..nf {
+                        fired.push(dec.get_bool()?);
+                    }
+                    let nr = dec.get_count()?;
+                    let mut rest = Vec::with_capacity(nr);
+                    for _ in 0..nr {
+                        let h = dec.get_usize()?;
+                        if h >= spec.handlers.len() {
+                            return Err(StateError::Corrupt("handler index out of range"));
+                        }
+                        rest.push(h);
+                    }
+                    Frame::Scope(ScopeFrame { sidx, term, state, obs_created, fired, rest })
+                }
+                1 => {
+                    let depth = u32::try_from(dec.get_uint()?)
+                        .map_err(|_| StateError::Corrupt("consume depth exceeds u32"))?;
+                    let capturing = dec.get_bool()?;
+                    let after = match dec.get_u8()? {
+                        0 => {
+                            let sidx = dec.get_usize()?;
+                            let spec = plan
+                                .scopes
+                                .get(sidx)
+                                .ok_or(StateError::Corrupt("scope index out of range"))?;
+                            let nh = dec.get_count()?;
+                            let mut handlers = Vec::with_capacity(nh);
+                            for _ in 0..nh {
+                                let h = dec.get_usize()?;
+                                if h >= spec.handlers.len() {
+                                    return Err(StateError::Corrupt("handler index out of range"));
+                                }
+                                handlers.push(h);
+                            }
+                            AfterConsume::Fire { sidx, handlers }
+                        }
+                        1 => AfterConsume::Simple(load_simple_rest(plan, dec)?),
+                        _ => return Err(StateError::Corrupt("unknown consume continuation")),
+                    };
+                    Frame::Consume { depth, capturing, after }
+                }
+                2 => {
+                    let depth = u32::try_from(dec.get_uint()?)
+                        .map_err(|_| StateError::Corrupt("copy depth exceeds u32"))?;
+                    Frame::Copy { depth, rest: load_simple_rest(plan, dec)? }
+                }
+                _ => return Err(StateError::Corrupt("unknown frame kind")),
+            });
+        }
+        let ncap = dec.get_count()?;
+        let mut captures = Vec::with_capacity(ncap);
+        for _ in 0..ncap {
+            let buf = EventBuf::state_load(dec)?;
+            let bytes = dec.get_usize()?;
+            let label = dec.get_str()?.to_string();
+            captures.push(Capture { buf, bytes, label });
+        }
+        let nobs = dec.get_count()?;
+        let mut observers = Vec::with_capacity(nobs);
+        for _ in 0..nobs {
+            let sidx = dec.get_usize()?;
+            let spec =
+                plan.scopes.get(sidx).ok_or(StateError::Corrupt("scope index out of range"))?;
+            let rec = if dec.get_opt()? { Some(Recorder::state_load(dec)?) } else { None };
+            let nflags = dec.get_count()?;
+            if nflags != spec.flags.len() {
+                return Err(StateError::Corrupt("flag set does not match the plan"));
+            }
+            let mut flags = Vec::with_capacity(nflags);
+            for _ in 0..nflags {
+                flags.push(FlagMatcher::state_load(dec)?);
+            }
+            observers.push(Observer { sidx, rec, flags });
+        }
+        let env_stack = observers.iter().enumerate().map(|(i, o)| (o.sidx, i)).collect();
+        let mut stats = RunStats {
+            peak_buffer_bytes: dec.get_usize()?,
+            final_buffer_bytes: dec.get_usize()?,
+            ..RunStats::default()
+        };
+        stats.events = dec.get_uint()?;
+        stats.output_bytes = dec.get_uint()?;
+        stats.on_firings = dec.get_uint()?;
+        stats.on_first_firings = dec.get_uint()?;
+        stats.buffers_created = dec.get_uint()?;
+        stats.captures = dec.get_uint()?;
+        let cur_bytes = dec.get_usize()?;
+        let charged = dec.get_usize()?;
+        let budget = Budget::resume(plan.opts.max_buffer_bytes, hook, charged, pre_granted)?;
+        let cur_kind = match dec.get_u8()? {
+            0 => Pulled::Start,
+            1 => Pulled::End,
+            2 => Pulled::Text,
+            _ => return Err(StateError::Corrupt("unknown event kind")),
+        };
+        let cur_id = NameId(
+            u32::try_from(dec.get_uint()?)
+                .map_err(|_| StateError::Corrupt("NameId exceeds u32"))?,
+        );
+        let cur_name = dec.get_str()?.to_string();
+        let cur_text = dec.get_str()?.to_string();
+        let cur_text_ws = dec.get_bool()?;
+        let cur_base = dec.get_usize()?;
+        if cur_base > observers.len() {
+            return Err(StateError::Corrupt("observer base out of range"));
+        }
+        let skip = u32::try_from(dec.get_uint()?)
+            .map_err(|_| StateError::Corrupt("skip depth exceeds u32"))?;
+        Ok(Machine {
+            writer: Writer::resume(sink, written),
+            mode,
+            frames,
+            replays: Vec::new(),
+            captures,
+            observers,
+            env_stack,
+            stats,
+            cur_bytes,
+            budget,
+            cur_kind,
+            cur_id,
+            cur_name,
+            cur_text,
+            cur_text_ws,
+            cur_base,
+            bool_pool: Vec::new(),
+            idx_pool: Vec::new(),
+            flag_pool: Vec::new(),
+            evbuf_pool: Vec::new(),
+            firing_scratch: Vec::new(),
+            skip,
+            started,
+            failed: false,
+        })
     }
 
     fn charge(&mut self, grew: usize) -> Result<(), EngineError> {

@@ -182,6 +182,22 @@ impl FanoutPlan {
     pub fn reused_plans(&self) -> usize {
         self.reused
     }
+
+    /// Structural fingerprint of the whole fan-out plan, folding every
+    /// subscription's [`CompiledQuery::state_fingerprint`] in order over the
+    /// union symbol table. A snapshot taken from one plan only restores into
+    /// a plan with the same fingerprint — same queries, same order, same
+    /// vocabulary (scanner backend excluded, so snapshots migrate across
+    /// hosts with different SIMD tiers).
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = flux_state::Fnv64::new();
+        h.write_u64(self.symbols.fingerprint());
+        h.write_u64(self.queries.len() as u64);
+        for q in &self.queries {
+            h.write_u64(q.state_fingerprint());
+        }
+        h.finish()
+    }
 }
 
 /// A node of the merged scope trie.
@@ -567,6 +583,158 @@ impl<S: Sink> FanoutDriver<S> {
             .collect()
     }
 
+    /// Serialize the complete fan-out state — every live subscriber's pump,
+    /// the parking/wake structure, and the shared counters — as the
+    /// `flux_state` FANOUT section payload. Each live pump must be
+    /// quiescent (between `feed_event` calls); failed subscribers save only
+    /// their error text, detached ones only their tag.
+    pub fn state_save(&self, enc: &mut flux_state::Enc) -> Result<(), flux_state::StateError> {
+        enc.put_usize(self.subs.len());
+        for sub in &self.subs {
+            match &sub.state {
+                SubState::Active => {
+                    enc.put_u8(0);
+                    sub.pump.as_ref().expect("active subscriber keeps its pump").state_save(enc)?;
+                }
+                SubState::Parked { events_at_park } => {
+                    enc.put_u8(1);
+                    enc.put_uint(*events_at_park);
+                    sub.pump.as_ref().expect("parked subscriber keeps its pump").state_save(enc)?;
+                }
+                SubState::Failed => {
+                    enc.put_u8(2);
+                    let msg = sub.error.as_ref().map_or_else(String::new, |e| e.to_string());
+                    enc.put_str(&msg);
+                }
+                SubState::Detached => enc.put_u8(3),
+            }
+        }
+        enc.put_usize(self.active.len());
+        for &i in &self.active {
+            enc.put_uint(u64::from(i));
+        }
+        enc.put_usize(self.wake.len());
+        for bucket in &self.wake {
+            enc.put_usize(bucket.len());
+            for &i in bucket {
+                enc.put_uint(u64::from(i));
+            }
+        }
+        enc.put_uint(u64::from(self.depth));
+        enc.put_uint(self.events);
+        Ok(())
+    }
+
+    /// Rebuild a driver saved by [`FanoutDriver::state_save`] against the
+    /// same plan, with one fresh sink per subscription slot. `sinks[i]` may
+    /// be `None` only for a slot that was detached at save time (its sink
+    /// was recovered then); failed slots still take a sink so
+    /// [`FanoutDriver::finish`] can hand one back with the restored error.
+    /// Budget re-grants happen per subscriber through `hook`; a denied
+    /// re-grant fails the whole restore (already-granted subscribers
+    /// release on drop, so the accounting stays balanced).
+    pub fn state_load(
+        plan: &FanoutPlan,
+        sinks: Vec<Option<S>>,
+        hook: Option<Arc<dyn BudgetHook>>,
+        dec: &mut flux_state::Dec<'_>,
+    ) -> Result<FanoutDriver<S>, flux_state::StateError> {
+        Self::state_load_inner(plan, sinks, hook, dec, false)
+    }
+
+    /// [`FanoutDriver::state_load`] for a caller that already reserved the
+    /// snapshot's total recorded charges through `hook` — see
+    /// [`Pump::state_load_pregranted`]. Every subscriber's budget adopts
+    /// its share of the reservation, so the restore cannot be refused.
+    pub fn state_load_pregranted(
+        plan: &FanoutPlan,
+        sinks: Vec<Option<S>>,
+        hook: Option<Arc<dyn BudgetHook>>,
+        dec: &mut flux_state::Dec<'_>,
+    ) -> Result<FanoutDriver<S>, flux_state::StateError> {
+        Self::state_load_inner(plan, sinks, hook, dec, true)
+    }
+
+    fn state_load_inner(
+        plan: &FanoutPlan,
+        mut sinks: Vec<Option<S>>,
+        hook: Option<Arc<dyn BudgetHook>>,
+        dec: &mut flux_state::Dec<'_>,
+        pre_granted: bool,
+    ) -> Result<FanoutDriver<S>, flux_state::StateError> {
+        use flux_state::StateError;
+        let nsubs = dec.get_count()?;
+        if nsubs != plan.len() || sinks.len() != plan.len() {
+            return Err(StateError::Corrupt("subscription count does not match the plan"));
+        }
+        let mut subs = Vec::with_capacity(nsubs);
+        for (i, q) in plan.queries.iter().enumerate() {
+            let take_sink = |sinks: &mut Vec<Option<S>>| {
+                sinks[i].take().ok_or(StateError::Corrupt("live subscriber without a sink"))
+            };
+            subs.push(match dec.get_u8()? {
+                0 => {
+                    let sink = take_sink(&mut sinks)?;
+                    let pump = load_pump(Arc::clone(q), sink, hook.clone(), dec, pre_granted)?;
+                    Sub { pump: Some(pump), state: SubState::Active, error: None }
+                }
+                1 => {
+                    let events_at_park = dec.get_uint()?;
+                    let sink = take_sink(&mut sinks)?;
+                    let pump = load_pump(Arc::clone(q), sink, hook.clone(), dec, pre_granted)?;
+                    Sub {
+                        pump: Some(pump),
+                        state: SubState::Parked { events_at_park },
+                        error: None,
+                    }
+                }
+                2 => {
+                    // The poisoned pump itself is not serializable; a fresh
+                    // never-fed pump stands in so the finish/abort paths can
+                    // still hand the slot's sink back with the saved error.
+                    let msg = dec.get_str()?.to_string();
+                    let sink = take_sink(&mut sinks)?;
+                    let pump = match &hook {
+                        Some(h) => Pump::with_budget(Arc::clone(q), sink, Arc::clone(h)),
+                        None => Pump::new(Arc::clone(q), sink),
+                    };
+                    Sub {
+                        pump: Some(pump),
+                        state: SubState::Failed,
+                        error: Some(EngineError::Eval(flux_query::eval::EvalError::Io(msg))),
+                    }
+                }
+                3 => Sub { pump: None, state: SubState::Detached, error: None },
+                _ => return Err(StateError::Corrupt("unknown subscriber state")),
+            });
+        }
+        let in_range = |v: u64| {
+            u32::try_from(v)
+                .ok()
+                .filter(|&i| (i as usize) < nsubs)
+                .ok_or(StateError::Corrupt("subscriber index out of range"))
+        };
+        let nactive = dec.get_count()?;
+        let mut active = Vec::with_capacity(nactive);
+        for _ in 0..nactive {
+            active.push(in_range(dec.get_uint()?)?);
+        }
+        let nbuckets = dec.get_count()?;
+        let mut wake = Vec::with_capacity(nbuckets);
+        for _ in 0..nbuckets {
+            let blen = dec.get_count()?;
+            let mut bucket = Vec::with_capacity(blen);
+            for _ in 0..blen {
+                bucket.push(in_range(dec.get_uint()?)?);
+            }
+            wake.push(bucket);
+        }
+        let depth = u32::try_from(dec.get_uint()?)
+            .map_err(|_| StateError::Corrupt("stream depth exceeds u32"))?;
+        let events = dec.get_uint()?;
+        Ok(FanoutDriver { subs, active, wake, depth, events })
+    }
+
     /// Tear the whole run down without the end-of-input epilogue — the
     /// right teardown when the shared input failed upstream (e.g. an XML
     /// parse error): every sink holds exactly what an independent run wrote
@@ -586,6 +754,20 @@ impl<S: Sink> FanoutDriver<S> {
                 }
             })
             .collect()
+    }
+}
+
+fn load_pump<S: Sink>(
+    plan: Arc<CompiledQuery>,
+    sink: S,
+    hook: Option<Arc<dyn BudgetHook>>,
+    dec: &mut flux_state::Dec<'_>,
+    pre_granted: bool,
+) -> Result<Pump<S>, flux_state::StateError> {
+    if pre_granted {
+        Pump::state_load_pregranted(plan, sink, hook, dec)
+    } else {
+        Pump::state_load(plan, sink, hook, dec)
     }
 }
 

@@ -172,6 +172,36 @@ impl FlagMatcher {
         }
     }
 
+    /// Serialize the matcher state for a session snapshot. `path_len` is
+    /// not saved — it is a cached copy of the spec's path length, refreshed
+    /// on every start event.
+    pub(crate) fn state_save(&self, enc: &mut flux_state::Enc) {
+        enc.put_usize(self.match_depth);
+        enc.put_usize(self.open_depth);
+        if enc.put_opt(self.collect_depth.is_some()) {
+            enc.put_usize(self.collect_depth.unwrap_or(0));
+        }
+        enc.put_str(&self.text);
+        enc.put_bool(self.value);
+    }
+
+    /// Rebuild a matcher saved by [`FlagMatcher::state_save`].
+    pub(crate) fn state_load(
+        dec: &mut flux_state::Dec<'_>,
+    ) -> Result<FlagMatcher, flux_state::StateError> {
+        let match_depth = dec.get_usize()?;
+        let open_depth = dec.get_usize()?;
+        let collect_depth = if dec.get_opt()? { Some(dec.get_usize()?) } else { None };
+        Ok(FlagMatcher {
+            path_len: 0,
+            match_depth,
+            open_depth,
+            collect_depth,
+            text: dec.get_str()?.to_string(),
+            value: dec.get_bool()?,
+        })
+    }
+
     /// End-element event inside the scope.
     pub fn on_end(&mut self, spec: &FlagSpec) {
         if self.open_depth == 0 {

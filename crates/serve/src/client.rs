@@ -45,6 +45,13 @@ pub enum ServerMsg {
         /// Human-readable cause.
         message: String,
     },
+    /// The run was suspended server-side (acknowledges `SNAPSHOT`); present
+    /// the token in a later [`Client::resume`] — on any connection, even
+    /// after a server restart — to continue it.
+    Snapshotted {
+        /// The opaque resume token.
+        token: String,
+    },
 }
 
 /// Everything a full client→server run produced, collected by
@@ -66,6 +73,8 @@ pub struct Outcome {
     pub stalls: usize,
     /// `RESUMED` frames observed.
     pub resumes: usize,
+    /// The resume token, if a `SNAPSHOTTED` frame suspended the run.
+    pub snapshot: Option<String>,
 }
 
 /// A blocking protocol client — see the [module docs](self).
@@ -115,6 +124,19 @@ impl Client {
     /// Queue a mid-stream abort.
     pub fn abort(&mut self) -> io::Result<()> {
         self.send(FrameKind::Abort, &[])
+    }
+
+    /// Ask the server to suspend the running session to a snapshot and
+    /// detach; the token arrives as [`ServerMsg::Snapshotted`] (after any
+    /// remaining `RESULT` frames).
+    pub fn snapshot(&mut self) -> io::Result<()> {
+        self.send(FrameKind::Snapshot, &[])
+    }
+
+    /// Re-attach a suspended run by its snapshot token; on success the
+    /// connection is mid-run again and `chunk`/`finish` continue it.
+    pub fn resume(&mut self, token: &str) -> io::Result<()> {
+        self.send(FrameKind::Resume, token.as_bytes())
     }
 
     /// Queue raw pre-encoded bytes (protocol-violation testing).
@@ -243,6 +265,10 @@ impl Client {
                     out.error = Some((code, message));
                     return Ok(out);
                 }
+                ServerMsg::Snapshotted { token } => {
+                    out.snapshot = Some(token);
+                    return Ok(out);
+                }
             }
         }
     }
@@ -286,6 +312,13 @@ impl Client {
             match kind {
                 FrameKind::Stalled => outs.iter_mut().for_each(|o| o.stalls += 1),
                 FrameKind::Resumed => outs.iter_mut().for_each(|o| o.resumes += 1),
+                // A snapshot suspends the shared run as a whole: one
+                // untagged token answers every subscriber.
+                FrameKind::Snapshotted => {
+                    let token = String::from_utf8_lossy(&payload).into_owned();
+                    outs.iter_mut().for_each(|o| o.snapshot = Some(token.clone()));
+                    return Ok(outs);
+                }
                 FrameKind::Error if untagged_error(&payload, subs) => {
                     // Connection-fatal refusal (protocol/state/compile):
                     // one untagged frame answers the whole run.
@@ -322,7 +355,7 @@ impl Client {
                             outs[sub].error = Some((code, message));
                             open[sub] = false;
                         }
-                        ServerMsg::Stalled | ServerMsg::Resumed => {
+                        ServerMsg::Stalled | ServerMsg::Resumed | ServerMsg::Snapshotted { .. } => {
                             return Err(bad("tagged flow-control frame"))
                         }
                     }
@@ -404,9 +437,15 @@ fn decode_msg(kind: FrameKind, payload: &[u8]) -> io::Result<ServerMsg> {
                 message: String::from_utf8_lossy(message).into_owned(),
             }
         }
-        FrameKind::Open | FrameKind::Chunk | FrameKind::Finish | FrameKind::Abort => {
-            return Err(bad("client-to-server frame from server"))
+        FrameKind::Snapshotted => {
+            ServerMsg::Snapshotted { token: String::from_utf8_lossy(payload).into_owned() }
         }
+        FrameKind::Open
+        | FrameKind::Chunk
+        | FrameKind::Finish
+        | FrameKind::Abort
+        | FrameKind::Snapshot
+        | FrameKind::Resume => return Err(bad("client-to-server frame from server")),
     })
 }
 

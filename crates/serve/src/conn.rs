@@ -142,6 +142,10 @@ pub(crate) struct Conn {
     /// Query ids collected from `OPEN` frames, awaiting the seal
     /// (`Collecting` only).
     pub(crate) pending_opens: Vec<String>,
+    /// Query ids of the sealed run, in subscriber order — what a
+    /// `SNAPSHOT` records in the snapshot envelope so `RESUME` can
+    /// recompile the same plan.
+    pub(crate) run_ids: Vec<String>,
     /// The live session's output seam (present from `OPEN` to the terminal
     /// runtime event).
     pub(crate) shared: Option<Arc<SharedOut>>,
@@ -169,6 +173,7 @@ impl Conn {
             out_pos: 0,
             state: ConnState::Idle,
             pending_opens: Vec::new(),
+            run_ids: Vec::new(),
             shared: None,
             multi: Vec::new(),
             stalled: false,

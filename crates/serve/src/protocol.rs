@@ -12,11 +12,28 @@
 //! | 0x02 | c→s | `CHUNK`   | next bytes of the XML document (any split) |
 //! | 0x03 | c→s | `FINISH`  | empty — end of document, complete the run |
 //! | 0x04 | c→s | `ABORT`   | empty — drop the run mid-stream |
+//! | 0x05 | c→s | `SNAPSHOT`| empty — suspend the run to a server-side snapshot and detach |
+//! | 0x06 | c→s | `RESUME`  | UTF-8 snapshot token — re-attach a suspended run |
 //! | 0x81 | s→c | `RESULT`  | next bytes of the query output (any split) |
 //! | 0x82 | s→c | `DONE`    | 1 status byte (0 finished / 1 aborted); on 0: two u64-BE — events, output bytes — then scanner telemetry: 1 backend-code byte ([`Backend::code`](flux_xml::Backend::code)) + two u64-BE — fast-path bytes, general-path bytes |
 //! | 0x83 | s→c | `STALLED` | empty — the session paused on the shared budget; ease off |
 //! | 0x84 | s→c | `RESUMED` | empty — the session is executing again |
 //! | 0x85 | s→c | `ERROR`   | 1 [`ErrorCode`] byte + UTF-8 message |
+//! | 0x86 | s→c | `SNAPSHOTTED` | UTF-8 snapshot token |
+//!
+//! ## Suspend / resume
+//!
+//! A client mid-run may send `SNAPSHOT`: the server serializes the
+//! session's complete resumable state (`flux-state` bytes plus the query
+//! ids) under its snapshot directory, flushes the output produced so far,
+//! and answers `SNAPSHOTTED` with an opaque token. The run is then
+//! *detached* — the connection returns to idle and may close. Any client
+//! presenting the token in a `RESUME` frame later — on a new connection,
+//! even to a freshly restarted server process over the same registry —
+//! continues the run exactly where it left off: the concatenation of
+//! `RESULT` bytes before the snapshot and after the resume is
+//! byte-identical to an uninterrupted run. Tokens are single-use; the
+//! snapshot file is consumed by a successful `RESUME`.
 //!
 //! ## Shared fan-out mode
 //!
@@ -65,6 +82,11 @@ pub enum FrameKind {
     Finish,
     /// Client→server: drop the run mid-stream.
     Abort,
+    /// Client→server: suspend the run to a server-side snapshot, detach,
+    /// and hand back a resume token.
+    Snapshot,
+    /// Client→server: re-attach a suspended run by its snapshot token.
+    Resume,
     /// Server→client: the next chunk of query output.
     Result,
     /// Server→client: the run is over (status byte: 0 finished, 1
@@ -76,6 +98,9 @@ pub enum FrameKind {
     Resumed,
     /// Server→client: structured failure ([`ErrorCode`] + message).
     Error,
+    /// Server→client: the run was suspended; the payload is the resume
+    /// token.
+    Snapshotted,
 }
 
 impl FrameKind {
@@ -86,11 +111,14 @@ impl FrameKind {
             FrameKind::Chunk => 0x02,
             FrameKind::Finish => 0x03,
             FrameKind::Abort => 0x04,
+            FrameKind::Snapshot => 0x05,
+            FrameKind::Resume => 0x06,
             FrameKind::Result => 0x81,
             FrameKind::Done => 0x82,
             FrameKind::Stalled => 0x83,
             FrameKind::Resumed => 0x84,
             FrameKind::Error => 0x85,
+            FrameKind::Snapshotted => 0x86,
         }
     }
 
@@ -101,11 +129,14 @@ impl FrameKind {
             0x02 => FrameKind::Chunk,
             0x03 => FrameKind::Finish,
             0x04 => FrameKind::Abort,
+            0x05 => FrameKind::Snapshot,
+            0x06 => FrameKind::Resume,
             0x81 => FrameKind::Result,
             0x82 => FrameKind::Done,
             0x83 => FrameKind::Stalled,
             0x84 => FrameKind::Resumed,
             0x85 => FrameKind::Error,
+            0x86 => FrameKind::Snapshotted,
             _ => return None,
         })
     }
@@ -428,11 +459,14 @@ mod tests {
             FrameKind::Chunk,
             FrameKind::Finish,
             FrameKind::Abort,
+            FrameKind::Snapshot,
+            FrameKind::Resume,
             FrameKind::Result,
             FrameKind::Done,
             FrameKind::Stalled,
             FrameKind::Resumed,
             FrameKind::Error,
+            FrameKind::Snapshotted,
         ] {
             assert_eq!(FrameKind::from_byte(kind.byte()), Some(kind));
         }

@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -58,6 +59,12 @@ pub struct ServerConfig {
     /// Readiness poll granularity — also the latency floor for runtime
     /// events landing while every socket is quiet.
     pub poll_timeout: Duration,
+    /// Where `SNAPSHOT` frames persist suspended runs (the envelope: query
+    /// ids + the session's `flux-state` bytes). `None` disables the
+    /// suspend/resume frames — a `SNAPSHOT` is answered with an `ERROR`.
+    /// Point a restarted server at the same directory and outstanding
+    /// tokens keep resuming.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +76,7 @@ impl Default for ServerConfig {
             outbuf_high_water: 256 << 10,
             result_frame_max: 32 << 10,
             poll_timeout: Duration::from_millis(1),
+            snapshot_dir: None,
         }
     }
 }
@@ -89,6 +97,9 @@ pub struct Server {
     /// Entries are revalidated against the registry catalog on every hit.
     set_cache: HashMap<Vec<String>, SubscriptionSet>,
     next_token: Token,
+    /// Monotonic counter behind snapshot tokens (unique per process; the
+    /// process id in the token keeps restarts from colliding).
+    next_snap: u64,
     scratch: Vec<u8>,
     readiness: Vec<Readiness>,
 }
@@ -127,6 +138,7 @@ impl Server {
             by_session: HashMap::new(),
             set_cache: HashMap::new(),
             next_token: LISTENER + 1,
+            next_snap: 0,
             scratch: vec![0; 16 << 10],
             readiness: Vec::new(),
         })
@@ -356,13 +368,54 @@ impl Server {
                                 break;
                             }
                         },
+                        FrameKind::Snapshot => match conn.state {
+                            ConnState::Running(id) => {
+                                snapshot_run(
+                                    conn,
+                                    id,
+                                    &mut self.runtime,
+                                    self.cfg.snapshot_dir.as_deref(),
+                                    self.cfg.result_frame_max,
+                                    &mut self.by_session,
+                                    &mut self.next_snap,
+                                );
+                            }
+                            _ => {
+                                fail_state(
+                                    conn,
+                                    &mut self.runtime,
+                                    "SNAPSHOT without a running session",
+                                );
+                                break;
+                            }
+                        },
+                        FrameKind::Resume => match conn.state {
+                            ConnState::Idle | ConnState::Rejected => {
+                                let snap = String::from_utf8_lossy(payload).into_owned();
+                                resume_run(
+                                    conn,
+                                    token,
+                                    &snap,
+                                    &mut self.runtime,
+                                    &self.registry,
+                                    &mut self.set_cache,
+                                    self.cfg.snapshot_dir.as_deref(),
+                                    &mut self.by_session,
+                                );
+                            }
+                            _ => {
+                                fail_state(conn, &mut self.runtime, "RESUME during a run");
+                                break;
+                            }
+                        },
                         // Server→client tags coming *from* a client are a
                         // protocol violation.
                         FrameKind::Result
                         | FrameKind::Done
                         | FrameKind::Stalled
                         | FrameKind::Resumed
-                        | FrameKind::Error => {
+                        | FrameKind::Error
+                        | FrameKind::Snapshotted => {
                             fail_protocol(
                                 conn,
                                 &mut self.runtime,
@@ -476,6 +529,11 @@ impl Server {
                 // wire protocol aborts whole runs), but the runtime API
                 // allows embedders to: tolerate the event.
                 RuntimeEvent::SubAborted { .. } => {}
+                // Shard rebalancing and idle spills keep the session id
+                // valid and its output seam in place — nothing for the
+                // wire. (A refused `Runtime::detach` also re-adopts the
+                // session onto its own shard, confirmed this way.)
+                RuntimeEvent::Migrated { .. } | RuntimeEvent::Suspended { .. } => {}
                 RuntimeEvent::Aborted { id } => {
                     let token = self.by_session.remove(&id);
                     if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
@@ -571,6 +629,7 @@ fn seal(
         let shared = SharedOut::new();
         let id = runtime.open(&q, FrameSink(Arc::clone(&shared)));
         conn.shared = Some(shared);
+        conn.run_ids = ids;
         conn.state = ConnState::Running(id);
         by_session.insert(id, token);
         return Some(id);
@@ -587,9 +646,182 @@ fn seal(
     let sinks = outs.iter().map(|o| FrameSink(Arc::clone(o))).collect();
     let id = runtime.open_shared(&set, sinks);
     conn.multi = outs;
+    conn.run_ids = ids;
     conn.state = ConnState::Running(id);
     by_session.insert(id, token);
     Some(id)
+}
+
+/// Suspend a running session to a snapshot file and detach it: the
+/// envelope (the run's query ids + the session's `flux-state` bytes)
+/// lands under the server's snapshot directory, the output produced so
+/// far flushes to the client, and the resume token comes back in a
+/// `SNAPSHOTTED` frame. Refusals are `ERROR Engine` frames: with no
+/// snapshot directory, or a session that cannot serialize right now
+/// (failed, or stalled with queued chunks), the run continues in place.
+fn snapshot_run(
+    conn: &mut Conn,
+    id: RuntimeId,
+    runtime: &mut Runtime<FrameSink>,
+    snapshot_dir: Option<&Path>,
+    result_frame_max: usize,
+    by_session: &mut HashMap<RuntimeId, Token>,
+    next_snap: &mut u64,
+) {
+    let Some(dir) = snapshot_dir else {
+        conn.queue_error(ErrorCode::Engine, "snapshots are not enabled on this server");
+        return;
+    };
+    let state = match runtime.detach(id) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            // Refused: the session is still running in place with its id
+            // valid — the client may keep chunking or retry later.
+            conn.queue_error(ErrorCode::Engine, &e.to_string());
+            return;
+        }
+    };
+    // The id is dead from here on: the run exists only as bytes.
+    by_session.remove(&id);
+    let snap = format!("s{}-{}", std::process::id(), *next_snap);
+    *next_snap += 1;
+    let envelope = encode_envelope(&conn.run_ids, &state);
+    let path = dir.join(format!("{snap}.fsnap"));
+    let written = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &envelope));
+    // Flush the output streamed so far ahead of the marker frame, then
+    // return the connection to idle — detached, it has no run.
+    conn.drain_results(result_frame_max);
+    conn.shared = None;
+    conn.multi.clear();
+    conn.stalled = false;
+    conn.state = ConnState::Idle;
+    match written {
+        Ok(()) => conn.queue(FrameKind::Snapshotted, snap.as_bytes()),
+        Err(e) => {
+            // The state was already detached and could not be saved: the
+            // run is gone. Say so rather than pretend it is resumable.
+            conn.queue_error(ErrorCode::Engine, &format!("snapshot write failed, run lost: {e}"));
+        }
+    }
+}
+
+/// Re-attach a suspended run by its snapshot token: read the envelope,
+/// recompile the plan from the registry (single query or shared set),
+/// restore the session onto the runtime with fresh output seams, and put
+/// the connection back into `Running`. Tokens are single-use — the file
+/// is consumed on success. All refusals are `ERROR Engine` frames and
+/// leave the connection idle and usable.
+#[allow(clippy::too_many_arguments)]
+fn resume_run(
+    conn: &mut Conn,
+    token: Token,
+    snap: &str,
+    runtime: &mut Runtime<FrameSink>,
+    registry: &QueryRegistry,
+    set_cache: &mut HashMap<Vec<String>, SubscriptionSet>,
+    snapshot_dir: Option<&Path>,
+    by_session: &mut HashMap<RuntimeId, Token>,
+) {
+    let Some(dir) = snapshot_dir else {
+        conn.queue_error(ErrorCode::Engine, "snapshots are not enabled on this server");
+        return;
+    };
+    let well_formed = !snap.is_empty()
+        && snap.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+    if !well_formed {
+        // Tokens never need escaping, so anything else (path separators,
+        // `..`) is refused before it touches the filesystem.
+        conn.queue_error(ErrorCode::Engine, "malformed snapshot token");
+        return;
+    }
+    let path = dir.join(format!("{snap}.fsnap"));
+    let Ok(envelope) = std::fs::read(&path) else {
+        conn.queue_error(ErrorCode::Engine, &format!("unknown snapshot token {snap:?}"));
+        return;
+    };
+    let Some((ids, state)) = decode_envelope(&envelope) else {
+        conn.queue_error(ErrorCode::Engine, "corrupt snapshot envelope");
+        return;
+    };
+    let attached = if ids.len() == 1 {
+        let Some(q) = registry.get(&ids[0]).cloned() else {
+            conn.queue_error(
+                ErrorCode::Engine,
+                &format!("no query registered under id {:?}", ids[0]),
+            );
+            return;
+        };
+        let shared = SharedOut::new();
+        runtime.attach(&q, FrameSink(Arc::clone(&shared)), state).inspect(|_| {
+            conn.shared = Some(shared);
+        })
+    } else {
+        let set = match cached_set(registry, set_cache, &ids) {
+            Ok(set) => set,
+            Err(e) => {
+                conn.queue_error(ErrorCode::Engine, &e.to_string());
+                return;
+            }
+        };
+        let outs: Vec<Arc<SharedOut>> = (0..ids.len()).map(|_| SharedOut::new()).collect();
+        let sinks = outs.iter().map(|o| Some(FrameSink(Arc::clone(o)))).collect();
+        runtime.attach_shared(&set, sinks, state).inspect(|_| {
+            conn.multi = outs;
+        })
+    };
+    match attached {
+        Ok(id) => {
+            let _ = std::fs::remove_file(&path); // tokens are single-use
+            conn.run_ids = ids;
+            conn.state = ConnState::Running(id);
+            by_session.insert(id, token);
+        }
+        // Plan mismatch (the registry changed under the token), budget
+        // refusal, corrupt state bytes: the file stays for a later retry.
+        Err(e) => {
+            conn.shared = None;
+            conn.multi.clear();
+            conn.queue_error(ErrorCode::Engine, &e.to_string());
+        }
+    }
+}
+
+/// Snapshot-envelope layout: `[u32-BE id count]` then per id
+/// `[u32-BE length][UTF-8 bytes]`, then the session's `flux-state` bytes
+/// to the end of the file.
+fn encode_envelope(ids: &[String], state: &[u8]) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(4 + ids.iter().map(|i| 4 + i.len()).sum::<usize>() + state.len());
+    out.extend_from_slice(&u32::try_from(ids.len()).expect("id count fits u32").to_be_bytes());
+    for id in ids {
+        out.extend_from_slice(&u32::try_from(id.len()).expect("id fits u32").to_be_bytes());
+        out.extend_from_slice(id.as_bytes());
+    }
+    out.extend_from_slice(state);
+    out
+}
+
+/// Decode [`encode_envelope`]'s layout; `None` on any truncation.
+fn decode_envelope(bytes: &[u8]) -> Option<(Vec<String>, &[u8])> {
+    fn take<'a>(rest: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+        if rest.len() < n {
+            return None;
+        }
+        let (head, tail) = rest.split_at(n);
+        *rest = tail;
+        Some(head)
+    }
+    let mut rest = bytes;
+    let count = u32::from_be_bytes(take(&mut rest, 4)?.try_into().expect("4 bytes")) as usize;
+    if count == 0 || count > 1 << 16 {
+        return None;
+    }
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = u32::from_be_bytes(take(&mut rest, 4)?.try_into().expect("4 bytes")) as usize;
+        ids.push(String::from_utf8(take(&mut rest, len)?.to_vec()).ok()?);
+    }
+    Some((ids, rest))
 }
 
 /// The compiled shared plan for `ids`, from the cache when its snapshot

@@ -1,0 +1,194 @@
+//! Suspend/resume over the wire: a client mid-run sends `SNAPSHOT`, the
+//! server detaches the session into a snapshot file and answers with a
+//! token, and *any* later connection — including one to a freshly
+//! restarted server process over the same snapshot directory — presents
+//! the token in `RESUME` and continues the run.
+//!
+//! The acceptance bar mirrors the in-process snapshot tests: for every
+//! query in the paper's suite, the concatenation of the `RESULT` bytes
+//! streamed before the snapshot and after the resume is byte-identical to
+//! an uninterrupted run, and the `DONE` counters match exactly.
+
+use std::path::{Path, PathBuf};
+
+use flux::prelude::*;
+use flux_serve::{Client, ErrorCode, Server, ServerConfig};
+use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
+
+fn snap_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flux-serve-snap-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn paper_registry(doc_bytes: usize) -> (String, QueryRegistry, Vec<(&'static str, String, u64)>) {
+    let (doc, _) = generate_string(&XmarkConfig::new(doc_bytes));
+    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    let mut registry = QueryRegistry::new();
+    let mut references = Vec::new();
+    for q in PAPER_QUERIES {
+        let prepared = engine.prepare(q.source).unwrap();
+        let reference = prepared.run_str(&doc).unwrap();
+        registry.register(q.name, prepared);
+        references.push((q.name, reference.output, reference.stats.events));
+    }
+    (doc, registry, references)
+}
+
+fn server_with_snapshots(registry: QueryRegistry, dir: &Path) -> flux_serve::ServerHandle {
+    let cfg = ServerConfig { snapshot_dir: Some(dir.to_path_buf()), ..ServerConfig::default() };
+    Server::spawn("127.0.0.1:0", registry, cfg).unwrap()
+}
+
+#[test]
+fn every_paper_query_survives_snapshot_and_resume_across_a_server_restart() {
+    let dir = snap_dir("restart");
+    let (doc, registry, references) = paper_registry(8 << 10);
+
+    // Phase 1: one connection per query, half the document, SNAPSHOT.
+    let server = server_with_snapshots(registry.clone(), &dir);
+    let addr = server.addr();
+    let mut suspended = Vec::new();
+    for (name, _, _) in &references {
+        let mut client = Client::connect(addr).unwrap();
+        client.open(name).unwrap();
+        let (head, tail) = doc.as_bytes().split_at(doc.len() / 2);
+        for chunk in head.chunks(257) {
+            client.chunk(chunk).unwrap();
+        }
+        client.snapshot().unwrap();
+        let out = client.collect().unwrap();
+        assert_eq!(out.error, None, "{name}: snapshot must not error");
+        let token = out.snapshot.expect("SNAPSHOTTED token");
+        suspended.push((*name, token, out.output, tail));
+    }
+    // The server process goes away entirely; only the snapshot directory
+    // (and the registry the restarted process recompiles) survives.
+    server.shutdown().unwrap();
+
+    // Phase 2: a fresh server over the same directory resumes each token.
+    let server = server_with_snapshots(registry, &dir);
+    let addr = server.addr();
+    for (name, token, mut output, tail) in suspended {
+        let mut client = Client::connect(addr).unwrap();
+        client.resume(&token).unwrap();
+        for chunk in tail.chunks(257) {
+            client.chunk(chunk).unwrap();
+        }
+        client.finish().unwrap();
+        let out = client.collect().unwrap();
+        assert_eq!(out.error, None, "{name}: resume must not error");
+        output.extend_from_slice(&out.output);
+        let (_, reference, ref_events) = references.iter().find(|(n, _, _)| *n == name).unwrap();
+        assert_eq!(
+            String::from_utf8(output).unwrap(),
+            *reference,
+            "{name}: pre-snapshot + post-resume output must be byte-identical"
+        );
+        let (events, output_bytes) = out.done.expect("finished");
+        assert_eq!(events, *ref_events, "{name}: event count spans the suspension");
+        assert_eq!(output_bytes as usize, reference.len(), "{name}");
+        // Tokens are single-use: the same token again is refused.
+        let mut again = Client::connect(addr).unwrap();
+        again.resume(&token).unwrap();
+        let out = again.collect().unwrap();
+        let (code, _) = out.error.expect("replayed token refused");
+        assert_eq!(code, Some(ErrorCode::Engine), "{name}");
+    }
+    server.shutdown().unwrap();
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        0,
+        "every consumed token's snapshot file is removed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shared_fanout_runs_snapshot_and_resume_as_a_whole() {
+    let dir = snap_dir("shared");
+    let (doc, registry, references) = paper_registry(4 << 10);
+    let names: Vec<&str> = references.iter().map(|(n, _, _)| *n).take(3).collect();
+
+    let server = server_with_snapshots(registry, &dir);
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    client.open_many(&names).unwrap();
+    let (head, tail) = doc.as_bytes().split_at(doc.len() / 3);
+    for chunk in head.chunks(113) {
+        client.chunk(chunk).unwrap();
+    }
+    client.snapshot().unwrap();
+    let outs = client.collect_shared(names.len()).unwrap();
+    let token = outs[0].snapshot.clone().expect("SNAPSHOTTED token");
+    assert!(outs.iter().all(|o| o.snapshot.as_deref() == Some(token.as_str())));
+
+    // A different connection picks the whole fan-out run back up.
+    let mut client = Client::connect(addr).unwrap();
+    client.resume(&token).unwrap();
+    for chunk in tail.chunks(113) {
+        client.chunk(chunk).unwrap();
+    }
+    client.finish().unwrap();
+    let resumed = client.collect_shared(names.len()).unwrap();
+    for (sub, name) in names.iter().enumerate() {
+        assert_eq!(resumed[sub].error, None, "{name}");
+        let mut output = outs[sub].output.clone();
+        output.extend_from_slice(&resumed[sub].output);
+        let (_, reference, _) = references.iter().find(|(n, _, _)| n == name).unwrap();
+        assert_eq!(
+            String::from_utf8(output).unwrap(),
+            *reference,
+            "{name}: subscriber {sub} output must span the suspension byte-identically"
+        );
+        assert!(resumed[sub].done.is_some(), "{name}");
+    }
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_refusals_leave_the_run_and_connection_usable() {
+    // No snapshot directory configured: SNAPSHOT is refused with an
+    // Engine error, but the run continues and completes normally.
+    let (doc, registry, references) = paper_registry(2 << 10);
+    let server = Server::spawn("127.0.0.1:0", registry.clone(), ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let (name, reference, _) = &references[0];
+
+    let mut client = Client::connect(addr).unwrap();
+    client.open(name).unwrap();
+    let (head, tail) = doc.as_bytes().split_at(doc.len() / 2);
+    client.chunk(head).unwrap();
+    client.snapshot().unwrap();
+    let out = client.collect().unwrap();
+    let (code, message) = out.error.expect("refused without a snapshot dir");
+    assert_eq!(code, Some(ErrorCode::Engine));
+    assert!(message.contains("not enabled"), "{message}");
+    let mut output = out.output;
+    client.chunk(tail).unwrap();
+    client.finish().unwrap();
+    let out = client.collect().unwrap();
+    assert_eq!(out.error, None);
+    output.extend_from_slice(&out.output);
+    assert_eq!(String::from_utf8(output).unwrap(), *reference);
+    server.shutdown().unwrap();
+
+    // Unknown and malformed tokens are refused; the connection stays
+    // usable for an ordinary run afterwards.
+    let dir = snap_dir("refuse");
+    let server = server_with_snapshots(registry, &dir);
+    let mut client = Client::connect(server.addr()).unwrap();
+    for bad in ["never-issued", "../../etc/passwd", ""] {
+        client.resume(bad).unwrap();
+        let out = client.collect().unwrap();
+        let (code, _) = out.error.expect("bad token refused");
+        assert_eq!(code, Some(ErrorCode::Engine), "token {bad:?}");
+    }
+    let out = client.run_document(name, doc.as_bytes(), 4096).unwrap();
+    assert_eq!(out.error, None);
+    assert_eq!(String::from_utf8(out.output).unwrap(), *reference);
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

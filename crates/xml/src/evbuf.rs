@@ -128,6 +128,44 @@ impl EventBuf {
             Kind::Text => ResolvedEvent::Text(s),
         }
     }
+
+    /// Serialize the buffered events (see `flux_state` for the session
+    /// snapshot this feeds). The arena layout is not encoded — only the
+    /// logical event sequence — so the format is independent of pooling and
+    /// capacity history.
+    pub fn state_save(&self, enc: &mut flux_state::Enc) {
+        enc.put_usize(self.items.len());
+        for it in &self.items {
+            enc.put_u8(match it.kind {
+                Kind::Start => 0,
+                Kind::End => 1,
+                Kind::Text => 2,
+            });
+            enc.put_uint(u64::from(it.id.0));
+            enc.put_str(&self.arena[it.off as usize..(it.off + it.len) as usize]);
+        }
+    }
+
+    /// Rebuild a buffer saved by [`EventBuf::state_save`].
+    pub fn state_load(dec: &mut flux_state::Dec<'_>) -> Result<EventBuf, flux_state::StateError> {
+        let n = dec.get_count()?;
+        let mut buf = EventBuf::new();
+        for _ in 0..n {
+            let kind = dec.get_u8()?;
+            let id = NameId(
+                u32::try_from(dec.get_uint()?)
+                    .map_err(|_| flux_state::StateError::Corrupt("NameId exceeds u32"))?,
+            );
+            let payload = dec.get_str()?;
+            match kind {
+                0 => buf.push_start(id, payload),
+                1 => buf.push_end(id, payload),
+                2 => buf.push_text(payload),
+                _ => return Err(flux_state::StateError::Corrupt("unknown event kind")),
+            };
+        }
+        Ok(buf)
+    }
 }
 
 #[cfg(test)]

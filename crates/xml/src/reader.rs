@@ -1310,6 +1310,76 @@ impl Reader<FeedSource> {
         self.slot = Slot::None;
         self.defer_consume = 0;
     }
+
+    /// Serialize the complete resumable parse state at a quiescent point
+    /// (the last poll returned [`Polled::NeedMoreData`] or [`Polled::End`]).
+    ///
+    /// What is written: the unconsumed byte window (the tail of an
+    /// incomplete construct), the stream offset of that window's start —
+    /// which is exactly where a restored reader re-anchors its
+    /// [`StructuralIndex`] — the open-element stack with resolved ids, the
+    /// parser phase flags, and the per-path telemetry counters. The
+    /// structural index itself, the scan hints and all scratch buffers are
+    /// *re-derivable caches* and are deliberately not part of the format.
+    pub fn state_save(&self, enc: &mut flux_state::Enc) -> Result<(), flux_state::StateError> {
+        if self.defer_consume > 0 || matches!(self.slot, Slot::StackPop) {
+            return Err(flux_state::StateError::NotQuiescent(
+                "reader holds a deferred event borrow",
+            ));
+        }
+        if self.pending_pos < self.pending.len() {
+            return Err(flux_state::StateError::NotQuiescent(
+                "reader has undelivered pending events",
+            ));
+        }
+        enc.put_bytes(&self.src.buf[self.src.pos..]);
+        enc.put_bool(self.src.closed);
+        enc.put_uint(self.offset);
+        enc.put_bool(self.seen_root);
+        enc.put_bool(self.in_tag);
+        enc.put_bool(self.finished);
+        enc.put_usize(self.stack.len());
+        for (i, &(off, id)) in self.stack.iter().enumerate() {
+            let end =
+                self.stack.get(i + 1).map_or(self.stack_buf.len(), |&(next, _)| next as usize);
+            enc.put_uint(u64::from(id.0));
+            enc.put_str(&self.stack_buf[off as usize..end]);
+        }
+        enc.put_uint(self.fast_bytes);
+        enc.put_uint(self.general_bytes);
+        Ok(())
+    }
+
+    /// Rebuild an incremental reader saved by [`Reader::state_save`].
+    /// `opts` and `symbols` come from the compiled plan the snapshot was
+    /// taken against (the caller has already verified the plan
+    /// fingerprint); the structural index re-anchors lazily at the restored
+    /// offset on the first poll.
+    pub fn state_restore(
+        opts: ReaderOptions,
+        symbols: Arc<Symbols>,
+        dec: &mut flux_state::Dec<'_>,
+    ) -> Result<Reader<FeedSource>, flux_state::StateError> {
+        let mut r = Reader::incremental_with_symbols(opts, symbols);
+        r.src.buf = dec.get_bytes()?.to_vec();
+        r.src.closed = dec.get_bool()?;
+        r.offset = dec.get_uint()?;
+        r.seen_root = dec.get_bool()?;
+        r.in_tag = dec.get_bool()?;
+        r.finished = dec.get_bool()?;
+        let depth = dec.get_count()?;
+        for _ in 0..depth {
+            let id = u32::try_from(dec.get_uint()?)
+                .map_err(|_| flux_state::StateError::Corrupt("NameId exceeds u32"))?;
+            let name = dec.get_str()?;
+            let off = r.stack_buf.len() as u32;
+            r.stack_buf.push_str(name);
+            r.stack.push((off, NameId(id)));
+        }
+        r.fast_bytes = dec.get_uint()?;
+        r.general_bytes = dec.get_uint()?;
+        Ok(r)
+    }
 }
 
 /// Validate an XML name (loose check: letters/`_`/`:` then name characters).

@@ -204,6 +204,24 @@ impl Symbols {
     pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
         self.names.iter().enumerate().skip(1).map(|(i, n)| (NameId(i as u32), &**n))
     }
+
+    /// A deterministic digest of the table contents (names in id order).
+    ///
+    /// The table is append-only and frozen behind an `Arc` at prepare time,
+    /// so a session snapshot has no symbol *delta* to carry — every
+    /// `NameId` in the saved state is an index into the plan's table. The
+    /// fingerprint is what makes that sound: a snapshot records it, and a
+    /// restore against a plan whose table hashes differently is refused
+    /// instead of silently misinterpreting every id.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = flux_state::Fnv64::new();
+        h.write_u64(self.names.len() as u64);
+        for n in &self.names {
+            h.write(n.as_bytes());
+            h.write(&[0xff]); // unambiguous name separator
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -212,6 +212,57 @@ impl Node {
     pub fn parse_str(xml: &str) -> Result<Node, XmlError> {
         Node::parse(&mut Reader::from_str(xml))
     }
+
+    /// Serialize this subtree as its pre-order event walk (the snapshot
+    /// form used by `flux_state` consumers — a `Node` *is* a well-formed
+    /// event sequence, so the codec reuses that identity).
+    pub fn state_save(&self, enc: &mut flux_state::Enc) {
+        let mut count = 0usize;
+        self.visit_events(&mut |_| count += 1);
+        enc.put_usize(count);
+        self.visit_events(&mut |ev| match ev {
+            Event::Start(n) => {
+                enc.put_u8(0);
+                enc.put_str(n);
+            }
+            Event::Text(t) => {
+                enc.put_u8(2);
+                enc.put_str(t);
+            }
+            Event::End(_) => enc.put_u8(1),
+        });
+    }
+
+    /// Rebuild a subtree saved by [`Node::state_save`]. Decoding is
+    /// iterative (an explicit stack), so snapshot depth never threatens the
+    /// call stack.
+    pub fn state_load(dec: &mut flux_state::Dec<'_>) -> Result<Node, flux_state::StateError> {
+        use flux_state::StateError;
+        let n = dec.get_count()?;
+        let mut stack: Vec<Node> = Vec::new();
+        let mut root: Option<Node> = None;
+        for _ in 0..n {
+            if root.is_some() {
+                return Err(StateError::Corrupt("events after the node tree closed"));
+            }
+            match dec.get_u8()? {
+                0 => stack.push(Node::new(dec.get_str()?)),
+                2 => match stack.last_mut() {
+                    Some(top) => top.push_text(dec.get_str()?),
+                    None => return Err(StateError::Corrupt("text outside the node tree")),
+                },
+                1 => {
+                    let done = stack.pop().ok_or(StateError::Corrupt("unbalanced end event"))?;
+                    match stack.last_mut() {
+                        Some(top) => top.children.push(Child::Elem(done)),
+                        None => root = Some(done),
+                    }
+                }
+                _ => return Err(StateError::Corrupt("unknown node event kind")),
+            }
+        }
+        root.ok_or(StateError::Corrupt("node tree not closed"))
+    }
 }
 
 impl fmt::Display for Node {

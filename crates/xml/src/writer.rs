@@ -30,6 +30,16 @@ impl<S: Sink> Writer<S> {
         self.bytes
     }
 
+    /// Wrap a fresh sink while restoring the byte counter of a previous
+    /// writer — the output side of a session restore: the old sink's
+    /// contents stay wherever the snapshotting side put them, the new sink
+    /// receives only the bytes produced after the restore point, and the
+    /// counter keeps `output_bytes` statistics identical to an
+    /// uninterrupted run.
+    pub fn resume(out: S, bytes: u64) -> Self {
+        Writer { out, bytes }
+    }
+
     /// Write one event.
     pub fn write_event(&mut self, ev: Event<'_>) -> io::Result<()> {
         match ev {

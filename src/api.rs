@@ -232,6 +232,38 @@ impl PreparedQuery {
         self.session(StringSink::new())
     }
 
+    /// Rebuild a session from [`Session::snapshot`] bytes, resuming exactly
+    /// where the snapshot left off: further feeds continue the same
+    /// document mid-construct, and the finished output and statistics are
+    /// byte-identical to a session that never snapshotted. The prepared
+    /// query must structurally match the one the snapshot was taken from
+    /// (validated by fingerprint —
+    /// [`flux_state::StateError::PlanMismatch`] otherwise); the scanner
+    /// backend may differ, so snapshots move freely between hosts with
+    /// different SIMD tiers. Output already streamed before the snapshot
+    /// is *not* replayed into `sink` — it left through the old sink.
+    pub fn restore_session<S: Sink>(
+        &self,
+        sink: S,
+        snapshot: &[u8],
+    ) -> Result<Session<S>, FluxError> {
+        Session::restore(Arc::clone(&self.compiled), sink, None, snapshot, false)
+    }
+
+    /// [`PreparedQuery::restore_session`] under admission control: the
+    /// snapshot's recorded buffer charges are re-granted through `budget`
+    /// before the session resumes. A hook without headroom refuses the
+    /// restore ([`flux_state::StateError::BudgetDenied`]) charging nothing,
+    /// so the caller can retry once the pool frees.
+    pub fn restore_session_with_budget<S: Sink>(
+        &self,
+        sink: S,
+        budget: Arc<dyn BudgetHook>,
+        snapshot: &[u8],
+    ) -> Result<Session<S>, FluxError> {
+        Session::restore(Arc::clone(&self.compiled), sink, Some(budget), snapshot, false)
+    }
+
     /// The underlying compiled plan.
     pub fn compiled(&self) -> &CompiledQuery {
         &self.compiled

@@ -41,6 +41,10 @@ pub enum FluxError {
     Baseline(BaselineError),
     /// The engine was configured inconsistently (builder misuse).
     Config(String),
+    /// A session snapshot failed to encode or restore (`flux-state`):
+    /// corrupt/truncated bytes, a plan mismatch, a non-quiescent session, or
+    /// a budget hook refusing to re-grant the recorded charges.
+    Snapshot(flux_state::StateError),
     /// `Session::feed` after the session already failed on earlier input;
     /// call `Session::finish` for the underlying error.
     ///
@@ -66,6 +70,7 @@ impl fmt::Display for FluxError {
             FluxError::Interp(e) => write!(f, "{e}"),
             FluxError::Baseline(e) => write!(f, "{e}"),
             FluxError::Config(m) => write!(f, "engine configuration error: {m}"),
+            FluxError::Snapshot(e) => write!(f, "{e}"),
             FluxError::SessionAborted => {
                 write!(f, "session already stopped; finish() reports the cause")
             }
@@ -95,6 +100,7 @@ from_impl! {
     Eval(EvalError),
     Interp(InterpError),
     Baseline(BaselineError),
+    Snapshot(flux_state::StateError),
 }
 
 #[cfg(test)]

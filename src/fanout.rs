@@ -119,7 +119,7 @@ impl SubscriptionSet {
     /// # Panics
     /// If `sinks.len() != self.len()`.
     pub fn session<S: Sink>(&self, sinks: Vec<S>) -> SharedSession<S> {
-        SharedSession::new(&self.plan, sinks, None)
+        SharedSession::new(Arc::clone(&self.plan), sinks, None)
     }
 
     /// A shared session whose subscribers all charge `budget` — see
@@ -131,12 +131,40 @@ impl SubscriptionSet {
         sinks: Vec<S>,
         budget: Arc<dyn BudgetHook>,
     ) -> SharedSession<S> {
-        SharedSession::new(&self.plan, sinks, Some(budget))
+        SharedSession::new(Arc::clone(&self.plan), sinks, Some(budget))
     }
 
     /// A shared session capturing every subscriber's output in memory.
     pub fn session_strings(&self) -> SharedSession<StringSink> {
         self.session((0..self.len()).map(|_| StringSink::new()).collect())
+    }
+
+    /// Rebuild a shared session from [`SharedSession::snapshot`] bytes.
+    /// The set must compile the same queries in the same subscriber order
+    /// as the snapshotted one (validated by fingerprint). `sinks` holds one
+    /// fresh sink per subscription; pass `None` exactly for subscribers the
+    /// snapshot recorded as detached — their sinks were handed back by
+    /// [`SharedSession::abort_sub`](crate::SharedSession::abort_sub)
+    /// before the snapshot was taken.
+    pub fn restore_session<S: Sink>(
+        &self,
+        sinks: Vec<Option<S>>,
+        snapshot: &[u8],
+    ) -> Result<SharedSession<S>, FluxError> {
+        SharedSession::restore(Arc::clone(&self.plan), sinks, None, snapshot, false)
+    }
+
+    /// [`SubscriptionSet::restore_session`] under admission control: each
+    /// subscriber's recorded charges are re-granted through `budget` before
+    /// the stream resumes (refusal fails the restore with
+    /// [`flux_state::StateError::BudgetDenied`], charging nothing).
+    pub fn restore_session_with_budget<S: Sink>(
+        &self,
+        sinks: Vec<Option<S>>,
+        budget: Arc<dyn BudgetHook>,
+        snapshot: &[u8],
+    ) -> Result<SharedSession<S>, FluxError> {
+        SharedSession::restore(Arc::clone(&self.plan), sinks, Some(budget), snapshot, false)
     }
 }
 

@@ -157,6 +157,7 @@ pub use flux_core as core;
 pub use flux_dtd as dtd;
 pub use flux_engine as engine;
 pub use flux_query as query;
+pub use flux_state as state;
 pub use flux_xmark as xmark;
 pub use flux_xml as xml;
 
@@ -170,7 +171,7 @@ pub use error::FluxError;
 pub use fanout::SubscriptionSet;
 pub use runtime::{
     AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
-    SessionId, Shard, SharedSession, SharedSessionId,
+    SessionId, Shard, SharedSession, SharedSessionId, SuspendPolicy,
 };
 
 /// Convenient re-exports of the most used items.
@@ -180,7 +181,7 @@ pub mod prelude {
     pub use crate::fanout::SubscriptionSet;
     pub use crate::runtime::{
         AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
-        SessionId, Shard, SharedSession, SharedSessionId,
+        SessionId, Shard, SharedSession, SharedSessionId, SuspendPolicy,
     };
     pub use flux_baseline::{DomEngine, PreparedDomQuery, ProjectionMode};
     pub use flux_core::{rewrite_query, FluxExpr, Handler};

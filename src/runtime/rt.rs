@@ -15,13 +15,28 @@
 //! same surface without touching the layers below — that is the planned
 //! next step in `ROADMAP.md`.
 //!
-//! Placement is least-loaded: a new session goes to the worker with the
-//! fewest live sessions. Ids are global and generation-checked
+//! Placement is least-loaded by *weight*, not session count: each worker
+//! publishes live-session count and buffered bytes (session buffers plus
+//! chunks queued behind the admission gate), and a new session goes to the
+//! worker minimizing `live * SESSION_WEIGHT + buffered` — so one shard
+//! drowning in out-of-order buffers stops attracting new sessions even
+//! when its session count is lowest. Ids are global and generation-checked
 //! ([`RuntimeId`]), so a stale id panics instead of touching a stranger's
 //! stream. [`Runtime::drain`] is the graceful shutdown: every queued
 //! command is processed, workers join, and the remaining events are handed
 //! back (sessions still open at that point are aborted, returning whatever
 //! they charged to the admission budget).
+//!
+//! Because sessions serialize (`flux-state`), they are also *mobile*:
+//! [`Runtime::migrate`] moves one across shards mid-stream through its own
+//! snapshot bytes (the id survives; output is byte-identical to never
+//! moving), and a [`SuspendPolicy`] spills sessions idle past a threshold
+//! to disk — sinks and plan stay resident, buffers and budget charges are
+//! released — restoring transparently on the next command that touches
+//! them. A parked session's recorded budget charges are *reserved* through
+//! the hook (`try_grow`) before the pre-granted restore, so re-admission
+//! never loses a race for headroom: a refusal leaves the parked state
+//! intact and the entry joins the ordinary stalled/retry machinery.
 //!
 //! Sessions paused on the shared budget resume on the *release edge*: each
 //! worker subscribes a [`BudgetWaker`] to the budget hook, arms it before
@@ -33,19 +48,40 @@
 //! [`RuntimeEvent::Resumed`] notifications exist for observability and
 //! source-side flow control.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use flux_engine::{BudgetHook, BudgetWaker, RunStats};
+use flux_engine::{BudgetHook, BudgetWaker, CompiledQuery, FanoutPlan, RunStats};
 use flux_xml::Sink;
 
 use crate::api::PreparedQuery;
 use crate::error::FluxError;
 use crate::fanout::SubscriptionSet;
 use crate::runtime::{AdmissionController, FeedOutcome, Session, SharedSession};
+
+/// When and where a [`Runtime`] spills idle sessions to disk.
+///
+/// A session untouched for `idle_after` is serialized (the same
+/// `flux-state` bytes [`Session::snapshot`] produces), written to
+/// `dir/flux-session-<slot>-<gen>.state`, and the live value is dropped —
+/// releasing its buffers and its admission-budget charges while the sink
+/// and compiled plan stay resident. The next command touching the session
+/// restores it transparently and removes the file. Sessions still parked
+/// at shutdown are dropped with their worker and their files removed;
+/// aborting a parked session removes its file too.
+#[derive(Debug, Clone)]
+pub struct SuspendPolicy {
+    /// Idle time (no feed/resume/finish touching the session) after which
+    /// it is spilled. Also the worker's sweep tick granularity.
+    pub idle_after: Duration,
+    /// Directory for spill files (created on first use).
+    pub dir: PathBuf,
+}
 
 /// Global handle to one session inside a [`Runtime`]. Generation-checked:
 /// using an id after its session finished (and the slot was reused) panics
@@ -112,6 +148,24 @@ pub enum RuntimeEvent<S> {
         /// Which session.
         id: RuntimeId,
     },
+    /// A [`Runtime::migrate`] completed: the session now runs on `shard`,
+    /// rebuilt from its own snapshot bytes (emitted by the adopting
+    /// worker). The id stays live and keeps working unchanged.
+    Migrated {
+        /// Which session.
+        id: RuntimeId,
+        /// The shard it now runs on.
+        shard: usize,
+    },
+    /// The [`SuspendPolicy`] spilled an idle session to disk (or
+    /// [`Runtime::suspend`] forced it). The session restores transparently
+    /// on the next command that touches it; the id stays live.
+    Suspended {
+        /// Which session.
+        id: RuntimeId,
+        /// Size of the snapshot written to disk.
+        bytes: usize,
+    },
 }
 
 /// Mailbox commands, one queue per worker. The session travels boxed so
@@ -145,17 +199,56 @@ enum Cmd<S: Sink> {
         slot: u32,
         sub: usize,
     },
+    /// Migration step 1 (source worker): detach the slot's entry —
+    /// serialized through its own snapshot if resident — and send it back
+    /// to the blocked main thread. Mailbox FIFO order keeps the byte
+    /// stream intact: chunks fed before the migrate are executed before
+    /// the extraction, chunks fed after it enqueue on the target.
+    Extract {
+        slot: u32,
+        reply: Sender<Extracted<S>>,
+    },
+    /// Migration step 2 (target worker): install an extracted entry and
+    /// resume it (a mid-migration serialized body restores immediately;
+    /// one the suspend sweep had spilled stays on disk until touched).
+    Adopt {
+        slot: u32,
+        shard: usize,
+        extracted: Extracted<S>,
+    },
+    /// Spill one quiescent session to disk now (requires a
+    /// [`SuspendPolicy`]).
+    Suspend {
+        slot: u32,
+    },
     /// Budget-release wakeup (sent by the worker's [`BudgetWaker`]): no
     /// payload — receiving any command re-runs the stalled retries.
     RetryStalled,
     Shutdown,
 }
 
+/// A session in transit between shards: everything its worker knew about
+/// it, with a resident body converted to snapshot bytes (a failed session
+/// refuses to serialize and crosses as a live value — its only remaining
+/// job is reporting its error at finish).
+struct Extracted<S: Sink> {
+    gen: u32,
+    body: Body<S>,
+    pending: VecDeque<Arc<[u8]>>,
+    pending_bytes: usize,
+    finishing: bool,
+    aborts: Vec<usize>,
+}
+
 struct WorkerHandle<S: Sink> {
     tx: Sender<Cmd<S>>,
-    /// Live sessions on this worker (for least-loaded placement; the
-    /// worker decrements on finish/abort).
+    /// Live sessions on this worker (for placement; the worker decrements
+    /// on finish/abort/extract, the main thread increments on open/adopt).
     live: Arc<AtomicUsize>,
+    /// Bytes this worker's sessions hold in buffers plus gate-refused
+    /// queued chunks (the second placement signal; published by the worker
+    /// after every command it processes).
+    buffered: Arc<AtomicUsize>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -175,13 +268,19 @@ pub struct Runtime<S: Sink + Send + 'static> {
     slots: Vec<Slot>,
     free: Vec<u32>,
     budget: Option<Arc<dyn BudgetHook>>,
+    suspend: Option<SuspendPolicy>,
     live: usize,
 }
+
+/// Placement weight of one live session relative to one buffered byte: a
+/// session with no buffered state still costs scheduling and cache
+/// footprint, so it counts as this many bytes when comparing shard loads.
+const SESSION_WEIGHT: usize = 4096;
 
 impl<S: Sink + Send + 'static> Runtime<S> {
     /// A runtime with `shards` worker threads and no shared budget.
     pub fn new(shards: usize) -> Runtime<S> {
-        Runtime::build(shards, None)
+        Runtime::build(shards, None, None)
     }
 
     /// A runtime with `shards` worker threads whose sessions all charge
@@ -197,18 +296,42 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     /// wrapping hooks should forward all five trait methods to the inner
     /// controller.
     pub fn with_budget(shards: usize, budget: Arc<dyn BudgetHook>) -> Runtime<S> {
-        Runtime::build(shards, Some(budget))
+        Runtime::build(shards, Some(budget), None)
     }
 
-    fn build(shards: usize, budget: Option<Arc<dyn BudgetHook>>) -> Runtime<S> {
+    /// A runtime that spills idle sessions to disk per `policy`.
+    pub fn with_suspend(shards: usize, policy: SuspendPolicy) -> Runtime<S> {
+        Runtime::build(shards, None, Some(policy))
+    }
+
+    /// Budget and suspend policy combined: the spill releases a parked
+    /// session's budget charges, so suspension is also a pressure valve —
+    /// idle sessions hand their headroom to active ones and reclaim it
+    /// (through the gate) when they wake.
+    pub fn with_budget_and_suspend(
+        shards: usize,
+        budget: Arc<dyn BudgetHook>,
+        policy: SuspendPolicy,
+    ) -> Runtime<S> {
+        Runtime::build(shards, Some(budget), Some(policy))
+    }
+
+    fn build(
+        shards: usize,
+        budget: Option<Arc<dyn BudgetHook>>,
+        suspend: Option<SuspendPolicy>,
+    ) -> Runtime<S> {
         assert!(shards > 0, "a Runtime needs at least one shard");
         let (events_tx, events) = channel();
         let workers = (0..shards)
             .map(|i| {
                 let (tx, rx) = channel();
                 let live = Arc::new(AtomicUsize::new(0));
+                let buffered = Arc::new(AtomicUsize::new(0));
                 let worker_live = Arc::clone(&live);
+                let worker_buffered = Arc::clone(&buffered);
                 let worker_events = events_tx.clone();
+                let worker_suspend = suspend.clone();
                 // The worker's budget-release wakeup: fired on the release
                 // edge (possibly from another worker's thread, or from a
                 // session outside this runtime entirely), it lands in the
@@ -225,12 +348,21 @@ impl<S: Sink + Send + 'static> Runtime<S> {
                 });
                 let handle = std::thread::Builder::new()
                     .name(format!("flux-shard-{i}"))
-                    .spawn(move || worker_loop(rx, worker_events, worker_live, worker_budget))
+                    .spawn(move || {
+                        worker_loop(
+                            rx,
+                            worker_events,
+                            worker_live,
+                            worker_buffered,
+                            worker_budget,
+                            worker_suspend,
+                        )
+                    })
                     .expect("spawn shard worker");
-                WorkerHandle { tx, live, handle: Some(handle) }
+                WorkerHandle { tx, live, buffered, handle: Some(handle) }
             })
             .collect();
-        Runtime { workers, events, slots: Vec::new(), free: Vec::new(), budget, live: 0 }
+        Runtime { workers, events, slots: Vec::new(), free: Vec::new(), budget, suspend, live: 0 }
     }
 
     /// Number of worker threads.
@@ -247,6 +379,18 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     /// Live sessions per worker (placement snapshot, for observability).
     pub fn session_counts(&self) -> Vec<usize> {
         self.workers.iter().map(|w| w.live.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Buffered bytes per worker — session buffers plus gate-refused
+    /// queued chunks, as last published by each worker (the second
+    /// placement signal, for observability).
+    pub fn buffered_counts(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.buffered.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The shard a session currently runs on.
+    pub fn shard_of(&self, id: RuntimeId) -> usize {
+        self.check(id)
     }
 
     /// Open a session on the least-loaded worker.
@@ -275,13 +419,19 @@ impl<S: Sink + Send + 'static> Runtime<S> {
         RuntimeId { slot, gen }
     }
 
-    /// Least-loaded placement: claim a slot and a worker for a new session.
+    /// Least-loaded placement: claim a slot and a worker for a new
+    /// session. Load is recomputed from the live signals at every open —
+    /// session count *and* buffered bytes — so a shard whose few sessions
+    /// hold megabytes of out-of-order buffers (or stalled queues) stops
+    /// winning ties against genuinely idle shards.
     fn place(&mut self) -> (usize, u32, u32) {
         let worker = self
             .workers
             .iter()
             .enumerate()
-            .min_by_key(|(_, w)| w.live.load(Ordering::Relaxed))
+            .min_by_key(|(_, w)| {
+                w.live.load(Ordering::Relaxed) * SESSION_WEIGHT + w.buffered.load(Ordering::Relaxed)
+            })
             .map(|(i, _)| i)
             .expect("at least one worker");
         let slot = match self.free.pop() {
@@ -347,6 +497,133 @@ impl<S: Sink + Send + 'static> Runtime<S> {
         self.send(worker, Cmd::AbortSub { slot: id.slot, sub });
     }
 
+    /// Move one live session to another shard mid-stream. The session
+    /// crosses as its own `flux-state` snapshot (sinks and plan travel as
+    /// values), the id survives unchanged, and output is byte-identical
+    /// to never having moved; confirmed by [`RuntimeEvent::Migrated`].
+    ///
+    /// Ordering is safe by construction: this blocks until the source
+    /// worker has executed every previously enqueued command for the
+    /// session and handed its state over, and commands issued after this
+    /// returns enqueue on the target. No feed can slip between the two
+    /// halves. A no-op when the session is already on `shard`.
+    pub fn migrate(&mut self, id: RuntimeId, shard: usize) {
+        assert!(shard < self.workers.len(), "target shard out of range");
+        let from = self.check(id);
+        if from == shard {
+            return;
+        }
+        let (reply_tx, reply_rx) = channel();
+        self.send(from, Cmd::Extract { slot: id.slot, reply: reply_tx });
+        let extracted = reply_rx.recv().expect("source shard worker alive");
+        self.slots[id.slot as usize].worker = shard as u16;
+        self.workers[shard].live.fetch_add(1, Ordering::Relaxed);
+        self.send(shard, Cmd::Adopt { slot: id.slot, shard, extracted });
+    }
+
+    /// Spill one session to disk now instead of waiting out the policy's
+    /// idle threshold; confirmed by [`RuntimeEvent::Suspended`]. The
+    /// session restores transparently on the next command touching it.
+    /// Best-effort: a stalled, failed or already-parked session is left
+    /// as it is. Panics unless the runtime was built with a
+    /// [`SuspendPolicy`].
+    pub fn suspend(&mut self, id: RuntimeId) {
+        assert!(self.suspend.is_some(), "Runtime::suspend requires a SuspendPolicy");
+        let worker = self.check(id);
+        self.send(worker, Cmd::Suspend { slot: id.slot });
+    }
+
+    /// Detach one live session from the runtime as portable `flux-state`
+    /// snapshot bytes, retiring its id. The sinks are dropped — output
+    /// already streamed left through them — and the session's budget
+    /// charges release with the serialized state;
+    /// [`Runtime::attach`] / [`Runtime::attach_shared`] rebuild it later
+    /// (in this runtime, another one, or another process) with fresh
+    /// sinks, re-granting the recorded charges. Blocks like
+    /// [`Runtime::migrate`] until the owning worker has executed every
+    /// previously enqueued command for the session, so the bytes reflect
+    /// all prior feeds.
+    ///
+    /// Refuses ([`flux_state::StateError::NotQuiescent`]) when the
+    /// session cannot serialize right now — it failed earlier, or holds
+    /// gate-refused chunks / deferred finish or subscriber-abort work —
+    /// leaving it running in place with its id still valid.
+    pub fn detach(&mut self, id: RuntimeId) -> Result<Vec<u8>, FluxError> {
+        let from = self.check(id);
+        let (reply_tx, reply_rx) = channel();
+        self.send(from, Cmd::Extract { slot: id.slot, reply: reply_tx });
+        let extracted = reply_rx.recv().expect("source shard worker alive");
+        let quiescent = extracted.pending.is_empty()
+            && !extracted.finishing
+            && extracted.aborts.is_empty()
+            && matches!(extracted.body, Body::Parked(_));
+        if !quiescent {
+            // Hand it straight back to its own worker (which resumes a
+            // transport-parked body immediately) and refuse.
+            self.workers[from].live.fetch_add(1, Ordering::Relaxed);
+            self.send(from, Cmd::Adopt { slot: id.slot, shard: from, extracted });
+            return Err(FluxError::Snapshot(flux_state::StateError::NotQuiescent(
+                "session is failed or holds gate-refused or deferred work",
+            )));
+        }
+        let Body::Parked(parked) = extracted.body else { unreachable!() };
+        let s = &mut self.slots[id.slot as usize];
+        s.open = false;
+        s.gen += 1;
+        self.free.push(id.slot);
+        self.live -= 1;
+        match parked.bytes {
+            ParkedBytes::Mem(bytes) => Ok(bytes),
+            ParkedBytes::Disk(path) => {
+                let data = std::fs::read(&path)
+                    .map_err(|e| FluxError::Snapshot(flux_state::StateError::Io(e.to_string())))?;
+                let _ = std::fs::remove_file(&path);
+                Ok(data)
+            }
+        }
+    }
+
+    /// Rebuild a detached single-query session from snapshot bytes on the
+    /// least-loaded worker with a fresh sink — the resume half of
+    /// [`Runtime::detach`], equally happy with bytes from
+    /// [`Session::snapshot`]. Under admission control the snapshot's
+    /// recorded charges are re-granted before the session lands; a hook
+    /// without headroom refuses
+    /// ([`flux_state::StateError::BudgetDenied`]) charging nothing.
+    pub fn attach(
+        &mut self,
+        query: &PreparedQuery,
+        sink: S,
+        snapshot: &[u8],
+    ) -> Result<RuntimeId, FluxError> {
+        let session = match &self.budget {
+            Some(hook) => query.restore_session_with_budget(sink, Arc::clone(hook), snapshot)?,
+            None => query.restore_session(sink, snapshot)?,
+        };
+        let (worker, slot, gen) = self.place();
+        self.send(worker, Cmd::Open { slot, gen, session: Box::new(session) });
+        Ok(RuntimeId { slot, gen })
+    }
+
+    /// The fan-out twin of [`Runtime::attach`]: rebuild a detached shared
+    /// session over the same compiled [`SubscriptionSet`], one fresh sink
+    /// per subscriber in set order (`None` exactly for subscribers the
+    /// snapshot recorded as detached).
+    pub fn attach_shared(
+        &mut self,
+        set: &SubscriptionSet,
+        sinks: Vec<Option<S>>,
+        snapshot: &[u8],
+    ) -> Result<RuntimeId, FluxError> {
+        let session = match &self.budget {
+            Some(hook) => set.restore_session_with_budget(sinks, Arc::clone(hook), snapshot)?,
+            None => set.restore_session(sinks, snapshot)?,
+        };
+        let (worker, slot, gen) = self.place();
+        self.send(worker, Cmd::OpenShared { slot, gen, session: Box::new(session) });
+        Ok(RuntimeId { slot, gen })
+    }
+
     /// Drain every event the workers have produced so far (non-blocking).
     pub fn poll_events(&mut self) -> Vec<RuntimeEvent<S>> {
         let evs: Vec<_> = self.events.try_iter().collect();
@@ -398,6 +675,8 @@ impl<S: Sink + Send + 'static> Runtime<S> {
             | RuntimeEvent::Aborted { id } => *id,
             RuntimeEvent::Stalled { .. }
             | RuntimeEvent::Resumed { .. }
+            | RuntimeEvent::Migrated { .. }
+            | RuntimeEvent::Suspended { .. }
             | RuntimeEvent::SubAborted { .. } => return,
         };
         let s = &mut self.slots[id.slot as usize];
@@ -452,14 +731,142 @@ impl<S: Sink> AnySession<S> {
             AnySession::Shared(s) => s.feed(chunk),
         }
     }
+
+    fn buffered_bytes(&self) -> usize {
+        match self {
+            AnySession::Single(s) => s.buffered_bytes(),
+            AnySession::Shared(s) => s.buffered_bytes(),
+        }
+    }
+
+    /// Serialize, if the session is healthy enough to (a failed one
+    /// refuses and keeps living as a value until finish reports its
+    /// cause).
+    fn snapshot(&self) -> Result<Vec<u8>, FluxError> {
+        match self {
+            AnySession::Single(s) => s.snapshot(),
+            AnySession::Shared(s) => s.snapshot(),
+        }
+    }
+}
+
+/// An entry's execution state: resident, serialized, or dead.
+enum Body<S: Sink> {
+    /// Resident in memory, executing.
+    Live(AnySession<S>),
+    /// Serialized to `flux-state` bytes — in memory mid-migration, on
+    /// disk after a suspend — plus the parts that do not serialize: the
+    /// compiled plan handle and the sinks.
+    Parked(Parked<S>),
+    /// Park/unpark failed irrecoverably (unreadable spill file, corrupt
+    /// bytes). The entry's only remaining job is reporting `error` at
+    /// finish; sinks survive when the failure came before the rebuild
+    /// consumed them.
+    Lost { error: String, sinks: Option<SinkSlots<S>>, shared: bool },
+}
+
+/// Placeholder body while the real one is temporarily moved out (and the
+/// wreck left behind if a park/unpark panics mid-flight).
+fn placeholder<S: Sink>() -> Body<S> {
+    Body::Lost { error: String::new(), sinks: None, shared: false }
+}
+
+struct Parked<S: Sink> {
+    bytes: ParkedBytes,
+    plan: PlanHandle,
+    sinks: SinkSlots<S>,
+    /// Budget charges recorded in the snapshot's BUDGET section —
+    /// reserved back through `try_grow` before the pre-granted restore.
+    charged: usize,
+}
+
+enum ParkedBytes {
+    Mem(Vec<u8>),
+    Disk(PathBuf),
+}
+
+enum PlanHandle {
+    Single(Arc<CompiledQuery>),
+    Shared(Arc<FanoutPlan>),
+}
+
+enum SinkSlots<S: Sink> {
+    Single(S),
+    /// One per subscriber in set order; `None` for already-detached ones.
+    Shared(Vec<Option<S>>),
 }
 
 struct Entry<S: Sink> {
     gen: u32,
-    session: AnySession<S>,
-    /// Chunks refused by the admission gate, waiting to be re-fed in
-    /// order. Non-empty ⇔ the session is stalled.
-    pending: std::collections::VecDeque<Arc<[u8]>>,
+    body: Body<S>,
+    /// Chunks refused by the admission gate — or arriving while the body
+    /// was parked under a denied re-admission reservation — waiting to be
+    /// re-fed in order. Non-empty ⇒ the entry is stalled.
+    pending: VecDeque<Arc<[u8]>>,
+    /// Total bytes queued in `pending`.
+    pending_bytes: usize,
+    /// Finish arrived while the budget refused the re-admission
+    /// reservation; completes on the retry that wakes the body.
+    finishing: bool,
+    /// Subscriber aborts deferred the same way.
+    aborts: Vec<usize>,
+    /// Last command that touched this entry (idle measure for the sweep).
+    last_touch: Instant,
+    /// Bytes currently published into the worker's shared buffered-bytes
+    /// counter on behalf of this entry.
+    reported: usize,
+}
+
+impl<S: Sink> Entry<S> {
+    fn new(gen: u32, body: Body<S>) -> Entry<S> {
+        Entry {
+            gen,
+            body,
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            finishing: false,
+            aborts: Vec::new(),
+            last_touch: Instant::now(),
+            reported: 0,
+        }
+    }
+
+    /// Bytes this entry holds in memory right now: session buffers (or
+    /// the in-memory snapshot mid-migration) plus queued chunks.
+    /// Disk-parked state costs nothing.
+    fn buffered_now(&self) -> usize {
+        self.pending_bytes
+            + match &self.body {
+                Body::Live(s) => s.buffered_bytes(),
+                Body::Parked(p) => match &p.bytes {
+                    ParkedBytes::Mem(b) => b.len(),
+                    ParkedBytes::Disk(_) => 0,
+                },
+                Body::Lost { .. } => 0,
+            }
+    }
+
+    /// Quiescent enough to park: resident, nothing queued, nothing
+    /// deferred.
+    fn parkable(&self) -> bool {
+        matches!(self.body, Body::Live(_))
+            && self.pending.is_empty()
+            && !self.finishing
+            && self.aborts.is_empty()
+    }
+}
+
+/// Publish an entry's current buffered footprint into the worker's shared
+/// load counter (the placement signal) as a delta against what it last
+/// reported.
+fn republish<S: Sink>(e: &mut Entry<S>, buffered: &AtomicUsize) {
+    let now = e.buffered_now();
+    if now >= e.reported {
+        buffered.fetch_add(now - e.reported, Ordering::Relaxed);
+    } else {
+        buffered.fetch_sub(e.reported - now, Ordering::Relaxed);
+    }
+    e.reported = now;
 }
 
 /// One worker thread: a mailbox-driven session multiplexer. (The admission
@@ -472,183 +879,682 @@ fn worker_loop<S: Sink + Send + 'static>(
     rx: Receiver<Cmd<S>>,
     events: Sender<RuntimeEvent<S>>,
     live: Arc<AtomicUsize>,
+    buffered: Arc<AtomicUsize>,
     budget: Option<(Arc<dyn BudgetHook>, Arc<BudgetWaker>)>,
+    suspend: Option<SuspendPolicy>,
 ) {
+    let hook = budget.as_ref().map(|(h, _)| Arc::clone(h));
     let mut sessions: HashMap<u32, Entry<S>> = HashMap::new();
     let mut stalled: Vec<u32> = Vec::new();
+    let mut last_sweep = Instant::now();
     loop {
         let cmd = if stalled.is_empty() {
-            match rx.recv() {
-                Ok(c) => Some(c),
-                Err(_) => return, // runtime dropped without Shutdown
+            match wait(&rx, &suspend) {
+                Ok(c) => c,
+                Err(()) => return, // runtime dropped without Shutdown
             }
         } else {
             // Sessions are stalled on the shared budget (the only stall
-            // cause, so a budget is necessarily present). Arm the wakeup
-            // *before* re-checking the gate: a release landing between the
-            // two still fires the waker into this mailbox, so the blocking
-            // recv below can never sleep through it.
-            let (hook, waker) =
-                budget.as_ref().expect("stalled sessions imply an admission budget");
+            // cause, so a budget is necessarily present). Arm the wakeup,
+            // then make one *genuine* retry attempt — real `try_grow`
+            // calls, not a `should_pause` peek, because a parked entry's
+            // re-admission reservation can be refused while the pool sits
+            // above its pause line. Progress skips the sleep; otherwise a
+            // release edge landing anywhere after the arm still fires into
+            // this mailbox, so the blocking recv can never sleep through
+            // it.
+            let (_, waker) = budget.as_ref().expect("stalled sessions imply an admission budget");
             waker.arm();
-            if !hook.should_pause() {
-                // The pool freed between the last retry and arming: skip
-                // the sleep and retry right now.
+            if retry_pass(&mut sessions, &mut stalled, hook.as_ref(), &events, &live, &buffered) {
                 waker.disarm();
                 None
             } else {
-                match rx.recv() {
+                match wait(&rx, &suspend) {
                     Ok(c) => {
                         waker.disarm();
-                        Some(c)
+                        c
                     }
-                    Err(_) => return,
+                    Err(()) => return,
                 }
             }
         };
         match cmd {
             Some(Cmd::Open { slot, gen, session }) => {
-                let prev = sessions.insert(
-                    slot,
-                    Entry {
-                        gen,
-                        session: AnySession::Single(session),
-                        pending: Default::default(),
-                    },
-                );
+                let prev =
+                    sessions.insert(slot, Entry::new(gen, Body::Live(AnySession::Single(session))));
                 debug_assert!(prev.is_none(), "slot reused before retirement");
             }
             Some(Cmd::OpenShared { slot, gen, session }) => {
-                let prev = sessions.insert(
-                    slot,
-                    Entry {
-                        gen,
-                        session: AnySession::Shared(session),
-                        pending: Default::default(),
-                    },
-                );
+                let prev =
+                    sessions.insert(slot, Entry::new(gen, Body::Live(AnySession::Shared(session))));
                 debug_assert!(prev.is_none(), "slot reused before retirement");
             }
             Some(Cmd::Feed { slot, chunk }) => {
                 let e = sessions.get_mut(&slot).expect("feed addresses a live session");
+                e.last_touch = Instant::now();
                 if e.pending.is_empty() {
-                    match e.session.feed_outcome(&chunk) {
-                        Ok(FeedOutcome::Accepted) => {}
-                        Ok(FeedOutcome::Backpressure) => {
-                            // First refusal: queue the chunk and tell the
-                            // source to ease off.
+                    let mut progressed = false;
+                    match wake_entry(e, hook.as_ref(), &mut progressed) {
+                        Wake::Ready => {
+                            apply_aborts(e, slot, &events);
+                            let Body::Live(session) = &mut e.body else {
+                                unreachable!("woken above")
+                            };
+                            match session.feed_outcome(&chunk) {
+                                Ok(FeedOutcome::Accepted) => {}
+                                Ok(FeedOutcome::Backpressure) => {
+                                    // First refusal: queue the chunk and
+                                    // tell the source to ease off.
+                                    e.pending_bytes += chunk.len();
+                                    e.pending.push_back(chunk);
+                                    stalled.push(slot);
+                                    let id = RuntimeId { slot, gen: e.gen };
+                                    let _ = events.send(RuntimeEvent::Stalled { id });
+                                }
+                                // Failed earlier; the cause surfaces at
+                                // finish.
+                                Err(_) => {}
+                            }
+                        }
+                        Wake::Denied => {
+                            // The pool cannot re-admit the parked state
+                            // yet: queue the chunk and stall; the
+                            // release-edge retry unparks and drains.
+                            e.pending_bytes += chunk.len();
                             e.pending.push_back(chunk);
                             stalled.push(slot);
                             let id = RuntimeId { slot, gen: e.gen };
                             let _ = events.send(RuntimeEvent::Stalled { id });
                         }
-                        // Failed earlier; the cause surfaces at finish.
-                        Err(_) => {}
+                        // Absorbed; the cause surfaces at finish.
+                        Wake::Dead => {}
                     }
                 } else {
                     // Keep byte order: behind the already-refused chunks.
+                    e.pending_bytes += chunk.len();
                     e.pending.push_back(chunk);
                 }
+                republish(e, &buffered);
             }
             Some(Cmd::Resume { slot }) => {
                 let e = sessions.get_mut(&slot).expect("resume addresses a live session");
-                retry_entry(e, slot, &mut stalled, &events);
+                e.last_touch = Instant::now();
+                let (still, _) = retry_entry(e, slot, hook.as_ref(), &events, &buffered);
+                let finish_ready = !still && e.finishing;
+                if still {
+                    if !stalled.contains(&slot) {
+                        stalled.push(slot);
+                    }
+                } else {
+                    stalled.retain(|&s| s != slot);
+                }
+                if finish_ready {
+                    finish_now(slot, &mut sessions, &mut stalled, &events, &live, &buffered);
+                }
             }
             Some(Cmd::Finish { slot }) => {
-                let Entry { gen, mut session, pending } =
-                    sessions.remove(&slot).expect("finish addresses a live session");
-                stalled.retain(|&s| s != slot);
-                // End of input: the remaining bytes are committed, so they
-                // bypass the admission gate (budget still strictly
-                // enforced) and the run completes or fails on its merits.
-                for chunk in pending {
-                    if session.feed(&chunk).is_err() {
-                        break; // already failed; finish reports the cause
+                let e = sessions.get_mut(&slot).expect("finish addresses a live session");
+                e.last_touch = Instant::now();
+                let mut progressed = false;
+                match wake_entry(e, hook.as_ref(), &mut progressed) {
+                    Wake::Denied => {
+                        // The pool cannot re-admit the parked state yet;
+                        // the finish completes on the release-edge retry
+                        // that unparks it.
+                        e.finishing = true;
+                        if !stalled.contains(&slot) {
+                            stalled.push(slot);
+                        }
                     }
-                }
-                live.fetch_sub(1, Ordering::Relaxed);
-                let id = RuntimeId { slot, gen };
-                match session {
-                    AnySession::Single(s) => {
-                        let (result, sink) = s.finish_parts();
-                        let _ = events.send(RuntimeEvent::Finished { id, result, sink });
-                    }
-                    AnySession::Shared(s) => {
-                        let results = s.finish_parts();
-                        let _ = events.send(RuntimeEvent::FinishedShared { id, results });
+                    Wake::Ready | Wake::Dead => {
+                        finish_now(slot, &mut sessions, &mut stalled, &events, &live, &buffered)
                     }
                 }
             }
             Some(Cmd::AbortSub { slot, sub }) => {
                 let e = sessions.get_mut(&slot).expect("abort-sub addresses a live session");
-                let AnySession::Shared(s) = &mut e.session else {
-                    panic!("abort-sub addresses a shared session");
-                };
-                let sink = s.abort_sub(sub);
-                let id = RuntimeId { slot, gen: e.gen };
-                let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink });
+                e.last_touch = Instant::now();
+                let mut progressed = false;
+                match wake_entry(e, hook.as_ref(), &mut progressed) {
+                    Wake::Ready => {
+                        let Body::Live(AnySession::Shared(s)) = &mut e.body else {
+                            panic!("abort-sub addresses a shared session");
+                        };
+                        let sink = s.abort_sub(sub);
+                        let id = RuntimeId { slot, gen: e.gen };
+                        let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink });
+                    }
+                    Wake::Denied => {
+                        // Defer: applies the moment re-admission succeeds.
+                        e.aborts.push(sub);
+                        if !stalled.contains(&slot) {
+                            stalled.push(slot);
+                        }
+                    }
+                    Wake::Dead => {
+                        let id = RuntimeId { slot, gen: e.gen };
+                        let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink: None });
+                    }
+                }
+                republish(e, &buffered);
             }
             Some(Cmd::Abort { slot }) => {
-                let Entry { gen, session, .. } =
-                    sessions.remove(&slot).expect("abort addresses a live session");
+                let e = sessions.remove(&slot).expect("abort addresses a live session");
                 stalled.retain(|&s| s != slot);
-                drop(session); // releases buffers and budget charges
+                buffered.fetch_sub(e.reported, Ordering::Relaxed);
+                let gen = e.gen;
+                // A parked session's spill file goes with it; buffers and
+                // budget charges release on drop.
+                if let Body::Parked(Parked { bytes: ParkedBytes::Disk(path), .. }) = &e.body {
+                    let _ = std::fs::remove_file(path);
+                }
+                drop(e);
                 live.fetch_sub(1, Ordering::Relaxed);
                 let _ = events.send(RuntimeEvent::Aborted { id: RuntimeId { slot, gen } });
             }
-            Some(Cmd::Shutdown) => return, // drops remaining sessions
-            // A budget-release wakeup (or a spurious one after a disarm
-            // race): nothing to do here — the retry pass below is the point.
+            Some(Cmd::Extract { slot, reply }) => {
+                let mut e = sessions.remove(&slot).expect("migrate addresses a live session");
+                stalled.retain(|&s| s != slot);
+                buffered.fetch_sub(e.reported, Ordering::Relaxed);
+                e.reported = 0;
+                live.fetch_sub(1, Ordering::Relaxed);
+                // A healthy resident session crosses shards as its own
+                // snapshot — migration rides the exact bytes a suspend
+                // writes to disk. A failed session refuses to serialize
+                // and moves as a live value; an already-spilled one just
+                // hands over its file path.
+                let body = std::mem::replace(&mut e.body, placeholder());
+                e.body = match body {
+                    Body::Live(session) => match park(session, None) {
+                        Ok((parked, _)) => Body::Parked(parked),
+                        Err(session) => Body::Live(session),
+                    },
+                    other => other,
+                };
+                let _ = reply.send(Extracted {
+                    gen: e.gen,
+                    body: e.body,
+                    pending: e.pending,
+                    pending_bytes: e.pending_bytes,
+                    finishing: e.finishing,
+                    aborts: e.aborts,
+                });
+            }
+            Some(Cmd::Adopt { slot, shard, extracted }) => {
+                let Extracted { gen, mut body, pending, pending_bytes, finishing, aborts } =
+                    extracted;
+                // A body serialized purely for transport resumes right
+                // away (the restore half of the migration); one the
+                // suspend sweep had spilled stays on disk until touched.
+                let mut denied = false;
+                if matches!(&body, Body::Parked(Parked { bytes: ParkedBytes::Mem(_), .. })) {
+                    let Body::Parked(parked) = body else { unreachable!() };
+                    body = match unpark(parked, hook.as_ref()) {
+                        Unparked::Live(s) => Body::Live(s),
+                        Unparked::Denied(p) => {
+                            denied = true;
+                            Body::Parked(p)
+                        }
+                        Unparked::Lost { error, sinks, shared } => {
+                            Body::Lost { error, sinks, shared }
+                        }
+                    };
+                }
+                let stall = denied || !pending.is_empty() || finishing || !aborts.is_empty();
+                let mut e = Entry {
+                    gen,
+                    body,
+                    pending,
+                    pending_bytes,
+                    finishing,
+                    aborts,
+                    last_touch: Instant::now(),
+                    reported: 0,
+                };
+                republish(&mut e, &buffered);
+                let prev = sessions.insert(slot, e);
+                debug_assert!(prev.is_none(), "slot reused before retirement");
+                let _ = events.send(RuntimeEvent::Migrated { id: RuntimeId { slot, gen }, shard });
+                if stall && !stalled.contains(&slot) {
+                    stalled.push(slot);
+                }
+            }
+            Some(Cmd::Suspend { slot }) => {
+                if let Some(policy) = &suspend {
+                    suspend_entry(slot, &mut sessions, policy, &events, &buffered);
+                }
+            }
+            Some(Cmd::Shutdown) => {
+                // Drops remaining sessions; their spill files go too.
+                for e in sessions.values() {
+                    if let Body::Parked(Parked { bytes: ParkedBytes::Disk(path), .. }) = &e.body {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+                return;
+            }
+            // A budget-release wakeup, a spurious one after a disarm race,
+            // or a sweep tick: nothing to do here — the passes below are
+            // the point.
             Some(Cmd::RetryStalled) | None => {}
         }
         // Budget may have freed (here or on another worker): retry stalled
         // sessions. Cheap when nothing changed — the admission gate is one
-        // atomic read.
-        stalled.retain(|&slot| {
-            let e = sessions.get_mut(&slot).expect("stalled list tracks live sessions");
-            retry_entry_inner(e, slot, &events)
-        });
+        // atomic read per stalled session.
+        retry_pass(&mut sessions, &mut stalled, hook.as_ref(), &events, &live, &buffered);
+        if let Some(policy) = &suspend {
+            sweep(policy, &mut last_sweep, &mut sessions, &events, &buffered);
+        }
     }
 }
 
-/// Retry one stalled entry via the mailbox `Resume` path.
+/// Block for the next command; `Ok(None)` is a sweep tick (mailbox quiet
+/// for one idle threshold with a suspend policy configured).
+fn wait<S: Sink>(
+    rx: &Receiver<Cmd<S>>,
+    suspend: &Option<SuspendPolicy>,
+) -> Result<Option<Cmd<S>>, ()> {
+    match suspend {
+        Some(policy) => match rx.recv_timeout(policy.idle_after) {
+            Ok(c) => Ok(Some(c)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(()),
+        },
+        None => rx.recv().map(Some).map_err(|_| ()),
+    }
+}
+
+/// Serialize a live session into a [`Parked`] body (spilled to `spill` if
+/// given, held in memory otherwise) and release the live value — buffers
+/// and budget charges go, plan and sinks stay. Hands the session back
+/// untouched if it refuses to serialize (it failed earlier) or the spill
+/// file cannot be written. Returns the snapshot size alongside.
+#[allow(clippy::result_large_err)]
+fn park<S: Sink>(
+    session: AnySession<S>,
+    spill: Option<PathBuf>,
+) -> Result<(Parked<S>, usize), AnySession<S>> {
+    let bytes = match session.snapshot() {
+        Ok(b) => b,
+        Err(_) => return Err(session),
+    };
+    let charged = flux_state::snapshot_charges(&bytes).unwrap_or(0);
+    let size = bytes.len();
+    let stored = match spill {
+        Some(path) => {
+            let writable = path.parent().is_none_or(|d| std::fs::create_dir_all(d).is_ok())
+                && std::fs::write(&path, &bytes).is_ok();
+            if !writable {
+                return Err(session); // unwritable spill dir: stay resident
+            }
+            ParkedBytes::Disk(path)
+        }
+        None => ParkedBytes::Mem(bytes),
+    };
+    // Only now that the bytes are safe does the live value come apart.
+    let (plan, sinks) = match session {
+        AnySession::Single(s) => {
+            (PlanHandle::Single(s.plan_arc()), SinkSlots::Single(s.into_sink()))
+        }
+        AnySession::Shared(s) => {
+            (PlanHandle::Shared(s.plan_arc()), SinkSlots::Shared(s.into_sinks()))
+        }
+    };
+    Ok((Parked { bytes: stored, plan, sinks, charged }, size))
+}
+
+enum Unparked<S: Sink> {
+    Live(AnySession<S>),
+    /// The budget refused the re-admission reservation; everything is
+    /// intact — retry on the next release edge.
+    Denied(Parked<S>),
+    /// The state could not be rebuilt (unreadable spill file, corrupt
+    /// bytes): the session is gone. Sinks survive when the failure came
+    /// before the rebuild consumed them.
+    Lost {
+        error: String,
+        sinks: Option<SinkSlots<S>>,
+        shared: bool,
+    },
+}
+
+/// Rebuild a parked body into a live session. Reserves the snapshot's
+/// recorded budget charges through `try_grow` *before* rebuilding
+/// anything, then restores pre-granted: the restore can never lose a race
+/// for headroom, and a refusal leaves every piece intact for the retry.
+fn unpark<S: Sink>(parked: Parked<S>, hook: Option<&Arc<dyn BudgetHook>>) -> Unparked<S> {
+    let Parked { bytes, plan, sinks, charged } = parked;
+    let shared = matches!(plan, PlanHandle::Shared(_));
+    let (data, spill) = match bytes {
+        ParkedBytes::Mem(b) => (b, None),
+        ParkedBytes::Disk(path) => match std::fs::read(&path) {
+            Ok(v) => (v, Some(path)),
+            Err(e) => {
+                let _ = std::fs::remove_file(&path);
+                return Unparked::Lost {
+                    error: format!("spill file unreadable: {e}"),
+                    sinks: Some(sinks),
+                    shared,
+                };
+            }
+        },
+    };
+    if charged > 0 {
+        if let Some(h) = hook {
+            if !h.try_grow(charged) {
+                let bytes = match spill {
+                    Some(path) => ParkedBytes::Disk(path),
+                    None => ParkedBytes::Mem(data),
+                };
+                return Unparked::Denied(Parked { bytes, plan, sinks, charged });
+            }
+        }
+    }
+    let restored = match (plan, sinks) {
+        (PlanHandle::Single(plan), SinkSlots::Single(sink)) => {
+            Session::restore(plan, sink, hook.cloned(), &data, true)
+                .map(|s| AnySession::Single(Box::new(s)))
+        }
+        (PlanHandle::Shared(plan), SinkSlots::Shared(sv)) => {
+            SharedSession::restore(plan, sv, hook.cloned(), &data, true)
+                .map(|s| AnySession::Shared(Box::new(s)))
+        }
+        _ => unreachable!("plan and sinks park as a matched pair"),
+    };
+    match restored {
+        Ok(live) => {
+            if let Some(path) = spill {
+                let _ = std::fs::remove_file(path);
+            }
+            Unparked::Live(live)
+        }
+        Err(e) => {
+            // Bytes this runtime wrote itself failing to decode is a
+            // storage-level fault. Give the reservation back; pumps built
+            // before a shared restore failed released their adopted
+            // shares on drop, so this can over-release — the accounting
+            // skew is confined to this already-corrupt path.
+            if charged > 0 {
+                if let Some(h) = hook {
+                    h.release(charged);
+                }
+            }
+            Unparked::Lost { error: e.to_string(), sinks: None, shared }
+        }
+    }
+}
+
+enum Wake {
+    /// The body is (now) live.
+    Ready,
+    /// Parked and the budget refused re-admission; still parked.
+    Denied,
+    /// The body is lost; only its error remains.
+    Dead,
+}
+
+/// Transparently restore a parked body. `progressed` is set when the
+/// entry actually changed state.
+fn wake_entry<S: Sink>(
+    e: &mut Entry<S>,
+    hook: Option<&Arc<dyn BudgetHook>>,
+    progressed: &mut bool,
+) -> Wake {
+    match &e.body {
+        Body::Live(_) => Wake::Ready,
+        Body::Lost { .. } => Wake::Dead,
+        Body::Parked(_) => {
+            let Body::Parked(parked) = std::mem::replace(&mut e.body, placeholder()) else {
+                unreachable!()
+            };
+            match unpark(parked, hook) {
+                Unparked::Live(s) => {
+                    e.body = Body::Live(s);
+                    *progressed = true;
+                    Wake::Ready
+                }
+                Unparked::Denied(p) => {
+                    e.body = Body::Parked(p);
+                    Wake::Denied
+                }
+                Unparked::Lost { error, sinks, shared } => {
+                    e.body = Body::Lost { error, sinks, shared };
+                    *progressed = true;
+                    Wake::Dead
+                }
+            }
+        }
+    }
+}
+
+/// Apply deferred subscriber aborts the moment the body is live again.
+fn apply_aborts<S: Sink>(e: &mut Entry<S>, slot: u32, events: &Sender<RuntimeEvent<S>>) {
+    if e.aborts.is_empty() {
+        return;
+    }
+    let id = RuntimeId { slot, gen: e.gen };
+    let Body::Live(AnySession::Shared(s)) = &mut e.body else {
+        e.aborts.clear();
+        return;
+    };
+    for sub in e.aborts.drain(..) {
+        let sink = s.abort_sub(sub);
+        let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink });
+    }
+}
+
+/// Wake one stalled (or parked) entry and feed as many queued chunks as
+/// the gate now admits. Returns (still stalled, made progress).
 fn retry_entry<S: Sink>(
     e: &mut Entry<S>,
     slot: u32,
-    stalled: &mut Vec<u32>,
+    hook: Option<&Arc<dyn BudgetHook>>,
     events: &Sender<RuntimeEvent<S>>,
-) {
-    if !retry_entry_inner(e, slot, events) {
-        stalled.retain(|&s| s != slot);
+    buffered: &AtomicUsize,
+) -> (bool, bool) {
+    if e.parkable() {
+        return (false, false); // live and idle: was not stalled
     }
-}
-
-/// Feed as many queued chunks as the gate now admits. Returns whether the
-/// entry is still stalled.
-fn retry_entry_inner<S: Sink>(
-    e: &mut Entry<S>,
-    slot: u32,
-    events: &Sender<RuntimeEvent<S>>,
-) -> bool {
-    if e.pending.is_empty() {
-        return false; // was not stalled; nothing to announce
-    }
-    while let Some(chunk) = e.pending.front() {
-        match e.session.feed_outcome(chunk) {
-            Ok(FeedOutcome::Accepted) => {
-                e.pending.pop_front();
+    let announce = !e.pending.is_empty();
+    let mut progressed = false;
+    match wake_entry(e, hook, &mut progressed) {
+        Wake::Denied => return (true, progressed),
+        Wake::Dead => {
+            // The queued bytes can never execute; the cause surfaces at
+            // finish.
+            e.pending.clear();
+            e.pending_bytes = 0;
+            e.aborts.clear();
+            republish(e, buffered);
+            if announce {
+                let _ = events.send(RuntimeEvent::Resumed { id: RuntimeId { slot, gen: e.gen } });
             }
-            Ok(FeedOutcome::Backpressure) => return true,
-            // Failed earlier: drop the queue, the cause surfaces at finish.
+            return (false, true);
+        }
+        Wake::Ready => {}
+    }
+    apply_aborts(e, slot, events);
+    let mut still = false;
+    while !e.pending.is_empty() {
+        let outcome = {
+            let chunk = e.pending.front().expect("checked non-empty");
+            let Body::Live(session) = &mut e.body else { unreachable!("woken above") };
+            session.feed_outcome(chunk)
+        };
+        match outcome {
+            Ok(FeedOutcome::Accepted) => {
+                let chunk = e.pending.pop_front().expect("checked non-empty");
+                e.pending_bytes -= chunk.len();
+                progressed = true;
+            }
+            Ok(FeedOutcome::Backpressure) => {
+                still = true;
+                break;
+            }
+            // Failed: drop the queue, the cause surfaces at finish.
             Err(_) => {
                 e.pending.clear();
+                e.pending_bytes = 0;
                 break;
             }
         }
     }
+    republish(e, buffered);
+    if announce && !still {
+        let _ = events.send(RuntimeEvent::Resumed { id: RuntimeId { slot, gen: e.gen } });
+    }
+    (still, progressed)
+}
+
+/// One pass over the stalled list: genuine retries (real `try_grow`
+/// attempts) plus completion of finishes deferred behind a denied
+/// re-admission. Returns whether anything progressed.
+fn retry_pass<S: Sink>(
+    sessions: &mut HashMap<u32, Entry<S>>,
+    stalled: &mut Vec<u32>,
+    hook: Option<&Arc<dyn BudgetHook>>,
+    events: &Sender<RuntimeEvent<S>>,
+    live: &AtomicUsize,
+    buffered: &AtomicUsize,
+) -> bool {
+    let mut progressed = false;
+    let mut to_finish = Vec::new();
+    stalled.retain(|&slot| {
+        let e = sessions.get_mut(&slot).expect("stalled list tracks live sessions");
+        let (still, prog) = retry_entry(e, slot, hook, events, buffered);
+        progressed |= prog;
+        if !still && e.finishing {
+            to_finish.push(slot);
+        }
+        still
+    });
+    for slot in to_finish {
+        finish_now(slot, sessions, stalled, events, live, buffered);
+        progressed = true;
+    }
+    progressed
+}
+
+/// Complete a finish for an entry whose body is woken (or lost): drain
+/// the committed pending bytes past the admission gate, finish the run,
+/// and emit the completion event.
+fn finish_now<S: Sink>(
+    slot: u32,
+    sessions: &mut HashMap<u32, Entry<S>>,
+    stalled: &mut Vec<u32>,
+    events: &Sender<RuntimeEvent<S>>,
+    live: &AtomicUsize,
+    buffered: &AtomicUsize,
+) {
+    let mut e = sessions.remove(&slot).expect("finish addresses a live session");
+    stalled.retain(|&s| s != slot);
+    buffered.fetch_sub(e.reported, Ordering::Relaxed);
+    live.fetch_sub(1, Ordering::Relaxed);
     let id = RuntimeId { slot, gen: e.gen };
-    let _ = events.send(RuntimeEvent::Resumed { id });
-    false
+    match e.body {
+        Body::Live(mut session) => {
+            // Deferred subscriber aborts go first — their sinks return
+            // via SubAborted, not the finish.
+            if !e.aborts.is_empty() {
+                if let AnySession::Shared(s) = &mut session {
+                    for sub in e.aborts.drain(..) {
+                        let sink = s.abort_sub(sub);
+                        let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink });
+                    }
+                }
+            }
+            // End of input: the remaining bytes are committed, so they
+            // bypass the admission gate (budget still strictly enforced)
+            // and the run completes or fails on its merits.
+            for chunk in e.pending {
+                if session.feed(&chunk).is_err() {
+                    break; // already failed; finish reports the cause
+                }
+            }
+            match session {
+                AnySession::Single(s) => {
+                    let (result, sink) = s.finish_parts();
+                    let _ = events.send(RuntimeEvent::Finished { id, result, sink });
+                }
+                AnySession::Shared(s) => {
+                    let results = s.finish_parts();
+                    let _ = events.send(RuntimeEvent::FinishedShared { id, results });
+                }
+            }
+        }
+        Body::Lost { error, sinks, shared } => {
+            let mk = |msg: &str| FluxError::Snapshot(flux_state::StateError::Io(msg.to_string()));
+            if shared {
+                let results = match sinks {
+                    Some(SinkSlots::Shared(v)) => {
+                        v.into_iter().map(|s| (Err(mk(&error)), s)).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                let _ = events.send(RuntimeEvent::FinishedShared { id, results });
+            } else {
+                let sink = match sinks {
+                    Some(SinkSlots::Single(s)) => Some(s),
+                    _ => None,
+                };
+                let _ = events.send(RuntimeEvent::Finished { id, result: Err(mk(&error)), sink });
+            }
+        }
+        Body::Parked(_) => unreachable!("finish completes only on woken entries"),
+    }
+}
+
+/// Spill one quiescent entry to disk: serialize, write the file, then
+/// release the live value. Best-effort — a failed, stalled or
+/// already-parked entry stays as it is.
+fn suspend_entry<S: Sink>(
+    slot: u32,
+    sessions: &mut HashMap<u32, Entry<S>>,
+    policy: &SuspendPolicy,
+    events: &Sender<RuntimeEvent<S>>,
+    buffered: &AtomicUsize,
+) {
+    let Some(e) = sessions.get_mut(&slot) else { return };
+    if !e.parkable() {
+        return;
+    }
+    let Body::Live(session) = std::mem::replace(&mut e.body, placeholder()) else {
+        unreachable!("parkable() checked Live")
+    };
+    let path = policy.dir.join(format!("flux-session-{slot}-{}.state", e.gen));
+    match park(session, Some(path)) {
+        Ok((parked, size)) => {
+            e.body = Body::Parked(parked);
+            republish(e, buffered);
+            let id = RuntimeId { slot, gen: e.gen };
+            let _ = events.send(RuntimeEvent::Suspended { id, bytes: size });
+        }
+        Err(session) => e.body = Body::Live(session),
+    }
+}
+
+/// Throttled idle sweep: at most once per quarter idle-threshold, spill
+/// every quiescent entry idle past the policy's threshold.
+fn sweep<S: Sink>(
+    policy: &SuspendPolicy,
+    last_sweep: &mut Instant,
+    sessions: &mut HashMap<u32, Entry<S>>,
+    events: &Sender<RuntimeEvent<S>>,
+    buffered: &AtomicUsize,
+) {
+    let now = Instant::now();
+    if now.duration_since(*last_sweep) < policy.idle_after / 4 {
+        return;
+    }
+    *last_sweep = now;
+    let idle: Vec<u32> = sessions
+        .iter()
+        .filter(|(_, e)| e.parkable() && now.duration_since(e.last_touch) >= policy.idle_after)
+        .map(|(&slot, _)| slot)
+        .collect();
+    for slot in idle {
+        suspend_entry(slot, sessions, policy, events, buffered);
+    }
 }
 
 #[cfg(test)]
@@ -830,6 +1736,193 @@ mod tests {
         }
         assert_eq!(rt.live_sessions(), 0);
         assert!(rt.drain().is_empty());
+    }
+
+    #[test]
+    fn migrate_moves_sessions_mid_stream_with_identical_output() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let mut reg = crate::QueryRegistry::new();
+        reg.register("a", q.clone());
+        reg.register("b", q.clone());
+        let set = crate::SubscriptionSet::compile(&reg).unwrap();
+        let d = doc(11);
+        let reference = q.run_str(&d).unwrap().output;
+        let bytes = d.as_bytes();
+
+        let mut rt = Runtime::new(2);
+        let single = rt.open(&q, StringSink::new());
+        let shared = rt.open_shared(&set, (0..2).map(|_| StringSink::new()).collect());
+        rt.feed(single, &bytes[..bytes.len() / 2]);
+        rt.feed(shared, &bytes[..bytes.len() / 2]);
+        // Move both to the other shard mid-stream; the ids survive.
+        let (sf, shf) = (rt.shard_of(single), rt.shard_of(shared));
+        rt.migrate(single, 1 - sf);
+        rt.migrate(shared, 1 - shf);
+        assert_eq!(rt.shard_of(single), 1 - sf);
+        assert_eq!(rt.shard_of(shared), 1 - shf);
+        rt.feed(single, &bytes[bytes.len() / 2..]);
+        rt.feed(shared, &bytes[bytes.len() / 2..]);
+        rt.finish(single);
+        rt.finish(shared);
+        let (mut migrations, mut done) = (0, 0);
+        while done < 2 {
+            match rt.wait_event().expect("workers alive") {
+                RuntimeEvent::Migrated { id, shard } => {
+                    migrations += 1;
+                    let expected = if id == single { 1 - sf } else { 1 - shf };
+                    assert_eq!(shard, expected);
+                }
+                RuntimeEvent::Finished { id, result, sink } => {
+                    assert_eq!(id, single);
+                    result.unwrap();
+                    assert_eq!(sink.unwrap().as_str(), reference);
+                    done += 1;
+                }
+                RuntimeEvent::FinishedShared { id, results } => {
+                    assert_eq!(id, shared);
+                    assert_eq!(results.len(), 2);
+                    for (res, sink) in results {
+                        res.unwrap();
+                        assert_eq!(sink.unwrap().as_str(), reference);
+                    }
+                    done += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(migrations, 2);
+        assert_eq!(rt.live_sessions(), 0);
+        assert!(rt.drain().is_empty());
+    }
+
+    #[test]
+    fn suspend_policy_spills_idle_sessions_and_restores_on_feed() {
+        let dir = std::env::temp_dir().join(format!("flux-rt-suspend-{}-auto", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let d = doc(23);
+        let reference = q.run_str(&d).unwrap().output;
+        let bytes = d.as_bytes();
+
+        let mut rt = Runtime::with_suspend(
+            1,
+            SuspendPolicy { idle_after: Duration::from_millis(20), dir: dir.clone() },
+        );
+        let id = rt.open(&q, StringSink::new());
+        rt.feed(id, &bytes[..bytes.len() / 2]);
+        match rt.wait_event().expect("workers alive") {
+            RuntimeEvent::Suspended { id: sid, bytes: size } => {
+                assert_eq!(sid, id);
+                assert!(size > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1, "one spill file while parked");
+        // The next feed restores transparently; the spill file goes away.
+        rt.feed(id, &bytes[bytes.len() / 2..]);
+        rt.finish(id);
+        match rt.wait_event().expect("workers alive") {
+            RuntimeEvent::Finished { id: fid, result, sink } => {
+                assert_eq!(fid, id);
+                result.unwrap();
+                assert_eq!(sink.unwrap().as_str(), reference);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "spill removed on resume");
+        let _ = rt.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_suspend_survives_migration_and_restores_on_the_new_shard() {
+        let dir =
+            std::env::temp_dir().join(format!("flux-rt-suspend-{}-explicit", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        let q = engine.prepare(QUERY).unwrap();
+        let d = doc(42);
+        let reference = q.run_str(&d).unwrap().output;
+        let bytes = d.as_bytes();
+
+        let mut rt = Runtime::with_suspend(
+            2,
+            SuspendPolicy { idle_after: Duration::from_secs(3600), dir: dir.clone() },
+        );
+        let id = rt.open(&q, StringSink::new());
+        rt.feed(id, &bytes[..bytes.len() / 2]);
+        rt.suspend(id);
+        match rt.wait_event().expect("workers alive") {
+            RuntimeEvent::Suspended { id: sid, .. } => assert_eq!(sid, id),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A spilled session migrates as its file and stays parked on the
+        // new shard until the next feed touches it.
+        let from = rt.shard_of(id);
+        rt.migrate(id, 1 - from);
+        rt.feed(id, &bytes[bytes.len() / 2..]);
+        rt.finish(id);
+        let (mut migrated, mut finished) = (false, false);
+        while !(migrated && finished) {
+            match rt.wait_event().expect("workers alive") {
+                RuntimeEvent::Migrated { id: mid, shard } => {
+                    assert_eq!((mid, shard), (id, 1 - from));
+                    migrated = true;
+                }
+                RuntimeEvent::Finished { id: fid, result, sink } => {
+                    assert_eq!(fid, id);
+                    result.unwrap();
+                    assert_eq!(sink.unwrap().as_str(), reference);
+                    finished = true;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "spill removed on resume");
+        let _ = rt.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn placement_accounts_for_buffered_bytes_not_just_session_count() {
+        let engine = Engine::builder().dtd_str(DTD).build().unwrap();
+        // Swapped output order: the title must buffer until the author
+        // arrives (the paper's out-of-order case), so an unfinished book
+        // pins its title bytes in session buffers.
+        let q = engine
+            .prepare(
+                "<results>{ for $b in $ROOT/bib/book return \
+                 <result> {$b/author} {$b/title} </result> }</results>",
+            )
+            .unwrap();
+        let mut rt = Runtime::new(2);
+        let heavy = rt.open(&q, StringSink::new());
+        let big = format!("<bib><book><title>{}</title>", "x".repeat(200 << 10));
+        rt.feed(heavy, big.as_bytes());
+        // Wait for the worker to publish the buffered footprint.
+        let start = Instant::now();
+        while rt.buffered_counts().iter().sum::<usize>() < (100 << 10) {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "buffered bytes never published: {:?}",
+                rt.buffered_counts()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let loaded = rt.shard_of(heavy);
+        // 200 KiB of buffers outweighs 8 idle sessions at the 4 KiB floor:
+        // every new session lands on the other worker.
+        let idle: Vec<RuntimeId> = (0..8).map(|_| rt.open(&q, StringSink::new())).collect();
+        let counts = rt.session_counts();
+        assert_eq!(counts[1 - loaded], 8, "idle sessions avoid the loaded shard: {counts:?}");
+        rt.abort(heavy);
+        for id in idle {
+            rt.abort(id);
+        }
+        let evs = rt.drain();
+        assert_eq!(evs.len(), 9);
     }
 
     #[test]

@@ -248,6 +248,114 @@ impl<S: Sink> Session<S> {
         }
     }
 
+    /// Serialize the complete resumable state of this session into a
+    /// versioned `flux-state` envelope: the incremental reader's unconsumed
+    /// window and open-element stack, the pump's scope stack, captures,
+    /// observers and statistics, and the outstanding budget charges. The
+    /// bytes restore via
+    /// [`PreparedQuery::restore_session`](crate::PreparedQuery::restore_session)
+    /// — in this process, in another process, or on another machine — and
+    /// the resumed run's output and stats are byte-identical to never having
+    /// snapshotted (`tests/snapshot_equivalence.rs` asserts this at every
+    /// chunk boundary).
+    ///
+    /// Sessions are quiescent between `feed` calls, which is the only time a
+    /// caller can invoke this, so the engine-level quiescence refusals are
+    /// unreachable from safe use; a session that has already failed refuses
+    /// (restoring a poisoned run is never meaningful).
+    pub fn snapshot(&self) -> Result<Vec<u8>, FluxError> {
+        if self.error.is_some() {
+            return Err(FluxError::Snapshot(flux_state::StateError::NotQuiescent(
+                "session has failed; finish_parts() reports the cause",
+            )));
+        }
+        let mut env = flux_state::Envelope::new();
+
+        let mut meta = flux_state::Enc::new();
+        meta.put_u8(flux_state::KIND_SESSION);
+        meta.put_uint(self.pump.plan().state_fingerprint());
+        meta.put_bool(self.paused);
+        env.add(flux_state::section::META, meta);
+
+        let mut reader = flux_state::Enc::new();
+        self.reader.state_save(&mut reader).map_err(FluxError::Snapshot)?;
+        env.add(flux_state::section::READER, reader);
+
+        let mut pump = flux_state::Enc::new();
+        self.pump.state_save(&mut pump).map_err(FluxError::Snapshot)?;
+        env.add(flux_state::section::PUMP, pump);
+
+        let mut budget = flux_state::Enc::new();
+        budget.put_usize(self.pump.budget_charged());
+        env.add(flux_state::section::BUDGET, budget);
+
+        Ok(env.into_bytes())
+    }
+
+    /// Rebuild a session from [`Session::snapshot`] bytes. The plan must
+    /// fingerprint-match the one the snapshot was taken from; recorded
+    /// budget charges are re-granted through `budget` (refusal fails the
+    /// restore with [`flux_state::StateError::BudgetDenied`], charging
+    /// nothing, so the caller can retry when headroom returns). With
+    /// `pre_granted` the caller already reserved the snapshot's recorded
+    /// charges through `budget` (see [`flux_state::snapshot_charges`]) and
+    /// the restore adopts the reservation instead of growing again.
+    pub(crate) fn restore(
+        plan: Arc<CompiledQuery>,
+        sink: S,
+        budget: Option<Arc<dyn BudgetHook>>,
+        snapshot: &[u8],
+        pre_granted: bool,
+    ) -> Result<Session<S>, FluxError> {
+        let sections = flux_state::Sections::parse(snapshot).map_err(FluxError::Snapshot)?;
+        let mut meta = sections.require(flux_state::section::META).map_err(FluxError::Snapshot)?;
+        let kind = meta.get_u8().map_err(FluxError::Snapshot)?;
+        if kind != flux_state::KIND_SESSION {
+            return Err(FluxError::Snapshot(flux_state::StateError::Corrupt(
+                "snapshot holds a shared fan-out session, not a single-query one",
+            )));
+        }
+        let found = meta.get_uint().map_err(FluxError::Snapshot)?;
+        let expected = plan.state_fingerprint();
+        if found != expected {
+            return Err(FluxError::Snapshot(flux_state::StateError::PlanMismatch {
+                expected,
+                found,
+            }));
+        }
+        let paused = meta.get_bool().map_err(FluxError::Snapshot)?;
+
+        let mut rdec =
+            sections.require(flux_state::section::READER).map_err(FluxError::Snapshot)?;
+        let reader =
+            Reader::state_restore(plan.options().reader, Arc::clone(plan.symbols()), &mut rdec)
+                .map_err(FluxError::Snapshot)?;
+
+        let mut pdec = sections.require(flux_state::section::PUMP).map_err(FluxError::Snapshot)?;
+        let pump = if pre_granted {
+            Pump::state_load_pregranted(plan, sink, budget.clone(), &mut pdec)
+        } else {
+            Pump::state_load(plan, sink, budget.clone(), &mut pdec)
+        }
+        .map_err(FluxError::Snapshot)?;
+
+        Ok(Session { reader, pump, error: None, budget, paused })
+    }
+
+    /// The compiled plan this session executes (for runtime layers that
+    /// must re-associate a snapshot with its plan).
+    pub(crate) fn plan_arc(&self) -> Arc<CompiledQuery> {
+        Arc::clone(self.pump.plan())
+    }
+
+    /// Tear the session down and hand its sink back without finishing the
+    /// run; outstanding budget charges are released. The spill/migrate
+    /// half-step: callers snapshot first, then reclaim the sink here and
+    /// later restore around it.
+    pub(crate) fn into_sink(self) -> S {
+        self.pump.abort()
+    }
+
     /// Bytes this session currently holds: runtime buffers and captures
     /// (the quantity bounded by
     /// [`EngineBuilder::max_buffer_bytes`](crate::EngineBuilder::max_buffer_bytes))

@@ -50,21 +50,25 @@ pub struct SharedSession<S: Sink> {
     error: Option<XmlError>,
     budget: Option<Arc<dyn BudgetHook>>,
     paused: bool,
+    /// The compiled fan-out plan, kept so a snapshot can stamp the plan
+    /// identity it must restore against and so runtime layers can
+    /// re-associate spilled/migrated state with its plan.
+    plan: Arc<FanoutPlan>,
 }
 
 impl<S: Sink> SharedSession<S> {
     pub(crate) fn new(
-        plan: &FanoutPlan,
+        plan: Arc<FanoutPlan>,
         sinks: Vec<S>,
         budget: Option<Arc<dyn BudgetHook>>,
     ) -> SharedSession<S> {
         let reader =
             Reader::incremental_with_symbols(plan.options().reader, Arc::clone(plan.symbols()));
         let driver = match &budget {
-            Some(hook) => FanoutDriver::with_budget(plan, sinks, Arc::clone(hook)),
-            None => FanoutDriver::new(plan, sinks),
+            Some(hook) => FanoutDriver::with_budget(&plan, sinks, Arc::clone(hook)),
+            None => FanoutDriver::new(&plan, sinks),
         };
-        SharedSession { reader, driver, error: None, budget, paused: false }
+        SharedSession { reader, driver, error: None, budget, paused: false, plan }
     }
 
     /// Push the next chunk of the shared document; every event it
@@ -189,6 +193,112 @@ impl<S: Sink> SharedSession<S> {
     /// Aggregate bytes currently charged to the shared budget hook.
     pub fn budget_charged(&self) -> usize {
         self.driver.budget_charged()
+    }
+
+    /// Serialize the complete resumable state of the shared session —
+    /// reader window plus **all M subscriber pumps** (active, parked,
+    /// failed and detached alike) and the wake schedule — into a
+    /// `flux-state` envelope. Restores via
+    /// [`SubscriptionSet::restore_session`](crate::SubscriptionSet::restore_session)
+    /// against a set with the same queries in the same order; resumed
+    /// subscribers produce byte-identical output to never having
+    /// snapshotted. Refuses once the shared input has failed to parse.
+    pub fn snapshot(&self) -> Result<Vec<u8>, FluxError> {
+        if self.error.is_some() {
+            return Err(FluxError::Snapshot(flux_state::StateError::NotQuiescent(
+                "shared session has failed; finish_parts() reports the cause",
+            )));
+        }
+        let mut env = flux_state::Envelope::new();
+
+        let mut meta = flux_state::Enc::new();
+        meta.put_u8(flux_state::KIND_SHARED);
+        meta.put_uint(self.plan.state_fingerprint());
+        meta.put_bool(self.paused);
+        env.add(flux_state::section::META, meta);
+
+        let mut reader = flux_state::Enc::new();
+        self.reader.state_save(&mut reader).map_err(FluxError::Snapshot)?;
+        env.add(flux_state::section::READER, reader);
+
+        let mut fanout = flux_state::Enc::new();
+        self.driver.state_save(&mut fanout).map_err(FluxError::Snapshot)?;
+        env.add(flux_state::section::FANOUT, fanout);
+
+        let mut budget = flux_state::Enc::new();
+        budget.put_usize(self.driver.budget_charged());
+        env.add(flux_state::section::BUDGET, budget);
+
+        Ok(env.into_bytes())
+    }
+
+    /// Rebuild a shared session from [`SharedSession::snapshot`] bytes.
+    /// `sinks` holds one fresh sink per subscription in set order; `None`
+    /// is allowed exactly for subscribers the snapshot records as detached
+    /// (their sinks were handed back before the snapshot).
+    pub(crate) fn restore(
+        plan: Arc<FanoutPlan>,
+        sinks: Vec<Option<S>>,
+        budget: Option<Arc<dyn BudgetHook>>,
+        snapshot: &[u8],
+        pre_granted: bool,
+    ) -> Result<SharedSession<S>, FluxError> {
+        let sections = flux_state::Sections::parse(snapshot).map_err(FluxError::Snapshot)?;
+        let mut meta = sections.require(flux_state::section::META).map_err(FluxError::Snapshot)?;
+        let kind = meta.get_u8().map_err(FluxError::Snapshot)?;
+        if kind != flux_state::KIND_SHARED {
+            return Err(FluxError::Snapshot(flux_state::StateError::Corrupt(
+                "snapshot holds a single-query session, not a shared fan-out one",
+            )));
+        }
+        let found = meta.get_uint().map_err(FluxError::Snapshot)?;
+        let expected = plan.state_fingerprint();
+        if found != expected {
+            return Err(FluxError::Snapshot(flux_state::StateError::PlanMismatch {
+                expected,
+                found,
+            }));
+        }
+        let paused = meta.get_bool().map_err(FluxError::Snapshot)?;
+
+        let mut rdec =
+            sections.require(flux_state::section::READER).map_err(FluxError::Snapshot)?;
+        let reader =
+            Reader::state_restore(plan.options().reader, Arc::clone(plan.symbols()), &mut rdec)
+                .map_err(FluxError::Snapshot)?;
+
+        let mut fdec =
+            sections.require(flux_state::section::FANOUT).map_err(FluxError::Snapshot)?;
+        let driver = if pre_granted {
+            FanoutDriver::state_load_pregranted(&plan, sinks, budget.clone(), &mut fdec)
+        } else {
+            FanoutDriver::state_load(&plan, sinks, budget.clone(), &mut fdec)
+        }
+        .map_err(FluxError::Snapshot)?;
+
+        Ok(SharedSession { reader, driver, error: None, budget, paused, plan })
+    }
+
+    /// The compiled fan-out plan this session executes.
+    pub(crate) fn plan_arc(&self) -> Arc<FanoutPlan> {
+        Arc::clone(&self.plan)
+    }
+
+    /// Tear the session down and hand every subscriber's sink back without
+    /// finishing: `None` for slots already detached via
+    /// [`SharedSession::abort_sub`] (matching what
+    /// [`SharedSession::restore`] expects), `Some` for the rest — failed
+    /// subscribers included. Outstanding budget charges are released.
+    pub(crate) fn into_sinks(self) -> Vec<Option<S>> {
+        self.driver
+            .abort_all()
+            .into_iter()
+            .map(|t| match t {
+                flux_engine::SubTeardown::Detached => None,
+                flux_engine::SubTeardown::Failed(_, sink)
+                | flux_engine::SubTeardown::Aborted(sink) => Some(sink),
+            })
+            .collect()
     }
 
     /// Signal end of input and complete every subscription.

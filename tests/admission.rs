@@ -518,6 +518,122 @@ fn dropping_a_shared_session_mid_stream_releases_the_whole_aggregate() {
     assert_eq!(ctrl.used(), 0, "drop mid-stream returns every charge");
 }
 
+#[test]
+fn restore_regrants_exactly_the_recorded_charges() {
+    // ISSUE satellite: a snapshot's BUDGET section records the session's
+    // outstanding charges; restore re-grants exactly that through the
+    // hook, a pool without headroom refuses charging nothing, and the
+    // aggregate returns to zero after the resumed run finishes.
+    let q = prepared();
+    let reference = q.run_str(&(hold_prefix(1000) + SUFFIX)).unwrap();
+    let ctrl = AdmissionController::new(1 << 20);
+    let counting = CountingHook::over(&ctrl);
+
+    let mut s = q.session_with_budget(StringSink::new(), counting.clone());
+    s.feed(hold_prefix(1000).as_bytes()).unwrap();
+    let held = ctrl.used();
+    assert!(held >= 1000, "the author text is charged: {held}");
+    let snap = s.snapshot().unwrap();
+    assert_eq!(
+        flux::state::snapshot_charges(&snap).unwrap(),
+        held,
+        "the BUDGET section records exactly the outstanding charges"
+    );
+    drop(s);
+    assert_eq!(ctrl.used(), 0, "the snapshotted original released everything");
+
+    let mut resumed =
+        q.restore_session_with_budget(StringSink::new(), counting.clone(), &snap).unwrap();
+    assert_eq!(ctrl.used(), held, "restore re-granted exactly the recorded charges");
+    resumed.feed(SUFFIX.as_bytes()).unwrap();
+    let fin = resumed.finish().unwrap();
+    assert_eq!(fin.stats, reference.stats);
+    assert_eq!(ctrl.used(), 0, "aggregate returns to zero after the resumed finish");
+    assert!(counting.peak() >= held);
+
+    // A pool that cannot hold the recorded charges refuses the restore —
+    // and the refusal charges nothing.
+    let tight = AdmissionController::new(held / 2);
+    let tight_counting = CountingHook::over(&tight);
+    let err = q
+        .restore_session_with_budget(StringSink::new(), tight_counting, &snap)
+        .err()
+        .expect("no headroom refuses the restore");
+    assert!(
+        matches!(err, FluxError::Snapshot(flux::state::StateError::BudgetDenied { .. })),
+        "{err}"
+    );
+    assert_eq!(tight.used(), 0, "a refused restore charges nothing");
+}
+
+#[test]
+fn unsuspending_into_a_tight_pool_stalls_and_resumes_on_the_release_edge() {
+    // The runtime half of the re-grant contract: a suspended session's
+    // charges went back to the pool with its buffers; if another holder
+    // takes them, the re-admission reservation is refused — surfacing as a
+    // Stalled event with the touching chunk queued — and the session
+    // unparks on the exact release edge, finishing byte-identically.
+    let q = prepared();
+    let reference = q.run_str(&(hold_prefix(1000) + SUFFIX)).unwrap();
+    let ctrl = AdmissionController::new(3000);
+    let counting = CountingHook::over(&ctrl);
+    let dir = std::env::temp_dir().join(format!("flux-admission-suspend-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let policy =
+        SuspendPolicy { idle_after: std::time::Duration::from_secs(3600), dir: dir.clone() };
+    let mut rt: Runtime<StringSink> = Runtime::with_budget_and_suspend(1, counting.clone(), policy);
+    let s = rt.open(&q, StringSink::new());
+    rt.feed(s, hold_prefix(1000).as_bytes());
+    rt.suspend(s);
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Suspended { id, bytes } => {
+            assert_eq!(id, s);
+            assert!(bytes > 1000, "the spilled state carries the held author: {bytes}");
+        }
+        other => panic!("expected the suspend, got {other:?}"),
+    }
+    assert_eq!(ctrl.used(), 0, "suspend returned the charges to the pool");
+
+    // An external holder takes (most of) the pool: the suspended session's
+    // ~1012-byte re-admission no longer fits the 3000-byte budget.
+    let mut holder = q.session_with_budget(StringSink::new(), counting.clone());
+    holder.feed(hold_prefix(2200).as_bytes()).unwrap();
+    assert!(ctrl.used() >= 2200);
+
+    rt.feed(s, SUFFIX.as_bytes()); // touching it must re-admit first
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Stalled { id } => assert_eq!(id, s),
+        other => panic!("expected the refused re-admission stall, got {other:?}"),
+    }
+
+    // No command accompanies the release: the resume can only come from
+    // the budget-release wakeup re-running the parked retry.
+    drop(holder);
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Resumed { id } => assert_eq!(id, s),
+        other => panic!("expected the release-edge resume, got {other:?}"),
+    }
+    rt.finish(s);
+    match rt.wait_event().expect("worker alive") {
+        RuntimeEvent::Finished { id, result, sink } => {
+            assert_eq!(id, s);
+            result.unwrap();
+            assert_eq!(
+                sink.unwrap().as_str(),
+                reference.output,
+                "output spans suspend, stall and resume byte-identically"
+            );
+        }
+        other => panic!("expected the finish, got {other:?}"),
+    }
+    assert_eq!(ctrl.used(), 0);
+    assert!(rt.drain().is_empty());
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "the spill file was consumed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn name(id: RuntimeId, a: RuntimeId, b: RuntimeId, c: RuntimeId) -> &'static str {
     if id == a {
         "a"

@@ -1,0 +1,162 @@
+//! Golden-fixture compatibility for the v1 `flux-state` envelope.
+//!
+//! `tests/fixtures/*.fsnap` are committed snapshot bytes produced by a
+//! past build. Every future build must keep (a) *decoding* them — magic,
+//! version, kind, recorded charges — and (b) *restoring* them into
+//! sessions that finish byte-identically to an uninterrupted run. Because
+//! the encoding is canonical (asserted in `snapshot_equivalence.rs`), the
+//! fixtures are also pinned byte-for-byte: an encoding change that forgets
+//! to bump the version byte fails here before it ships.
+//!
+//! Regenerate after an *intentional* format bump with:
+//!
+//! ```text
+//! FLUX_REGEN_FIXTURES=1 cargo test --test snapshot_fixture
+//! ```
+
+use std::cell::RefCell;
+use std::io;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use flux::prelude::*;
+
+/// The weak schema forces author buffering, so the fixture carries live
+/// recorder trees and capture buffers mid-scope — the hard case, not the
+/// empty one.
+const WEAK_DTD: &str = "<!ELEMENT bib (book)*><!ELEMENT book (title|author)*>\
+    <!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>";
+const Q3: &str = "<results>{ for $b in $ROOT/bib/book return \
+    <result> {$b/title} {$b/author} </result> }</results>";
+const TITLES: &str = "<titles>{ for $b in $ROOT/bib/book return {$b/title} }</titles>";
+const DOC: &str = "<bib><book><title>T1</title><author>A1</author><title>T1b</title>\
+    <author>Ä2</author></book><book><author>B1</author></book></bib>";
+/// Split point inside the first book, right after its multi-byte second
+/// author — mid-scope, with both authors still parked in capture buffers
+/// awaiting the book close.
+const SPLIT: usize = 76;
+
+/// Prefix output stays observable while the session is live (the same
+/// idiom as `snapshot_equivalence.rs`).
+#[derive(Clone, Default)]
+struct SharedSink(Rc<RefCell<Vec<u8>>>);
+
+impl SharedSink {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.borrow().clone()).unwrap()
+    }
+}
+
+impl Sink for SharedSink {
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.0.borrow_mut().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn flush_sink(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn engine() -> Engine {
+    Engine::builder().dtd_str(WEAK_DTD).build().unwrap()
+}
+
+fn load_or_regen(name: &str, generate: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+    let path = fixture(name);
+    if std::env::var_os("FLUX_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, generate()).unwrap();
+    }
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing committed fixture {name} ({e}); FLUX_REGEN_FIXTURES=1 regenerates")
+    })
+}
+
+#[test]
+fn golden_v1_session_snapshot_still_restores() {
+    // Generated under admission control so the envelope's BUDGET section
+    // records real outstanding charges, not zero.
+    let q = engine().prepare(Q3).unwrap();
+    let ctrl = AdmissionController::new(1 << 20);
+    let bytes = load_or_regen("session_v1.fsnap", || {
+        let mut s = q.session_with_budget(StringSink::new(), ctrl.hook());
+        s.feed(&DOC.as_bytes()[..SPLIT]).unwrap();
+        s.snapshot().unwrap()
+    });
+
+    // Envelope header: magic, version byte, kind tag, recorded charges.
+    assert_eq!(&bytes[..4], b"FLXS", "magic");
+    assert_eq!(bytes[4], 1, "fixture is version 1");
+    assert_eq!(flux::state::snapshot_kind(&bytes).unwrap(), flux::state::KIND_SESSION);
+    let charged = flux::state::snapshot_charges(&bytes).unwrap();
+    assert!(charged > 0, "mid-scope fixture holds charged buffers: {charged}");
+
+    // Canonical encoding: today's build still encodes this exact state to
+    // the committed bytes. A silent format drift fails here.
+    let prefix_sink = SharedSink::default();
+    let mut fresh = q.session_with_budget(prefix_sink.clone(), ctrl.hook());
+    fresh.feed(&DOC.as_bytes()[..SPLIT]).unwrap();
+    assert_eq!(fresh.snapshot().unwrap(), bytes, "v1 encoding drifted without a version bump");
+    let prefix = prefix_sink.contents();
+    drop(fresh);
+
+    // The committed bytes restore and the resumed run is byte-identical
+    // to an uninterrupted one from the split point on.
+    let reference = q.run_str(DOC).unwrap();
+    let mut resumed = q.restore_session(StringSink::new(), &bytes).unwrap();
+    resumed.feed(&DOC.as_bytes()[SPLIT..]).unwrap();
+    let fin = resumed.finish().unwrap();
+    assert_eq!(format!("{prefix}{}", fin.sink.as_str()), reference.output);
+    assert_eq!(fin.stats, reference.stats);
+}
+
+#[test]
+fn golden_v1_shared_snapshot_still_restores() {
+    let engine = engine();
+    let mut reg = QueryRegistry::new();
+    reg.register("results", engine.prepare(Q3).unwrap());
+    reg.register("titles", engine.prepare(TITLES).unwrap());
+    let set = SubscriptionSet::compile(&reg).unwrap();
+
+    let bytes = load_or_regen("shared_v1.fsnap", || {
+        let mut s = set.session_strings();
+        s.feed(&DOC.as_bytes()[..SPLIT]).unwrap();
+        s.snapshot().unwrap()
+    });
+    assert_eq!(&bytes[..4], b"FLXS", "magic");
+    assert_eq!(bytes[4], 1, "fixture is version 1");
+    assert_eq!(flux::state::snapshot_kind(&bytes).unwrap(), flux::state::KIND_SHARED);
+
+    // Canonical encoding still holds for the fan-out kind, and the prefix
+    // output of each subscriber stays observable for the equivalence check.
+    let prefix_sinks: Vec<SharedSink> = (0..set.len()).map(|_| SharedSink::default()).collect();
+    let mut fresh = set.session(prefix_sinks.clone());
+    fresh.feed(&DOC.as_bytes()[..SPLIT]).unwrap();
+    assert_eq!(fresh.snapshot().unwrap(), bytes, "v1 shared encoding drifted");
+    let prefixes: Vec<String> = prefix_sinks.iter().map(SharedSink::contents).collect();
+    drop(fresh);
+
+    let mut reference = set.session_strings();
+    reference.feed(DOC.as_bytes()).unwrap();
+    let reference: Vec<(RunStats, String)> = reference
+        .finish_parts()
+        .into_iter()
+        .map(|(res, sink)| (res.unwrap(), sink.unwrap().into_string()))
+        .collect();
+
+    let sinks = (0..set.len()).map(|_| Some(StringSink::new())).collect();
+    let mut resumed = set.restore_session(sinks, &bytes).unwrap();
+    resumed.feed(&DOC.as_bytes()[SPLIT..]).unwrap();
+    for (i, ((res, sink), (ref_stats, ref_out))) in
+        resumed.finish_parts().into_iter().zip(&reference).enumerate()
+    {
+        assert_eq!(res.unwrap(), *ref_stats, "sub {i} stats");
+        let full = format!("{}{}", prefixes[i], sink.unwrap().as_str());
+        assert_eq!(full, *ref_out, "sub {i} output");
+    }
+}
