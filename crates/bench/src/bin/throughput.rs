@@ -5,6 +5,15 @@
 //! measurements to `BENCH_throughput.json` at the repository root, so
 //! successive PRs can compare event-loop speed on identical input.
 //!
+//! Every cell is measured as a **same-run A/B** with interleaved samples:
+//! tape, pull, tape, pull… — the default batched event-tape delivery
+//! against per-event pull delivery forced through the builder. On shared
+//! single-core hosts noise arrives in waves longer than one sample, so
+//! back-to-back alternation (rather than all of one arm, then the other)
+//! exposes both arms to the same machine weather and keeps the ratio
+//! honest. Each arm reports min-of-N seconds, MB/s, ns/event and the
+//! sample spread.
+//!
 //! Pass `--large` to extend the sweep to a 32 MB document — the paper's
 //! Figure 4 measures up to 100 MB, and the large point keeps the MB/s
 //! trajectory honest on inputs that dwarf every cache. CI keeps the small
@@ -13,25 +22,80 @@
 //! Honours the shared bench environment knobs (`FLUX_BENCH_SAMPLES`,
 //! `FLUX_BENCH_FAST=1` for the CI smoke run, which also shrinks the
 //! documents so the binary cannot bit-rot without burning CI minutes).
+//! Under `FLUX_FORCE_PULL=1` both arms run per-event and the speedup
+//! reads ~1.0 — the kill switch applies to benches too.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use flux::Engine;
+use flux::xml::DeliveryMode;
+use flux::{Engine, PreparedQuery};
 use flux_bench::micro::samples;
 use flux_bench::report::merge_throughput;
 use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
 use flux_xml::writer::NullSink;
 
-/// One measured (query, document size) cell.
+/// One delivery arm's measurement.
+struct Arm {
+    min_seconds: f64,
+    mb_per_s: f64,
+    events_per_s: f64,
+    ns_per_event: f64,
+    spread_pct: f64,
+}
+
+/// One measured (query, document size) cell: tape arm, pull arm, ratio.
 struct Cell {
     query: &'static str,
     doc_bytes: usize,
     events: u64,
-    min_seconds: f64,
-    mb_per_s: f64,
-    events_per_s: f64,
+    tape: Arm,
+    pull: Arm,
+    /// `pull.min_seconds / tape.min_seconds` — the same-run A/B figure.
+    tape_speedup: f64,
     samples: usize,
+}
+
+fn arm(doc: &str, events: u64, best: f64, worst: f64) -> Arm {
+    Arm {
+        min_seconds: best,
+        mb_per_s: doc.len() as f64 / 1e6 / best,
+        events_per_s: events as f64 / best,
+        ns_per_event: best * 1e9 / events as f64,
+        spread_pct: if best > 0.0 { (worst - best) / best * 100.0 } else { 0.0 },
+    }
+}
+
+/// Measure both arms with **interleaved** samples: tape, pull, tape, pull…
+/// On a shared host, noise arrives in waves lasting longer than one sample;
+/// measuring one arm's N samples and then the other's lets a wave skew a
+/// single arm and corrupt the ratio. Alternating exposes both arms to the
+/// same weather, so min-of-N catches the same quiet windows for each.
+fn measure_pair(
+    tape_q: &PreparedQuery,
+    pull_q: &PreparedQuery,
+    doc: &str,
+    events: u64,
+    n: usize,
+) -> (Arm, Arm) {
+    // Warmup passes (page the document in, size the reusable buffers).
+    tape_q.run_to(doc.as_bytes(), NullSink::default()).unwrap();
+    pull_q.run_to(doc.as_bytes(), NullSink::default()).unwrap();
+    let (mut t_best, mut t_worst) = (f64::MAX, 0.0f64);
+    let (mut p_best, mut p_worst) = (f64::MAX, 0.0f64);
+    for _ in 0..n {
+        let t = Instant::now();
+        tape_q.run_to(doc.as_bytes(), NullSink::default()).unwrap();
+        let s = t.elapsed().as_secs_f64();
+        t_best = t_best.min(s);
+        t_worst = t_worst.max(s);
+        let t = Instant::now();
+        pull_q.run_to(doc.as_bytes(), NullSink::default()).unwrap();
+        let s = t.elapsed().as_secs_f64();
+        p_best = p_best.min(s);
+        p_worst = p_worst.max(s);
+    }
+    (arm(doc, events, t_best, t_worst), arm(doc, events, p_best, p_worst))
 }
 
 fn main() {
@@ -47,33 +111,37 @@ fn main() {
     let queries: Vec<_> =
         PAPER_QUERIES.iter().filter(|q| q.name == "Q1" || q.name == "Q20").collect();
 
-    let engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    let tape_engine = Engine::builder().dtd_str(XMARK_DTD).build().unwrap();
+    let pull_engine =
+        Engine::builder().dtd_str(XMARK_DTD).delivery(DeliveryMode::PerEvent).build().unwrap();
     let n = samples();
     let mut cells = Vec::new();
     for &size in sizes {
         let (doc, _) = generate_string(&XmarkConfig::new(size));
         for q in &queries {
-            let prepared = engine.prepare(q.source).unwrap();
-            // Warmup (also captures the event count for events/s).
-            let events = prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap().events;
-            let mut best = f64::MAX;
-            for _ in 0..n {
-                let t = Instant::now();
-                prepared.run_to(doc.as_bytes(), NullSink::default()).unwrap();
-                best = best.min(t.elapsed().as_secs_f64());
-            }
+            let tape_q = tape_engine.prepare(q.source).unwrap();
+            let pull_q = pull_engine.prepare(q.source).unwrap();
+            let events = tape_q.run_to(doc.as_bytes(), NullSink::default()).unwrap().events;
+            let (tape, pull) = measure_pair(&tape_q, &pull_q, &doc, events, n);
             let cell = Cell {
                 query: q.name,
                 doc_bytes: doc.len(),
                 events,
-                min_seconds: best,
-                mb_per_s: doc.len() as f64 / 1e6 / best,
-                events_per_s: events as f64 / best,
+                tape_speedup: pull.min_seconds / tape.min_seconds,
+                tape,
+                pull,
                 samples: n,
             };
+            for (arm, name) in [(&cell.tape, "tape"), (&cell.pull, "pull")] {
+                println!(
+                    "throughput/{}/{}B/{name}  {:>8.1} MB/s  {:>7.1} ns/event  \
+                     spread {:>5.1}%  (min of {} samples)",
+                    cell.query, cell.doc_bytes, arm.mb_per_s, arm.ns_per_event, arm.spread_pct, n
+                );
+            }
             println!(
-                "throughput/{}/{}B  {:>8.1} MB/s  {:>12.0} events/s  (min of {} samples)",
-                cell.query, cell.doc_bytes, cell.mb_per_s, cell.events_per_s, n
+                "throughput/{}/{}B  tape speedup {:.2}x over per-event pull (same run)",
+                cell.query, cell.doc_bytes, cell.tape_speedup
             );
             cells.push(cell);
         }
@@ -88,7 +156,18 @@ fn main() {
     println!("wrote {path}");
 }
 
-/// Hand-rolled JSON (no serde in the offline build).
+fn arm_json(a: &Arm) -> String {
+    format!(
+        "\"min_seconds\": {:.6}, \"mb_per_s\": {:.2}, \"events_per_s\": {:.0}, \
+         \"ns_per_event\": {:.2}, \"spread_pct\": {:.1}",
+        a.min_seconds, a.mb_per_s, a.events_per_s, a.ns_per_event, a.spread_pct
+    )
+}
+
+/// Hand-rolled JSON (no serde in the offline build). The top-level
+/// `min_seconds`/`mb_per_s`/… fields carry the default (tape) arm so the
+/// perf trajectory across PRs stays one comparable series; the nested
+/// `pull` object and `tape_speedup` carry the same-run A/B.
 fn render_json(cells: &[Cell]) -> String {
     let mut out = String::from("{\n  \"bench\": \"throughput\",\n  \"engine\": \"flux\",\n");
     out.push_str("  \"sink\": \"NullSink\",\n  \"unit\": \"MB/s\",\n  \"results\": [\n");
@@ -96,14 +175,14 @@ fn render_json(cells: &[Cell]) -> String {
         let _ = writeln!(
             out,
             "    {{\"query\": \"{}\", \"doc_bytes\": {}, \"events\": {}, \
-             \"min_seconds\": {:.6}, \"mb_per_s\": {:.2}, \"events_per_s\": {:.0}, \
-             \"samples\": {}}}{}",
+             \"delivery\": \"tape\", {}, \
+             \"pull\": {{{}}}, \"tape_speedup\": {:.3}, \"samples\": {}}}{}",
             c.query,
             c.doc_bytes,
             c.events,
-            c.min_seconds,
-            c.mb_per_s,
-            c.events_per_s,
+            arm_json(&c.tape),
+            arm_json(&c.pull),
+            c.tape_speedup,
             c.samples,
             if i + 1 == cells.len() { "" } else { "," }
         );

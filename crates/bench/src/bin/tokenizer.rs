@@ -9,9 +9,14 @@
 //!   [`StructuralIndex`] blocks, no parsing. The raw kernel ceiling.
 //! * **reader** — the full tokenizer: pull every resolved event through
 //!   [`flux_xml::Reader`] with the XMark symbol table attached.
+//! * **tape** — the same tokenizer behind the batched event tape
+//!   ([`Reader::fill_tape`]): fill a batch, walk it with the index loop.
+//!   The reader-vs-tape pair is a same-run delivery A/B at the tokenizer
+//!   layer, reported as ns/event next to MB/s.
 //! * **q1 / q20** — end to end: the paper's streaming queries over the
 //!   engine, differing only in the forced scanner backend.
 //!
+//! Every figure is min-of-N with the sample spread printed beside it.
 //! Results land under the `"tokenizer"` key of `BENCH_throughput.json`
 //! (shared marker protocol — the bench bins run in any order). Honours
 //! `FLUX_BENCH_SAMPLES` and `FLUX_BENCH_FAST=1` (CI smoke run: small
@@ -26,24 +31,35 @@ use flux_bench::report::merge_section;
 use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
 use flux_xml::scan::{Scanner, ScannerChoice, StructuralIndex, ANCHOR_BYTES};
 use flux_xml::writer::NullSink;
-use flux_xml::Reader;
+use flux_xml::{EventTape, Reader, TapeFill};
 
 struct Ab {
     backend: &'static str,
     classify_mb_per_s: f64,
     reader_mb_per_s: f64,
+    reader_ns_per_event: f64,
+    reader_spread_pct: f64,
+    tape_mb_per_s: f64,
+    tape_ns_per_event: f64,
+    tape_spread_pct: f64,
+    /// reader seconds / tape seconds — the same-run delivery A/B.
+    tape_speedup: f64,
     q1_mb_per_s: f64,
     q20_mb_per_s: f64,
 }
 
-fn best_of(n: usize, mut f: impl FnMut()) -> f64 {
+/// `(min_seconds, spread_pct)` of `n` timed runs of `f`.
+fn best_of(n: usize, mut f: impl FnMut()) -> (f64, f64) {
     let mut best = f64::MAX;
+    let mut worst = 0.0f64;
     for _ in 0..n {
         let t = Instant::now();
         f();
-        best = best.min(t.elapsed().as_secs_f64());
+        let s = t.elapsed().as_secs_f64();
+        best = best.min(s);
+        worst = worst.max(s);
     }
-    best
+    (best, if best > 0.0 { (worst - best) / best * 100.0 } else { 0.0 })
 }
 
 fn main() {
@@ -72,7 +88,7 @@ fn main() {
 
         // Stage 1 alone: classify the document in anchor-sized batches.
         let mut idx = StructuralIndex::new();
-        let classify = best_of(n, || {
+        let (classify, _) = best_of(n, || {
             let mut off = 0usize;
             let mut structural = 0u64;
             while off < bytes.len() {
@@ -83,14 +99,44 @@ fn main() {
             std::hint::black_box(structural);
         });
 
-        // The full tokenizer: every resolved event, names interned.
+        // The full tokenizer: every resolved event, names interned. One
+        // untimed pass captures the event count for the ns/event figures.
         let opts = flux_xml::ReaderOptions { scanner: choice, ..Default::default() };
-        let reader = best_of(n, || {
+        let mut total_events = 0u64;
+        {
+            let mut r = Reader::with_symbols(bytes, opts, symbols.clone());
+            while r.next_resolved().unwrap().is_some() {
+                total_events += 1;
+            }
+        }
+        let (reader, reader_spread) = best_of(n, || {
             let mut r = Reader::with_symbols(bytes, opts, symbols.clone());
             let mut events = 0u64;
             while let Some(ev) = r.next_resolved().unwrap() {
                 std::hint::black_box(&ev);
                 events += 1;
+            }
+            std::hint::black_box(events);
+        });
+
+        // The same tokenizer behind the event tape: fill a batch, walk it.
+        let (tape_secs, tape_spread) = best_of(n, || {
+            let mut r = Reader::incremental_with_symbols(opts, symbols.clone());
+            let mut tape = EventTape::new();
+            r.feed(bytes);
+            r.close();
+            let mut events = 0u64;
+            loop {
+                let fill = r.fill_tape(&mut tape).unwrap();
+                for i in 0..tape.len() {
+                    std::hint::black_box(&r.tape_event(&tape, i));
+                    events += 1;
+                }
+                tape.clear();
+                match fill {
+                    TapeFill::Full => {}
+                    TapeFill::NeedMoreData | TapeFill::End => break,
+                }
             }
             std::hint::black_box(events);
         });
@@ -102,22 +148,36 @@ fn main() {
             let prepared = engine.prepare(q.source).unwrap();
             *slot = best_of(n, || {
                 prepared.run_to(bytes, NullSink::default()).unwrap();
-            });
+            })
+            .0;
         }
 
         let ab = Ab {
             backend: scanner.backend().name(),
             classify_mb_per_s: mb / classify,
             reader_mb_per_s: mb / reader,
+            reader_ns_per_event: reader * 1e9 / total_events as f64,
+            reader_spread_pct: reader_spread,
+            tape_mb_per_s: mb / tape_secs,
+            tape_ns_per_event: tape_secs * 1e9 / total_events as f64,
+            tape_spread_pct: tape_spread,
+            tape_speedup: reader / tape_secs,
             q1_mb_per_s: mb / end_to_end[0],
             q20_mb_per_s: mb / end_to_end[1],
         };
         println!(
-            "tokenizer/{:<4} classify {:>7.1} MB/s  reader {:>6.1} MB/s  \
+            "tokenizer/{:<4} classify {:>7.1} MB/s  reader {:>6.1} MB/s ({:>5.1} ns/ev, \
+             ±{:.1}%)  tape {:>6.1} MB/s ({:>5.1} ns/ev, ±{:.1}%, {:.2}x)  \
              Q1 {:>6.1} MB/s  Q20 {:>6.1} MB/s  (doc {}B, min of {n} samples)",
             ab.backend,
             ab.classify_mb_per_s,
             ab.reader_mb_per_s,
+            ab.reader_ns_per_event,
+            ab.reader_spread_pct,
+            ab.tape_mb_per_s,
+            ab.tape_ns_per_event,
+            ab.tape_spread_pct,
+            ab.tape_speedup,
             ab.q1_mb_per_s,
             ab.q20_mb_per_s,
             bytes.len(),
@@ -145,11 +205,20 @@ fn render_section(doc_bytes: usize, samples: usize, results: &[Ab]) -> String {
         let _ = write!(
             out,
             "{}{{\"backend\": {:?}, \"classify_mb_per_s\": {:.1}, \
-             \"reader_mb_per_s\": {:.1}, \"q1_mb_per_s\": {:.1}, \"q20_mb_per_s\": {:.1}}}",
+             \"reader_mb_per_s\": {:.1}, \"reader_ns_per_event\": {:.2}, \
+             \"reader_spread_pct\": {:.1}, \"tape_mb_per_s\": {:.1}, \
+             \"tape_ns_per_event\": {:.2}, \"tape_spread_pct\": {:.1}, \
+             \"tape_speedup\": {:.3}, \"q1_mb_per_s\": {:.1}, \"q20_mb_per_s\": {:.1}}}",
             if i == 0 { "" } else { ", " },
             r.backend,
             r.classify_mb_per_s,
             r.reader_mb_per_s,
+            r.reader_ns_per_event,
+            r.reader_spread_pct,
+            r.tape_mb_per_s,
+            r.tape_ns_per_event,
+            r.tape_spread_pct,
+            r.tape_speedup,
             r.q1_mb_per_s,
             r.q20_mb_per_s,
         );

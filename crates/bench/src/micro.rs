@@ -44,6 +44,23 @@ impl Timing {
     pub fn mean(&self) -> Duration {
         self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
     }
+
+    /// Slowest sample.
+    pub fn max(&self) -> Duration {
+        *self.sorted.last().expect("at least one sample")
+    }
+
+    /// Sample spread as a percentage of the fastest sample:
+    /// `(max - min) / min * 100`. The single-number noise indicator
+    /// reported next to every min-of-N figure — a large spread means the
+    /// host was busy and the minimum is the only number worth reading.
+    pub fn spread_pct(&self) -> f64 {
+        let min = self.min().as_secs_f64();
+        if min == 0.0 {
+            return 0.0;
+        }
+        (self.max().as_secs_f64() - min) / min * 100.0
+    }
 }
 
 /// Time `f` (execution only — do all preparation before calling this),
@@ -62,11 +79,12 @@ pub fn bench<F: FnMut()>(label: &str, mut f: F) -> Timing {
     sorted.sort_unstable();
     let t = Timing { label: label.to_string(), sorted };
     println!(
-        "{:<44} min {:>10.2?}   median {:>10.2?}   mean {:>10.2?}   ({} samples)",
+        "{:<44} min {:>10.2?}   median {:>10.2?}   mean {:>10.2?}   spread {:>5.1}%   ({} samples)",
         t.label,
         t.min(),
         t.median(),
         t.mean(),
+        t.spread_pct(),
         n
     );
     t

@@ -328,7 +328,9 @@ impl CompiledQuery {
     /// address the same specs), the event-shaping reader options, and the
     /// buffer limit. Restoring a snapshot against a plan with a different
     /// fingerprint is refused. Deliberately excluded: the scanner backend
-    /// choice — snapshots migrate freely between AVX2, SSE2 and SWAR hosts.
+    /// choice — snapshots migrate freely between AVX2, SSE2 and SWAR hosts —
+    /// and the delivery mode, for the same reason: tape and per-event
+    /// sessions produce byte-identical snapshots and restore interchangeably.
     pub fn state_fingerprint(&self) -> u64 {
         let mut h = flux_state::Fnv64::new();
         h.write_u64(self.symbols.fingerprint());

@@ -258,11 +258,21 @@ impl<S: Sink> Pump<S> {
     /// regardless of the depth at park time, and the only state the
     /// withheld events would have changed is the event counter.
     pub fn fast_forward_skip(&mut self, skipped_events: u64) {
+        self.fast_forward_skip_to(1, skipped_events);
+    }
+
+    /// [`Pump::fast_forward_skip`] for a driver that withheld
+    /// `skipped_events` but stopped *inside* the skipped subtree (e.g. a
+    /// tape batch ended mid-subtree): the skip is still `remaining_depth`
+    /// levels deep, so subsequent events resume from that depth instead of
+    /// right before the closing tag.
+    pub fn fast_forward_skip_to(&mut self, remaining_depth: u32, skipped_events: u64) {
         debug_assert!(
             !self.st.failed && self.st.skip > 0 && self.st.observers.is_empty(),
             "fast_forward_skip outside a SkipSubtree parking contract"
         );
-        self.st.skip = 1;
+        debug_assert!(remaining_depth >= 1, "a completed skip ends at its closing tag");
+        self.st.skip = remaining_depth;
         self.st.stats.events += skipped_events;
     }
 
@@ -1163,10 +1173,12 @@ impl<S: Sink> Machine<S> {
                         if firing.is_empty() {
                             // Unhandled child — the common case on selective
                             // queries: skip its whole subtree.
+                            self.stats.tape.prescreen_hits += 1;
                             self.firing_scratch = firing;
                             self.skip = 1;
                             return Ok(());
                         }
+                        self.stats.tape.prescreen_misses += 1;
                         let firing = self.handle_child(plan, sidx, firing)?;
                         self.firing_scratch = firing;
                         Ok(())

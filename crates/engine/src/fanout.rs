@@ -47,7 +47,7 @@ use std::sync::Arc;
 
 use flux_core::FluxExpr;
 use flux_dtd::Dtd;
-use flux_xml::{NameId, ResolvedEvent, Sink, Symbols};
+use flux_xml::{EventTape, FeedSource, NameId, Reader, ResolvedEvent, Sink, Symbols, TapeKind};
 
 use crate::budget::BudgetHook;
 use crate::compile::{CBody, CHandler, CompiledQuery, EngineError, EngineOptions, Top};
@@ -408,6 +408,49 @@ impl<S: Sink> FanoutDriver<S> {
             }
             ResolvedEvent::Text(_) => self.feed_active(ev),
         }
+    }
+
+    /// Advance every live subscription by one drained tape batch (the
+    /// batched sibling of [`FanoutDriver::feed_event`]; identical dispatch,
+    /// identical counters). Returns the number of events the driver
+    /// *scanned* instead of dispatching: while every subscriber is parked
+    /// (or detached), only an end tag closing at a populated wake depth
+    /// matters, so the driver walks the recorded kinds directly — the
+    /// fan-out analogue of the single-pump in-tape skip scan.
+    pub fn feed_tape(&mut self, reader: &Reader<FeedSource>, tape: &EventTape) -> u64 {
+        let mut scanned = 0u64;
+        let mut i = 0;
+        while i < tape.len() {
+            if self.active.is_empty() {
+                while i < tape.len() {
+                    match tape.kind(i) {
+                        TapeKind::Start => self.depth += 1,
+                        TapeKind::Text => {}
+                        TapeKind::End => {
+                            let new_depth = self.depth.saturating_sub(1);
+                            if self.wake.get(new_depth as usize).is_some_and(|b| !b.is_empty()) {
+                                // Someone wakes on this close: feed it
+                                // through the full path below.
+                                break;
+                            }
+                            self.depth = new_depth;
+                        }
+                    }
+                    // Same counter discipline as `feed_event`: every event,
+                    // dispatched or withheld, counts once (parked pumps
+                    // reconcile against it on wake).
+                    self.events += 1;
+                    scanned += 1;
+                    i += 1;
+                }
+                if i >= tape.len() {
+                    break;
+                }
+            }
+            self.feed_event(reader.tape_event(tape, i));
+            i += 1;
+        }
+        scanned
     }
 
     /// Revive every subscriber parked at `wake_depth`, reconciling its

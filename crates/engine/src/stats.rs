@@ -8,7 +8,7 @@
 //! Fixed per-structure overhead is excluded, as the paper excludes the JVM's
 //! fixed footprint.
 
-use flux_xml::ScanTelemetry;
+use flux_xml::{ScanTelemetry, TapeTelemetry};
 
 /// Counters accumulated during one streaming run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +34,11 @@ pub struct RunStats {
     /// Deliberately compares equal regardless of contents — the split is
     /// chunk-geometry-dependent and must not perturb stats equality.
     pub scan: ScanTelemetry,
+    /// Delivery-layer telemetry: tape batches drained, events delivered or
+    /// fast-forwarded through the tape, quick-resolve and skip-pre-screen
+    /// hit rates. Always-equal for the same reason as `scan`, and — like
+    /// `scan` — never serialized into snapshots.
+    pub tape: TapeTelemetry,
 }
 
 impl RunStats {

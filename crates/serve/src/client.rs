@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use flux_xml::{Backend, ScanTelemetry};
+use flux_xml::{Backend, ScanTelemetry, TapeTelemetry};
 
 use crate::protocol::{encode_frame, DecodePoll, ErrorCode, FrameDecoder, FrameKind, HEADER_LEN};
 
@@ -30,6 +30,10 @@ pub enum ServerMsg {
         /// Scanner telemetry from the server's tokenizer; `None` when the
         /// server speaks the pre-telemetry 17-byte `DONE` payload.
         scan: Option<ScanTelemetry>,
+        /// Delivery-tape telemetry (batches, tape-delivered events,
+        /// fast-forwarded events); `None` when the server speaks a
+        /// pre-tape `DONE` payload.
+        tape: Option<TapeTelemetry>,
     },
     /// The run was aborted (acknowledges `ABORT`).
     AbortAck,
@@ -65,6 +69,9 @@ pub struct Outcome {
     /// Scanner telemetry from the `DONE` frame (`None` until the run
     /// finishes, or from a pre-telemetry server).
     pub scan: Option<ScanTelemetry>,
+    /// Delivery-tape telemetry from the `DONE` frame (`None` until the
+    /// run finishes, or from a pre-tape server).
+    pub tape: Option<TapeTelemetry>,
     /// The run acknowledged an abort.
     pub aborted: bool,
     /// The `ERROR` frame, if any ended the run.
@@ -250,9 +257,10 @@ impl Client {
         loop {
             match self.next_msg()? {
                 ServerMsg::Result(bytes) => out.output.extend_from_slice(&bytes),
-                ServerMsg::Done { events, output_bytes, scan } => {
+                ServerMsg::Done { events, output_bytes, scan, tape } => {
                     out.done = Some((events, output_bytes));
                     out.scan = scan;
+                    out.tape = tape;
                     return Ok(out);
                 }
                 ServerMsg::AbortAck => {
@@ -342,9 +350,10 @@ impl Client {
                     }
                     match decode_msg(kind, &payload[4..])? {
                         ServerMsg::Result(bytes) => outs[sub].output.extend_from_slice(&bytes),
-                        ServerMsg::Done { events, output_bytes, scan } => {
+                        ServerMsg::Done { events, output_bytes, scan, tape } => {
                             outs[sub].done = Some((events, output_bytes));
                             outs[sub].scan = scan;
+                            outs[sub].tape = tape;
                             open[sub] = false;
                         }
                         ServerMsg::AbortAck => {
@@ -404,13 +413,13 @@ fn decode_msg(kind: FrameKind, payload: &[u8]) -> io::Result<ServerMsg> {
     Ok(match kind {
         FrameKind::Result => ServerMsg::Result(payload.to_vec()),
         FrameKind::Done => match payload.first() {
-            // Both the current 34-byte payload (with scanner telemetry)
-            // and the pre-telemetry 17-byte one decode: a new client can
-            // talk to an old server.
-            Some(0) if payload.len() == 17 || payload.len() == 34 => ServerMsg::Done {
+            // The current 58-byte payload (scanner + tape telemetry), the
+            // pre-tape 34-byte one, and the pre-telemetry 17-byte one all
+            // decode: a new client can talk to an old server.
+            Some(0) if matches!(payload.len(), 17 | 34 | 58) => ServerMsg::Done {
                 events: u64::from_be_bytes(payload[1..9].try_into().expect("8 bytes")),
                 output_bytes: u64::from_be_bytes(payload[9..17].try_into().expect("8 bytes")),
-                scan: if payload.len() == 34 {
+                scan: if payload.len() >= 34 {
                     Some(ScanTelemetry {
                         backend: Backend::from_code(payload[17])
                             .ok_or_else(|| bad("unknown scanner backend code in DONE"))?,
@@ -420,6 +429,18 @@ fn decode_msg(kind: FrameKind, payload: &[u8]) -> io::Result<ServerMsg> {
                         general_path_bytes: u64::from_be_bytes(
                             payload[26..34].try_into().expect("8 bytes"),
                         ),
+                    })
+                } else {
+                    None
+                },
+                tape: if payload.len() >= 58 {
+                    Some(TapeTelemetry {
+                        batches: u64::from_be_bytes(payload[34..42].try_into().expect("8 bytes")),
+                        events: u64::from_be_bytes(payload[42..50].try_into().expect("8 bytes")),
+                        fast_forwarded: u64::from_be_bytes(
+                            payload[50..58].try_into().expect("8 bytes"),
+                        ),
+                        ..TapeTelemetry::default()
                     })
                 } else {
                     None
@@ -463,25 +484,36 @@ mod tests {
 
     #[test]
     fn done_decodes_current_and_legacy_payloads() {
-        // Current 34-byte payload: counters + scanner telemetry.
+        // Current 58-byte payload: counters + scanner + tape telemetry.
         let scan = ScanTelemetry {
             backend: Backend::Avx2,
             fast_path_bytes: 4096,
             general_path_bytes: 128,
         };
-        let payload = crate::protocol::done_finished_payload(10, 20, scan);
+        let tape =
+            TapeTelemetry { batches: 2, events: 9, fast_forwarded: 4, ..TapeTelemetry::default() };
+        let payload = crate::protocol::done_finished_payload(10, 20, scan, tape);
         match decode_msg(FrameKind::Done, &payload).unwrap() {
-            ServerMsg::Done { events: 10, output_bytes: 20, scan: Some(got) } => {
+            ServerMsg::Done { events: 10, output_bytes: 20, scan: Some(got), tape: Some(t) } => {
                 assert_eq!(got.backend, Backend::Avx2);
                 assert_eq!(got.fast_path_bytes, 4096);
                 assert_eq!(got.general_path_bytes, 128);
+                assert_eq!(t.batches, 2);
+                assert_eq!(t.events, 9);
+                assert_eq!(t.fast_forwarded, 4);
             }
+            other => panic!("{other:?}"),
+        }
+
+        // Pre-tape 34-byte payload still decodes, with tape absent.
+        match decode_msg(FrameKind::Done, &payload[..34]).unwrap() {
+            ServerMsg::Done { events: 10, output_bytes: 20, scan: Some(_), tape: None } => {}
             other => panic!("{other:?}"),
         }
 
         // Pre-telemetry 17-byte payload still decodes, with scan absent.
         match decode_msg(FrameKind::Done, &payload[..17]).unwrap() {
-            ServerMsg::Done { events: 10, output_bytes: 20, scan: None } => {}
+            ServerMsg::Done { events: 10, output_bytes: 20, scan: None, tape: None } => {}
             other => panic!("{other:?}"),
         }
 

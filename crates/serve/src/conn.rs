@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use flux::RuntimeId;
-use flux_xml::{ScanTelemetry, Sink};
+use flux_xml::{ScanTelemetry, Sink, TapeTelemetry};
 
 use crate::poller::Interest;
 use crate::protocol::{
@@ -204,8 +204,9 @@ impl Conn {
         events: u64,
         output_bytes: u64,
         scan: ScanTelemetry,
+        tape: TapeTelemetry,
     ) {
-        encode_done_finished(&mut self.out, events, output_bytes, scan);
+        encode_done_finished(&mut self.out, events, output_bytes, scan, tape);
     }
 
     /// Queue the `DONE` frame acknowledging an abort.
@@ -237,8 +238,13 @@ impl Conn {
         events: u64,
         output_bytes: u64,
         scan: ScanTelemetry,
+        tape: TapeTelemetry,
     ) {
-        self.queue_tagged(sub, FrameKind::Done, &done_finished_payload(events, output_bytes, scan));
+        self.queue_tagged(
+            sub,
+            FrameKind::Done,
+            &done_finished_payload(events, output_bytes, scan, tape),
+        );
     }
 
     /// Queue a subscriber-tagged aborted-`DONE` frame.

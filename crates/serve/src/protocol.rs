@@ -15,7 +15,7 @@
 //! | 0x05 | c→s | `SNAPSHOT`| empty — suspend the run to a server-side snapshot and detach |
 //! | 0x06 | c→s | `RESUME`  | UTF-8 snapshot token — re-attach a suspended run |
 //! | 0x81 | s→c | `RESULT`  | next bytes of the query output (any split) |
-//! | 0x82 | s→c | `DONE`    | 1 status byte (0 finished / 1 aborted); on 0: two u64-BE — events, output bytes — then scanner telemetry: 1 backend-code byte ([`Backend::code`](flux_xml::Backend::code)) + two u64-BE — fast-path bytes, general-path bytes |
+//! | 0x82 | s→c | `DONE`    | 1 status byte (0 finished / 1 aborted); on 0: two u64-BE — events, output bytes — then scanner telemetry: 1 backend-code byte ([`Backend::code`](flux_xml::Backend::code)) + two u64-BE — fast-path bytes, general-path bytes — then tape telemetry: three u64-BE — batches drained, tape-delivered events, fast-forwarded events (all 0 under per-event delivery). Decoders accept the pre-tape 34-byte body for compatibility. |
 //! | 0x83 | s→c | `STALLED` | empty — the session paused on the shared budget; ease off |
 //! | 0x84 | s→c | `RESUMED` | empty — the session is executing again |
 //! | 0x85 | s→c | `ERROR`   | 1 [`ErrorCode`] byte + UTF-8 message |
@@ -64,7 +64,7 @@
 
 use std::fmt;
 
-use flux_xml::ScanTelemetry;
+use flux_xml::{ScanTelemetry, TapeTelemetry};
 
 /// Bytes of a frame header: kind + u32 payload length.
 pub const HEADER_LEN: usize = 5;
@@ -304,16 +304,26 @@ pub fn encode_error(out: &mut Vec<u8>, code: ErrorCode, message: &str) {
 }
 
 /// The payload of a finished-run `DONE` frame: status 0, two u64-BE run
-/// counters, then the scanner telemetry (backend code byte + two u64-BE
-/// per-path byte counters). Shared fan-out prefixes this with a subscriber
-/// tag, so the body is built separately from the frame.
-pub fn done_finished_payload(events: u64, output_bytes: u64, scan: ScanTelemetry) -> [u8; 34] {
-    let mut payload = [0u8; 34];
+/// counters, the scanner telemetry (backend code byte + two u64-BE
+/// per-path byte counters), then the delivery-tape telemetry (three
+/// u64-BE: batches, tape-delivered events, fast-forwarded events — all 0
+/// under per-event delivery). Shared fan-out prefixes this with a
+/// subscriber tag, so the body is built separately from the frame.
+pub fn done_finished_payload(
+    events: u64,
+    output_bytes: u64,
+    scan: ScanTelemetry,
+    tape: TapeTelemetry,
+) -> [u8; 58] {
+    let mut payload = [0u8; 58];
     payload[1..9].copy_from_slice(&events.to_be_bytes());
     payload[9..17].copy_from_slice(&output_bytes.to_be_bytes());
     payload[17] = scan.backend.code();
     payload[18..26].copy_from_slice(&scan.fast_path_bytes.to_be_bytes());
     payload[26..34].copy_from_slice(&scan.general_path_bytes.to_be_bytes());
+    payload[34..42].copy_from_slice(&tape.batches.to_be_bytes());
+    payload[42..50].copy_from_slice(&tape.events.to_be_bytes());
+    payload[50..58].copy_from_slice(&tape.fast_forwarded.to_be_bytes());
     payload
 }
 
@@ -323,8 +333,9 @@ pub fn encode_done_finished(
     events: u64,
     output_bytes: u64,
     scan: ScanTelemetry,
+    tape: TapeTelemetry,
 ) {
-    encode_frame(out, FrameKind::Done, &done_finished_payload(events, output_bytes, scan));
+    encode_frame(out, FrameKind::Done, &done_finished_payload(events, output_bytes, scan, tape));
 }
 
 /// Append a `DONE` frame acknowledging an abort.
@@ -411,19 +422,28 @@ mod tests {
             fast_path_bytes: 900,
             general_path_bytes: 100,
         };
+        let tape = TapeTelemetry {
+            batches: 3,
+            events: 40,
+            fast_forwarded: 11,
+            ..TapeTelemetry::default()
+        };
         let mut out = Vec::new();
-        encode_done_finished(&mut out, 42, 7, scan);
+        encode_done_finished(&mut out, 42, 7, scan, tape);
         let mut dec = FrameDecoder::new(64);
         dec.feed(&out);
         match dec.poll().unwrap() {
             DecodePoll::Frame { kind: FrameKind::Done, payload } => {
-                assert_eq!(payload.len(), 34);
+                assert_eq!(payload.len(), 58);
                 assert_eq!(payload[0], 0);
                 assert_eq!(u64::from_be_bytes(payload[1..9].try_into().unwrap()), 42);
                 assert_eq!(u64::from_be_bytes(payload[9..17].try_into().unwrap()), 7);
                 assert_eq!(payload[17], flux_xml::Backend::Sse2.code());
                 assert_eq!(u64::from_be_bytes(payload[18..26].try_into().unwrap()), 900);
                 assert_eq!(u64::from_be_bytes(payload[26..34].try_into().unwrap()), 100);
+                assert_eq!(u64::from_be_bytes(payload[34..42].try_into().unwrap()), 3);
+                assert_eq!(u64::from_be_bytes(payload[42..50].try_into().unwrap()), 40);
+                assert_eq!(u64::from_be_bytes(payload[50..58].try_into().unwrap()), 11);
             }
             other => panic!("{other:?}"),
         }

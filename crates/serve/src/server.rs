@@ -483,6 +483,7 @@ impl Server {
                                     stats.events,
                                     stats.output_bytes,
                                     stats.scan,
+                                    stats.tape,
                                 );
                             }
                             Err(e) => {
@@ -515,6 +516,7 @@ impl Server {
                                     stats.events,
                                     stats.output_bytes,
                                     stats.scan,
+                                    stats.tape,
                                 ),
                                 Err(e) => conn.queue_error_tagged(
                                     sub as u32,

@@ -35,6 +35,12 @@
 //!   the reader's text/name/attribute loops consume instead of
 //!   byte-at-a-time dispatch. See the module docs for the feature-detection
 //!   story and the `FeedSource` batch-boundary contract.
+//! * [`tape`] — batched event delivery: the reader records whole batches
+//!   of resolved events into a reusable [`tape::EventTape`] that consumers
+//!   walk with a tight index loop (and skip subtrees inside with a scan
+//!   over recorded close events), amortizing the per-event pull-API cost.
+//!   See the module docs for the anchor → batch → drain → rollback
+//!   lifecycle and why the tape is never serialized.
 //!
 //! The data model follows the paper: elements and character data only; the
 //! reader either rejects, drops, or converts attributes. Namespaces, DTD
@@ -49,6 +55,7 @@ pub mod reader;
 pub mod scan;
 pub mod sink;
 pub mod symbols;
+pub mod tape;
 pub mod tree;
 pub mod writer;
 pub mod xsax;
@@ -57,10 +64,12 @@ pub use evbuf::EventBuf;
 pub use events::{Event, OwnedEvent, ResolvedEvent};
 pub use idtrie::IdTrie;
 pub use reader::{
-    AttributeMode, FeedSource, Polled, Reader, ReaderOptions, XmlError, XmlErrorKind,
+    AttributeMode, FeedSource, Polled, Reader, ReaderOptions, SkipPoll, TapeFill, XmlError,
+    XmlErrorKind,
 };
 pub use scan::{Backend, ScanTelemetry, Scanner, ScannerChoice};
 pub use sink::{Sink, StringSink};
 pub use symbols::{NameId, Symbols};
+pub use tape::{DeliveryMode, EventTape, SkipScan, TapeKind, TapeTelemetry};
 pub use tree::{Child, Node};
 pub use writer::Writer;

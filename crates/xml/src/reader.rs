@@ -31,6 +31,7 @@ use crate::evbuf::EventBuf;
 use crate::events::{Event, OwnedEvent, ResolvedEvent};
 use crate::scan::{ScanTelemetry, Scanner, ScannerChoice, StructuralIndex, BLOCK};
 use crate::symbols::{NameId, Symbols};
+use crate::tape::{DeliveryMode, EventTape, TapeKind, TAPE_BATCH_EVENTS};
 use crate::xsax::converted_name_into;
 
 /// How the reader treats attributes in start tags.
@@ -60,6 +61,11 @@ pub struct ReaderOptions {
     /// Structural-scanner backend selection (see [`crate::scan`]); defaults
     /// to the best kernel the CPU supports.
     pub scanner: ScannerChoice,
+    /// Event delivery strategy (see [`crate::tape`]); defaults to batched
+    /// tape delivery. Like the scanner backend, this is a performance
+    /// knob, not a semantic one: the event stream, all errors, and all
+    /// snapshot bytes are identical across modes.
+    pub delivery: DeliveryMode,
 }
 
 /// Classification of parse failures.
@@ -169,6 +175,30 @@ enum Fast {
     Fallback,
 }
 
+/// Per-event name resolution with quick-table hit accounting. A free
+/// function over the reader's disjoint fields so call sites may keep the
+/// name borrowed from the input buffers while the counters are bumped.
+#[inline]
+fn resolve_counted(
+    symbols: &Option<Arc<Symbols>>,
+    quick_hits: &mut u64,
+    quick_misses: &mut u64,
+    name: &str,
+) -> NameId {
+    match symbols {
+        Some(s) => {
+            let (id, quick) = s.resolve_traced(name);
+            if quick {
+                *quick_hits += 1;
+            } else {
+                *quick_misses += 1;
+            }
+            id
+        }
+        None => NameId::UNKNOWN,
+    }
+}
+
 /// Record an element opening: a self-closing tag queues its end event in
 /// the pending buffer (reclaiming it first if fully drained); an open tag
 /// appends its name bytes to the flat stack arena. A free function over the
@@ -267,6 +297,45 @@ fn find_structural(
     }
 }
 
+/// [`find_structural`] for the burst walk of [`Reader::skip_events`]: the
+/// window is anchored at the *burst start* (which never moves — the walk
+/// does not consume), so the search position `start` is an arbitrary
+/// window-relative offset rather than always `0`. `shift` maps
+/// window-relative positions to index positions (`idx_pos = pos + shift`);
+/// it goes negative once the walk re-anchors mid-window. The re-anchor
+/// policy is the same as [`find_structural`]'s: anchor at the current
+/// search position when the walk has moved past the batch start (bounding
+/// mask storage at one anchor batch regardless of burst length), extend in
+/// place only while sitting on a fresh anchor.
+#[inline]
+fn skip_find(
+    scanner: Scanner,
+    idx: &mut StructuralIndex,
+    off0: u64,
+    shift: &mut isize,
+    buf: &[u8],
+    start: usize,
+    gt: bool,
+) -> Option<usize> {
+    loop {
+        let from = start.wrapping_add_signed(*shift);
+        let hit = if gt { idx.first_gt(from) } else { idx.first_lt(from) };
+        if let Some(p) = hit {
+            return Some(p.wrapping_add_signed(-*shift));
+        }
+        let covered_rel = idx.covered().wrapping_add_signed(-*shift);
+        if covered_rel >= buf.len() {
+            return None;
+        }
+        if from > 0 {
+            scanner.anchor(idx, off0 + start as u64, &buf[start..]);
+            *shift = -(start as isize);
+        } else {
+            scanner.extend(idx, &buf[covered_rel..]);
+        }
+    }
+}
+
 /// Streaming pull parser. See the [module documentation](self).
 pub struct Reader<R> {
     src: R,
@@ -280,6 +349,10 @@ pub struct Reader<R> {
     fast_bytes: u64,
     /// Bytes consumed via the accumulating general path (telemetry).
     general_bytes: u64,
+    /// Name resolutions answered by the `Symbols` quick table (telemetry).
+    quick_hits: u64,
+    /// Name resolutions that fell through to the FNV map (telemetry).
+    quick_misses: u64,
     /// Static vocabulary for [`Reader::next_resolved`]; without it every
     /// name resolves to [`NameId::UNKNOWN`].
     symbols: Option<Arc<Symbols>>,
@@ -332,6 +405,8 @@ impl<R: BufRead> Reader<R> {
             sidx: StructuralIndex::new(),
             fast_bytes: 0,
             general_bytes: 0,
+            quick_hits: 0,
+            quick_misses: 0,
             symbols: None,
             stack: Vec::new(),
             stack_buf: String::new(),
@@ -387,12 +462,10 @@ impl<R: BufRead> Reader<R> {
         Err(XmlError { kind, offset: self.offset })
     }
 
-    #[inline]
-    fn resolve(&self, name: &str) -> NameId {
-        match &self.symbols {
-            Some(s) => s.resolve(name),
-            None => NameId::UNKNOWN,
-        }
+    /// Quick-resolve cache counters `(hits, misses)` — see
+    /// [`Symbols::resolve_traced`]. Telemetry only; never serialized.
+    pub fn quick_counters(&self) -> (u64, u64) {
+        (self.quick_hits, self.quick_misses)
     }
 
     /// Pull the next event. Returns `Ok(None)` at a well-formed end of
@@ -653,10 +726,12 @@ impl<R: BufRead> Reader<R> {
                     _ => return self.fast_attr_tag(delta, pos, i),
                 };
                 let name = std::str::from_utf8(&body[..i]).expect("ASCII-checked name");
-                let id = match &self.symbols {
-                    Some(s) => s.resolve(name),
-                    None => NameId::UNKNOWN,
-                };
+                let id = resolve_counted(
+                    &self.symbols,
+                    &mut self.quick_hits,
+                    &mut self.quick_misses,
+                    name,
+                );
                 self.seen_root = true;
                 if self_closing {
                     // The end event goes to `pending`; the start borrows
@@ -724,6 +799,8 @@ impl<R: BufRead> Reader<R> {
             attr_spans,
             offset,
             seen_root,
+            quick_hits,
+            quick_misses,
             ..
         } = self;
         let buf = src
@@ -784,10 +861,7 @@ impl<R: BufRead> Reader<R> {
         // Phase 2: commit. All slices are ASCII-checked above.
         let name = std::str::from_utf8(&body[..name_len]).expect("ASCII-checked name");
         let symbols: &Option<Arc<Symbols>> = symbols;
-        let resolve = |n: &str| match symbols {
-            Some(s) => s.resolve(n),
-            None => NameId::UNKNOWN,
-        };
+        let mut resolve = |n: &str| resolve_counted(symbols, quick_hits, quick_misses, n);
         let id = resolve(name);
         *seen_root = true;
         let emitted = if attr_spans.is_empty() || matches!(opts.attributes, AttributeMode::Drop) {
@@ -1000,7 +1074,8 @@ impl<R: BufRead> Reader<R> {
         if attr_src.is_empty() {
             // Fast path: no attributes. One hash, no allocation — the open
             // element's name bytes go to the flat stack arena.
-            let id = self.resolve(name);
+            let id =
+                resolve_counted(&self.symbols, &mut self.quick_hits, &mut self.quick_misses, name);
             self.cur_id = id;
             self.name_buf.clear();
             self.name_buf.push_str(name);
@@ -1025,7 +1100,12 @@ impl<R: BufRead> Reader<R> {
                 attribute: attrs[0].0.clone(),
             }),
             AttributeMode::Drop => {
-                let id = self.resolve(name);
+                let id = resolve_counted(
+                    &self.symbols,
+                    &mut self.quick_hits,
+                    &mut self.quick_misses,
+                    name,
+                );
                 self.cur_id = id;
                 self.name_buf.clear();
                 self.name_buf.push_str(name);
@@ -1050,11 +1130,21 @@ impl<R: BufRead> Reader<R> {
                     self.pending.clear();
                     self.pending_pos = 0;
                 }
-                let id = self.resolve(name);
+                let id = resolve_counted(
+                    &self.symbols,
+                    &mut self.quick_hits,
+                    &mut self.quick_misses,
+                    name,
+                );
                 self.pending.push_start(id, name);
                 for (attr, value) in &attrs {
                     converted_name_into(name, attr, &mut self.synth_buf);
-                    let sub_id = self.resolve(&self.synth_buf);
+                    let sub_id = resolve_counted(
+                        &self.symbols,
+                        &mut self.quick_hits,
+                        &mut self.quick_misses,
+                        &self.synth_buf,
+                    );
                     self.pending.push_start(sub_id, &self.synth_buf);
                     if !value.is_empty() {
                         self.pending.push_text(value);
@@ -1109,6 +1199,11 @@ pub struct FeedSource {
     /// fragmentation. Maintained by [`Reader::poll_resolved`]; may lag
     /// behind `pos` (then it is simply ignored).
     lt_scanned: usize,
+    /// Window generation counter, bumped on every [`FeedSource::feed`].
+    /// Tape window spans record the epoch they were taken against, so
+    /// materializing a stale span (after the compaction in `feed` shifted
+    /// the buffer) is caught in debug builds.
+    epoch: u64,
 }
 
 impl FeedSource {
@@ -1121,6 +1216,7 @@ impl FeedSource {
             self.pos = 0;
         }
         self.buf.extend_from_slice(bytes);
+        self.epoch += 1;
     }
 }
 
@@ -1157,6 +1253,33 @@ pub enum Polled<'a> {
     NeedMoreData,
     /// The source is closed and the document fully parsed.
     End,
+}
+
+/// Outcome of one [`Reader::fill_tape`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapeFill {
+    /// The batch reached capacity: drain the tape and fill again.
+    Full,
+    /// The fed bytes ended mid-construct: drain the tape, then
+    /// [`Reader::feed`] more (or [`Reader::close`]) and fill again.
+    NeedMoreData,
+    /// The source is closed and the document fully parsed.
+    End,
+}
+
+/// Outcome of one [`Reader::skip_events`] structural fast-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipPoll {
+    /// The subtree is fully scanned past: `events` interior events were
+    /// skipped, and the end tag closing it is next — still unconsumed (the
+    /// next [`Reader::fill_tape`] batch opens with it), unless the general
+    /// machinery had already committed it, in which case it is the single
+    /// event on the tape passed in (drain it before the next fill).
+    Closed { events: u64 },
+    /// The fed bytes ran out `depth` levels inside the subtree after
+    /// skipping `events` events: [`Reader::feed`] more (or
+    /// [`Reader::close`]) and re-enter.
+    More { events: u64, depth: u32 },
 }
 
 /// Rollback point for the incremental mode: everything an event-parse
@@ -1274,6 +1397,720 @@ impl Reader<FeedSource> {
             Err(_) if self.src.hit_end && !self.src.closed => {
                 self.restore(cp);
                 Ok(Polled::NeedMoreData)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parse as many events as fit into one tape batch. See
+    /// [`crate::tape`] for the lifecycle; this is the batched sibling of
+    /// [`Reader::poll_resolved`] — same state machine, same rollback
+    /// discipline, same event stream — minus the per-event slot handshake:
+    /// each event is recorded onto the tape as it is parsed, with deferred
+    /// window/stack borrows committed immediately.
+    ///
+    /// On [`TapeFill::NeedMoreData`] only the trailing *partial* construct
+    /// is rolled back; everything recorded stands and must be drained
+    /// (via [`Reader::tape_event`]) before the next [`Reader::feed`],
+    /// which compacts the window the tape's text spans point into.
+    pub fn fill_tape(&mut self, tape: &mut EventTape) -> Result<TapeFill, XmlError> {
+        debug_assert!(tape.is_empty(), "previous batch must be drained before a refill");
+        tape.clear();
+        tape.epoch = self.src.epoch;
+        // Commit borrows a preceding per-event pull may have left open
+        // (the two modes may be mixed freely on one reader).
+        if self.defer_consume > 0 {
+            self.src.consume(self.defer_consume);
+            self.defer_consume = 0;
+        }
+        if let Slot::StackPop = self.slot {
+            let (off, _) = self.stack.pop().expect("deferred pop has an open element");
+            self.stack_buf.truncate(off as usize);
+            self.slot = Slot::None;
+        }
+        loop {
+            if tape.is_full() {
+                return Ok(TapeFill::Full);
+            }
+            // Inside the root with no queued events, a lean burst records
+            // straight off the window; the document edges, pending drains
+            // and everything non-lean take the per-event machinery below.
+            if !self.finished && self.pending_pos >= self.pending.len() && !self.stack.is_empty() {
+                if let Some(fill) = self.fill_burst(tape)? {
+                    return Ok(fill);
+                }
+                continue;
+            }
+            // Text-scan fast exit, exactly as in `poll_resolved`: outside a
+            // tag no event can complete before the next `<` arrives.
+            if !self.in_tag
+                && !self.finished
+                && !self.src.closed
+                && self.pending_pos >= self.pending.len()
+            {
+                let from = self.src.pos.max(self.src.lt_scanned);
+                match self.scanner.find_byte(b'<', &self.src.buf[from..]) {
+                    Some(i) => self.src.lt_scanned = from + i,
+                    None => {
+                        self.src.lt_scanned = self.src.buf.len();
+                        return Ok(TapeFill::NeedMoreData);
+                    }
+                }
+            }
+            let cp = self.checkpoint();
+            self.src.hit_end = false;
+            match self.advance() {
+                Ok(true) => {
+                    debug_assert!(
+                        !self.src.hit_end || self.src.closed,
+                        "an emitted event must not depend on bytes past the fed window"
+                    );
+                    self.record(tape);
+                }
+                Ok(false) if self.src.hit_end && !self.src.closed => {
+                    self.restore(cp);
+                    return Ok(TapeFill::NeedMoreData);
+                }
+                Ok(false) => return Ok(TapeFill::End),
+                Err(_) if self.src.hit_end && !self.src.closed => {
+                    self.restore(cp);
+                    return Ok(TapeFill::NeedMoreData);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One lean recording burst inside [`Reader::fill_tape`]: walk the fed
+    /// window *without consuming*, recording entity-free clean text runs
+    /// and attribute-free ASCII tags straight onto the tape as window
+    /// spans — no advance/slot handshake, no per-event checkpoint, no
+    /// arena copies. Position, stream offset and byte counters are
+    /// committed in bulk at burst exits; `(b_lpos, b_in_tag)` track the
+    /// last event boundary so a window-exhausted exit rolls back to
+    /// exactly the state a per-event fill would report `NeedMoreData`
+    /// from (see [`Reader::skip_events`], which uses the same discipline
+    /// without the recording).
+    ///
+    /// Lean end tags are gated to `stack.len() >= 2` so closing the root
+    /// (and the `finished` transition) always rides the general path.
+    /// Returns `Some` when the fill is over, `None` after one general
+    /// fallback step to let the caller re-enter.
+    fn fill_burst(&mut self, tape: &mut EventTape) -> Result<Option<TapeFill>, XmlError> {
+        /// How the burst ended.
+        enum BurstExit {
+            /// A construct the burst does not handle: one general step.
+            Fallback,
+            /// The tape reached its event cap at a boundary.
+            Full,
+            /// No `<` before the end of a still-open window.
+            NoLt,
+        }
+        let start = self.src.pos;
+        let off0 = self.offset;
+        let closed = self.src.closed;
+        let keep_ws = self.opts.keep_whitespace;
+        let buf = &self.src.buf[start..];
+        let mut shift = ensure_index(self.scanner, &mut self.sidx, off0, buf) as isize;
+        let mut lpos = 0usize;
+        let mut in_tag = self.in_tag;
+        let mut b_lpos = 0usize;
+        let mut b_in_tag = in_tag;
+        let exit = 'burst: loop {
+            if tape.items.len() >= TAPE_BATCH_EVENTS {
+                break 'burst BurstExit::Full;
+            }
+            if !in_tag {
+                // ---- text step: mirrors `fast_text` ----
+                if lpos >= buf.len() {
+                    break 'burst if closed { BurstExit::Fallback } else { BurstExit::NoLt };
+                }
+                if buf[lpos] == b'<' {
+                    lpos += 1;
+                    in_tag = true;
+                    continue 'burst;
+                }
+                let found =
+                    skip_find(self.scanner, &mut self.sidx, off0, &mut shift, buf, lpos, false);
+                let Some(p) = found else {
+                    break 'burst if closed { BurstExit::Fallback } else { BurstExit::NoLt };
+                };
+                let (any_hi, any_amp, any_nonws) = self
+                    .sidx
+                    .text_props(lpos.wrapping_add_signed(shift), p.wrapping_add_signed(shift));
+                if any_hi || any_amp {
+                    break 'burst BurstExit::Fallback; // entities / non-ASCII: decode path
+                }
+                if any_nonws || keep_ws {
+                    tape.push_window(TapeKind::Text, NameId::UNKNOWN, start + lpos, p - lpos);
+                    lpos = p + 1;
+                    in_tag = true;
+                    b_lpos = lpos;
+                    b_in_tag = true;
+                } else {
+                    lpos = p + 1;
+                    in_tag = true;
+                }
+                continue 'burst;
+            }
+            // ---- tag step: mirrors `fast_tag` ----
+            let found = skip_find(self.scanner, &mut self.sidx, off0, &mut shift, buf, lpos, true);
+            let Some(p) = found else {
+                break 'burst BurstExit::Fallback; // crossing tag or EOF
+            };
+            let body = &buf[lpos..p];
+            let Some(&first) = body.first() else {
+                break 'burst BurstExit::Fallback; // `<>`: the general path errors
+            };
+            if first == b'/' {
+                if self.stack.len() < 2 {
+                    break 'burst BurstExit::Fallback; // root close: general path
+                }
+                match self.stack.last() {
+                    Some(&(off, _)) if self.stack_buf.as_bytes()[off as usize..] == body[1..] => {}
+                    // Trailing whitespace or a genuine mismatch: the
+                    // general path re-examines it.
+                    _ => break 'burst BurstExit::Fallback,
+                }
+                let (off, id) = self.stack.pop().expect("open element inside the root");
+                self.stack_buf.truncate(off as usize);
+                tape.push_window(TapeKind::End, id, start + lpos + 1, body.len() - 1);
+                lpos = p + 1;
+                in_tag = false;
+                b_lpos = lpos;
+                b_in_tag = false;
+                continue 'burst;
+            }
+            if !(first.is_ascii_alphabetic() || first == b'_' || first == b':') {
+                break 'burst BurstExit::Fallback; // comments, PIs, DOCTYPE
+            }
+            let bpos = lpos.wrapping_add_signed(shift);
+            let i = (self.sidx.name_run(bpos + 1) - bpos).min(body.len());
+            let self_closing = match body.len() - i {
+                0 => false,
+                1 if body[i] == b'/' => true,
+                _ => break 'burst BurstExit::Fallback, // attribute list: conversion path
+            };
+            if self_closing && tape.items.len() + 2 > TAPE_BATCH_EVENTS {
+                // The pair would overshoot the batch cap: the general path
+                // records the start and queues the end for the next batch,
+                // exactly as per-event delivery splits it.
+                break 'burst BurstExit::Fallback;
+            }
+            // SAFETY: `first` was checked ASCII above and `body[1..i]` lies
+            // inside the scanner's name-class run, an ASCII subset.
+            let name = unsafe { std::str::from_utf8_unchecked(&body[..i]) };
+            let id =
+                resolve_counted(&self.symbols, &mut self.quick_hits, &mut self.quick_misses, name);
+            if self_closing {
+                tape.push_window(TapeKind::Start, id, start + lpos, i);
+                tape.push_window(TapeKind::End, id, start + lpos, i);
+            } else {
+                let off = self.stack_buf.len() as u32;
+                self.stack_buf.push_str(name);
+                self.stack.push((off, id));
+                tape.push_window(TapeKind::Start, id, start + lpos, i);
+            }
+            lpos = p + 1;
+            in_tag = false;
+            b_lpos = lpos;
+            b_in_tag = false;
+        };
+        match exit {
+            BurstExit::NoLt => {
+                // The text step always sits on an event boundary, so the
+                // walk position *is* the rollback point.
+                debug_assert_eq!(b_lpos, lpos, "text step is a boundary");
+                self.src.pos = start + b_lpos;
+                self.offset = off0 + b_lpos as u64;
+                self.fast_bytes += b_lpos as u64;
+                self.in_tag = b_in_tag;
+                // The poll fast-exit's scan hint: no `<` between the
+                // committed position and the window end.
+                self.src.lt_scanned = self.src.buf.len();
+                Ok(Some(TapeFill::NeedMoreData))
+            }
+            BurstExit::Full => {
+                debug_assert_eq!(b_lpos, lpos, "the cap is checked at boundaries");
+                self.src.pos = start + b_lpos;
+                self.offset = off0 + b_lpos as u64;
+                self.fast_bytes += b_lpos as u64;
+                self.in_tag = b_in_tag;
+                Ok(Some(TapeFill::Full))
+            }
+            BurstExit::Fallback => {
+                // One full per-event step from the committed position.
+                // Progress past the last boundary (a whitespace run and its
+                // `<`) is committed as fast-path bytes and the rollback
+                // point stays *behind* it — byte-for-byte what per-event
+                // delivery does when `fast_text` skips the run and the
+                // following construct then fails to fit the window
+                // (counters are never rolled back).
+                let cp = Checkpoint {
+                    src_pos: start + b_lpos,
+                    offset: off0 + b_lpos as u64,
+                    seen_root: self.seen_root,
+                    in_tag: b_in_tag,
+                    finished: false,
+                    stack_len: self.stack.len(),
+                    stack_buf_len: self.stack_buf.len(),
+                    pending_len: self.pending.len(),
+                    pending_pos: self.pending_pos,
+                };
+                self.src.pos = start + lpos;
+                self.offset = off0 + lpos as u64;
+                self.fast_bytes += lpos as u64;
+                self.in_tag = in_tag;
+                self.src.hit_end = false;
+                match self.advance() {
+                    Ok(true) => {
+                        debug_assert!(
+                            !self.src.hit_end || self.src.closed,
+                            "an emitted event must not depend on bytes past the fed window"
+                        );
+                        self.record(tape);
+                        Ok(None)
+                    }
+                    Ok(false) if self.src.hit_end && !self.src.closed => {
+                        self.restore(cp);
+                        Ok(Some(TapeFill::NeedMoreData))
+                    }
+                    Ok(false) => Ok(Some(TapeFill::End)),
+                    Err(_) if self.src.hit_end && !self.src.closed => {
+                        self.restore(cp);
+                        Ok(Some(TapeFill::NeedMoreData))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// Record the event described by `self.slot` onto the tape, committing
+    /// any deferred borrow on the spot (the tape holds its own copy — or,
+    /// for zero-copy text, a window span that outlives the consume, since
+    /// the buffer is only compacted by the next `feed`).
+    fn record(&mut self, tape: &mut EventTape) {
+        match self.slot {
+            Slot::Text => tape.push_arena(TapeKind::Text, NameId::UNKNOWN, &self.text_buf),
+            Slot::SrcText { len } => {
+                debug_assert!(self.src.buf[self.src.pos..self.src.pos + len].is_ascii());
+                tape.push_window(TapeKind::Text, NameId::UNKNOWN, self.src.pos, len);
+                // Release the window hold immediately: the recorded span
+                // stays addressable until the next feed.
+                self.src.consume(self.defer_consume);
+                self.defer_consume = 0;
+            }
+            Slot::EndName => tape.push_arena(TapeKind::End, self.cur_id, &self.name_buf),
+            Slot::StartName => tape.push_arena(TapeKind::Start, self.cur_id, &self.name_buf),
+            Slot::StackTop => {
+                let &(off, id) = self.stack.last().expect("open element for start slot");
+                tape.push_arena(TapeKind::Start, id, &self.stack_buf[off as usize..]);
+            }
+            Slot::StackPop => {
+                // Record, then commit the pop on the spot (per-event mode
+                // defers it across the borrow; the tape copy needs no
+                // borrow).
+                let (off, id) = self.stack.pop().expect("open element for end slot");
+                tape.push_arena(TapeKind::End, id, &self.stack_buf[off as usize..]);
+                self.stack_buf.truncate(off as usize);
+            }
+            Slot::Pending(i) => match self.pending.get(i).expect("pending index in range") {
+                ResolvedEvent::Start(id, name) => tape.push_arena(TapeKind::Start, id, name),
+                ResolvedEvent::End(id, name) => tape.push_arena(TapeKind::End, id, name),
+                ResolvedEvent::Text(t) => tape.push_arena(TapeKind::Text, NameId::UNKNOWN, t),
+            },
+            Slot::None => unreachable!("slot set before record"),
+        }
+        self.slot = Slot::None;
+    }
+
+    /// Materialize one recorded tape event. Window spans borrow the
+    /// reader's unconsumed buffer (hence `&self` on the reader); arena
+    /// spans borrow the tape.
+    #[inline]
+    pub fn tape_event<'a>(&'a self, tape: &'a EventTape, i: usize) -> ResolvedEvent<'a> {
+        let it = tape.item(i);
+        let payload: &str = if it.window {
+            debug_assert_eq!(tape.epoch, self.src.epoch, "tape drained after a feed compaction");
+            let run = &self.src.buf[it.off as usize..(it.off + it.len) as usize];
+            debug_assert!(run.is_ascii(), "window spans are scanner-verified ASCII");
+            // SAFETY: window spans are recorded only for scanner-verified
+            // ASCII bytes — clean `SrcText` runs and the name bytes of lean
+            // burst tags (first byte ASCII-checked, rest a `name_run`); the
+            // buffer is not compacted between record and drain
+            // (epoch-checked above).
+            unsafe { std::str::from_utf8_unchecked(run) }
+        } else {
+            tape.arena_str(it.off, it.len)
+        };
+        match it.kind {
+            TapeKind::Start => ResolvedEvent::Start(it.id, payload),
+            TapeKind::End => ResolvedEvent::End(it.id, payload),
+            TapeKind::Text => ResolvedEvent::Text(payload),
+        }
+    }
+
+    /// Structurally fast-forward over a subtree the consumer declared dead
+    /// (a pump reporting `SkipSubtree`): parse past events until the end
+    /// tag closing the subtree — `depth` unclosed levels deep at entry —
+    /// is next, *counting* them but never recording, materializing or
+    /// copying them. The common shape — entity-free text runs and
+    /// attribute-free ASCII tags — costs one structural-index probe and a
+    /// counter update per event; everything else (attributes, entities,
+    /// comments, CDATA, window-crossing constructs) takes exactly one step
+    /// of the identical general machinery per event.
+    ///
+    /// Transparency: byte accounting, name interning, stack discipline and
+    /// error surfacing mirror [`Reader::fill_tape`] pulling the same
+    /// events, and a window-exhausted return rolls back to the same event
+    /// boundary a per-event poll would report `NeedMoreData` from — so a
+    /// snapshot taken at any quiescent point is byte-identical to a run
+    /// that delivered every event.
+    ///
+    /// `tape` must be drained; it is written only when the general
+    /// machinery has already committed the closing end tag, which then
+    /// rides back as the tape's single event (see [`SkipPoll::Closed`]).
+    pub fn skip_events(&mut self, depth: u32, tape: &mut EventTape) -> Result<SkipPoll, XmlError> {
+        debug_assert!(tape.is_empty(), "previous batch must be drained before a skip");
+        debug_assert!(depth >= 1, "a skip is only active inside its subtree");
+        debug_assert!(!self.finished, "a document cannot finish inside a subtree");
+        tape.clear();
+        tape.epoch = self.src.epoch;
+        // Commit borrows a preceding per-event pull may have left open.
+        if self.defer_consume > 0 {
+            self.src.consume(self.defer_consume);
+            self.defer_consume = 0;
+        }
+        if let Slot::StackPop = self.slot {
+            let (off, _) = self.stack.pop().expect("deferred pop has an open element");
+            self.stack_buf.truncate(off as usize);
+            self.slot = Slot::None;
+        }
+        let mut depth = depth;
+        let mut events = 0u64;
+        /// How a lean burst over the buffered window ended.
+        enum BurstExit {
+            /// A construct the burst does not handle (attributes, entities,
+            /// comments, CDATA, window-crossing constructs, EOF errors):
+            /// one step of the general machinery takes over.
+            Fallback,
+            /// `</` at depth 1: the subtree is closed, the end tag itself
+            /// left for the next ordinary batch to deliver.
+            Closed,
+            /// No `<` between the walk position and the end of a still-open
+            /// window: nothing can complete before more bytes arrive.
+            NoLt,
+        }
+        loop {
+            // Queued conversion events (attribute children, self-closing
+            // ends) are counted straight off the pending buffer — no slot
+            // handshake, no materialization.
+            if self.pending_pos < self.pending.len() {
+                while self.pending_pos < self.pending.len() {
+                    match self.pending.get(self.pending_pos).expect("pending index in range") {
+                        ResolvedEvent::Start(..) => depth += 1,
+                        ResolvedEvent::End(..) if depth > 1 => depth -= 1,
+                        ResolvedEvent::End(..) => {
+                            // A self-closing subtree root: its queued End
+                            // closes the skip. Hand it back on the tape.
+                            self.slot = Slot::Pending(self.pending_pos);
+                            self.pending_pos += 1;
+                            self.record(tape);
+                            return Ok(SkipPoll::Closed { events });
+                        }
+                        ResolvedEvent::Text(_) => {}
+                    }
+                    self.pending_pos += 1;
+                    events += 1;
+                }
+                continue;
+            }
+            // ---- lean burst: walk the fed window without consuming ----
+            //
+            // The hot loop touches no reader state it might have to undo:
+            // `lpos` cursors through a window snapshot, and position /
+            // offset / byte counters are committed in bulk only when the
+            // burst exits. `(b_lpos, b_in_tag)` track the last *event*
+            // boundary — non-event progress (dropped whitespace runs, the
+            // consumed `<` opening a tag) advances `lpos` past it, so a
+            // window-exhausted exit rolls back to exactly the state a
+            // per-event poll would report `NeedMoreData` from. Stack pushes
+            // and pops happen only *at* boundaries and need no undo.
+            let start = self.src.pos;
+            let off0 = self.offset;
+            let closed = self.src.closed;
+            let keep_ws = self.opts.keep_whitespace;
+            let buf = &self.src.buf[start..];
+            let mut shift = ensure_index(self.scanner, &mut self.sidx, off0, buf) as isize;
+            let mut lpos = 0usize;
+            let mut in_tag = self.in_tag;
+            let mut b_lpos = 0usize;
+            let mut b_in_tag = in_tag;
+            let exit = 'burst: loop {
+                if !in_tag {
+                    // ---- text step: mirrors `fast_text` ----
+                    if lpos >= buf.len() {
+                        // Out of bytes at a boundary: EOF error (general
+                        // path) or feed more.
+                        break 'burst if closed { BurstExit::Fallback } else { BurstExit::NoLt };
+                    }
+                    if buf[lpos] == b'<' {
+                        lpos += 1;
+                        in_tag = true;
+                        continue 'burst;
+                    }
+                    let found =
+                        skip_find(self.scanner, &mut self.sidx, off0, &mut shift, buf, lpos, false);
+                    let Some(p) = found else {
+                        // Text runs to the window end: EOF errors on the
+                        // general path; otherwise no event can complete
+                        // before more bytes arrive.
+                        break 'burst if closed { BurstExit::Fallback } else { BurstExit::NoLt };
+                    };
+                    let (any_hi, any_amp, any_nonws) = self
+                        .sidx
+                        .text_props(lpos.wrapping_add_signed(shift), p.wrapping_add_signed(shift));
+                    if any_hi || any_amp {
+                        break 'burst BurstExit::Fallback; // entities / non-ASCII: decode path
+                    }
+                    debug_assert!(!self.stack.is_empty(), "skip runs inside the root");
+                    lpos = p + 1;
+                    in_tag = true;
+                    if any_nonws || keep_ws {
+                        events += 1;
+                        b_lpos = lpos;
+                        b_in_tag = true;
+                    }
+                    continue 'burst;
+                }
+                // ---- tag step: mirrors `fast_tag`, minus materialization ----
+                let found =
+                    skip_find(self.scanner, &mut self.sidx, off0, &mut shift, buf, lpos, true);
+                let Some(p) = found else {
+                    break 'burst BurstExit::Fallback; // crossing tag or EOF
+                };
+                let body = &buf[lpos..p];
+                let Some(&first) = body.first() else {
+                    break 'burst BurstExit::Fallback; // `<>`: the general path errors
+                };
+                if first == b'/' {
+                    if depth == 1 {
+                        break 'burst BurstExit::Closed;
+                    }
+                    match self.stack.last() {
+                        Some(&(off, _))
+                            if self.stack_buf.as_bytes()[off as usize..] == body[1..] => {}
+                        // Trailing whitespace or a genuine mismatch: the
+                        // general path re-examines it.
+                        _ => break 'burst BurstExit::Fallback,
+                    }
+                    let (off, _) = self.stack.pop().expect("open element inside the subtree");
+                    self.stack_buf.truncate(off as usize);
+                    depth -= 1;
+                    events += 1;
+                    lpos = p + 1;
+                    in_tag = false;
+                    b_lpos = lpos;
+                    b_in_tag = false;
+                    continue 'burst;
+                }
+                if !(first.is_ascii_alphabetic() || first == b'_' || first == b':') {
+                    break 'burst BurstExit::Fallback; // comments, PIs, DOCTYPE
+                }
+                let bpos = lpos.wrapping_add_signed(shift);
+                let i = (self.sidx.name_run(bpos + 1) - bpos).min(body.len());
+                let self_closing = match body.len() - i {
+                    0 => false,
+                    1 if body[i] == b'/' => true,
+                    _ => break 'burst BurstExit::Fallback, // attribute list: conversion path
+                };
+                // SAFETY: `first` was checked ASCII above and `body[1..i]`
+                // lies inside the scanner's name-class run, an ASCII subset.
+                let name = unsafe { std::str::from_utf8_unchecked(&body[..i]) };
+                let id = resolve_counted(
+                    &self.symbols,
+                    &mut self.quick_hits,
+                    &mut self.quick_misses,
+                    name,
+                );
+                if self_closing {
+                    // Start + queued End cancel out: two events, no stack
+                    // or pending traffic (the queue's contents are never
+                    // observable at a quiescent point).
+                    events += 2;
+                } else {
+                    let off = self.stack_buf.len() as u32;
+                    self.stack_buf.push_str(name);
+                    self.stack.push((off, id));
+                    depth += 1;
+                    events += 1;
+                }
+                lpos = p + 1;
+                in_tag = false;
+                b_lpos = lpos;
+                b_in_tag = false;
+            };
+            match exit {
+                BurstExit::NoLt => {
+                    // The text step always sits on an event boundary
+                    // (non-event progress ends inside a tag), so the walk
+                    // position *is* the rollback point.
+                    debug_assert_eq!(b_lpos, lpos, "text step is a boundary");
+                    self.src.pos = start + b_lpos;
+                    self.offset = off0 + b_lpos as u64;
+                    self.fast_bytes += b_lpos as u64;
+                    self.in_tag = b_in_tag;
+                    // The poll fast-exit's scan hint: no `<` between the
+                    // committed position and the window end.
+                    self.src.lt_scanned = self.src.buf.len();
+                    return Ok(SkipPoll::More { events, depth });
+                }
+                BurstExit::Closed => {
+                    // Commit through the consumed `<`; the complete closing
+                    // end tag (`>` was found in-window) is delivered by the
+                    // next ordinary batch — or, on a tag mismatch, surfaces
+                    // its error there.
+                    self.src.pos = start + lpos;
+                    self.offset = off0 + lpos as u64;
+                    self.fast_bytes += lpos as u64;
+                    self.in_tag = true;
+                    return Ok(SkipPoll::Closed { events });
+                }
+                BurstExit::Fallback => {
+                    // One full per-event step from the committed position.
+                    // Progress past the last boundary (a whitespace run and
+                    // its `<`) is committed as fast-path bytes and the
+                    // rollback point stays *behind* it — byte-for-byte what
+                    // per-event delivery does when `fast_text` skips the
+                    // run and the following construct then fails to fit the
+                    // window (counters are never rolled back).
+                    let cp = Checkpoint {
+                        src_pos: start + b_lpos,
+                        offset: off0 + b_lpos as u64,
+                        seen_root: self.seen_root,
+                        in_tag: b_in_tag,
+                        finished: false,
+                        stack_len: self.stack.len(),
+                        stack_buf_len: self.stack_buf.len(),
+                        pending_len: self.pending.len(),
+                        pending_pos: self.pending_pos,
+                    };
+                    self.src.pos = start + lpos;
+                    self.offset = off0 + lpos as u64;
+                    self.fast_bytes += lpos as u64;
+                    self.in_tag = in_tag;
+                    if let Some(poll) =
+                        self.skip_fallback_step(tape, &mut depth, &mut events, cp)?
+                    {
+                        return Ok(poll);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One general-machinery step inside [`Reader::skip_events`]: run
+    /// [`Reader::advance`] exactly as a tape fill would — `cp` is the last
+    /// event boundary, the rollback point a window-exhausted attempt
+    /// restores — then interpret the completed slot as depth/count
+    /// bookkeeping instead of recording it. An End event at depth 1 *is* the tag closing the
+    /// skipped subtree — its stack pop may already be committed, so it is
+    /// recorded onto `tape` for the caller to deliver rather than rolled
+    /// back. Returns `Some` when the skip is over (closed, or out of fed
+    /// bytes), `None` to continue scanning.
+    fn skip_fallback_step(
+        &mut self,
+        tape: &mut EventTape,
+        depth: &mut u32,
+        events: &mut u64,
+        cp: Checkpoint,
+    ) -> Result<Option<SkipPoll>, XmlError> {
+        self.src.hit_end = false;
+        match self.advance() {
+            Ok(true) => {
+                debug_assert!(
+                    !self.src.hit_end || self.src.closed,
+                    "an emitted event must not depend on bytes past the fed window"
+                );
+                let closing = match self.slot {
+                    Slot::Text => false,
+                    Slot::SrcText { .. } => {
+                        // Commit the window borrow on the spot, as a
+                        // recording fill would.
+                        self.src.consume(self.defer_consume);
+                        self.defer_consume = 0;
+                        false
+                    }
+                    Slot::StackTop => {
+                        *depth += 1;
+                        false
+                    }
+                    Slot::StartName => {
+                        // Self-closing start: its End is queued in pending
+                        // and brings the depth back down when counted.
+                        *depth += 1;
+                        false
+                    }
+                    Slot::EndName => {
+                        // General-path end tag: parse_tag already popped.
+                        if *depth == 1 {
+                            true
+                        } else {
+                            *depth -= 1;
+                            false
+                        }
+                    }
+                    Slot::StackPop => {
+                        if *depth == 1 {
+                            true
+                        } else {
+                            // Commit the deferred pop, as a recording fill
+                            // would.
+                            let (off, _) = self.stack.pop().expect("open element for end slot");
+                            self.stack_buf.truncate(off as usize);
+                            *depth -= 1;
+                            false
+                        }
+                    }
+                    Slot::Pending(i) => {
+                        match self.pending.get(i).expect("pending index in range") {
+                            ResolvedEvent::Start(..) => {
+                                *depth += 1;
+                                false
+                            }
+                            ResolvedEvent::End(..) => {
+                                if *depth == 1 {
+                                    true
+                                } else {
+                                    *depth -= 1;
+                                    false
+                                }
+                            }
+                            ResolvedEvent::Text(_) => false,
+                        }
+                    }
+                    Slot::None => unreachable!("slot set before interpret"),
+                };
+                if closing {
+                    // The event closing the subtree is already parsed (and
+                    // any stack pop committed): hand it back on the tape
+                    // for normal delivery instead of rolling back.
+                    self.record(tape);
+                    return Ok(Some(SkipPoll::Closed { events: *events }));
+                }
+                self.slot = Slot::None;
+                *events += 1;
+                Ok(None)
+            }
+            Ok(false) if self.src.hit_end && !self.src.closed => {
+                self.restore(cp);
+                Ok(Some(SkipPoll::More { events: *events, depth: *depth }))
+            }
+            Ok(false) => unreachable!("a document cannot end inside a skipped subtree"),
+            Err(_) if self.src.hit_end && !self.src.closed => {
+                self.restore(cp);
+                Ok(Some(SkipPoll::More { events: *events, depth: *depth }))
             }
             Err(e) => Err(e),
         }

@@ -164,6 +164,14 @@ impl Symbols {
     /// the common case, one FNV hash + probe on a quick miss.
     #[inline]
     pub fn resolve(&self, name: &str) -> NameId {
+        self.resolve_traced(name).0
+    }
+
+    /// [`resolve`](Symbols::resolve) plus whether the quick table answered
+    /// (`true` = quick hit, `false` = FNV-map fallback). The reader counts
+    /// these into the tape telemetry so the cache hit rate is observable.
+    #[inline]
+    pub fn resolve_traced(&self, name: &str) -> (NameId, bool) {
         let bytes = name.as_bytes();
         let key = quick_key(bytes);
         if let Some(s) = self.quick.get(quick_hash(key, bytes.len())) {
@@ -175,12 +183,12 @@ impl Symbols {
                 && (bytes.len() <= 8
                     || self.names[s.id as usize].as_bytes()[8..] == bytes[8..])
             {
-                return NameId(s.id);
+                return (NameId(s.id), true);
             }
         }
         match self.index.get(name) {
-            Some(&id) => NameId(id),
-            None => NameId::UNKNOWN,
+            Some(&id) => (NameId(id), false),
+            None => (NameId::UNKNOWN, false),
         }
     }
 
@@ -258,6 +266,18 @@ mod tests {
         assert_eq!(s.name(NameId::UNKNOWN), "");
         let all: Vec<_> = s.iter().collect();
         assert_eq!(all, vec![(id, "person_id")]);
+    }
+
+    #[test]
+    fn resolve_traced_reports_quick_hits() {
+        let mut s = Symbols::new();
+        s.intern("person");
+        let (id, quick) = s.resolve_traced("person");
+        assert_eq!(id, NameId(1));
+        assert!(quick, "first-claimed slot answers from the quick table");
+        let (id, quick) = s.resolve_traced("absent");
+        assert_eq!(id, NameId::UNKNOWN);
+        assert!(!quick);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use flux_core::{parse_flux, rewrite_query_with, FluxExpr, RewriteOptions};
 use flux_dtd::Dtd;
 use flux_engine::{BudgetHook, CompiledQuery, EngineOptions, RunOutcome, RunStats};
 use flux_query::{parse_xquery, Expr};
-use flux_xml::{AttributeMode, ScannerChoice, Sink, StringSink};
+use flux_xml::{AttributeMode, DeliveryMode, ScannerChoice, Sink, StringSink};
 
 use crate::error::FluxError;
 use crate::runtime::Session;
@@ -76,6 +76,17 @@ impl EngineBuilder {
     /// degrades to the best available one.
     pub fn scanner(mut self, choice: ScannerChoice) -> Self {
         self.opts.reader.scanner = choice;
+        self
+    }
+
+    /// How resolved events travel from the tokenizer into the engine
+    /// (default: [`DeliveryMode::Tape`] — batched event-tape delivery).
+    /// Setting the `FLUX_FORCE_PULL` environment variable forces
+    /// [`DeliveryMode::PerEvent`] regardless of this option, mirroring
+    /// `FLUX_FORCE_SWAR` for the scanner. The mode is transparent: output,
+    /// statistics and snapshot bytes are identical either way.
+    pub fn delivery(mut self, mode: DeliveryMode) -> Self {
+        self.opts.reader.delivery = mode;
         self
     }
 
@@ -193,16 +204,56 @@ impl PreparedQuery {
     }
 
     /// Execute over a complete byte slice, capturing the output.
+    ///
+    /// Under [`DeliveryMode::Tape`] (the default) the run is driven
+    /// through a [`Session`] so events travel the batched tape; under
+    /// [`DeliveryMode::PerEvent`] (or `FLUX_FORCE_PULL`) it takes the
+    /// classic per-event pull path. Output and statistics are identical.
     pub fn run_bytes(&self, doc: &[u8]) -> Result<RunOutcome, FluxError> {
-        let (res, sink) = self.compiled.run_sink(doc, StringSink::new());
-        Ok(RunOutcome { output: sink.into_string(), stats: res? })
+        if self.compiled.options().reader.delivery.resolved() == DeliveryMode::PerEvent {
+            let (res, sink) = self.compiled.run_sink(doc, StringSink::new());
+            return Ok(RunOutcome { output: sink.into_string(), stats: res? });
+        }
+        let mut session = self.session_string();
+        session.feed(doc)?;
+        let (res, sink) = session.finish_parts();
+        let stats = res?;
+        Ok(RunOutcome {
+            output: sink.expect("sink present when the run succeeded").into_string(),
+            stats,
+        })
     }
 
     /// Execute over any buffered reader, streaming the output to a
-    /// [`Sink`]. This is the zero-allocation hot path: nothing is collected
-    /// unless the plan's buffer trees demand it.
-    pub fn run_to<R: BufRead, S: Sink>(&self, input: R, sink: S) -> Result<RunStats, FluxError> {
-        Ok(self.compiled.run(input, sink)?)
+    /// [`Sink`]. Nothing is collected unless the plan's buffer trees
+    /// demand it; like [`PreparedQuery::run_bytes`] the run is routed
+    /// through the event tape unless delivery resolves to
+    /// [`DeliveryMode::PerEvent`].
+    pub fn run_to<R: BufRead, S: Sink>(
+        &self,
+        mut input: R,
+        sink: S,
+    ) -> Result<RunStats, FluxError> {
+        if self.compiled.options().reader.delivery.resolved() == DeliveryMode::PerEvent {
+            return Ok(self.compiled.run(input, sink)?);
+        }
+        let mut session = self.session(sink);
+        loop {
+            let n = {
+                let buf = input.fill_buf().map_err(|e| {
+                    FluxError::Engine(flux_engine::EngineError::Eval(
+                        flux_query::eval::EvalError::Io(e.to_string()),
+                    ))
+                })?;
+                if buf.is_empty() {
+                    break;
+                }
+                session.feed(buf)?;
+                buf.len()
+            };
+            input.consume(n);
+        }
+        session.finish().map(|f| f.stats)
     }
 
     /// Start an incremental push session: bytes arrive chunk-by-chunk via

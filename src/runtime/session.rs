@@ -35,8 +35,11 @@
 
 use std::sync::Arc;
 
-use flux_engine::{BudgetHook, CompiledQuery, EngineError, Pump, RunStats};
-use flux_xml::{FeedSource, Polled, Reader, Sink};
+use flux_engine::{BudgetHook, CompiledQuery, EngineError, Pump, RunStats, StreamInterest};
+use flux_xml::{
+    DeliveryMode, EventTape, FeedSource, Polled, Reader, Sink, SkipPoll, SkipScan, TapeFill,
+    TapeTelemetry,
+};
 
 use crate::error::FluxError;
 use crate::runtime::FeedOutcome;
@@ -70,6 +73,14 @@ pub struct Session<S: Sink> {
     /// Execution stopped on [`FeedOutcome::Backpressure`]; fed bytes wait
     /// in the reader until [`Session::resume`] (or finish) drains them.
     paused: bool,
+    /// Resolved event delivery strategy (builder choice ∘ `FLUX_FORCE_PULL`).
+    delivery: DeliveryMode,
+    /// Reusable tape for batched delivery; always empty between feeds
+    /// (drained before control returns), so it never appears in snapshots.
+    tape: EventTape,
+    /// Session-side delivery counters (batches, events, fast-forwards);
+    /// merged into [`RunStats::tape`] at finish.
+    tape_stats: TapeTelemetry,
 }
 
 impl<S: Sink> Session<S> {
@@ -84,11 +95,21 @@ impl<S: Sink> Session<S> {
     ) -> Session<S> {
         let reader =
             Reader::incremental_with_symbols(plan.options().reader, Arc::clone(plan.symbols()));
+        let delivery = plan.options().reader.delivery.resolved();
         let pump = match &budget {
             Some(hook) => Pump::with_budget(plan, sink, Arc::clone(hook)),
             None => Pump::new(plan, sink),
         };
-        Session { reader, pump, error: None, budget, paused: false }
+        Session {
+            reader,
+            pump,
+            error: None,
+            budget,
+            paused: false,
+            delivery,
+            tape: EventTape::new(),
+            tape_stats: TapeTelemetry::default(),
+        }
     }
 
     /// Push the next chunk of the document. Chunks may split the XML at any
@@ -190,15 +211,114 @@ impl<S: Sink> Session<S> {
 
     /// Pump every event the fed bytes complete through the machine.
     fn drain_events(&mut self) -> Result<(), FluxError> {
+        match self.delivery {
+            DeliveryMode::Tape => self.drain_events_tape(),
+            DeliveryMode::PerEvent => loop {
+                match self.reader.poll_resolved() {
+                    Ok(Polled::Event(ev)) => self.pump.feed_event(ev)?,
+                    Ok(Polled::NeedMoreData | Polled::End) => return Ok(()),
+                    // Parse errors surface exactly as the engine reports
+                    // them on the one-shot path.
+                    Err(e) => return Err(FluxError::Engine(EngineError::Xml(e))),
+                }
+            },
+        }
+    }
+
+    /// Batched drain: fill the tape, walk it with a tight index loop, and
+    /// repeat until the fed bytes are exhausted. Semantically identical to
+    /// the per-event loop — a parse error is surfaced only after the
+    /// events parsed before it are delivered, exactly as pulling would.
+    fn drain_events_tape(&mut self) -> Result<(), FluxError> {
         loop {
-            match self.reader.poll_resolved() {
-                Ok(Polled::Event(ev)) => self.pump.feed_event(ev)?,
-                Ok(Polled::NeedMoreData | Polled::End) => return Ok(()),
-                // Parse errors surface exactly as the engine reports them
-                // on the one-shot path.
+            // Reader-side fast-forward: when the pump wants a whole subtree
+            // skipped, the reader scans past it structurally — no
+            // recording, no materialization, no per-event pump feed. The
+            // closing end tag is delivered normally: by the next batch, or
+            // — when the general machinery had already committed it — as
+            // the single event `skip_events` hands back on the tape.
+            if let StreamInterest::SkipSubtree { depth } = self.pump.stream_interest() {
+                match self.reader.skip_events(depth, &mut self.tape) {
+                    Ok(SkipPoll::Closed { events }) => {
+                        if events > 0 {
+                            self.pump.fast_forward_skip(events);
+                            self.tape_stats.events += events;
+                            self.tape_stats.fast_forwarded += events;
+                        }
+                        if !self.tape.is_empty() {
+                            self.tape_stats.batches += 1;
+                            self.tape_stats.events += self.tape.len() as u64;
+                            self.drain_tape()?;
+                        }
+                    }
+                    Ok(SkipPoll::More { events, depth }) => {
+                        if events > 0 {
+                            self.pump.fast_forward_skip_to(depth, events);
+                            self.tape_stats.events += events;
+                            self.tape_stats.fast_forwarded += events;
+                        }
+                        return Ok(());
+                    }
+                    Err(e) => return Err(FluxError::Engine(EngineError::Xml(e))),
+                }
+            }
+            let fill = self.reader.fill_tape(&mut self.tape);
+            if !self.tape.is_empty() {
+                self.tape_stats.batches += 1;
+                self.tape_stats.events += self.tape.len() as u64;
+                self.drain_tape()?;
+            }
+            match fill {
+                Ok(TapeFill::Full) => {}
+                Ok(TapeFill::NeedMoreData | TapeFill::End) => return Ok(()),
                 Err(e) => return Err(FluxError::Engine(EngineError::Xml(e))),
             }
         }
+    }
+
+    /// Feed one drained batch to the pump. A pump reporting
+    /// [`StreamInterest::SkipSubtree`] fast-forwards *within the tape*:
+    /// the recorded close events are scanned directly and the pump is
+    /// reconciled in one call instead of fed event by event.
+    fn drain_tape(&mut self) -> Result<(), FluxError> {
+        let n = self.tape.len();
+        let mut i = 0;
+        let res = loop {
+            if i >= n {
+                break Ok(());
+            }
+            if let StreamInterest::SkipSubtree { depth } = self.pump.stream_interest() {
+                match self.tape.skip_scan(i, depth) {
+                    SkipScan::Close { at, skipped } => {
+                        if skipped > 0 {
+                            self.pump.fast_forward_skip(skipped);
+                            self.tape_stats.fast_forwarded += skipped;
+                        }
+                        // The closing tag itself is fed normally: it pops
+                        // the skip state and fires pending handlers.
+                        i = at;
+                    }
+                    SkipScan::Tail { depth, skipped } => {
+                        // Batch ends inside the subtree; the skip resumes
+                        // `depth` deep on the next batch.
+                        if skipped > 0 {
+                            self.pump.fast_forward_skip_to(depth, skipped);
+                            self.tape_stats.fast_forwarded += skipped;
+                        }
+                        break Ok(());
+                    }
+                }
+            }
+            if let Err(e) = self.pump.feed_event(self.reader.tape_event(&self.tape, i)) {
+                break Err(FluxError::from(e));
+            }
+            i += 1;
+        };
+        // The tape is cleared even when the pump failed mid-batch: its
+        // remaining events are never delivered (the session is poisoned),
+        // and stale window spans must not outlive the next feed.
+        self.tape.clear();
+        res
     }
 
     /// Signal end of input and complete the run.
@@ -235,10 +355,19 @@ impl<S: Sink> Session<S> {
             Err(e) => (Err(e), Some(self.pump.abort())),
             Ok(()) => {
                 let scan = self.reader.scan_telemetry();
+                let (quick_hits, quick_misses) = self.reader.quick_counters();
+                let tape = self.tape_stats;
                 let (fin, sink) = self.pump.finish();
                 (
                     fin.map(|mut stats| {
                         stats.scan = scan;
+                        // Session- and reader-side delivery counters; the
+                        // pre-screen counters are the machine's own.
+                        stats.tape.batches = tape.batches;
+                        stats.tape.events = tape.events;
+                        stats.tape.fast_forwarded = tape.fast_forwarded;
+                        stats.tape.quick_hits = quick_hits;
+                        stats.tape.quick_misses = quick_misses;
                         stats
                     })
                     .map_err(Into::into),
@@ -269,6 +398,10 @@ impl<S: Sink> Session<S> {
                 "session has failed; finish_parts() reports the cause",
             )));
         }
+        // Batch-drain quiescence: every fill is drained before control
+        // returns to the caller, so the tape never has anything to save —
+        // snapshot bytes are identical across delivery modes.
+        debug_assert!(self.tape.is_empty(), "snapshot between feeds implies a drained tape");
         let mut env = flux_state::Envelope::new();
 
         let mut meta = flux_state::Enc::new();
@@ -331,6 +464,7 @@ impl<S: Sink> Session<S> {
             Reader::state_restore(plan.options().reader, Arc::clone(plan.symbols()), &mut rdec)
                 .map_err(FluxError::Snapshot)?;
 
+        let delivery = plan.options().reader.delivery.resolved();
         let mut pdec = sections.require(flux_state::section::PUMP).map_err(FluxError::Snapshot)?;
         let pump = if pre_granted {
             Pump::state_load_pregranted(plan, sink, budget.clone(), &mut pdec)
@@ -339,7 +473,16 @@ impl<S: Sink> Session<S> {
         }
         .map_err(FluxError::Snapshot)?;
 
-        Ok(Session { reader, pump, error: None, budget, paused })
+        Ok(Session {
+            reader,
+            pump,
+            error: None,
+            budget,
+            paused,
+            delivery,
+            tape: EventTape::new(),
+            tape_stats: TapeTelemetry::default(),
+        })
     }
 
     /// The compiled plan this session executes (for runtime layers that

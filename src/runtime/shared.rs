@@ -34,7 +34,9 @@
 use std::sync::Arc;
 
 use flux_engine::{BudgetHook, EngineError, FanoutDriver, FanoutPlan, RunStats};
-use flux_xml::{FeedSource, Polled, Reader, Sink, XmlError};
+use flux_xml::{
+    DeliveryMode, EventTape, FeedSource, Polled, Reader, Sink, TapeFill, TapeTelemetry, XmlError,
+};
 
 use crate::error::FluxError;
 use crate::runtime::FeedOutcome;
@@ -54,6 +56,15 @@ pub struct SharedSession<S: Sink> {
     /// identity it must restore against and so runtime layers can
     /// re-associate spilled/migrated state with its plan.
     plan: Arc<FanoutPlan>,
+    /// Event delivery mode, resolved once at construction (the
+    /// `FLUX_FORCE_PULL` kill switch wins over the compiled option).
+    delivery: DeliveryMode,
+    /// Reusable batch buffer for [`DeliveryMode::Tape`]; always drained
+    /// (and cleared) before the next feed, never serialized.
+    tape: EventTape,
+    /// Stream-level tape telemetry, fanned out to every subscriber's
+    /// [`RunStats`] at finish — one shared parse, one tape.
+    tape_stats: TapeTelemetry,
 }
 
 impl<S: Sink> SharedSession<S> {
@@ -68,7 +79,18 @@ impl<S: Sink> SharedSession<S> {
             Some(hook) => FanoutDriver::with_budget(&plan, sinks, Arc::clone(hook)),
             None => FanoutDriver::new(&plan, sinks),
         };
-        SharedSession { reader, driver, error: None, budget, paused: false, plan }
+        let delivery = plan.options().reader.delivery.resolved();
+        SharedSession {
+            reader,
+            driver,
+            error: None,
+            budget,
+            paused: false,
+            plan,
+            delivery,
+            tape: EventTape::new(),
+            tape_stats: TapeTelemetry::default(),
+        }
     }
 
     /// Push the next chunk of the shared document; every event it
@@ -136,12 +158,42 @@ impl<S: Sink> SharedSession<S> {
     }
 
     fn drain(&mut self) {
+        match self.delivery {
+            DeliveryMode::Tape => self.drain_tape(),
+            DeliveryMode::PerEvent => self.drain_pull(),
+        }
+    }
+
+    fn drain_pull(&mut self) {
         loop {
             match self.reader.poll_resolved() {
                 // Dispatch is infallible at the stream level: a subscriber
                 // whose pump errors is detached inside the driver.
                 Ok(Polled::Event(ev)) => self.driver.feed_event(ev),
                 Ok(Polled::NeedMoreData | Polled::End) => return,
+                Err(e) => {
+                    self.error = Some(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tape-mode drain: batch, dispatch, repeat. Events taped before a
+    /// parse error are dispatched first, so subscribers see exactly the
+    /// prefix a per-event pull would have delivered before the failure.
+    fn drain_tape(&mut self) {
+        loop {
+            let fill = self.reader.fill_tape(&mut self.tape);
+            if !self.tape.is_empty() {
+                self.tape_stats.batches += 1;
+                self.tape_stats.events += self.tape.len() as u64;
+                self.tape_stats.fast_forwarded += self.driver.feed_tape(&self.reader, &self.tape);
+                self.tape.clear();
+            }
+            match fill {
+                Ok(TapeFill::Full) => {}
+                Ok(TapeFill::NeedMoreData | TapeFill::End) => return,
                 Err(e) => {
                     self.error = Some(e);
                     return;
@@ -209,6 +261,11 @@ impl<S: Sink> SharedSession<S> {
                 "shared session has failed; finish_parts() reports the cause",
             )));
         }
+        // Snapshots happen between feeds, and every feed drains its tape
+        // batches to quiescence — the tape is transient and never
+        // serialized, so its bytes must not (and cannot) reach the
+        // envelope.
+        debug_assert!(self.tape.is_empty(), "snapshot between feeds implies a drained tape");
         let mut env = flux_state::Envelope::new();
 
         let mut meta = flux_state::Enc::new();
@@ -276,7 +333,18 @@ impl<S: Sink> SharedSession<S> {
         }
         .map_err(FluxError::Snapshot)?;
 
-        Ok(SharedSession { reader, driver, error: None, budget, paused, plan })
+        let delivery = plan.options().reader.delivery.resolved();
+        Ok(SharedSession {
+            reader,
+            driver,
+            error: None,
+            budget,
+            paused,
+            plan,
+            delivery,
+            tape: EventTape::new(),
+            tape_stats: TapeTelemetry::default(),
+        })
     }
 
     /// The compiled fan-out plan this session executes.
@@ -337,9 +405,12 @@ impl<S: Sink> SharedSession<S> {
                 .collect(),
             None => {
                 // One shared parse serves every subscriber: the scanner
-                // telemetry of the single reader is the telemetry of each
-                // subscription.
+                // and tape telemetry of the single reader is the telemetry
+                // of each subscription. Skip-pre-screen counters stay
+                // per-subscriber — each pump screened its own subtrees.
                 let scan = self.reader.scan_telemetry();
+                let tape = self.tape_stats;
+                let (quick_hits, quick_misses) = self.reader.quick_counters();
                 self.driver
                     .finish()
                     .into_iter()
@@ -348,6 +419,11 @@ impl<S: Sink> SharedSession<S> {
                         Some((res, sink)) => (
                             res.map(|mut stats| {
                                 stats.scan = scan;
+                                stats.tape.batches = tape.batches;
+                                stats.tape.events = tape.events;
+                                stats.tape.fast_forwarded = tape.fast_forwarded;
+                                stats.tape.quick_hits = quick_hits;
+                                stats.tape.quick_misses = quick_misses;
                                 stats
                             })
                             .map_err(Into::into),
