@@ -9,18 +9,73 @@
 //! into `BENCH_throughput.json` under the `"netbench"` key (order-invariant
 //! with the other bins' sections — see `flux_bench::report`).
 //!
+//! An A/B arm prices the observability layer: the same fleet against a
+//! server with a full `MetricsRegistry` wired through every layer *and*
+//! an admin scraper hitting the Prometheus endpoint at 10 Hz, versus the
+//! metrics-free baseline. Both servers stay up together and samples are
+//! interleaved (alternating which arm runs first each round) so
+//! machine-load drift cancels instead of masquerading as overhead. The
+//! delta merges under `"observability"` and is asserted `< 2%` (override
+//! with `FLUX_BENCH_OBS_TOLERANCE`, as a fraction; the assert is skipped
+//! in the `FLUX_BENCH_FAST` CI smoke, where the run is too short to be
+//! stable).
+//!
 //! Honours the shared bench environment knobs (`FLUX_BENCH_SAMPLES`,
 //! `FLUX_BENCH_FAST=1` for the CI smoke run, which shrinks the fleet and
 //! the document).
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use flux::prelude::*;
+use flux::MetricsRegistry;
 use flux_bench::micro::samples;
 use flux_bench::report::merge_section;
 use flux_serve::{Client, Server, ServerConfig};
 use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
+
+/// Run the whole fleet once against `addr`; wall-clock seconds.
+fn fleet_once(
+    addr: SocketAddr,
+    connections: usize,
+    doc: &Arc<String>,
+    chunk: usize,
+    reference: &RunOutcome,
+) -> f64 {
+    let t = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|_| {
+            let doc = Arc::clone(doc);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let outcome = client.run_document("q1", doc.as_bytes(), chunk).expect("run");
+                outcome.done.expect("finished")
+            })
+        })
+        .collect();
+    for h in handles {
+        let (events, output_bytes) = h.join().expect("client thread");
+        assert_eq!(events, reference.stats.events, "server run must match one-shot");
+        assert_eq!(output_bytes, reference.stats.output_bytes);
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// One blocking HTTP scrape of the admin endpoint; bytes read.
+fn scrape_admin(addr: SocketAddr) -> usize {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return 0 };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    if stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").is_err() {
+        return 0;
+    }
+    let mut body = Vec::new();
+    let _ = stream.read_to_end(&mut body);
+    body.len()
+}
 
 fn main() {
     let fast = std::env::var_os("FLUX_BENCH_FAST").is_some();
@@ -34,35 +89,74 @@ fn main() {
     let prepared = engine.prepare(q1.source).unwrap();
     let (doc, _) = generate_string(&XmarkConfig::new(doc_size));
     let reference = prepared.run_str(&doc).unwrap();
+    let doc = Arc::new(doc);
 
+    // Two servers, alive together: the bare baseline and the fully
+    // instrumented one (registry wired through every layer + admin
+    // endpoint under a live 10 Hz scraper). Samples are *interleaved* —
+    // each round runs the fleet against both, alternating which goes
+    // first — so machine-load drift lands on both arms equally instead of
+    // masquerading as instrumentation overhead.
+    let mut registry = QueryRegistry::new();
+    registry.register("q1", prepared.clone());
+    let cfg = ServerConfig { shards, ..ServerConfig::default() };
+    let server_base = Server::spawn("127.0.0.1:0", registry, cfg).expect("server binds");
+
+    let metrics = MetricsRegistry::new();
     let mut registry = QueryRegistry::new();
     registry.register("q1", prepared);
-    let cfg = ServerConfig { shards, ..ServerConfig::default() };
-    let server = Server::spawn("127.0.0.1:0", registry, cfg).expect("server binds");
-    let addr = server.addr();
+    let cfg = ServerConfig {
+        shards,
+        metrics: Some(metrics.clone()),
+        admin: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    };
+    let server_obs = Server::spawn("127.0.0.1:0", registry, cfg).expect("server binds");
+    let admin = server_obs.admin_addr().expect("admin listener");
 
-    let n = samples().min(5);
-    let mut best = f64::MAX;
-    for _ in 0..n {
-        let t = Instant::now();
-        let handles: Vec<_> = (0..connections)
-            .map(|_| {
-                let doc = doc.clone();
-                std::thread::spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    let outcome = client.run_document("q1", doc.as_bytes(), chunk).expect("run");
-                    outcome.done.expect("finished")
-                })
-            })
-            .collect();
-        for h in handles {
-            let (events, output_bytes) = h.join().expect("client thread");
-            assert_eq!(events, reference.stats.events, "server run must match one-shot");
-            assert_eq!(output_bytes, reference.stats.output_bytes);
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let scrapes = Arc::clone(&scrapes);
+        std::thread::spawn(move || {
+            // 10 Hz, the classic aggressive-Prometheus cadence.
+            while !stop.load(Ordering::Relaxed) {
+                if scrape_admin(admin) > 0 {
+                    scrapes.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+
+    let n = samples();
+    let (mut best, mut best_obs) = (f64::MAX, f64::MAX);
+    for round in 0..n {
+        let arms: [bool; 2] = if round % 2 == 0 { [false, true] } else { [true, false] };
+        for instrumented in arms {
+            let addr = if instrumented { server_obs.addr() } else { server_base.addr() };
+            let s = fleet_once(addr, connections, &doc, chunk, &reference);
+            if instrumented {
+                best_obs = best_obs.min(s);
+            } else {
+                best = best.min(s);
+            }
         }
-        best = best.min(t.elapsed().as_secs_f64());
     }
-    server.shutdown().expect("clean shutdown");
+    stop.store(true, Ordering::Relaxed);
+    scraper.join().expect("scraper thread");
+
+    // The instrumented arm really measured the instrumented path: every
+    // one of its fleet runs is in the registry the scraper was reading.
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.counter("flux_engine_runs_total"),
+        (connections * n) as u64,
+        "every run of the instrumented arm must be counted"
+    );
+    server_base.shutdown().expect("clean shutdown");
+    server_obs.shutdown().expect("clean shutdown");
 
     let total_bytes = doc.len() as f64 * connections as f64;
     let mb_per_s = total_bytes / 1e6 / best;
@@ -83,6 +177,41 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let existing = std::fs::read_to_string(path).ok();
     std::fs::write(path, merge_section(existing.as_deref(), "netbench", &section))
+        .expect("write BENCH_throughput.json");
+
+    let mb_per_s_obs = total_bytes / 1e6 / best_obs;
+    let delta = (best_obs - best) / best;
+    let scraped = scrapes.load(Ordering::Relaxed);
+    println!(
+        "netbench/observability: {mb_per_s_obs:>8.1} MB/s with metrics + {scraped} scrapes at \
+         10 Hz  ({:+.2}% vs disabled)",
+        delta * 100.0
+    );
+
+    let tolerance: f64 =
+        std::env::var("FLUX_BENCH_OBS_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    if fast {
+        println!("netbench/observability: FLUX_BENCH_FAST set, delta assert skipped");
+    } else {
+        assert!(
+            delta < tolerance,
+            "observability overhead {:.2}% exceeds the {:.2}% budget",
+            delta * 100.0,
+            tolerance * 100.0
+        );
+    }
+
+    let mut section = String::new();
+    let _ = write!(
+        section,
+        "{{\"bin\": \"netbench\", \"scrape_hz\": 10, \"scrapes\": {scraped}, \
+         \"min_seconds_metrics_off\": {best:.6}, \"min_seconds_metrics_on\": {best_obs:.6}, \
+         \"aggregate_mb_per_s_metrics_on\": {mb_per_s_obs:.2}, \"delta_fraction\": {delta:.6}, \
+         \"tolerance_fraction\": {tolerance}, \"asserted\": {}, \"samples\": {n}}}",
+        !fast
+    );
+    let existing = std::fs::read_to_string(path).ok();
+    std::fs::write(path, merge_section(existing.as_deref(), "observability", &section))
         .expect("write BENCH_throughput.json");
     println!("wrote {path}");
 }

@@ -15,7 +15,7 @@ use crate::harness::EngineRun;
 /// The section names each bench binary may own, in the canonical order
 /// they are laid out in the file.
 pub const SECTIONS: &[&str] =
-    &["concurrency", "netbench", "figure4", "fanout", "tokenizer", "snapshot"];
+    &["concurrency", "netbench", "observability", "figure4", "fanout", "tokenizer", "snapshot"];
 
 /// The `"concurrency"` section marker (kept as a named constant because CI
 /// greps for it).
@@ -186,6 +186,7 @@ mod tests {
         "{\n  \"bench\": \"throughput\",\n  \"results\": [\n    {\"query\": \"Q1\"}\n  ]\n}\n";
     const SECTION: &str = "{\"bin\": \"concurrency\", \"sessions_per_thread\": 10}";
     const NETBENCH: &str = "{\"bin\": \"netbench\", \"connections\": 32}";
+    const OBSERVABILITY: &str = "{\"bin\": \"netbench\", \"scrape_hz\": 10}";
     const FIGURE4: &str = "{\"bin\": \"figure4\", \"rows\": []}";
     const FANOUT: &str = "{\"bin\": \"fanout\", \"runs\": []}";
     const TOKENIZER: &str = "{\"bin\": \"tokenizer\", \"backends\": []}";
@@ -215,21 +216,22 @@ mod tests {
         // Apply the four writers in several different orders; the result
         // must always carry the head and every section exactly once.
         type Step = (&'static str, &'static str);
-        let steps: [Step; 7] = [
+        let steps: [Step; 8] = [
             ("throughput", THROUGHPUT),
             ("concurrency", SECTION),
             ("netbench", NETBENCH),
+            ("observability", OBSERVABILITY),
             ("figure4", FIGURE4),
             ("fanout", FANOUT),
             ("tokenizer", TOKENIZER),
             ("snapshot", SNAPSHOT),
         ];
-        let orders: [[usize; 7]; 5] = [
-            [0, 1, 2, 3, 4, 5, 6],
-            [6, 5, 4, 3, 2, 1, 0],
-            [2, 5, 6, 4, 0, 3, 1],
-            [1, 3, 5, 6, 4, 0, 2],
-            [3, 0, 6, 4, 5, 1, 2],
+        let orders: [[usize; 8]; 5] = [
+            [0, 1, 2, 3, 4, 5, 6, 7],
+            [7, 6, 5, 4, 3, 2, 1, 0],
+            [2, 5, 7, 6, 4, 0, 3, 1],
+            [1, 3, 5, 7, 6, 4, 0, 2],
+            [3, 0, 7, 6, 4, 5, 1, 2],
         ];
         for order in orders {
             let mut file: Option<String> = None;
@@ -258,6 +260,7 @@ mod tests {
                 vec![
                     ("concurrency", SECTION),
                     ("netbench", NETBENCH),
+                    ("observability", OBSERVABILITY),
                     ("figure4", FIGURE4),
                     ("fanout", FANOUT),
                     ("tokenizer", TOKENIZER),

@@ -167,6 +167,66 @@ impl std::fmt::Debug for BudgetWaker {
     }
 }
 
+/// A sink for budget traffic: every grant, denial and release flowing
+/// through an [`ObservedHook`] is reported here, with its byte size. The
+/// observability layer implements this with plain counters; tests with
+/// whatever they want to assert. Implementations must be thread-safe and
+/// cheap — calls happen on the engine's charge path.
+pub trait BudgetObserver: Send + Sync {
+    /// `bytes` were granted by the inner hook.
+    fn granted(&self, bytes: usize);
+    /// A charge of `bytes` was denied.
+    fn denied(&self, bytes: usize);
+    /// `bytes` were released back to the pool.
+    fn released(&self, bytes: usize);
+}
+
+/// A [`BudgetHook`] wrapper that forwards everything to an inner hook while
+/// reporting grants/denials/releases to a [`BudgetObserver`] — the seam the
+/// metrics layer uses to watch an [`AdmissionController`-style] pool without
+/// the pool knowing about metrics.
+///
+/// All five hook methods forward (see [`BudgetHook::subscribe_waker`] on why
+/// wrappers must), so pause/wake semantics are unchanged.
+///
+/// [`AdmissionController`-style]: BudgetHook
+pub struct ObservedHook {
+    inner: Arc<dyn BudgetHook>,
+    obs: Arc<dyn BudgetObserver>,
+}
+
+impl ObservedHook {
+    /// Wrap `inner`, reporting its traffic to `obs`.
+    pub fn new(inner: Arc<dyn BudgetHook>, obs: Arc<dyn BudgetObserver>) -> Arc<ObservedHook> {
+        Arc::new(ObservedHook { inner, obs })
+    }
+}
+
+impl BudgetHook for ObservedHook {
+    fn try_grow(&self, bytes: usize) -> bool {
+        let ok = self.inner.try_grow(bytes);
+        if ok {
+            self.obs.granted(bytes);
+        } else {
+            self.obs.denied(bytes);
+        }
+        ok
+    }
+
+    fn release(&self, bytes: usize) {
+        self.obs.released(bytes);
+        self.inner.release(bytes);
+    }
+
+    fn should_pause(&self) -> bool {
+        self.inner.should_pause()
+    }
+
+    fn subscribe_waker(&self, waker: &Arc<BudgetWaker>) {
+        self.inner.subscribe_waker(waker);
+    }
+}
+
 /// One run's view of the accounting: the per-run limit from
 /// [`EngineOptions`](crate::EngineOptions), the optional shared hook, and
 /// how much this run has charged to the hook so far (released on drop, so
@@ -339,6 +399,40 @@ mod tests {
         w.fire();
         assert_eq!(fired.load(Ordering::SeqCst), 1, "disarm cancels the pending arm");
         assert_eq!(hint.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn observed_hook_reports_grants_denials_releases_and_forwards() {
+        #[derive(Default)]
+        struct Tally {
+            granted: AtomicUsize,
+            denied: AtomicUsize,
+            released: AtomicUsize,
+        }
+        impl BudgetObserver for Tally {
+            fn granted(&self, bytes: usize) {
+                self.granted.fetch_add(bytes, Ordering::Relaxed);
+            }
+            fn denied(&self, bytes: usize) {
+                self.denied.fetch_add(bytes, Ordering::Relaxed);
+            }
+            fn released(&self, bytes: usize) {
+                self.released.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+
+        let pool = Arc::new(Counter { used: AtomicUsize::new(0), cap: 100 });
+        let tally = Arc::new(Tally::default());
+        let hook = ObservedHook::new(pool.clone(), tally.clone());
+
+        assert!(hook.try_grow(60));
+        assert!(!hook.try_grow(50), "denied by the inner pool");
+        hook.release(25);
+        assert_eq!(tally.granted.load(Ordering::Relaxed), 60);
+        assert_eq!(tally.denied.load(Ordering::Relaxed), 50);
+        assert_eq!(tally.released.load(Ordering::Relaxed), 25);
+        assert_eq!(pool.used.load(Ordering::Relaxed), 35, "inner accounting unchanged");
+        assert!(!hook.should_pause(), "forwards the inner default");
     }
 
     #[test]

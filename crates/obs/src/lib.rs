@@ -1,0 +1,41 @@
+//! Unified observability for the FluX stack: always-on metrics and a
+//! pluggable tracing seam, cheap enough for the per-event hot path.
+//!
+//! The paper's evaluation argues buffer and throughput behavior must be
+//! *measurable per workload* to be tunable; this crate is where the rest of
+//! the stack reports it. Three pieces:
+//!
+//! - **Metrics core** ([`Counter`], [`Gauge`], [`Histogram`]): relaxed
+//!   atomics, no locks on the record path. Instruments live in per-shard
+//!   [`MetricsShard`]s of one [`MetricsRegistry`] — each worker thread owns
+//!   its shard, so the hot path touches only cache lines it already owns;
+//!   cross-shard aggregation happens on *scrape*, not on record.
+//! - **Tracing seam** ([`Tracer`], [`TraceEvent`]): structured lifecycle
+//!   events (session open/finish, stall/resume with cause, suspend/migrate,
+//!   conn open/close) behind an `Option<Arc<dyn Tracer>>` the callers inline
+//!   — `None` costs one branch and zero allocations (pinned by the
+//!   counting-allocator test in the root crate). The default subscriber is
+//!   a bounded in-memory ring, [`TraceBuffer`], for post-mortem dumps.
+//! - **Exposition** ([`render_text`]): the registry snapshot in Prometheus
+//!   text format, served both over the wire (`STATS` frame) and by the
+//!   optional admin HTTP listener in `flux-serve`.
+//!
+//! The crate is std-only and dependency-free; nothing here knows about XML,
+//! queries, or sockets.
+
+mod metrics;
+mod text;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsShard, MetricsSnapshot,
+};
+pub use text::{render_text, series_value};
+pub use trace::{NoopTracer, StallCause, TraceBuffer, TraceEvent, Tracer};
+
+/// Was the crate built with the `trace` feature? Consumers use this to
+/// decide whether to attach a default [`TraceBuffer`] when no explicit
+/// tracer is configured.
+pub const fn trace_feature_enabled() -> bool {
+    cfg!(feature = "trace")
+}

@@ -1,0 +1,465 @@
+//! Lock-free metric instruments and the per-shard registry they live in.
+//!
+//! Recording is relaxed-atomic only: a [`Counter`] increment is one
+//! `fetch_add`, a [`Histogram`] record is two adds and a `fetch_max` on a
+//! fixed array — no locks, no allocation, no branches beyond the bucket
+//! index. Registration (name → instrument) does take a shard-local mutex,
+//! but happens once per worker at startup; the hot path holds `Arc`s to the
+//! instruments directly. Scraping walks every shard and merges instruments
+//! with the same full name (label set included) by summation, so per-shard
+//! recording aggregates into fleet totals without the writers ever
+//! contending.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A monotonically increasing count (relaxed atomic `u64`).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways (relaxed atomic `i64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with `n`.
+    #[inline]
+    pub fn set(&self, n: i64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in every [`Histogram`] (fixed so snapshots are plain
+/// arrays and cross-shard merges are index-wise adds).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// An HDR-style log-linear histogram: 64 fixed buckets, two sub-buckets per
+/// power-of-two octave, covering `0 ..= u32::MAX` with ±25% relative error;
+/// larger values saturate into the last bucket. Recording is lock-free
+/// (three relaxed atomic RMWs) and allocation-free.
+///
+/// The bucket layout is part of the scrape format and pinned by golden
+/// tests: value `v < 2` lands in bucket `v`; otherwise with `m` the index
+/// of `v`'s highest set bit, the bucket is `2m + ((v >> (m-1)) & 1)`,
+/// i.e. lower bounds run 0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, …
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in. Exposed (with
+/// [`bucket_lower_bound`]) so tests can pin the layout and renderers can
+/// label `le` bounds without duplicating the math.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        return v as usize;
+    }
+    let m = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (m - 1)) & 1) as usize;
+    (2 * m + sub).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Smallest value that lands in bucket `i` (inverse of [`bucket_index`]).
+pub(crate) fn bucket_lower_bound(i: usize) -> u64 {
+    if i < 2 {
+        return i as u64;
+    }
+    let (m, sub) = (i / 2, (i % 2) as u64);
+    (2 + sub) << (m - 1)
+}
+
+impl Histogram {
+    /// Record one observation. Lock- and allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy (buckets read relaxed, individually — scrapes
+    /// racing recorders may be off by in-flight observations, never torn).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], mergeable across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (layout: see [`Histogram`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Index-wise merge of another shard's view of the same instrument.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Lower bound of the bucket holding the `q`-quantile observation
+    /// (`0.0 ..= 1.0`), 0 when empty. Bucket-resolution approximation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Smallest value that lands in bucket `i` — the `le` labels of the
+    /// text exposition are `lower_bound(i + 1) - 1`.
+    pub fn lower_bound(i: usize) -> u64 {
+        bucket_lower_bound(i)
+    }
+}
+
+/// One worker's slice of the registry: a name → instrument map per
+/// instrument kind. Registration locks the shard; recording through the
+/// returned `Arc`s never does. Full metric names carry their label set
+/// inline (`flux_runtime_live_sessions{shard="0"}`), so two shards
+/// registering the same full name produce one summed series on scrape.
+#[derive(Debug, Default)]
+pub struct MetricsShard {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+fn intern<T: Default>(reg: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+    let mut reg = reg.lock().expect("metrics shard registry");
+    if let Some((_, v)) = reg.iter().find(|(n, _)| n == name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(T::default());
+    reg.push((name.to_string(), Arc::clone(&v)));
+    v
+}
+
+impl MetricsShard {
+    /// The counter registered under `name` in this shard (created on first
+    /// use). Hold the `Arc`; don't re-look-up per record.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// The gauge registered under `name` in this shard.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// The histogram registered under `name` in this shard.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+}
+
+/// A fleet of per-worker [`MetricsShard`]s aggregated on scrape. Cheap to
+/// clone (an `Arc` bump); every layer of the stack holds the same registry
+/// and records into its own shard.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RwLock<Vec<Arc<MetricsShard>>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry; shards materialize on first use.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Shard `idx`, growing the registry as needed. Workers call this once
+    /// at startup and keep the `Arc`.
+    pub fn shard(&self, idx: usize) -> Arc<MetricsShard> {
+        {
+            let shards = self.inner.read().expect("metrics registry");
+            if let Some(s) = shards.get(idx) {
+                return Arc::clone(s);
+            }
+        }
+        let mut shards = self.inner.write().expect("metrics registry");
+        while shards.len() <= idx {
+            shards.push(Arc::new(MetricsShard::default()));
+        }
+        Arc::clone(&shards[idx])
+    }
+
+    /// Aggregate every shard into one point-in-time snapshot: same-name
+    /// series sum (counters, gauges, histogram buckets); names sort.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let shards: Vec<Arc<MetricsShard>> =
+            self.inner.read().expect("metrics registry").iter().map(Arc::clone).collect();
+        let mut snap = MetricsSnapshot::default();
+        for shard in &shards {
+            for (name, c) in shard.counters.lock().expect("metrics shard registry").iter() {
+                *snap.counters.entry(name.clone()).or_insert(0) += c.get();
+            }
+            for (name, g) in shard.gauges.lock().expect("metrics shard registry").iter() {
+                *snap.gauges.entry(name.clone()).or_insert(0) += g.get();
+            }
+            for (name, h) in shard.histograms.lock().expect("metrics shard registry").iter() {
+                snap.histograms.entry(name.clone()).or_default().merge(&h.snapshot());
+            }
+        }
+        snap
+    }
+
+    /// The snapshot rendered in Prometheus text exposition format.
+    pub fn render_text(&self) -> String {
+        crate::render_text(&self.snapshot())
+    }
+}
+
+/// An aggregated point-in-time view of a [`MetricsRegistry`]: every series
+/// by full name (labels inline), cross-shard merged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter series, summed across shards.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge series, summed across shards (per-shard gauges carry a
+    /// `shard` label, so distinct shards stay distinct series).
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram series, bucket-wise merged across shards.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter series `name`, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of gauge series `name`, 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram series `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries_golden() {
+        // The log-linear layout is a wire-visible contract (text `le`
+        // labels); pin it value by value.
+        let golden: &[(u64, usize)] = &[
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 3),
+            (4, 4),
+            (5, 4),
+            (6, 5),
+            (7, 5),
+            (8, 6),
+            (11, 6),
+            (12, 7),
+            (15, 7),
+            (16, 8),
+            (24, 9),
+            (32, 10),
+            (48, 11),
+            (64, 12),
+            (1_000, 19),
+            (1_024, 20),
+            (1_048_576, 40),
+            (u32::MAX as u64, 63),
+            (1 << 32, 63),
+            (u64::MAX, 63),
+        ];
+        for &(v, idx) in golden {
+            assert_eq!(bucket_index(v), idx, "bucket_index({v})");
+        }
+        let bounds: &[(usize, u64)] = &[
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 3),
+            (4, 4),
+            (5, 6),
+            (6, 8),
+            (7, 12),
+            (8, 16),
+            (63, 3 << 30),
+        ];
+        for &(i, lo) in bounds {
+            assert_eq!(bucket_lower_bound(i), lo, "bucket_lower_bound({i})");
+        }
+        // Lower bounds invert the index on every bucket edge.
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i, "round-trip bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_sum_max_and_quantiles() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), bucket_lower_bound(bucket_index(1000)));
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_across_shards_sum_exactly() {
+        let reg = MetricsRegistry::new();
+        const THREADS: usize = 8;
+        const PER: u64 = 10_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let shard = reg.shard(i);
+                    let c = shard.counter("obs_test_total");
+                    let g = shard.gauge("obs_test_gauge");
+                    let h = shard.histogram("obs_test_us");
+                    for k in 0..PER {
+                        c.inc();
+                        g.inc();
+                        h.record(k % 97);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("obs_test_total"), THREADS as u64 * PER);
+        assert_eq!(snap.gauge("obs_test_gauge"), (THREADS as u64 * PER) as i64);
+        let h = snap.histogram("obs_test_us").expect("histogram present");
+        assert_eq!(h.count, THREADS as u64 * PER);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count, "every observation in a bucket");
+    }
+
+    #[test]
+    fn same_name_in_one_shard_is_one_instrument() {
+        let reg = MetricsRegistry::new();
+        let shard = reg.shard(0);
+        let a = shard.counter("x_total");
+        let b = shard.counter("x_total");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.add(3);
+        b.add(4);
+        assert_eq!(reg.snapshot().counter("x_total"), 7);
+    }
+
+    #[test]
+    fn labeled_gauges_stay_distinct_series() {
+        let reg = MetricsRegistry::new();
+        reg.shard(0).gauge("live{shard=\"0\"}").set(2);
+        reg.shard(1).gauge("live{shard=\"1\"}").set(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("live{shard=\"0\"}"), 2);
+        assert_eq!(snap.gauge("live{shard=\"1\"}"), 5);
+    }
+}

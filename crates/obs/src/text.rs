@@ -1,0 +1,174 @@
+//! Prometheus text exposition (format 0.0.4) for a [`MetricsSnapshot`] —
+//! the one renderer behind both the `STATS` wire frame and the admin HTTP
+//! listener in `flux-serve`.
+//!
+//! Full metric names may carry a label set inline
+//! (`flux_runtime_live_sessions{shard="0"}`); the renderer splits it back
+//! apart so histogram `le` labels merge with the series' own labels.
+
+use crate::metrics::{bucket_lower_bound, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Split `name{labels}` into (`name`, `Some("labels")`), or (`name`, `None`).
+fn split_labels(full: &str) -> (&str, Option<&str>) {
+    match full.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (full, None),
+    }
+}
+
+fn series(base: &str, suffix: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let mut s = String::with_capacity(base.len() + suffix.len() + 24);
+    s.push_str(base);
+    s.push_str(suffix);
+    match (labels, extra) {
+        (None, None) => {}
+        (l, e) => {
+            s.push('{');
+            if let Some(l) = l {
+                s.push_str(l);
+            }
+            if let Some(e) = e {
+                if labels.is_some() {
+                    s.push(',');
+                }
+                s.push_str(e);
+            }
+            s.push('}');
+        }
+    }
+    s
+}
+
+fn type_line(out: &mut String, seen: &mut Vec<String>, family: &str, kind: &str) {
+    if seen.iter().any(|f| f == family) {
+        return;
+    }
+    seen.push(family.to_string());
+    out.push_str("# TYPE ");
+    out.push_str(family);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn render_histogram(out: &mut String, full: &str, h: &HistogramSnapshot) {
+    let (base, labels) = split_labels(full);
+    let last_nonzero = h.buckets.iter().rposition(|&b| b != 0).unwrap_or(0);
+    let mut cum = 0u64;
+    for (i, &b) in h.buckets.iter().enumerate().take(last_nonzero + 1) {
+        cum += b;
+        if i == HISTOGRAM_BUCKETS - 1 {
+            break; // the saturation bucket is the +Inf line below
+        }
+        let le = format!("le=\"{}\"", bucket_lower_bound(i + 1) - 1);
+        out.push_str(&series(base, "_bucket", labels, Some(&le)));
+        out.push(' ');
+        out.push_str(&cum.to_string());
+        out.push('\n');
+    }
+    out.push_str(&series(base, "_bucket", labels, Some("le=\"+Inf\"")));
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+    out.push_str(&series(base, "_sum", labels, None));
+    out.push(' ');
+    out.push_str(&h.sum.to_string());
+    out.push('\n');
+    out.push_str(&series(base, "_count", labels, None));
+    out.push(' ');
+    out.push_str(&h.count.to_string());
+    out.push('\n');
+}
+
+/// Render an aggregated snapshot in Prometheus text exposition format:
+/// one `# TYPE` line per family, then every series sorted by full name.
+pub fn render_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut seen = Vec::new();
+    for (full, v) in &snap.counters {
+        type_line(&mut out, &mut seen, split_labels(full).0, "counter");
+        out.push_str(full);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for (full, v) in &snap.gauges {
+        type_line(&mut out, &mut seen, split_labels(full).0, "gauge");
+        out.push_str(full);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for (full, h) in &snap.histograms {
+        type_line(&mut out, &mut seen, split_labels(full).0, "histogram");
+        render_histogram(&mut out, full, h);
+    }
+    out
+}
+
+/// The value of series `series` (full name, labels included) in a rendered
+/// exposition — the parse helper tests and smoke scripts use instead of
+/// reverse-engineering the format.
+pub fn series_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse::<f64>().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        let s = reg.shard(0);
+        s.counter("flux_frames_total{kind=\"chunk\"}").add(7);
+        s.gauge("flux_live{shard=\"0\"}").set(3);
+        let h = s.histogram("flux_run_us");
+        h.record(5);
+        h.record(100);
+        let text = reg.render_text();
+
+        assert!(text.contains("# TYPE flux_frames_total counter\n"), "{text}");
+        assert!(text.contains("flux_frames_total{kind=\"chunk\"} 7\n"), "{text}");
+        assert!(text.contains("# TYPE flux_live gauge\n"), "{text}");
+        assert!(text.contains("flux_live{shard=\"0\"} 3\n"), "{text}");
+        assert!(text.contains("# TYPE flux_run_us histogram\n"), "{text}");
+        // v=5 lands in bucket 4 (4..=5): the first le label covering it is 5.
+        assert!(text.contains("flux_run_us_bucket{le=\"5\"} 1\n"), "{text}");
+        assert!(text.contains("flux_run_us_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("flux_run_us_sum 105\n"), "{text}");
+        assert!(text.contains("flux_run_us_count 2\n"), "{text}");
+
+        assert_eq!(series_value(&text, "flux_frames_total{kind=\"chunk\"}"), Some(7.0));
+        assert_eq!(series_value(&text, "flux_live{shard=\"0\"}"), Some(3.0));
+        assert_eq!(series_value(&text, "flux_run_us_count"), Some(2.0));
+        assert_eq!(series_value(&text, "flux_run_us_countx"), None);
+        assert_eq!(series_value(&text, "absent_series"), None);
+    }
+
+    #[test]
+    fn histogram_labels_merge_with_le() {
+        let reg = MetricsRegistry::new();
+        reg.shard(0).histogram("run_us{query=\"q1\"}").record(0);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE run_us histogram\n"), "{text}");
+        assert!(text.contains("run_us_bucket{query=\"q1\",le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("run_us_bucket{query=\"q1\",le=\"+Inf\"} 1\n"), "{text}");
+        assert!(text.contains("run_us_sum{query=\"q1\"} 0\n"), "{text}");
+        assert!(text.contains("run_us_count{query=\"q1\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn type_lines_emitted_once_per_family() {
+        let reg = MetricsRegistry::new();
+        reg.shard(0).counter("f_total{k=\"a\"}").inc();
+        reg.shard(1).counter("f_total{k=\"b\"}").inc();
+        let text = reg.render_text();
+        assert_eq!(text.matches("# TYPE f_total counter").count(), 1, "{text}");
+    }
+}

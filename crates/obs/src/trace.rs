@@ -1,0 +1,171 @@
+//! The tracing seam: structured lifecycle events to a pluggable sink.
+//!
+//! Callers hold an `Option<Arc<dyn Tracer>>` and inline the `None` check —
+//! disabled tracing is one branch, and [`TraceEvent`] is `Copy` with no
+//! owned data, so emitting never allocates (the root crate's
+//! counting-allocator test pins this). The default subscriber is
+//! [`TraceBuffer`], a bounded preallocated ring for post-mortem dumps;
+//! anything else (a logger, a wire exporter) plugs in behind the same
+//! trait.
+
+use std::sync::{Arc, Mutex};
+
+/// Why a session stalled: the canonical cause shared by runtime events,
+/// trace events, and the wire `STALLED` reason byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// The session's admission gate refused the next chunk: the shared
+    /// budget is under its reserve and the session holds no charges that
+    /// draining would release.
+    Budget,
+    /// A parked session's re-admission reservation was denied — headroom
+    /// returned but not enough to cover the session's buffered bytes.
+    AdmissionReserve,
+}
+
+/// One structured lifecycle event. All fields are plain integers — no owned
+/// data, so events are `Copy` and emission is allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A session was opened on shard `shard`.
+    SessionOpen { shard: u32 },
+    /// A session finished; `ok` is false when the run ended in an error.
+    SessionFinish { shard: u32, ok: bool },
+    /// A session was aborted.
+    SessionAbort { shard: u32 },
+    /// A session stalled (backpressure), with the cause.
+    Stall { shard: u32, cause: StallCause },
+    /// A stalled session resumed.
+    Resume { shard: u32 },
+    /// A session was snapshotted in place (`bytes` of serialized state).
+    Snapshot { shard: u32, bytes: u64 },
+    /// A session was suspended to disk, freeing `bytes` of buffered state.
+    Suspend { shard: u32, bytes: u64 },
+    /// A session was adopted by shard `shard` (migration / restore).
+    Migrate { shard: u32 },
+    /// A client connection was accepted.
+    ConnOpen,
+    /// A client connection was torn down.
+    ConnClose,
+}
+
+/// A sink for [`TraceEvent`]s. Implementations must be cheap and
+/// non-blocking-ish: `emit` runs on worker hot paths.
+pub trait Tracer: Send + Sync {
+    /// Deliver one event. Must not allocate on the steady path.
+    fn emit(&self, ev: TraceEvent);
+}
+
+/// A tracer that drops everything (the explicit form of "disabled").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    #[inline]
+    fn emit(&self, _ev: TraceEvent) {}
+}
+
+struct Ring {
+    buf: Vec<(u64, TraceEvent)>,
+    next: usize,
+    seq: u64,
+}
+
+/// A bounded in-memory ring of the last `capacity` events, each stamped
+/// with a monotone sequence number. The ring is preallocated at
+/// construction; emitting into it never allocates (older events are
+/// overwritten in place once full).
+pub struct TraceBuffer {
+    cap: usize,
+    inner: Mutex<Ring>,
+}
+
+impl TraceBuffer {
+    /// A ring holding the most recent `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> Arc<TraceBuffer> {
+        let cap = capacity.max(1);
+        Arc::new(TraceBuffer {
+            cap,
+            inner: Mutex::new(Ring { buf: Vec::with_capacity(cap), next: 0, seq: 0 }),
+        })
+    }
+
+    /// Total events ever emitted (including ones the ring has dropped).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("trace ring").seq
+    }
+
+    /// The retained events, oldest first, each with its sequence number.
+    pub fn dump(&self) -> Vec<(u64, TraceEvent)> {
+        let ring = self.inner.lock().expect("trace ring");
+        let mut out = Vec::with_capacity(ring.buf.len());
+        if ring.buf.len() < self.cap {
+            out.extend_from_slice(&ring.buf);
+        } else {
+            out.extend_from_slice(&ring.buf[ring.next..]);
+            out.extend_from_slice(&ring.buf[..ring.next]);
+        }
+        out
+    }
+}
+
+impl Tracer for TraceBuffer {
+    fn emit(&self, ev: TraceEvent) {
+        let mut ring = self.inner.lock().expect("trace ring");
+        let seq = ring.seq;
+        ring.seq += 1;
+        if ring.buf.len() < self.cap {
+            ring.buf.push((seq, ev));
+        } else {
+            let at = ring.next;
+            ring.buf[at] = (seq, ev);
+        }
+        ring.next = (ring.next + 1) % self.cap;
+    }
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("cap", &self.cap)
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_the_newest_events_in_order() {
+        let buf = TraceBuffer::with_capacity(3);
+        for shard in 0..5u32 {
+            buf.emit(TraceEvent::SessionOpen { shard });
+        }
+        assert_eq!(buf.recorded(), 5);
+        let dump = buf.dump();
+        assert_eq!(
+            dump,
+            vec![
+                (2, TraceEvent::SessionOpen { shard: 2 }),
+                (3, TraceEvent::SessionOpen { shard: 3 }),
+                (4, TraceEvent::SessionOpen { shard: 4 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_ring_dumps_everything() {
+        let buf = TraceBuffer::with_capacity(8);
+        buf.emit(TraceEvent::ConnOpen);
+        buf.emit(TraceEvent::Stall { shard: 1, cause: StallCause::Budget });
+        assert_eq!(
+            buf.dump(),
+            vec![
+                (0, TraceEvent::ConnOpen),
+                (1, TraceEvent::Stall { shard: 1, cause: StallCause::Budget }),
+            ]
+        );
+    }
+}

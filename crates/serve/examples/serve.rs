@@ -1,9 +1,13 @@
-//! Spawn a flux-serve server, drive two concurrent clients over loopback,
-//! and print their results.
+//! Spawn a flux-serve server with the observability layer on, drive two
+//! concurrent clients over loopback, scrape the metrics (both over the
+//! wire and from the admin HTTP endpoint), and print the results.
 //!
 //! ```text
 //! cargo run -p flux-serve --example serve
 //! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
 
 use flux::prelude::*;
 use flux_serve::{Client, Server, ServerConfig};
@@ -30,9 +34,18 @@ fn main() {
     registry.register("titles", engine.prepare(QUERY).expect("query schedules"));
     let reference = registry.get("titles").unwrap().clone();
 
-    let server =
-        Server::spawn("127.0.0.1:0", registry, ServerConfig::default()).expect("server binds");
+    // One registry observes every layer: the runtime's workers, the engine
+    // runs, and the server's wire traffic all record into it.
+    let metrics = MetricsRegistry::new();
+    let cfg = ServerConfig {
+        metrics: Some(metrics.clone()),
+        admin: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn("127.0.0.1:0", registry, cfg).expect("server binds");
     println!("serving on {}", server.addr());
+    let admin = server.admin_addr().expect("admin listener bound");
+    println!("metrics on http://{admin}/metrics");
 
     // Two clients stream documents concurrently, in deliberately tiny
     // chunks — boundaries are invisible end to end.
@@ -57,6 +70,23 @@ fn main() {
         println!("{tag}: {output}");
         println!("{tag}: {events} events, {output_bytes} output bytes");
     }
+
+    // Scrape over the wire protocol (a STATS frame on a data connection)…
+    let mut client = Client::connect(addr).expect("connect");
+    let wire_text = client.scrape().expect("STATS scrape");
+    let runs = flux::obs::series_value(&wire_text, "flux_engine_runs_total");
+    println!("wire scrape: flux_engine_runs_total = {}", runs.unwrap_or(0.0));
+    assert_eq!(runs, Some(2.0), "both runs are in the registry");
+
+    // …and over the admin HTTP endpoint: same registry, same text.
+    let mut stream = TcpStream::connect(admin).expect("admin connect");
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "admin scrape succeeds");
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    assert_eq!(flux::obs::series_value(body, "flux_engine_runs_total"), Some(2.0));
+    println!("admin scrape: {} bytes of Prometheus text", body.len());
 
     server.shutdown().expect("clean shutdown");
     println!("ok");

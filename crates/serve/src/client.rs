@@ -14,7 +14,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use flux_xml::{Backend, ScanTelemetry, TapeTelemetry};
 
-use crate::protocol::{encode_frame, DecodePoll, ErrorCode, FrameDecoder, FrameKind, HEADER_LEN};
+use crate::protocol::{
+    encode_frame, DecodePoll, ErrorCode, FrameDecoder, FrameKind, StallReason, HEADER_LEN,
+};
 
 /// One decoded server→client message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,10 +39,20 @@ pub enum ServerMsg {
     },
     /// The run was aborted (acknowledges `ABORT`).
     AbortAck,
-    /// The session paused on the server's shared buffer budget.
-    Stalled,
+    /// The session paused on the server's admission control.
+    Stalled {
+        /// Why (from the frame's reason byte; [`StallReason::Unknown`] from
+        /// a pre-reason server's empty payload).
+        reason: StallReason,
+    },
     /// The stalled session resumed.
     Resumed,
+    /// The server's metrics snapshot, Prometheus text (answers
+    /// [`Client::scrape`]; empty if the server has no registry).
+    Stats {
+        /// The rendered text exposition.
+        text: String,
+    },
     /// Structured failure.
     Error {
         /// Decoded error code (`None` for a code this client is too old to
@@ -78,6 +90,9 @@ pub struct Outcome {
     pub error: Option<(Option<ErrorCode>, String)>,
     /// `STALLED` frames observed.
     pub stalls: usize,
+    /// The reason byte of each `STALLED` frame, in arrival order (always
+    /// `stalls` entries).
+    pub stall_reasons: Vec<StallReason>,
     /// `RESUMED` frames observed.
     pub resumes: usize,
     /// The resume token, if a `SNAPSHOTTED` frame suspended the run.
@@ -144,6 +159,26 @@ impl Client {
     /// connection is mid-run again and `chunk`/`finish` continue it.
     pub fn resume(&mut self, token: &str) -> io::Result<()> {
         self.send(FrameKind::Resume, token.as_bytes())
+    }
+
+    /// Scrape the server's metrics: send a `STATS` frame and block for the
+    /// `STATS_REPLY`, returning the Prometheus text snapshot (empty if the
+    /// server has no registry). Legal in any state, even mid-run — frames
+    /// of an in-flight run that arrive first are stashed and re-queued, so
+    /// a following [`Client::collect`] still sees them in order.
+    pub fn scrape(&mut self) -> io::Result<String> {
+        self.send(FrameKind::Stats, &[])?;
+        let mut stash = Vec::new();
+        loop {
+            let (kind, payload) = self.next_frame()?;
+            if kind == FrameKind::StatsReply {
+                for frame in stash.into_iter().rev() {
+                    self.inbox.push_front(frame);
+                }
+                return Ok(String::from_utf8_lossy(&payload).into_owned());
+            }
+            stash.push((kind, payload));
+        }
     }
 
     /// Queue raw pre-encoded bytes (protocol-violation testing).
@@ -267,8 +302,14 @@ impl Client {
                     out.aborted = true;
                     return Ok(out);
                 }
-                ServerMsg::Stalled => out.stalls += 1,
+                ServerMsg::Stalled { reason } => {
+                    out.stalls += 1;
+                    out.stall_reasons.push(reason);
+                }
                 ServerMsg::Resumed => out.resumes += 1,
+                // A scrape answer that outran a previous caller: not part
+                // of the run, skip it.
+                ServerMsg::Stats { .. } => {}
                 ServerMsg::Error { code, message } => {
                     out.error = Some((code, message));
                     return Ok(out);
@@ -318,8 +359,17 @@ impl Client {
         while open.iter().any(|&o| o) {
             let (kind, payload) = self.next_frame()?;
             match kind {
-                FrameKind::Stalled => outs.iter_mut().for_each(|o| o.stalls += 1),
+                FrameKind::Stalled => {
+                    let reason = StallReason::from_payload(&payload);
+                    outs.iter_mut().for_each(|o| {
+                        o.stalls += 1;
+                        o.stall_reasons.push(reason);
+                    });
+                }
                 FrameKind::Resumed => outs.iter_mut().for_each(|o| o.resumes += 1),
+                // A scrape answer that outran a previous caller: not part
+                // of the run, skip it.
+                FrameKind::StatsReply => {}
                 // A snapshot suspends the shared run as a whole: one
                 // untagged token answers every subscriber.
                 FrameKind::Snapshotted => {
@@ -364,7 +414,10 @@ impl Client {
                             outs[sub].error = Some((code, message));
                             open[sub] = false;
                         }
-                        ServerMsg::Stalled | ServerMsg::Resumed | ServerMsg::Snapshotted { .. } => {
+                        ServerMsg::Stalled { .. }
+                        | ServerMsg::Resumed
+                        | ServerMsg::Stats { .. }
+                        | ServerMsg::Snapshotted { .. } => {
                             return Err(bad("tagged flow-control frame"))
                         }
                     }
@@ -449,8 +502,11 @@ fn decode_msg(kind: FrameKind, payload: &[u8]) -> io::Result<ServerMsg> {
             Some(1) => ServerMsg::AbortAck,
             _ => return Err(bad("malformed DONE payload")),
         },
-        FrameKind::Stalled => ServerMsg::Stalled,
+        FrameKind::Stalled => ServerMsg::Stalled { reason: StallReason::from_payload(payload) },
         FrameKind::Resumed => ServerMsg::Resumed,
+        FrameKind::StatsReply => {
+            ServerMsg::Stats { text: String::from_utf8_lossy(payload).into_owned() }
+        }
         FrameKind::Error => {
             let (code, message) = payload.split_first().ok_or_else(|| bad("empty ERROR"))?;
             ServerMsg::Error {
@@ -466,7 +522,8 @@ fn decode_msg(kind: FrameKind, payload: &[u8]) -> io::Result<ServerMsg> {
         | FrameKind::Finish
         | FrameKind::Abort
         | FrameKind::Snapshot
-        | FrameKind::Resume => return Err(bad("client-to-server frame from server")),
+        | FrameKind::Resume
+        | FrameKind::Stats => return Err(bad("client-to-server frame from server")),
     })
 }
 

@@ -26,11 +26,9 @@ use std::sync::{Arc, Mutex};
 use flux::RuntimeId;
 use flux_xml::{ScanTelemetry, Sink, TapeTelemetry};
 
+use crate::metrics::{Dir, ServeMetrics};
 use crate::poller::Interest;
-use crate::protocol::{
-    done_finished_payload, encode_done_aborted, encode_done_finished, encode_error, encode_frame,
-    ErrorCode, FrameDecoder, FrameKind,
-};
+use crate::protocol::{done_finished_payload, encode_frame, ErrorCode, FrameDecoder, FrameKind};
 
 /// Where a connection is in the session lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,10 +160,20 @@ pub(crate) struct Conn {
     /// Interest currently registered with the poller (to skip redundant
     /// reregistration).
     pub(crate) registered: Interest,
+    /// When the current run's opens were sealed into a session — feeds the
+    /// per-query `flux_serve_run_duration_us` histogram at `DONE` time.
+    pub(crate) run_started: Option<std::time::Instant>,
+    /// The server's instrument bundle, if metrics are configured; every
+    /// frame and byte through this connection counts against it.
+    pub(crate) metrics: Option<Arc<ServeMetrics>>,
 }
 
 impl Conn {
-    pub(crate) fn new(stream: TcpStream, max_frame_payload: usize) -> Conn {
+    pub(crate) fn new(
+        stream: TcpStream,
+        max_frame_payload: usize,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> Conn {
         Conn {
             stream,
             decoder: FrameDecoder::new(max_frame_payload),
@@ -180,6 +188,8 @@ impl Conn {
             close_after_flush: false,
             peer_gone: false,
             registered: Interest::READ,
+            run_started: None,
+            metrics,
         }
     }
 
@@ -188,14 +198,21 @@ impl Conn {
         self.out.len() - self.out_pos
     }
 
-    /// Queue one frame for the client.
+    /// Queue one frame for the client — the single outbound funnel, so
+    /// every server→client frame counts once in the metrics.
     pub(crate) fn queue(&mut self, kind: FrameKind, payload: &[u8]) {
+        if let Some(m) = &self.metrics {
+            m.note_frame(Dir::Out, kind);
+        }
         encode_frame(&mut self.out, kind, payload);
     }
 
     /// Queue a structured `ERROR` frame.
     pub(crate) fn queue_error(&mut self, code: ErrorCode, message: &str) {
-        encode_error(&mut self.out, code, message);
+        let mut payload = Vec::with_capacity(1 + message.len());
+        payload.push(code.byte());
+        payload.extend_from_slice(message.as_bytes());
+        self.queue(FrameKind::Error, &payload);
     }
 
     /// Queue the `DONE` frame for a completed run.
@@ -206,12 +223,13 @@ impl Conn {
         scan: ScanTelemetry,
         tape: TapeTelemetry,
     ) {
-        encode_done_finished(&mut self.out, events, output_bytes, scan, tape);
+        let payload = done_finished_payload(events, output_bytes, scan, tape);
+        self.queue(FrameKind::Done, &payload);
     }
 
     /// Queue the `DONE` frame acknowledging an abort.
     pub(crate) fn queue_done_aborted(&mut self) {
-        encode_done_aborted(&mut self.out);
+        self.queue(FrameKind::Done, &[1]);
     }
 
     /// Queue a subscriber-tagged frame (shared fan-out mode): the payload
@@ -220,7 +238,7 @@ impl Conn {
         let mut tagged = Vec::with_capacity(4 + payload.len());
         tagged.extend_from_slice(&sub.to_be_bytes());
         tagged.extend_from_slice(payload);
-        encode_frame(&mut self.out, kind, &tagged);
+        self.queue(kind, &tagged);
     }
 
     /// Queue a subscriber-tagged `ERROR` frame.
@@ -298,6 +316,9 @@ impl Conn {
             match self.stream.read(scratch) {
                 Ok(0) => return ReadPass::PeerGone,
                 Ok(n) => {
+                    if let Some(m) = &self.metrics {
+                        m.bytes_in.add(n as u64);
+                    }
                     self.decoder.feed(&scratch[..n]);
                     return ReadPass::Progress;
                 }
@@ -316,7 +337,12 @@ impl Conn {
                     self.peer_gone = true;
                     break;
                 }
-                Ok(n) => self.out_pos += n,
+                Ok(n) => {
+                    if let Some(m) = &self.metrics {
+                        m.bytes_out.add(n as u64);
+                    }
+                    self.out_pos += n;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {

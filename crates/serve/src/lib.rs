@@ -25,6 +25,12 @@
 //! * [`client`] — a small blocking [`Client`] for tests, benches and
 //!   examples.
 //!
+//! Observability rides the same loop: give [`ServerConfig::metrics`] a
+//! [`MetricsRegistry`](flux::MetricsRegistry) and the server instruments
+//! itself and its runtime; a `STATS` frame (any state, even mid-run) or a
+//! GET against the optional [`ServerConfig::admin`] listener answers with
+//! the registry's aggregated Prometheus text snapshot.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -45,6 +51,7 @@
 //! ```
 
 mod conn;
+mod metrics;
 
 pub mod client;
 pub mod poller;
@@ -55,5 +62,5 @@ pub use client::{Client, Outcome, ServerMsg};
 #[cfg(unix)]
 pub use poller::SysPoller;
 pub use poller::{default_poller, Interest, Poller, Readiness, ScanPoller, Token};
-pub use protocol::{DecodePoll, ErrorCode, FrameDecoder, FrameError, FrameKind};
+pub use protocol::{DecodePoll, ErrorCode, FrameDecoder, FrameError, FrameKind, StallReason};
 pub use server::{Server, ServerConfig, ServerHandle};

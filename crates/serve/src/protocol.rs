@@ -14,12 +14,14 @@
 //! | 0x04 | c→s | `ABORT`   | empty — drop the run mid-stream |
 //! | 0x05 | c→s | `SNAPSHOT`| empty — suspend the run to a server-side snapshot and detach |
 //! | 0x06 | c→s | `RESUME`  | UTF-8 snapshot token — re-attach a suspended run |
+//! | 0x07 | c→s | `STATS`   | empty — scrape the server's metrics registry |
 //! | 0x81 | s→c | `RESULT`  | next bytes of the query output (any split) |
 //! | 0x82 | s→c | `DONE`    | 1 status byte (0 finished / 1 aborted); on 0: two u64-BE — events, output bytes — then scanner telemetry: 1 backend-code byte ([`Backend::code`](flux_xml::Backend::code)) + two u64-BE — fast-path bytes, general-path bytes — then tape telemetry: three u64-BE — batches drained, tape-delivered events, fast-forwarded events (all 0 under per-event delivery). Decoders accept the pre-tape 34-byte body for compatibility. |
-//! | 0x83 | s→c | `STALLED` | empty — the session paused on the shared budget; ease off |
+//! | 0x83 | s→c | `STALLED` | 1 [`StallReason`] byte — the session paused on a shared resource; ease off. Pre-reason servers send an empty payload, which decodes as [`StallReason::Unknown`]. |
 //! | 0x84 | s→c | `RESUMED` | empty — the session is executing again |
 //! | 0x85 | s→c | `ERROR`   | 1 [`ErrorCode`] byte + UTF-8 message |
 //! | 0x86 | s→c | `SNAPSHOTTED` | UTF-8 snapshot token |
+//! | 0x87 | s→c | `STATS_REPLY` | Prometheus text exposition of the aggregated metrics snapshot; empty when the server runs without a metrics registry |
 //!
 //! ## Suspend / resume
 //!
@@ -87,12 +89,16 @@ pub enum FrameKind {
     Snapshot,
     /// Client→server: re-attach a suspended run by its snapshot token.
     Resume,
+    /// Client→server: scrape the server's metrics registry.
+    Stats,
     /// Server→client: the next chunk of query output.
     Result,
     /// Server→client: the run is over (status byte: 0 finished, 1
     /// aborted).
     Done,
-    /// Server→client: the session paused on the shared buffer budget.
+    /// Server→client: the session paused on a shared resource; the
+    /// payload is one [`StallReason`] byte (empty from pre-reason
+    /// servers).
     Stalled,
     /// Server→client: the stalled session resumed.
     Resumed,
@@ -101,6 +107,8 @@ pub enum FrameKind {
     /// Server→client: the run was suspended; the payload is the resume
     /// token.
     Snapshotted,
+    /// Server→client: the metrics scrape, as Prometheus text.
+    StatsReply,
 }
 
 impl FrameKind {
@@ -113,12 +121,14 @@ impl FrameKind {
             FrameKind::Abort => 0x04,
             FrameKind::Snapshot => 0x05,
             FrameKind::Resume => 0x06,
+            FrameKind::Stats => 0x07,
             FrameKind::Result => 0x81,
             FrameKind::Done => 0x82,
             FrameKind::Stalled => 0x83,
             FrameKind::Resumed => 0x84,
             FrameKind::Error => 0x85,
             FrameKind::Snapshotted => 0x86,
+            FrameKind::StatsReply => 0x87,
         }
     }
 
@@ -131,14 +141,55 @@ impl FrameKind {
             0x04 => FrameKind::Abort,
             0x05 => FrameKind::Snapshot,
             0x06 => FrameKind::Resume,
+            0x07 => FrameKind::Stats,
             0x81 => FrameKind::Result,
             0x82 => FrameKind::Done,
             0x83 => FrameKind::Stalled,
             0x84 => FrameKind::Resumed,
             0x85 => FrameKind::Error,
             0x86 => FrameKind::Snapshotted,
+            0x87 => FrameKind::StatsReply,
             _ => return None,
         })
+    }
+}
+
+/// Why a `STALLED` frame was sent — its one-byte payload.
+///
+/// [`StallReason::Unknown`] never travels: it is what a *decoder* reports
+/// for the zero-length payload a pre-reason server sends, so new clients
+/// interoperate with old servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// The shared buffer budget refused new growth; headroom returns when
+    /// other sessions release buffers.
+    Budget,
+    /// The admission controller's re-entry reserve refused to wake a
+    /// parked (suspended/migrated) session back in.
+    AdmissionReserve,
+    /// The peer predates reason codes (empty payload).
+    Unknown,
+}
+
+impl StallReason {
+    /// Wire value ([`StallReason::Unknown`] has none).
+    pub fn byte(self) -> u8 {
+        match self {
+            StallReason::Budget => 1,
+            StallReason::AdmissionReserve => 2,
+            StallReason::Unknown => 0,
+        }
+    }
+
+    /// Decode a `STALLED` payload: the first byte when present and known,
+    /// [`StallReason::Unknown`] for the legacy empty payload or an
+    /// unrecognized value.
+    pub fn from_payload(payload: &[u8]) -> StallReason {
+        match payload.first() {
+            Some(1) => StallReason::Budget,
+            Some(2) => StallReason::AdmissionReserve,
+            _ => StallReason::Unknown,
+        }
     }
 }
 
@@ -481,15 +532,28 @@ mod tests {
             FrameKind::Abort,
             FrameKind::Snapshot,
             FrameKind::Resume,
+            FrameKind::Stats,
             FrameKind::Result,
             FrameKind::Done,
             FrameKind::Stalled,
             FrameKind::Resumed,
             FrameKind::Error,
             FrameKind::Snapshotted,
+            FrameKind::StatsReply,
         ] {
             assert_eq!(FrameKind::from_byte(kind.byte()), Some(kind));
         }
         assert_eq!(FrameKind::from_byte(0x00), None);
+    }
+
+    #[test]
+    fn stall_reasons_roundtrip_and_empty_payload_is_unknown() {
+        for reason in [StallReason::Budget, StallReason::AdmissionReserve] {
+            assert_eq!(StallReason::from_payload(&[reason.byte()]), reason);
+        }
+        // The legacy empty payload and unrecognized bytes both decode —
+        // a reason-aware client never fails on an old server.
+        assert_eq!(StallReason::from_payload(&[]), StallReason::Unknown);
+        assert_eq!(StallReason::from_payload(&[0xEE]), StallReason::Unknown);
     }
 }

@@ -25,19 +25,23 @@
 //! the budget-release wakeup with a `RESUMED` frame.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use flux::{QueryRegistry, Runtime, RuntimeEvent, RuntimeId, SubscriptionSet};
+use flux::{
+    MetricsRegistry, QueryRegistry, Runtime, RuntimeBuilder, RuntimeEvent, RuntimeId, StallCause,
+    SubscriptionSet, TraceEvent, Tracer,
+};
 use flux_engine::BudgetHook;
 
 use crate::conn::{Conn, ConnState, FrameSink, ReadPass, SharedOut};
+use crate::metrics::{Dir, ServeMetrics};
 use crate::poller::{default_poller, Interest, Poller, Readiness, Token};
-use crate::protocol::{DecodePoll, ErrorCode, FrameKind};
+use crate::protocol::{DecodePoll, ErrorCode, FrameKind, StallReason};
 
 /// Tuning knobs for a [`Server`].
 pub struct ServerConfig {
@@ -65,6 +69,22 @@ pub struct ServerConfig {
     /// Point a restarted server at the same directory and outstanding
     /// tokens keep resuming.
     pub snapshot_dir: Option<PathBuf>,
+    /// Metrics registry the server and its runtime record into. The
+    /// runtime's workers own shards `0..shards`, the server thread owns
+    /// shard `shards`. `STATS` frames (and the admin listener) answer
+    /// with this registry's aggregated snapshot; without one they answer
+    /// empty. The handle stays usable by the caller — scrape it whenever.
+    pub metrics: Option<MetricsRegistry>,
+    /// Tracer receiving lifecycle [`TraceEvent`]s from the runtime plus
+    /// this server's connection open/close events. `None` = tracing off
+    /// (one branch per would-be event), unless the `trace` feature routes
+    /// the runtime's events to its global buffer.
+    pub tracer: Option<Arc<dyn Tracer>>,
+    /// Bind an admin listener on this address (e.g. `"127.0.0.1:0"`) that
+    /// answers every HTTP request with the metrics registry's Prometheus
+    /// text exposition. `None` = no admin endpoint. The data-plane wire
+    /// protocol never travels this listener.
+    pub admin: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -77,18 +97,28 @@ impl Default for ServerConfig {
             result_frame_max: 32 << 10,
             poll_timeout: Duration::from_millis(1),
             snapshot_dir: None,
+            metrics: None,
+            tracer: None,
+            admin: None,
         }
     }
 }
 
 const LISTENER: Token = 0;
+/// Poller token of the optional admin (metrics scrape) listener.
+const ADMIN: Token = 1;
 
 /// A TCP front-end over a [`Runtime`] — see the [module docs](self).
 pub struct Server {
     listener: TcpListener,
+    /// The optional metrics-scrape listener (HTTP, Prometheus text).
+    admin: Option<TcpListener>,
     poller: Box<dyn Poller>,
     runtime: Runtime<FrameSink>,
     registry: QueryRegistry,
+    /// The server thread's own instrument bundle (shard `cfg.shards` of
+    /// `cfg.metrics`).
+    metrics: Option<Arc<ServeMetrics>>,
     cfg: ServerConfig,
     conns: HashMap<Token, Conn>,
     by_session: HashMap<RuntimeId, Token>,
@@ -123,21 +153,40 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        let runtime = match &cfg.budget {
-            Some(hook) => Runtime::with_budget(cfg.shards, Arc::clone(hook)),
-            None => Runtime::new(cfg.shards),
-        };
+        let mut builder = RuntimeBuilder::new(cfg.shards);
+        if let Some(hook) = &cfg.budget {
+            builder = builder.budget(Arc::clone(hook));
+        }
+        if let Some(registry) = &cfg.metrics {
+            builder = builder.metrics(registry);
+        }
+        if let Some(tracer) = &cfg.tracer {
+            builder = builder.tracer(Arc::clone(tracer));
+        }
+        let runtime = builder.build();
+        let metrics = cfg.metrics.as_ref().map(|r| ServeMetrics::register(r, cfg.shards));
         poller.register(LISTENER, raw_handle_listener(&listener), Interest::READ);
+        let admin = match &cfg.admin {
+            Some(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                poller.register(ADMIN, raw_handle_listener(&l), Interest::READ);
+                Some(l)
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
+            admin,
             poller,
             runtime,
             registry,
+            metrics,
             cfg,
             conns: HashMap::new(),
             by_session: HashMap::new(),
             set_cache: HashMap::new(),
-            next_token: LISTENER + 1,
+            next_token: ADMIN + 1,
             next_snap: 0,
             scratch: vec![0; 16 << 10],
             readiness: Vec::new(),
@@ -147,6 +196,11 @@ impl Server {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The admin (metrics scrape) listener's bound address, if configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// Connections currently accepted.
@@ -182,13 +236,14 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         let mut server = Server::bind(addr, registry, cfg)?;
         let addr = server.local_addr()?;
+        let admin_addr = server.admin_addr();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let join = std::thread::Builder::new()
             .name("flux-serve".into())
             .spawn(move || server.run_until(|| stop_flag.load(Ordering::Relaxed)))
             .expect("spawn server thread");
-        Ok(ServerHandle { addr, stop, join: Some(join) })
+        Ok(ServerHandle { addr, admin_addr, stop, join: Some(join) })
     }
 
     /// One event-loop tick: poll readiness, do all I/O that is ready, pump
@@ -200,6 +255,8 @@ impl Server {
         for r in &readiness {
             if r.token == LISTENER {
                 self.accept_ready();
+            } else if r.token == ADMIN {
+                self.admin_ready();
             } else if r.readable {
                 self.read_ready(r.token);
             }
@@ -223,7 +280,15 @@ impl Server {
                     let _ = stream.set_nodelay(true);
                     let token = self.alloc_token();
                     self.poller.register(token, raw_handle(&stream), Interest::READ);
-                    self.conns.insert(token, Conn::new(stream, self.cfg.max_frame_payload));
+                    if let Some(m) = &self.metrics {
+                        m.accepted.inc();
+                        m.active.inc();
+                    }
+                    if let Some(t) = &self.cfg.tracer {
+                        t.emit(TraceEvent::ConnOpen);
+                    }
+                    let conn = Conn::new(stream, self.cfg.max_frame_payload, self.metrics.clone());
+                    self.conns.insert(token, conn);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -236,9 +301,32 @@ impl Server {
     fn alloc_token(&mut self) -> Token {
         loop {
             let t = self.next_token;
-            self.next_token = self.next_token.wrapping_add(1).max(LISTENER + 1);
+            self.next_token = self.next_token.wrapping_add(1).max(ADMIN + 1);
             if !self.conns.contains_key(&t) {
                 return t;
+            }
+        }
+    }
+
+    /// Answer every pending admin connection with one Prometheus text
+    /// scrape. Admin exchanges are synchronous on the server thread — one
+    /// short read (the request line is ignored), one buffered write, close
+    /// — with a short timeout so a wedged scraper cannot hold the loop.
+    fn admin_ready(&mut self) {
+        let Some(listener) = &self.admin else { return };
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Some(m) = &self.metrics {
+                        m.scrapes_http.inc();
+                    }
+                    let body =
+                        self.cfg.metrics.as_ref().map(|r| r.render_text()).unwrap_or_default();
+                    answer_scrape(stream, &body);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
             }
         }
     }
@@ -256,179 +344,219 @@ impl Server {
             // written complete frames and closed.
             loop {
                 match conn.decoder.poll() {
-                    Ok(DecodePoll::Frame { kind, payload }) => match kind {
-                        FrameKind::Open => {
-                            let query_id = String::from_utf8_lossy(payload).into_owned();
-                            match conn.state {
-                                // `Rejected` accepts a fresh OPEN directly:
-                                // the client abandoned the refused run
-                                // without ever chunking it. Further OPENs
-                                // while `Collecting` join the fan-out set;
-                                // the first document bytes seal it.
-                                ConnState::Idle | ConnState::Rejected | ConnState::Collecting => {
-                                    if self.registry.get(&query_id).is_some() {
-                                        conn.pending_opens.push(query_id);
-                                        conn.state = ConnState::Collecting;
-                                    } else {
-                                        conn.queue_error(
-                                            ErrorCode::UnknownQuery,
-                                            &format!("no query registered under id {query_id:?}"),
-                                        );
-                                        conn.pending_opens.clear();
-                                        conn.state = ConnState::Rejected;
+                    Ok(DecodePoll::Frame { kind, payload }) => {
+                        if let Some(m) = &self.metrics {
+                            m.note_frame(Dir::In, kind);
+                        }
+                        match kind {
+                            FrameKind::Stats => {
+                                // Control-plane: answered inline in any state,
+                                // so a client can scrape mid-run. Counted before
+                                // rendering, so a scrape sees itself.
+                                if let Some(m) = &self.metrics {
+                                    m.scrapes_wire.inc();
+                                }
+                                let text = self
+                                    .cfg
+                                    .metrics
+                                    .as_ref()
+                                    .map(|r| r.render_text())
+                                    .unwrap_or_default();
+                                conn.queue(FrameKind::StatsReply, text.as_bytes());
+                            }
+                            FrameKind::Open => {
+                                let query_id = String::from_utf8_lossy(payload).into_owned();
+                                match conn.state {
+                                    // `Rejected` accepts a fresh OPEN directly:
+                                    // the client abandoned the refused run
+                                    // without ever chunking it. Further OPENs
+                                    // while `Collecting` join the fan-out set;
+                                    // the first document bytes seal it.
+                                    ConnState::Idle
+                                    | ConnState::Rejected
+                                    | ConnState::Collecting => {
+                                        if self.registry.get(&query_id).is_some() {
+                                            conn.pending_opens.push(query_id);
+                                            conn.state = ConnState::Collecting;
+                                        } else {
+                                            conn.queue_error(
+                                                ErrorCode::UnknownQuery,
+                                                &format!(
+                                                    "no query registered under id {query_id:?}"
+                                                ),
+                                            );
+                                            conn.pending_opens.clear();
+                                            conn.state = ConnState::Rejected;
+                                        }
+                                    }
+                                    _ => {
+                                        fail_state(conn, &mut self.runtime, "OPEN during a run");
+                                        break;
                                     }
                                 }
+                            }
+                            FrameKind::Chunk => match conn.state {
+                                ConnState::Running(id) => self.runtime.feed(id, payload),
+                                ConnState::Collecting => {
+                                    // Copy releases the decoder borrow before
+                                    // the seal takes the connection mutably —
+                                    // once per run, on its first chunk only.
+                                    let first = payload.to_vec();
+                                    if let Some(id) = seal(
+                                        conn,
+                                        token,
+                                        &mut self.runtime,
+                                        &self.registry,
+                                        &mut self.set_cache,
+                                        &mut self.by_session,
+                                    ) {
+                                        self.runtime.feed(id, &first);
+                                    }
+                                    // A failed seal left the connection
+                                    // `Rejected`: absorb the doomed chunks.
+                                }
+                                // A pipelined chunk of a refused OPEN: absorb.
+                                ConnState::Rejected => {}
                                 _ => {
-                                    fail_state(conn, &mut self.runtime, "OPEN during a run");
+                                    fail_state(
+                                        conn,
+                                        &mut self.runtime,
+                                        "CHUNK without an open run",
+                                    );
                                     break;
                                 }
-                            }
-                        }
-                        FrameKind::Chunk => match conn.state {
-                            ConnState::Running(id) => self.runtime.feed(id, payload),
-                            ConnState::Collecting => {
-                                // Copy releases the decoder borrow before
-                                // the seal takes the connection mutably —
-                                // once per run, on its first chunk only.
-                                let first = payload.to_vec();
-                                if let Some(id) = seal(
-                                    conn,
-                                    token,
-                                    &mut self.runtime,
-                                    &self.registry,
-                                    &mut self.set_cache,
-                                    &mut self.by_session,
-                                ) {
-                                    self.runtime.feed(id, &first);
+                            },
+                            FrameKind::Finish => match conn.state {
+                                ConnState::Running(id) => {
+                                    self.runtime.finish(id);
+                                    conn.state = ConnState::Finishing(id);
                                 }
-                                // A failed seal left the connection
-                                // `Rejected`: absorb the doomed chunks.
-                            }
-                            // A pipelined chunk of a refused OPEN: absorb.
-                            ConnState::Rejected => {}
-                            _ => {
-                                fail_state(conn, &mut self.runtime, "CHUNK without an open run");
-                                break;
-                            }
-                        },
-                        FrameKind::Finish => match conn.state {
-                            ConnState::Running(id) => {
-                                self.runtime.finish(id);
-                                conn.state = ConnState::Finishing(id);
-                            }
-                            // An empty document is a legal run: seal and
-                            // finish in one step.
-                            ConnState::Collecting => {
-                                match seal(
-                                    conn,
-                                    token,
-                                    &mut self.runtime,
-                                    &self.registry,
-                                    &mut self.set_cache,
-                                    &mut self.by_session,
-                                ) {
-                                    Some(id) => {
-                                        self.runtime.finish(id);
-                                        conn.state = ConnState::Finishing(id);
-                                    }
-                                    // The seal's ERROR frame answered the
-                                    // run; this FINISH closes it out.
-                                    None => conn.state = ConnState::Idle,
-                                }
-                            }
-                            // End of the refused run's pipelined frames;
-                            // the ERROR already answered it.
-                            ConnState::Rejected => conn.state = ConnState::Idle,
-                            _ => {
-                                fail_state(conn, &mut self.runtime, "FINISH without an open run");
-                                break;
-                            }
-                        },
-                        FrameKind::Abort => match conn.state {
-                            ConnState::Running(id) => {
-                                self.runtime.abort(id);
-                                conn.state = ConnState::Aborting(id);
-                            }
-                            // Aborting before any document bytes: nothing
-                            // ran, acknowledge each pending open directly.
-                            ConnState::Collecting => {
-                                let opens = std::mem::take(&mut conn.pending_opens);
-                                if opens.len() == 1 {
-                                    conn.queue_done_aborted();
-                                } else {
-                                    for sub in 0..opens.len() {
-                                        conn.queue_done_aborted_tagged(sub as u32);
+                                // An empty document is a legal run: seal and
+                                // finish in one step.
+                                ConnState::Collecting => {
+                                    match seal(
+                                        conn,
+                                        token,
+                                        &mut self.runtime,
+                                        &self.registry,
+                                        &mut self.set_cache,
+                                        &mut self.by_session,
+                                    ) {
+                                        Some(id) => {
+                                            self.runtime.finish(id);
+                                            conn.state = ConnState::Finishing(id);
+                                        }
+                                        // The seal's ERROR frame answered the
+                                        // run; this FINISH closes it out.
+                                        None => conn.state = ConnState::Idle,
                                     }
                                 }
-                                conn.state = ConnState::Idle;
-                            }
-                            ConnState::Rejected => conn.state = ConnState::Idle,
-                            _ => {
-                                fail_state(conn, &mut self.runtime, "ABORT without an open run");
+                                // End of the refused run's pipelined frames;
+                                // the ERROR already answered it.
+                                ConnState::Rejected => conn.state = ConnState::Idle,
+                                _ => {
+                                    fail_state(
+                                        conn,
+                                        &mut self.runtime,
+                                        "FINISH without an open run",
+                                    );
+                                    break;
+                                }
+                            },
+                            FrameKind::Abort => match conn.state {
+                                ConnState::Running(id) => {
+                                    self.runtime.abort(id);
+                                    conn.state = ConnState::Aborting(id);
+                                }
+                                // Aborting before any document bytes: nothing
+                                // ran, acknowledge each pending open directly.
+                                ConnState::Collecting => {
+                                    let opens = std::mem::take(&mut conn.pending_opens);
+                                    if opens.len() == 1 {
+                                        conn.queue_done_aborted();
+                                    } else {
+                                        for sub in 0..opens.len() {
+                                            conn.queue_done_aborted_tagged(sub as u32);
+                                        }
+                                    }
+                                    conn.state = ConnState::Idle;
+                                }
+                                ConnState::Rejected => conn.state = ConnState::Idle,
+                                _ => {
+                                    fail_state(
+                                        conn,
+                                        &mut self.runtime,
+                                        "ABORT without an open run",
+                                    );
+                                    break;
+                                }
+                            },
+                            FrameKind::Snapshot => match conn.state {
+                                ConnState::Running(id) => {
+                                    snapshot_run(
+                                        conn,
+                                        id,
+                                        &mut self.runtime,
+                                        self.cfg.snapshot_dir.as_deref(),
+                                        self.cfg.result_frame_max,
+                                        &mut self.by_session,
+                                        &mut self.next_snap,
+                                    );
+                                }
+                                _ => {
+                                    fail_state(
+                                        conn,
+                                        &mut self.runtime,
+                                        "SNAPSHOT without a running session",
+                                    );
+                                    break;
+                                }
+                            },
+                            FrameKind::Resume => match conn.state {
+                                ConnState::Idle | ConnState::Rejected => {
+                                    let snap = String::from_utf8_lossy(payload).into_owned();
+                                    resume_run(
+                                        conn,
+                                        token,
+                                        &snap,
+                                        &mut self.runtime,
+                                        &self.registry,
+                                        &mut self.set_cache,
+                                        self.cfg.snapshot_dir.as_deref(),
+                                        &mut self.by_session,
+                                    );
+                                }
+                                _ => {
+                                    fail_state(conn, &mut self.runtime, "RESUME during a run");
+                                    break;
+                                }
+                            },
+                            // Server→client tags coming *from* a client are a
+                            // protocol violation.
+                            FrameKind::Result
+                            | FrameKind::Done
+                            | FrameKind::Stalled
+                            | FrameKind::Resumed
+                            | FrameKind::Error
+                            | FrameKind::Snapshotted
+                            | FrameKind::StatsReply => {
+                                fail_protocol(
+                                    conn,
+                                    &mut self.runtime,
+                                    &format!(
+                                        "server-to-client frame 0x{:02x} from client",
+                                        kind.byte()
+                                    ),
+                                );
                                 break;
                             }
-                        },
-                        FrameKind::Snapshot => match conn.state {
-                            ConnState::Running(id) => {
-                                snapshot_run(
-                                    conn,
-                                    id,
-                                    &mut self.runtime,
-                                    self.cfg.snapshot_dir.as_deref(),
-                                    self.cfg.result_frame_max,
-                                    &mut self.by_session,
-                                    &mut self.next_snap,
-                                );
-                            }
-                            _ => {
-                                fail_state(
-                                    conn,
-                                    &mut self.runtime,
-                                    "SNAPSHOT without a running session",
-                                );
-                                break;
-                            }
-                        },
-                        FrameKind::Resume => match conn.state {
-                            ConnState::Idle | ConnState::Rejected => {
-                                let snap = String::from_utf8_lossy(payload).into_owned();
-                                resume_run(
-                                    conn,
-                                    token,
-                                    &snap,
-                                    &mut self.runtime,
-                                    &self.registry,
-                                    &mut self.set_cache,
-                                    self.cfg.snapshot_dir.as_deref(),
-                                    &mut self.by_session,
-                                );
-                            }
-                            _ => {
-                                fail_state(conn, &mut self.runtime, "RESUME during a run");
-                                break;
-                            }
-                        },
-                        // Server→client tags coming *from* a client are a
-                        // protocol violation.
-                        FrameKind::Result
-                        | FrameKind::Done
-                        | FrameKind::Stalled
-                        | FrameKind::Resumed
-                        | FrameKind::Error
-                        | FrameKind::Snapshotted => {
-                            fail_protocol(
-                                conn,
-                                &mut self.runtime,
-                                &format!(
-                                    "server-to-client frame 0x{:02x} from client",
-                                    kind.byte()
-                                ),
-                            );
-                            break;
                         }
-                    },
+                    }
                     Ok(DecodePoll::NeedMoreData) => break,
                     Err(e) => {
+                        if let Some(m) = &self.metrics {
+                            m.decode_errors.inc();
+                        }
                         fail_protocol(conn, &mut self.runtime, &e.to_string());
                         break;
                     }
@@ -449,11 +577,15 @@ impl Server {
     fn pump_runtime_events(&mut self) {
         for ev in self.runtime.poll_events() {
             match ev {
-                RuntimeEvent::Stalled { id } => {
+                RuntimeEvent::Stalled { id, cause } => {
                     if let Some(conn) = self.by_session.get(&id).and_then(|t| self.conns.get_mut(t))
                     {
+                        let reason = match cause {
+                            StallCause::Budget => StallReason::Budget,
+                            StallCause::AdmissionReserve => StallReason::AdmissionReserve,
+                        };
                         conn.stalled = true;
-                        conn.queue(FrameKind::Stalled, &[]);
+                        conn.queue(FrameKind::Stalled, &[reason.byte()]);
                     }
                 }
                 RuntimeEvent::Resumed { id } => {
@@ -467,6 +599,7 @@ impl Server {
                     let token = self.by_session.remove(&id);
                     drop(sink); // same SharedOut the connection holds
                     if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
+                        note_run_latency(&self.metrics, conn);
                         conn.stalled = false;
                         conn.state = ConnState::Idle;
                         if conn.close_after_flush {
@@ -495,6 +628,7 @@ impl Server {
                 RuntimeEvent::FinishedShared { id, results } => {
                     let token = self.by_session.remove(&id);
                     if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
+                        note_run_latency(&self.metrics, conn);
                         conn.stalled = false;
                         conn.state = ConnState::Idle;
                         if conn.close_after_flush {
@@ -539,6 +673,7 @@ impl Server {
                 RuntimeEvent::Aborted { id } => {
                     let token = self.by_session.remove(&id);
                     if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
+                        conn.run_started = None; // aborted runs don't record latency
                         conn.shared = None;
                         let subs = conn.multi.len();
                         conn.multi.clear();
@@ -583,6 +718,16 @@ impl Server {
                 writable: conn.out_len() > 0,
             };
             if interest != conn.registered {
+                // Count the park only when it is the outbound buffer (not a
+                // stall or teardown) that took the read interest away.
+                if conn.registered.readable
+                    && !interest.readable
+                    && conn.out_len() > self.cfg.outbuf_high_water
+                {
+                    if let Some(m) = &self.metrics {
+                        m.write_parks.inc();
+                    }
+                }
                 self.poller.reregister(token, interest);
                 conn.registered = interest;
             }
@@ -590,6 +735,12 @@ impl Server {
         for token in dead {
             let conn = self.conns.remove(&token).expect("dead list tracks live conns");
             self.poller.deregister(token);
+            if let Some(m) = &self.metrics {
+                m.active.dec();
+            }
+            if let Some(t) = &self.cfg.tracer {
+                t.emit(TraceEvent::ConnClose);
+            }
             if let Some(id) = conn.state.abort_on_death() {
                 // Mid-stream disconnect: abort the session. Its buffers and
                 // budget charges release inside the runtime; the Aborted
@@ -632,6 +783,7 @@ fn seal(
         let id = runtime.open(&q, FrameSink(Arc::clone(&shared)));
         conn.shared = Some(shared);
         conn.run_ids = ids;
+        conn.run_started = Some(Instant::now());
         conn.state = ConnState::Running(id);
         by_session.insert(id, token);
         return Some(id);
@@ -649,9 +801,19 @@ fn seal(
     let id = runtime.open_shared(&set, sinks);
     conn.multi = outs;
     conn.run_ids = ids;
+    conn.run_started = Some(Instant::now());
     conn.state = ConnState::Running(id);
     by_session.insert(id, token);
     Some(id)
+}
+
+/// Record one completed run's wall-clock latency under its query-id label
+/// (shared fan-out runs record once, under the joined id list).
+fn note_run_latency(metrics: &Option<Arc<ServeMetrics>>, conn: &mut Conn) {
+    if let (Some(m), Some(t0)) = (metrics, conn.run_started.take()) {
+        let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        m.run_histogram(&conn.run_ids.join("+")).record(us);
+    }
 }
 
 /// Suspend a running session to a snapshot file and detach it: the
@@ -696,6 +858,7 @@ fn snapshot_run(
     conn.shared = None;
     conn.multi.clear();
     conn.stalled = false;
+    conn.run_started = None; // the suspended run records at its resumed finish
     conn.state = ConnState::Idle;
     match written {
         Ok(()) => conn.queue(FrameKind::Snapshotted, snap.as_bytes()),
@@ -775,6 +938,7 @@ fn resume_run(
         Ok(id) => {
             let _ = std::fs::remove_file(&path); // tokens are single-use
             conn.run_ids = ids;
+            conn.run_started = Some(Instant::now());
             conn.state = ConnState::Running(id);
             by_session.insert(id, token);
         }
@@ -869,9 +1033,29 @@ fn teardown(conn: &mut Conn, runtime: &mut Runtime<FrameSink>) {
     conn.close_after_flush = true;
 }
 
+/// Answer one admin connection: swallow the request head, write the whole
+/// Prometheus text page, close. Blocking with short timeouts — a wedged
+/// scraper costs the loop at most ~half a second, and admin listeners are
+/// expected to be loopback-only.
+fn answer_scrape(mut stream: TcpStream, body: &str) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut req = [0u8; 1024];
+    let _ = stream.read(&mut req); // request line + headers, ignored
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
 /// A running server on a background thread (see [`Server::spawn`]).
 pub struct ServerHandle {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<io::Result<()>>>,
 }
@@ -880,6 +1064,11 @@ impl ServerHandle {
     /// The server's bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The admin (metrics scrape) listener's address, if one is configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// Stop the loop and join the thread, surfacing any I/O error the loop

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use flux::prelude::*;
-use flux_serve::{Client, ErrorCode, FrameKind, Server, ServerConfig, ServerMsg};
+use flux_serve::{Client, ErrorCode, FrameKind, Server, ServerConfig, ServerMsg, StallReason};
 use flux_xmark::{generate_string, XmarkConfig, PAPER_QUERIES, XMARK_DTD};
 
 /// The weak schema forces author buffering until each book closes — the
@@ -136,7 +136,11 @@ fn admission_stalls_surface_on_the_wire_and_preserve_results() {
     let mut c = Client::connect(addr).unwrap();
     c.open("weak").unwrap();
     c.chunk(prefix.as_bytes()).unwrap();
-    assert_eq!(c.next_msg().unwrap(), ServerMsg::Stalled, "C must stall on the tight pool");
+    assert_eq!(
+        c.next_msg().unwrap(),
+        ServerMsg::Stalled { reason: StallReason::Budget },
+        "C must stall on the tight pool, blaming the budget"
+    );
 
     // A completes: its release re-opens the gate, C resumes on the edge.
     a.chunk(SUFFIX.as_bytes()).unwrap();
@@ -393,7 +397,11 @@ fn shared_stall_pauses_the_whole_parse_and_resumes_for_all() {
     let mut shared = Client::connect(server.addr()).unwrap();
     shared.open_many(&["weak", "weak"]).unwrap();
     shared.chunk(shared_prefix.as_bytes()).unwrap();
-    assert_eq!(shared.next_msg().unwrap(), ServerMsg::Stalled, "shared run stalls as a whole");
+    assert_eq!(
+        shared.next_msg().unwrap(),
+        ServerMsg::Stalled { reason: StallReason::Budget },
+        "shared run stalls as a whole, blaming the budget"
+    );
 
     // Free the pool; the shared parse resumes and completes.
     holder.chunk(SUFFIX.as_bytes()).unwrap();
@@ -409,6 +417,11 @@ fn shared_stall_pauses_the_whole_parse_and_resumes_for_all() {
     for out in &outs {
         assert_eq!(String::from_utf8(out.output.clone()).unwrap(), reference.output);
         assert!(out.resumes >= 1, "the resume reached the client: {out:?}");
+        assert_eq!(out.stall_reasons.len(), out.stalls, "one reason per STALLED: {out:?}");
+        assert!(
+            out.stall_reasons.iter().all(|&r| r == StallReason::Budget),
+            "every stall here is a budget stall: {out:?}"
+        );
     }
     wait_until("all budget to release", || ctrl.used() == 0);
     server.shutdown().unwrap();

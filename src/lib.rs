@@ -156,6 +156,7 @@ pub use flux_baseline as baseline;
 pub use flux_core as core;
 pub use flux_dtd as dtd;
 pub use flux_engine as engine;
+pub use flux_obs as obs;
 pub use flux_query as query;
 pub use flux_state as state;
 pub use flux_xmark as xmark;
@@ -169,9 +170,12 @@ pub mod runtime;
 pub use api::{Engine, EngineBuilder, PreparedQuery, QueryRegistry};
 pub use error::FluxError;
 pub use fanout::SubscriptionSet;
+pub use flux_obs::{
+    MetricsRegistry, MetricsSnapshot, NoopTracer, StallCause, TraceBuffer, TraceEvent, Tracer,
+};
 pub use runtime::{
-    AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
-    SessionId, Shard, SharedSession, SharedSessionId, SuspendPolicy,
+    AdmissionController, FeedOutcome, Finished, Runtime, RuntimeBuilder, RuntimeEvent, RuntimeId,
+    Session, SessionId, Shard, SharedSession, SharedSessionId, SuspendPolicy,
 };
 
 /// Convenient re-exports of the most used items.
@@ -180,13 +184,14 @@ pub mod prelude {
     pub use crate::error::FluxError;
     pub use crate::fanout::SubscriptionSet;
     pub use crate::runtime::{
-        AdmissionController, FeedOutcome, Finished, Runtime, RuntimeEvent, RuntimeId, Session,
-        SessionId, Shard, SharedSession, SharedSessionId, SuspendPolicy,
+        AdmissionController, FeedOutcome, Finished, Runtime, RuntimeBuilder, RuntimeEvent,
+        RuntimeId, Session, SessionId, Shard, SharedSession, SharedSessionId, SuspendPolicy,
     };
     pub use flux_baseline::{DomEngine, PreparedDomQuery, ProjectionMode};
     pub use flux_core::{rewrite_query, FluxExpr, Handler};
     pub use flux_dtd::Dtd;
     pub use flux_engine::{BudgetHook, BudgetWaker, Pump, RunOutcome, RunStats};
+    pub use flux_obs::{MetricsRegistry, StallCause, TraceBuffer, TraceEvent, Tracer};
     pub use flux_query::{parse_xquery, Expr};
     pub use flux_xml::{Node, Reader, Sink, StringSink};
 }

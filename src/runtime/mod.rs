@@ -66,7 +66,7 @@ mod shard;
 mod shared;
 
 pub use admission::AdmissionController;
-pub use rt::{Runtime, RuntimeEvent, RuntimeId, SuspendPolicy};
+pub use rt::{Runtime, RuntimeBuilder, RuntimeEvent, RuntimeId, SuspendPolicy};
 pub use session::{Finished, Session};
 pub use shard::{SessionId, Shard, SharedSessionId};
 pub use shared::SharedSession;

@@ -56,7 +56,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use flux_engine::{BudgetHook, BudgetWaker, CompiledQuery, FanoutPlan, RunStats};
+use flux_engine::{
+    BudgetHook, BudgetObserver, BudgetWaker, CompiledQuery, FanoutPlan, ObservedHook, RunStats,
+};
+use flux_obs::{Counter, Gauge, Histogram, MetricsRegistry, StallCause, TraceEvent, Tracer};
 use flux_xml::Sink;
 
 use crate::api::PreparedQuery;
@@ -137,11 +140,16 @@ pub enum RuntimeEvent<S> {
         sink: Option<S>,
     },
     /// The session paused on the shared budget
-    /// ([`FeedOutcome::Backpressure`]); its worker retries automatically —
-    /// the caller should stop feeding it until [`RuntimeEvent::Resumed`].
+    /// ([`FeedOutcome::Backpressure`]) or on a denied re-admission
+    /// reservation; its worker retries automatically — the caller should
+    /// stop feeding it until [`RuntimeEvent::Resumed`].
     Stalled {
         /// Which session.
         id: RuntimeId,
+        /// Why it stalled: [`StallCause::Budget`] when the admission gate
+        /// refused the next chunk, [`StallCause::AdmissionReserve`] when a
+        /// parked session's re-admission reservation was denied.
+        cause: StallCause,
     },
     /// A previously stalled session is executing again.
     Resumed {
@@ -238,6 +246,8 @@ struct Extracted<S: Sink> {
     pending_bytes: usize,
     finishing: bool,
     aborts: Vec<usize>,
+    opened: Instant,
+    stalled_since: Option<Instant>,
 }
 
 struct WorkerHandle<S: Sink> {
@@ -249,6 +259,10 @@ struct WorkerHandle<S: Sink> {
     /// queued chunks (the second placement signal; published by the worker
     /// after every command it processes).
     buffered: Arc<AtomicUsize>,
+    /// Commands enqueued and not yet received (mailbox depth: the sender
+    /// side increments, the worker decrements — mirrored into the
+    /// `flux_runtime_mailbox_depth` gauge when metrics are on).
+    depth: Arc<AtomicUsize>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -264,12 +278,175 @@ struct Slot {
 /// [module docs](self).
 pub struct Runtime<S: Sink + Send + 'static> {
     workers: Vec<WorkerHandle<S>>,
-    events: Receiver<RuntimeEvent<S>>,
+    events: Receiver<(Instant, RuntimeEvent<S>)>,
     slots: Vec<Slot>,
     free: Vec<u32>,
     budget: Option<Arc<dyn BudgetHook>>,
     suspend: Option<SuspendPolicy>,
     live: usize,
+}
+
+/// Configuration for a [`Runtime`]: shard count plus the optional budget,
+/// suspend policy, metrics registry and tracer — built with
+/// [`Runtime::builder`]. The named `Runtime::with_*` constructors cover
+/// the common combinations; the builder is the full surface (and the only
+/// way to attach observability).
+pub struct RuntimeBuilder {
+    shards: usize,
+    budget: Option<Arc<dyn BudgetHook>>,
+    suspend: Option<SuspendPolicy>,
+    metrics: Option<MetricsRegistry>,
+    tracer: Option<Arc<dyn Tracer>>,
+}
+
+impl RuntimeBuilder {
+    /// A builder for a runtime with `shards` worker threads.
+    pub fn new(shards: usize) -> RuntimeBuilder {
+        RuntimeBuilder { shards, budget: None, suspend: None, metrics: None, tracer: None }
+    }
+
+    /// Charge every session against this [`AdmissionController`].
+    pub fn admission(self, admission: AdmissionController) -> RuntimeBuilder {
+        self.budget(admission.hook())
+    }
+
+    /// Charge every session against an arbitrary [`BudgetHook`] (see
+    /// [`Runtime::with_budget`] for the wakeup contract wrapping hooks
+    /// must keep).
+    pub fn budget(mut self, budget: Arc<dyn BudgetHook>) -> RuntimeBuilder {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Spill idle sessions to disk per `policy`.
+    pub fn suspend(mut self, policy: SuspendPolicy) -> RuntimeBuilder {
+        self.suspend = Some(policy);
+        self
+    }
+
+    /// Record runtime and engine metrics into `registry`: worker `i` owns
+    /// registry shard `i` (per-shard gauges, shard-summed counters and
+    /// histograms), and a configured budget hook is wrapped so
+    /// grants/denials/releases count too. The registry handle stays with
+    /// the caller — scrape it whenever.
+    pub fn metrics(mut self, registry: &MetricsRegistry) -> RuntimeBuilder {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// Emit lifecycle [`TraceEvent`]s to `tracer`. Without this (and
+    /// without the `trace` feature's global buffer) tracing is off and
+    /// costs one branch per would-be event.
+    pub fn tracer(mut self, tracer: Arc<dyn Tracer>) -> RuntimeBuilder {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Spawn the workers and hand back the runtime.
+    pub fn build<S: Sink + Send + 'static>(self) -> Runtime<S> {
+        Runtime::build(self)
+    }
+}
+
+/// Budget-traffic counters behind the [`ObservedHook`] wrapper a
+/// metrics-enabled runtime installs around its configured hook.
+struct BudgetCounters {
+    grants: Arc<Counter>,
+    granted_bytes: Arc<Counter>,
+    denials: Arc<Counter>,
+    releases: Arc<Counter>,
+    released_bytes: Arc<Counter>,
+}
+
+impl BudgetObserver for BudgetCounters {
+    fn granted(&self, bytes: usize) {
+        self.grants.inc();
+        self.granted_bytes.add(bytes as u64);
+    }
+    fn denied(&self, _bytes: usize) {
+        self.denials.inc();
+    }
+    fn released(&self, bytes: usize) {
+        self.releases.inc();
+        self.released_bytes.add(bytes as u64);
+    }
+}
+
+/// One worker's metric instruments, registered in its own registry shard
+/// at spawn (the hot path only ever touches these `Arc`s).
+struct ShardMetrics {
+    live: Arc<Gauge>,
+    buffered: Arc<Gauge>,
+    mailbox: Arc<Gauge>,
+    stalls_budget: Arc<Counter>,
+    stalls_reserve: Arc<Counter>,
+    resumes: Arc<Counter>,
+    suspends: Arc<Counter>,
+    migrates: Arc<Counter>,
+    stall_us: Arc<Histogram>,
+    runs: Arc<Counter>,
+    run_errors: Arc<Counter>,
+    run_us: Arc<Histogram>,
+    events: Arc<Counter>,
+    output_bytes: Arc<Counter>,
+    tape_batches: Arc<Counter>,
+    fast_forwards: Arc<Counter>,
+}
+
+impl ShardMetrics {
+    fn register(registry: &MetricsRegistry, shard: usize) -> ShardMetrics {
+        let s = registry.shard(shard);
+        ShardMetrics {
+            live: s.gauge(&format!("flux_runtime_live_sessions{{shard=\"{shard}\"}}")),
+            buffered: s.gauge(&format!("flux_runtime_buffered_bytes{{shard=\"{shard}\"}}")),
+            mailbox: s.gauge(&format!("flux_runtime_mailbox_depth{{shard=\"{shard}\"}}")),
+            stalls_budget: s.counter("flux_runtime_stalls_total{cause=\"budget\"}"),
+            stalls_reserve: s.counter("flux_runtime_stalls_total{cause=\"admission_reserve\"}"),
+            resumes: s.counter("flux_runtime_resumes_total"),
+            suspends: s.counter("flux_runtime_suspends_total"),
+            migrates: s.counter("flux_runtime_migrates_total"),
+            stall_us: s.histogram("flux_runtime_stall_duration_us"),
+            runs: s.counter("flux_engine_runs_total"),
+            run_errors: s.counter("flux_engine_run_errors_total"),
+            run_us: s.histogram("flux_engine_run_duration_us"),
+            events: s.counter("flux_engine_events_total"),
+            output_bytes: s.counter("flux_engine_output_bytes_total"),
+            tape_batches: s.counter("flux_engine_tape_batches_total"),
+            fast_forwards: s.counter("flux_engine_fast_forwards_total"),
+        }
+    }
+
+    /// Fold one finished run's [`RunStats`] into the shard counters and
+    /// latency histogram. Called *before* the completion event is sent, so
+    /// a scrape taken after observing the event always includes the run.
+    fn note_run(&self, opened: Instant, result: &Result<RunStats, FluxError>) {
+        self.runs.inc();
+        self.run_us.record(opened.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        match result {
+            Ok(stats) => {
+                self.events.add(stats.events);
+                self.output_bytes.add(stats.output_bytes);
+                self.tape_batches.add(stats.tape.batches);
+                self.fast_forwards.add(stats.tape.fast_forwarded);
+            }
+            Err(_) => self.run_errors.inc(),
+        }
+    }
+}
+
+/// The default tracer when none is configured explicitly: with the
+/// `trace` feature, a process-global [`flux_obs::TraceBuffer`] so every
+/// runtime in the process exercises the seam; without it, nothing — the
+/// disabled path is one branch.
+#[cfg(feature = "trace")]
+fn default_tracer() -> Option<Arc<dyn Tracer>> {
+    static GLOBAL: std::sync::OnceLock<Arc<flux_obs::TraceBuffer>> = std::sync::OnceLock::new();
+    Some(Arc::clone(GLOBAL.get_or_init(|| flux_obs::TraceBuffer::with_capacity(4096))) as _)
+}
+
+#[cfg(not(feature = "trace"))]
+fn default_tracer() -> Option<Arc<dyn Tracer>> {
+    None
 }
 
 /// Placement weight of one live session relative to one buffered byte: a
@@ -280,7 +457,13 @@ const SESSION_WEIGHT: usize = 4096;
 impl<S: Sink + Send + 'static> Runtime<S> {
     /// A runtime with `shards` worker threads and no shared budget.
     pub fn new(shards: usize) -> Runtime<S> {
-        Runtime::build(shards, None, None)
+        RuntimeBuilder::new(shards).build()
+    }
+
+    /// Full configuration surface — budget, suspend policy, metrics
+    /// registry, tracer — as a builder.
+    pub fn builder(shards: usize) -> RuntimeBuilder {
+        RuntimeBuilder::new(shards)
     }
 
     /// A runtime with `shards` worker threads whose sessions all charge
@@ -296,12 +479,12 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     /// wrapping hooks should forward all five trait methods to the inner
     /// controller.
     pub fn with_budget(shards: usize, budget: Arc<dyn BudgetHook>) -> Runtime<S> {
-        Runtime::build(shards, Some(budget), None)
+        RuntimeBuilder::new(shards).budget(budget).build()
     }
 
     /// A runtime that spills idle sessions to disk per `policy`.
     pub fn with_suspend(shards: usize, policy: SuspendPolicy) -> Runtime<S> {
-        Runtime::build(shards, None, Some(policy))
+        RuntimeBuilder::new(shards).suspend(policy).build()
     }
 
     /// Budget and suspend policy combined: the spill releases a parked
@@ -313,53 +496,68 @@ impl<S: Sink + Send + 'static> Runtime<S> {
         budget: Arc<dyn BudgetHook>,
         policy: SuspendPolicy,
     ) -> Runtime<S> {
-        Runtime::build(shards, Some(budget), Some(policy))
+        RuntimeBuilder::new(shards).budget(budget).suspend(policy).build()
     }
 
-    fn build(
-        shards: usize,
-        budget: Option<Arc<dyn BudgetHook>>,
-        suspend: Option<SuspendPolicy>,
-    ) -> Runtime<S> {
+    fn build(cfg: RuntimeBuilder) -> Runtime<S> {
+        let RuntimeBuilder { shards, budget, suspend, metrics, tracer } = cfg;
         assert!(shards > 0, "a Runtime needs at least one shard");
+        let tracer = tracer.or_else(default_tracer);
+        // With metrics on, the configured hook is wrapped so every
+        // grant/denial/release of every session counts; sessions are built
+        // from `self.budget`, so they charge through the wrapper too.
+        let budget = match (&metrics, budget) {
+            (Some(registry), Some(hook)) => {
+                let s = registry.shard(0);
+                let counters = Arc::new(BudgetCounters {
+                    grants: s.counter("flux_budget_grants_total"),
+                    granted_bytes: s.counter("flux_budget_granted_bytes_total"),
+                    denials: s.counter("flux_budget_denials_total"),
+                    releases: s.counter("flux_budget_releases_total"),
+                    released_bytes: s.counter("flux_budget_released_bytes_total"),
+                });
+                Some(ObservedHook::new(hook, counters) as Arc<dyn BudgetHook>)
+            }
+            (_, budget) => budget,
+        };
         let (events_tx, events) = channel();
         let workers = (0..shards)
             .map(|i| {
                 let (tx, rx) = channel();
                 let live = Arc::new(AtomicUsize::new(0));
                 let buffered = Arc::new(AtomicUsize::new(0));
-                let worker_live = Arc::clone(&live);
-                let worker_buffered = Arc::clone(&buffered);
-                let worker_events = events_tx.clone();
-                let worker_suspend = suspend.clone();
+                let depth = Arc::new(AtomicUsize::new(0));
                 // The worker's budget-release wakeup: fired on the release
                 // edge (possibly from another worker's thread, or from a
                 // session outside this runtime entirely), it lands in the
                 // worker's own mailbox and re-runs the stalled retries.
                 let worker_budget = budget.as_ref().map(|hook| {
                     let wake_tx = tx.clone();
+                    let wake_depth = Arc::clone(&depth);
                     let waker = BudgetWaker::new(move || {
                         // The worker may already be shutting down: a wakeup
                         // with nobody to wake is fine to drop.
+                        wake_depth.fetch_add(1, Ordering::Relaxed);
                         let _ = wake_tx.send(Cmd::RetryStalled);
                     });
                     hook.subscribe_waker(&waker);
                     (Arc::clone(hook), waker)
                 });
+                let ctx = WorkerCtx {
+                    shard: i as u32,
+                    events: events_tx.clone(),
+                    live: Arc::clone(&live),
+                    buffered: Arc::clone(&buffered),
+                    depth: Arc::clone(&depth),
+                    suspend: suspend.clone(),
+                    metrics: metrics.as_ref().map(|m| ShardMetrics::register(m, i)),
+                    tracer: tracer.clone(),
+                };
                 let handle = std::thread::Builder::new()
                     .name(format!("flux-shard-{i}"))
-                    .spawn(move || {
-                        worker_loop(
-                            rx,
-                            worker_events,
-                            worker_live,
-                            worker_buffered,
-                            worker_budget,
-                            worker_suspend,
-                        )
-                    })
+                    .spawn(move || worker_loop(rx, worker_budget, ctx))
                     .expect("spawn shard worker");
-                WorkerHandle { tx, live, buffered, handle: Some(handle) }
+                WorkerHandle { tx, live, buffered, depth, handle: Some(handle) }
             })
             .collect();
         Runtime { workers, events, slots: Vec::new(), free: Vec::new(), budget, suspend, live: 0 }
@@ -626,8 +824,18 @@ impl<S: Sink + Send + 'static> Runtime<S> {
 
     /// Drain every event the workers have produced so far (non-blocking).
     pub fn poll_events(&mut self) -> Vec<RuntimeEvent<S>> {
+        self.poll_events_stamped().into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Like [`Runtime::poll_events`], with each event's enqueue timestamp
+    /// (the monotonic [`Instant`] taken on the worker as it emitted the
+    /// event). A stall episode's wall time is the span from its
+    /// [`RuntimeEvent::Stalled`] stamp to its [`RuntimeEvent::Resumed`]
+    /// stamp — unaffected by how late the caller polls; the runtime's own
+    /// `flux_runtime_stall_duration_us` histogram measures the same span.
+    pub fn poll_events_stamped(&mut self) -> Vec<(Instant, RuntimeEvent<S>)> {
         let evs: Vec<_> = self.events.try_iter().collect();
-        for ev in &evs {
+        for (_, ev) in &evs {
             self.retire(ev);
         }
         evs
@@ -636,7 +844,7 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     /// Block for the next event. Returns `None` only when every worker has
     /// exited (after [`Runtime::drain`] started the shutdown).
     pub fn wait_event(&mut self) -> Option<RuntimeEvent<S>> {
-        let ev = self.events.recv().ok()?;
+        let (_, ev) = self.events.recv().ok()?;
         self.retire(&ev);
         Some(ev)
     }
@@ -648,7 +856,7 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     pub fn drain(mut self) -> Vec<RuntimeEvent<S>> {
         self.shutdown();
         let mut evs = Vec::new();
-        while let Ok(ev) = self.events.recv() {
+        while let Ok((_, ev)) = self.events.recv() {
             self.retire(&ev);
             evs.push(ev);
         }
@@ -658,6 +866,7 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     /// Send shutdown to all workers and join them (idempotent).
     fn shutdown(&mut self) {
         for w in &mut self.workers {
+            w.depth.fetch_add(1, Ordering::Relaxed);
             let _ = w.tx.send(Cmd::Shutdown); // queued behind all prior work
         }
         for w in &mut self.workers {
@@ -687,7 +896,9 @@ impl<S: Sink + Send + 'static> Runtime<S> {
     }
 
     fn send(&self, worker: usize, cmd: Cmd<S>) {
-        self.workers[worker].tx.send(cmd).expect("shard worker alive while the runtime is");
+        let w = &self.workers[worker];
+        w.depth.fetch_add(1, Ordering::Relaxed);
+        w.tx.send(cmd).expect("shard worker alive while the runtime is");
     }
 
     /// Generation check; returns the owning worker.
@@ -815,6 +1026,18 @@ struct Entry<S: Sink> {
     /// Bytes currently published into the worker's shared buffered-bytes
     /// counter on behalf of this entry.
     reported: usize,
+    /// When the session landed on a worker (run-latency measure).
+    opened: Instant,
+    /// `Some` from the moment a stall was announced
+    /// ([`RuntimeEvent::Stalled`]) until the matching
+    /// [`RuntimeEvent::Resumed`] — the announce guard *and* the
+    /// stall-duration clock. Tracking announcement here (instead of
+    /// inferring it from queued chunks) is what keeps a stall visible even
+    /// when it carries no pending bytes (a finish or subscriber abort
+    /// deferred behind a denied re-admission) and guarantees the
+    /// stall/resume pair is emitted in order even when both happen within
+    /// one poll window.
+    stalled_since: Option<Instant>,
 }
 
 impl<S: Sink> Entry<S> {
@@ -828,6 +1051,8 @@ impl<S: Sink> Entry<S> {
             aborts: Vec::new(),
             last_touch: Instant::now(),
             reported: 0,
+            opened: Instant::now(),
+            stalled_since: None,
         }
     }
 
@@ -869,6 +1094,81 @@ fn republish<S: Sink>(e: &mut Entry<S>, buffered: &AtomicUsize) {
     e.reported = now;
 }
 
+/// Everything one worker thread needs besides its mailbox: the event
+/// channel, the shared load signals, and the (optional) observability
+/// hooks. Bundled so the helper functions below take one context instead
+/// of six loose arguments.
+struct WorkerCtx<S: Sink> {
+    shard: u32,
+    events: Sender<(Instant, RuntimeEvent<S>)>,
+    live: Arc<AtomicUsize>,
+    buffered: Arc<AtomicUsize>,
+    depth: Arc<AtomicUsize>,
+    suspend: Option<SuspendPolicy>,
+    metrics: Option<ShardMetrics>,
+    tracer: Option<Arc<dyn Tracer>>,
+}
+
+impl<S: Sink> WorkerCtx<S> {
+    /// Emit one runtime event, stamped with its enqueue [`Instant`].
+    fn send(&self, ev: RuntimeEvent<S>) {
+        let _ = self.events.send((Instant::now(), ev));
+    }
+
+    /// Emit one trace event if a tracer is attached — the inlined `None`
+    /// check is the whole cost of disabled tracing (no allocation either
+    /// way; pinned by the counting-allocator test).
+    #[inline]
+    fn trace(&self, ev: TraceEvent) {
+        if let Some(t) = self.tracer.as_deref() {
+            t.emit(ev);
+        }
+    }
+
+    /// Mirror the shared load signals into this shard's gauges.
+    fn publish_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            m.live.set(self.live.load(Ordering::Relaxed) as i64);
+            m.buffered.set(self.buffered.load(Ordering::Relaxed) as i64);
+            m.mailbox.set(self.depth.load(Ordering::Relaxed) as i64);
+        }
+    }
+}
+
+/// Announce a stall exactly once per episode: counter, trace event, and
+/// the [`RuntimeEvent::Stalled`] notification, with `stalled_since`
+/// starting the duration clock. A second cause while already stalled is
+/// absorbed (the episode keeps its original cause).
+fn note_stall<S: Sink>(ctx: &WorkerCtx<S>, e: &mut Entry<S>, slot: u32, cause: StallCause) {
+    if e.stalled_since.is_some() {
+        return;
+    }
+    e.stalled_since = Some(Instant::now());
+    if let Some(m) = &ctx.metrics {
+        match cause {
+            StallCause::Budget => m.stalls_budget.inc(),
+            StallCause::AdmissionReserve => m.stalls_reserve.inc(),
+        }
+    }
+    ctx.trace(TraceEvent::Stall { shard: ctx.shard, cause });
+    ctx.send(RuntimeEvent::Stalled { id: RuntimeId { slot, gen: e.gen }, cause });
+}
+
+/// Close a stall episode if one is open: record its duration, emit the
+/// [`RuntimeEvent::Resumed`] pair for the earlier `Stalled`. Also runs on
+/// the way into a finish, so a stall resolved *by* the finish still emits
+/// both events, in order, within the same poll window.
+fn note_resume<S: Sink>(ctx: &WorkerCtx<S>, e: &mut Entry<S>, slot: u32) {
+    if let Some(since) = e.stalled_since.take() {
+        if let Some(m) = &ctx.metrics {
+            m.resumes.inc();
+            m.stall_us.record(since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        ctx.trace(TraceEvent::Resume { shard: ctx.shard });
+        ctx.send(RuntimeEvent::Resumed { id: RuntimeId { slot, gen: e.gen } });
+    }
+}
+
 /// One worker thread: a mailbox-driven session multiplexer. (The admission
 /// gate lives inside each `Session`; workers only see its `FeedOutcome`.)
 /// With sessions stalled on the shared budget the worker sleeps on its
@@ -877,11 +1177,8 @@ fn republish<S: Sink>(e: &mut Entry<S>, buffered: &AtomicUsize) {
 /// not polled.
 fn worker_loop<S: Sink + Send + 'static>(
     rx: Receiver<Cmd<S>>,
-    events: Sender<RuntimeEvent<S>>,
-    live: Arc<AtomicUsize>,
-    buffered: Arc<AtomicUsize>,
     budget: Option<(Arc<dyn BudgetHook>, Arc<BudgetWaker>)>,
-    suspend: Option<SuspendPolicy>,
+    ctx: WorkerCtx<S>,
 ) {
     let hook = budget.as_ref().map(|(h, _)| Arc::clone(h));
     let mut sessions: HashMap<u32, Entry<S>> = HashMap::new();
@@ -889,7 +1186,7 @@ fn worker_loop<S: Sink + Send + 'static>(
     let mut last_sweep = Instant::now();
     loop {
         let cmd = if stalled.is_empty() {
-            match wait(&rx, &suspend) {
+            match wait(&rx, &ctx.suspend) {
                 Ok(c) => c,
                 Err(()) => return, // runtime dropped without Shutdown
             }
@@ -905,11 +1202,11 @@ fn worker_loop<S: Sink + Send + 'static>(
             // it.
             let (_, waker) = budget.as_ref().expect("stalled sessions imply an admission budget");
             waker.arm();
-            if retry_pass(&mut sessions, &mut stalled, hook.as_ref(), &events, &live, &buffered) {
+            if retry_pass(&mut sessions, &mut stalled, hook.as_ref(), &ctx) {
                 waker.disarm();
                 None
             } else {
-                match wait(&rx, &suspend) {
+                match wait(&rx, &ctx.suspend) {
                     Ok(c) => {
                         waker.disarm();
                         c
@@ -918,13 +1215,18 @@ fn worker_loop<S: Sink + Send + 'static>(
                 }
             }
         };
+        if cmd.is_some() {
+            ctx.depth.fetch_sub(1, Ordering::Relaxed);
+        }
         match cmd {
             Some(Cmd::Open { slot, gen, session }) => {
+                ctx.trace(TraceEvent::SessionOpen { shard: ctx.shard });
                 let prev =
                     sessions.insert(slot, Entry::new(gen, Body::Live(AnySession::Single(session))));
                 debug_assert!(prev.is_none(), "slot reused before retirement");
             }
             Some(Cmd::OpenShared { slot, gen, session }) => {
+                ctx.trace(TraceEvent::SessionOpen { shard: ctx.shard });
                 let prev =
                     sessions.insert(slot, Entry::new(gen, Body::Live(AnySession::Shared(session))));
                 debug_assert!(prev.is_none(), "slot reused before retirement");
@@ -936,7 +1238,7 @@ fn worker_loop<S: Sink + Send + 'static>(
                     let mut progressed = false;
                     match wake_entry(e, hook.as_ref(), &mut progressed) {
                         Wake::Ready => {
-                            apply_aborts(e, slot, &events);
+                            apply_aborts(e, slot, &ctx);
                             let Body::Live(session) = &mut e.body else {
                                 unreachable!("woken above")
                             };
@@ -948,8 +1250,7 @@ fn worker_loop<S: Sink + Send + 'static>(
                                     e.pending_bytes += chunk.len();
                                     e.pending.push_back(chunk);
                                     stalled.push(slot);
-                                    let id = RuntimeId { slot, gen: e.gen };
-                                    let _ = events.send(RuntimeEvent::Stalled { id });
+                                    note_stall(&ctx, e, slot, StallCause::Budget);
                                 }
                                 // Failed earlier; the cause surfaces at
                                 // finish.
@@ -963,8 +1264,7 @@ fn worker_loop<S: Sink + Send + 'static>(
                             e.pending_bytes += chunk.len();
                             e.pending.push_back(chunk);
                             stalled.push(slot);
-                            let id = RuntimeId { slot, gen: e.gen };
-                            let _ = events.send(RuntimeEvent::Stalled { id });
+                            note_stall(&ctx, e, slot, StallCause::AdmissionReserve);
                         }
                         // Absorbed; the cause surfaces at finish.
                         Wake::Dead => {}
@@ -974,12 +1274,12 @@ fn worker_loop<S: Sink + Send + 'static>(
                     e.pending_bytes += chunk.len();
                     e.pending.push_back(chunk);
                 }
-                republish(e, &buffered);
+                republish(e, &ctx.buffered);
             }
             Some(Cmd::Resume { slot }) => {
                 let e = sessions.get_mut(&slot).expect("resume addresses a live session");
                 e.last_touch = Instant::now();
-                let (still, _) = retry_entry(e, slot, hook.as_ref(), &events, &buffered);
+                let (still, _) = retry_entry(e, slot, hook.as_ref(), &ctx);
                 let finish_ready = !still && e.finishing;
                 if still {
                     if !stalled.contains(&slot) {
@@ -989,7 +1289,7 @@ fn worker_loop<S: Sink + Send + 'static>(
                     stalled.retain(|&s| s != slot);
                 }
                 if finish_ready {
-                    finish_now(slot, &mut sessions, &mut stalled, &events, &live, &buffered);
+                    finish_now(slot, &mut sessions, &mut stalled, &ctx);
                 }
             }
             Some(Cmd::Finish { slot }) => {
@@ -1005,10 +1305,9 @@ fn worker_loop<S: Sink + Send + 'static>(
                         if !stalled.contains(&slot) {
                             stalled.push(slot);
                         }
+                        note_stall(&ctx, e, slot, StallCause::AdmissionReserve);
                     }
-                    Wake::Ready | Wake::Dead => {
-                        finish_now(slot, &mut sessions, &mut stalled, &events, &live, &buffered)
-                    }
+                    Wake::Ready | Wake::Dead => finish_now(slot, &mut sessions, &mut stalled, &ctx),
                 }
             }
             Some(Cmd::AbortSub { slot, sub }) => {
@@ -1022,7 +1321,7 @@ fn worker_loop<S: Sink + Send + 'static>(
                         };
                         let sink = s.abort_sub(sub);
                         let id = RuntimeId { slot, gen: e.gen };
-                        let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink });
+                        ctx.send(RuntimeEvent::SubAborted { id, sub, sink });
                     }
                     Wake::Denied => {
                         // Defer: applies the moment re-admission succeeds.
@@ -1030,18 +1329,19 @@ fn worker_loop<S: Sink + Send + 'static>(
                         if !stalled.contains(&slot) {
                             stalled.push(slot);
                         }
+                        note_stall(&ctx, e, slot, StallCause::AdmissionReserve);
                     }
                     Wake::Dead => {
                         let id = RuntimeId { slot, gen: e.gen };
-                        let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink: None });
+                        ctx.send(RuntimeEvent::SubAborted { id, sub, sink: None });
                     }
                 }
-                republish(e, &buffered);
+                republish(e, &ctx.buffered);
             }
             Some(Cmd::Abort { slot }) => {
                 let e = sessions.remove(&slot).expect("abort addresses a live session");
                 stalled.retain(|&s| s != slot);
-                buffered.fetch_sub(e.reported, Ordering::Relaxed);
+                ctx.buffered.fetch_sub(e.reported, Ordering::Relaxed);
                 let gen = e.gen;
                 // A parked session's spill file goes with it; buffers and
                 // budget charges release on drop.
@@ -1049,15 +1349,16 @@ fn worker_loop<S: Sink + Send + 'static>(
                     let _ = std::fs::remove_file(path);
                 }
                 drop(e);
-                live.fetch_sub(1, Ordering::Relaxed);
-                let _ = events.send(RuntimeEvent::Aborted { id: RuntimeId { slot, gen } });
+                ctx.live.fetch_sub(1, Ordering::Relaxed);
+                ctx.trace(TraceEvent::SessionAbort { shard: ctx.shard });
+                ctx.send(RuntimeEvent::Aborted { id: RuntimeId { slot, gen } });
             }
             Some(Cmd::Extract { slot, reply }) => {
                 let mut e = sessions.remove(&slot).expect("migrate addresses a live session");
                 stalled.retain(|&s| s != slot);
-                buffered.fetch_sub(e.reported, Ordering::Relaxed);
+                ctx.buffered.fetch_sub(e.reported, Ordering::Relaxed);
                 e.reported = 0;
-                live.fetch_sub(1, Ordering::Relaxed);
+                ctx.live.fetch_sub(1, Ordering::Relaxed);
                 // A healthy resident session crosses shards as its own
                 // snapshot — migration rides the exact bytes a suspend
                 // writes to disk. A failed session refuses to serialize
@@ -1078,11 +1379,21 @@ fn worker_loop<S: Sink + Send + 'static>(
                     pending_bytes: e.pending_bytes,
                     finishing: e.finishing,
                     aborts: e.aborts,
+                    opened: e.opened,
+                    stalled_since: e.stalled_since,
                 });
             }
             Some(Cmd::Adopt { slot, shard, extracted }) => {
-                let Extracted { gen, mut body, pending, pending_bytes, finishing, aborts } =
-                    extracted;
+                let Extracted {
+                    gen,
+                    mut body,
+                    pending,
+                    pending_bytes,
+                    finishing,
+                    aborts,
+                    opened,
+                    stalled_since,
+                } = extracted;
                 // A body serialized purely for transport resumes right
                 // away (the restore half of the migration); one the
                 // suspend sweep had spilled stays on disk until touched.
@@ -1110,18 +1421,29 @@ fn worker_loop<S: Sink + Send + 'static>(
                     aborts,
                     last_touch: Instant::now(),
                     reported: 0,
+                    opened,
+                    stalled_since,
                 };
-                republish(&mut e, &buffered);
+                republish(&mut e, &ctx.buffered);
+                if let Some(m) = &ctx.metrics {
+                    m.migrates.inc();
+                }
+                ctx.trace(TraceEvent::Migrate { shard: ctx.shard });
+                ctx.send(RuntimeEvent::Migrated { id: RuntimeId { slot, gen }, shard });
+                if stall {
+                    if !stalled.contains(&slot) {
+                        stalled.push(slot);
+                    }
+                    let cause =
+                        if denied { StallCause::AdmissionReserve } else { StallCause::Budget };
+                    note_stall(&ctx, &mut e, slot, cause);
+                }
                 let prev = sessions.insert(slot, e);
                 debug_assert!(prev.is_none(), "slot reused before retirement");
-                let _ = events.send(RuntimeEvent::Migrated { id: RuntimeId { slot, gen }, shard });
-                if stall && !stalled.contains(&slot) {
-                    stalled.push(slot);
-                }
             }
             Some(Cmd::Suspend { slot }) => {
-                if let Some(policy) = &suspend {
-                    suspend_entry(slot, &mut sessions, policy, &events, &buffered);
+                if let Some(policy) = ctx.suspend.clone() {
+                    suspend_entry(slot, &mut sessions, &policy, &ctx);
                 }
             }
             Some(Cmd::Shutdown) => {
@@ -1141,10 +1463,11 @@ fn worker_loop<S: Sink + Send + 'static>(
         // Budget may have freed (here or on another worker): retry stalled
         // sessions. Cheap when nothing changed — the admission gate is one
         // atomic read per stalled session.
-        retry_pass(&mut sessions, &mut stalled, hook.as_ref(), &events, &live, &buffered);
-        if let Some(policy) = &suspend {
-            sweep(policy, &mut last_sweep, &mut sessions, &events, &buffered);
+        retry_pass(&mut sessions, &mut stalled, hook.as_ref(), &ctx);
+        if let Some(policy) = ctx.suspend.clone() {
+            sweep(&policy, &mut last_sweep, &mut sessions, &ctx);
         }
+        ctx.publish_gauges();
     }
 }
 
@@ -1328,7 +1651,7 @@ fn wake_entry<S: Sink>(
 }
 
 /// Apply deferred subscriber aborts the moment the body is live again.
-fn apply_aborts<S: Sink>(e: &mut Entry<S>, slot: u32, events: &Sender<RuntimeEvent<S>>) {
+fn apply_aborts<S: Sink>(e: &mut Entry<S>, slot: u32, ctx: &WorkerCtx<S>) {
     if e.aborts.is_empty() {
         return;
     }
@@ -1339,23 +1662,28 @@ fn apply_aborts<S: Sink>(e: &mut Entry<S>, slot: u32, events: &Sender<RuntimeEve
     };
     for sub in e.aborts.drain(..) {
         let sink = s.abort_sub(sub);
-        let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink });
+        ctx.send(RuntimeEvent::SubAborted { id, sub, sink });
     }
 }
 
 /// Wake one stalled (or parked) entry and feed as many queued chunks as
 /// the gate now admits. Returns (still stalled, made progress).
+///
+/// Resumption is announced iff a [`RuntimeEvent::Stalled`] went out for
+/// this entry (`stalled_since` is set) — the old heuristic ("pending
+/// queue non-empty") silently coalesced the pair away when a session
+/// stalled and resumed within one poll window, and never paired the
+/// stalls that carry no pending bytes (deferred finishes and
+/// sub-aborts).
 fn retry_entry<S: Sink>(
     e: &mut Entry<S>,
     slot: u32,
     hook: Option<&Arc<dyn BudgetHook>>,
-    events: &Sender<RuntimeEvent<S>>,
-    buffered: &AtomicUsize,
+    ctx: &WorkerCtx<S>,
 ) -> (bool, bool) {
     if e.parkable() {
         return (false, false); // live and idle: was not stalled
     }
-    let announce = !e.pending.is_empty();
     let mut progressed = false;
     match wake_entry(e, hook, &mut progressed) {
         Wake::Denied => return (true, progressed),
@@ -1365,15 +1693,13 @@ fn retry_entry<S: Sink>(
             e.pending.clear();
             e.pending_bytes = 0;
             e.aborts.clear();
-            republish(e, buffered);
-            if announce {
-                let _ = events.send(RuntimeEvent::Resumed { id: RuntimeId { slot, gen: e.gen } });
-            }
+            republish(e, &ctx.buffered);
+            note_resume(ctx, e, slot);
             return (false, true);
         }
         Wake::Ready => {}
     }
-    apply_aborts(e, slot, events);
+    apply_aborts(e, slot, ctx);
     let mut still = false;
     while !e.pending.is_empty() {
         let outcome = {
@@ -1399,9 +1725,9 @@ fn retry_entry<S: Sink>(
             }
         }
     }
-    republish(e, buffered);
-    if announce && !still {
-        let _ = events.send(RuntimeEvent::Resumed { id: RuntimeId { slot, gen: e.gen } });
+    republish(e, &ctx.buffered);
+    if !still {
+        note_resume(ctx, e, slot);
     }
     (still, progressed)
 }
@@ -1413,15 +1739,13 @@ fn retry_pass<S: Sink>(
     sessions: &mut HashMap<u32, Entry<S>>,
     stalled: &mut Vec<u32>,
     hook: Option<&Arc<dyn BudgetHook>>,
-    events: &Sender<RuntimeEvent<S>>,
-    live: &AtomicUsize,
-    buffered: &AtomicUsize,
+    ctx: &WorkerCtx<S>,
 ) -> bool {
     let mut progressed = false;
     let mut to_finish = Vec::new();
     stalled.retain(|&slot| {
         let e = sessions.get_mut(&slot).expect("stalled list tracks live sessions");
-        let (still, prog) = retry_entry(e, slot, hook, events, buffered);
+        let (still, prog) = retry_entry(e, slot, hook, ctx);
         progressed |= prog;
         if !still && e.finishing {
             to_finish.push(slot);
@@ -1429,7 +1753,7 @@ fn retry_pass<S: Sink>(
         still
     });
     for slot in to_finish {
-        finish_now(slot, sessions, stalled, events, live, buffered);
+        finish_now(slot, sessions, stalled, ctx);
         progressed = true;
     }
     progressed
@@ -1438,19 +1762,26 @@ fn retry_pass<S: Sink>(
 /// Complete a finish for an entry whose body is woken (or lost): drain
 /// the committed pending bytes past the admission gate, finish the run,
 /// and emit the completion event.
+///
+/// Metric/trace ordering matters here: the run is recorded into the
+/// shard's registry *before* the completion event is sent, so a scrape
+/// taken after a client observes DONE always includes that run.
 fn finish_now<S: Sink>(
     slot: u32,
     sessions: &mut HashMap<u32, Entry<S>>,
     stalled: &mut Vec<u32>,
-    events: &Sender<RuntimeEvent<S>>,
-    live: &AtomicUsize,
-    buffered: &AtomicUsize,
+    ctx: &WorkerCtx<S>,
 ) {
     let mut e = sessions.remove(&slot).expect("finish addresses a live session");
     stalled.retain(|&s| s != slot);
-    buffered.fetch_sub(e.reported, Ordering::Relaxed);
-    live.fetch_sub(1, Ordering::Relaxed);
+    ctx.buffered.fetch_sub(e.reported, Ordering::Relaxed);
+    ctx.live.fetch_sub(1, Ordering::Relaxed);
+    // A stall resolved by end-of-input still announces the resumption —
+    // strictly before the completion event, so consumers always observe
+    // Stalled → Resumed → Finished in order.
+    note_resume(ctx, &mut e, slot);
     let id = RuntimeId { slot, gen: e.gen };
+    let opened = e.opened;
     match e.body {
         Body::Live(mut session) => {
             // Deferred subscriber aborts go first — their sinks return
@@ -1459,7 +1790,7 @@ fn finish_now<S: Sink>(
                 if let AnySession::Shared(s) = &mut session {
                     for sub in e.aborts.drain(..) {
                         let sink = s.abort_sub(sub);
-                        let _ = events.send(RuntimeEvent::SubAborted { id, sub, sink });
+                        ctx.send(RuntimeEvent::SubAborted { id, sub, sink });
                     }
                 }
             }
@@ -1474,30 +1805,52 @@ fn finish_now<S: Sink>(
             match session {
                 AnySession::Single(s) => {
                     let (result, sink) = s.finish_parts();
-                    let _ = events.send(RuntimeEvent::Finished { id, result, sink });
+                    if let Some(m) = &ctx.metrics {
+                        m.note_run(opened, &result);
+                    }
+                    ctx.trace(TraceEvent::SessionFinish { shard: ctx.shard, ok: result.is_ok() });
+                    ctx.send(RuntimeEvent::Finished { id, result, sink });
                 }
                 AnySession::Shared(s) => {
                     let results = s.finish_parts();
-                    let _ = events.send(RuntimeEvent::FinishedShared { id, results });
+                    if let Some(m) = &ctx.metrics {
+                        for (result, _) in &results {
+                            m.note_run(opened, result);
+                        }
+                    }
+                    let ok = results.iter().all(|(r, _)| r.is_ok());
+                    ctx.trace(TraceEvent::SessionFinish { shard: ctx.shard, ok });
+                    ctx.send(RuntimeEvent::FinishedShared { id, results });
                 }
             }
         }
         Body::Lost { error, sinks, shared } => {
             let mk = |msg: &str| FluxError::Snapshot(flux_state::StateError::Io(msg.to_string()));
             if shared {
-                let results = match sinks {
+                let results: Vec<_> = match sinks {
                     Some(SinkSlots::Shared(v)) => {
                         v.into_iter().map(|s| (Err(mk(&error)), s)).collect()
                     }
                     _ => Vec::new(),
                 };
-                let _ = events.send(RuntimeEvent::FinishedShared { id, results });
+                if let Some(m) = &ctx.metrics {
+                    for (result, _) in &results {
+                        m.note_run(opened, result);
+                    }
+                }
+                ctx.trace(TraceEvent::SessionFinish { shard: ctx.shard, ok: false });
+                ctx.send(RuntimeEvent::FinishedShared { id, results });
             } else {
                 let sink = match sinks {
                     Some(SinkSlots::Single(s)) => Some(s),
                     _ => None,
                 };
-                let _ = events.send(RuntimeEvent::Finished { id, result: Err(mk(&error)), sink });
+                let result = Err(mk(&error));
+                if let Some(m) = &ctx.metrics {
+                    m.note_run(opened, &result);
+                }
+                ctx.trace(TraceEvent::SessionFinish { shard: ctx.shard, ok: false });
+                ctx.send(RuntimeEvent::Finished { id, result, sink });
             }
         }
         Body::Parked(_) => unreachable!("finish completes only on woken entries"),
@@ -1511,8 +1864,7 @@ fn suspend_entry<S: Sink>(
     slot: u32,
     sessions: &mut HashMap<u32, Entry<S>>,
     policy: &SuspendPolicy,
-    events: &Sender<RuntimeEvent<S>>,
-    buffered: &AtomicUsize,
+    ctx: &WorkerCtx<S>,
 ) {
     let Some(e) = sessions.get_mut(&slot) else { return };
     if !e.parkable() {
@@ -1525,9 +1877,13 @@ fn suspend_entry<S: Sink>(
     match park(session, Some(path)) {
         Ok((parked, size)) => {
             e.body = Body::Parked(parked);
-            republish(e, buffered);
+            republish(e, &ctx.buffered);
+            if let Some(m) = &ctx.metrics {
+                m.suspends.inc();
+            }
+            ctx.trace(TraceEvent::Suspend { shard: ctx.shard, bytes: size as u64 });
             let id = RuntimeId { slot, gen: e.gen };
-            let _ = events.send(RuntimeEvent::Suspended { id, bytes: size });
+            ctx.send(RuntimeEvent::Suspended { id, bytes: size });
         }
         Err(session) => e.body = Body::Live(session),
     }
@@ -1539,8 +1895,7 @@ fn sweep<S: Sink>(
     policy: &SuspendPolicy,
     last_sweep: &mut Instant,
     sessions: &mut HashMap<u32, Entry<S>>,
-    events: &Sender<RuntimeEvent<S>>,
-    buffered: &AtomicUsize,
+    ctx: &WorkerCtx<S>,
 ) {
     let now = Instant::now();
     if now.duration_since(*last_sweep) < policy.idle_after / 4 {
@@ -1553,7 +1908,7 @@ fn sweep<S: Sink>(
         .map(|(&slot, _)| slot)
         .collect();
     for slot in idle {
-        suspend_entry(slot, sessions, policy, events, buffered);
+        suspend_entry(slot, sessions, policy, ctx);
     }
 }
 

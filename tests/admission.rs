@@ -317,7 +317,7 @@ fn runtime_queues_refused_chunks_and_resumes_deterministically() {
     let mut log = Vec::new();
     for _ in 0..5 {
         match rt.wait_event().expect("workers alive") {
-            RuntimeEvent::Stalled { id } => log.push(format!("stalled-{}", name(id, a, b, c))),
+            RuntimeEvent::Stalled { id, .. } => log.push(format!("stalled-{}", name(id, a, b, c))),
             RuntimeEvent::Resumed { id } => log.push(format!("resumed-{}", name(id, a, b, c))),
             RuntimeEvent::Finished { id, result, sink } => {
                 result.unwrap();
@@ -360,7 +360,7 @@ fn stalled_sessions_resume_on_the_release_edge_without_a_tick() {
     let s = rt.open(&q, StringSink::new());
     rt.feed(s, hold_prefix(1000).as_bytes());
     match rt.wait_event().expect("worker alive") {
-        RuntimeEvent::Stalled { id } => assert_eq!(id, s),
+        RuntimeEvent::Stalled { id, .. } => assert_eq!(id, s),
         other => panic!("expected a stall, got {other:?}"),
     }
 
@@ -403,7 +403,7 @@ fn wrapped_hooks_deliver_wakeups_through_the_forwarded_subscription() {
     let s = rt.open(&q, StringSink::new());
     rt.feed(s, hold_prefix(1000).as_bytes());
     match rt.wait_event().expect("worker alive") {
-        RuntimeEvent::Stalled { id } => assert_eq!(id, s),
+        RuntimeEvent::Stalled { id, .. } => assert_eq!(id, s),
         other => panic!("expected a stall, got {other:?}"),
     }
     drop(holder);
@@ -604,7 +604,7 @@ fn unsuspending_into_a_tight_pool_stalls_and_resumes_on_the_release_edge() {
 
     rt.feed(s, SUFFIX.as_bytes()); // touching it must re-admit first
     match rt.wait_event().expect("worker alive") {
-        RuntimeEvent::Stalled { id } => assert_eq!(id, s),
+        RuntimeEvent::Stalled { id, .. } => assert_eq!(id, s),
         other => panic!("expected the refused re-admission stall, got {other:?}"),
     }
 

@@ -100,4 +100,35 @@ fn streaming_runs_allocate_independently_of_document_size() {
              {a_small} allocs for 4 books vs {a_large} for 400"
         );
     }
+
+    // The tracing seam rides the same bar (same function: no parallel test
+    // thread may perturb the counter). Disabled — the default — it is one
+    // branch and zero heap traffic per would-be event…
+    let disabled: Option<std::sync::Arc<dyn Tracer>> = None;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for shard in 0..10_000u32 {
+        if let Some(t) = &disabled {
+            t.emit(TraceEvent::Resume { shard });
+        }
+    }
+    assert_eq!(
+        ALLOCS.load(Ordering::Relaxed) - before,
+        0,
+        "a disabled tracer must not allocate on the emit path"
+    );
+
+    // …and the default subscriber, the bounded ring, pre-allocates at
+    // construction and never allocates on emit.
+    let ring = TraceBuffer::with_capacity(64);
+    let tracer: std::sync::Arc<dyn Tracer> = ring.clone();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for shard in 0..10_000u32 {
+        tracer.emit(TraceEvent::Stall { shard, cause: StallCause::Budget });
+    }
+    assert_eq!(
+        ALLOCS.load(Ordering::Relaxed) - before,
+        0,
+        "TraceBuffer::emit must not allocate once the ring exists"
+    );
+    assert_eq!(ring.recorded(), 10_000, "every emit was recorded (ring overwrites, never drops)");
 }
